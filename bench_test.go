@@ -1,0 +1,355 @@
+// Package repro_test holds the benchmark harness: one testing.B per
+// table and figure of the paper's evaluation (Section 6). The sizes
+// here are benchmark-friendly; cmd/proqlbench runs the full sweeps
+// (and -scale=paper the paper-scale parameters) and prints the series
+// the paper plots. EXPERIMENTS.md records paper-vs-measured.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/asr"
+	"repro/internal/exchange"
+	"repro/internal/fixture"
+	"repro/internal/model"
+	"repro/internal/proql"
+	"repro/internal/provgraph"
+	"repro/internal/semiring"
+	"repro/internal/workload"
+)
+
+// BenchmarkTable1Semirings evaluates every Table 1 semiring over the
+// Figure 1 provenance graph (experiment E1).
+func BenchmarkTable1Semirings(b *testing.B) {
+	sys := fixture.MustSystem(fixture.Options{})
+	g, err := provgraph.Build(sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range []string{"DERIVABILITY", "TRUST", "CONFIDENTIALITY", "WEIGHT", "LINEAGE", "PROBABILITY", "COUNT", "POLYNOMIAL"} {
+		s, err := semiring.Lookup(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		leaf := func(tn *provgraph.TupleNode) semiring.Value {
+			switch name {
+			case "LINEAGE":
+				return semiring.NewLineage(tn.Ref.String())
+			case "PROBABILITY":
+				return semiring.VarDNF(tn.Ref.String())
+			case "POLYNOMIAL":
+				return semiring.VarPoly(tn.Ref.String())
+			}
+			return s.One()
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := provgraph.Eval(g, s, provgraph.EvalOptions{Leaf: leaf}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchTargetQuery(b *testing.B, cfg workload.Config) {
+	b.Helper()
+	set, err := workload.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := proql.NewEngine(set.Sys)
+	q, err := proql.Parse(set.TargetQuery())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Exec(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7ChainAllPeersData is experiment E2: chain topology with
+// data at every peer; unfolded rules and times grow exponentially with
+// the number of peers.
+func BenchmarkFig7ChainAllPeersData(b *testing.B) {
+	for _, peers := range []int{2, 3, 4, 5, 6} {
+		b.Run(fmt.Sprintf("peers=%d", peers), func(b *testing.B) {
+			benchTargetQuery(b, workload.Config{
+				Topology:  workload.Chain,
+				Profile:   workload.ProfileFan,
+				NumPeers:  peers,
+				DataPeers: workload.AllDataPeers(peers),
+				BaseSize:  20,
+				Seed:      42,
+			})
+		})
+	}
+}
+
+// BenchmarkFig8ChainVaryingDataPeers is experiment E3: 20-peer chain,
+// sweeping the number of peers with local data.
+func BenchmarkFig8ChainVaryingDataPeers(b *testing.B) {
+	for _, d := range []int{1, 2, 3, 4, 5, 6} {
+		b.Run(fmt.Sprintf("data=%d", d), func(b *testing.B) {
+			benchTargetQuery(b, workload.Config{
+				Topology:  workload.Chain,
+				Profile:   workload.ProfileFan,
+				NumPeers:  20,
+				DataPeers: workload.DownstreamDataPeers(20, d),
+				BaseSize:  20,
+				Seed:      42,
+			})
+		})
+	}
+}
+
+// BenchmarkFig9BaseSizeSweep is experiment E4: 20 peers, 3 upstream
+// data peers, sweeping base size; both topologies.
+func BenchmarkFig9BaseSizeSweep(b *testing.B) {
+	for _, topo := range []workload.Topology{workload.Chain, workload.Branched} {
+		for _, base := range []int{250, 500, 1000, 2000} {
+			b.Run(fmt.Sprintf("%s/base=%d", topo, base), func(b *testing.B) {
+				benchTargetQuery(b, workload.Config{
+					Topology:  topo,
+					Profile:   workload.ProfileLinear,
+					NumPeers:  20,
+					DataPeers: workload.UpstreamDataPeers(20, 3),
+					BaseSize:  base,
+					Seed:      42,
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkFig10PeerSweep is experiment E5: fixed base size at 3
+// upstream peers, sweeping the total number of peers.
+func BenchmarkFig10PeerSweep(b *testing.B) {
+	for _, topo := range []workload.Topology{workload.Chain, workload.Branched} {
+		for _, peers := range []int{10, 20, 40, 80} {
+			b.Run(fmt.Sprintf("%s/peers=%d", topo, peers), func(b *testing.B) {
+				benchTargetQuery(b, workload.Config{
+					Topology:  topo,
+					Profile:   workload.ProfileLinear,
+					NumPeers:  peers,
+					DataPeers: workload.UpstreamDataPeers(peers, 3),
+					BaseSize:  250,
+					Seed:      42,
+				})
+			})
+		}
+	}
+}
+
+func benchASR(b *testing.B, cfg workload.Config, lens []int) {
+	b.Helper()
+	set, err := workload.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := proql.NewEngine(set.Sys)
+	q, err := proql.Parse(set.TargetQuery())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("noASR", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Exec(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, kind := range []asr.Kind{asr.CompletePath, asr.Subpath, asr.Prefix, asr.Suffix} {
+		for _, maxLen := range lens {
+			ix := asr.NewIndex(set.Sys)
+			for _, chain := range set.AChains() {
+				for _, seg := range workload.SplitChain(chain, maxLen) {
+					if _, err := ix.Define(kind, seg...); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			if err := ix.Materialize(); err != nil {
+				b.Fatal(err)
+			}
+			eng.RewriteRules = ix.RewriteRules
+			b.Run(fmt.Sprintf("%s/len=%d", kind, maxLen), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.Exec(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			eng.RewriteRules = nil
+			ix.DropAll()
+		}
+	}
+}
+
+// BenchmarkFig11ASRChain20 is experiment E6: 20-peer chain, 2 peers
+// with data, ASR types × path lengths versus the no-ASR baseline.
+func BenchmarkFig11ASRChain20(b *testing.B) {
+	benchASR(b, workload.Config{
+		Topology:  workload.Chain,
+		Profile:   workload.ProfileLinear,
+		NumPeers:  20,
+		DataPeers: workload.UpstreamDataPeers(20, 2),
+		BaseSize:  1000,
+		Seed:      42,
+	}, []int{2, 4, 8})
+}
+
+// BenchmarkFig12ASRChain8 is experiment E7: 8-peer chain, 4 peers with
+// data.
+func BenchmarkFig12ASRChain8(b *testing.B) {
+	benchASR(b, workload.Config{
+		Topology:  workload.Chain,
+		Profile:   workload.ProfileLinear,
+		NumPeers:  8,
+		DataPeers: workload.UpstreamDataPeers(8, 4),
+		BaseSize:  1000,
+		Seed:      42,
+	}, []int{2, 4, 7})
+}
+
+// BenchmarkFig13ASRBranched is experiment E8: branched topology of 20
+// peers, 4 with data.
+func BenchmarkFig13ASRBranched(b *testing.B) {
+	benchASR(b, workload.Config{
+		Topology:  workload.Branched,
+		Profile:   workload.ProfileLinear,
+		NumPeers:  20,
+		DataPeers: workload.UpstreamDataPeers(20, 4),
+		BaseSize:  1000,
+		Seed:      42,
+	}, []int{2, 4})
+}
+
+// BenchmarkAnnotationOverhead is experiment E9: the Section 6.1.2
+// observation that annotation computation adds little over the graph-
+// projection component.
+func BenchmarkAnnotationOverhead(b *testing.B) {
+	set, err := workload.Build(workload.Config{
+		Topology:  workload.Chain,
+		Profile:   workload.ProfileLinear,
+		NumPeers:  20,
+		DataPeers: workload.UpstreamDataPeers(20, 3),
+		BaseSize:  500,
+		Seed:      42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := proql.NewEngine(set.Sys)
+	proj, err := proql.Parse(set.TargetQuery())
+	if err != nil {
+		b.Fatal(err)
+	}
+	annot, err := proql.Parse(set.TargetAnnotationQuery())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("projection", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Exec(proj); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("annotated", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Exec(annot); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkExchange measures update-exchange materialization itself —
+// the offline step whose output all queries consume.
+func BenchmarkExchange(b *testing.B) {
+	for _, base := range []int{250, 1000} {
+		b.Run(fmt.Sprintf("base=%d", base), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := workload.Build(workload.Config{
+					Topology:  workload.Chain,
+					Profile:   workload.ProfileLinear,
+					NumPeers:  10,
+					DataPeers: workload.UpstreamDataPeers(10, 2),
+					BaseSize:  base,
+					Seed:      42,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIncrementalDeletion quantifies the paper's Q5 claim —
+// "provenance can speed up this test" — by comparing provenance-based
+// deletion propagation against rebuilding the exchange from scratch on
+// the reduced base data.
+func BenchmarkIncrementalDeletion(b *testing.B) {
+	cfg := workload.Config{
+		Topology:  workload.Chain,
+		Profile:   workload.ProfileLinear,
+		NumPeers:  10,
+		DataPeers: workload.UpstreamDataPeers(10, 2),
+		BaseSize:  500,
+		Seed:      42,
+	}
+	b.Run("provenance", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			set, err := workload.Build(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			key := []model.Datum{int64(9)*10_000_000 + int64(i%cfg.BaseSize)}
+			b.StartTimer()
+			if _, err := set.Sys.DeleteLocal(workload.ARel(9), key); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// Rebuilding re-runs generation + exchange on the full
+			// base data; the deletion itself is the cheap part.
+			if _, err := workload.Build(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSuperfluousProvenance is the storage ablation of Section
+// 4.1: materializing all provenance relations versus replacing
+// projection mappings with views.
+func BenchmarkSuperfluousProvenance(b *testing.B) {
+	q := `FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x`
+	for _, materializeAll := range []bool{false, true} {
+		name := "views"
+		if materializeAll {
+			name = "materializeAll"
+		}
+		sys := fixture.MustSystem(fixture.Options{
+			Exchange: exchange.Options{MaterializeAll: materializeAll},
+		})
+		eng := proql.NewEngine(sys)
+		pq := proql.MustParse(q)
+		b.Run(name, func(b *testing.B) {
+			b.ReportMetric(float64(sys.ProvRowCount()), "provrows")
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Exec(pq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,267 @@
+// Command proqlbench regenerates every table and figure of the
+// paper's evaluation (Section 6), printing the same series the paper
+// plots. Default scales are laptop-friendly; -scale=paper uses the
+// paper's parameters (much slower).
+//
+// Usage:
+//
+//	proqlbench                  # all experiments, default scale
+//	proqlbench -exp=fig11       # one experiment
+//	proqlbench -scale=paper     # paper-scale parameters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asr"
+	"repro/internal/fixture"
+	"repro/internal/model"
+	"repro/internal/provgraph"
+	"repro/internal/semiring"
+	"repro/internal/workload"
+)
+
+type scaleParams struct {
+	fig7Peers  []int
+	fig7Base   int
+	fig8Peers  int
+	fig8Data   []int
+	fig8Base   int
+	fig9Peers  int
+	fig9Bases  []int
+	fig10Peers []int
+	fig10Base  int
+	scaleData  int
+	asrBase    int
+	fig11Peers int
+	fig11Data  int
+	fig11Lens  []int
+	fig12Peers int
+	fig12Data  int
+	fig12Lens  []int
+	fig13Peers int
+	fig13Data  int
+	fig13Lens  []int
+	runs       int
+	seed       int64
+}
+
+func defaultScale() scaleParams {
+	return scaleParams{
+		fig7Peers:  []int{2, 3, 4, 5, 6, 7},
+		fig7Base:   20,
+		fig8Peers:  20,
+		fig8Data:   []int{1, 2, 3, 4, 5, 6, 7},
+		fig8Base:   20,
+		fig9Peers:  20,
+		fig9Bases:  []int{250, 500, 1000, 2000, 4000},
+		fig10Peers: []int{10, 20, 30, 40, 60, 80},
+		fig10Base:  500,
+		scaleData:  3,
+		asrBase:    2000,
+		fig11Peers: 20, fig11Data: 2, fig11Lens: []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+		fig12Peers: 8, fig12Data: 4, fig12Lens: []int{1, 2, 3, 4, 5, 6, 7},
+		fig13Peers: 20, fig13Data: 4, fig13Lens: []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+		runs: 5,
+		seed: 42,
+	}
+}
+
+func paperScale() scaleParams {
+	p := defaultScale()
+	p.fig7Peers = []int{2, 3, 4, 5, 6, 7, 8}
+	p.fig7Base = 100
+	p.fig8Data = []int{1, 2, 3, 4, 5, 6, 7, 8}
+	p.fig8Base = 100
+	p.fig9Bases = []int{10000, 20000, 30000, 40000, 50000, 60000, 70000, 80000}
+	p.fig10Base = 10000
+	p.asrBase = 50000
+	p.runs = 7
+	return p
+}
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: table1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, annot, or all")
+		scale = flag.String("scale", "default", "default or paper")
+	)
+	flag.Parse()
+	p := defaultScale()
+	if *scale == "paper" {
+		p = paperScale()
+	}
+	run := func(name string, fn func(scaleParams) error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("===== %s =====\n", name)
+		if err := fn(p); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	run("table1", runTable1)
+	run("fig7", runFig7)
+	run("fig8", runFig8)
+	run("fig9", runFig9)
+	run("fig10", runFig10)
+	run("fig11", func(p scaleParams) error {
+		return runASR("Figure 11 (chain, 20 peers, 2 with data)", workload.Config{
+			Topology: workload.Chain, Profile: workload.ProfileLinear,
+			NumPeers: p.fig11Peers, DataPeers: workload.UpstreamDataPeers(p.fig11Peers, p.fig11Data),
+			BaseSize: p.asrBase, Seed: p.seed,
+		}, p.fig11Lens, p.runs)
+	})
+	run("fig12", func(p scaleParams) error {
+		return runASR("Figure 12 (chain, 8 peers, 4 with data)", workload.Config{
+			Topology: workload.Chain, Profile: workload.ProfileLinear,
+			NumPeers: p.fig12Peers, DataPeers: workload.UpstreamDataPeers(p.fig12Peers, p.fig12Data),
+			BaseSize: p.asrBase, Seed: p.seed,
+		}, p.fig12Lens, p.runs)
+	})
+	run("fig13", func(p scaleParams) error {
+		return runASR("Figure 13 (branched, 20 peers, 4 with data)", workload.Config{
+			Topology: workload.Branched, Profile: workload.ProfileLinear,
+			NumPeers: p.fig13Peers, DataPeers: workload.UpstreamDataPeers(p.fig13Peers, p.fig13Data),
+			BaseSize: p.asrBase, Seed: p.seed,
+		}, p.fig13Lens, p.runs)
+	})
+	run("annot", runAnnot)
+}
+
+// runTable1 evaluates every Table 1 semiring over the Figure 1 graph.
+func runTable1(p scaleParams) error {
+	sys, err := fixture.System(fixture.Options{})
+	if err != nil {
+		return err
+	}
+	g, err := provgraph.Build(sys)
+	if err != nil {
+		return err
+	}
+	target := model.RefFromKey("O", []model.Datum{"cn1", int64(7)})
+	fmt.Println("Table 1: annotation of O(cn1,7,true) in each semiring over the Figure 1 graph")
+	for _, name := range []string{"DERIVABILITY", "TRUST", "CONFIDENTIALITY", "WEIGHT", "LINEAGE", "PROBABILITY", "COUNT", "POLYNOMIAL"} {
+		s, err := semiring.Lookup(name)
+		if err != nil {
+			return err
+		}
+		ann, err := provgraph.Eval(g, s, provgraph.EvalOptions{
+			Leaf: func(tn *provgraph.TupleNode) semiring.Value {
+				switch name {
+				case "WEIGHT":
+					return 1.0
+				case "CONFIDENTIALITY":
+					if tn.Ref.Rel == "A" {
+						return semiring.Secret
+					}
+					return semiring.Public
+				case "LINEAGE":
+					return semiring.NewLineage(tn.Ref.String())
+				case "PROBABILITY":
+					return semiring.VarDNF(tn.Ref.String())
+				case "POLYNOMIAL":
+					return semiring.VarPoly(tn.Ref.String())
+				}
+				return s.One()
+			},
+		})
+		if err != nil {
+			return err
+		}
+		tn, ok := g.Lookup(target)
+		if !ok {
+			return fmt.Errorf("missing target tuple")
+		}
+		v, _ := ann.Annotation(tn)
+		fmt.Printf("  %-16s %s\n", name, s.Format(v))
+	}
+	return nil
+}
+
+func runFig7(p scaleParams) error {
+	fmt.Println("Figure 7: chain, data at every peer (fan profile)")
+	fmt.Println("peers  unfolded-rules  unfold-time  eval-time")
+	rows, err := workload.RunFig7(p.fig7Peers, p.fig7Base, p.runs, p.seed)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%5d  %14d  %11v  %9v\n", r.X, r.UnfoldedRules, r.UnfoldTime, r.EvalTime)
+	}
+	return nil
+}
+
+func runFig8(p scaleParams) error {
+	fmt.Printf("Figure 8: chain of %d peers, varying peers with data (fan profile)\n", p.fig8Peers)
+	fmt.Println("data-peers  unfolded-rules  unfold-time  eval-time")
+	rows, err := workload.RunFig8(p.fig8Peers, p.fig8Data, p.fig8Base, p.runs, p.seed)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%10d  %14d  %11v  %9v\n", r.X, r.UnfoldedRules, r.UnfoldTime, r.EvalTime)
+	}
+	return nil
+}
+
+func runFig9(p scaleParams) error {
+	fmt.Printf("Figure 9: %d peers, %d upstream data peers, varying base size\n", p.fig9Peers, p.scaleData)
+	fmt.Println("base-size  chain-time  branched-time  chain-tuples  branched-tuples")
+	rows, err := workload.RunFig9(p.fig9Peers, p.scaleData, p.fig9Bases, p.runs, p.seed)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%9d  %10v  %13v  %12d  %15d\n", r.X, r.ChainTime, r.BranchedTime, r.ChainSize, r.BranchedSize)
+	}
+	return nil
+}
+
+func runFig10(p scaleParams) error {
+	fmt.Printf("Figure 10: base %d at %d upstream peers, varying number of peers\n", p.fig10Base, p.scaleData)
+	fmt.Println("peers  chain-time  branched-time  chain-tuples  branched-tuples")
+	rows, err := workload.RunFig10(p.fig10Peers, p.scaleData, p.fig10Base, p.runs, p.seed)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%5d  %10v  %13v  %12d  %15d\n", r.X, r.ChainTime, r.BranchedTime, r.ChainSize, r.BranchedSize)
+	}
+	return nil
+}
+
+func runASR(title string, cfg workload.Config, lens []int, runs int) error {
+	kinds := []asr.Kind{asr.CompletePath, asr.Subpath, asr.Prefix, asr.Suffix}
+	exp, err := workload.RunASRSweep(cfg, lens, kinds, runs)
+	if err != nil {
+		return err
+	}
+	fmt.Println(title)
+	fmt.Printf("no-ASR baseline: %v\n", exp.Baseline)
+	fmt.Println("kind      max-len  query-time  asr-rows")
+	for _, r := range exp.Rows {
+		fmt.Printf("%-9s %7d  %10v  %8d\n", r.Kind, r.MaxLen, r.Time, r.ASRRows)
+	}
+	return nil
+}
+
+func runAnnot(p scaleParams) error {
+	fmt.Println("Annotation-computation overhead (Section 6.1.2 observation)")
+	row, err := workload.RunAnnotationOverhead(workload.Config{
+		Topology: workload.Chain, Profile: workload.ProfileLinear,
+		NumPeers: p.fig9Peers, DataPeers: workload.UpstreamDataPeers(p.fig9Peers, p.scaleData),
+		BaseSize: p.asrBase / 2, Seed: p.seed,
+	}, p.runs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph projection only: %v\n", row.ProjectionTime)
+	fmt.Printf("projection + TRUST:    %v\n", row.AnnotatedTime)
+	ratio := float64(row.AnnotatedTime) / float64(row.ProjectionTime)
+	fmt.Printf("ratio: %.2fx\n", ratio)
+	return nil
+}

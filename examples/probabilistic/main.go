@@ -1,0 +1,83 @@
+// Probabilistic query answering (use case Q9, Trio-style): base tuples
+// carry independent existence probabilities; the PROBABILITY semiring
+// computes each view tuple's event expression from its provenance, and
+// ProbabilityOf turns events into numbers (exact inclusion–exclusion
+// for small events, seeded Monte Carlo beyond).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/semiring"
+)
+
+func main() {
+	// Sensor sightings from two unreliable feeds, fused into one view.
+	schema := model.NewSchema()
+	must(schema.AddRelation(model.MustRelation("FeedA",
+		[]model.Column{{Name: "obj", Type: model.TypeString}, {Name: "zone", Type: model.TypeString}},
+		"obj", "zone")))
+	must(schema.AddRelation(model.MustRelation("FeedB",
+		[]model.Column{{Name: "obj", Type: model.TypeString}, {Name: "zone", Type: model.TypeString}},
+		"obj", "zone")))
+	must(schema.AddRelation(model.MustRelation("Sighting",
+		[]model.Column{{Name: "obj", Type: model.TypeString}, {Name: "zone", Type: model.TypeString}},
+		"obj", "zone")))
+	v := model.V
+	must(schema.AddMapping(model.NewMapping("fromA",
+		model.NewAtom("Sighting", v("o"), v("z")),
+		model.NewAtom("FeedA", v("o"), v("z")))))
+	must(schema.AddMapping(model.NewMapping("fromB",
+		model.NewAtom("Sighting", v("o"), v("z")),
+		model.NewAtom("FeedB", v("o"), v("z")))))
+
+	sys, err := core.Open(schema, core.Options{})
+	must(err)
+	must(sys.InsertLocal("FeedA",
+		model.Tuple{"drone", "north"},
+		model.Tuple{"truck", "south"},
+	))
+	must(sys.InsertLocal("FeedB",
+		model.Tuple{"drone", "north"},
+		model.Tuple{"boat", "east"},
+	))
+	must(sys.Run())
+
+	res, err := sys.Query(`EVALUATE PROBABILITY OF {
+		FOR [Sighting $x]
+		INCLUDE PATH [$x] <-+ []
+		RETURN $x
+	}`)
+	must(err)
+
+	// Feed reliabilities: independent base-event probabilities keyed
+	// by tuple identity.
+	probs := map[string]float64{}
+	for _, tn := range res.MustGraph().Tuples() {
+		switch tn.Ref.Rel {
+		case "FeedA":
+			probs[tn.Ref.String()] = 0.8
+		case "FeedB":
+			probs[tn.Ref.String()] = 0.6
+		}
+	}
+
+	fmt.Println("Sighting view with event expressions and probabilities:")
+	for _, ref := range res.SortedRefs("x") {
+		event := res.Annotations[ref].(semiring.DNF)
+		p := semiring.ProbabilityOf(event, probs, 0)
+		fmt.Printf("  %-30s event=%-40s P=%.3f\n", ref, event, p)
+	}
+	fmt.Println()
+	fmt.Println("The drone sighting is corroborated by both feeds:")
+	fmt.Println("P = 1 - (1-0.8)(1-0.6) = 0.92; single-feed sightings keep their feed's reliability.")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

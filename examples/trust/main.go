@@ -1,0 +1,57 @@
+// Trust assessment (use case Q7): the paper's running example with
+// peer-specific trust policies — distrust mapping m4, distrust animal
+// records with length >= 6, and compute which organism tuples should
+// be trusted. Also demonstrates the CONFIDENTIALITY semiring (use case
+// Q10) over the same provenance: the same materialized provenance
+// supports both annotation models, the paper's "generalized
+// materialized view" argument.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/fixture"
+)
+
+func main() {
+	ex, err := fixture.System(fixture.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := core.Wrap(ex)
+
+	fmt.Println("== Trust (Q7): distrust m4; distrust A tuples with length >= 6")
+	res, err := sys.Query(`EVALUATE TRUST OF {
+		FOR [O $x]
+		INCLUDE PATH [$x] <-+ []
+		RETURN $x
+	} ASSIGNING EACH leaf_node $y {
+		CASE $y in C : SET true
+		CASE $y in A and $y.length >= 6 : SET false
+		DEFAULT : SET true
+	} ASSIGNING EACH mapping $p($z) {
+		CASE $p = m4 : SET false
+		DEFAULT : SET $z
+	}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(core.FormatResult(res, "x"))
+
+	fmt.Println("\n== Confidentiality (Q10): A records are secret, the rest public")
+	res, err = sys.Query(`EVALUATE CONFIDENTIALITY OF {
+		FOR [O $x]
+		INCLUDE PATH [$x] <-+ []
+		RETURN $x
+	} ASSIGNING EACH leaf_node $y {
+		CASE $y in A : SET 3
+		DEFAULT : SET 0
+	}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(core.FormatResult(res, "x"))
+	fmt.Println("\nEvery O tuple requires secret clearance: all derivations join through A.")
+}

@@ -1,0 +1,128 @@
+package asr
+
+import (
+	"repro/internal/exchange"
+	"repro/internal/model"
+)
+
+// Advise implements a simple version of the automated ASR selection
+// the paper lists as future work (Section 8): given the relation a
+// provenance-query workload is anchored at (the distinguished relation
+// of target-style queries) and a maximum path length, it decomposes
+// the mapping graph backwards-reachable from that relation into
+// non-overlapping chains, splits them into segments of at most maxLen,
+// and registers one ASR per segment on the index.
+//
+// The suggested kind is Suffix: target-style queries look for paths
+// ending at the anchor, which Section 6.4 found suffix ASRs serve
+// best. Single-mapping segments are skipped (they would only mirror
+// the provenance table).
+func (ix *Index) Advise(anchorRel string, maxLen int) ([]*Def, error) {
+	chains := chainsFrom(ix.sys, anchorRel, ix.used)
+	var defs []*Def
+	for _, chain := range chains {
+		for i := 0; i < len(chain); i += maxLen {
+			j := i + maxLen
+			if j > len(chain) {
+				j = len(chain)
+			}
+			seg := chain[i:j]
+			if len(seg) < 2 {
+				continue
+			}
+			d, err := ix.Define(Suffix, seg...)
+			if err != nil {
+				return nil, err
+			}
+			defs = append(defs, d)
+		}
+	}
+	return defs, nil
+}
+
+// chainsFrom decomposes the mapping graph backwards-reachable from rel
+// into edge-disjoint chains ordered derived-end first: the first
+// unclaimed incoming mapping continues the current chain through the
+// first of its source relations that still has unclaimed incoming
+// mappings; every other mapping and source starts a new chain.
+// Mappings already claimed by existing definitions (used) are skipped;
+// claiming per mapping also terminates on cyclic schema graphs.
+func chainsFrom(sys *exchange.System, rel string, used map[string]string) [][]string {
+	var chains [][]string
+	claimed := make(map[string]bool, len(used))
+	for m := range used {
+		claimed[m] = true
+	}
+	connects := func(down, up string) bool {
+		_, err := connect(sys, down, up)
+		return err == nil
+	}
+	// hasUnclaimedConnected reports whether rel has an unclaimed
+	// incoming mapping that actually connects to prev (shared relation
+	// with compatible key terms).
+	hasUnclaimedConnected := func(prev, rel string) bool {
+		for _, m := range sys.Schema.MappingsInto(rel) {
+			if !claimed[m.Name] && connects(prev, m.Name) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var extend func(rel string, acc []string)
+	extend = func(rel string, acc []string) {
+		continued := false
+		last := ""
+		if len(acc) > 0 {
+			last = acc[len(acc)-1]
+		}
+		for _, m := range sys.Schema.MappingsInto(rel) {
+			if claimed[m.Name] {
+				continue
+			}
+			claimed[m.Name] = true
+			var cur []string
+			if !continued && (last == "" || connects(last, m.Name)) {
+				cur = append(append([]string(nil), acc...), m.Name)
+				continued = true
+			} else {
+				cur = []string{m.Name}
+			}
+			srcs := sourceRels(m)
+			contIdx := -1
+			for si, s := range srcs {
+				if hasUnclaimedConnected(m.Name, s) {
+					contIdx = si
+					break
+				}
+			}
+			if contIdx < 0 {
+				chains = append(chains, cur)
+			} else {
+				extend(srcs[contIdx], cur)
+			}
+			for si, s := range srcs {
+				if si != contIdx {
+					extend(s, nil)
+				}
+			}
+		}
+		if !continued && len(acc) > 0 {
+			chains = append(chains, acc)
+		}
+	}
+	extend(rel, nil)
+	return chains
+}
+
+func sourceRels(m *model.Mapping) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range m.Body {
+		if !seen[a.Rel] {
+			seen[a.Rel] = true
+			out = append(out, a.Rel)
+		}
+	}
+	return out
+}

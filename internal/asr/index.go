@@ -1,0 +1,165 @@
+package asr
+
+import (
+	"fmt"
+
+	"repro/internal/exchange"
+	"repro/internal/model"
+	"repro/internal/relstore"
+)
+
+// Index manages a set of non-overlapping ASR definitions over one
+// system, materializes their backing tables, and rewrites unfolded
+// rules to use them. The paper restricts definitions to non-overlapping
+// paths so that the greedy Figure 4 rewriting is minimal; Define
+// enforces mapping-disjointness.
+type Index struct {
+	sys  *exchange.System
+	defs []*Def
+	used map[string]string // mapping → ASR name, for overlap checks
+}
+
+// NewIndex creates an empty ASR index for a system.
+func NewIndex(sys *exchange.System) *Index {
+	return &Index{sys: sys, used: make(map[string]string)}
+}
+
+// Defs returns the registered definitions.
+func (ix *Index) Defs() []*Def { return ix.defs }
+
+// Define registers an ASR over a mapping chain, rejecting overlaps
+// with previously defined ASRs.
+func (ix *Index) Define(kind Kind, chain ...string) (*Def, error) {
+	d, err := NewDef(ix.sys, kind, chain)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range chain {
+		if prev, dup := ix.used[m]; dup {
+			return nil, fmt.Errorf("asr: mapping %s already indexed by %s (overlapping ASRs are not supported)", m, prev)
+		}
+	}
+	for _, m := range chain {
+		ix.used[m] = d.Name
+	}
+	ix.defs = append(ix.defs, d)
+	return d, nil
+}
+
+// Materialize builds (or rebuilds) the backing tables of every
+// definition and creates hash indexes on each span's boundary columns,
+// mirroring the paper's B-Tree indexes on ASR key columns.
+func (ix *Index) Materialize() error {
+	for _, d := range ix.defs {
+		if err := ix.materializeDef(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DropAll removes the backing tables (used between benchmark
+// configurations).
+func (ix *Index) DropAll() {
+	for _, d := range ix.defs {
+		ix.sys.DB.DropTable(d.Name)
+	}
+	ix.defs = nil
+	ix.used = make(map[string]string)
+}
+
+// TotalRows reports the materialized ASR storage footprint.
+func (ix *Index) TotalRows() int {
+	total := 0
+	for _, d := range ix.defs {
+		if t, ok := ix.sys.DB.Table(d.Name); ok {
+			total += t.Len()
+		}
+	}
+	return total
+}
+
+func (ix *Index) materializeDef(d *Def) error {
+	ix.sys.DB.DropTable(d.Name)
+	t, err := ix.sys.DB.CreateTable(&relstore.TableSchema{
+		Name:    d.Name,
+		Columns: d.columns,
+	})
+	if err != nil {
+		return err
+	}
+	// Fetch provenance rows per chain position once.
+	provRows := make([][]model.Tuple, len(d.Chain))
+	for k, m := range d.Chain {
+		rows, err := ix.sys.ProvRows(m)
+		if err != nil {
+			return err
+		}
+		provRows[k] = rows
+	}
+	for _, sp := range d.spans {
+		if err := materializeSpan(d, t, sp, provRows); err != nil {
+			return err
+		}
+	}
+	// Index the span column together with each position's columns so
+	// rewritten lookups are fast.
+	t.CreateIndex([]int{0})
+	return nil
+}
+
+// materializeSpan inner-joins the provenance rows of one subpath and
+// inserts NULL-padded rows tagged with the span discriminator.
+func materializeSpan(d *Def, t *relstore.Table, sp span, provRows [][]model.Tuple) error {
+	// partial holds, per accumulated row, the joined provenance rows
+	// of positions From..cur.
+	type partial []model.Tuple
+	acc := make([]partial, 0, len(provRows[sp.From]))
+	for _, row := range provRows[sp.From] {
+		acc = append(acc, partial{row})
+	}
+	for k := sp.From; k < sp.To; k++ {
+		step := d.joins[k]
+		// Hash the upstream side on its join columns.
+		build := make(map[string][]model.Tuple)
+		for _, urow := range provRows[k+1] {
+			key := encodeAt(urow, step.upCols)
+			build[key] = append(build[key], urow)
+		}
+		var next []partial
+		for _, p := range acc {
+			drow := p[len(p)-1]
+			key := encodeAt(drow, step.downCols)
+			for _, urow := range build[key] {
+				np := make(partial, len(p)+1)
+				copy(np, p)
+				np[len(p)] = urow
+				next = append(next, np)
+			}
+		}
+		acc = next
+	}
+	tag := sp.tag()
+	for _, p := range acc {
+		row := make(model.Tuple, len(d.columns))
+		row[0] = tag
+		for k := sp.From; k <= sp.To; k++ {
+			prow := p[k-sp.From]
+			for i, col := range d.colOf[k] {
+				row[col] = prow[i]
+			}
+		}
+		if _, err := t.Insert(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func encodeAt(row model.Tuple, cols []int) string {
+	ds := make([]model.Datum, len(cols))
+	for i, c := range cols {
+		ds[i] = row[c]
+	}
+	return model.EncodeDatums(ds)
+}

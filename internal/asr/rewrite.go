@@ -1,0 +1,129 @@
+package asr
+
+import (
+	"fmt"
+
+	"repro/internal/datalog"
+	"repro/internal/exchange"
+	"repro/internal/model"
+	"repro/internal/proql"
+)
+
+// RewriteRules is the unfoldASRs algorithm of Figure 4: for every
+// unfolded conjunctive rule, repeatedly try to replace joins of
+// provenance atoms with ASR atoms, considering each ASR's indexed
+// paths in inverse order of length. Because definitions are
+// non-overlapping, the greedy order yields a minimal rewriting
+// (shorter subpaths are only unfolded if no longer superpath matched).
+//
+// The returned rules are fresh copies; the inputs are not mutated, so
+// an engine can run with and without ASRs over the same compilation.
+// Plug this into proql.Engine.RewriteRules.
+func (ix *Index) RewriteRules(rules []*proql.ConjRule) []*proql.ConjRule {
+	out := make([]*proql.ConjRule, len(rules))
+	for i, r := range rules {
+		out[i] = ix.rewriteRule(r)
+	}
+	return out
+}
+
+func (ix *Index) rewriteRule(r *proql.ConjRule) *proql.ConjRule {
+	body := append([]model.Atom(nil), r.Body...)
+	for {
+		didSomething := false
+		for _, d := range ix.defs {
+			foundUnfolding := false
+			for _, sp := range d.spans { // longest first
+				if foundUnfolding {
+					break
+				}
+				foundUnfolding = unfoldPath(&body, d, sp)
+			}
+			if foundUnfolding {
+				didSomething = true
+			}
+		}
+		if !didSomething {
+			break
+		}
+	}
+	return &proql.ConjRule{Anchor: r.Anchor, Body: body, Tree: r.Tree, Prov: r.Prov}
+}
+
+// unfoldPath is Figure 4's unfoldPath: look for a homomorphism from
+// the span's provenance-join pattern into the rule body; if found,
+// remove the matched atoms and add the ASR atom selecting that span.
+func unfoldPath(body *[]model.Atom, d *Def, sp span) bool {
+	pattern := d.patternFor(sp)
+	mapping, matched, ok := datalog.FindHomomorphism(pattern, *body)
+	if !ok {
+		return false
+	}
+	args := make([]model.Term, len(d.columns))
+	args[0] = model.C(sp.tag())
+	for c := 1; c < len(args); c++ {
+		args[c] = model.V("_")
+	}
+	for k := sp.From; k <= sp.To; k++ {
+		for i, col := range d.colOf[k] {
+			name := d.varNames[k][i]
+			t, bound := mapping[name]
+			if !bound {
+				// Unreachable for well-formed defs: every pattern var
+				// occurs in some pattern atom.
+				return false
+			}
+			args[col] = t
+		}
+	}
+	removed := make(map[int]bool, len(matched))
+	for _, idx := range matched {
+		removed[idx] = true
+	}
+	var next []model.Atom
+	for i, a := range *body {
+		if !removed[i] {
+			next = append(next, a)
+		}
+	}
+	next = append(next, model.Atom{Rel: d.Name, Args: args})
+	*body = next
+	return true
+}
+
+// patternFor builds the canonical provenance-join pattern of one span:
+// one P atom per chain position, with shared variables expressing the
+// connection joins.
+func (d *Def) patternFor(sp span) []model.Atom {
+	atoms := make([]model.Atom, 0, sp.length())
+	for k := sp.From; k <= sp.To; k++ {
+		names := d.varNames[k]
+		args := make([]model.Term, len(names))
+		for i, n := range names {
+			args[i] = model.V(n)
+		}
+		atoms = append(atoms, model.Atom{
+			Rel:  exchange.ProvTablePrefix + d.Chain[k],
+			Args: args,
+		})
+	}
+	return atoms
+}
+
+// buildVarNames assigns canonical pattern variable names per chain
+// position, unifying the connection columns of consecutive positions.
+func (d *Def) buildVarNames() {
+	d.varNames = make([][]string, len(d.Chain))
+	for k := range d.Chain {
+		names := make([]string, len(d.colOf[k]))
+		for i := range names {
+			names[i] = fmt.Sprintf("h%d_%d", k, i)
+		}
+		d.varNames[k] = names
+	}
+	for k, step := range d.joins {
+		for j, uc := range step.upCols {
+			d.varNames[k+1][uc] = d.varNames[k][step.downCols[j]]
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package core is the library facade tying the provenance system
+// together: schema and mapping declaration, local-data insertion,
+// update exchange with provenance recording, ProQL querying (graph
+// projection and semiring annotation computation), ASR index
+// management, and provenance-graph export.
+//
+// A typical session (see examples/quickstart):
+//
+//	sys, _ := core.Open(schema, core.Options{})
+//	sys.InsertLocal("A", rows...)
+//	sys.Run()
+//	res, _ := sys.Query(`EVALUATE TRUST OF { FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x }`)
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/asr"
+	"repro/internal/exchange"
+	"repro/internal/model"
+	"repro/internal/proql"
+	"repro/internal/provgraph"
+	"repro/internal/semiring"
+)
+
+// System is one CDSS replica with query and indexing support.
+type System struct {
+	ex     *exchange.System
+	engine *proql.Engine
+	index  *asr.Index
+	useASR bool
+}
+
+// Options configures Open.
+type Options struct {
+	// MaterializeAllProvenance disables the superfluous-provenance-
+	// relation optimization of Section 4.1.
+	MaterializeAllProvenance bool
+}
+
+// Open creates a system over a declared schema.
+func Open(schema *model.Schema, opts Options) (*System, error) {
+	ex, err := exchange.NewSystem(schema, exchange.Options{
+		MaterializeAll: opts.MaterializeAllProvenance,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &System{ex: ex, engine: proql.NewEngine(ex)}
+	s.index = asr.NewIndex(ex)
+	return s, nil
+}
+
+// Wrap adapts an already-built exchange system (e.g. a generated
+// workload setting or the running-example fixture) into the facade.
+func Wrap(ex *exchange.System) *System {
+	return &System{ex: ex, engine: proql.NewEngine(ex), index: asr.NewIndex(ex)}
+}
+
+// Exchange exposes the underlying exchange system for advanced use.
+func (s *System) Exchange() *exchange.System { return s.ex }
+
+// Engine exposes the ProQL engine for advanced use.
+func (s *System) Engine() *proql.Engine { return s.engine }
+
+// InsertLocal adds local-contribution tuples to a relation. Call Run
+// afterwards to propagate them.
+func (s *System) InsertLocal(rel string, rows ...model.Tuple) error {
+	return s.ex.InsertLocal(rel, rows...)
+}
+
+// Run executes update exchange to fixpoint, materializing all peer
+// instances and their provenance, and invalidates cached state.
+func (s *System) Run() error {
+	if err := s.ex.Run(); err != nil {
+		return err
+	}
+	s.engine.InvalidateGraph()
+	if len(s.index.Defs()) > 0 {
+		return s.index.Materialize()
+	}
+	return nil
+}
+
+// DeleteLocal removes base tuples and incrementally propagates the
+// deletions through the materialized views using their provenance
+// (use case Q5); caches and ASRs are refreshed.
+func (s *System) DeleteLocal(rel string, keys ...[]model.Datum) (*exchange.MaintenanceReport, error) {
+	report, err := s.ex.DeleteLocal(rel, keys...)
+	if err != nil {
+		return nil, err
+	}
+	s.engine.InvalidateGraph()
+	if len(s.index.Defs()) > 0 {
+		if err := s.index.Materialize(); err != nil {
+			return nil, err
+		}
+	}
+	return report, nil
+}
+
+// Query parses and executes a ProQL query.
+func (s *System) Query(text string) (*proql.Result, error) {
+	return s.engine.ExecString(text)
+}
+
+// DefineASR registers an access support relation over a mapping chain
+// (ordered from the derived end toward the sources) and materializes
+// it. UseASRs must be enabled for queries to exploit it.
+func (s *System) DefineASR(kind asr.Kind, chain ...string) error {
+	if _, err := s.index.Define(kind, chain...); err != nil {
+		return err
+	}
+	return s.index.Materialize()
+}
+
+// AdviseASRs runs the automated ASR selection (the paper's Section 8
+// future work) for target-style queries anchored at a relation,
+// materializes the suggested indexes, and enables rewriting.
+func (s *System) AdviseASRs(anchorRel string, maxLen int) error {
+	if _, err := s.index.Advise(anchorRel, maxLen); err != nil {
+		return err
+	}
+	if err := s.index.Materialize(); err != nil {
+		return err
+	}
+	s.UseASRs(true)
+	return nil
+}
+
+// UseASRs toggles ASR-based rewriting for subsequent queries.
+func (s *System) UseASRs(on bool) {
+	s.useASR = on
+	if on {
+		s.engine.RewriteRules = s.index.RewriteRules
+	} else {
+		s.engine.RewriteRules = nil
+	}
+}
+
+// ASRIndex exposes the index for inspection.
+func (s *System) ASRIndex() *asr.Index { return s.index }
+
+// Graph returns the full materialized provenance graph.
+func (s *System) Graph() (*provgraph.Graph, error) {
+	return s.engine.Graph()
+}
+
+// WriteDOT renders the full provenance graph (or a query's projected
+// subgraph, via res.Graph) in Graphviz format.
+func (s *System) WriteDOT(w io.Writer, title string) error {
+	g, err := s.Graph()
+	if err != nil {
+		return err
+	}
+	return provgraph.WriteDOT(w, g, title)
+}
+
+// Annotate evaluates a semiring over the full provenance graph with
+// custom leaf values and mapping functions — the programmatic
+// counterpart of EVALUATE ... ASSIGNING for applications that prefer
+// Go callbacks over ProQL text.
+func (s *System) Annotate(
+	semiringName string,
+	leaf func(ref model.TupleRef, row model.Tuple) semiring.Value,
+	mapFunc func(mapping string) semiring.MappingFunc,
+) (map[model.TupleRef]semiring.Value, error) {
+	sr, err := semiring.Lookup(semiringName)
+	if err != nil {
+		return nil, err
+	}
+	g, err := s.Graph()
+	if err != nil {
+		return nil, err
+	}
+	opts := provgraph.EvalOptions{MapFunc: mapFunc}
+	if leaf != nil {
+		opts.Leaf = func(tn *provgraph.TupleNode) semiring.Value {
+			return leaf(tn.Ref, tn.Row)
+		}
+	}
+	ann, err := provgraph.Eval(g, sr, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[model.TupleRef]semiring.Value, g.NumTuples())
+	for _, tn := range g.Tuples() {
+		if v, ok := ann.Annotation(tn); ok {
+			out[tn.Ref] = v
+		}
+	}
+	return out, nil
+}
+
+// FormatResult renders a query result compactly for CLIs and examples.
+func FormatResult(res *proql.Result, variable string) string {
+	g, err := res.Graph()
+	if err != nil {
+		return fmt.Sprintf("(error assembling result graph: %v)\n", err)
+	}
+	out := ""
+	for _, ref := range res.SortedRefs(variable) {
+		line := provgraph.FormatRef(g, ref)
+		if res.Annotations != nil {
+			if v, ok := res.Annotations[ref]; ok {
+				line += " -> " + res.Semiring.Format(v)
+			}
+		}
+		out += line + "\n"
+	}
+	out += fmt.Sprintf("(%d results; backend=%s rules=%d unfold=%v eval=%v)\n",
+		len(res.SortedRefs(variable)), res.Stats.Backend, res.Stats.UnfoldedRules,
+		res.Stats.UnfoldTime.Round(10_000), res.Stats.EvalTime.Round(10_000))
+	return out
+}

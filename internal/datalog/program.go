@@ -1,0 +1,122 @@
+// Package datalog implements the Datalog machinery the paper's pipeline
+// rests on: bottom-up evaluation with derivation hooks (used by update
+// exchange to materialize instances and populate provenance relations,
+// Section 4.1), unification and homomorphism finding (used by the ASR
+// rewriting algorithm of Figure 4), and rule unfolding (used to expand
+// ProQL Datalog programs into unions of conjunctive rules, Section
+// 4.2.4).
+package datalog
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Rule is a (possibly multi-head) Datalog rule. Multi-head rules model
+// GLAV schema mappings whose single derivation relates several target
+// tuples.
+type Rule struct {
+	// ID names the rule; for mapping rules it is the mapping name, so
+	// derivation hooks can attribute derivations to mappings.
+	ID    string
+	Heads []model.Atom
+	Body  []model.Atom
+}
+
+// NewRule builds a single-head rule.
+func NewRule(id string, head model.Atom, body ...model.Atom) Rule {
+	return Rule{ID: id, Heads: []model.Atom{head}, Body: body}
+}
+
+func (r Rule) String() string {
+	heads := make([]string, len(r.Heads))
+	for i, h := range r.Heads {
+		heads[i] = h.String()
+	}
+	bodies := make([]string, len(r.Body))
+	for i, b := range r.Body {
+		bodies[i] = b.String()
+	}
+	return fmt.Sprintf("%s : %s :- %s", r.ID, strings.Join(heads, ", "), strings.Join(bodies, ", "))
+}
+
+// Vars returns the distinct variables of the rule in first-use order
+// (body first, then heads).
+func (r Rule) Vars() []string {
+	var out []string
+	seen := make(map[string]bool)
+	add := func(a model.Atom) {
+		for _, v := range a.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	for _, a := range r.Body {
+		add(a)
+	}
+	for _, a := range r.Heads {
+		add(a)
+	}
+	return out
+}
+
+// Rename returns a copy of the rule with all variables passed through f.
+func (r Rule) Rename(f func(string) string) Rule {
+	heads := make([]model.Atom, len(r.Heads))
+	for i, h := range r.Heads {
+		heads[i] = h.Rename(f)
+	}
+	body := make([]model.Atom, len(r.Body))
+	for i, b := range r.Body {
+		body[i] = b.Rename(f)
+	}
+	return Rule{ID: r.ID, Heads: heads, Body: body}
+}
+
+// RenameApart suffixes every variable with "_<n>", producing a rule
+// variable-disjoint from any rule renamed with a different n.
+func (r Rule) RenameApart(n int) Rule {
+	suffix := fmt.Sprintf("_%d", n)
+	return r.Rename(func(v string) string {
+		if v == "_" {
+			return v
+		}
+		return v + suffix
+	})
+}
+
+// Substitute applies a variable binding to the rule, replacing bound
+// variables with their terms.
+func (r Rule) Substitute(binding map[string]model.Term) Rule {
+	sub := func(a model.Atom) model.Atom {
+		args := make([]model.Term, len(a.Args))
+		for i, t := range a.Args {
+			if !t.IsConst {
+				if b, ok := binding[t.Var]; ok {
+					args[i] = b
+					continue
+				}
+			}
+			args[i] = t
+		}
+		return model.Atom{Rel: a.Rel, Args: args}
+	}
+	heads := make([]model.Atom, len(r.Heads))
+	for i, h := range r.Heads {
+		heads[i] = sub(h)
+	}
+	body := make([]model.Atom, len(r.Body))
+	for i, b := range r.Body {
+		body[i] = sub(b)
+	}
+	return Rule{ID: r.ID, Heads: heads, Body: body}
+}
+
+// RuleFromMapping converts a schema mapping to a Datalog rule.
+func RuleFromMapping(m *model.Mapping) Rule {
+	return Rule{ID: m.Name, Heads: m.Head, Body: m.Body}
+}

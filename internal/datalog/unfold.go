@@ -1,0 +1,98 @@
+package datalog
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// UnfoldOptions controls rule unfolding.
+type UnfoldOptions struct {
+	// Defs returns the rules defining a predicate (the mapping rules
+	// whose head matches, plus local-contribution copy rules).
+	Defs func(pred string) []Rule
+	// IsBase reports predicates that are left in place (provenance
+	// relations and local-contribution relations in the ProQL
+	// translation).
+	IsBase func(pred string) bool
+	// MaxRules caps the number of produced rules, guarding against the
+	// exponential blowup measured in Figures 7–8 exhausting memory.
+	// Zero means no cap.
+	MaxRules int
+	// MaxDepth caps unfolding depth (relevant for cyclic programs);
+	// zero means no cap, which is safe only for acyclic programs —
+	// the case the paper's prototype targets.
+	MaxDepth int
+}
+
+// Unfold expands the start rule breadth-first (Section 4.2.4): every
+// non-base body atom is replaced by the bodies of its defining rules
+// (renamed apart and unified), until all atoms are base atoms. The
+// result is the union of conjunctive rules whose UNION ALL evaluates
+// the original program for the start rule's head.
+//
+// Rules whose non-base atoms have no definitions are dropped (no
+// derivation of that shape exists). The returned count of unfolded
+// rules is the metric plotted in Figures 7 and 8.
+func Unfold(start Rule, opts UnfoldOptions) ([]Rule, error) {
+	type workItem struct {
+		rule  Rule
+		depth int
+	}
+	fresh := 0
+	queue := []workItem{{rule: start}}
+	var done []Rule
+	for len(queue) > 0 {
+		item := queue[0]
+		queue = queue[1:]
+		// Find the first non-base atom.
+		idx := -1
+		for i, a := range item.rule.Body {
+			if !opts.IsBase(a.Rel) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			done = append(done, item.rule)
+			if opts.MaxRules > 0 && len(done) > opts.MaxRules {
+				return nil, fmt.Errorf("datalog: unfolding exceeded %d rules", opts.MaxRules)
+			}
+			continue
+		}
+		if opts.MaxDepth > 0 && item.depth >= opts.MaxDepth {
+			// Depth-capped branches are dropped: their derivations are
+			// deeper than the requested horizon.
+			continue
+		}
+		atom := item.rule.Body[idx]
+		for _, def := range opts.Defs(atom.Rel) {
+			fresh++
+			renamed := def.RenameApart(fresh)
+			if len(renamed.Heads) == 0 {
+				continue
+			}
+			// Multi-head definitions contribute via whichever head
+			// matches the atom.
+			for _, head := range renamed.Heads {
+				if head.Rel != atom.Rel {
+					continue
+				}
+				binding, ok := Unify(atom, head)
+				if !ok {
+					continue
+				}
+				newBody := make([]model.Atom, 0, len(item.rule.Body)-1+len(renamed.Body))
+				newBody = append(newBody, item.rule.Body[:idx]...)
+				newBody = append(newBody, renamed.Body...)
+				newBody = append(newBody, item.rule.Body[idx+1:]...)
+				nr := Rule{ID: item.rule.ID, Heads: item.rule.Heads, Body: newBody}.Substitute(binding)
+				queue = append(queue, workItem{rule: nr, depth: item.depth + 1})
+			}
+		}
+		if opts.MaxRules > 0 && len(queue)+len(done) > 4*opts.MaxRules {
+			return nil, fmt.Errorf("datalog: unfolding frontier exceeded %d rules", 4*opts.MaxRules)
+		}
+	}
+	return done, nil
+}

@@ -1,0 +1,118 @@
+package datalog
+
+import (
+	"repro/internal/model"
+)
+
+// Unify computes a most general unifier of two atoms, treating the
+// variable namespaces as already disjoint (callers rename apart first).
+// The returned binding maps variables from either atom to terms;
+// wildcards ("_") unify with anything without binding. Returns false if
+// the atoms do not unify.
+func Unify(a, b model.Atom) (map[string]model.Term, bool) {
+	if a.Rel != b.Rel || len(a.Args) != len(b.Args) {
+		return nil, false
+	}
+	binding := make(map[string]model.Term)
+	// resolve chases variable bindings to a representative term.
+	var resolve func(t model.Term) model.Term
+	resolve = func(t model.Term) model.Term {
+		for !t.IsConst {
+			next, ok := binding[t.Var]
+			if !ok {
+				return t
+			}
+			t = next
+		}
+		return t
+	}
+	for i := range a.Args {
+		x, y := resolve(a.Args[i]), resolve(b.Args[i])
+		switch {
+		case !x.IsConst && x.Var == "_", !y.IsConst && y.Var == "_":
+			// Wildcards match without constraint.
+		case x.IsConst && y.IsConst:
+			if !model.Equal(x.Const, y.Const) {
+				return nil, false
+			}
+		case !x.IsConst:
+			binding[x.Var] = y
+		case !y.IsConst:
+			binding[y.Var] = x
+		}
+	}
+	// Flatten chains so callers can substitute in one pass.
+	flat := make(map[string]model.Term, len(binding))
+	for v := range binding {
+		flat[v] = resolve(model.V(v))
+	}
+	return flat, true
+}
+
+// FindHomomorphism searches for a homomorphism from pattern body p to
+// target body r: a mapping from the variables of p to variables and
+// constants of r such that every atom of p is mapped to a *distinct*
+// atom of r (distinctness is required because the ASR rewriting
+// algorithm removes the matched atoms). It returns the variable mapping
+// and, for each atom of p, the index of the r atom it maps to.
+//
+// This is the findHomomorphism subroutine of the paper's Figure 4.
+func FindHomomorphism(p, r []model.Atom) (map[string]model.Term, []int, bool) {
+	mapping := make(map[string]model.Term)
+	matched := make([]int, len(p))
+	used := make([]bool, len(r))
+
+	var try func(i int) bool
+	try = func(i int) bool {
+		if i == len(p) {
+			return true
+		}
+		pa := p[i]
+		for j, ra := range r {
+			if used[j] || ra.Rel != pa.Rel || len(ra.Args) != len(pa.Args) {
+				continue
+			}
+			// Attempt to extend the mapping with pa ↦ ra.
+			added := make([]string, 0, len(pa.Args))
+			ok := true
+			for k := range pa.Args {
+				pt, rt := pa.Args[k], ra.Args[k]
+				if pt.IsConst {
+					if !rt.IsConst || !model.Equal(pt.Const, rt.Const) {
+						ok = false
+						break
+					}
+					continue
+				}
+				if pt.Var == "_" {
+					continue
+				}
+				if prev, bound := mapping[pt.Var]; bound {
+					if !prev.Equal(rt) {
+						ok = false
+						break
+					}
+					continue
+				}
+				mapping[pt.Var] = rt
+				added = append(added, pt.Var)
+			}
+			if ok {
+				used[j] = true
+				matched[i] = j
+				if try(i + 1) {
+					return true
+				}
+				used[j] = false
+			}
+			for _, v := range added {
+				delete(mapping, v)
+			}
+		}
+		return false
+	}
+	if !try(0) {
+		return nil, nil, false
+	}
+	return mapping, matched, true
+}

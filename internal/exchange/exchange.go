@@ -1,0 +1,354 @@
+// Package exchange implements the subset of the ORCHESTRA update-
+// exchange engine the paper builds on (Sections 2 and 4.1): executing
+// the schema-mapping Datalog program to materialize the canonical
+// universal solution at every peer, while recording one provenance-
+// relation row per derivation. It also implements the "superfluous
+// provenance relation" optimization: projection mappings get virtual
+// views instead of materialized tables.
+package exchange
+
+import (
+	"fmt"
+
+	"repro/internal/datalog"
+	"repro/internal/model"
+	"repro/internal/relstore"
+)
+
+// ProvTablePrefix prefixes provenance relation table names: mapping m1
+// is stored in table "P_m1" (the paper's P^1).
+const ProvTablePrefix = "P_"
+
+// ProvRel describes the provenance relation of one mapping.
+type ProvRel struct {
+	Mapping *model.Mapping
+	// Cols are the deduplicated key attributes of all source and
+	// target atoms (Section 4.1).
+	Cols []model.Column
+	// Vars are the mapping variables corresponding to Cols.
+	Vars []string
+	// Virtual marks a superfluous provenance relation (projection
+	// mapping): no table is materialized; rows are reconstructed from
+	// the single source relation on demand.
+	Virtual bool
+	// TableName is the backing table ("P_<mapping>") when !Virtual.
+	TableName string
+}
+
+// Options configures a System.
+type Options struct {
+	// MaterializeAll disables the superfluous-relation optimization,
+	// materializing a provenance table even for projection mappings.
+	// Used by the storage-overhead ablation.
+	MaterializeAll bool
+}
+
+// System is one CDSS replica: the schema, the backing database, and the
+// provenance relations.
+type System struct {
+	Schema *model.Schema
+	DB     *relstore.Database
+	Prov   map[string]*ProvRel // by mapping name
+	opts   Options
+
+	// Stats from the last Run.
+	LastIterations  int
+	LastDerivations int
+}
+
+// NewSystem creates the storage layout for a schema: one table per
+// public relation (keyed), one per local-contribution relation, and one
+// provenance table per non-superfluous mapping (keyed on all columns,
+// since a provenance row is identified by the whole derivation).
+func NewSystem(schema *model.Schema, opts Options) (*System, error) {
+	db := relstore.NewDatabase()
+	sys := &System{Schema: schema, DB: db, Prov: make(map[string]*ProvRel), opts: opts}
+	for _, r := range schema.Relations() {
+		if _, err := db.CreateTable(relstore.SchemaOf(r)); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range schema.Mappings() {
+		pr, err := sys.provRelFor(m)
+		if err != nil {
+			return nil, err
+		}
+		sys.Prov[m.Name] = pr
+		if !pr.Virtual {
+			key := make([]int, len(pr.Cols))
+			for i := range key {
+				key[i] = i
+			}
+			if _, err := db.CreateTable(&relstore.TableSchema{
+				Name:    pr.TableName,
+				Columns: pr.Cols,
+				Key:     key,
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return sys, nil
+}
+
+func (s *System) provRelFor(m *model.Mapping) (*ProvRel, error) {
+	cols, vars, err := m.ProvenanceAttrs(s.Schema)
+	if err != nil {
+		return nil, err
+	}
+	pr := &ProvRel{
+		Mapping:   m,
+		Cols:      cols,
+		Vars:      vars,
+		TableName: ProvTablePrefix + m.Name,
+	}
+	if !s.opts.MaterializeAll && m.IsProjection() {
+		// A single-source mapping's provenance rows are a projection
+		// of the source relation: the source key attributes determine
+		// the whole row (target keys are copies or constants).
+		pr.Virtual = s.virtualizable(m, vars)
+	}
+	return pr, nil
+}
+
+// virtualizable checks that every provenance attribute of the
+// projection mapping is available from the single body atom, so the
+// provenance relation can be a view over the source.
+func (s *System) virtualizable(m *model.Mapping, vars []string) bool {
+	body := m.Body[0]
+	bodyVars := make(map[string]bool)
+	for _, t := range body.Args {
+		if !t.IsConst && t.Var != "_" {
+			bodyVars[t.Var] = true
+		}
+	}
+	for _, v := range vars {
+		if !bodyVars[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// InsertLocal adds rows to a relation's local-contribution table.
+func (s *System) InsertLocal(rel string, rows ...model.Tuple) error {
+	r, ok := s.Schema.Relation(rel)
+	if !ok {
+		return fmt.Errorf("exchange: unknown relation %q", rel)
+	}
+	t, ok := s.DB.Table(r.LocalName())
+	if !ok {
+		return fmt.Errorf("exchange: no local table for %q", rel)
+	}
+	for _, row := range rows {
+		if _, err := t.Insert(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LocalCopyRuleID names the copy rule L_R of relation R.
+func LocalCopyRuleID(rel string) string { return "L_" + rel }
+
+// Rules builds the full exchange program: local copy rules L_R plus all
+// mapping rules.
+func (s *System) Rules() []datalog.Rule {
+	var rules []datalog.Rule
+	for _, r := range s.Schema.PublicRelations() {
+		args := make([]model.Term, r.Arity())
+		for i := range args {
+			args[i] = model.V(fmt.Sprintf("v%d", i))
+		}
+		rules = append(rules, datalog.NewRule(
+			LocalCopyRuleID(r.Name),
+			model.Atom{Rel: r.Name, Args: args},
+			model.Atom{Rel: r.LocalName(), Args: args},
+		))
+	}
+	for _, m := range s.Schema.Mappings() {
+		rules = append(rules, datalog.RuleFromMapping(m))
+	}
+	return rules
+}
+
+// Run executes the exchange program to fixpoint, materializing every
+// public relation and populating the provenance tables.
+func (s *System) Run() error {
+	eng := datalog.NewEngine(s.DB)
+	eng.Hook = func(rule *datalog.Rule, binding datalog.Binding) {
+		pr, ok := s.Prov[rule.ID]
+		if !ok || pr.Virtual {
+			return
+		}
+		row := make(model.Tuple, len(pr.Vars))
+		for i, v := range pr.Vars {
+			row[i] = binding[v]
+		}
+		// Set semantics on the all-column key deduplicate repeated
+		// enumerations of the same derivation.
+		if _, err := s.DB.MustTable(pr.TableName).Insert(row); err != nil {
+			panic(fmt.Sprintf("exchange: provenance insert: %v", err))
+		}
+	}
+	if err := eng.Run(s.Rules()); err != nil {
+		return err
+	}
+	s.LastIterations = eng.Iterations
+	s.LastDerivations = eng.Derivations
+	return nil
+}
+
+// ProvRows returns the provenance rows of a mapping, reconstructing
+// them from the source relation for virtual provenance relations.
+func (s *System) ProvRows(mappingName string) ([]model.Tuple, error) {
+	pr, ok := s.Prov[mappingName]
+	if !ok {
+		return nil, fmt.Errorf("exchange: unknown mapping %q", mappingName)
+	}
+	if !pr.Virtual {
+		return s.DB.MustTable(pr.TableName).Rows(), nil
+	}
+	return s.virtualProvRows(pr)
+}
+
+// virtualProvRows projects the provenance attributes out of the source
+// relation of a superfluous mapping. A source tuple yields a derivation
+// only if the (possibly filtering) body atom matches, i.e. constant
+// positions agree and repeated variables are consistent.
+func (s *System) virtualProvRows(pr *ProvRel) ([]model.Tuple, error) {
+	body := pr.Mapping.Body[0]
+	t, ok := s.DB.Table(body.Rel)
+	if !ok {
+		return nil, fmt.Errorf("exchange: no table for %q", body.Rel)
+	}
+	var out []model.Tuple
+	for _, row := range t.Rows() {
+		binding := make(map[string]model.Datum, len(body.Args))
+		okRow := true
+		for k, term := range body.Args {
+			if term.IsConst {
+				if !model.Equal(row[k], term.Const) {
+					okRow = false
+					break
+				}
+				continue
+			}
+			if term.Var == "_" {
+				continue
+			}
+			if prev, bound := binding[term.Var]; bound {
+				if !model.Equal(prev, row[k]) {
+					okRow = false
+					break
+				}
+				continue
+			}
+			binding[term.Var] = row[k]
+		}
+		if !okRow {
+			continue
+		}
+		prow := make(model.Tuple, len(pr.Vars))
+		for i, v := range pr.Vars {
+			prow[i] = binding[v]
+		}
+		out = append(out, prow)
+	}
+	return out, nil
+}
+
+// ProvRowCount counts stored provenance rows across all materialized
+// provenance tables — the storage-overhead metric.
+func (s *System) ProvRowCount() int {
+	total := 0
+	for _, pr := range s.Prov {
+		if !pr.Virtual {
+			total += s.DB.MustTable(pr.TableName).Len()
+		}
+	}
+	return total
+}
+
+// IsLeaf reports whether the tuple with the given key has a local
+// contribution (a '+' node in Figure 1).
+func (s *System) IsLeaf(rel string, key []model.Datum) bool {
+	r, ok := s.Schema.Relation(rel)
+	if !ok || r.IsLocal {
+		return false
+	}
+	lt, ok := s.DB.Table(r.LocalName())
+	if !ok {
+		return false
+	}
+	_, found := lt.LookupKey(key)
+	return found
+}
+
+// RefKey pairs a tuple reference with its decoded key datums, so
+// callers can look the tuple up in storage.
+type RefKey struct {
+	Ref model.TupleRef
+	Key []model.Datum
+}
+
+// AtomRefKeys reconstructs, for one provenance row of a mapping, the
+// references (and key datums) of all source and target tuples related
+// by that derivation node. Every key term of every atom is either a
+// provenance variable (bound by the row) or a constant.
+func (s *System) AtomRefKeys(pr *ProvRel, row model.Tuple) (sources, targets []RefKey, err error) {
+	varVal := make(map[string]model.Datum, len(pr.Vars))
+	for i, v := range pr.Vars {
+		varVal[v] = row[i]
+	}
+	refOf := func(a model.Atom) (RefKey, error) {
+		r, ok := s.Schema.Relation(a.Rel)
+		if !ok {
+			return RefKey{}, fmt.Errorf("exchange: unknown relation %q", a.Rel)
+		}
+		key := make([]model.Datum, 0, len(r.Key))
+		for _, k := range r.Key {
+			t := a.Args[k]
+			if t.IsConst {
+				key = append(key, t.Const)
+				continue
+			}
+			v, bound := varVal[t.Var]
+			if !bound {
+				return RefKey{}, fmt.Errorf("exchange: mapping %s key var %q not in provenance row", pr.Mapping.Name, t.Var)
+			}
+			key = append(key, v)
+		}
+		return RefKey{Ref: model.RefFromKey(a.Rel, key), Key: key}, nil
+	}
+	for _, a := range pr.Mapping.Body {
+		rk, err := refOf(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		sources = append(sources, rk)
+	}
+	for _, a := range pr.Mapping.Head {
+		rk, err := refOf(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		targets = append(targets, rk)
+	}
+	return sources, targets, nil
+}
+
+// AtomRefs is AtomRefKeys returning only the tuple references.
+func (s *System) AtomRefs(pr *ProvRel, row model.Tuple) (sources, targets []model.TupleRef, err error) {
+	srcs, tgts, err := s.AtomRefKeys(pr, row)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, rk := range srcs {
+		sources = append(sources, rk.Ref)
+	}
+	for _, rk := range tgts {
+		targets = append(targets, rk.Ref)
+	}
+	return sources, targets, nil
+}

@@ -1,0 +1,192 @@
+package exchange
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// MaintenanceReport summarizes one incremental deletion propagation.
+type MaintenanceReport struct {
+	// LocalDeleted counts base tuples removed from local-contribution
+	// tables.
+	LocalDeleted int
+	// TuplesDeleted counts derived tuples removed from public
+	// relations because no derivation survived.
+	TuplesDeleted int
+	// DerivationsDeleted counts provenance rows removed because a
+	// source tuple disappeared.
+	DerivationsDeleted int
+}
+
+// DeleteLocal removes base tuples (by key) from a relation's
+// local-contribution table and propagates the deletions: any tuple in
+// any public relation that is no longer derivable from the remaining
+// base data is removed, along with the provenance rows of invalidated
+// derivations.
+//
+// This is the paper's use case Q5 — "during incremental view
+// maintenance or update exchange, when a base tuple is deleted, we
+// need to determine whether existing view tuples remain derivable;
+// provenance can speed up this test" — implemented by evaluating the
+// DERIVABILITY semiring over the stored provenance graph (the fixpoint
+// handles cyclic settings, so mutually-supporting tuples whose external
+// support vanished are removed together, which delete-and-rederive
+// algorithms must special-case).
+func (s *System) DeleteLocal(rel string, keys ...[]model.Datum) (*MaintenanceReport, error) {
+	r, ok := s.Schema.Relation(rel)
+	if !ok {
+		return nil, fmt.Errorf("exchange: unknown relation %q", rel)
+	}
+	lt, ok := s.DB.Table(r.LocalName())
+	if !ok {
+		return nil, fmt.Errorf("exchange: no local table for %q", rel)
+	}
+	report := &MaintenanceReport{}
+	for _, key := range keys {
+		deleted, err := lt.Delete(key)
+		if err != nil {
+			return nil, err
+		}
+		if deleted {
+			report.LocalDeleted++
+		}
+	}
+	if report.LocalDeleted == 0 {
+		return report, nil
+	}
+	if err := s.maintain(report); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// maintain recomputes derivability over the provenance graph and
+// removes underivable tuples and their invalidated derivations.
+// Implemented here (rather than in provgraph) to avoid an import
+// cycle: the graph structure is reconstructed inline from the
+// provenance rows.
+func (s *System) maintain(report *MaintenanceReport) error {
+	type derivation struct {
+		mapping string
+		row     model.Tuple
+		sources []RefKey
+		targets []RefKey
+	}
+	var derivs []derivation
+	// tuple ref -> key datums, and -> incoming derivation indices.
+	keys := make(map[model.TupleRef][]model.Datum)
+	incoming := make(map[model.TupleRef][]int)
+	uses := make(map[model.TupleRef][]int)
+	for _, m := range s.Schema.Mappings() {
+		pr := s.Prov[m.Name]
+		rows, err := s.ProvRows(m.Name)
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
+			sources, targets, err := s.AtomRefKeys(pr, row)
+			if err != nil {
+				return err
+			}
+			idx := len(derivs)
+			derivs = append(derivs, derivation{m.Name, row, sources, targets})
+			for _, rk := range sources {
+				keys[rk.Ref] = rk.Key
+				uses[rk.Ref] = append(uses[rk.Ref], idx)
+			}
+			for _, rk := range targets {
+				keys[rk.Ref] = rk.Key
+				incoming[rk.Ref] = append(incoming[rk.Ref], idx)
+			}
+		}
+	}
+	// Register tuples present only via local contributions.
+	for _, r := range s.Schema.PublicRelations() {
+		t, ok := s.DB.Table(r.Name)
+		if !ok {
+			continue
+		}
+		for _, row := range t.Rows() {
+			ref := model.NewTupleRef(r, row)
+			if _, seen := keys[ref]; !seen {
+				keys[ref] = r.KeyOf(row)
+			}
+		}
+	}
+
+	// Monotone fixpoint of derivability (the boolean semiring of Table
+	// 1) from the current local tables.
+	derivable := make(map[model.TupleRef]bool, len(keys))
+	for ref, key := range keys {
+		if s.IsLeaf(ref.Rel, key) {
+			derivable[ref] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range derivs {
+			all := true
+			for _, rk := range derivs[i].sources {
+				if !derivable[rk.Ref] {
+					all = false
+					break
+				}
+			}
+			if !all {
+				continue
+			}
+			for _, rk := range derivs[i].targets {
+				if !derivable[rk.Ref] {
+					derivable[rk.Ref] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Remove underivable tuples.
+	for ref, key := range keys {
+		if derivable[ref] {
+			continue
+		}
+		t, ok := s.DB.Table(ref.Rel)
+		if !ok {
+			continue
+		}
+		removed, err := t.Delete(key)
+		if err != nil {
+			return err
+		}
+		if removed {
+			report.TuplesDeleted++
+		}
+	}
+	// Remove derivations that lost a source (materialized provenance
+	// only; virtual rows track their source relation automatically).
+	for i := range derivs {
+		invalid := false
+		for _, rk := range derivs[i].sources {
+			if !derivable[rk.Ref] {
+				invalid = true
+				break
+			}
+		}
+		if !invalid {
+			continue
+		}
+		pr := s.Prov[derivs[i].mapping]
+		if pr.Virtual {
+			report.DerivationsDeleted++
+			continue
+		}
+		removed, err := s.DB.MustTable(pr.TableName).Delete(derivs[i].row)
+		if err != nil {
+			return err
+		}
+		if removed {
+			report.DerivationsDeleted++
+		}
+	}
+	return nil
+}

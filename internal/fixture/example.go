@@ -1,0 +1,138 @@
+// Package fixture builds the paper's running example (Example 2.1 /
+// Figure 1): three data-sharing participants with relations A (animals),
+// C (common names), N (names), and O (organisms), inter-related by
+// mappings m1–m5. Tests, examples, and the CLI demo all share this
+// setting.
+package fixture
+
+import (
+	"fmt"
+
+	"repro/internal/exchange"
+	"repro/internal/model"
+)
+
+// Example 2.1 mapping names.
+const (
+	M1 = "m1" // C(i,n)       :- A(i,s,_), N(i,n,false)
+	M2 = "m2" // N(i,n,true)  :- A(i,n,_)
+	M3 = "m3" // N(i,n,false) :- C(i,n)        (creates a provenance cycle with m1)
+	M4 = "m4" // O(n,h,true)  :- A(i,n,h)
+	M5 = "m5" // O(n,h,true)  :- A(i,_,h), C(i,n)
+)
+
+// Options selects fixture variants.
+type Options struct {
+	// IncludeM3 adds mapping m3, which makes the provenance graph
+	// cyclic at both schema and instance level (C and N derive each
+	// other). ProQL unfolding targets acyclic settings, so most tests
+	// leave it out; the cyclic-evaluation tests turn it on.
+	IncludeM3 bool
+	// Exchange options.
+	Exchange exchange.Options
+}
+
+// Schema builds the Example 2.1 schema with the paper's keys: A keyed
+// by id, C by (id, name), N by (id, name, isCanonical) — so the true
+// and false name entries of Figure 1 are distinct tuple nodes — and O
+// by (name, height).
+func Schema(opts Options) (*model.Schema, error) {
+	s := model.NewSchema()
+	rels := []*model.Relation{
+		model.MustRelation("A", []model.Column{
+			{Name: "id", Type: model.TypeInt},
+			{Name: "sciName", Type: model.TypeString},
+			{Name: "length", Type: model.TypeInt},
+		}, "id"),
+		model.MustRelation("C", []model.Column{
+			{Name: "id", Type: model.TypeInt},
+			{Name: "name", Type: model.TypeString},
+		}, "id", "name"),
+		model.MustRelation("N", []model.Column{
+			{Name: "id", Type: model.TypeInt},
+			{Name: "name", Type: model.TypeString},
+			{Name: "isCanonical", Type: model.TypeBool},
+		}, "id", "name", "isCanonical"),
+		model.MustRelation("O", []model.Column{
+			{Name: "name", Type: model.TypeString},
+			{Name: "height", Type: model.TypeInt},
+			{Name: "isAnimal", Type: model.TypeBool},
+		}, "name", "height"),
+	}
+	for _, r := range rels {
+		if err := s.AddRelation(r); err != nil {
+			return nil, err
+		}
+	}
+	v, c := model.V, model.C
+	mappings := []*model.Mapping{
+		model.NewMapping(M1,
+			model.NewAtom("C", v("i"), v("n")),
+			model.NewAtom("A", v("i"), v("s"), v("_")),
+			model.NewAtom("N", v("i"), v("n"), c(false))),
+		model.NewMapping(M2,
+			model.NewAtom("N", v("i"), v("n"), c(true)),
+			model.NewAtom("A", v("i"), v("n"), v("_"))),
+		model.NewMapping(M4,
+			model.NewAtom("O", v("n"), v("h"), c(true)),
+			model.NewAtom("A", v("i"), v("n"), v("h"))),
+		model.NewMapping(M5,
+			model.NewAtom("O", v("n"), v("h"), c(true)),
+			model.NewAtom("A", v("i"), v("_"), v("h")),
+			model.NewAtom("C", v("i"), v("n"))),
+	}
+	if opts.IncludeM3 {
+		mappings = append(mappings, model.NewMapping(M3,
+			model.NewAtom("N", v("i"), v("n"), c(false)),
+			model.NewAtom("C", v("i"), v("n"))))
+	}
+	for _, m := range mappings {
+		if err := s.AddMapping(m); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// System builds the example system, loads the Figure 1 base data, and
+// runs update exchange:
+//
+//	A_l: (1, sn1, 7), (2, sn2, 5)
+//	N_l: (1, cn1, false)
+//	C_l: (2, cn2)
+func System(opts Options) (*exchange.System, error) {
+	schema, err := Schema(opts)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := exchange.NewSystem(schema, opts.Exchange)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.InsertLocal("A",
+		model.Tuple{int64(1), "sn1", int64(7)},
+		model.Tuple{int64(2), "sn2", int64(5)},
+	); err != nil {
+		return nil, err
+	}
+	if err := sys.InsertLocal("N", model.Tuple{int64(1), "cn1", false}); err != nil {
+		return nil, err
+	}
+	if err := sys.InsertLocal("C", model.Tuple{int64(2), "cn2"}); err != nil {
+		return nil, err
+	}
+	if err := sys.Run(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// MustSystem is System for tests and examples that cannot proceed on
+// failure.
+func MustSystem(opts Options) *exchange.System {
+	sys, err := System(opts)
+	if err != nil {
+		panic(fmt.Sprintf("fixture: %v", err))
+	}
+	return sys
+}

@@ -1,0 +1,177 @@
+// Package model defines the shared data vocabulary for the provenance
+// system: datums (scalar values), tuples, relation schemas, keys, and
+// schema mappings. Every other package — the relational store, the
+// Datalog engine, update exchange, the provenance graph, and ProQL —
+// speaks in these types.
+package model
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Datum is a scalar database value. The supported dynamic types are
+// int64, float64, string, and bool. nil represents SQL NULL (used only
+// in ASR padding rows produced by outer joins).
+type Datum any
+
+// DatumType identifies the dynamic type of a Datum.
+type DatumType int
+
+// Datum types. TypeNull is the type of a nil Datum.
+const (
+	TypeNull DatumType = iota
+	TypeInt
+	TypeFloat
+	TypeString
+	TypeBool
+)
+
+func (t DatumType) String() string {
+	switch t {
+	case TypeNull:
+		return "null"
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypeString:
+		return "string"
+	case TypeBool:
+		return "bool"
+	}
+	return fmt.Sprintf("DatumType(%d)", int(t))
+}
+
+// TypeOf reports the dynamic type of d. It panics on unsupported types,
+// which indicates a programming error rather than bad data.
+func TypeOf(d Datum) DatumType {
+	switch d.(type) {
+	case nil:
+		return TypeNull
+	case int64:
+		return TypeInt
+	case float64:
+		return TypeFloat
+	case string:
+		return TypeString
+	case bool:
+		return TypeBool
+	}
+	panic(fmt.Sprintf("model: unsupported datum type %T", d))
+}
+
+// Equal reports whether two datums are equal. Datums of different
+// dynamic types are never equal (no numeric coercion); NULL equals NULL
+// for the purposes of key encoding and map lookups.
+func Equal(a, b Datum) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	ta, tb := TypeOf(a), TypeOf(b)
+	if ta != tb {
+		return false
+	}
+	return a == b
+}
+
+// Compare orders two datums. NULL sorts before everything; across types
+// the order is null < int < float < string < bool, which gives a total
+// order for index structures without implicit coercion.
+func Compare(a, b Datum) int {
+	ta, tb := TypeOf(a), TypeOf(b)
+	if ta != tb {
+		return int(ta) - int(tb)
+	}
+	switch ta {
+	case TypeNull:
+		return 0
+	case TypeInt:
+		x, y := a.(int64), b.(int64)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case TypeFloat:
+		x, y := a.(float64), b.(float64)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case TypeString:
+		return strings.Compare(a.(string), b.(string))
+	case TypeBool:
+		x, y := a.(bool), b.(bool)
+		switch {
+		case x == y:
+			return 0
+		case !x:
+			return -1
+		}
+		return 1
+	}
+	panic("model: unreachable")
+}
+
+// EncodeDatum appends a canonical, injective string encoding of d to sb.
+// The encoding is used for hash-index keys and tuple identities; it
+// tags each value with its type so int64(1) and "1" never collide.
+func EncodeDatum(sb *strings.Builder, d Datum) {
+	switch v := d.(type) {
+	case nil:
+		sb.WriteByte('n')
+	case int64:
+		sb.WriteByte('i')
+		sb.WriteString(strconv.FormatInt(v, 10))
+	case float64:
+		sb.WriteByte('f')
+		sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	case string:
+		sb.WriteByte('s')
+		sb.WriteString(strconv.Itoa(len(v)))
+		sb.WriteByte(':')
+		sb.WriteString(v)
+	case bool:
+		if v {
+			sb.WriteByte('T')
+		} else {
+			sb.WriteByte('F')
+		}
+	default:
+		panic(fmt.Sprintf("model: unsupported datum type %T", d))
+	}
+	sb.WriteByte('|')
+}
+
+// EncodeDatums returns the canonical encoding of a datum sequence.
+func EncodeDatums(ds []Datum) string {
+	var sb strings.Builder
+	for _, d := range ds {
+		EncodeDatum(&sb, d)
+	}
+	return sb.String()
+}
+
+// FormatDatum renders d for human consumption (query output, DOT labels).
+func FormatDatum(d Datum) string {
+	switch v := d.(type) {
+	case nil:
+		return "NULL"
+	case int64:
+		return strconv.FormatInt(v, 10)
+	case float64:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	case string:
+		return v
+	case bool:
+		return strconv.FormatBool(v)
+	}
+	return fmt.Sprintf("%v", d)
+}

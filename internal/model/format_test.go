@@ -1,0 +1,130 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatDatum(t *testing.T) {
+	cases := []struct {
+		d    Datum
+		want string
+	}{
+		{nil, "NULL"},
+		{int64(-7), "-7"},
+		{2.5, "2.5"},
+		{"abc", "abc"},
+		{true, "true"},
+		{false, "false"},
+	}
+	for _, c := range cases {
+		if got := FormatDatum(c.d); got != c.want {
+			t.Errorf("FormatDatum(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestDatumTypeString(t *testing.T) {
+	for typ, want := range map[DatumType]string{
+		TypeNull:   "null",
+		TypeInt:    "int",
+		TypeFloat:  "float",
+		TypeString: "string",
+		TypeBool:   "bool",
+	} {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(typ), got, want)
+		}
+	}
+	if got := DatumType(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown type renders %q", got)
+	}
+}
+
+func TestTupleFormatAndClone(t *testing.T) {
+	tp := Tuple{int64(1), "x", nil}
+	if got := tp.Format(); got != "(1, x, NULL)" {
+		t.Errorf("Format = %q", got)
+	}
+	cl := tp.Clone()
+	cl[0] = int64(9)
+	if tp[0] != int64(1) {
+		t.Error("Clone should not alias")
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	r := MustRelation("N", []Column{
+		{Name: "id", Type: TypeInt},
+		{Name: "name", Type: TypeString},
+		{Name: "c", Type: TypeBool},
+	}, "id", "name")
+	s := r.String()
+	if s != "N(id*, name*, c)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestMappingString(t *testing.T) {
+	m := NewMapping("m5",
+		NewAtom("O", V("n"), V("h"), C(true)),
+		NewAtom("A", V("i"), V("_"), V("h")),
+		NewAtom("C", V("i"), V("n")),
+	)
+	s := m.String()
+	for _, part := range []string{"m5 :", "O(n, h, true)", ":-", "A(i, _, h)", "C(i, n)"} {
+		if !strings.Contains(s, part) {
+			t.Errorf("Mapping.String() = %q missing %q", s, part)
+		}
+	}
+}
+
+func TestTermEqual(t *testing.T) {
+	cases := []struct {
+		a, b Term
+		want bool
+	}{
+		{V("x"), V("x"), true},
+		{V("x"), V("y"), false},
+		{C(int64(1)), C(int64(1)), true},
+		{C(int64(1)), C(int64(2)), false},
+		{V("x"), C(int64(1)), false},
+		{C("1"), C(int64(1)), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("%v.Equal(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSortedVars(t *testing.T) {
+	atoms := []Atom{
+		NewAtom("R", V("z"), V("a")),
+		NewAtom("S", V("a"), C(int64(1)), V("m")),
+	}
+	got := SortedVars(atoms)
+	if len(got) != 3 || got[0] != "a" || got[1] != "m" || got[2] != "z" {
+		t.Errorf("SortedVars = %v", got)
+	}
+}
+
+func TestTupleRefString(t *testing.T) {
+	ref := RefFromKey("R", []Datum{int64(1), "x"})
+	s := ref.String()
+	if !strings.HasPrefix(s, "R[") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestCompareSameTypeEdges(t *testing.T) {
+	if Compare(nil, nil) != 0 {
+		t.Error("NULL vs NULL should compare 0")
+	}
+	if Compare(true, true) != 0 || Compare(false, true) >= 0 || Compare(true, false) <= 0 {
+		t.Error("bool ordering wrong")
+	}
+	if Compare(1.5, 1.5) != 0 {
+		t.Error("float equality wrong")
+	}
+}

@@ -1,0 +1,282 @@
+package model
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeOf(t *testing.T) {
+	cases := []struct {
+		d    Datum
+		want DatumType
+	}{
+		{nil, TypeNull},
+		{int64(3), TypeInt},
+		{3.5, TypeFloat},
+		{"x", TypeString},
+		{true, TypeBool},
+	}
+	for _, c := range cases {
+		if got := TypeOf(c.d); got != c.want {
+			t.Errorf("TypeOf(%v) = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
+
+func TestTypeOfPanicsOnUnsupported(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unsupported type")
+		}
+	}()
+	TypeOf(int32(1))
+}
+
+func TestEqualNoCoercion(t *testing.T) {
+	if Equal(int64(1), 1.0) {
+		t.Error("int64(1) should not equal float64(1)")
+	}
+	if Equal(int64(1), "1") {
+		t.Error("int64(1) should not equal \"1\"")
+	}
+	if !Equal(nil, nil) {
+		t.Error("NULL should equal NULL for key purposes")
+	}
+	if Equal(nil, int64(0)) {
+		t.Error("NULL should not equal 0")
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	vals := []Datum{nil, int64(-5), int64(0), int64(7), 1.5, 2.25, "a", "b", false, true}
+	for i, a := range vals {
+		for j, b := range vals {
+			got := Compare(a, b)
+			switch {
+			case i == j && got != 0:
+				t.Errorf("Compare(%v,%v) = %d, want 0", a, b, got)
+			case i < j && got >= 0:
+				t.Errorf("Compare(%v,%v) = %d, want <0", a, b, got)
+			case i > j && got <= 0:
+				t.Errorf("Compare(%v,%v) = %d, want >0", a, b, got)
+			}
+		}
+	}
+}
+
+func TestEncodeDatumInjective(t *testing.T) {
+	vals := []Datum{nil, int64(1), 1.0, "1", "i1", true, false, "", "s0:", int64(10), "10"}
+	seen := make(map[string]Datum)
+	for _, v := range vals {
+		var sb strings.Builder
+		EncodeDatum(&sb, v)
+		enc := sb.String()
+		if prev, dup := seen[enc]; dup {
+			t.Errorf("encoding collision: %v and %v both encode to %q", prev, v, enc)
+		}
+		seen[enc] = v
+	}
+}
+
+func TestEncodeDatumsInjectiveOnBoundaries(t *testing.T) {
+	// ["ab","c"] must differ from ["a","bc"] and ["abc"].
+	a := EncodeDatums([]Datum{"ab", "c"})
+	b := EncodeDatums([]Datum{"a", "bc"})
+	c := EncodeDatums([]Datum{"abc"})
+	if a == b || a == c || b == c {
+		t.Errorf("boundary collision: %q %q %q", a, b, c)
+	}
+}
+
+func TestEncodeStringInjectiveQuick(t *testing.T) {
+	f := func(x, y string) bool {
+		if x == y {
+			return true
+		}
+		return EncodeDatums([]Datum{x}) != EncodeDatums([]Datum{y})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewRelationValidation(t *testing.T) {
+	cols := []Column{{"id", TypeInt}, {"name", TypeString}}
+	if _, err := NewRelation("", cols, "id"); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := NewRelation("R", nil, "id"); err == nil {
+		t.Error("no columns should fail")
+	}
+	if _, err := NewRelation("R", cols); err == nil {
+		t.Error("no key should fail")
+	}
+	if _, err := NewRelation("R", cols, "missing"); err == nil {
+		t.Error("unknown key column should fail")
+	}
+	if _, err := NewRelation("R", []Column{{"id", TypeInt}, {"id", TypeInt}}, "id"); err == nil {
+		t.Error("duplicate column should fail")
+	}
+	r, err := NewRelation("R", cols, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Arity() != 2 || r.ColumnIndex("name") != 1 || r.ColumnIndex("zzz") != -1 {
+		t.Errorf("relation accessors wrong: %+v", r)
+	}
+}
+
+func TestKeyOfAndRefs(t *testing.T) {
+	r := MustRelation("N", []Column{{"id", TypeInt}, {"name", TypeString}, {"c", TypeBool}}, "id", "name")
+	row := Tuple{int64(1), "cn1", false}
+	key := r.KeyOf(row)
+	if len(key) != 2 || key[0] != int64(1) || key[1] != "cn1" {
+		t.Fatalf("KeyOf = %v", key)
+	}
+	ref := NewTupleRef(r, row)
+	ref2 := RefFromKey("N", []Datum{int64(1), "cn1"})
+	if ref != ref2 {
+		t.Errorf("refs differ: %v vs %v", ref, ref2)
+	}
+	ref3 := NewTupleRef(r, Tuple{int64(1), "cn2", false})
+	if ref == ref3 {
+		t.Error("distinct keys must give distinct refs")
+	}
+}
+
+func TestLocalRelation(t *testing.T) {
+	r := MustRelation("A", []Column{{"id", TypeInt}, {"s", TypeString}}, "id")
+	l := r.LocalRelation()
+	if l.Name != "A_l" || !l.IsLocal || l.Arity() != 2 {
+		t.Errorf("local relation wrong: %+v", l)
+	}
+}
+
+// exampleSchema builds the running example of the paper (Example 2.1):
+// A(id, sn, len), C(id, name), N(id, name, canon), O(name, h, isAnimal).
+func exampleSchema(t *testing.T) *Schema {
+	t.Helper()
+	s := NewSchema()
+	rels := []*Relation{
+		MustRelation("A", []Column{{"id", TypeInt}, {"sn", TypeString}, {"len", TypeInt}}, "id"),
+		MustRelation("C", []Column{{"id", TypeInt}, {"name", TypeString}}, "id", "name"),
+		MustRelation("N", []Column{{"id", TypeInt}, {"name", TypeString}, {"canon", TypeBool}}, "id", "name"),
+		MustRelation("O", []Column{{"name", TypeString}, {"h", TypeInt}, {"isAnimal", TypeBool}}, "name"),
+	}
+	for _, r := range rels {
+		if err := s.AddRelation(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestSchemaMappings(t *testing.T) {
+	s := exampleSchema(t)
+	// m5 : O(n, h, true) :- A(i, _, h), C(i, n)
+	m5 := NewMapping("m5",
+		NewAtom("O", V("n"), V("h"), C(true)),
+		NewAtom("A", V("i"), V("_"), V("h")),
+		NewAtom("C", V("i"), V("n")),
+	)
+	if err := s.AddMapping(m5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddMapping(m5); err == nil {
+		t.Error("duplicate mapping should fail")
+	}
+	into := s.MappingsInto("O")
+	if len(into) != 1 || into[0].Name != "m5" {
+		t.Errorf("MappingsInto(O) = %v", into)
+	}
+	from := s.MappingsFrom("A")
+	if len(from) != 1 {
+		t.Errorf("MappingsFrom(A) = %v", from)
+	}
+	if len(s.MappingsFrom("O")) != 0 {
+		t.Error("no mapping uses O in body")
+	}
+}
+
+func TestMappingValidate(t *testing.T) {
+	s := exampleSchema(t)
+	bad := []*Mapping{
+		NewMapping("x1", NewAtom("Z", V("i")), NewAtom("A", V("i"), V("s"), V("l"))),                       // unknown head rel
+		NewMapping("x2", NewAtom("C", V("i"), V("n")), NewAtom("A", V("i"), V("s"))),                       // wrong arity
+		NewMapping("x3", NewAtom("C", V("i"), V("n")), NewAtom("A", V("i"), V("s"), V("l"))),               // n unbound
+		NewMapping("x4", NewAtom("C", V("i"), V("_")), NewAtom("A", V("i"), V("s"), V("l"))),               // wildcard head
+		NewMapping("x5", NewAtom("A_l", V("i"), V("s"), V("l")), NewAtom("A", V("i"), V("s"), V("l"))),     // local head
+		{Name: "x6", Head: []Atom{NewAtom("C", V("i"), V("n"))}},                                           // empty body
+		{Name: "", Head: []Atom{NewAtom("C", V("i"), V("n"))}, Body: []Atom{NewAtom("C", V("i"), V("n"))}}, // no name
+	}
+	for _, m := range bad {
+		if err := m.Validate(s); err == nil {
+			t.Errorf("mapping %s should fail validation", m.Name)
+		}
+	}
+	good := NewMapping("m2", NewAtom("N", V("i"), V("n"), C(true)), NewAtom("A", V("i"), V("n"), V("_")))
+	if err := good.Validate(s); err != nil {
+		t.Errorf("m2 should validate: %v", err)
+	}
+}
+
+func TestProvenanceAttrs(t *testing.T) {
+	s := exampleSchema(t)
+	// m5 : O(n, h, true) :- A(i, _, h), C(i, n); keys: A.id=i, C.(id,name)=(i,n), O.name=n
+	m5 := NewMapping("m5",
+		NewAtom("O", V("n"), V("h"), C(true)),
+		NewAtom("A", V("i"), V("_"), V("h")),
+		NewAtom("C", V("i"), V("n")),
+	)
+	cols, vars, err := m5.ProvenanceAttrs(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect deduplicated: i (from A), n (from C); O's key n already seen.
+	if len(vars) != 2 || vars[0] != "i" || vars[1] != "n" {
+		t.Fatalf("vars = %v, want [i n]", vars)
+	}
+	if cols[0].Type != TypeInt || cols[1].Type != TypeString {
+		t.Errorf("cols = %v", cols)
+	}
+}
+
+func TestMappingIsProjection(t *testing.T) {
+	p := NewMapping("m2", NewAtom("N", V("i"), V("n"), C(true)), NewAtom("A", V("i"), V("n"), V("_")))
+	if !p.IsProjection() {
+		t.Error("single-body mapping should be a projection")
+	}
+	j := NewMapping("m5", NewAtom("O", V("n"), V("h"), C(true)),
+		NewAtom("A", V("i"), V("_"), V("h")), NewAtom("C", V("i"), V("n")))
+	if j.IsProjection() {
+		t.Error("join mapping is not a projection")
+	}
+}
+
+func TestAtomRenameAndVars(t *testing.T) {
+	a := NewAtom("R", V("x"), C(int64(1)), V("y"), V("x"), V("_"))
+	vars := a.Vars()
+	if len(vars) != 2 || vars[0] != "x" || vars[1] != "y" {
+		t.Fatalf("Vars = %v", vars)
+	}
+	r := a.Rename(func(v string) string { return v + "_0" })
+	if r.Args[0].Var != "x_0" || !r.Args[1].IsConst || r.Args[4].Var != "__0" {
+		t.Errorf("Rename = %v", r)
+	}
+}
+
+func TestSchemaRelationLists(t *testing.T) {
+	s := exampleSchema(t)
+	pub := s.PublicRelations()
+	if len(pub) != 4 {
+		t.Fatalf("expected 4 public relations, got %d", len(pub))
+	}
+	all := s.Relations()
+	if len(all) != 8 {
+		t.Fatalf("expected 8 total relations (public + local), got %d", len(all))
+	}
+	if _, ok := s.Relation("A_l"); !ok {
+		t.Error("local contribution relation A_l should be auto-registered")
+	}
+}

@@ -1,0 +1,46 @@
+package model
+
+import (
+	"strings"
+)
+
+// Tuple is a row of datums in some relation.
+type Tuple []Datum
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Format renders the tuple as R-style "(v1, v2, ...)".
+func (t Tuple) Format() string {
+	parts := make([]string, len(t))
+	for i, d := range t {
+		parts[i] = FormatDatum(d)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// TupleRef identifies a tuple node in the provenance graph: the relation
+// it belongs to plus the encoded key datums. TupleRefs are comparable
+// and usable as map keys.
+type TupleRef struct {
+	Rel string
+	Key string // EncodeDatums of the key attributes
+}
+
+// NewTupleRef builds a TupleRef from a relation schema and a full row.
+func NewTupleRef(r *Relation, row Tuple) TupleRef {
+	return TupleRef{Rel: r.Name, Key: EncodeDatums(r.KeyOf(row))}
+}
+
+// RefFromKey builds a TupleRef directly from key datums.
+func RefFromKey(rel string, key []Datum) TupleRef {
+	return TupleRef{Rel: rel, Key: EncodeDatums(key)}
+}
+
+func (r TupleRef) String() string {
+	return r.Rel + "[" + r.Key + "]"
+}

@@ -1,0 +1,163 @@
+package proql
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"repro/internal/exchange"
+	"repro/internal/model"
+	"repro/internal/provgraph"
+	"repro/internal/relstore"
+	"repro/internal/semiring"
+)
+
+// Engine executes ProQL queries over an exchanged system. It prefers
+// the relational backend (Section 4) and falls back to the graph
+// backend for query shapes the relational translation does not cover.
+type Engine struct {
+	Sys *exchange.System
+
+	// RewriteRules, when set, rewrites the unfolded conjunctive rules
+	// before planning — the hook the ASR layer (Section 5) uses to
+	// substitute materialized path indexes.
+	RewriteRules func([]*ConjRule) []*ConjRule
+	// AtomPlanOverride, when set, supplies plans for atoms the base
+	// system does not know (ASR tables).
+	AtomPlanOverride func(atom model.Atom) (relstore.Plan, bool)
+
+	// graph caches the materialized provenance graph for the graph
+	// backend.
+	graph *provgraph.Graph
+}
+
+// NewEngine builds an engine over a system.
+func NewEngine(sys *exchange.System) *Engine {
+	return &Engine{Sys: sys}
+}
+
+// Binding is one RETURN row: distinguished variable → tuple node.
+type Binding map[string]model.TupleRef
+
+// Stats reports how a query was executed. UnfoldTime and EvalTime are
+// the two components the paper plots separately in Figures 7–8.
+type Stats struct {
+	Backend       string // "relational" or "graph"
+	UnfoldedRules int
+	UnfoldTime    time.Duration
+	EvalTime      time.Duration
+}
+
+// Result is a ProQL query result: the distinguished-variable bindings,
+// (for EVALUATE queries) the computed annotations keyed by tuple node,
+// and the projected provenance subgraph.
+//
+// Mirroring the paper's implementation — which populates relational
+// *output tables* of provenance edges, leaving graph assembly to the
+// client — the relational backend stores the projected derivations as
+// rows and only links them into a provgraph.Graph when Graph() is
+// first called. Stats therefore measure query processing exactly as
+// Section 6 does.
+type Result struct {
+	Bindings    []Binding
+	Annotations map[model.TupleRef]semiring.Value
+	Semiring    semiring.Semiring
+	Stats       Stats
+
+	graph      *provgraph.Graph
+	buildGraph func() (*provgraph.Graph, error)
+}
+
+// Graph returns the projected provenance subgraph, assembling it from
+// the collected output rows on first call.
+func (r *Result) Graph() (*provgraph.Graph, error) {
+	if r.graph != nil {
+		return r.graph, nil
+	}
+	if r.buildGraph == nil {
+		r.graph = provgraph.New()
+		return r.graph, nil
+	}
+	g, err := r.buildGraph()
+	if err != nil {
+		return nil, err
+	}
+	r.graph = g
+	return g, nil
+}
+
+// MustGraph is Graph for callers that treat assembly failure as fatal
+// (tests, examples).
+func (r *Result) MustGraph() *provgraph.Graph {
+	g, err := r.Graph()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// SortedRefs returns the distinct bound refs of a variable, sorted —
+// convenience for deterministic output.
+func (r *Result) SortedRefs(v string) []model.TupleRef {
+	seen := map[model.TupleRef]bool{}
+	var out []model.TupleRef
+	for _, b := range r.Bindings {
+		if ref, ok := b[v]; ok && !seen[ref] {
+			seen[ref] = true
+			out = append(out, ref)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rel != out[j].Rel {
+			return out[i].Rel < out[j].Rel
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Exec parses nothing: it runs an already parsed query.
+func (e *Engine) Exec(q *Query) (*Result, error) {
+	comp, err := CompileUnfold(e.Sys, q)
+	if err != nil {
+		var nr *ErrNotRelational
+		if errors.As(err, &nr) {
+			return e.execGraph(q)
+		}
+		return nil, err
+	}
+	return e.execUnfold(comp)
+}
+
+// ExecGraph forces evaluation on the graph backend, bypassing the
+// relational translation. Useful for cross-checking backends and for
+// interactive exploration over a prebuilt graph.
+func (e *Engine) ExecGraph(q *Query) (*Result, error) {
+	return e.execGraph(q)
+}
+
+// ExecString parses and runs a query.
+func (e *Engine) ExecString(query string) (*Result, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.Exec(q)
+}
+
+// Graph returns the engine's materialized provenance graph, building
+// it on first use.
+func (e *Engine) Graph() (*provgraph.Graph, error) {
+	if e.graph == nil {
+		g, err := provgraph.Build(e.Sys)
+		if err != nil {
+			return nil, err
+		}
+		e.graph = g
+	}
+	return e.graph, nil
+}
+
+// InvalidateGraph drops the cached graph (call after new exchange
+// runs).
+func (e *Engine) InvalidateGraph() { e.graph = nil }

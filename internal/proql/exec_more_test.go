@@ -1,0 +1,186 @@
+package proql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fixture"
+	"repro/internal/model"
+	"repro/internal/semiring"
+)
+
+func TestExecDirectStepQuery(t *testing.T) {
+	// One-step derivations of O tuples from A tuples: both m4 (direct)
+	// and m5 (A joins C) qualify, so all four O tuples bind.
+	e := exampleEngine(t)
+	res, err := e.ExecString(`FOR [O $x] <- [A $y] INCLUDE PATH [$x] <- [$y] RETURN $x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Backend != "relational" {
+		t.Errorf("backend = %s", res.Stats.Backend)
+	}
+	if got := len(res.SortedRefs("x")); got != 4 {
+		t.Errorf("bindings = %d, want 4", got)
+	}
+	// Each rule is a one-step join: no rule may contain two P atoms.
+	comp, err := CompileUnfold(e.Sys, MustParse(`FOR [O $x] <- [A $y] RETURN $x`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range comp.Rules {
+		provs := 0
+		for _, a := range r.Body {
+			if strings.HasPrefix(a.Rel, "P_") {
+				provs++
+			}
+		}
+		if provs != 1 {
+			t.Errorf("one-step rule has %d provenance atoms: %v", provs, r.Body)
+		}
+	}
+}
+
+func TestExecWhereInCondition(t *testing.T) {
+	e := exampleEngine(t)
+	res, err := e.ExecString(`FOR [O $x] WHERE $x IN O RETURN $x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.SortedRefs("x")); got != 4 {
+		t.Errorf("IN O should keep everything: %d", got)
+	}
+	res, err = e.ExecString(`FOR [O $x] WHERE $x IN C RETURN $x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.SortedRefs("x")); got != 0 {
+		t.Errorf("IN C over O tuples should be empty: %d", got)
+	}
+}
+
+func TestExecWhereStringEquality(t *testing.T) {
+	e := exampleEngine(t)
+	res, err := e.ExecString(`FOR [O $x] WHERE $x.name = 'cn2' INCLUDE PATH [$x] <-+ [] RETURN $x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := res.SortedRefs("x")
+	if len(refs) != 1 || refs[0] != refO("cn2", 5) {
+		t.Errorf("bindings = %v", refs)
+	}
+}
+
+func TestExecGraphBackendReturnUnboundVar(t *testing.T) {
+	e := exampleEngine(t)
+	// $z is never bound: Q4-shaped query with a bad RETURN.
+	_, err := e.ExecString(`FOR [O $x] <-+ [$y], [C $w] <-+ [$y] RETURN $z`)
+	if err == nil {
+		t.Fatal("unbound RETURN variable should error")
+	}
+}
+
+func TestExecGraphBackendReturnDerivationVar(t *testing.T) {
+	e := exampleEngine(t)
+	_, err := e.ExecString(`FOR [$x] <$p [] RETURN $p`)
+	if err == nil {
+		t.Fatal("returning a derivation variable should error")
+	}
+}
+
+func TestExecExistentialPathCondition(t *testing.T) {
+	e := exampleEngine(t)
+	// O tuples with a one-step derivation from C: only m5 outputs
+	// (cn1, cn2). The path condition forces the graph backend.
+	res, err := e.ExecString(`FOR [O $x] WHERE [$x] <- [C] RETURN $x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Backend != "graph" {
+		t.Fatalf("backend = %s", res.Stats.Backend)
+	}
+	refs := res.SortedRefs("x")
+	if len(refs) != 2 {
+		t.Fatalf("bindings = %v", refs)
+	}
+	for _, ref := range refs {
+		if ref != refO("cn1", 7) && ref != refO("cn2", 5) {
+			t.Errorf("unexpected binding %v", ref)
+		}
+	}
+}
+
+func TestExecPosBoolAndPolynomial(t *testing.T) {
+	e := exampleEngine(t)
+	res, err := e.ExecString(`EVALUATE POLYNOMIAL OF {
+		FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// O(cn1,7): m5(A(1), m1(A(1), N(1,cn1,false))) → A² · N.
+	p := res.Annotations[refO("cn1", 7)].(semiring.Poly)
+	if p.Coeff(semiring.Mono{refA(1).String(): 2, refN1cn1(): 1}) != 1 {
+		t.Errorf("polynomial = %s", p.String())
+	}
+	// Universality: evaluating the stored polynomial under the
+	// derivability assignment matches the DERIVABILITY query.
+	d, err := e.ExecString(`EVALUATE DERIVABILITY OF {
+		FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ref, pv := range res.Annotations {
+		assign := map[string]semiring.Value{}
+		for _, leafRef := range []string{refA(1).String(), refA(2).String(), refN1cn1(), refC(2, "cn2").String()} {
+			assign[leafRef] = true
+		}
+		got := semiring.EvalPoly(pv.(semiring.Poly), semiring.Derivability{}, assign)
+		if got != d.Annotations[ref] {
+			t.Errorf("polynomial evaluation for %v = %v, derivability query says %v", ref, got, d.Annotations[ref])
+		}
+	}
+}
+
+func refN1cn1() string {
+	return model.RefFromKey("N", []model.Datum{int64(1), "cn1", false}).String()
+}
+
+func TestStatsPopulated(t *testing.T) {
+	e := exampleEngine(t)
+	res, err := e.ExecString(paperQueries["Q1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.UnfoldedRules == 0 || res.Stats.EvalTime < 0 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+}
+
+func TestParallelPlanErrorPropagates(t *testing.T) {
+	// Dropping a provenance table after compilation makes one rule's
+	// plan fail at run time; the error must surface from the parallel
+	// evaluation.
+	e := exampleEngine(t)
+	e.Sys.DB.DropTable("P_m5")
+	if _, err := e.ExecString(paperQueries["Q1"]); err == nil {
+		t.Fatal("missing table should propagate an error")
+	}
+}
+
+func TestEngineInvalidateGraph(t *testing.T) {
+	sys := fixture.MustSystem(fixture.Options{})
+	e := NewEngine(sys)
+	g1, err := e.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := e.Graph()
+	if g1 != g2 {
+		t.Error("graph should be cached")
+	}
+	e.InvalidateGraph()
+	g3, _ := e.Graph()
+	if g1 == g3 {
+		t.Error("InvalidateGraph should rebuild")
+	}
+}

@@ -1,0 +1,535 @@
+package proql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/provgraph"
+	"repro/internal/semiring"
+)
+
+// execGraph evaluates a query directly over the materialized
+// provenance graph. It implements the full ProQL semantics — multiple
+// path expressions joined on shared variables, derivation variables,
+// existential path conditions — at the cost of touching the whole
+// graph, where the relational backend is goal-directed.
+func (e *Engine) execGraph(q *Query) (*Result, error) {
+	g, err := e.Graph()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	outG := provgraph.New()
+	res := &Result{
+		Stats: Stats{Backend: "graph"},
+		graph: outG,
+	}
+
+	// Match the FOR paths, threading bindings left to right.
+	bindings := []graphBinding{{}}
+	for _, path := range q.Projection.For {
+		var next []graphBinding
+		for _, b := range bindings {
+			matches, err := matchPathBinding(g, path, b)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, matches...)
+		}
+		bindings = next
+	}
+	// WHERE filtering.
+	if q.Projection.Where != nil {
+		var kept []graphBinding
+		for _, b := range bindings {
+			ok, err := e.evalGraphCond(g, q.Projection.Where, b)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, b)
+			}
+		}
+		bindings = kept
+	}
+	// Deduplicate bindings on the RETURN variables.
+	seen := map[string]bool{}
+	var rows []graphBinding
+	for _, b := range bindings {
+		sig := bindingSignature(b, q.Projection.Return)
+		if sig == "" || !seen[sig] {
+			seen[sig] = true
+			rows = append(rows, b)
+		}
+	}
+
+	// Assemble RETURN rows and the projected subgraph.
+	for _, b := range rows {
+		out := Binding{}
+		for _, v := range q.Projection.Return {
+			node, ok := b[v]
+			if !ok {
+				return nil, fmt.Errorf("proql: RETURN variable $%s is not bound by the FOR clause", v)
+			}
+			tn, ok := node.(*provgraph.TupleNode)
+			if !ok {
+				return nil, fmt.Errorf("proql: RETURN variable $%s binds derivation nodes; only tuple nodes can be returned", v)
+			}
+			out[v] = tn.Ref
+			copyTupleMeta(outG, tn)
+		}
+		res.Bindings = append(res.Bindings, out)
+		for _, inc := range q.Projection.Include {
+			if err := includePath(g, outG, inc, b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sortBindings(res.Bindings, q.Projection.Return)
+
+	if q.Evaluate != "" {
+		if err := e.annotateGraphResult(q, res, outG); err != nil {
+			return nil, err
+		}
+	}
+	res.Stats.EvalTime = time.Since(start)
+	return res, nil
+}
+
+// annotateGraphResult runs the EVALUATE clause over the projected
+// subgraph: tuple nodes with no incoming derivations in the projection
+// are its leaves (Section 3.2.2).
+func (e *Engine) annotateGraphResult(q *Query, res *Result, outG *provgraph.Graph) error {
+	s, err := semiring.Lookup(q.Evaluate)
+	if err != nil {
+		return err
+	}
+	res.Semiring = s
+	for _, tn := range outG.Tuples() {
+		if len(tn.Derivations) == 0 {
+			tn.Leaf = true
+		}
+	}
+	var names []string
+	for _, m := range e.Sys.Schema.Mappings() {
+		names = append(names, m.Name)
+	}
+	mapFuncs, err := buildMapFuncs(s, q.MapAssign, names)
+	if err != nil {
+		return err
+	}
+	var leafErr error
+	ann, err := provgraph.Eval(outG, s, provgraph.EvalOptions{
+		Leaf: func(tn *provgraph.TupleNode) semiring.Value {
+			rel, ok := e.Sys.Schema.Relation(tn.Ref.Rel)
+			if !ok {
+				leafErr = fmt.Errorf("proql: unknown relation %q", tn.Ref.Rel)
+				return s.Zero()
+			}
+			v, err := evalLeafAssign(s, q.LeafAssign, leafContextForRow(rel, tn.Row, tn.Ref))
+			if err != nil {
+				leafErr = err
+				return s.Zero()
+			}
+			return v
+		},
+		MapFunc: func(m string) semiring.MappingFunc { return mapFuncs[m] },
+	})
+	if err != nil {
+		return err
+	}
+	if leafErr != nil {
+		return leafErr
+	}
+	res.Annotations = make(map[model.TupleRef]semiring.Value)
+	for _, b := range res.Bindings {
+		for _, ref := range b {
+			if tn, ok := outG.Lookup(ref); ok {
+				if v, ok := ann.Annotation(tn); ok {
+					res.Annotations[ref] = v
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// graphBinding maps variables to graph nodes (*provgraph.TupleNode or
+// *provgraph.DerivNode).
+type graphBinding map[string]any
+
+func cloneBinding(b graphBinding) graphBinding {
+	out := make(graphBinding, len(b)+2)
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+func bindingSignature(b graphBinding, vars []string) string {
+	var sb strings.Builder
+	for _, v := range vars {
+		switch n := b[v].(type) {
+		case *provgraph.TupleNode:
+			sb.WriteString(n.Ref.String())
+		case *provgraph.DerivNode:
+			sb.WriteString(n.ID)
+		}
+		sb.WriteByte('\x00')
+	}
+	return sb.String()
+}
+
+func sortBindings(bs []Binding, vars []string) {
+	sort.Slice(bs, func(i, j int) bool {
+		for _, v := range vars {
+			a, b := bs[i][v], bs[j][v]
+			if a.Rel != b.Rel {
+				return a.Rel < b.Rel
+			}
+			if a.Key != b.Key {
+				return a.Key < b.Key
+			}
+		}
+		return false
+	})
+}
+
+// matchPathBinding enumerates all extensions of binding b that satisfy
+// one path expression at the instance level.
+func matchPathBinding(g *provgraph.Graph, path PathExpr, b graphBinding) ([]graphBinding, error) {
+	starts, err := candidateTuples(g, path.Nodes[0], b)
+	if err != nil {
+		return nil, err
+	}
+	var out []graphBinding
+	for _, st := range starts {
+		nb := cloneBinding(b)
+		if path.Nodes[0].Var != "" {
+			nb[path.Nodes[0].Var] = st
+		}
+		matchSteps(g, path, 0, st, nb, map[*provgraph.TupleNode]bool{st: true}, &out)
+	}
+	return out, nil
+}
+
+func matchSteps(g *provgraph.Graph, path PathExpr, edgeIdx int, cur *provgraph.TupleNode, b graphBinding, visited map[*provgraph.TupleNode]bool, out *[]graphBinding) {
+	if edgeIdx == len(path.Edges) {
+		*out = append(*out, cloneBinding(b))
+		return
+	}
+	edge := path.Edges[edgeIdx]
+	nextPat := path.Nodes[edgeIdx+1]
+	switch edge.Kind {
+	case EdgeDirect:
+		for _, d := range cur.Derivations {
+			if edge.Mapping != "" && d.Mapping != edge.Mapping {
+				continue
+			}
+			if edge.Var != "" {
+				if prev, bound := b[edge.Var]; bound && prev != any(d) {
+					continue
+				}
+			}
+			for _, src := range d.Sources {
+				if !tupleMatches(nextPat, src, b) || visited[src] {
+					continue
+				}
+				nb := cloneBinding(b)
+				if edge.Var != "" {
+					nb[edge.Var] = d
+				}
+				if nextPat.Var != "" {
+					nb[nextPat.Var] = src
+				}
+				visited[src] = true
+				matchSteps(g, path, edgeIdx+1, src, nb, visited, out)
+				delete(visited, src)
+			}
+		}
+	case EdgePlus:
+		// All ancestors at distance >= 1 without revisiting tuples.
+		reached := map[*provgraph.TupleNode]bool{}
+		var walk func(t *provgraph.TupleNode)
+		walk = func(t *provgraph.TupleNode) {
+			for _, d := range t.Derivations {
+				for _, src := range d.Sources {
+					if visited[src] {
+						continue
+					}
+					if !reached[src] {
+						reached[src] = true
+					}
+					visited[src] = true
+					walk(src)
+					delete(visited, src)
+				}
+			}
+		}
+		walk(cur)
+		for src := range reached {
+			if !tupleMatches(nextPat, src, b) {
+				continue
+			}
+			nb := cloneBinding(b)
+			if nextPat.Var != "" {
+				nb[nextPat.Var] = src
+			}
+			visited[src] = true
+			matchSteps(g, path, edgeIdx+1, src, nb, visited, out)
+			delete(visited, src)
+		}
+	}
+}
+
+func tupleMatches(pat NodePattern, tn *provgraph.TupleNode, b graphBinding) bool {
+	if pat.Rel != "" && tn.Ref.Rel != pat.Rel {
+		return false
+	}
+	if pat.Var != "" {
+		if prev, bound := b[pat.Var]; bound && prev != any(tn) {
+			return false
+		}
+	}
+	return true
+}
+
+func candidateTuples(g *provgraph.Graph, pat NodePattern, b graphBinding) ([]*provgraph.TupleNode, error) {
+	if pat.Var != "" {
+		if prev, bound := b[pat.Var]; bound {
+			tn, ok := prev.(*provgraph.TupleNode)
+			if !ok {
+				return nil, fmt.Errorf("proql: variable $%s is a derivation node but used as a tuple node", pat.Var)
+			}
+			if pat.Rel != "" && tn.Ref.Rel != pat.Rel {
+				return nil, nil
+			}
+			return []*provgraph.TupleNode{tn}, nil
+		}
+	}
+	if pat.Rel != "" {
+		return g.TuplesOf(pat.Rel), nil
+	}
+	return g.Tuples(), nil
+}
+
+// evalGraphCond evaluates a WHERE condition under a graph binding.
+func (e *Engine) evalGraphCond(g *provgraph.Graph, c Cond, b graphBinding) (bool, error) {
+	switch cc := c.(type) {
+	case CondCmp:
+		l, err := e.graphOperand(cc.L, b)
+		if err != nil {
+			return false, err
+		}
+		r, err := e.graphOperand(cc.R, b)
+		if err != nil {
+			return false, err
+		}
+		return compareDatums(cc.Op, l, r)
+	case CondIn:
+		node, ok := b[cc.Var]
+		if !ok {
+			return false, fmt.Errorf("proql: WHERE references unbound variable $%s", cc.Var)
+		}
+		tn, ok := node.(*provgraph.TupleNode)
+		if !ok {
+			return false, fmt.Errorf("proql: IN requires a tuple variable")
+		}
+		return tn.Ref.Rel == cc.Rel, nil
+	case CondAnd:
+		l, err := e.evalGraphCond(g, cc.L, b)
+		if err != nil || !l {
+			return false, err
+		}
+		return e.evalGraphCond(g, cc.R, b)
+	case CondOr:
+		l, err := e.evalGraphCond(g, cc.L, b)
+		if err != nil || l {
+			return l, err
+		}
+		return e.evalGraphCond(g, cc.R, b)
+	case CondNot:
+		v, err := e.evalGraphCond(g, cc.E, b)
+		return !v, err
+	case CondPath:
+		matches, err := matchPathBinding(g, cc.Path, b)
+		if err != nil {
+			return false, err
+		}
+		return len(matches) > 0, nil
+	}
+	return false, fmt.Errorf("proql: unsupported WHERE condition")
+}
+
+func (e *Engine) graphOperand(o CmpOperand, b graphBinding) (model.Datum, error) {
+	if o.Var == "" {
+		return o.Lit, nil
+	}
+	node, ok := b[o.Var]
+	if !ok {
+		return nil, fmt.Errorf("proql: WHERE references unbound variable $%s", o.Var)
+	}
+	switch n := node.(type) {
+	case *provgraph.DerivNode:
+		if o.Attr != "" {
+			return nil, fmt.Errorf("proql: derivation variable $%s has no attributes", o.Var)
+		}
+		return n.Mapping, nil
+	case *provgraph.TupleNode:
+		if o.Attr == "" {
+			return nil, fmt.Errorf("proql: bare tuple variable $%s cannot be compared; use $%s.<attr> or IN", o.Var, o.Var)
+		}
+		rel, ok := e.Sys.Schema.Relation(n.Ref.Rel)
+		if !ok {
+			return nil, fmt.Errorf("proql: unknown relation %q", n.Ref.Rel)
+		}
+		idx := rel.ColumnIndex(o.Attr)
+		if idx < 0 {
+			return nil, fmt.Errorf("proql: relation %s has no attribute %q", rel.Name, o.Attr)
+		}
+		if n.Row == nil {
+			return nil, fmt.Errorf("proql: no stored row for %v", n.Ref)
+		}
+		return n.Row[idx], nil
+	}
+	return nil, fmt.Errorf("proql: variable $%s bound to unexpected node", o.Var)
+}
+
+// includePath copies the paths matching one INCLUDE PATH expression
+// (under an existing binding) into the output graph. Every included
+// derivation node brings all of its sources and targets.
+func includePath(g *provgraph.Graph, out *provgraph.Graph, path PathExpr, b graphBinding) error {
+	starts, err := candidateTuples(g, path.Nodes[0], b)
+	if err != nil {
+		return err
+	}
+	for _, st := range starts {
+		copyTupleMeta(out, st)
+		walkInclude(g, out, path, 0, st, b, map[*provgraph.TupleNode]bool{st: true})
+	}
+	return nil
+}
+
+func walkInclude(g *provgraph.Graph, out *provgraph.Graph, path PathExpr, edgeIdx int, cur *provgraph.TupleNode, b graphBinding, visited map[*provgraph.TupleNode]bool) bool {
+	if edgeIdx == len(path.Edges) {
+		return true
+	}
+	edge := path.Edges[edgeIdx]
+	nextPat := path.Nodes[edgeIdx+1]
+	// Fast path for the ubiquitous [$x] <-+ [] suffix: every ancestor
+	// derivation is included, so a linear BFS replaces simple-path
+	// enumeration (which can be exponential, and matters on cyclic
+	// graphs).
+	if edge.Kind == EdgePlus && edgeIdx == len(path.Edges)-1 &&
+		nextPat.Rel == "" && (nextPat.Var == "" || b[nextPat.Var] == nil) {
+		return includeAllAncestors(out, cur)
+	}
+	matchedAny := false
+	switch edge.Kind {
+	case EdgeDirect:
+		for _, d := range cur.Derivations {
+			if edge.Mapping != "" && d.Mapping != edge.Mapping {
+				continue
+			}
+			if edge.Var != "" {
+				if prev, bound := b[edge.Var]; bound && prev != any(d) {
+					continue
+				}
+			}
+			for _, src := range d.Sources {
+				if visited[src] || !tupleMatches(nextPat, src, b) {
+					continue
+				}
+				visited[src] = true
+				if walkInclude(g, out, path, edgeIdx+1, src, b, visited) {
+					copyDerivation(out, d)
+					matchedAny = true
+				}
+				delete(visited, src)
+			}
+		}
+	case EdgePlus:
+		// Treat <-+ as one step followed by zero-or-more: copy a
+		// derivation iff its source either matches the next pattern
+		// (path ends here) or continues to a successful match.
+		var walk func(t *provgraph.TupleNode) bool
+		walk = func(t *provgraph.TupleNode) bool {
+			ok := false
+			for _, d := range t.Derivations {
+				for _, src := range d.Sources {
+					if visited[src] {
+						continue
+					}
+					visited[src] = true
+					endsHere := false
+					if tupleMatches(nextPat, src, b) {
+						if walkInclude(g, out, path, edgeIdx+1, src, b, visited) {
+							endsHere = true
+						}
+					}
+					continues := walk(src)
+					if endsHere || continues {
+						copyDerivation(out, d)
+						ok = true
+					}
+					delete(visited, src)
+				}
+			}
+			return ok
+		}
+		matchedAny = walk(cur)
+	}
+	return matchedAny
+}
+
+// includeAllAncestors copies every derivation backwards-reachable from
+// cur into the output graph, reporting whether any exists.
+func includeAllAncestors(out *provgraph.Graph, cur *provgraph.TupleNode) bool {
+	seen := map[*provgraph.TupleNode]bool{cur: true}
+	queue := []*provgraph.TupleNode{cur}
+	any := false
+	for len(queue) > 0 {
+		tn := queue[0]
+		queue = queue[1:]
+		for _, d := range tn.Derivations {
+			any = true
+			copyDerivation(out, d)
+			for _, src := range d.Sources {
+				if !seen[src] {
+					seen[src] = true
+					queue = append(queue, src)
+				}
+			}
+		}
+	}
+	return any
+}
+
+func copyDerivation(out *provgraph.Graph, d *provgraph.DerivNode) {
+	srcs := make([]model.TupleRef, len(d.Sources))
+	for i, s := range d.Sources {
+		srcs[i] = s.Ref
+	}
+	tgts := make([]model.TupleRef, len(d.Targets))
+	for i, t := range d.Targets {
+		tgts[i] = t.Ref
+	}
+	out.AddDerivation(d.ID, d.Mapping, srcs, tgts)
+	for _, s := range d.Sources {
+		copyTupleMeta(out, s)
+	}
+	for _, t := range d.Targets {
+		copyTupleMeta(out, t)
+	}
+}
+
+func copyTupleMeta(out *provgraph.Graph, tn *provgraph.TupleNode) {
+	n := out.Tuple(tn.Ref)
+	if n.Row == nil {
+		n.Row = tn.Row
+	}
+	n.Leaf = tn.Leaf
+}

@@ -1,0 +1,401 @@
+package proql
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/provgraph"
+	"repro/internal/relstore"
+	"repro/internal/semiring"
+)
+
+// unfoldOutput collects the relational backend's output: the
+// distinguished tuples (with key datums) and the projected derivations
+// as provenance rows per mapping — the paper's "output tables", from
+// which the linked graph is assembled lazily.
+type unfoldOutput struct {
+	eng     *Engine
+	anchors map[model.TupleRef][]model.Datum
+	prov    map[string]map[string]model.Tuple // mapping → encoded row → row
+}
+
+func newUnfoldOutput(e *Engine) *unfoldOutput {
+	return &unfoldOutput{
+		eng:     e,
+		anchors: make(map[model.TupleRef][]model.Datum),
+		prov:    make(map[string]map[string]model.Tuple),
+	}
+}
+
+func (o *unfoldOutput) addProvRow(mapping string, row model.Tuple) {
+	m, ok := o.prov[mapping]
+	if !ok {
+		m = make(map[string]model.Tuple)
+		o.prov[mapping] = m
+	}
+	enc := model.EncodeDatums(row)
+	if _, dup := m[enc]; !dup {
+		m[enc] = row
+	}
+}
+
+// build assembles the projected provenance subgraph from the collected
+// rows: one derivation node per output provenance row (with all its
+// sources and targets), plus the anchor tuples, with stored rows and
+// leaf marks attached.
+func (o *unfoldOutput) build() (*provgraph.Graph, error) {
+	g := provgraph.New()
+	sys := o.eng.Sys
+	meta := func(ref model.TupleRef, key []model.Datum) {
+		tn := g.Tuple(ref)
+		if tn.Row != nil {
+			return
+		}
+		if t, ok := sys.DB.Table(ref.Rel); ok {
+			if row, found := t.LookupKey(key); found {
+				tn.Row = row
+			}
+		}
+		tn.Leaf = sys.IsLeaf(ref.Rel, key)
+	}
+	for mapping, rows := range o.prov {
+		pr, ok := sys.Prov[mapping]
+		if !ok {
+			return nil, fmt.Errorf("proql: unknown mapping %q in output", mapping)
+		}
+		for enc, row := range rows {
+			sources, targets, err := sys.AtomRefKeys(pr, row)
+			if err != nil {
+				return nil, err
+			}
+			srcRefs := make([]model.TupleRef, len(sources))
+			for i, rk := range sources {
+				srcRefs[i] = rk.Ref
+			}
+			tgtRefs := make([]model.TupleRef, len(targets))
+			for i, rk := range targets {
+				tgtRefs[i] = rk.Ref
+			}
+			g.AddDerivation(mapping+"#"+enc, mapping, srcRefs, tgtRefs)
+			for _, rk := range sources {
+				meta(rk.Ref, rk.Key)
+			}
+			for _, rk := range targets {
+				meta(rk.Ref, rk.Key)
+			}
+		}
+	}
+	for ref, key := range o.anchors {
+		meta(ref, key)
+	}
+	return g, nil
+}
+
+// execUnfold runs a compiled query on the relational backend: one plan
+// per unfolded conjunctive rule, UNION of the results, and a semiring
+// aggregation grouped by the distinguished tuple (Section 4.2.4).
+func (e *Engine) execUnfold(comp *Compiled) (*Result, error) {
+	q := comp.Query
+	out := newUnfoldOutput(e)
+	res := &Result{
+		Stats:      Stats{Backend: "relational", UnfoldedRules: len(comp.Rules)},
+		buildGraph: out.build,
+	}
+
+	var s semiring.Semiring
+	var mapFuncs map[string]semiring.MappingFunc
+	if q.Evaluate != "" {
+		var err error
+		s, err = semiring.Lookup(q.Evaluate)
+		if err != nil {
+			return nil, err
+		}
+		res.Semiring = s
+		res.Annotations = make(map[model.TupleRef]semiring.Value)
+		var names []string
+		for _, m := range e.Sys.Schema.Mappings() {
+			names = append(names, m.Name)
+		}
+		mapFuncs, err = buildMapFuncs(s, q.MapAssign, names)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Build plans (ASR rewriting hook applies here).
+	unfoldStart := time.Now()
+	rules := comp.Rules
+	if e.RewriteRules != nil {
+		rules = e.RewriteRules(rules)
+	}
+	ctx := &planContext{sys: e.Sys, atomPlanOverride: e.AtomPlanOverride}
+	spec := pruneSpecFor(q)
+	plans := make([]*rulePlan, 0, len(rules))
+	for _, r := range rules {
+		rp, err := buildRulePlan(ctx, r, q.Projection.Where, comp.AnchorVar, spec)
+		if err != nil {
+			return nil, err
+		}
+		plans = append(plans, rp)
+	}
+	res.Stats.UnfoldTime = time.Since(unfoldStart)
+
+	evalStart := time.Now()
+	anchorRel, ok := e.Sys.Schema.Relation(comp.AnchorRel)
+	if !ok {
+		return nil, fmt.Errorf("proql: unknown anchor relation %q", comp.AnchorRel)
+	}
+	singleNode := len(q.Projection.For[0].Edges) == 0
+	includeGraph := len(q.Projection.Include) > 0
+	addBinding := func(ref model.TupleRef, key []model.Datum) {
+		if _, seen := out.anchors[ref]; !seen {
+			out.anchors[ref] = key
+			res.Bindings = append(res.Bindings, Binding{comp.AnchorVar: ref})
+		}
+	}
+
+	// Single-node FOR clauses bind every tuple of the anchor relation
+	// (subject to WHERE), independent of derivations.
+	if singleNode {
+		if err := e.scanAnchor(comp, anchorRel, func(row model.Tuple, ref model.TupleRef) error {
+			addBinding(ref, anchorRel.KeyOf(row))
+			if s != nil && !includeGraph {
+				// With no INCLUDE PATH the projected subgraph is just
+				// the node itself: it has no incoming derivations, so
+				// it is its own leaf (Section 3.2.2's leaf rule).
+				ctx := leafContextForRow(anchorRel, row, ref)
+				v, err := evalLeafAssign(s, q.LeafAssign, ctx)
+				if err != nil {
+					return err
+				}
+				accumulate(res.Annotations, s, ref, v)
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// The unfolded rules are the branches of a UNION ALL and touch the
+	// database read-only: evaluate them concurrently, then fold the
+	// results in rule order so bindings and annotations stay
+	// deterministic (semiring ⊕ is commutative, but determinism keeps
+	// output ordering and tests stable).
+	ruleRows, err := runPlansParallel(e.Sys.DB, plans)
+	if err != nil {
+		return nil, err
+	}
+	for pi, rp := range plans {
+		for _, row := range ruleRows[pi] {
+			ref, key, err := anchorRefOf(rp, anchorRel, row)
+			if err != nil {
+				return nil, err
+			}
+			addBinding(ref, key)
+			if includeGraph {
+				if err := collectRowDerivations(out, rp, row); err != nil {
+					return nil, err
+				}
+			}
+			if s != nil && (includeGraph || !singleNode) {
+				v, err := e.evalTreeRow(s, q.LeafAssign, mapFuncs, rp, rp.rule.Tree, row)
+				if err != nil {
+					return nil, err
+				}
+				accumulate(res.Annotations, s, ref, v)
+			}
+		}
+	}
+	res.Stats.EvalTime = time.Since(evalStart)
+	return res, nil
+}
+
+// runPlansParallel evaluates every rule plan concurrently (bounded by
+// GOMAXPROCS); the plans only read from the database.
+func runPlansParallel(db *relstore.Database, plans []*rulePlan) ([][]model.Tuple, error) {
+	out := make([][]model.Tuple, len(plans))
+	errs := make([]error, len(plans))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, rp := range plans {
+		wg.Add(1)
+		go func(i int, rp *rulePlan) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = rp.plan.Run(db)
+		}(i, rp)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// scanAnchor scans the anchor relation with the WHERE filter applied.
+func (e *Engine) scanAnchor(comp *Compiled, rel *model.Relation, fn func(model.Tuple, model.TupleRef) error) error {
+	t, ok := e.Sys.DB.Table(rel.Name)
+	if !ok {
+		return fmt.Errorf("proql: missing table %q", rel.Name)
+	}
+	var pred relstore.Expr = relstore.TrueExpr{}
+	if w := comp.Query.Projection.Where; w != nil {
+		varCols := map[string]int{}
+		for i, term := range comp.AnchorAtom.Args {
+			varCols[term.Var] = i
+		}
+		pseudo := &ConjRule{Anchor: comp.AnchorAtom}
+		var err error
+		pred, err = condToExpr(w, pseudo, varCols, comp.AnchorVar, e.Sys)
+		if err != nil {
+			return err
+		}
+	}
+	for _, row := range t.Rows() {
+		ok, err := evalPred(pred, row)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if err := fn(row, model.NewTupleRef(rel, row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func evalPred(pred relstore.Expr, row model.Tuple) (bool, error) {
+	v, err := pred.Eval(row)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return false, fmt.Errorf("proql: WHERE predicate produced non-boolean %T", v)
+	}
+	return b, nil
+}
+
+// anchorRefOf extracts the distinguished tuple's ref and key datums
+// from one result row.
+func anchorRefOf(rp *rulePlan, rel *model.Relation, row model.Tuple) (model.TupleRef, []model.Datum, error) {
+	key := make([]model.Datum, 0, len(rel.Key))
+	for _, k := range rel.Key {
+		v, err := termValue(rp.rule.Anchor.Args[k], rp.varCols, row)
+		if err != nil {
+			return model.TupleRef{}, nil, err
+		}
+		key = append(key, v)
+	}
+	return model.RefFromKey(rel.Name, key), key, nil
+}
+
+// collectRowDerivations records the derivation rows witnessed by one
+// result row (the INCLUDE PATH output).
+func collectRowDerivations(out *unfoldOutput, rp *rulePlan, row model.Tuple) error {
+	for _, pv := range rp.rule.Prov {
+		prow := make(model.Tuple, len(pv.Terms))
+		for i, t := range pv.Terms {
+			v, err := termValue(t, rp.varCols, row)
+			if err != nil {
+				return err
+			}
+			prow[i] = v
+		}
+		out.addProvRow(pv.Mapping, prow)
+	}
+	return nil
+}
+
+// evalTreeRow evaluates the derivation-tree semiring expression of one
+// rule for one result row.
+func (e *Engine) evalTreeRow(
+	s semiring.Semiring,
+	leafClause *AssignClause,
+	mapFuncs map[string]semiring.MappingFunc,
+	rp *rulePlan,
+	n *ExprNode,
+	row model.Tuple,
+) (semiring.Value, error) {
+	if n.IsLeaf() {
+		ctx, err := e.leafContextFor(rp, n, row)
+		if err != nil {
+			return nil, err
+		}
+		return evalLeafAssign(s, leafClause, ctx)
+	}
+	prod := s.One()
+	for _, ch := range n.Children {
+		v, err := e.evalTreeRow(s, leafClause, mapFuncs, rp, ch, row)
+		if err != nil {
+			return nil, err
+		}
+		prod = s.Times(prod, v)
+	}
+	f, ok := mapFuncs[n.Mapping]
+	if !ok {
+		f = semiring.Identity
+	}
+	return f(prod), nil
+}
+
+// leafContextFor builds the CASE-evaluation context of a leaf node for
+// one result row.
+func (e *Engine) leafContextFor(rp *rulePlan, n *ExprNode, row model.Tuple) (leafContext, error) {
+	rel, ok := e.Sys.Schema.Relation(n.LeafRel)
+	if !ok {
+		return leafContext{}, fmt.Errorf("proql: unknown leaf relation %q", n.LeafRel)
+	}
+	key := make([]model.Datum, 0, len(rel.Key))
+	for _, k := range rel.Key {
+		v, err := termValue(n.Leaf.Args[k], rp.varCols, row)
+		if err != nil {
+			return leafContext{}, err
+		}
+		key = append(key, v)
+	}
+	ref := model.RefFromKey(rel.Name, key)
+	return leafContext{
+		Rel: rel.Name,
+		Ref: ref,
+		Attr: func(name string) (model.Datum, error) {
+			idx := rel.ColumnIndex(name)
+			if idx < 0 {
+				return nil, fmt.Errorf("proql: relation %s has no attribute %q", rel.Name, name)
+			}
+			return termValue(n.Leaf.Args[idx], rp.varCols, row)
+		},
+	}, nil
+}
+
+// leafContextForRow builds a leaf context directly from a stored row
+// (used when the anchor node itself is the leaf).
+func leafContextForRow(rel *model.Relation, row model.Tuple, ref model.TupleRef) leafContext {
+	return leafContext{
+		Rel: rel.Name,
+		Ref: ref,
+		Attr: func(name string) (model.Datum, error) {
+			idx := rel.ColumnIndex(name)
+			if idx < 0 {
+				return nil, fmt.Errorf("proql: relation %s has no attribute %q", rel.Name, name)
+			}
+			return row[idx], nil
+		},
+	}
+}
+
+func accumulate(ann map[model.TupleRef]semiring.Value, s semiring.Semiring, ref model.TupleRef, v semiring.Value) {
+	if prev, ok := ann[ref]; ok {
+		ann[ref] = s.Plus(prev, v)
+	} else {
+		ann[ref] = s.Plus(s.Zero(), v)
+	}
+}

@@ -1,0 +1,70 @@
+package proql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relstore"
+)
+
+// Explain compiles a query without executing it and renders the
+// translation the paper's Section 4 pipeline produced: the matched
+// relations and mappings, every unfolded conjunctive rule (after ASR
+// rewriting, if enabled), and each rule's physical plan. Queries that
+// require the graph backend report that instead.
+func (e *Engine) Explain(q *Query) (string, error) {
+	var sb strings.Builder
+	comp, err := CompileUnfold(e.Sys, q)
+	if err != nil {
+		if nr, ok := err.(*ErrNotRelational); ok {
+			fmt.Fprintf(&sb, "backend: graph (%s)\n", nr.Reason)
+			fmt.Fprintf(&sb, "evaluated by instance-level path matching over the materialized provenance graph\n")
+			return sb.String(), nil
+		}
+		return "", err
+	}
+	fmt.Fprintf(&sb, "backend: relational\n")
+	fmt.Fprintf(&sb, "anchor: %s ($%s)\n", comp.AnchorRel, comp.AnchorVar)
+	fmt.Fprintf(&sb, "matched relations: %s\n", strings.Join(comp.Allowed.SortedRelations(), ", "))
+	fmt.Fprintf(&sb, "matched mappings: %s\n", strings.Join(comp.Allowed.SortedMappings(), ", "))
+	rules := comp.Rules
+	if e.RewriteRules != nil {
+		rules = e.RewriteRules(rules)
+		fmt.Fprintf(&sb, "ASR rewriting: enabled\n")
+	}
+	fmt.Fprintf(&sb, "unfolded rules: %d\n", len(rules))
+	ctx := &planContext{sys: e.Sys, atomPlanOverride: e.AtomPlanOverride}
+	spec := pruneSpecFor(q)
+	for i, r := range rules {
+		fmt.Fprintf(&sb, "\n-- rule %d: %s :- ", i+1, r.Anchor)
+		parts := make([]string, len(r.Body))
+		for j, a := range r.Body {
+			parts[j] = a.String()
+		}
+		sb.WriteString(strings.Join(parts, ", "))
+		sb.WriteByte('\n')
+		rp, err := buildRulePlan(ctx, r, q.Projection.Where, comp.AnchorVar, spec)
+		if err != nil {
+			return "", err
+		}
+		sb.WriteString(indent(relstore.Explain(rp.plan), "   "))
+	}
+	return sb.String(), nil
+}
+
+// ExplainString parses and explains a query.
+func (e *Engine) ExplainString(query string) (string, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return "", err
+	}
+	return e.Explain(q)
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

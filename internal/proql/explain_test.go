@@ -1,0 +1,61 @@
+package proql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainRelationalQuery(t *testing.T) {
+	e := exampleEngine(t)
+	out, err := e.ExplainString(paperQueries["Q1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"backend: relational",
+		"anchor: O ($x)",
+		"matched mappings: m1, m2, m4, m5",
+		"unfolded rules: 3",
+		"HashJoin",
+		"Scan(P_m5)",
+		"Scan(A_l)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainGraphQuery(t *testing.T) {
+	e := exampleEngine(t)
+	out, err := e.ExplainString(paperQueries["Q4"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "backend: graph") {
+		t.Errorf("explain output:\n%s", out)
+	}
+}
+
+func TestExplainParseError(t *testing.T) {
+	e := exampleEngine(t)
+	if _, err := e.ExplainString("FOR nonsense"); err == nil {
+		t.Error("bad query should error")
+	}
+}
+
+func TestExplainShowsVirtualProvenanceView(t *testing.T) {
+	// m4 is superfluous: its provenance atom must appear as a
+	// projection over A, not a table scan.
+	e := exampleEngine(t)
+	out, err := e.ExplainString(paperQueries["Q1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "P_m4") {
+		t.Fatalf("m4 rule missing:\n%s", out)
+	}
+	if strings.Contains(out, "Scan(P_m4)") {
+		t.Errorf("P_m4 is virtual and must not be a table scan:\n%s", out)
+	}
+}

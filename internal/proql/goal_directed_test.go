@@ -1,0 +1,44 @@
+package proql_test
+
+import (
+	"testing"
+
+	"repro/internal/proql"
+	"repro/internal/workload"
+)
+
+func TestUnfoldBackendPrunesUnderWhere(t *testing.T) {
+	// Goal-directed evaluation (Section 4.2): restricting the anchor
+	// must shrink the output provenance rows, not just the bindings.
+	set, err := workload.Build(workload.Config{
+		Topology:  workload.Chain,
+		Profile:   workload.ProfileLinear,
+		NumPeers:  5,
+		DataPeers: workload.UpstreamDataPeers(5, 1),
+		BaseSize:  50,
+		Seed:      13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := proql.NewEngine(set.Sys)
+	all, err := e.ExecString(set.TargetQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := e.ExecString(`FOR [A0 $x] WHERE $x.k = 40000000 INCLUDE PATH [$x] <-+ [] RETURN $x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(one.SortedRefs("x")); got != 1 {
+		t.Fatalf("restricted bindings = %d, want 1", got)
+	}
+	if one.MustGraph().NumDerivations() >= all.MustGraph().NumDerivations() {
+		t.Errorf("restricted projection should be smaller: %d vs %d",
+			one.MustGraph().NumDerivations(), all.MustGraph().NumDerivations())
+	}
+	// The single tuple's chain spans 4 hops: exactly 4 derivations.
+	if got := one.MustGraph().NumDerivations(); got != 4 {
+		t.Errorf("derivations = %d, want 4", got)
+	}
+}

@@ -1,0 +1,232 @@
+package proql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokVar    // $name
+	tokNumber // integer or float literal
+	tokString // 'quoted' or "quoted"
+	tokLBracket
+	tokRBracket
+	tokLBrace
+	tokRBrace
+	tokLParen
+	tokRParen
+	tokComma
+	tokColon
+	tokDot
+	tokArrowPlus // <-+
+	tokArrow     // <-
+	tokLess      // <
+	tokLessEq    // <=
+	tokGreater   // >
+	tokGreaterEq // >=
+	tokEq        // =
+	tokNotEq     // != or <>
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokVar:
+		return "variable"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokColon:
+		return "':'"
+	case tokDot:
+		return "'.'"
+	case tokArrowPlus:
+		return "'<-+'"
+	case tokArrow:
+		return "'<-'"
+	case tokLess:
+		return "'<'"
+	case tokLessEq:
+		return "'<='"
+	case tokGreater:
+		return "'>'"
+	case tokGreaterEq:
+		return "'>='"
+	case tokEq:
+		return "'='"
+	case tokNotEq:
+		return "'!='"
+	}
+	return "?"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset, for error messages
+}
+
+// lex tokenizes a ProQL query. Keywords are returned as tokIdent; the
+// parser matches them case-insensitively.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '[':
+			toks = append(toks, token{tokLBracket, "[", i})
+			i++
+		case c == ']':
+			toks = append(toks, token{tokRBracket, "]", i})
+			i++
+		case c == '{':
+			toks = append(toks, token{tokLBrace, "{", i})
+			i++
+		case c == '}':
+			toks = append(toks, token{tokRBrace, "}", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == ':':
+			toks = append(toks, token{tokColon, ":", i})
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", i})
+			i++
+		case c == '<':
+			switch {
+			case strings.HasPrefix(input[i:], "<-+"):
+				toks = append(toks, token{tokArrowPlus, "<-+", i})
+				i += 3
+			case strings.HasPrefix(input[i:], "<-"):
+				toks = append(toks, token{tokArrow, "<-", i})
+				i += 2
+			case strings.HasPrefix(input[i:], "<="):
+				toks = append(toks, token{tokLessEq, "<=", i})
+				i += 2
+			case strings.HasPrefix(input[i:], "<>"):
+				toks = append(toks, token{tokNotEq, "<>", i})
+				i += 2
+			default:
+				toks = append(toks, token{tokLess, "<", i})
+				i++
+			}
+		case c == '>':
+			if strings.HasPrefix(input[i:], ">=") {
+				toks = append(toks, token{tokGreaterEq, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokGreater, ">", i})
+				i++
+			}
+		case c == '=':
+			toks = append(toks, token{tokEq, "=", i})
+			i++
+		case c == '!':
+			if !strings.HasPrefix(input[i:], "!=") {
+				return nil, fmt.Errorf("proql: lex error at %d: expected '!='", i)
+			}
+			toks = append(toks, token{tokNotEq, "!=", i})
+			i += 2
+		case c == '$':
+			j := i + 1
+			for j < n && isIdentChar(input[j]) {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("proql: lex error at %d: '$' must be followed by a name", i)
+			}
+			toks = append(toks, token{tokVar, input[i+1 : j], i})
+			i = j
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			for j < n && input[j] != quote {
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("proql: lex error at %d: unterminated string", i)
+			}
+			toks = append(toks, token{tokString, input[i+1 : j], i})
+			i = j + 1
+		case c >= '0' && c <= '9' || c == '-' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9':
+			j := i + 1
+			for j < n && (input[j] >= '0' && input[j] <= '9' || input[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case isIdentStart(c):
+			j := i + 1
+			for j < n && isIdentChar(input[j]) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, input[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("proql: lex error at %d: unexpected character %q", i, rune(c))
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// parseNumber converts a number token to an int64 or float64 datum.
+func parseNumber(text string) (any, error) {
+	if strings.Contains(text, ".") {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	v, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}

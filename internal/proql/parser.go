@@ -1,0 +1,470 @@
+package proql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses a ProQL query (Section 3.2 syntax).
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, input: input}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF) {
+		return nil, p.errorf("unexpected %s after end of query", p.cur().kind)
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error, for tests and examples with
+// statically known queries.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	toks  []token
+	pos   int
+	input string
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(k tokenKind) bool { return p.cur().kind == k }
+
+// atKeyword reports whether the current token is the given keyword
+// (case-insensitive identifier).
+func (p *parser) atKeyword(kw string) bool {
+	return p.cur().kind == tokIdent && strings.EqualFold(p.cur().text, kw)
+}
+
+func (p *parser) eatKeyword(kw string) bool {
+	if p.atKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.eatKeyword(kw) {
+		return p.errorf("expected %s, found %q", strings.ToUpper(kw), p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	if !p.at(k) {
+		return token{}, p.errorf("expected %s, found %q", k, p.cur().text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("proql: parse error at offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	if p.eatKeyword("evaluate") {
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		q.Evaluate = strings.ToUpper(name.text)
+		if err := p.expectKeyword("of"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLBrace); err != nil {
+			return nil, err
+		}
+		proj, err := p.parseProjection()
+		if err != nil {
+			return nil, err
+		}
+		q.Projection = *proj
+		if _, err := p.expect(tokRBrace); err != nil {
+			return nil, err
+		}
+		for p.atKeyword("assigning") {
+			clause, err := p.parseAssignClause()
+			if err != nil {
+				return nil, err
+			}
+			switch clause.Kind {
+			case "leaf_node":
+				if q.LeafAssign != nil {
+					return nil, p.errorf("duplicate ASSIGNING EACH leaf_node clause")
+				}
+				q.LeafAssign = clause
+			case "mapping":
+				if q.MapAssign != nil {
+					return nil, p.errorf("duplicate ASSIGNING EACH mapping clause")
+				}
+				q.MapAssign = clause
+			default:
+				return nil, p.errorf("ASSIGNING EACH expects leaf_node or mapping, found %q", clause.Kind)
+			}
+		}
+		return q, nil
+	}
+	proj, err := p.parseProjection()
+	if err != nil {
+		return nil, err
+	}
+	q.Projection = *proj
+	return q, nil
+}
+
+func (p *parser) parseProjection() (*Projection, error) {
+	if err := p.expectKeyword("for"); err != nil {
+		return nil, err
+	}
+	proj := &Projection{}
+	paths, err := p.parsePathList()
+	if err != nil {
+		return nil, err
+	}
+	proj.For = paths
+	if p.eatKeyword("where") {
+		cond, err := p.parseOrCond()
+		if err != nil {
+			return nil, err
+		}
+		proj.Where = cond
+	}
+	if p.atKeyword("include") {
+		p.pos++
+		if err := p.expectKeyword("path"); err != nil {
+			return nil, err
+		}
+		paths, err := p.parsePathList()
+		if err != nil {
+			return nil, err
+		}
+		proj.Include = paths
+	}
+	if err := p.expectKeyword("return"); err != nil {
+		return nil, err
+	}
+	for {
+		v, err := p.expect(tokVar)
+		if err != nil {
+			return nil, err
+		}
+		proj.Return = append(proj.Return, v.text)
+		if !p.at(tokComma) {
+			break
+		}
+		p.pos++
+	}
+	return proj, nil
+}
+
+func (p *parser) parsePathList() ([]PathExpr, error) {
+	var out []PathExpr
+	for {
+		path, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, path)
+		if !p.at(tokComma) {
+			break
+		}
+		p.pos++
+	}
+	return out, nil
+}
+
+func (p *parser) parsePath() (PathExpr, error) {
+	var path PathExpr
+	node, err := p.parseNodePattern()
+	if err != nil {
+		return path, err
+	}
+	path.Nodes = append(path.Nodes, node)
+	for {
+		var edge EdgePattern
+		switch {
+		case p.at(tokArrowPlus):
+			p.pos++
+			edge = EdgePattern{Kind: EdgePlus}
+		case p.at(tokArrow):
+			p.pos++
+			edge = EdgePattern{Kind: EdgeDirect}
+		case p.at(tokLess):
+			p.pos++
+			switch {
+			case p.at(tokIdent):
+				edge = EdgePattern{Kind: EdgeDirect, Mapping: p.next().text}
+			case p.at(tokVar):
+				edge = EdgePattern{Kind: EdgeDirect, Var: p.next().text}
+			default:
+				return path, p.errorf("expected mapping name or variable after '<'")
+			}
+		default:
+			return path, nil
+		}
+		node, err := p.parseNodePattern()
+		if err != nil {
+			return path, err
+		}
+		path.Edges = append(path.Edges, edge)
+		path.Nodes = append(path.Nodes, node)
+	}
+}
+
+func (p *parser) parseNodePattern() (NodePattern, error) {
+	var n NodePattern
+	if _, err := p.expect(tokLBracket); err != nil {
+		return n, err
+	}
+	if p.at(tokIdent) {
+		n.Rel = p.next().text
+	}
+	if p.at(tokVar) {
+		n.Var = p.next().text
+	}
+	if _, err := p.expect(tokRBracket); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+func (p *parser) parseOrCond() (Cond, error) {
+	left, err := p.parseAndCond()
+	if err != nil {
+		return nil, err
+	}
+	for p.eatKeyword("or") {
+		right, err := p.parseAndCond()
+		if err != nil {
+			return nil, err
+		}
+		left = CondOr{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAndCond() (Cond, error) {
+	left, err := p.parseNotCond()
+	if err != nil {
+		return nil, err
+	}
+	for p.eatKeyword("and") {
+		right, err := p.parseNotCond()
+		if err != nil {
+			return nil, err
+		}
+		left = CondAnd{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNotCond() (Cond, error) {
+	if p.eatKeyword("not") {
+		inner, err := p.parseNotCond()
+		if err != nil {
+			return nil, err
+		}
+		return CondNot{E: inner}, nil
+	}
+	return p.parsePrimaryCond()
+}
+
+func (p *parser) parsePrimaryCond() (Cond, error) {
+	if p.at(tokLParen) {
+		p.pos++
+		inner, err := p.parseOrCond()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	// Path expressions in WHERE are existential conditions.
+	if p.at(tokLBracket) {
+		path, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		return CondPath{Path: path}, nil
+	}
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	if p.eatKeyword("in") {
+		rel, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if left.Var == "" || left.Attr != "" {
+			return nil, p.errorf("IN requires a plain variable on the left")
+		}
+		return CondIn{Var: left.Var, Rel: rel.text}, nil
+	}
+	var op string
+	switch p.cur().kind {
+	case tokEq:
+		op = "="
+	case tokNotEq:
+		op = "!="
+	case tokLess:
+		op = "<"
+	case tokLessEq:
+		op = "<="
+	case tokGreater:
+		op = ">"
+	case tokGreaterEq:
+		op = ">="
+	default:
+		return nil, p.errorf("expected comparison operator or IN, found %q", p.cur().text)
+	}
+	p.pos++
+	right, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return CondCmp{Op: op, L: left, R: right}, nil
+}
+
+func (p *parser) parseOperand() (CmpOperand, error) {
+	switch p.cur().kind {
+	case tokVar:
+		v := p.next().text
+		if p.at(tokDot) {
+			p.pos++
+			attr, err := p.expect(tokIdent)
+			if err != nil {
+				return CmpOperand{}, err
+			}
+			return CmpOperand{Var: v, Attr: attr.text}, nil
+		}
+		return CmpOperand{Var: v}, nil
+	case tokNumber:
+		t := p.next()
+		d, err := parseNumber(t.text)
+		if err != nil {
+			return CmpOperand{}, p.errorf("bad number %q: %v", t.text, err)
+		}
+		return CmpOperand{Lit: d}, nil
+	case tokString:
+		return CmpOperand{Lit: p.next().text}, nil
+	case tokIdent:
+		t := p.next()
+		switch strings.ToLower(t.text) {
+		case "true":
+			return CmpOperand{Lit: true}, nil
+		case "false":
+			return CmpOperand{Lit: false}, nil
+		}
+		// Bare identifiers are mapping-name (string) literals: $p = m1.
+		return CmpOperand{Lit: t.text}, nil
+	}
+	return CmpOperand{}, p.errorf("expected operand, found %q", p.cur().text)
+}
+
+func (p *parser) parseAssignClause() (*AssignClause, error) {
+	if err := p.expectKeyword("assigning"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("each"); err != nil {
+		return nil, err
+	}
+	kind, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	clause := &AssignClause{Kind: strings.ToLower(kind.text)}
+	v, err := p.expect(tokVar)
+	if err != nil {
+		return nil, err
+	}
+	clause.Var = v.text
+	if p.at(tokLParen) {
+		p.pos++
+		arg, err := p.expect(tokVar)
+		if err != nil {
+			return nil, err
+		}
+		clause.ArgVar = arg.text
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	for p.eatKeyword("case") {
+		cond, err := p.parseOrCond()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokColon); err != nil {
+			return nil, err
+		}
+		val, err := p.parseSetValue()
+		if err != nil {
+			return nil, err
+		}
+		clause.Cases = append(clause.Cases, AssignCase{Cond: cond, Value: val})
+	}
+	if p.eatKeyword("default") {
+		if _, err := p.expect(tokColon); err != nil {
+			return nil, err
+		}
+		val, err := p.parseSetValue()
+		if err != nil {
+			return nil, err
+		}
+		clause.Default = &val
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return nil, err
+	}
+	return clause, nil
+}
+
+func (p *parser) parseSetValue() (AssignValue, error) {
+	if err := p.expectKeyword("set"); err != nil {
+		return AssignValue{}, err
+	}
+	switch p.cur().kind {
+	case tokVar:
+		return AssignValue{UseArg: true, Lit: p.next().text}, nil
+	case tokNumber:
+		t := p.next()
+		d, err := parseNumber(t.text)
+		if err != nil {
+			return AssignValue{}, p.errorf("bad number %q: %v", t.text, err)
+		}
+		return AssignValue{Lit: d}, nil
+	case tokString:
+		return AssignValue{Lit: p.next().text}, nil
+	case tokIdent:
+		t := p.next()
+		switch strings.ToLower(t.text) {
+		case "true":
+			return AssignValue{Lit: true}, nil
+		case "false":
+			return AssignValue{Lit: false}, nil
+		}
+		return AssignValue{Lit: t.text}, nil
+	}
+	return AssignValue{}, p.errorf("expected SET value, found %q", p.cur().text)
+}

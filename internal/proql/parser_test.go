@@ -1,0 +1,221 @@
+package proql
+
+import (
+	"strings"
+	"testing"
+)
+
+// The paper's example queries (Sections 3.2.1–3.2.2).
+var paperQueries = map[string]string{
+	"Q1": `FOR [O $x]
+	       INCLUDE PATH [$x] <-+ []
+	       RETURN $x`,
+	"Q2": `FOR [O $x] <-+ [A $y]
+	       INCLUDE PATH [$x] <-+ [$y]
+	       RETURN $x`,
+	"Q3": `FOR [$x] <$p [], [$y] <- [$x]
+	       WHERE $p = m1 OR $p = m2
+	       INCLUDE PATH [$y] <- [$x]
+	       RETURN $y`,
+	"Q4": `FOR [O $x] <-+ [$z], [C $y] <-+ [$z]
+	       INCLUDE PATH [$x] <-+ [], [$y] <-+ []
+	       RETURN $x, $y`,
+	"Q5": `EVALUATE DERIVABILITY OF {
+	         FOR [O $x]
+	         INCLUDE PATH [$x] <-+ []
+	         RETURN $x
+	       }`,
+	"Q6": `EVALUATE LINEAGE OF {
+	         FOR [O $x]
+	         INCLUDE PATH [$x] <-+ []
+	         RETURN $x
+	       }`,
+	"Q7": `EVALUATE TRUST OF {
+	         FOR [O $x]
+	         INCLUDE PATH [$x] <-+ []
+	         RETURN $x
+	       } ASSIGNING EACH leaf_node $y {
+	         CASE $y in C : SET true
+	         CASE $y in A and $y.length >= 6 : SET false
+	         DEFAULT : SET true
+	       } ASSIGNING EACH mapping $p($z) {
+	         CASE $p = m4 : SET false
+	         DEFAULT : SET $z
+	       }`,
+}
+
+func TestParsePaperQueries(t *testing.T) {
+	for name, text := range paperQueries {
+		q, err := Parse(text)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if name >= "Q5" && q.Evaluate == "" {
+			t.Errorf("%s: expected EVALUATE clause", name)
+		}
+	}
+}
+
+func TestParseQ1Structure(t *testing.T) {
+	q := MustParse(paperQueries["Q1"])
+	proj := q.Projection
+	if len(proj.For) != 1 {
+		t.Fatalf("For paths = %d", len(proj.For))
+	}
+	p := proj.For[0]
+	if len(p.Nodes) != 1 || p.Nodes[0].Rel != "O" || p.Nodes[0].Var != "x" {
+		t.Errorf("FOR path = %s", p)
+	}
+	if len(proj.Include) != 1 {
+		t.Fatalf("Include paths = %d", len(proj.Include))
+	}
+	inc := proj.Include[0]
+	if len(inc.Edges) != 1 || inc.Edges[0].Kind != EdgePlus {
+		t.Errorf("include edge = %v", inc.Edges)
+	}
+	if inc.Nodes[1].Rel != "" || inc.Nodes[1].Var != "" {
+		t.Errorf("include end = %v", inc.Nodes[1])
+	}
+	if len(proj.Return) != 1 || proj.Return[0] != "x" {
+		t.Errorf("Return = %v", proj.Return)
+	}
+}
+
+func TestParseQ3Structure(t *testing.T) {
+	q := MustParse(paperQueries["Q3"])
+	proj := q.Projection
+	if len(proj.For) != 2 {
+		t.Fatalf("For paths = %d", len(proj.For))
+	}
+	if proj.For[0].Edges[0].Var != "p" {
+		t.Errorf("first edge should bind $p: %v", proj.For[0].Edges[0])
+	}
+	or, ok := proj.Where.(CondOr)
+	if !ok {
+		t.Fatalf("Where = %T", proj.Where)
+	}
+	l, ok := or.L.(CondCmp)
+	if !ok || l.L.Var != "p" || l.R.Lit != "m1" {
+		t.Errorf("left cond = %v", or.L)
+	}
+}
+
+func TestParseQ7Structure(t *testing.T) {
+	q := MustParse(paperQueries["Q7"])
+	if q.Evaluate != "TRUST" {
+		t.Errorf("Evaluate = %q", q.Evaluate)
+	}
+	if q.LeafAssign == nil || q.MapAssign == nil {
+		t.Fatal("missing ASSIGNING clauses")
+	}
+	if len(q.LeafAssign.Cases) != 2 || q.LeafAssign.Default == nil {
+		t.Errorf("leaf clause cases = %d", len(q.LeafAssign.Cases))
+	}
+	// Second case: $y in A and $y.length >= 6.
+	and, ok := q.LeafAssign.Cases[1].Cond.(CondAnd)
+	if !ok {
+		t.Fatalf("second case cond = %T", q.LeafAssign.Cases[1].Cond)
+	}
+	in, ok := and.L.(CondIn)
+	if !ok || in.Rel != "A" {
+		t.Errorf("left = %v", and.L)
+	}
+	cmp, ok := and.R.(CondCmp)
+	if !ok || cmp.L.Attr != "length" || cmp.Op != ">=" || cmp.R.Lit != int64(6) {
+		t.Errorf("right = %v", and.R)
+	}
+	if q.MapAssign.ArgVar != "z" {
+		t.Errorf("mapping arg var = %q", q.MapAssign.ArgVar)
+	}
+	if q.MapAssign.Cases[0].Value.Lit != false || q.MapAssign.Cases[0].Value.UseArg {
+		t.Errorf("case value = %v", q.MapAssign.Cases[0].Value)
+	}
+	if q.MapAssign.Default == nil || !q.MapAssign.Default.UseArg {
+		t.Errorf("default = %v", q.MapAssign.Default)
+	}
+}
+
+func TestParseNamedMappingEdge(t *testing.T) {
+	q := MustParse(`FOR [C $x] <m1 [A $y] RETURN $x`)
+	e := q.Projection.For[0].Edges[0]
+	if e.Kind != EdgeDirect || e.Mapping != "m1" {
+		t.Errorf("edge = %v", e)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"FOR",
+		"FOR [O $x]",                 // missing RETURN
+		"FOR [O $x RETURN $x",        // unterminated bracket
+		"FOR [O $x] RETURN",          // missing var
+		"FOR [O $x] WHERE RETURN $x", // empty where
+		"EVALUATE OF { FOR [O $x] RETURN $x }",
+		"EVALUATE TRUST OF FOR [O $x] RETURN $x", // missing brace
+		"FOR [O $x] <- RETURN $x",                // dangling edge
+		"FOR [O $x] WHERE $x. RETURN $x",         // dangling attr
+		"FOR [O $x] RETURN $x extra",             // trailing tokens
+		`EVALUATE TRUST OF { FOR [O $x] RETURN $x } ASSIGNING EACH widget $y { }`, // bad kind
+		"FOR [O $x] WHERE $x IN RETURN $x",                                        // IN without relation
+	}
+	for _, text := range bad {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("expected parse error for %q", text)
+		}
+	}
+}
+
+func TestParseStringAndNumberLiterals(t *testing.T) {
+	q := MustParse(`FOR [O $x] WHERE $x.name = 'sn1' AND $x.height > 2.5 RETURN $x`)
+	and, ok := q.Projection.Where.(CondAnd)
+	if !ok {
+		t.Fatalf("Where = %T", q.Projection.Where)
+	}
+	l := and.L.(CondCmp)
+	if l.R.Lit != "sn1" {
+		t.Errorf("string literal = %v", l.R.Lit)
+	}
+	r := and.R.(CondCmp)
+	if r.R.Lit != 2.5 {
+		t.Errorf("float literal = %v", r.R.Lit)
+	}
+}
+
+func TestParseNegativeNumberAndNotEq(t *testing.T) {
+	q := MustParse(`FOR [O $x] WHERE $x.height != -3 RETURN $x`)
+	c := q.Projection.Where.(CondCmp)
+	if c.Op != "!=" || c.R.Lit != int64(-3) {
+		t.Errorf("cond = %v %v", c.Op, c.R.Lit)
+	}
+	q = MustParse(`FOR [O $x] WHERE $x.height <> 4 RETURN $x`)
+	c = q.Projection.Where.(CondCmp)
+	if c.Op != "!=" {
+		t.Errorf("<> should parse as !=")
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse(`for [O $x] include path [$x] <-+ [] return $x`); err != nil {
+		t.Errorf("lowercase keywords should parse: %v", err)
+	}
+	if _, err := Parse(`evaluate trust of { for [O $x] return $x }`); err != nil {
+		t.Errorf("lowercase evaluate should parse: %v", err)
+	}
+}
+
+func TestPathExprString(t *testing.T) {
+	q := MustParse(`FOR [O $x] <-+ [A $y] RETURN $x`)
+	s := q.Projection.For[0].String()
+	if !strings.Contains(s, "[O $x]") || !strings.Contains(s, "<-+") || !strings.Contains(s, "[A $y]") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestParseExistentialPathCondition(t *testing.T) {
+	q := MustParse(`FOR [O $x] WHERE [$x] <- [A] RETURN $x`)
+	if _, ok := q.Projection.Where.(CondPath); !ok {
+		t.Fatalf("Where = %T, want CondPath", q.Projection.Where)
+	}
+}

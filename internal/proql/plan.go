@@ -1,0 +1,449 @@
+package proql
+
+import (
+	"fmt"
+
+	"repro/internal/exchange"
+	"repro/internal/model"
+	"repro/internal/relstore"
+)
+
+// rulePlan is a ConjRule compiled to a physical plan. Intermediate
+// rows are column-pruned after every join: only variables still needed
+// by later joins or by the query's outputs (anchor keys, provenance
+// terms, leaf contexts) are carried, keeping rows narrow through long
+// join chains. varCols maps each surviving rule variable to its output
+// column.
+type rulePlan struct {
+	rule    *ConjRule
+	plan    relstore.Plan
+	varCols map[string]int
+	width   int
+}
+
+// planContext resolves tables, including virtual provenance views and
+// ASR substitutions.
+type planContext struct {
+	sys *exchange.System
+	// atomPlanOverride lets the ASR layer substitute plans for ASR
+	// atoms; it returns (nil, false) for ordinary atoms.
+	atomPlanOverride func(atom model.Atom) (relstore.Plan, bool)
+}
+
+// pruneSpec describes which variables the query consumes beyond the
+// joins themselves, so dead columns can be projected away.
+type pruneSpec struct {
+	// evaluate is set for EVALUATE queries: leaf key variables are
+	// needed to identify leaf tuples.
+	evaluate bool
+	// leafAttrs are the attribute names referenced by ASSIGNING EACH
+	// leaf_node CASE conditions (statically known from the clause).
+	leafAttrs map[string]bool
+}
+
+// pruneSpecFor derives the prune spec from a query.
+func pruneSpecFor(q *Query) pruneSpec {
+	spec := pruneSpec{evaluate: q.Evaluate != "", leafAttrs: map[string]bool{}}
+	if q.LeafAssign != nil {
+		for _, c := range q.LeafAssign.Cases {
+			collectCondAttrs(c.Cond, spec.leafAttrs)
+		}
+	}
+	return spec
+}
+
+func collectCondAttrs(c Cond, out map[string]bool) {
+	switch cc := c.(type) {
+	case CondCmp:
+		if cc.L.Attr != "" {
+			out[cc.L.Attr] = true
+		}
+		if cc.R.Attr != "" {
+			out[cc.R.Attr] = true
+		}
+	case CondAnd:
+		collectCondAttrs(cc.L, out)
+		collectCondAttrs(cc.R, out)
+	case CondOr:
+		collectCondAttrs(cc.L, out)
+		collectCondAttrs(cc.R, out)
+	case CondNot:
+		collectCondAttrs(cc.E, out)
+	}
+}
+
+// externalVars computes the variables the query consumes from a rule's
+// result rows: the anchor terms (bindings and WHERE), the provenance
+// terms (derivation reconstruction), and — for EVALUATE queries — each
+// leaf atom's key variables plus any attributes the leaf ASSIGNING
+// clause inspects.
+func externalVars(sys *exchange.System, rule *ConjRule, spec pruneSpec) map[string]bool {
+	needed := make(map[string]bool)
+	addTerm := func(t model.Term) {
+		if !t.IsConst && t.Var != "_" {
+			needed[t.Var] = true
+		}
+	}
+	for _, t := range rule.Anchor.Args {
+		addTerm(t)
+	}
+	for _, pv := range rule.Prov {
+		for _, t := range pv.Terms {
+			addTerm(t)
+		}
+	}
+	if spec.evaluate {
+		var walk func(n *ExprNode)
+		walk = func(n *ExprNode) {
+			if n.IsLeaf() {
+				if rel, ok := sys.Schema.Relation(n.LeafRel); ok {
+					for _, k := range rel.Key {
+						addTerm(n.Leaf.Args[k])
+					}
+					for attr := range spec.leafAttrs {
+						if idx := rel.ColumnIndex(attr); idx >= 0 {
+							addTerm(n.Leaf.Args[idx])
+						}
+					}
+				}
+				return
+			}
+			for _, ch := range n.Children {
+				walk(ch)
+			}
+		}
+		walk(rule.Tree)
+	}
+	return needed
+}
+
+// buildRulePlan compiles a conjunctive rule to a left-deep hash-join
+// plan with pushed-down constant filters and per-step column pruning,
+// then applies the WHERE condition (already verified to reference only
+// the anchor variable).
+func buildRulePlan(ctx *planContext, rule *ConjRule, where Cond, anchorVar string, spec pruneSpec) (*rulePlan, error) {
+	if len(rule.Body) == 0 {
+		return nil, fmt.Errorf("proql: empty rule body")
+	}
+	external := externalVars(ctx.sys, rule, spec)
+	// future[i] = variables appearing in atoms i..end.
+	future := make([]map[string]bool, len(rule.Body)+1)
+	future[len(rule.Body)] = map[string]bool{}
+	for i := len(rule.Body) - 1; i >= 0; i-- {
+		m := make(map[string]bool, len(future[i+1])+4)
+		for v := range future[i+1] {
+			m[v] = true
+		}
+		for _, v := range rule.Body[i].Vars() {
+			m[v] = true
+		}
+		future[i] = m
+	}
+
+	rp := &rulePlan{rule: rule}
+	var plan relstore.Plan
+	var cols []string // variable name per current output column
+	for i, atom := range rule.Body {
+		// Classify argument positions: constants (pushed filters or an
+		// index probe) and first variable occurrences.
+		var constCols []int
+		var constVals []model.Datum
+		var repeatPreds []relstore.Expr
+		localFirst := make(map[string]int)
+		var localVars []string
+		var localCols []int
+		for ai, t := range atom.Args {
+			if t.IsConst {
+				constCols = append(constCols, ai)
+				constVals = append(constVals, t.Const)
+				continue
+			}
+			if t.Var == "_" {
+				continue
+			}
+			if j, seen := localFirst[t.Var]; seen {
+				repeatPreds = append(repeatPreds, relstore.Cmp{Op: relstore.EQ, L: relstore.Col(ai), R: relstore.Col(j)})
+			} else {
+				localFirst[t.Var] = ai
+				localVars = append(localVars, t.Var)
+				localCols = append(localCols, ai)
+			}
+		}
+		ap, err := atomAccessPlan(ctx, atom, constCols, constVals)
+		if err != nil {
+			return nil, err
+		}
+		if len(repeatPreds) > 0 {
+			ap = &relstore.Filter{Input: ap, Pred: relstore.AndAll(repeatPreds)}
+		}
+		// Narrow the atom to one column per distinct variable.
+		ap = relstore.ProjectCols(ap, localCols...)
+
+		if plan == nil {
+			plan = ap
+			cols = localVars
+		} else {
+			colOf := make(map[string]int, len(cols))
+			for ci, v := range cols {
+				colOf[v] = ci
+			}
+			var leftKeys, rightKeys []int
+			for li, v := range localVars {
+				if j, ok := colOf[v]; ok {
+					leftKeys = append(leftKeys, j)
+					rightKeys = append(rightKeys, li)
+				}
+			}
+			plan = &relstore.HashJoin{
+				Left:      plan,
+				Right:     ap,
+				LeftKeys:  leftKeys,
+				RightKeys: rightKeys,
+				Type:      relstore.InnerJoin,
+			}
+			cols = append(cols, localVars...)
+		}
+		// Prune columns dead from here on.
+		var keepCols []int
+		var keepVars []string
+		seen := make(map[string]bool, len(cols))
+		for ci, v := range cols {
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			if external[v] || future[i+1][v] {
+				keepCols = append(keepCols, ci)
+				keepVars = append(keepVars, v)
+			}
+		}
+		if len(keepCols) < len(cols) {
+			plan = relstore.ProjectCols(plan, keepCols...)
+			cols = keepVars
+		}
+	}
+	rp.varCols = make(map[string]int, len(cols))
+	for ci, v := range cols {
+		rp.varCols[v] = ci
+	}
+	rp.width = len(cols)
+	if where != nil {
+		pred, err := condToExpr(where, rule, rp.varCols, anchorVar, ctx.sys)
+		if err != nil {
+			return nil, err
+		}
+		plan = &relstore.Filter{Input: plan, Pred: pred}
+	}
+	rp.plan = plan
+	return rp, nil
+}
+
+// atomAccessPlan produces the access path for one body atom with its
+// constant-column restrictions applied: an index probe when the table
+// has a matching secondary index (ASR tables index their span column),
+// otherwise a scan with pushed filters; superfluous provenance
+// relations become projection views, and ASR overrides take
+// precedence.
+func atomAccessPlan(ctx *planContext, atom model.Atom, constCols []int, constVals []model.Datum) (relstore.Plan, error) {
+	overridden := false
+	if ctx.atomPlanOverride != nil {
+		if _, ok := ctx.atomPlanOverride(atom); ok {
+			overridden = true
+		}
+	}
+	if len(constCols) > 0 && !overridden {
+		if t, ok := ctx.sys.DB.Table(atom.Rel); ok && t.HasIndex(constCols) {
+			return &relstore.IndexProbe{
+				Table: atom.Rel,
+				Cols:  constCols,
+				Vals:  constVals,
+				Width: len(t.Schema.Columns),
+			}, nil
+		}
+	}
+	ap, err := atomPlan(ctx, atom)
+	if err != nil {
+		return nil, err
+	}
+	if len(constCols) == 0 {
+		return ap, nil
+	}
+	preds := make([]relstore.Expr, len(constCols))
+	for i, c := range constCols {
+		preds[i] = relstore.Cmp{Op: relstore.EQ, L: relstore.Col(c), R: relstore.Lit{Val: constVals[i]}}
+	}
+	return &relstore.Filter{Input: ap, Pred: relstore.AndAll(preds)}, nil
+}
+
+// atomPlan produces the raw scan for one body atom: a table scan for
+// ordinary and materialized-provenance atoms, a projection view for
+// superfluous provenance relations, or an ASR override.
+func atomPlan(ctx *planContext, atom model.Atom) (relstore.Plan, error) {
+	if ctx.atomPlanOverride != nil {
+		if p, ok := ctx.atomPlanOverride(atom); ok {
+			return p, nil
+		}
+	}
+	if t, ok := ctx.sys.DB.Table(atom.Rel); ok {
+		return &relstore.Scan{Table: atom.Rel, Width: len(t.Schema.Columns)}, nil
+	}
+	// Virtual provenance relation: P_<mapping> with no backing table.
+	if len(atom.Rel) > len(exchange.ProvTablePrefix) && atom.Rel[:len(exchange.ProvTablePrefix)] == exchange.ProvTablePrefix {
+		mapping := atom.Rel[len(exchange.ProvTablePrefix):]
+		pr, ok := ctx.sys.Prov[mapping]
+		if ok && pr.Virtual {
+			return virtualProvPlan(ctx.sys, pr)
+		}
+	}
+	return nil, fmt.Errorf("proql: no table or view for atom %s", atom.Rel)
+}
+
+// virtualProvPlan reconstructs a superfluous provenance relation as a
+// view over its single source relation (Section 4.1): filter the source
+// by the mapping body's constants and repeated variables, then project
+// the provenance attributes.
+func virtualProvPlan(sys *exchange.System, pr *exchange.ProvRel) (relstore.Plan, error) {
+	body := pr.Mapping.Body[0]
+	t, ok := sys.DB.Table(body.Rel)
+	if !ok {
+		return nil, fmt.Errorf("proql: missing source table %q for virtual provenance of %s", body.Rel, pr.Mapping.Name)
+	}
+	var plan relstore.Plan = &relstore.Scan{Table: body.Rel, Width: len(t.Schema.Columns)}
+	var preds []relstore.Expr
+	first := make(map[string]int)
+	for i, term := range body.Args {
+		switch {
+		case term.IsConst:
+			preds = append(preds, relstore.Cmp{Op: relstore.EQ, L: relstore.Col(i), R: relstore.Lit{Val: term.Const}})
+		case term.Var == "_":
+		default:
+			if j, seen := first[term.Var]; seen {
+				preds = append(preds, relstore.Cmp{Op: relstore.EQ, L: relstore.Col(i), R: relstore.Col(j)})
+			} else {
+				first[term.Var] = i
+			}
+		}
+	}
+	if len(preds) > 0 {
+		plan = &relstore.Filter{Input: plan, Pred: relstore.AndAll(preds)}
+	}
+	cols := make([]int, len(pr.Vars))
+	for i, v := range pr.Vars {
+		j, ok := first[v]
+		if !ok {
+			return nil, fmt.Errorf("proql: provenance var %q of %s not in source atom", v, pr.Mapping.Name)
+		}
+		cols[i] = j
+	}
+	return relstore.ProjectCols(plan, cols...), nil
+}
+
+// condToExpr compiles a WHERE condition over the anchor variable into a
+// relstore predicate over the rule's output row, resolving $x.attr
+// through the anchor atom's terms.
+func condToExpr(c Cond, rule *ConjRule, varCols map[string]int, anchorVar string, sys *exchange.System) (relstore.Expr, error) {
+	switch cc := c.(type) {
+	case CondCmp:
+		l, err := operandExpr(cc.L, rule, varCols, anchorVar, sys)
+		if err != nil {
+			return nil, err
+		}
+		r, err := operandExpr(cc.R, rule, varCols, anchorVar, sys)
+		if err != nil {
+			return nil, err
+		}
+		var op relstore.CmpOp
+		switch cc.Op {
+		case "=":
+			op = relstore.EQ
+		case "!=":
+			op = relstore.NE
+		case "<":
+			op = relstore.LT
+		case "<=":
+			op = relstore.LE
+		case ">":
+			op = relstore.GT
+		case ">=":
+			op = relstore.GE
+		default:
+			return nil, fmt.Errorf("proql: unknown operator %q", cc.Op)
+		}
+		return relstore.Cmp{Op: op, L: l, R: r}, nil
+	case CondIn:
+		// Anchor membership: statically true or false.
+		return relstore.Lit{Val: cc.Rel == rule.Anchor.Rel}, nil
+	case CondAnd:
+		l, err := condToExpr(cc.L, rule, varCols, anchorVar, sys)
+		if err != nil {
+			return nil, err
+		}
+		r, err := condToExpr(cc.R, rule, varCols, anchorVar, sys)
+		if err != nil {
+			return nil, err
+		}
+		return relstore.And{L: l, R: r}, nil
+	case CondOr:
+		l, err := condToExpr(cc.L, rule, varCols, anchorVar, sys)
+		if err != nil {
+			return nil, err
+		}
+		r, err := condToExpr(cc.R, rule, varCols, anchorVar, sys)
+		if err != nil {
+			return nil, err
+		}
+		return relstore.Or{L: l, R: r}, nil
+	case CondNot:
+		e, err := condToExpr(cc.E, rule, varCols, anchorVar, sys)
+		if err != nil {
+			return nil, err
+		}
+		return relstore.Not{E: e}, nil
+	}
+	return nil, fmt.Errorf("proql: unsupported WHERE condition for relational backend")
+}
+
+func operandExpr(o CmpOperand, rule *ConjRule, varCols map[string]int, anchorVar string, sys *exchange.System) (relstore.Expr, error) {
+	if o.Var == "" {
+		return relstore.Lit{Val: o.Lit}, nil
+	}
+	if o.Var != anchorVar {
+		return nil, fmt.Errorf("proql: WHERE references non-anchor variable $%s", o.Var)
+	}
+	if o.Attr == "" {
+		return nil, fmt.Errorf("proql: bare $%s cannot be compared; use $%s.<attr>", o.Var, o.Var)
+	}
+	rel, ok := sys.Schema.Relation(rule.Anchor.Rel)
+	if !ok {
+		return nil, fmt.Errorf("proql: unknown anchor relation %q", rule.Anchor.Rel)
+	}
+	idx := rel.ColumnIndex(o.Attr)
+	if idx < 0 {
+		return nil, fmt.Errorf("proql: relation %s has no attribute %q", rel.Name, o.Attr)
+	}
+	return termExpr(rule.Anchor.Args[idx], varCols)
+}
+
+// termExpr resolves a rule term to a column reference or literal.
+func termExpr(t model.Term, varCols map[string]int) (relstore.Expr, error) {
+	if t.IsConst {
+		return relstore.Lit{Val: t.Const}, nil
+	}
+	col, ok := varCols[t.Var]
+	if !ok {
+		return nil, fmt.Errorf("proql: variable %q not bound by rule body", t.Var)
+	}
+	return relstore.Col(col), nil
+}
+
+// termValue resolves a rule term against a result row.
+func termValue(t model.Term, varCols map[string]int, row model.Tuple) (model.Datum, error) {
+	if t.IsConst {
+		return t.Const, nil
+	}
+	col, ok := varCols[t.Var]
+	if !ok {
+		return nil, fmt.Errorf("proql: variable %q not bound by rule body", t.Var)
+	}
+	return row[col], nil
+}

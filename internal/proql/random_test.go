@@ -1,0 +1,198 @@
+package proql_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/asr"
+	"repro/internal/model"
+	"repro/internal/proql"
+	"repro/internal/workload"
+)
+
+// randomConfig draws a small random CDSS setting.
+func randomConfig(rng *rand.Rand) workload.Config {
+	topo := workload.Chain
+	if rng.Intn(2) == 1 {
+		topo = workload.Branched
+	}
+	profile := workload.ProfileLinear
+	if rng.Intn(3) == 0 {
+		profile = workload.ProfileFan
+	}
+	n := 2 + rng.Intn(5) // 2..6 peers
+	// Random non-empty subset of peers with data.
+	var data []int
+	for p := 0; p < n; p++ {
+		if rng.Intn(2) == 0 {
+			data = append(data, p)
+		}
+	}
+	if len(data) == 0 {
+		data = append(data, n-1)
+	}
+	return workload.Config{
+		Topology:   topo,
+		Profile:    profile,
+		NumPeers:   n,
+		DataPeers:  data,
+		BaseSize:   3 + rng.Intn(10),
+		Categories: 4,
+		Seed:       rng.Int63(),
+	}
+}
+
+// TestRandomSettingsBackendParity generates random settings and
+// cross-checks the relational and graph backends on the target query
+// and its trust evaluation — the strongest end-to-end invariant the
+// system has.
+func TestRandomSettingsBackendParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(20100611))
+	for trial := 0; trial < 25; trial++ {
+		cfg := randomConfig(rng)
+		label := fmt.Sprintf("trial %d (%s/%s peers=%d data=%v base=%d)",
+			trial, cfg.Topology, cfg.Profile, cfg.NumPeers, cfg.DataPeers, cfg.BaseSize)
+		set, err := workload.Build(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		eng := proql.NewEngine(set.Sys)
+		for _, text := range []string{
+			set.TargetQuery(),
+			set.TargetAnnotationQuery(),
+		} {
+			q := proql.MustParse(text)
+			rel, err := eng.Exec(q)
+			if err != nil {
+				t.Fatalf("%s: relational: %v", label, err)
+			}
+			if rel.Stats.Backend != "relational" {
+				t.Fatalf("%s: expected relational backend", label)
+			}
+			gr, err := eng.ExecGraph(q)
+			if err != nil {
+				t.Fatalf("%s: graph: %v", label, err)
+			}
+			relRefs := rel.SortedRefs("x")
+			grRefs := gr.SortedRefs("x")
+			if len(relRefs) != len(grRefs) {
+				t.Fatalf("%s: bindings %d vs %d", label, len(relRefs), len(grRefs))
+			}
+			for i := range relRefs {
+				if relRefs[i] != grRefs[i] {
+					t.Fatalf("%s: binding %d differs", label, i)
+				}
+			}
+			if rel.MustGraph().NumDerivations() != gr.MustGraph().NumDerivations() {
+				t.Errorf("%s: projected derivations %d vs %d", label,
+					rel.MustGraph().NumDerivations(), gr.MustGraph().NumDerivations())
+			}
+			if rel.Annotations != nil {
+				for ref, v := range rel.Annotations {
+					gv, ok := gr.Annotations[ref]
+					if !ok || !rel.Semiring.Eq(v, gv) {
+						t.Errorf("%s: annotation mismatch for %v", label, ref)
+					}
+				}
+			}
+			// Every tuple of the target relation is derivable: the
+			// binding count must equal the materialized table size.
+			if got, want := len(relRefs), set.Sys.DB.MustTable(workload.ARel(0)).Len(); got != want {
+				t.Errorf("%s: bindings %d, table has %d", label, got, want)
+			}
+		}
+	}
+}
+
+// TestRandomASRPreservation defines random ASR configurations over
+// random linear settings and verifies rewritten queries return
+// identical results.
+func TestRandomASRPreservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(18071807))
+	kinds := []asr.Kind{asr.CompletePath, asr.Subpath, asr.Prefix, asr.Suffix}
+	for trial := 0; trial < 15; trial++ {
+		cfg := randomConfig(rng)
+		cfg.Profile = workload.ProfileLinear // long chains for meaningful ASRs
+		cfg.NumPeers = 4 + rng.Intn(6)       // 4..9
+		cfg.DataPeers = workload.UpstreamDataPeers(cfg.NumPeers, 1+rng.Intn(3))
+		set, err := workload.Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := proql.NewEngine(set.Sys)
+		q := proql.MustParse(set.TargetQuery())
+		base, err := eng.Exec(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kind := kinds[rng.Intn(len(kinds))]
+		maxLen := 1 + rng.Intn(5)
+		ix := asr.NewIndex(set.Sys)
+		for _, chain := range set.AChains() {
+			for _, seg := range workload.SplitChain(chain, maxLen) {
+				if _, err := ix.Define(kind, seg...); err != nil {
+					t.Fatalf("trial %d: define %v over %v: %v", trial, kind, seg, err)
+				}
+			}
+		}
+		if err := ix.Materialize(); err != nil {
+			t.Fatal(err)
+		}
+		eng.RewriteRules = ix.RewriteRules
+		opt, err := eng.Exec(q)
+		if err != nil {
+			t.Fatalf("trial %d (%v len=%d): %v", trial, kind, maxLen, err)
+		}
+		baseRefs := base.SortedRefs("x")
+		optRefs := opt.SortedRefs("x")
+		if len(baseRefs) != len(optRefs) {
+			t.Fatalf("trial %d (%v len=%d): bindings %d vs %d", trial, kind, maxLen, len(baseRefs), len(optRefs))
+		}
+		for i := range baseRefs {
+			if baseRefs[i] != optRefs[i] {
+				t.Fatalf("trial %d: binding %d differs", trial, i)
+			}
+		}
+		if base.MustGraph().NumDerivations() != opt.MustGraph().NumDerivations() {
+			t.Errorf("trial %d (%v len=%d): derivations %d vs %d", trial, kind, maxLen,
+				base.MustGraph().NumDerivations(), opt.MustGraph().NumDerivations())
+		}
+	}
+}
+
+// TestRandomDeletionMatchesRebuild deletes random base tuples and
+// compares the incrementally maintained instance against a rebuilt
+// one.
+func TestRandomDeletionMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(424242))
+	for trial := 0; trial < 10; trial++ {
+		cfg := randomConfig(rng)
+		cfg.Profile = workload.ProfileLinear
+		set, err := workload.Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pick a random data peer and delete a random base tuple.
+		peer := cfg.DataPeers[rng.Intn(len(cfg.DataPeers))]
+		victim := int64(peer)*10_000_000 + int64(rng.Intn(cfg.BaseSize))
+		if _, err := set.Sys.DeleteLocal(workload.ARel(peer), []model.Datum{victim}); err != nil {
+			t.Fatal(err)
+		}
+		// The target query must still satisfy bindings == table size
+		// and all-derivable trust.
+		eng := proql.NewEngine(set.Sys)
+		res, err := eng.ExecString(set.TargetAnnotationQuery())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := len(res.SortedRefs("x")), set.Sys.DB.MustTable(workload.ARel(0)).Len(); got != want {
+			t.Errorf("trial %d: bindings %d, table %d", trial, got, want)
+		}
+		for ref, v := range res.Annotations {
+			if v != true {
+				t.Errorf("trial %d: %v survived maintenance but is not derivable", trial, ref)
+			}
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package proql
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// SchemaGraph is the provenance schema graph of Section 4.2.1 (Figure
+// 3): relation nodes and mapping nodes, with edges mapping→relation for
+// head atoms and relation→mapping for body atoms. ProQL path
+// expressions are matched against it to identify the relations and
+// mappings a query can touch.
+type SchemaGraph struct {
+	schema *model.Schema
+}
+
+// NewSchemaGraph wraps a schema.
+func NewSchemaGraph(s *model.Schema) *SchemaGraph {
+	return &SchemaGraph{schema: s}
+}
+
+// Instantiation is one way a path expression matches the schema graph:
+// a concrete relation per node pattern and, per edge pattern, the chain
+// of mappings traversed (length 1 for direct steps, ≥1 for <-+) along
+// with the intermediate relations between them.
+type Instantiation struct {
+	// Rels assigns a relation name to each node pattern.
+	Rels []string
+	// Chains assigns each edge pattern its mapping chain, ordered from
+	// the derived side toward the source side.
+	Chains [][]string
+	// Inters lists, per edge, the intermediate relations between
+	// consecutive chain mappings (len = len(chain)-1).
+	Inters [][]string
+}
+
+// AllRelations returns every relation on the instantiation (endpoints
+// and intermediates).
+func (in Instantiation) AllRelations() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(r string) {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	for _, r := range in.Rels {
+		add(r)
+	}
+	for _, inter := range in.Inters {
+		for _, r := range inter {
+			add(r)
+		}
+	}
+	return out
+}
+
+// AllMappings returns every mapping on the instantiation.
+func (in Instantiation) AllMappings() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, chain := range in.Chains {
+		for _, m := range chain {
+			if !seen[m] {
+				seen[m] = true
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// MatchPath enumerates all instantiations of a path expression, walking
+// the schema graph backwards (derived relation → mapping → source
+// relation). Paths never revisit a relation node (the paper "prevents
+// paths from cycling back upon themselves"), which keeps matching
+// finite on cyclic schema graphs.
+func (sg *SchemaGraph) MatchPath(path PathExpr) ([]Instantiation, error) {
+	if len(path.Nodes) == 0 {
+		return nil, fmt.Errorf("proql: empty path expression")
+	}
+	starts, err := sg.candidateRels(path.Nodes[0])
+	if err != nil {
+		return nil, err
+	}
+	var out []Instantiation
+	for _, start := range starts {
+		cur := Instantiation{Rels: []string{start}}
+		visited := map[string]bool{start: true}
+		sg.matchFrom(path, 0, start, visited, cur, &out)
+	}
+	return out, nil
+}
+
+// matchFrom extends a partial instantiation that has matched node
+// patterns [0..nodeIdx] ending at relation rel.
+func (sg *SchemaGraph) matchFrom(path PathExpr, nodeIdx int, rel string, visited map[string]bool, cur Instantiation, out *[]Instantiation) {
+	if nodeIdx == len(path.Edges) {
+		*out = append(*out, cloneInst(cur))
+		return
+	}
+	edge := path.Edges[nodeIdx]
+	nextPat := path.Nodes[nodeIdx+1]
+	switch edge.Kind {
+	case EdgeDirect:
+		for _, m := range sg.schema.MappingsInto(rel) {
+			if edge.Mapping != "" && m.Name != edge.Mapping {
+				continue
+			}
+			for _, src := range sg.sourcesOf(m) {
+				if visited[src] || !nodeMatches(nextPat, src) {
+					continue
+				}
+				visited[src] = true
+				next := cloneInst(cur)
+				next.Rels = append(next.Rels, src)
+				next.Chains = append(next.Chains, []string{m.Name})
+				next.Inters = append(next.Inters, nil)
+				sg.matchFrom(path, nodeIdx+1, src, visited, next, out)
+				delete(visited, src)
+			}
+		}
+	case EdgePlus:
+		// Depth-first over chains of ≥1 steps without revisiting
+		// relations.
+		var walk func(at string, chain []string, inter []string)
+		walk = func(at string, chain []string, inter []string) {
+			for _, m := range sg.schema.MappingsInto(at) {
+				for _, src := range sg.sourcesOf(m) {
+					if visited[src] {
+						continue
+					}
+					newChain := append(append([]string(nil), chain...), m.Name)
+					newInter := append([]string(nil), inter...)
+					if nodeMatches(nextPat, src) {
+						next := cloneInst(cur)
+						next.Rels = append(next.Rels, src)
+						next.Chains = append(next.Chains, newChain)
+						next.Inters = append(next.Inters, newInter)
+						visited[src] = true
+						sg.matchFrom(path, nodeIdx+1, src, visited, next, out)
+						delete(visited, src)
+					}
+					// Continue deeper with src as an intermediate.
+					visited[src] = true
+					walk(src, newChain, append(newInter, src))
+					delete(visited, src)
+				}
+			}
+		}
+		walk(rel, nil, nil)
+	}
+}
+
+func cloneInst(in Instantiation) Instantiation {
+	out := Instantiation{
+		Rels:   append([]string(nil), in.Rels...),
+		Chains: make([][]string, len(in.Chains)),
+		Inters: make([][]string, len(in.Inters)),
+	}
+	for i, c := range in.Chains {
+		out.Chains[i] = append([]string(nil), c...)
+	}
+	for i, c := range in.Inters {
+		out.Inters[i] = append([]string(nil), c...)
+	}
+	return out
+}
+
+func nodeMatches(pat NodePattern, rel string) bool {
+	return pat.Rel == "" || pat.Rel == rel
+}
+
+// sourcesOf lists the distinct body relations of a mapping.
+func (sg *SchemaGraph) sourcesOf(m *model.Mapping) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range m.Body {
+		if !seen[a.Rel] {
+			seen[a.Rel] = true
+			out = append(out, a.Rel)
+		}
+	}
+	return out
+}
+
+// candidateRels resolves the relations a node pattern can match: the
+// named relation, or every public relation when unnamed.
+func (sg *SchemaGraph) candidateRels(pat NodePattern) ([]string, error) {
+	if pat.Rel != "" {
+		r, ok := sg.schema.Relation(pat.Rel)
+		if !ok || r.IsLocal {
+			return nil, fmt.Errorf("proql: unknown relation %q in path expression", pat.Rel)
+		}
+		return []string{pat.Rel}, nil
+	}
+	var out []string
+	for _, r := range sg.schema.PublicRelations() {
+		out = append(out, r.Name)
+	}
+	return out, nil
+}
+
+// Allowed summarizes the relations and mappings reachable by any
+// instantiation of any of the given paths — the node set that the
+// Datalog program of Section 4.2.3 is built from.
+type Allowed struct {
+	Relations map[string]bool
+	Mappings  map[string]bool
+}
+
+// MatchAll matches every path and unions the results.
+func (sg *SchemaGraph) MatchAll(paths []PathExpr) (Allowed, error) {
+	allowed := Allowed{Relations: map[string]bool{}, Mappings: map[string]bool{}}
+	for _, path := range paths {
+		insts, err := sg.MatchPath(path)
+		if err != nil {
+			return allowed, err
+		}
+		for _, in := range insts {
+			for _, r := range in.AllRelations() {
+				allowed.Relations[r] = true
+			}
+			for _, m := range in.AllMappings() {
+				allowed.Mappings[m] = true
+			}
+		}
+	}
+	return allowed, nil
+}
+
+// SortedRelations returns the allowed relations, sorted.
+func (a Allowed) SortedRelations() []string {
+	out := make([]string, 0, len(a.Relations))
+	for r := range a.Relations {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SortedMappings returns the allowed mappings, sorted.
+func (a Allowed) SortedMappings() []string {
+	out := make([]string, 0, len(a.Mappings))
+	for m := range a.Mappings {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,197 @@
+package provgraph
+
+import (
+	"fmt"
+
+	"repro/internal/semiring"
+)
+
+// EvalOptions configures annotation computation (Section 2.1).
+type EvalOptions struct {
+	// Leaf assigns base semiring values to leaf tuple nodes (EDB
+	// tuples). nil assigns One to every leaf — the default of an
+	// omitted ASSIGNING EACH clause.
+	Leaf func(*TupleNode) semiring.Value
+	// MapFunc returns the unary function attached to a mapping; nil
+	// (or a nil return) means the identity function N_m.
+	MapFunc func(mapping string) semiring.MappingFunc
+	// MaxIterations bounds cyclic fixpoint evaluation; 0 uses
+	// 2·(#tuples+#derivations)+2, enough for any monotone lattice
+	// evaluation of the built-in cycle-safe semirings.
+	MaxIterations int
+}
+
+// Annotations maps tuple nodes (by ref) to their computed values.
+type Annotations map[string]semiring.Value
+
+// Eval computes a semiring annotation for every tuple node of the
+// graph: leaves contribute their base value via ⊕; each derivation
+// contributes f_m(⊗ of its source annotations); a tuple's annotation is
+// the ⊕ of all contributions. Acyclic graphs are evaluated bottom-up in
+// topological order; cyclic graphs by monotone fixpoint iteration,
+// which requires a cycle-safe semiring.
+func Eval(g *Graph, s semiring.Semiring, opts EvalOptions) (Annotations, error) {
+	leaf := opts.Leaf
+	if leaf == nil {
+		one := s.One()
+		leaf = func(*TupleNode) semiring.Value { return one }
+	}
+	mapFunc := func(m string) semiring.MappingFunc {
+		if opts.MapFunc == nil {
+			return semiring.Identity
+		}
+		if f := opts.MapFunc(m); f != nil {
+			return f
+		}
+		return semiring.Identity
+	}
+
+	if order, acyclic := g.topoOrder(); acyclic {
+		return evalAcyclic(g, s, leaf, mapFunc, order), nil
+	}
+	if !s.CycleSafe() {
+		return nil, fmt.Errorf("provgraph: graph is cyclic and semiring %s cannot be evaluated by fixpoint (annotations may diverge)", s.Name())
+	}
+	return evalFixpoint(g, s, leaf, mapFunc, opts.MaxIterations)
+}
+
+// tupleContribution computes the annotation of one tuple from current
+// values: leaf base value ⊕ per-derivation products.
+func tupleContribution(
+	tn *TupleNode,
+	s semiring.Semiring,
+	leaf func(*TupleNode) semiring.Value,
+	mapFunc func(string) semiring.MappingFunc,
+	current func(*TupleNode) semiring.Value,
+) semiring.Value {
+	acc := s.Zero()
+	if tn.Leaf {
+		acc = s.Plus(acc, leaf(tn))
+	}
+	for _, d := range tn.Derivations {
+		prod := s.One()
+		for _, src := range d.Sources {
+			prod = s.Times(prod, current(src))
+		}
+		acc = s.Plus(acc, mapFunc(d.Mapping)(prod))
+	}
+	return acc
+}
+
+func evalAcyclic(
+	g *Graph,
+	s semiring.Semiring,
+	leaf func(*TupleNode) semiring.Value,
+	mapFunc func(string) semiring.MappingFunc,
+	order []*TupleNode,
+) Annotations {
+	ann := make(Annotations, g.NumTuples())
+	current := func(tn *TupleNode) semiring.Value {
+		if v, ok := ann[annKey(tn)]; ok {
+			return v
+		}
+		return s.Zero()
+	}
+	for _, tn := range order {
+		ann[annKey(tn)] = tupleContribution(tn, s, leaf, mapFunc, current)
+	}
+	return ann
+}
+
+func evalFixpoint(
+	g *Graph,
+	s semiring.Semiring,
+	leaf func(*TupleNode) semiring.Value,
+	mapFunc func(string) semiring.MappingFunc,
+	maxIters int,
+) (Annotations, error) {
+	tuples := g.Tuples()
+	if maxIters <= 0 {
+		maxIters = 2*(g.NumTuples()+g.NumDerivations()) + 2
+	}
+	ann := make(Annotations, len(tuples))
+	for _, tn := range tuples {
+		ann[annKey(tn)] = s.Zero()
+	}
+	current := func(tn *TupleNode) semiring.Value { return ann[annKey(tn)] }
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for _, tn := range tuples {
+			next := tupleContribution(tn, s, leaf, mapFunc, current)
+			// Accumulate to keep the iteration monotone: x ⊕ next.
+			next = s.Plus(ann[annKey(tn)], next)
+			if !s.Eq(next, ann[annKey(tn)]) {
+				ann[annKey(tn)] = next
+				changed = true
+			}
+		}
+		if !changed {
+			return ann, nil
+		}
+	}
+	return nil, fmt.Errorf("provgraph: fixpoint did not converge within %d iterations", maxIters)
+}
+
+// annKey is the Annotations map key of a node.
+func annKey(tn *TupleNode) string { return tn.Ref.Rel + "\x00" + tn.Ref.Key }
+
+// Annotation fetches a tuple's computed value.
+func (a Annotations) Annotation(tn *TupleNode) (semiring.Value, bool) {
+	v, ok := a[annKey(tn)]
+	return v, ok
+}
+
+// topoOrder returns the tuple nodes in dependency order (sources before
+// the tuples derived from them), and whether the graph is acyclic.
+// Derivation nodes are traversed implicitly: a tuple depends on all
+// sources of all its derivations.
+func (g *Graph) topoOrder() ([]*TupleNode, bool) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, g.NumTuples())
+	var order []*TupleNode
+	acyclic := true
+
+	// Iterative DFS to survive deep chains without blowing the stack.
+	type frame struct {
+		tn   *TupleNode
+		next int // index into dependency list
+		deps []*TupleNode
+	}
+	depsOf := func(tn *TupleNode) []*TupleNode {
+		var deps []*TupleNode
+		for _, d := range tn.Derivations {
+			deps = append(deps, d.Sources...)
+		}
+		return deps
+	}
+	for _, start := range g.Tuples() {
+		if color[annKey(start)] != white {
+			continue
+		}
+		stack := []frame{{tn: start, deps: depsOf(start)}}
+		color[annKey(start)] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(f.deps) {
+				dep := f.deps[f.next]
+				f.next++
+				switch color[annKey(dep)] {
+				case white:
+					color[annKey(dep)] = gray
+					stack = append(stack, frame{tn: dep, deps: depsOf(dep)})
+				case gray:
+					acyclic = false
+				}
+				continue
+			}
+			color[annKey(f.tn)] = black
+			order = append(order, f.tn)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return order, acyclic
+}

@@ -1,0 +1,190 @@
+// Package provgraph implements the provenance graph model of Figure 1:
+// a bipartite graph of tuple nodes and derivation nodes, built from the
+// relationally-encoded provenance of an exchange.System. It provides
+// the annotation evaluation of Section 2.1 (bottom-up for acyclic
+// graphs, fixpoint for cyclic graphs under cycle-safe semirings),
+// subgraph projections, and DOT export for interactive provenance
+// browsers.
+package provgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/exchange"
+	"repro/internal/model"
+)
+
+// TupleNode is a rectangle of Figure 1: one tuple in some relation.
+type TupleNode struct {
+	Ref model.TupleRef
+	// Row is the full tuple when available (used for labels and leaf
+	// CASE conditions); may be nil for dangling references.
+	Row model.Tuple
+	// Leaf reports a local contribution ('+' node): the tuple appears
+	// in its relation's local-contribution table.
+	Leaf bool
+	// Derivations are the derivation nodes targeting this tuple
+	// (alternative ways it was derived — combined with ⊕).
+	Derivations []*DerivNode
+	// Uses are the derivation nodes consuming this tuple as a source.
+	Uses []*DerivNode
+}
+
+// DerivNode is an ellipse of Figure 1: one firing of a mapping,
+// relating its m source tuples to its n target tuples.
+type DerivNode struct {
+	// ID is unique within the graph: mapping name + provenance row key.
+	ID      string
+	Mapping string
+	Sources []*TupleNode
+	Targets []*TupleNode
+	// ProvRow is the backing provenance-relation row when the graph
+	// was built from storage; incremental maintenance uses it to
+	// delete invalidated derivations.
+	ProvRow model.Tuple
+}
+
+// Graph is a provenance graph.
+type Graph struct {
+	tuples map[model.TupleRef]*TupleNode
+	derivs map[string]*DerivNode
+	// insertion order for deterministic iteration
+	tupleOrder []model.TupleRef
+	derivOrder []string
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		tuples: make(map[model.TupleRef]*TupleNode),
+		derivs: make(map[string]*DerivNode),
+	}
+}
+
+// Tuple returns the node for ref, creating it if needed.
+func (g *Graph) Tuple(ref model.TupleRef) *TupleNode {
+	if n, ok := g.tuples[ref]; ok {
+		return n
+	}
+	n := &TupleNode{Ref: ref}
+	g.tuples[ref] = n
+	g.tupleOrder = append(g.tupleOrder, ref)
+	return n
+}
+
+// Lookup returns the node for ref without creating it.
+func (g *Graph) Lookup(ref model.TupleRef) (*TupleNode, bool) {
+	n, ok := g.tuples[ref]
+	return n, ok
+}
+
+// AddDerivation inserts a derivation node relating sources to targets.
+// Re-adding an existing ID is a no-op returning the existing node.
+func (g *Graph) AddDerivation(id, mapping string, sources, targets []model.TupleRef) *DerivNode {
+	if d, ok := g.derivs[id]; ok {
+		return d
+	}
+	d := &DerivNode{ID: id, Mapping: mapping}
+	for _, ref := range sources {
+		tn := g.Tuple(ref)
+		d.Sources = append(d.Sources, tn)
+		tn.Uses = append(tn.Uses, d)
+	}
+	for _, ref := range targets {
+		tn := g.Tuple(ref)
+		d.Targets = append(d.Targets, tn)
+		tn.Derivations = append(tn.Derivations, d)
+	}
+	g.derivs[id] = d
+	g.derivOrder = append(g.derivOrder, id)
+	return d
+}
+
+// Tuples iterates tuple nodes in insertion order.
+func (g *Graph) Tuples() []*TupleNode {
+	out := make([]*TupleNode, 0, len(g.tupleOrder))
+	for _, ref := range g.tupleOrder {
+		out = append(out, g.tuples[ref])
+	}
+	return out
+}
+
+// Derivations iterates derivation nodes in insertion order.
+func (g *Graph) Derivations() []*DerivNode {
+	out := make([]*DerivNode, 0, len(g.derivOrder))
+	for _, id := range g.derivOrder {
+		out = append(out, g.derivs[id])
+	}
+	return out
+}
+
+// NumTuples returns the tuple-node count.
+func (g *Graph) NumTuples() int { return len(g.tuples) }
+
+// NumDerivations returns the derivation-node count.
+func (g *Graph) NumDerivations() int { return len(g.derivs) }
+
+// TuplesOf returns the tuple nodes of one relation, sorted by key.
+func (g *Graph) TuplesOf(rel string) []*TupleNode {
+	var out []*TupleNode
+	for _, ref := range g.tupleOrder {
+		if ref.Rel == rel {
+			out = append(out, g.tuples[ref])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ref.Key < out[j].Ref.Key })
+	return out
+}
+
+// Build constructs the full provenance graph of an exchanged system:
+// one derivation node per provenance-relation row (materialized or
+// virtual), plus leaf marks from the local-contribution tables.
+func Build(sys *exchange.System) (*Graph, error) {
+	g := New()
+	for _, m := range sys.Schema.Mappings() {
+		pr := sys.Prov[m.Name]
+		rows, err := sys.ProvRows(m.Name)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rows {
+			sources, targets, err := sys.AtomRefs(pr, row)
+			if err != nil {
+				return nil, err
+			}
+			id := derivID(m.Name, row)
+			d := g.AddDerivation(id, m.Name, sources, targets)
+			d.ProvRow = row
+		}
+	}
+	// Attach full rows and leaf marks, and register tuples that exist
+	// only as local contributions (they never appear in a provenance
+	// row but are part of the instance).
+	for _, r := range sys.Schema.PublicRelations() {
+		t, ok := sys.DB.Table(r.Name)
+		if !ok {
+			return nil, fmt.Errorf("provgraph: missing table %q", r.Name)
+		}
+		for _, row := range t.Rows() {
+			ref := model.NewTupleRef(r, row)
+			tn := g.Tuple(ref)
+			if tn.Row == nil {
+				tn.Row = row
+			}
+			tn.Leaf = sys.IsLeaf(r.Name, r.KeyOf(row))
+		}
+	}
+	return g, nil
+}
+
+func derivID(mapping string, row model.Tuple) string {
+	return mapping + "#" + model.EncodeDatums(row)
+}
+
+// IsCyclic reports whether the graph contains a derivation cycle
+// (a tuple transitively deriving itself).
+func (g *Graph) IsCyclic() bool {
+	_, acyclic := g.topoOrder()
+	return !acyclic
+}

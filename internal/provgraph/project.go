@@ -1,0 +1,143 @@
+package provgraph
+
+import "repro/internal/model"
+
+// ProjectOptions restricts a projection.
+type ProjectOptions struct {
+	// Relations restricts traversal to derivations all of whose
+	// source tuples belong to these relations (nil = no restriction).
+	// This implements use case Q2 ("derivations involving tuples from
+	// a certain relation").
+	Relations map[string]bool
+	// Mappings restricts traversal to derivations of these mappings
+	// (nil = no restriction) — use case Q3.
+	Mappings map[string]bool
+	// MaxDepth bounds the number of derivation steps followed; 0 means
+	// unbounded (the <-+ wildcard).
+	MaxDepth int
+}
+
+// ProjectAncestors returns the subgraph of everything the root tuples
+// derive from: for each root, its derivations, their source tuples, and
+// so on transitively (the paper's Q1 projection). Whenever a derivation
+// node is included, all of its m sources and n targets are included,
+// preserving the arity of the mapping.
+func (g *Graph) ProjectAncestors(roots []model.TupleRef, opts ProjectOptions) *Graph {
+	return g.project(roots, opts, false)
+}
+
+// ProjectDescendants returns the subgraph of everything derivable from
+// the root tuples (following derivations forward) — the direction used
+// for "what tuples are derived from this relation?".
+func (g *Graph) ProjectDescendants(roots []model.TupleRef, opts ProjectOptions) *Graph {
+	return g.project(roots, opts, true)
+}
+
+func (g *Graph) project(roots []model.TupleRef, opts ProjectOptions, forward bool) *Graph {
+	out := New()
+	type item struct {
+		tn    *TupleNode
+		depth int
+	}
+	var queue []item
+	seen := make(map[string]bool)
+	for _, ref := range roots {
+		if tn, ok := g.Lookup(ref); ok {
+			queue = append(queue, item{tn, 0})
+			seen[annKey(tn)] = true
+		}
+	}
+	admitDeriv := func(d *DerivNode) bool {
+		if opts.Mappings != nil && !opts.Mappings[d.Mapping] {
+			return false
+		}
+		if opts.Relations != nil {
+			for _, src := range d.Sources {
+				if !opts.Relations[src.Ref.Rel] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		cur := it.tn
+		// Always materialize the frontier tuple in the output graph.
+		copyTuple(out, cur)
+		if opts.MaxDepth > 0 && it.depth >= opts.MaxDepth {
+			continue
+		}
+		derivs := cur.Derivations
+		if forward {
+			derivs = cur.Uses
+		}
+		for _, d := range derivs {
+			if !admitDeriv(d) {
+				continue
+			}
+			nd := out.AddDerivation(d.ID, d.Mapping, refsOf(d.Sources), refsOf(d.Targets))
+			// Copy node metadata for everything the derivation touches.
+			for _, tn := range append(append([]*TupleNode{}, d.Sources...), d.Targets...) {
+				copyTuple(out, tn)
+			}
+			_ = nd
+			next := d.Sources
+			if forward {
+				next = d.Targets
+			}
+			for _, tn := range next {
+				if !seen[annKey(tn)] {
+					seen[annKey(tn)] = true
+					queue = append(queue, item{tn, it.depth + 1})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func copyTuple(out *Graph, tn *TupleNode) {
+	n := out.Tuple(tn.Ref)
+	n.Row = tn.Row
+	n.Leaf = tn.Leaf
+}
+
+func refsOf(tns []*TupleNode) []model.TupleRef {
+	out := make([]model.TupleRef, len(tns))
+	for i, tn := range tns {
+		out[i] = tn.Ref
+	}
+	return out
+}
+
+// CommonAncestors returns the tuple refs that appear in the ancestor
+// projections of both a and b — the "common provenance" test of use
+// case Q4 ("join using provenance").
+func (g *Graph) CommonAncestors(a, b model.TupleRef) []model.TupleRef {
+	ga := g.ProjectAncestors([]model.TupleRef{a}, ProjectOptions{})
+	gb := g.ProjectAncestors([]model.TupleRef{b}, ProjectOptions{})
+	var out []model.TupleRef
+	for _, tn := range ga.Tuples() {
+		if _, ok := gb.Lookup(tn.Ref); ok {
+			out = append(out, tn.Ref)
+		}
+	}
+	return out
+}
+
+// Lineage returns the set of leaf tuple refs reachable backwards from
+// root — Cui-style lineage (use case Q6) computed directly on the
+// graph; cross-checked against the LINEAGE semiring evaluation in
+// tests.
+func (g *Graph) Lineage(root model.TupleRef) []model.TupleRef {
+	sub := g.ProjectAncestors([]model.TupleRef{root}, ProjectOptions{})
+	var out []model.TupleRef
+	for _, tn := range sub.Tuples() {
+		if tn.Leaf {
+			out = append(out, tn.Ref)
+		}
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package relstore
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Expr is a scalar expression evaluated against a row. Expressions
+// implement the WHERE-clause predicates of translated ProQL queries.
+type Expr interface {
+	Eval(row model.Tuple) (model.Datum, error)
+	String() string
+}
+
+// Col references a column by position.
+type Col int
+
+// Eval implements Expr.
+func (c Col) Eval(row model.Tuple) (model.Datum, error) {
+	if int(c) < 0 || int(c) >= len(row) {
+		return nil, fmt.Errorf("relstore: column %d out of range (row arity %d)", int(c), len(row))
+	}
+	return row[c], nil
+}
+
+func (c Col) String() string { return fmt.Sprintf("$%d", int(c)) }
+
+// Lit is a literal datum.
+type Lit struct{ Val model.Datum }
+
+// Eval implements Expr.
+func (l Lit) Eval(model.Tuple) (model.Datum, error) { return l.Val, nil }
+
+func (l Lit) String() string { return model.FormatDatum(l.Val) }
+
+// CmpOp enumerates comparison operators.
+type CmpOp int
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case EQ:
+		return "="
+	case NE:
+		return "<>"
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	}
+	return "?"
+}
+
+// Cmp compares two sub-expressions. Comparisons involving NULL are
+// false (SQL three-valued logic collapsed to two, which matches how
+// the generated plans use predicates). Ordered comparisons across
+// types use the model.Compare total order; equality across numeric
+// types coerces int64/float64.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (c Cmp) Eval(row model.Tuple) (model.Datum, error) {
+	l, err := c.L.Eval(row)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.R.Eval(row)
+	if err != nil {
+		return nil, err
+	}
+	if l == nil || r == nil {
+		return false, nil
+	}
+	l, r = coerceNumeric(l, r)
+	cmp := model.Compare(l, r)
+	switch c.Op {
+	case EQ:
+		return cmp == 0 && model.TypeOf(l) == model.TypeOf(r), nil
+	case NE:
+		return cmp != 0 || model.TypeOf(l) != model.TypeOf(r), nil
+	case LT:
+		return cmp < 0, nil
+	case LE:
+		return cmp <= 0, nil
+	case GT:
+		return cmp > 0, nil
+	case GE:
+		return cmp >= 0, nil
+	}
+	return nil, fmt.Errorf("relstore: bad comparison op %d", c.Op)
+}
+
+func (c Cmp) String() string {
+	return fmt.Sprintf("(%s %s %s)", c.L, c.Op, c.R)
+}
+
+// coerceNumeric widens int64 to float64 when compared with a float64.
+func coerceNumeric(l, r model.Datum) (model.Datum, model.Datum) {
+	li, lOK := l.(int64)
+	rf, rIsF := r.(float64)
+	if lOK && rIsF {
+		return float64(li), rf
+	}
+	lf, lIsF := l.(float64)
+	ri, rOK := r.(int64)
+	if lIsF && rOK {
+		return lf, float64(ri)
+	}
+	return l, r
+}
+
+// And is logical conjunction.
+type And struct{ L, R Expr }
+
+// Eval implements Expr.
+func (a And) Eval(row model.Tuple) (model.Datum, error) {
+	l, err := evalBool(a.L, row)
+	if err != nil || !l {
+		return false, err
+	}
+	return evalBool(a.R, row)
+}
+
+func (a And) String() string { return fmt.Sprintf("(%s AND %s)", a.L, a.R) }
+
+// Or is logical disjunction.
+type Or struct{ L, R Expr }
+
+// Eval implements Expr.
+func (o Or) Eval(row model.Tuple) (model.Datum, error) {
+	l, err := evalBool(o.L, row)
+	if err != nil || l {
+		return l, err
+	}
+	return evalBool(o.R, row)
+}
+
+func (o Or) String() string { return fmt.Sprintf("(%s OR %s)", o.L, o.R) }
+
+// Not is logical negation.
+type Not struct{ E Expr }
+
+// Eval implements Expr.
+func (n Not) Eval(row model.Tuple) (model.Datum, error) {
+	v, err := evalBool(n.E, row)
+	return !v, err
+}
+
+func (n Not) String() string { return fmt.Sprintf("(NOT %s)", n.E) }
+
+// IsNull tests a sub-expression for NULL.
+type IsNull struct{ E Expr }
+
+// Eval implements Expr.
+func (i IsNull) Eval(row model.Tuple) (model.Datum, error) {
+	v, err := i.E.Eval(row)
+	if err != nil {
+		return nil, err
+	}
+	return v == nil, nil
+}
+
+func (i IsNull) String() string { return fmt.Sprintf("(%s IS NULL)", i.E) }
+
+// TrueExpr is the always-true predicate.
+type TrueExpr struct{}
+
+// Eval implements Expr.
+func (TrueExpr) Eval(model.Tuple) (model.Datum, error) { return true, nil }
+
+func (TrueExpr) String() string { return "TRUE" }
+
+// evalBool evaluates e and coerces to bool; non-bool results error.
+func evalBool(e Expr, row model.Tuple) (bool, error) {
+	v, err := e.Eval(row)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return false, fmt.Errorf("relstore: predicate %s evaluated to non-bool %T", e, v)
+	}
+	return b, nil
+}
+
+// AndAll folds a slice of predicates into a conjunction (TRUE if empty).
+func AndAll(es []Expr) Expr {
+	if len(es) == 0 {
+		return TrueExpr{}
+	}
+	out := es[0]
+	for _, e := range es[1:] {
+		out = And{out, e}
+	}
+	return out
+}

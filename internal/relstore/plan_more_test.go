@@ -1,0 +1,161 @@
+package relstore
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestGroupByEmptyInput(t *testing.T) {
+	db := NewDatabase()
+	db.CreateTable(&TableSchema{Name: "E", Columns: []model.Column{intCol("a")}})
+	g := &GroupBy{
+		Input:     &Scan{Table: "E", Width: 1},
+		GroupCols: []int{0},
+		Aggs: []AggSpec{{
+			Name:  "count",
+			Init:  func() any { return int64(0) },
+			Step:  func(acc any, _ model.Tuple) (any, error) { return acc.(int64) + 1, nil },
+			Final: func(acc any) model.Datum { return acc.(int64) },
+		}},
+	}
+	rows := runPlan(t, db, g)
+	if len(rows) != 0 {
+		t.Errorf("empty input should yield no groups: %v", rows)
+	}
+	if g.Arity() != 2 {
+		t.Errorf("arity = %d", g.Arity())
+	}
+}
+
+func TestGroupByCarriesSemiringValues(t *testing.T) {
+	// Aggregation columns may hold arbitrary Go values (semiring
+	// annotations) since model.Datum is dynamically typed.
+	db := joinFixture(t)
+	g := &GroupBy{
+		Input:     &Scan{Table: "R", Width: 2},
+		GroupCols: []int{0},
+		Aggs: []AggSpec{{
+			Name: "concat",
+			Init: func() any { return []string{} },
+			Step: func(acc any, row model.Tuple) (any, error) {
+				return append(acc.([]string), row[1].(string)), nil
+			},
+			Final: func(acc any) model.Datum { return acc },
+		}},
+	}
+	rows := runPlan(t, db, g)
+	for _, r := range rows {
+		if _, ok := r[1].([]string); !ok {
+			t.Fatalf("aggregate column should carry []string, got %T", r[1])
+		}
+	}
+}
+
+func TestFilterFuncErrorPropagates(t *testing.T) {
+	db := joinFixture(t)
+	wantErr := errors.New("boom")
+	f := &FilterFunc{
+		Input: &Scan{Table: "R", Width: 2},
+		Desc:  "always fails",
+		Fn:    func(model.Tuple) (bool, error) { return false, wantErr },
+	}
+	if _, err := f.Run(db); !errors.Is(err, wantErr) {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+func TestAggStepErrorPropagates(t *testing.T) {
+	db := joinFixture(t)
+	wantErr := errors.New("agg fail")
+	g := &GroupBy{
+		Input:     &Scan{Table: "R", Width: 2},
+		GroupCols: []int{0},
+		Aggs: []AggSpec{{
+			Name:  "bad",
+			Init:  func() any { return nil },
+			Step:  func(any, model.Tuple) (any, error) { return nil, wantErr },
+			Final: func(any) model.Datum { return nil },
+		}},
+	}
+	if _, err := g.Run(db); !errors.Is(err, wantErr) {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+func TestExplainCoversAllNodes(t *testing.T) {
+	plan := &FilterFunc{
+		Desc: "having",
+		Input: &GroupBy{
+			Input: &Distinct{Input: &UnionAll{Inputs: []Plan{
+				ProjectCols(&HashJoin{
+					Left:      &Scan{Table: "L", Width: 2},
+					Right:     &IndexProbe{Table: "R", Cols: []int{0}, Vals: []model.Datum{int64(1)}, Width: 2},
+					LeftKeys:  []int{0},
+					RightKeys: []int{0},
+					Type:      LeftOuterJoin,
+				}, 0),
+				&Values{Rows: []model.Tuple{{int64(1)}}},
+			}}},
+			GroupCols: []int{0},
+		},
+		Fn: func(model.Tuple) (bool, error) { return true, nil },
+	}
+	out := Explain(plan)
+	for _, want := range []string{"FilterFunc(having)", "GroupBy", "Distinct", "UnionAll", "Project", "HashJoin(left", "Scan(L)", "IndexProbe(R", "Values(1 rows)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	e := And{
+		L: Or{L: Cmp{Op: NE, L: Col(0), R: Lit{Val: int64(1)}}, R: IsNull{E: Col(1)}},
+		R: Not{E: Cmp{Op: LE, L: Col(2), R: Lit{Val: "x"}}},
+	}
+	s := e.String()
+	for _, want := range []string{"<>", "IS NULL", "NOT", "<=", "AND", "OR", "$0", "$1", "$2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("expr string %q missing %q", s, want)
+		}
+	}
+	for op, want := range map[CmpOp]string{EQ: "=", NE: "<>", LT: "<", LE: "<=", GT: ">", GE: ">="} {
+		if op.String() != want {
+			t.Errorf("op %d = %q", int(op), op.String())
+		}
+	}
+	for jt, want := range map[JoinType]string{InnerJoin: "inner", LeftOuterJoin: "left", RightOuterJoin: "right", FullOuterJoin: "full"} {
+		if jt.String() != want {
+			t.Errorf("join type %d = %q", int(jt), jt.String())
+		}
+	}
+}
+
+func TestJoinKeyArityMismatch(t *testing.T) {
+	db := joinFixture(t)
+	j := &HashJoin{
+		Left:      &Scan{Table: "L", Width: 2},
+		Right:     &Scan{Table: "R", Width: 2},
+		LeftKeys:  []int{0},
+		RightKeys: []int{0, 1},
+	}
+	if _, err := j.Run(db); err == nil {
+		t.Error("key arity mismatch should error")
+	}
+}
+
+func TestCrossJoinWithEmptyKeys(t *testing.T) {
+	db := joinFixture(t)
+	j := &HashJoin{
+		Left:  &Scan{Table: "L", Width: 2},
+		Right: &Scan{Table: "R", Width: 2},
+		Type:  InnerJoin,
+	}
+	rows := runPlan(t, db, j)
+	if len(rows) != 3*4 {
+		t.Errorf("cross join = %d rows, want 12", len(rows))
+	}
+}

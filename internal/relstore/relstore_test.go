@@ -1,0 +1,373 @@
+package relstore
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func intCol(name string) model.Column { return model.Column{Name: name, Type: model.TypeInt} }
+func strCol(name string) model.Column { return model.Column{Name: name, Type: model.TypeString} }
+
+func newKeyedTable(t *testing.T, db *Database, name string) *Table {
+	t.Helper()
+	tbl, err := db.CreateTable(&TableSchema{
+		Name:    name,
+		Columns: []model.Column{intCol("id"), strCol("v")},
+		Key:     []int{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestTableInsertSetSemantics(t *testing.T) {
+	db := NewDatabase()
+	tbl := newKeyedTable(t, db, "R")
+	ins, err := tbl.Insert(model.Tuple{int64(1), "a"})
+	if err != nil || !ins {
+		t.Fatalf("first insert: %v %v", ins, err)
+	}
+	ins, err = tbl.Insert(model.Tuple{int64(1), "b"})
+	if err != nil || ins {
+		t.Fatalf("duplicate key should be ignored: %v %v", ins, err)
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+	row, ok := tbl.LookupKey([]model.Datum{int64(1)})
+	if !ok || row[1] != "a" {
+		t.Errorf("LookupKey = %v %v", row, ok)
+	}
+	if _, err := tbl.Insert(model.Tuple{int64(2)}); err == nil {
+		t.Error("arity mismatch should error")
+	}
+}
+
+func TestTableDeleteAndSlotReuse(t *testing.T) {
+	db := NewDatabase()
+	tbl := newKeyedTable(t, db, "R")
+	for i := int64(0); i < 5; i++ {
+		tbl.Insert(model.Tuple{i, "x"})
+	}
+	ok, err := tbl.Delete([]model.Datum{int64(2)})
+	if err != nil || !ok {
+		t.Fatalf("delete: %v %v", ok, err)
+	}
+	if ok, _ := tbl.Delete([]model.Datum{int64(2)}); ok {
+		t.Error("double delete should report false")
+	}
+	if tbl.Len() != 4 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+	// Reinsert reuses the freed slot.
+	tbl.Insert(model.Tuple{int64(9), "y"})
+	if tbl.Len() != 5 {
+		t.Errorf("Len after reinsert = %d", tbl.Len())
+	}
+	if _, ok := tbl.LookupKey([]model.Datum{int64(9)}); !ok {
+		t.Error("reinserted row missing")
+	}
+	rows := tbl.Rows()
+	if len(rows) != 5 {
+		t.Errorf("Rows() = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r == nil {
+			t.Error("Rows leaked a deleted slot")
+		}
+	}
+}
+
+func TestSecondaryIndexProbe(t *testing.T) {
+	db := NewDatabase()
+	tbl := newKeyedTable(t, db, "R")
+	tbl.Insert(model.Tuple{int64(1), "a"})
+	tbl.Insert(model.Tuple{int64(2), "a"})
+	tbl.Insert(model.Tuple{int64(3), "b"})
+	// Probe without index scans.
+	got := tbl.Probe([]int{1}, []model.Datum{"a"})
+	if len(got) != 2 {
+		t.Fatalf("scan probe = %d rows", len(got))
+	}
+	tbl.CreateIndex([]int{1})
+	if !tbl.HasIndex([]int{1}) || tbl.HasIndex([]int{0, 1}) {
+		t.Error("HasIndex wrong")
+	}
+	got = tbl.Probe([]int{1}, []model.Datum{"a"})
+	if len(got) != 2 {
+		t.Fatalf("index probe = %d rows", len(got))
+	}
+	// Index maintained under insert and delete.
+	tbl.Insert(model.Tuple{int64(4), "a"})
+	tbl.Delete([]model.Datum{int64(1)})
+	got = tbl.Probe([]int{1}, []model.Datum{"a"})
+	if len(got) != 2 {
+		t.Fatalf("index probe after churn = %d rows", len(got))
+	}
+}
+
+func TestDatabaseOps(t *testing.T) {
+	db := NewDatabase()
+	newKeyedTable(t, db, "R")
+	if _, err := db.CreateTable(&TableSchema{Name: "R", Columns: []model.Column{intCol("x")}}); err == nil {
+		t.Error("duplicate table should error")
+	}
+	if _, ok := db.Table("R"); !ok {
+		t.Error("table lookup failed")
+	}
+	if _, ok := db.Table("Z"); ok {
+		t.Error("phantom table")
+	}
+	names := db.TableNames()
+	if len(names) != 1 || names[0] != "R" {
+		t.Errorf("TableNames = %v", names)
+	}
+	db.MustTable("R").Insert(model.Tuple{int64(1), "a"})
+	if db.TotalRows() != 1 {
+		t.Errorf("TotalRows = %d", db.TotalRows())
+	}
+	db.DropTable("R")
+	if _, ok := db.Table("R"); ok {
+		t.Error("drop failed")
+	}
+}
+
+func TestExprEval(t *testing.T) {
+	row := model.Tuple{int64(5), "abc", nil, 2.5}
+	cases := []struct {
+		e    Expr
+		want model.Datum
+	}{
+		{Cmp{EQ, Col(0), Lit{int64(5)}}, true},
+		{Cmp{EQ, Col(0), Lit{2.5}}, false},
+		{Cmp{LT, Col(0), Lit{5.5}}, true}, // numeric coercion
+		{Cmp{GE, Col(3), Lit{int64(2)}}, true},
+		{Cmp{NE, Col(1), Lit{"abc"}}, false},
+		{Cmp{EQ, Col(2), Lit{nil}}, false}, // NULL compares false
+		{IsNull{Col(2)}, true},
+		{IsNull{Col(0)}, false},
+		{And{Cmp{EQ, Col(0), Lit{int64(5)}}, Cmp{EQ, Col(1), Lit{"abc"}}}, true},
+		{Or{Cmp{EQ, Col(0), Lit{int64(0)}}, Cmp{EQ, Col(1), Lit{"abc"}}}, true},
+		{Not{Cmp{EQ, Col(0), Lit{int64(5)}}}, false},
+		{TrueExpr{}, true},
+	}
+	for _, c := range cases {
+		got, err := c.e.Eval(row)
+		if err != nil {
+			t.Errorf("%s: %v", c.e, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+	if _, err := (Col(9)).Eval(row); err == nil {
+		t.Error("out-of-range column should error")
+	}
+	if _, err := evalBool(Lit{int64(1)}, row); err == nil {
+		t.Error("non-bool predicate should error")
+	}
+}
+
+func TestAndAll(t *testing.T) {
+	row := model.Tuple{int64(1)}
+	if ok, _ := evalBool(AndAll(nil), row); !ok {
+		t.Error("empty AndAll should be TRUE")
+	}
+	e := AndAll([]Expr{Cmp{EQ, Col(0), Lit{int64(1)}}, Cmp{LT, Col(0), Lit{int64(2)}}})
+	if ok, _ := evalBool(e, row); !ok {
+		t.Error("conjunction should hold")
+	}
+}
+
+// joinFixture loads two small tables: L(id, lv), R(id, rv).
+func joinFixture(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase()
+	l, _ := db.CreateTable(&TableSchema{Name: "L", Columns: []model.Column{intCol("id"), strCol("lv")}})
+	r, _ := db.CreateTable(&TableSchema{Name: "R", Columns: []model.Column{intCol("id"), strCol("rv")}})
+	l.Insert(model.Tuple{int64(1), "l1"})
+	l.Insert(model.Tuple{int64(2), "l2"})
+	l.Insert(model.Tuple{nil, "lnull"})
+	r.Insert(model.Tuple{int64(2), "r2"})
+	r.Insert(model.Tuple{int64(2), "r2b"})
+	r.Insert(model.Tuple{int64(3), "r3"})
+	r.Insert(model.Tuple{nil, "rnull"})
+	return db
+}
+
+func runPlan(t *testing.T, db *Database, p Plan) []model.Tuple {
+	t.Helper()
+	rows, err := p.Run(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestHashJoinInner(t *testing.T) {
+	db := joinFixture(t)
+	j := &HashJoin{
+		Left:      &Scan{Table: "L", Width: 2},
+		Right:     &Scan{Table: "R", Width: 2},
+		LeftKeys:  []int{0},
+		RightKeys: []int{0},
+		Type:      InnerJoin,
+	}
+	rows := runPlan(t, db, j)
+	if len(rows) != 2 {
+		t.Fatalf("inner join = %d rows, want 2 (L2 with r2, r2b)", len(rows))
+	}
+	for _, r := range rows {
+		if r[0] != int64(2) || r[2] != int64(2) {
+			t.Errorf("bad join row %v", r)
+		}
+	}
+}
+
+func TestHashJoinOuterVariants(t *testing.T) {
+	db := joinFixture(t)
+	mk := func(jt JoinType) *HashJoin {
+		return &HashJoin{
+			Left:      &Scan{Table: "L", Width: 2},
+			Right:     &Scan{Table: "R", Width: 2},
+			LeftKeys:  []int{0},
+			RightKeys: []int{0},
+			Type:      jt,
+		}
+	}
+	// Left outer: 2 matches + L1 and Lnull padded = 4.
+	rows := runPlan(t, db, mk(LeftOuterJoin))
+	if len(rows) != 4 {
+		t.Fatalf("left outer = %d rows, want 4", len(rows))
+	}
+	padded := 0
+	for _, r := range rows {
+		if r[2] == nil && r[3] == nil {
+			padded++
+		}
+	}
+	if padded != 2 {
+		t.Errorf("left outer padded = %d, want 2", padded)
+	}
+	// Right outer: 2 matches + r3 and rnull padded = 4.
+	rows = runPlan(t, db, mk(RightOuterJoin))
+	if len(rows) != 4 {
+		t.Fatalf("right outer = %d rows, want 4", len(rows))
+	}
+	// Full outer: 2 + 2 + 2 = 6.
+	rows = runPlan(t, db, mk(FullOuterJoin))
+	if len(rows) != 6 {
+		t.Fatalf("full outer = %d rows, want 6", len(rows))
+	}
+}
+
+func TestHashJoinNullKeysNeverMatch(t *testing.T) {
+	db := joinFixture(t)
+	j := &HashJoin{
+		Left:      &Scan{Table: "L", Width: 2},
+		Right:     &Scan{Table: "R", Width: 2},
+		LeftKeys:  []int{0},
+		RightKeys: []int{0},
+		Type:      InnerJoin,
+	}
+	rows := runPlan(t, db, j)
+	for _, r := range rows {
+		if r[0] == nil {
+			t.Errorf("NULL key joined: %v", r)
+		}
+	}
+}
+
+func TestProjectFilterDistinctUnion(t *testing.T) {
+	db := joinFixture(t)
+	// SELECT DISTINCT lv-prefix rows with id >= 1
+	p := &Distinct{Input: ProjectCols(&Filter{
+		Input: &Scan{Table: "L", Width: 2},
+		Pred:  Cmp{GE, Col(0), Lit{int64(1)}},
+	}, 0)}
+	rows := runPlan(t, db, p)
+	if len(rows) != 2 {
+		t.Fatalf("distinct project = %d rows", len(rows))
+	}
+	u := &UnionAll{Inputs: []Plan{p, p}}
+	rows = runPlan(t, db, u)
+	if len(rows) != 4 {
+		t.Fatalf("union all = %d rows", len(rows))
+	}
+	if u.Arity() != 1 {
+		t.Errorf("union arity = %d", u.Arity())
+	}
+}
+
+func TestGroupByWithHaving(t *testing.T) {
+	db := joinFixture(t)
+	count := AggSpec{
+		Name:  "count",
+		Init:  func() any { return int64(0) },
+		Step:  func(acc any, _ model.Tuple) (any, error) { return acc.(int64) + 1, nil },
+		Final: func(acc any) model.Datum { return acc.(int64) },
+	}
+	g := &GroupBy{Input: &Scan{Table: "R", Width: 2}, GroupCols: []int{0}, Aggs: []AggSpec{count}}
+	rows := runPlan(t, db, g)
+	if len(rows) != 3 {
+		t.Fatalf("groups = %d, want 3 (2, 3, NULL)", len(rows))
+	}
+	// HAVING count > 1 keeps only id=2.
+	h := &FilterFunc{Input: g, Desc: "count>1", Fn: func(r model.Tuple) (bool, error) {
+		return r[1].(int64) > 1, nil
+	}}
+	rows = runPlan(t, db, h)
+	if len(rows) != 1 || rows[0][0] != int64(2) || rows[0][1] != int64(2) {
+		t.Fatalf("having = %v", rows)
+	}
+}
+
+func TestIndexProbePlanAndValues(t *testing.T) {
+	db := joinFixture(t)
+	db.MustTable("R").CreateIndex([]int{0})
+	p := &IndexProbe{Table: "R", Cols: []int{0}, Vals: []model.Datum{int64(2)}, Width: 2}
+	rows := runPlan(t, db, p)
+	if len(rows) != 2 {
+		t.Fatalf("probe = %d rows", len(rows))
+	}
+	v := &Values{Rows: []model.Tuple{{int64(9), "z"}}}
+	rows = runPlan(t, db, v)
+	if len(rows) != 1 || v.Arity() != 2 {
+		t.Fatalf("values wrong: %v arity=%d", rows, v.Arity())
+	}
+}
+
+func TestScanUnknownTableErrors(t *testing.T) {
+	db := NewDatabase()
+	if _, err := (&Scan{Table: "nope", Width: 1}).Run(db); err == nil {
+		t.Error("scan of unknown table should error")
+	}
+	if _, err := (&IndexProbe{Table: "nope"}).Run(db); err == nil {
+		t.Error("probe of unknown table should error")
+	}
+}
+
+func TestExplainRendering(t *testing.T) {
+	p := &Filter{Input: &Scan{Table: "L", Width: 2}, Pred: TrueExpr{}}
+	out := Explain(p)
+	if out == "" {
+		t.Error("Explain produced nothing")
+	}
+}
+
+func TestSortedRowsDeterministic(t *testing.T) {
+	db := NewDatabase()
+	tbl := newKeyedTable(t, db, "R")
+	tbl.Insert(model.Tuple{int64(3), "c"})
+	tbl.Insert(model.Tuple{int64(1), "a"})
+	tbl.Insert(model.Tuple{int64(2), "b"})
+	rows := tbl.SortedRows()
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1][0].(int64) > rows[i][0].(int64) {
+			t.Fatalf("not sorted: %v", rows)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+// Package relstore is the relational storage and execution substrate:
+// an in-memory stand-in for the RDBMS (DB2 in the paper) that stores
+// the peer instances, the provenance relations of Section 4.1, and the
+// ASR tables of Section 5, and executes the physical plans that ProQL
+// queries are translated into (scans, filters, hash joins including
+// outer joins, UNION ALL, and GROUP BY/HAVING with semiring
+// aggregation).
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// TableSchema describes a stored table. Unlike model.Relation, a table
+// may have no primary key (ASR tables contain NULL-padded rows and may
+// hold duplicates) — Key is nil in that case.
+type TableSchema struct {
+	Name    string
+	Columns []model.Column
+	Key     []int // nil => no primary key, duplicates allowed
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (s *TableSchema) ColumnIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// SchemaOf adapts a model.Relation to a table schema.
+func SchemaOf(r *model.Relation) *TableSchema {
+	return &TableSchema{Name: r.Name, Columns: r.Columns, Key: r.Key}
+}
+
+// Table is an in-memory table with optional primary-key enforcement and
+// optional secondary hash indexes.
+type Table struct {
+	Schema *TableSchema
+	rows   []model.Tuple
+	// pk maps encoded key datums to row index (only when Key != nil).
+	pk map[string]int
+	// indexes maps an index name (from IndexName) to a hash index.
+	indexes map[string]*hashIndex
+	// free lists row slots vacated by Delete for reuse; nil rows in
+	// rows mark deleted slots.
+	free []int
+}
+
+// hashIndex maps encoded column values to the row indexes holding them.
+type hashIndex struct {
+	cols    []int
+	buckets map[string][]int
+}
+
+// NewTable creates an empty table.
+func NewTable(schema *TableSchema) *Table {
+	t := &Table{Schema: schema, indexes: make(map[string]*hashIndex)}
+	if schema.Key != nil {
+		t.pk = make(map[string]int)
+	}
+	return t
+}
+
+// IndexName derives the registry key for a secondary index on cols.
+func IndexName(cols []int) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = fmt.Sprint(c)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Len returns the number of live rows.
+func (t *Table) Len() int { return len(t.rows) - len(t.free) }
+
+// Insert adds a row. With a primary key, set semantics apply: a row
+// whose key already exists is ignored and Insert reports false. The
+// row is stored by reference; callers must not mutate it afterwards.
+func (t *Table) Insert(row model.Tuple) (bool, error) {
+	if len(row) != len(t.Schema.Columns) {
+		return false, fmt.Errorf("relstore: %s: row arity %d, want %d", t.Schema.Name, len(row), len(t.Schema.Columns))
+	}
+	if t.pk != nil {
+		key := encodeCols(row, t.Schema.Key)
+		if _, dup := t.pk[key]; dup {
+			return false, nil
+		}
+		idx := t.claimSlot(row)
+		t.pk[key] = idx
+		t.indexRow(idx, row)
+		return true, nil
+	}
+	idx := t.claimSlot(row)
+	t.indexRow(idx, row)
+	return true, nil
+}
+
+func (t *Table) claimSlot(row model.Tuple) int {
+	if n := len(t.free); n > 0 {
+		idx := t.free[n-1]
+		t.free = t.free[:n-1]
+		t.rows[idx] = row
+		return idx
+	}
+	t.rows = append(t.rows, row)
+	return len(t.rows) - 1
+}
+
+func (t *Table) indexRow(idx int, row model.Tuple) {
+	for _, ix := range t.indexes {
+		k := encodeCols(row, ix.cols)
+		ix.buckets[k] = append(ix.buckets[k], idx)
+	}
+}
+
+// Delete removes the row with the given primary key, reporting whether
+// it existed. Only valid on keyed tables.
+func (t *Table) Delete(key []model.Datum) (bool, error) {
+	if t.pk == nil {
+		return false, fmt.Errorf("relstore: %s has no primary key", t.Schema.Name)
+	}
+	enc := model.EncodeDatums(key)
+	idx, ok := t.pk[enc]
+	if !ok {
+		return false, nil
+	}
+	row := t.rows[idx]
+	delete(t.pk, enc)
+	for _, ix := range t.indexes {
+		k := encodeCols(row, ix.cols)
+		bucket := ix.buckets[k]
+		for i, r := range bucket {
+			if r == idx {
+				ix.buckets[k] = append(bucket[:i], bucket[i+1:]...)
+				break
+			}
+		}
+		if len(ix.buckets[k]) == 0 {
+			delete(ix.buckets, k)
+		}
+	}
+	t.rows[idx] = nil
+	t.free = append(t.free, idx)
+	return true, nil
+}
+
+// LookupKey returns the row with the given primary key, if present.
+func (t *Table) LookupKey(key []model.Datum) (model.Tuple, bool) {
+	if t.pk == nil {
+		return nil, false
+	}
+	idx, ok := t.pk[model.EncodeDatums(key)]
+	if !ok {
+		return nil, false
+	}
+	return t.rows[idx], true
+}
+
+// CreateIndex builds (or rebuilds) a secondary hash index on cols.
+func (t *Table) CreateIndex(cols []int) {
+	ix := &hashIndex{cols: append([]int(nil), cols...), buckets: make(map[string][]int)}
+	for idx, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		k := encodeCols(row, cols)
+		ix.buckets[k] = append(ix.buckets[k], idx)
+	}
+	t.indexes[IndexName(cols)] = ix
+}
+
+// HasIndex reports whether an index on exactly cols exists.
+func (t *Table) HasIndex(cols []int) bool {
+	_, ok := t.indexes[IndexName(cols)]
+	return ok
+}
+
+// Probe returns the rows whose cols equal vals, using an index if one
+// exists and scanning otherwise.
+func (t *Table) Probe(cols []int, vals []model.Datum) []model.Tuple {
+	want := model.EncodeDatums(vals)
+	if ix, ok := t.indexes[IndexName(cols)]; ok {
+		idxs := ix.buckets[want]
+		out := make([]model.Tuple, 0, len(idxs))
+		for _, i := range idxs {
+			out = append(out, t.rows[i])
+		}
+		return out
+	}
+	var out []model.Tuple
+	for _, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		if encodeCols(row, cols) == want {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// Rows returns the live rows. The returned slice is freshly allocated
+// but shares the underlying tuples; callers must not mutate them.
+func (t *Table) Rows() []model.Tuple {
+	out := make([]model.Tuple, 0, t.Len())
+	for _, row := range t.rows {
+		if row != nil {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// SortedRows returns the live rows in lexicographic datum order;
+// used for deterministic output in tests and the CLI.
+func (t *Table) SortedRows() []model.Tuple {
+	out := t.Rows()
+	sort.Slice(out, func(i, j int) bool { return compareRows(out[i], out[j]) < 0 })
+	return out
+}
+
+func compareRows(a, b model.Tuple) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := model.Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return len(a) - len(b)
+}
+
+func encodeCols(row model.Tuple, cols []int) string {
+	var sb strings.Builder
+	for _, c := range cols {
+		model.EncodeDatum(&sb, row[c])
+	}
+	return sb.String()
+}
+
+// Database is a named collection of tables — one peer's replica of the
+// whole CDSS (the paper's standalone ORCHESTRA engine keeps a complete
+// replica at each peer).
+type Database struct {
+	tables map[string]*Table
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{tables: make(map[string]*Table)}
+}
+
+// CreateTable registers a new empty table.
+func (db *Database) CreateTable(schema *TableSchema) (*Table, error) {
+	if _, dup := db.tables[schema.Name]; dup {
+		return nil, fmt.Errorf("relstore: table %q already exists", schema.Name)
+	}
+	t := NewTable(schema)
+	db.tables[schema.Name] = t
+	return t, nil
+}
+
+// DropTable removes a table if it exists.
+func (db *Database) DropTable(name string) {
+	delete(db.tables, name)
+}
+
+// Table looks up a table by name.
+func (db *Database) Table(name string) (*Table, bool) {
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// MustTable looks up a table, panicking if absent (programming error).
+func (db *Database) MustTable(name string) *Table {
+	t, ok := db.tables[name]
+	if !ok {
+		panic(fmt.Sprintf("relstore: no such table %q", name))
+	}
+	return t
+}
+
+// TableNames returns all table names, sorted.
+func (db *Database) TableNames() []string {
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalRows sums Len over all tables; the "instance size" metric of
+// Figures 9 and 10.
+func (db *Database) TotalRows() int {
+	total := 0
+	for _, t := range db.tables {
+		total += t.Len()
+	}
+	return total
+}

@@ -1,0 +1,67 @@
+package semiring
+
+import "strconv"
+
+// Derivability is the boolean semiring ({true,false}, ∨, ∧, false, true)
+// of Table 1 row 1: base value true for every EDB tuple; a tuple's
+// annotation is true iff it is derivable from the base tuples (use case
+// Q5, incremental view maintenance).
+//
+// Value type: bool.
+type Derivability struct{}
+
+// Name implements Semiring.
+func (Derivability) Name() string { return "DERIVABILITY" }
+
+// Zero implements Semiring.
+func (Derivability) Zero() Value { return false }
+
+// One implements Semiring.
+func (Derivability) One() Value { return true }
+
+// Plus implements Semiring (logical OR).
+func (Derivability) Plus(a, b Value) Value { return a.(bool) || b.(bool) }
+
+// Times implements Semiring (logical AND).
+func (Derivability) Times(a, b Value) Value { return a.(bool) && b.(bool) }
+
+// Eq implements Semiring.
+func (Derivability) Eq(a, b Value) bool { return a.(bool) == b.(bool) }
+
+// Format implements Semiring.
+func (Derivability) Format(v Value) string { return strconv.FormatBool(v.(bool)) }
+
+// Absorptive implements Semiring: a ∨ (a ∧ b) = a.
+func (Derivability) CycleSafe() bool { return true }
+
+// Trust is Table 1 row 2: identical algebra to Derivability but base
+// values come from per-tuple trust conditions and mappings may carry
+// the distrust function D_m (use case Q7). Keeping it as a distinct
+// registered semiring matches the paper's EVALUATE TRUST OF syntax.
+//
+// Value type: bool.
+type Trust struct{}
+
+// Name implements Semiring.
+func (Trust) Name() string { return "TRUST" }
+
+// Zero implements Semiring.
+func (Trust) Zero() Value { return false }
+
+// One implements Semiring.
+func (Trust) One() Value { return true }
+
+// Plus implements Semiring (logical OR).
+func (Trust) Plus(a, b Value) Value { return a.(bool) || b.(bool) }
+
+// Times implements Semiring (logical AND).
+func (Trust) Times(a, b Value) Value { return a.(bool) && b.(bool) }
+
+// Eq implements Semiring.
+func (Trust) Eq(a, b Value) bool { return a.(bool) == b.(bool) }
+
+// Format implements Semiring.
+func (Trust) Format(v Value) string { return strconv.FormatBool(v.(bool)) }
+
+// Absorptive implements Semiring.
+func (Trust) CycleSafe() bool { return true }

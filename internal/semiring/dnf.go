@@ -1,0 +1,211 @@
+package semiring
+
+import (
+	"sort"
+	"strings"
+)
+
+// DNF is a positive boolean expression over base-tuple identifiers in
+// disjunctive normal form: a set of monomials, each monomial a set of
+// identifiers. DNFs are kept normalized — monomials sorted and
+// deduplicated, and absorbed (no monomial is a superset of another),
+// which is sound because the boolean and probability-event algebras are
+// idempotent and absorptive.
+//
+// DNF is the value representation shared by the Probability semiring
+// (probabilistic event expressions, Table 1 row 6) and the PosBool
+// semiring (the most general absorptive provenance semiring).
+type DNF struct {
+	// Monomials, each sorted ascending; the slice itself is sorted by
+	// the monomial encoding. An empty Monomials means "false"/"empty
+	// event"; a single empty monomial means "true"/"certain event".
+	Monomials [][]string
+}
+
+// FalseDNF is the empty disjunction (impossible event).
+func FalseDNF() DNF { return DNF{} }
+
+// TrueDNF is the disjunction containing the empty conjunction
+// (certain event).
+func TrueDNF() DNF { return DNF{Monomials: [][]string{{}}} }
+
+// VarDNF is the event of a single base tuple.
+func VarDNF(id string) DNF { return DNF{Monomials: [][]string{{id}}} }
+
+// IsFalse reports whether the DNF denotes the impossible event.
+func (d DNF) IsFalse() bool { return len(d.Monomials) == 0 }
+
+// IsTrue reports whether the DNF denotes the certain event.
+func (d DNF) IsTrue() bool { return len(d.Monomials) == 1 && len(d.Monomials[0]) == 0 }
+
+func monoKey(m []string) string { return strings.Join(m, "\x00") }
+
+// normalizeDNF sorts, deduplicates, and absorbs monomials.
+func normalizeDNF(monos [][]string) DNF {
+	// Sort each monomial and dedup its variables (x ∧ x = x).
+	cleaned := make([][]string, 0, len(monos))
+	for _, m := range monos {
+		mm := append([]string(nil), m...)
+		sort.Strings(mm)
+		mm = dedupSorted(mm)
+		cleaned = append(cleaned, mm)
+	}
+	// Absorption: drop any monomial that is a superset of another.
+	sort.Slice(cleaned, func(i, j int) bool {
+		if len(cleaned[i]) != len(cleaned[j]) {
+			return len(cleaned[i]) < len(cleaned[j])
+		}
+		return monoKey(cleaned[i]) < monoKey(cleaned[j])
+	})
+	var kept [][]string
+	seen := make(map[string]bool)
+	for _, m := range cleaned {
+		k := monoKey(m)
+		if seen[k] {
+			continue
+		}
+		absorbed := false
+		for _, prev := range kept {
+			if subsetSorted(prev, m) {
+				absorbed = true
+				break
+			}
+		}
+		if absorbed {
+			continue
+		}
+		seen[k] = true
+		kept = append(kept, m)
+	}
+	sort.Slice(kept, func(i, j int) bool { return monoKey(kept[i]) < monoKey(kept[j]) })
+	return DNF{Monomials: kept}
+}
+
+func dedupSorted(xs []string) []string {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// subsetSorted reports whether sorted slice a ⊆ sorted slice b.
+func subsetSorted(a, b []string) bool {
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i >= len(b) || b[i] != x {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// unionSorted merges two sorted string slices, deduplicating.
+func unionSorted(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Or returns the normalized disjunction of two DNFs.
+func (d DNF) Or(o DNF) DNF {
+	monos := make([][]string, 0, len(d.Monomials)+len(o.Monomials))
+	monos = append(monos, d.Monomials...)
+	monos = append(monos, o.Monomials...)
+	return normalizeDNF(monos)
+}
+
+// And returns the normalized conjunction (distributed product) of two
+// DNFs.
+func (d DNF) And(o DNF) DNF {
+	monos := make([][]string, 0, len(d.Monomials)*len(o.Monomials))
+	for _, m1 := range d.Monomials {
+		for _, m2 := range o.Monomials {
+			monos = append(monos, unionSorted(m1, m2))
+		}
+	}
+	return normalizeDNF(monos)
+}
+
+// EqDNF reports structural equality of normalized DNFs.
+func EqDNF(a, b DNF) bool {
+	if len(a.Monomials) != len(b.Monomials) {
+		return false
+	}
+	for i := range a.Monomials {
+		if monoKey(a.Monomials[i]) != monoKey(b.Monomials[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Vars returns the sorted distinct identifiers mentioned in the DNF.
+func (d DNF) Vars() []string {
+	seen := make(map[string]bool)
+	for _, m := range d.Monomials {
+		for _, v := range m {
+			seen[v] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (d DNF) String() string {
+	if d.IsFalse() {
+		return "⊥"
+	}
+	if d.IsTrue() {
+		return "⊤"
+	}
+	parts := make([]string, len(d.Monomials))
+	for i, m := range d.Monomials {
+		parts[i] = strings.Join(m, "∧")
+	}
+	return strings.Join(parts, " ∨ ")
+}
+
+// EvalDNF evaluates the DNF as a boolean formula under a truth
+// assignment (absent identifiers are false).
+func EvalDNF(d DNF, truth map[string]bool) bool {
+	for _, m := range d.Monomials {
+		all := true
+		for _, v := range m {
+			if !truth[v] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,177 @@
+package semiring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDNFNormalization(t *testing.T) {
+	// (x ∧ x) should normalize to x.
+	d := VarDNF("x").And(VarDNF("x"))
+	if !EqDNF(d, VarDNF("x")) {
+		t.Errorf("x∧x = %s, want x", d)
+	}
+	// x ∨ (x ∧ y) should absorb to x.
+	d = VarDNF("x").Or(VarDNF("x").And(VarDNF("y")))
+	if !EqDNF(d, VarDNF("x")) {
+		t.Errorf("x ∨ x∧y = %s, want x", d)
+	}
+	// Duplicate monomials collapse.
+	d = VarDNF("x").Or(VarDNF("x"))
+	if len(d.Monomials) != 1 {
+		t.Errorf("x ∨ x has %d monomials", len(d.Monomials))
+	}
+}
+
+func TestDNFTrueFalse(t *testing.T) {
+	if !FalseDNF().IsFalse() || FalseDNF().IsTrue() {
+		t.Error("FalseDNF classification wrong")
+	}
+	if !TrueDNF().IsTrue() || TrueDNF().IsFalse() {
+		t.Error("TrueDNF classification wrong")
+	}
+	// true ∨ x absorbs to true.
+	d := TrueDNF().Or(VarDNF("x"))
+	if !d.IsTrue() {
+		t.Errorf("⊤ ∨ x = %s", d)
+	}
+	// false ∧ x = false.
+	d = FalseDNF().And(VarDNF("x"))
+	if !d.IsFalse() {
+		t.Errorf("⊥ ∧ x = %s", d)
+	}
+}
+
+func TestDNFString(t *testing.T) {
+	d := VarDNF("a").And(VarDNF("b")).Or(VarDNF("c"))
+	if s := d.String(); s != "c ∨ a∧b" && s != "a∧b ∨ c" {
+		t.Errorf("String = %q", s)
+	}
+	if FalseDNF().String() != "⊥" || TrueDNF().String() != "⊤" {
+		t.Error("constant rendering wrong")
+	}
+}
+
+// randomDNF builds a small random DNF over vars x0..x3.
+func randomDNF(rng *rand.Rand) DNF {
+	vars := []string{"x0", "x1", "x2", "x3"}
+	n := rng.Intn(4)
+	var monos [][]string
+	for i := 0; i < n; i++ {
+		k := 1 + rng.Intn(3)
+		var m []string
+		for j := 0; j < k; j++ {
+			m = append(m, vars[rng.Intn(len(vars))])
+		}
+		monos = append(monos, m)
+	}
+	return normalizeDNF(monos)
+}
+
+// TestDNFOpsAgreeWithBooleanSemantics cross-checks the symbolic algebra
+// against truth-table evaluation: for random DNFs d, e and all 2^4
+// assignments, eval(d∨e) = eval(d)||eval(e) and eval(d∧e) =
+// eval(d)&&eval(e). This pins the normalization (dedup + absorption) as
+// semantics-preserving.
+func TestDNFOpsAgreeWithBooleanSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vars := []string{"x0", "x1", "x2", "x3"}
+	for trial := 0; trial < 200; trial++ {
+		d, e := randomDNF(rng), randomDNF(rng)
+		or := d.Or(e)
+		and := d.And(e)
+		for mask := 0; mask < 16; mask++ {
+			truth := map[string]bool{}
+			for i, v := range vars {
+				truth[v] = mask&(1<<i) != 0
+			}
+			dv, ev := EvalDNF(d, truth), EvalDNF(e, truth)
+			if EvalDNF(or, truth) != (dv || ev) {
+				t.Fatalf("Or semantics broken: d=%s e=%s mask=%d", d, e, mask)
+			}
+			if EvalDNF(and, truth) != (dv && ev) {
+				t.Fatalf("And semantics broken: d=%s e=%s mask=%d", d, e, mask)
+			}
+		}
+	}
+}
+
+func TestDNFVars(t *testing.T) {
+	d := VarDNF("b").And(VarDNF("a")).Or(VarDNF("c"))
+	vars := d.Vars()
+	if len(vars) != 3 || vars[0] != "a" || vars[1] != "b" || vars[2] != "c" {
+		t.Errorf("Vars = %v", vars)
+	}
+}
+
+// TestProbabilityExactMatchesBruteForce checks inclusion–exclusion
+// against direct possible-worlds enumeration.
+func TestProbabilityExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vars := []string{"x0", "x1", "x2", "x3"}
+	probs := map[string]float64{"x0": 0.5, "x1": 0.25, "x2": 0.75, "x3": 0.1}
+	for trial := 0; trial < 100; trial++ {
+		d := randomDNF(rng)
+		got := ProbabilityOf(d, probs, 0)
+		// Brute force over 2^4 worlds.
+		want := 0.0
+		for mask := 0; mask < 16; mask++ {
+			truth := map[string]bool{}
+			w := 1.0
+			for i, v := range vars {
+				if mask&(1<<i) != 0 {
+					truth[v] = true
+					w *= probs[v]
+				} else {
+					w *= 1 - probs[v]
+				}
+			}
+			if EvalDNF(d, truth) {
+				want += w
+			}
+		}
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("ProbabilityOf(%s) = %g, brute force %g", d, got, want)
+		}
+	}
+}
+
+func TestProbabilityMonteCarloPath(t *testing.T) {
+	// Build an event with > exactInclusionExclusionLimit monomials to
+	// force the sampling path: disjunction of 25 independent pairs.
+	var d DNF
+	probs := map[string]float64{}
+	for i := 0; i < 25; i++ {
+		a := VarDNF(varName("a", i))
+		b := VarDNF(varName("b", i))
+		d = d.Or(a.And(b))
+		probs[varName("a", i)] = 0.3
+		probs[varName("b", i)] = 0.3
+	}
+	if len(d.Monomials) <= exactInclusionExclusionLimit {
+		t.Fatalf("expected large DNF, got %d monomials", len(d.Monomials))
+	}
+	got := ProbabilityOf(d, probs, 20000)
+	// Exact: 1 - (1-0.09)^25 ≈ 0.9054
+	want := 0.9054
+	if got < want-0.03 || got > want+0.03 {
+		t.Errorf("Monte Carlo estimate %g too far from %g", got, want)
+	}
+	// Deterministic across calls.
+	if again := ProbabilityOf(d, probs, 20000); again != got {
+		t.Errorf("Monte Carlo not deterministic: %g vs %g", got, again)
+	}
+}
+
+func varName(prefix string, i int) string {
+	return prefix + string(rune('A'+i))
+}
+
+func TestProbabilityOfConstants(t *testing.T) {
+	if ProbabilityOf(FalseDNF(), nil, 0) != 0 {
+		t.Error("P[⊥] should be 0")
+	}
+	if ProbabilityOf(TrueDNF(), nil, 0) != 1 {
+		t.Error("P[⊤] should be 1")
+	}
+}

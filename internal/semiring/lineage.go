@@ -1,0 +1,116 @@
+package semiring
+
+import (
+	"sort"
+	"strings"
+)
+
+// LineageSet is the value domain of the Lineage semiring: either the
+// distinguished bottom element ⊥ (annotation of an underivable tuple)
+// or a set of base-tuple identifiers. The identifiers are kept as a
+// sorted, deduplicated slice; LineageSet values are treated as
+// immutable.
+type LineageSet struct {
+	Bottom bool
+	IDs    []string
+}
+
+// BottomLineage is the ⊥ element (Zero).
+func BottomLineage() LineageSet { return LineageSet{Bottom: true} }
+
+// EmptyLineage is the empty set (One).
+func EmptyLineage() LineageSet { return LineageSet{} }
+
+// NewLineage builds a lineage set from identifiers.
+func NewLineage(ids ...string) LineageSet {
+	out := append([]string(nil), ids...)
+	sort.Strings(out)
+	return LineageSet{IDs: dedupSorted(out)}
+}
+
+// Contains reports membership of id.
+func (l LineageSet) Contains(id string) bool {
+	if l.Bottom {
+		return false
+	}
+	i := sort.SearchStrings(l.IDs, id)
+	return i < len(l.IDs) && l.IDs[i] == id
+}
+
+// Lineage is Table 1 row 5: the lineage of a tuple is the set of all
+// base tuples contributing to *some* derivation of it, without
+// distinguishing among derivations (Cui-style lineage [18], use case
+// Q6). Both the abstract sum and product are set union, with a
+// distinguished bottom element ⊥ serving as Zero so that the semiring
+// laws hold: ⊥ ⊕ S = S and ⊥ ⊗ S = ⊥.
+//
+// Value type: LineageSet.
+type Lineage struct{}
+
+// Name implements Semiring.
+func (Lineage) Name() string { return "LINEAGE" }
+
+// Zero implements Semiring (⊥).
+func (Lineage) Zero() Value { return BottomLineage() }
+
+// One implements Semiring (∅ — joining adds no lineage).
+func (Lineage) One() Value { return EmptyLineage() }
+
+// Plus implements Semiring: union, with ⊥ as identity.
+func (Lineage) Plus(a, b Value) Value {
+	x, y := a.(LineageSet), b.(LineageSet)
+	if x.Bottom {
+		return y
+	}
+	if y.Bottom {
+		return x
+	}
+	return LineageSet{IDs: unionSorted(x.IDs, y.IDs)}
+}
+
+// Times implements Semiring: union, with ⊥ annihilating.
+func (Lineage) Times(a, b Value) Value {
+	x, y := a.(LineageSet), b.(LineageSet)
+	if x.Bottom || y.Bottom {
+		return BottomLineage()
+	}
+	return LineageSet{IDs: unionSorted(x.IDs, y.IDs)}
+}
+
+// Eq implements Semiring.
+func (Lineage) Eq(a, b Value) bool {
+	x, y := a.(LineageSet), b.(LineageSet)
+	if x.Bottom != y.Bottom {
+		return false
+	}
+	if x.Bottom {
+		return true
+	}
+	if len(x.IDs) != len(y.IDs) {
+		return false
+	}
+	for i := range x.IDs {
+		if x.IDs[i] != y.IDs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Format implements Semiring.
+func (Lineage) Format(v Value) string {
+	l := v.(LineageSet)
+	if l.Bottom {
+		return "⊥"
+	}
+	return "{" + strings.Join(l.IDs, ", ") + "}"
+}
+
+// Absorptive implements Semiring: S ∪ (S ∪ T) ⊇ S but absorption here
+// means a ⊕ (a ⊗ b) = a ∪ (a ∪ b) which equals a only when b ⊆ a; the
+// lineage semiring is nonetheless safe for cyclic fixpoints because the
+// carrier (subsets of a finite base) is a finite lattice and both
+// operations are monotone — annotations cannot grow forever. The paper
+// groups it with the first five "finite in the presence of cycles"
+// semirings, so we report true.
+func (Lineage) CycleSafe() bool { return true }

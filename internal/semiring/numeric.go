@@ -1,0 +1,158 @@
+package semiring
+
+import (
+	"math"
+	"strconv"
+)
+
+// Weight is the tropical (min, +) semiring of Table 1 row 4: base value
+// is the tuple's weight, joins sum weights, unions take the minimum
+// (cheapest alternative). Used for ranked keyword search and data
+// quality scores (use case Q8).
+//
+// Value type: float64; Zero is +Inf, One is 0.
+type Weight struct{}
+
+// Name implements Semiring.
+func (Weight) Name() string { return "WEIGHT" }
+
+// Zero implements Semiring (+Inf: an underivable tuple has infinite cost).
+func (Weight) Zero() Value { return math.Inf(1) }
+
+// One implements Semiring (cost 0: joining with it adds nothing).
+func (Weight) One() Value { return float64(0) }
+
+// Plus implements Semiring (min: keep the cheapest derivation).
+func (Weight) Plus(a, b Value) Value { return math.Min(a.(float64), b.(float64)) }
+
+// Times implements Semiring (+: a join costs the sum of its inputs).
+func (Weight) Times(a, b Value) Value { return a.(float64) + b.(float64) }
+
+// Eq implements Semiring.
+func (Weight) Eq(a, b Value) bool {
+	x, y := a.(float64), b.(float64)
+	if math.IsInf(x, 1) || math.IsInf(y, 1) {
+		return math.IsInf(x, 1) && math.IsInf(y, 1)
+	}
+	return x == y
+}
+
+// Format implements Semiring.
+func (Weight) Format(v Value) string {
+	f := v.(float64)
+	if math.IsInf(f, 1) {
+		return "inf"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// Absorptive implements Semiring: min(a, a+b) = a for b ≥ 0; the paper
+// lists weight/cost among the absorptive semirings (weights are
+// non-negative costs).
+func (Weight) CycleSafe() bool { return true }
+
+// Confidentiality is Table 1 row 3: access-control levels. A join
+// requires the *most* secure level of any input (more_secure = max);
+// a union requires only the *least* secure alternative (less_secure =
+// min). Levels are ordered integers: higher = more secure. Used for
+// computing access-control levels of view tuples (use case Q10).
+//
+// Value type: int64 in [0, MaxLevel]; Zero is MaxLevel+... — see below.
+//
+// To make this a genuine bounded-lattice semiring we fix a top element:
+// Zero (the annotation of an underivable tuple) is the maximally secret
+// level TopSecret, and One (identity for join) is Public = 0.
+type Confidentiality struct{}
+
+// Confidentiality levels. Applications may use any int64 in
+// [Public, TopSecret]; the five named levels match common usage.
+const (
+	Public       int64 = 0
+	Internal     int64 = 1
+	Confidential int64 = 2
+	Secret       int64 = 3
+	TopSecret    int64 = 4
+)
+
+// Name implements Semiring.
+func (Confidentiality) Name() string { return "CONFIDENTIALITY" }
+
+// Zero implements Semiring: an underivable tuple requires top clearance.
+func (Confidentiality) Zero() Value { return TopSecret }
+
+// One implements Semiring: joining with public data adds no restriction.
+func (Confidentiality) One() Value { return Public }
+
+// Plus implements Semiring (less_secure = min over alternatives).
+func (Confidentiality) Plus(a, b Value) Value {
+	x, y := a.(int64), b.(int64)
+	if x < y {
+		return x
+	}
+	return y
+}
+
+// Times implements Semiring (more_secure = max over joined inputs).
+func (Confidentiality) Times(a, b Value) Value {
+	x, y := a.(int64), b.(int64)
+	if x > y {
+		return x
+	}
+	return y
+}
+
+// Eq implements Semiring.
+func (Confidentiality) Eq(a, b Value) bool { return a.(int64) == b.(int64) }
+
+// Format implements Semiring.
+func (Confidentiality) Format(v Value) string {
+	switch v.(int64) {
+	case Public:
+		return "public"
+	case Internal:
+		return "internal"
+	case Confidential:
+		return "confidential"
+	case Secret:
+		return "secret"
+	case TopSecret:
+		return "top-secret"
+	}
+	return strconv.FormatInt(v.(int64), 10)
+}
+
+// Absorptive implements Semiring: min(a, max(a,b)) = a.
+func (Confidentiality) CycleSafe() bool { return true }
+
+// Counting is Table 1 row 7: the natural-numbers semiring (N, +, ·, 0, 1)
+// counting the number of distinct derivations of each tuple, as in the
+// bag relational model. Not absorptive: over cyclic provenance graphs
+// counts may diverge (the paper notes this limitation), so cyclic
+// fixpoint evaluation refuses this semiring.
+//
+// Value type: int64.
+type Counting struct{}
+
+// Name implements Semiring.
+func (Counting) Name() string { return "COUNT" }
+
+// Zero implements Semiring.
+func (Counting) Zero() Value { return int64(0) }
+
+// One implements Semiring.
+func (Counting) One() Value { return int64(1) }
+
+// Plus implements Semiring.
+func (Counting) Plus(a, b Value) Value { return a.(int64) + b.(int64) }
+
+// Times implements Semiring.
+func (Counting) Times(a, b Value) Value { return a.(int64) * b.(int64) }
+
+// Eq implements Semiring.
+func (Counting) Eq(a, b Value) bool { return a.(int64) == b.(int64) }
+
+// Format implements Semiring.
+func (Counting) Format(v Value) string { return strconv.FormatInt(v.(int64), 10) }
+
+// Absorptive implements Semiring.
+func (Counting) CycleSafe() bool { return false }

@@ -1,0 +1,145 @@
+package semiring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPolyBasics(t *testing.T) {
+	x, y := VarPoly("x"), VarPoly("y")
+	p := AddPoly(MulPoly(x, y), MulPoly(x, y)) // 2xy
+	if p.Coeff(Mono{"x": 1, "y": 1}) != 2 {
+		t.Errorf("coeff of xy = %d, want 2", p.Coeff(Mono{"x": 1, "y": 1}))
+	}
+	q := MulPoly(p, x) // 2x^2y
+	if q.Coeff(Mono{"x": 2, "y": 1}) != 2 {
+		t.Errorf("coeff of x^2y = %d", q.Coeff(Mono{"x": 2, "y": 1}))
+	}
+	if !EqPoly(MulPoly(x, ZeroPoly()), ZeroPoly()) {
+		t.Error("x·0 should be 0")
+	}
+	if !EqPoly(MulPoly(x, OnePoly()), x) {
+		t.Error("x·1 should be x")
+	}
+}
+
+func TestPolyString(t *testing.T) {
+	x, y := VarPoly("x"), VarPoly("y")
+	p := AddPoly(AddPoly(MulPoly(x, MulPoly(x, y)), ConstPoly(3)), MulPoly(ConstPoly(2), y))
+	if s := p.String(); s != "3 + x^2*y + 2*y" {
+		t.Errorf("String = %q", s)
+	}
+	if ZeroPoly().String() != "0" {
+		t.Error("zero renders wrong")
+	}
+	if OnePoly().String() != "1" {
+		t.Error("one renders wrong")
+	}
+}
+
+// randomPoly builds a small random polynomial over x,y,z.
+func randomPoly(rng *rand.Rand) Poly {
+	vars := []string{"x", "y", "z"}
+	p := ZeroPoly()
+	terms := rng.Intn(4)
+	for i := 0; i < terms; i++ {
+		term := ConstPoly(int64(1 + rng.Intn(3)))
+		factors := rng.Intn(3)
+		for j := 0; j < factors; j++ {
+			term = MulPoly(term, VarPoly(vars[rng.Intn(len(vars))]))
+		}
+		p = AddPoly(p, term)
+	}
+	return p
+}
+
+// TestPolynomialUniversality is the key property tying N[X] to every
+// other semiring: evaluating polynomials via EvalPoly is a semiring
+// homomorphism — Eval(p+q) = Eval(p) ⊕ Eval(q) and Eval(p·q) =
+// Eval(p) ⊗ Eval(q) — for every registered semiring. This is the formal
+// justification (PODS'07) for the paper's strategy of storing
+// provenance once and computing any Table-1 annotation from it.
+func TestPolynomialUniversality(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	assignFor := func(name string) map[string]Value {
+		switch name {
+		case "DERIVABILITY", "TRUST":
+			return map[string]Value{"x": true, "y": false, "z": true}
+		case "CONFIDENTIALITY":
+			return map[string]Value{"x": Public, "y": Secret, "z": Internal}
+		case "WEIGHT":
+			return map[string]Value{"x": 1.0, "y": 2.0, "z": 5.0}
+		case "COUNT":
+			return map[string]Value{"x": int64(2), "y": int64(3), "z": int64(1)}
+		case "LINEAGE":
+			return map[string]Value{"x": NewLineage("x"), "y": NewLineage("y"), "z": NewLineage("z")}
+		case "PROBABILITY", "POSBOOL":
+			return map[string]Value{"x": VarDNF("x"), "y": VarDNF("y"), "z": VarDNF("z")}
+		case "POLYNOMIAL":
+			return map[string]Value{"x": VarPoly("x"), "y": VarPoly("y"), "z": VarPoly("z")}
+		}
+		return nil
+	}
+	for _, name := range []string{"DERIVABILITY", "TRUST", "CONFIDENTIALITY", "WEIGHT", "COUNT", "LINEAGE", "PROBABILITY", "POSBOOL", "POLYNOMIAL"} {
+		s, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assign := assignFor(name)
+		for trial := 0; trial < 50; trial++ {
+			p, q := randomPoly(rng), randomPoly(rng)
+			sum := EvalPoly(AddPoly(p, q), s, assign)
+			if !s.Eq(sum, s.Plus(EvalPoly(p, s, assign), EvalPoly(q, s, assign))) {
+				t.Fatalf("%s: Eval not additive for p=%s q=%s", name, p, q)
+			}
+			prod := EvalPoly(MulPoly(p, q), s, assign)
+			if !s.Eq(prod, s.Times(EvalPoly(p, s, assign), EvalPoly(q, s, assign))) {
+				t.Fatalf("%s: Eval not multiplicative for p=%s q=%s", name, p, q)
+			}
+		}
+		// Identity under the identity assignment: Eval in POLYNOMIAL
+		// with x↦x must be the identity map.
+		if name == "POLYNOMIAL" {
+			for trial := 0; trial < 20; trial++ {
+				p := randomPoly(rng)
+				if got := EvalPoly(p, s, assign).(Poly); !EqPoly(got, p) {
+					t.Fatalf("identity evaluation changed %s into %s", p, got)
+				}
+			}
+		}
+	}
+}
+
+func TestEvalPolyMissingVarIsZero(t *testing.T) {
+	c := Counting{}
+	p := AddPoly(VarPoly("x"), ConstPoly(4))
+	// x unassigned → treated as 0 → result 4.
+	if got := EvalPoly(p, c, map[string]Value{}); got != int64(4) {
+		t.Errorf("EvalPoly = %v, want 4", got)
+	}
+}
+
+// TestFig1ProvenancePolynomial encodes the core of the paper's Figure 1:
+// C(2,cn2) is derivable directly from C_l and via m1 joining A(2,sn1,5)
+// with N(2,...); its polynomial is c + a·n, and evaluating under
+// derivability with all base tuples true yields true, while dropping
+// both c and n yields false.
+func TestFig1ProvenancePolynomial(t *testing.T) {
+	a, c, n := VarPoly("A(2)"), VarPoly("Cl(2,cn2)"), VarPoly("N(2)")
+	prov := AddPoly(c, MulPoly(a, n))
+	d := Derivability{}
+	all := map[string]Value{"A(2)": true, "Cl(2,cn2)": true, "N(2)": true}
+	if EvalPoly(prov, d, all) != true {
+		t.Error("should be derivable from all base tuples")
+	}
+	onlyA := map[string]Value{"A(2)": true}
+	if EvalPoly(prov, d, onlyA) != false {
+		t.Error("A alone derives nothing")
+	}
+	// Number of derivations: both monomials count.
+	if got := EvalPoly(prov, Counting{}, map[string]Value{
+		"A(2)": int64(1), "Cl(2,cn2)": int64(1), "N(2)": int64(1),
+	}); got != int64(2) {
+		t.Errorf("derivation count = %v, want 2", got)
+	}
+}

@@ -1,0 +1,170 @@
+package semiring
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Probability is Table 1 row 6: values are probabilistic event
+// expressions over independent base events (one per EDB tuple), with
+// product = event intersection and sum = event union. This is the
+// Trio-style lineage used for query answering in probabilistic
+// databases (use case Q9).
+//
+// Value type: DNF (a positive boolean event expression in disjunctive
+// normal form). Computing a numeric probability from an event
+// expression is #P-complete in general (the paper cites [19] and
+// declares it out of scope); ProbabilityOf below implements exact
+// inclusion–exclusion for small expressions and seeded Monte Carlo
+// estimation beyond that, which is enough to exercise the code path.
+type Probability struct{}
+
+// Name implements Semiring.
+func (Probability) Name() string { return "PROBABILITY" }
+
+// Zero implements Semiring (the impossible event).
+func (Probability) Zero() Value { return FalseDNF() }
+
+// One implements Semiring (the certain event).
+func (Probability) One() Value { return TrueDNF() }
+
+// Plus implements Semiring (event union).
+func (Probability) Plus(a, b Value) Value { return a.(DNF).Or(b.(DNF)) }
+
+// Times implements Semiring (event intersection).
+func (Probability) Times(a, b Value) Value { return a.(DNF).And(b.(DNF)) }
+
+// Eq implements Semiring.
+func (Probability) Eq(a, b Value) bool { return EqDNF(a.(DNF), b.(DNF)) }
+
+// Format implements Semiring.
+func (Probability) Format(v Value) string { return v.(DNF).String() }
+
+// Absorptive implements Semiring: e ∪ (e ∩ f) = e.
+func (Probability) CycleSafe() bool { return true }
+
+// exactInclusionExclusionLimit bounds the number of monomials for which
+// ProbabilityOf uses exact inclusion–exclusion (2^n subset terms).
+const exactInclusionExclusionLimit = 20
+
+// ProbabilityOf computes P[event] assuming the base events are
+// independent with the given marginal probabilities (missing entries
+// default to 0). Expressions with at most exactInclusionExclusionLimit
+// monomials are evaluated exactly by inclusion–exclusion; larger ones
+// are estimated with n Monte Carlo samples from a deterministic seed.
+func ProbabilityOf(event DNF, probs map[string]float64, samples int) float64 {
+	if event.IsFalse() {
+		return 0
+	}
+	if event.IsTrue() {
+		return 1
+	}
+	if len(event.Monomials) <= exactInclusionExclusionLimit {
+		return inclusionExclusion(event.Monomials, probs)
+	}
+	return monteCarlo(event, probs, samples)
+}
+
+// inclusionExclusion sums (-1)^(|S|+1) P[∧ of union of monomials in S]
+// over non-empty subsets S of the monomials; independence makes
+// P[conjunction] the product of marginals of the distinct variables.
+func inclusionExclusion(monos [][]string, probs map[string]float64) float64 {
+	n := len(monos)
+	total := 0.0
+	for mask := 1; mask < 1<<n; mask++ {
+		var union []string
+		bits := 0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				bits++
+				union = unionSorted(union, monos[i])
+			}
+		}
+		p := 1.0
+		for _, v := range union {
+			p *= probs[v]
+		}
+		if bits%2 == 1 {
+			total += p
+		} else {
+			total -= p
+		}
+	}
+	// Clamp against floating-point drift.
+	if total < 0 {
+		return 0
+	}
+	if total > 1 {
+		return 1
+	}
+	return total
+}
+
+func monteCarlo(event DNF, probs map[string]float64, samples int) float64 {
+	if samples <= 0 {
+		samples = 100000
+	}
+	vars := event.Vars()
+	rng := rand.New(rand.NewSource(deterministicSeed(vars)))
+	hits := 0
+	truth := make(map[string]bool, len(vars))
+	for i := 0; i < samples; i++ {
+		for _, v := range vars {
+			truth[v] = rng.Float64() < probs[v]
+		}
+		if EvalDNF(event, truth) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(samples)
+}
+
+// deterministicSeed derives a stable seed from the variable names so
+// estimates are reproducible run to run.
+func deterministicSeed(vars []string) int64 {
+	sorted := append([]string(nil), vars...)
+	sort.Strings(sorted)
+	var h int64 = 1469598103934665603
+	for _, v := range sorted {
+		for i := 0; i < len(v); i++ {
+			h ^= int64(v[i])
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// PosBool is the semiring of positive boolean expressions PosBool(X),
+// the most general absorptive ("distributive lattice") provenance
+// semiring. It shares the DNF value representation with Probability but
+// is registered under its own name so ProQL users and tests can request
+// it directly; evaluating a PosBool annotation under a truth assignment
+// answers "is this tuple derivable if exactly these base tuples are
+// present?" — the foundation of the derivability and trust semirings.
+//
+// Value type: DNF.
+type PosBool struct{}
+
+// Name implements Semiring.
+func (PosBool) Name() string { return "POSBOOL" }
+
+// Zero implements Semiring.
+func (PosBool) Zero() Value { return FalseDNF() }
+
+// One implements Semiring.
+func (PosBool) One() Value { return TrueDNF() }
+
+// Plus implements Semiring.
+func (PosBool) Plus(a, b Value) Value { return a.(DNF).Or(b.(DNF)) }
+
+// Times implements Semiring.
+func (PosBool) Times(a, b Value) Value { return a.(DNF).And(b.(DNF)) }
+
+// Eq implements Semiring.
+func (PosBool) Eq(a, b Value) bool { return EqDNF(a.(DNF), b.(DNF)) }
+
+// Format implements Semiring.
+func (PosBool) Format(v Value) string { return v.(DNF).String() }
+
+// Absorptive implements Semiring.
+func (PosBool) CycleSafe() bool { return true }

@@ -1,0 +1,98 @@
+package semiring
+
+import "fmt"
+
+// CheckLaws verifies the commutative-semiring axioms on a sample of
+// values from the semiring's domain. It is used by the test suite
+// (with testing/quick-generated samples) and is exported so that
+// applications registering custom semirings can validate them.
+//
+// The axioms checked, for all a, b, c in sample:
+//
+//	(K, ⊕, 0) is a commutative monoid
+//	(K, ⊗, 1) is a commutative monoid
+//	⊗ distributes over ⊕
+//	0 annihilates ⊗
+//	if s.CycleSafe(): ⊕ is idempotent
+//
+// The first violation found is returned as a descriptive error.
+// CheckAbsorption separately verifies the strict absorption law for the
+// semirings that have it.
+func CheckLaws(s Semiring, sample []Value) error {
+	eq := s.Eq
+	zero, one := s.Zero(), s.One()
+	// Include the identities themselves in the sample.
+	vals := append([]Value{zero, one}, sample...)
+
+	for _, a := range vals {
+		if !eq(s.Plus(a, zero), a) {
+			return fmt.Errorf("%s: a ⊕ 0 ≠ a for a=%s", s.Name(), s.Format(a))
+		}
+		if !eq(s.Plus(zero, a), a) {
+			return fmt.Errorf("%s: 0 ⊕ a ≠ a for a=%s", s.Name(), s.Format(a))
+		}
+		if !eq(s.Times(a, one), a) {
+			return fmt.Errorf("%s: a ⊗ 1 ≠ a for a=%s", s.Name(), s.Format(a))
+		}
+		if !eq(s.Times(one, a), a) {
+			return fmt.Errorf("%s: 1 ⊗ a ≠ a for a=%s", s.Name(), s.Format(a))
+		}
+		if !eq(s.Times(a, zero), zero) {
+			return fmt.Errorf("%s: a ⊗ 0 ≠ 0 for a=%s", s.Name(), s.Format(a))
+		}
+		if !eq(s.Times(zero, a), zero) {
+			return fmt.Errorf("%s: 0 ⊗ a ≠ 0 for a=%s", s.Name(), s.Format(a))
+		}
+		if s.CycleSafe() && !eq(s.Plus(a, a), a) {
+			return fmt.Errorf("%s: ⊕ not idempotent for a=%s", s.Name(), s.Format(a))
+		}
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			if !eq(s.Plus(a, b), s.Plus(b, a)) {
+				return fmt.Errorf("%s: ⊕ not commutative for a=%s b=%s", s.Name(), s.Format(a), s.Format(b))
+			}
+			if !eq(s.Times(a, b), s.Times(b, a)) {
+				return fmt.Errorf("%s: ⊗ not commutative for a=%s b=%s", s.Name(), s.Format(a), s.Format(b))
+			}
+		}
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			for _, c := range vals {
+				if !eq(s.Plus(s.Plus(a, b), c), s.Plus(a, s.Plus(b, c))) {
+					return fmt.Errorf("%s: ⊕ not associative for a=%s b=%s c=%s",
+						s.Name(), s.Format(a), s.Format(b), s.Format(c))
+				}
+				if !eq(s.Times(s.Times(a, b), c), s.Times(a, s.Times(b, c))) {
+					return fmt.Errorf("%s: ⊗ not associative for a=%s b=%s c=%s",
+						s.Name(), s.Format(a), s.Format(b), s.Format(c))
+				}
+				if !eq(s.Times(a, s.Plus(b, c)), s.Plus(s.Times(a, b), s.Times(a, c))) {
+					return fmt.Errorf("%s: ⊗ does not distribute over ⊕ for a=%s b=%s c=%s",
+						s.Name(), s.Format(a), s.Format(b), s.Format(c))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckAbsorption verifies the strict absorption law a ⊕ (a ⊗ b) = a on
+// a sample. Absorption holds for the derivability, trust,
+// confidentiality, weight (non-negative costs), probability-event and
+// PosBool semirings — the paper's guarantee that their annotations stay
+// finite under cyclic evaluation. It does NOT hold for lineage (which is
+// cycle-safe for the weaker finite-lattice reason), counting, or
+// polynomials.
+func CheckAbsorption(s Semiring, sample []Value) error {
+	vals := append([]Value{s.Zero(), s.One()}, sample...)
+	for _, a := range vals {
+		for _, b := range vals {
+			if !s.Eq(s.Plus(a, s.Times(a, b)), a) {
+				return fmt.Errorf("%s: absorption fails for a=%s b=%s", s.Name(), s.Format(a), s.Format(b))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+// Package semiring implements the annotation algebras of Table 1 of
+// "Querying Data Provenance" (SIGMOD 2010) together with the provenance
+// polynomial semiring N[X] of Green, Karvounarakis, Tannen (PODS 2007)
+// that the paper's graph model encodes.
+//
+// A commutative semiring (K, ⊕, ⊗, 0, 1) supplies the abstract sum used
+// to combine alternative derivations of a tuple (union) and the abstract
+// product used to combine the inputs joined by a single derivation.
+// ProQL selects semirings at runtime by name (EVALUATE TRUST OF {...}),
+// so the core abstraction here is dynamically typed: values are `any`
+// and each semiring documents its value type. CheckLaws (properties.go)
+// verifies the algebraic laws for every implementation.
+package semiring
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Value is an annotation drawn from some semiring's domain.
+type Value = any
+
+// Semiring is a commutative semiring over dynamically typed values.
+type Semiring interface {
+	// Name is the identifier used in ProQL's EVALUATE clause
+	// (case-insensitive), e.g. "DERIVABILITY", "TRUST", "WEIGHT".
+	Name() string
+	// Zero is the identity of Plus and annihilates Times.
+	Zero() Value
+	// One is the identity of Times; it is the default leaf value
+	// when an ASSIGNING EACH clause has no DEFAULT statement.
+	One() Value
+	// Plus is the abstract sum (combines alternative derivations).
+	Plus(a, b Value) Value
+	// Times is the abstract product (combines joined inputs).
+	Times(a, b Value) Value
+	// Eq reports semantic equality of two values.
+	Eq(a, b Value) bool
+	// Format renders a value for query output.
+	Format(v Value) string
+	// CycleSafe reports whether fixpoint annotation evaluation over
+	// cyclic provenance graphs terminates in this semiring (Section
+	// 2.1, "Cycles"): ⊕ is idempotent and the annotation of any tuple
+	// ranges over a finite set under monotone iteration. The first
+	// five semirings of Table 1 (and probability events) qualify; the
+	// counting and polynomial semirings do not (counts can diverge).
+	CycleSafe() bool
+}
+
+// registry maps upper-cased semiring names to factories. ProQL resolves
+// EVALUATE <name> OF through Lookup.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Semiring{}
+)
+
+// Register makes a semiring available to ProQL by name. Later
+// registrations under the same name replace earlier ones, which lets
+// applications plug in domain-specific semirings (Section 3.2.2 notes
+// implementers "may wish to add additional semirings").
+func Register(s Semiring) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[strings.ToUpper(s.Name())] = s
+}
+
+// Lookup resolves a semiring by (case-insensitive) name.
+func Lookup(name string) (Semiring, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[strings.ToUpper(name)]
+	if !ok {
+		return nil, fmt.Errorf("semiring: unknown semiring %q (known: %s)", name, strings.Join(registeredNamesLocked(), ", "))
+	}
+	return s, nil
+}
+
+// Names lists the registered semiring names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return registeredNamesLocked()
+}
+
+func registeredNamesLocked() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	Register(Derivability{})
+	Register(Trust{})
+	Register(Confidentiality{})
+	Register(Weight{})
+	Register(Lineage{})
+	Register(Probability{})
+	Register(Counting{})
+	Register(Polynomial{})
+	Register(PosBool{})
+}
+
+// SumAll folds Plus over vs, returning Zero for an empty slice.
+func SumAll(s Semiring, vs []Value) Value {
+	acc := s.Zero()
+	for _, v := range vs {
+		acc = s.Plus(acc, v)
+	}
+	return acc
+}
+
+// ProductAll folds Times over vs, returning One for an empty slice.
+func ProductAll(s Semiring, vs []Value) Value {
+	acc := s.One()
+	for _, v := range vs {
+		acc = s.Times(acc, v)
+	}
+	return acc
+}
+
+// MappingFunc is a unary function attached to a schema mapping during
+// annotation computation (the second ASSIGNING EACH clause). The paper
+// restricts these functions: f(0) = 0, and f must commute with sums.
+// Identity and ConstZero (the "distrust" function D_m) satisfy both.
+type MappingFunc func(Value) Value
+
+// Identity is the neutral mapping function N_m (default).
+func Identity(v Value) Value { return v }
+
+// ConstZero builds the distrust function D_m for semiring s: it sends
+// every input to Zero (false on all inputs, in the trust semiring).
+func ConstZero(s Semiring) MappingFunc {
+	zero := s.Zero()
+	return func(Value) Value { return zero }
+}

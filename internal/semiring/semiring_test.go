@@ -1,0 +1,210 @@
+package semiring
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// samplesFor produces a value sample for law-checking each semiring.
+func samplesFor(name string, rng *rand.Rand) []Value {
+	switch name {
+	case "DERIVABILITY", "TRUST":
+		return []Value{true, false}
+	case "CONFIDENTIALITY":
+		return []Value{Public, Internal, Confidential, Secret, TopSecret}
+	case "WEIGHT":
+		out := []Value{0.0, 1.0, 2.5}
+		for i := 0; i < 5; i++ {
+			out = append(out, float64(rng.Intn(100)))
+		}
+		return out
+	case "COUNT":
+		out := []Value{int64(0), int64(1), int64(2)}
+		for i := 0; i < 5; i++ {
+			out = append(out, int64(rng.Intn(50)))
+		}
+		return out
+	case "LINEAGE":
+		return []Value{
+			BottomLineage(), EmptyLineage(),
+			NewLineage("a"), NewLineage("b"), NewLineage("a", "b"), NewLineage("a", "c"),
+		}
+	case "PROBABILITY", "POSBOOL":
+		x, y, z := VarDNF("x"), VarDNF("y"), VarDNF("z")
+		return []Value{
+			FalseDNF(), TrueDNF(), x, y, z,
+			x.And(y), x.Or(y), x.And(y).Or(z),
+		}
+	case "POLYNOMIAL":
+		x, y := VarPoly("x"), VarPoly("y")
+		return []Value{
+			ZeroPoly(), OnePoly(), ConstPoly(2), x, y,
+			AddPoly(x, y), MulPoly(x, y), AddPoly(MulPoly(x, x), ConstPoly(3)),
+		}
+	}
+	return nil
+}
+
+func TestAllRegisteredSemiringsSatisfyLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, name := range Names() {
+		s, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sample := samplesFor(name, rng)
+		if sample == nil {
+			t.Fatalf("no sample generator for semiring %s", name)
+		}
+		if err := CheckLaws(s, sample); err != nil {
+			t.Errorf("semiring law violation: %v", err)
+		}
+	}
+}
+
+func TestAbsorptiveSemirings(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, name := range []string{"DERIVABILITY", "TRUST", "CONFIDENTIALITY", "WEIGHT", "PROBABILITY", "POSBOOL"} {
+		s, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckAbsorption(s, samplesFor(name, rng)); err != nil {
+			t.Errorf("absorption violation: %v", err)
+		}
+	}
+	// Counting is the canonical non-absorptive example: 1 + 1·1 ≠ 1.
+	if err := CheckAbsorption(Counting{}, samplesFor("COUNT", rng)); err == nil {
+		t.Error("counting semiring should fail absorption")
+	}
+}
+
+func TestLookupCaseInsensitiveAndUnknown(t *testing.T) {
+	if _, err := Lookup("trust"); err != nil {
+		t.Errorf("lowercase lookup failed: %v", err)
+	}
+	if _, err := Lookup("Weight"); err != nil {
+		t.Errorf("mixed-case lookup failed: %v", err)
+	}
+	if _, err := Lookup("NOPE"); err == nil {
+		t.Error("unknown semiring should error")
+	} else if !strings.Contains(err.Error(), "NOPE") {
+		t.Errorf("error should mention the name: %v", err)
+	}
+}
+
+func TestRegisterCustomSemiring(t *testing.T) {
+	Register(customMax{})
+	s, err := Lookup("MAXPLUS_TEST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Plus(int64(3), int64(5)); got != int64(5) {
+		t.Errorf("custom Plus = %v", got)
+	}
+}
+
+// customMax is a toy (max, +) semiring over non-negative ints for the
+// registration test.
+type customMax struct{}
+
+func (customMax) Name() string { return "MAXPLUS_TEST" }
+func (customMax) Zero() Value  { return int64(-1 << 40) }
+func (customMax) One() Value   { return int64(0) }
+func (customMax) Plus(a, b Value) Value {
+	if a.(int64) > b.(int64) {
+		return a
+	}
+	return b
+}
+func (customMax) Times(a, b Value) Value { return a.(int64) + b.(int64) }
+func (customMax) Eq(a, b Value) bool     { return a.(int64) == b.(int64) }
+func (customMax) Format(v Value) string  { return "x" }
+func (customMax) CycleSafe() bool        { return false }
+
+func TestSumAllProductAll(t *testing.T) {
+	c := Counting{}
+	if got := SumAll(c, []Value{int64(1), int64(2), int64(3)}); got != int64(6) {
+		t.Errorf("SumAll = %v", got)
+	}
+	if got := SumAll(c, nil); got != int64(0) {
+		t.Errorf("SumAll(empty) = %v", got)
+	}
+	if got := ProductAll(c, []Value{int64(2), int64(3), int64(4)}); got != int64(24) {
+		t.Errorf("ProductAll = %v", got)
+	}
+	if got := ProductAll(c, nil); got != int64(1) {
+		t.Errorf("ProductAll(empty) = %v", got)
+	}
+}
+
+func TestMappingFuncs(t *testing.T) {
+	if Identity(int64(7)) != int64(7) {
+		t.Error("Identity changed its input")
+	}
+	d := ConstZero(Trust{})
+	if d(true) != false {
+		t.Error("ConstZero(Trust) should send everything to false")
+	}
+}
+
+func TestWeightSemantics(t *testing.T) {
+	w := Weight{}
+	// Cheapest of two alternative derivations wins.
+	if got := w.Plus(3.0, 5.0); got != 3.0 {
+		t.Errorf("Plus = %v", got)
+	}
+	// A join sums costs.
+	if got := w.Times(3.0, 5.0); got != 8.0 {
+		t.Errorf("Times = %v", got)
+	}
+	// Underivable = infinite cost; joining with it stays infinite.
+	inf := w.Zero()
+	if !w.Eq(w.Times(inf, 3.0), inf) {
+		t.Error("Zero should annihilate Times")
+	}
+}
+
+func TestConfidentialitySemantics(t *testing.T) {
+	c := Confidentiality{}
+	// Join of public and secret data requires secret clearance.
+	if got := c.Times(Public, Secret); got != Secret {
+		t.Errorf("Times = %v", got)
+	}
+	// If also derivable from internal data alone, internal suffices.
+	if got := c.Plus(Secret, Internal); got != Internal {
+		t.Errorf("Plus = %v", got)
+	}
+	if c.Format(Confidential) != "confidential" {
+		t.Errorf("Format = %s", c.Format(Confidential))
+	}
+}
+
+func TestLineageSemantics(t *testing.T) {
+	l := Lineage{}
+	ab := l.Times(NewLineage("a"), NewLineage("b"))
+	if !l.Eq(ab, NewLineage("a", "b")) {
+		t.Errorf("Times = %v", l.Format(ab))
+	}
+	// Lineage does not distinguish derivations: union again.
+	abc := l.Plus(ab, NewLineage("c"))
+	if !l.Eq(abc, NewLineage("a", "b", "c")) {
+		t.Errorf("Plus = %v", l.Format(abc))
+	}
+	if !NewLineage("a", "b").Contains("a") || NewLineage("a").Contains("z") {
+		t.Error("Contains wrong")
+	}
+	if BottomLineage().Contains("a") {
+		t.Error("bottom contains nothing")
+	}
+}
+
+func TestCountingSemantics(t *testing.T) {
+	c := Counting{}
+	// Two derivations, one joining 3 ways of one input with 2 of another.
+	n := c.Plus(c.Times(int64(3), int64(2)), int64(1))
+	if n != int64(7) {
+		t.Errorf("count = %v", n)
+	}
+}

@@ -1,0 +1,288 @@
+// Package settingio serializes CDSS settings — peer relations, schema
+// mappings, and local contributions — as JSON documents, so settings
+// can be saved, shared, version-controlled, and loaded into a fresh
+// system (which re-runs update exchange deterministically to rebuild
+// the instance and its provenance).
+package settingio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/exchange"
+	"repro/internal/model"
+)
+
+// Document is the on-disk form of a setting.
+type Document struct {
+	// Version guards future format changes.
+	Version   int            `json:"version"`
+	Relations []RelationDoc  `json:"relations"`
+	Mappings  []MappingDoc   `json:"mappings"`
+	Local     []LocalDataDoc `json:"local"`
+}
+
+// RelationDoc is a public relation schema.
+type RelationDoc struct {
+	Name    string      `json:"name"`
+	Columns []ColumnDoc `json:"columns"`
+	Key     []string    `json:"key"`
+}
+
+// ColumnDoc is one attribute.
+type ColumnDoc struct {
+	Name string `json:"name"`
+	Type string `json:"type"` // int, float, string, bool
+}
+
+// MappingDoc is one schema mapping.
+type MappingDoc struct {
+	Name string    `json:"name"`
+	Head []AtomDoc `json:"head"`
+	Body []AtomDoc `json:"body"`
+}
+
+// AtomDoc is a relational atom.
+type AtomDoc struct {
+	Rel  string    `json:"rel"`
+	Args []TermDoc `json:"args"`
+}
+
+// TermDoc is a variable or a typed constant. Exactly one of Var/Const
+// is set.
+type TermDoc struct {
+	Var   string    `json:"var,omitempty"`
+	Const *DatumDoc `json:"const,omitempty"`
+}
+
+// DatumDoc encodes a datum with its type; values are strings to keep
+// 64-bit integers exact under JSON.
+type DatumDoc struct {
+	Type  string `json:"type"`
+	Value string `json:"value"`
+}
+
+// LocalDataDoc holds one relation's local contributions.
+type LocalDataDoc struct {
+	Relation string       `json:"relation"`
+	Rows     [][]DatumDoc `json:"rows"`
+}
+
+// Save serializes a system's schema and local contributions.
+func Save(w io.Writer, sys *exchange.System) error {
+	doc := Document{Version: 1}
+	for _, r := range sys.Schema.PublicRelations() {
+		rd := RelationDoc{Name: r.Name, Key: r.KeyNames()}
+		for _, c := range r.Columns {
+			rd.Columns = append(rd.Columns, ColumnDoc{Name: c.Name, Type: typeName(c.Type)})
+		}
+		doc.Relations = append(doc.Relations, rd)
+	}
+	for _, m := range sys.Schema.Mappings() {
+		md := MappingDoc{Name: m.Name}
+		for _, a := range m.Head {
+			md.Head = append(md.Head, atomDoc(a))
+		}
+		for _, a := range m.Body {
+			md.Body = append(md.Body, atomDoc(a))
+		}
+		doc.Mappings = append(doc.Mappings, md)
+	}
+	for _, r := range sys.Schema.PublicRelations() {
+		lt, ok := sys.DB.Table(r.LocalName())
+		if !ok || lt.Len() == 0 {
+			continue
+		}
+		ld := LocalDataDoc{Relation: r.Name}
+		for _, row := range lt.SortedRows() {
+			var rd []DatumDoc
+			for _, d := range row {
+				dd, err := datumDoc(d)
+				if err != nil {
+					return fmt.Errorf("settingio: relation %s: %w", r.Name, err)
+				}
+				rd = append(rd, dd)
+			}
+			ld.Rows = append(ld.Rows, rd)
+		}
+		doc.Local = append(doc.Local, ld)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Load parses a document, rebuilds the system, and runs update
+// exchange.
+func Load(r io.Reader, opts exchange.Options) (*exchange.System, error) {
+	var doc Document
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("settingio: %w", err)
+	}
+	if doc.Version != 1 {
+		return nil, fmt.Errorf("settingio: unsupported version %d", doc.Version)
+	}
+	schema := model.NewSchema()
+	for _, rd := range doc.Relations {
+		cols := make([]model.Column, 0, len(rd.Columns))
+		for _, c := range rd.Columns {
+			t, err := typeOf(c.Type)
+			if err != nil {
+				return nil, fmt.Errorf("settingio: relation %s: %w", rd.Name, err)
+			}
+			cols = append(cols, model.Column{Name: c.Name, Type: t})
+		}
+		rel, err := model.NewRelation(rd.Name, cols, rd.Key...)
+		if err != nil {
+			return nil, fmt.Errorf("settingio: %w", err)
+		}
+		if err := schema.AddRelation(rel); err != nil {
+			return nil, fmt.Errorf("settingio: %w", err)
+		}
+	}
+	for _, md := range doc.Mappings {
+		head := make([]model.Atom, 0, len(md.Head))
+		for _, a := range md.Head {
+			atom, err := docAtom(a)
+			if err != nil {
+				return nil, fmt.Errorf("settingio: mapping %s: %w", md.Name, err)
+			}
+			head = append(head, atom)
+		}
+		body := make([]model.Atom, 0, len(md.Body))
+		for _, a := range md.Body {
+			atom, err := docAtom(a)
+			if err != nil {
+				return nil, fmt.Errorf("settingio: mapping %s: %w", md.Name, err)
+			}
+			body = append(body, atom)
+		}
+		if err := schema.AddMapping(model.NewMultiHeadMapping(md.Name, head, body)); err != nil {
+			return nil, fmt.Errorf("settingio: %w", err)
+		}
+	}
+	sys, err := exchange.NewSystem(schema, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, ld := range doc.Local {
+		rows := make([]model.Tuple, 0, len(ld.Rows))
+		for _, rd := range ld.Rows {
+			row := make(model.Tuple, 0, len(rd))
+			for _, dd := range rd {
+				d, err := docDatum(dd)
+				if err != nil {
+					return nil, fmt.Errorf("settingio: relation %s: %w", ld.Relation, err)
+				}
+				row = append(row, d)
+			}
+			rows = append(rows, row)
+		}
+		if err := sys.InsertLocal(ld.Relation, rows...); err != nil {
+			return nil, fmt.Errorf("settingio: %w", err)
+		}
+	}
+	if err := sys.Run(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+func typeName(t model.DatumType) string { return t.String() }
+
+func typeOf(name string) (model.DatumType, error) {
+	switch name {
+	case "int":
+		return model.TypeInt, nil
+	case "float":
+		return model.TypeFloat, nil
+	case "string":
+		return model.TypeString, nil
+	case "bool":
+		return model.TypeBool, nil
+	}
+	return 0, fmt.Errorf("unknown column type %q", name)
+}
+
+func atomDoc(a model.Atom) AtomDoc {
+	out := AtomDoc{Rel: a.Rel}
+	for _, t := range a.Args {
+		if t.IsConst {
+			dd, err := datumDoc(t.Const)
+			if err != nil {
+				// Mapping constants are validated datums; this is a
+				// programming error.
+				panic(err)
+			}
+			out.Args = append(out.Args, TermDoc{Const: &dd})
+		} else {
+			out.Args = append(out.Args, TermDoc{Var: t.Var})
+		}
+	}
+	return out
+}
+
+func docAtom(a AtomDoc) (model.Atom, error) {
+	atom := model.Atom{Rel: a.Rel}
+	for _, td := range a.Args {
+		switch {
+		case td.Const != nil && td.Var != "":
+			return model.Atom{}, fmt.Errorf("atom %s: term is both var and const", a.Rel)
+		case td.Const != nil:
+			d, err := docDatum(*td.Const)
+			if err != nil {
+				return model.Atom{}, err
+			}
+			atom.Args = append(atom.Args, model.C(d))
+		case td.Var != "":
+			atom.Args = append(atom.Args, model.V(td.Var))
+		default:
+			return model.Atom{}, fmt.Errorf("atom %s: empty term", a.Rel)
+		}
+	}
+	return atom, nil
+}
+
+func datumDoc(d model.Datum) (DatumDoc, error) {
+	switch v := d.(type) {
+	case int64:
+		return DatumDoc{Type: "int", Value: strconv.FormatInt(v, 10)}, nil
+	case float64:
+		return DatumDoc{Type: "float", Value: strconv.FormatFloat(v, 'g', -1, 64)}, nil
+	case string:
+		return DatumDoc{Type: "string", Value: v}, nil
+	case bool:
+		return DatumDoc{Type: "bool", Value: strconv.FormatBool(v)}, nil
+	}
+	return DatumDoc{}, fmt.Errorf("unsupported datum %T", d)
+}
+
+func docDatum(dd DatumDoc) (model.Datum, error) {
+	switch dd.Type {
+	case "int":
+		v, err := strconv.ParseInt(dd.Value, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad int %q", dd.Value)
+		}
+		return v, nil
+	case "float":
+		v, err := strconv.ParseFloat(dd.Value, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q", dd.Value)
+		}
+		return v, nil
+	case "string":
+		return dd.Value, nil
+	case "bool":
+		v, err := strconv.ParseBool(dd.Value)
+		if err != nil {
+			return nil, fmt.Errorf("bad bool %q", dd.Value)
+		}
+		return v, nil
+	}
+	return nil, fmt.Errorf("unknown datum type %q", dd.Type)
+}

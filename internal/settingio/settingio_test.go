@@ -1,0 +1,125 @@
+package settingio_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/exchange"
+	"repro/internal/fixture"
+	"repro/internal/model"
+	"repro/internal/proql"
+	"repro/internal/settingio"
+	"repro/internal/workload"
+)
+
+func TestRoundTripRunningExample(t *testing.T) {
+	orig := fixture.MustSystem(fixture.Options{IncludeM3: true})
+	var buf bytes.Buffer
+	if err := settingio.Save(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := settingio.Load(&buf, exchange.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rebuilt instance must be identical, relation by relation.
+	for _, r := range orig.Schema.PublicRelations() {
+		a := orig.DB.MustTable(r.Name).SortedRows()
+		b := loaded.DB.MustTable(r.Name).SortedRows()
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d vs %d rows", r.Name, len(a), len(b))
+		}
+		for i := range a {
+			if model.EncodeDatums(a[i]) != model.EncodeDatums(b[i]) {
+				t.Errorf("%s row %d differs: %v vs %v", r.Name, i, a[i], b[i])
+			}
+		}
+	}
+	// Provenance identical per mapping.
+	for _, m := range orig.Schema.Mappings() {
+		a, err := orig.ProvRows(m.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.ProvRows(m.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Errorf("P_%s: %d vs %d rows", m.Name, len(a), len(b))
+		}
+	}
+	// Queries behave identically.
+	q := `EVALUATE DERIVABILITY OF { FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x }`
+	r1, err := proql.NewEngine(orig).ExecString(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := proql.NewEngine(loaded).ExecString(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Annotations) != len(r2.Annotations) {
+		t.Errorf("annotations %d vs %d", len(r1.Annotations), len(r2.Annotations))
+	}
+}
+
+func TestRoundTripWorkload(t *testing.T) {
+	set, err := workload.Build(workload.Config{
+		Topology:  workload.Branched,
+		Profile:   workload.ProfileFan,
+		NumPeers:  6,
+		DataPeers: workload.DownstreamDataPeers(6, 2),
+		BaseSize:  7,
+		Seed:      31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := settingio.Save(&buf, set.Sys); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := settingio.Load(&buf, exchange.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := loaded.DB.TotalRows(), set.Sys.DB.TotalRows(); got != want {
+		t.Errorf("total rows %d, want %d", got, want)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":        "hello",
+		"bad version":     `{"version": 99}`,
+		"unknown field":   `{"version": 1, "zzz": true}`,
+		"bad column type": `{"version":1,"relations":[{"name":"R","columns":[{"name":"a","type":"blob"}],"key":["a"]}]}`,
+		"bad datum": `{"version":1,
+			"relations":[{"name":"R","columns":[{"name":"a","type":"int"}],"key":["a"]}],
+			"local":[{"relation":"R","rows":[[{"type":"int","value":"xyz"}]]}]}`,
+		"empty term": `{"version":1,
+			"relations":[{"name":"R","columns":[{"name":"a","type":"int"}],"key":["a"]}],
+			"mappings":[{"name":"m","head":[{"rel":"R","args":[{}]}],"body":[{"rel":"R","args":[{"var":"x"}]}]}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := settingio.Load(strings.NewReader(doc), exchange.Options{}); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestSaveIsDeterministic(t *testing.T) {
+	sys := fixture.MustSystem(fixture.Options{})
+	var a, b bytes.Buffer
+	if err := settingio.Save(&a, sys); err != nil {
+		t.Fatal(err)
+	}
+	if err := settingio.Save(&b, sys); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("Save output is not deterministic")
+	}
+}

@@ -1,0 +1,310 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/asr"
+	"repro/internal/proql"
+)
+
+// Runs is the measurement protocol of Section 6.1.3: each experiment
+// is repeated, the best and worst results are discarded, and the rest
+// averaged. The paper used 7 runs; harness callers can lower it for
+// quick sweeps.
+const Runs = 7
+
+// timed measures fn with the discard-extremes-and-average protocol.
+func timed(runs int, fn func() error) (time.Duration, error) {
+	if runs < 3 {
+		runs = 3
+	}
+	samples := make([]time.Duration, 0, runs)
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		samples = append(samples, time.Since(start))
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	samples = samples[1 : len(samples)-1]
+	var total time.Duration
+	for _, s := range samples {
+		total += s
+	}
+	return total / time.Duration(len(samples)), nil
+}
+
+// UnfoldStatsRow is one point of Figures 7 and 8: the unfolded-rule
+// count and the unfolding/evaluation time split.
+type UnfoldStatsRow struct {
+	X             int // number of peers (Fig 7) or peers with data (Fig 8)
+	UnfoldedRules int
+	UnfoldTime    time.Duration
+	EvalTime      time.Duration
+}
+
+// RunFig7 reproduces Figure 7: chain topology, data at every peer,
+// sweeping the number of peers; fan profile so the unfolding must
+// cover all derivation combinations.
+func RunFig7(peerCounts []int, baseSize int, runs int, seed int64) ([]UnfoldStatsRow, error) {
+	var out []UnfoldStatsRow
+	for _, n := range peerCounts {
+		set, err := Build(Config{
+			Topology:  Chain,
+			Profile:   ProfileFan,
+			NumPeers:  n,
+			DataPeers: AllDataPeers(n),
+			BaseSize:  baseSize,
+			Seed:      seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row, err := measureTarget(set, n, runs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RunFig8 reproduces Figure 8: fixed-length chain, sweeping the number
+// of peers with local data.
+func RunFig8(numPeers int, dataCounts []int, baseSize int, runs int, seed int64) ([]UnfoldStatsRow, error) {
+	var out []UnfoldStatsRow
+	for _, d := range dataCounts {
+		set, err := Build(Config{
+			Topology:  Chain,
+			Profile:   ProfileFan,
+			NumPeers:  numPeers,
+			DataPeers: DownstreamDataPeers(numPeers, d),
+			BaseSize:  baseSize,
+			Seed:      seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row, err := measureTarget(set, d, runs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func measureTarget(set *Setting, x, runs int) (UnfoldStatsRow, error) {
+	eng := proql.NewEngine(set.Sys)
+	q, err := proql.Parse(set.TargetQuery())
+	if err != nil {
+		return UnfoldStatsRow{}, err
+	}
+	var last *proql.Result
+	_, err = timed(runs, func() error {
+		res, err := eng.Exec(q)
+		last = res
+		return err
+	})
+	if err != nil {
+		return UnfoldStatsRow{}, err
+	}
+	return UnfoldStatsRow{
+		X:             x,
+		UnfoldedRules: last.Stats.UnfoldedRules,
+		UnfoldTime:    last.Stats.UnfoldTime,
+		EvalTime:      last.Stats.EvalTime,
+	}, nil
+}
+
+// ScaleRow is one point of Figures 9 and 10: query processing time and
+// instance size for chain and branched topologies.
+type ScaleRow struct {
+	X            int // base size (Fig 9) or number of peers (Fig 10)
+	ChainTime    time.Duration
+	BranchedTime time.Duration
+	ChainSize    int
+	BranchedSize int
+}
+
+// RunFig9 reproduces Figure 9: 20-peer chain and branched topologies,
+// few upstream data peers, sweeping the base size.
+func RunFig9(numPeers, dataPeers int, baseSizes []int, runs int, seed int64) ([]ScaleRow, error) {
+	var out []ScaleRow
+	for _, base := range baseSizes {
+		row := ScaleRow{X: base}
+		if err := fillScaleRow(&row, numPeers, dataPeers, base, runs, seed); err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RunFig10 reproduces Figure 10: fixed base size, sweeping the number
+// of peers.
+func RunFig10(peerCounts []int, dataPeers, baseSize int, runs int, seed int64) ([]ScaleRow, error) {
+	var out []ScaleRow
+	for _, n := range peerCounts {
+		row := ScaleRow{X: n}
+		if err := fillScaleRow(&row, n, dataPeers, baseSize, runs, seed); err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func fillScaleRow(row *ScaleRow, numPeers, dataPeers, base, runs int, seed int64) error {
+	for _, topo := range []Topology{Chain, Branched} {
+		set, err := Build(Config{
+			Topology:  topo,
+			Profile:   ProfileLinear,
+			NumPeers:  numPeers,
+			DataPeers: UpstreamDataPeers(numPeers, dataPeers),
+			BaseSize:  base,
+			Seed:      seed,
+		})
+		if err != nil {
+			return err
+		}
+		eng := proql.NewEngine(set.Sys)
+		q, err := proql.Parse(set.TargetQuery())
+		if err != nil {
+			return err
+		}
+		dur, err := timed(runs, func() error {
+			_, err := eng.Exec(q)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		if topo == Chain {
+			row.ChainTime = dur
+			row.ChainSize = set.InstanceSize()
+		} else {
+			row.BranchedTime = dur
+			row.BranchedSize = set.InstanceSize()
+		}
+	}
+	return nil
+}
+
+// ASRRow is one point of Figures 11–13: total query processing time
+// for one ASR kind at one maximum path length.
+type ASRRow struct {
+	Kind    asr.Kind
+	MaxLen  int
+	Time    time.Duration
+	ASRRows int // materialized index size
+}
+
+// ASRExperiment holds a setting plus its no-ASR baseline.
+type ASRExperiment struct {
+	Setting  *Setting
+	Baseline time.Duration
+	Rows     []ASRRow
+}
+
+// RunASRSweep reproduces the shape of Figures 11, 12, and 13: build
+// the given setting, measure the no-ASR baseline for the target query,
+// then for every ASR kind and maximum path length split the topology's
+// mapping chains into segments, materialize the ASRs, and re-measure.
+func RunASRSweep(cfg Config, maxLens []int, kinds []asr.Kind, runs int) (*ASRExperiment, error) {
+	set, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	exp := &ASRExperiment{Setting: set}
+	eng := proql.NewEngine(set.Sys)
+	q, err := proql.Parse(set.TargetQuery())
+	if err != nil {
+		return nil, err
+	}
+	exp.Baseline, err = timed(runs, func() error {
+		_, err := eng.Exec(q)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	chains := set.AChains()
+	for _, kind := range kinds {
+		for _, maxLen := range maxLens {
+			ix := asr.NewIndex(set.Sys)
+			for _, chain := range chains {
+				for _, seg := range SplitChain(chain, maxLen) {
+					if _, err := ix.Define(kind, seg...); err != nil {
+						return nil, fmt.Errorf("define %v over %v: %w", kind, seg, err)
+					}
+				}
+			}
+			if err := ix.Materialize(); err != nil {
+				return nil, err
+			}
+			eng.RewriteRules = ix.RewriteRules
+			dur, err := timed(runs, func() error {
+				_, err := eng.Exec(q)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			exp.Rows = append(exp.Rows, ASRRow{
+				Kind:    kind,
+				MaxLen:  maxLen,
+				Time:    dur,
+				ASRRows: ix.TotalRows(),
+			})
+			eng.RewriteRules = nil
+			ix.DropAll()
+		}
+	}
+	return exp, nil
+}
+
+// AnnotationOverheadRow compares graph projection alone against
+// projection plus annotation computation (Section 6.1.2's observation
+// that the projection component dominates).
+type AnnotationOverheadRow struct {
+	ProjectionTime time.Duration
+	AnnotatedTime  time.Duration
+}
+
+// RunAnnotationOverhead measures the target query with and without a
+// TRUST evaluation over the same setting.
+func RunAnnotationOverhead(cfg Config, runs int) (*AnnotationOverheadRow, error) {
+	set, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	eng := proql.NewEngine(set.Sys)
+	proj, err := proql.Parse(set.TargetQuery())
+	if err != nil {
+		return nil, err
+	}
+	annot, err := proql.Parse(set.TargetAnnotationQuery())
+	if err != nil {
+		return nil, err
+	}
+	row := &AnnotationOverheadRow{}
+	row.ProjectionTime, err = timed(runs, func() error {
+		_, err := eng.Exec(proj)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	row.AnnotatedTime, err = timed(runs, func() error {
+		_, err := eng.Exec(annot)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return row, nil
+}

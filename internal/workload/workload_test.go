@@ -1,0 +1,264 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/asr"
+	"repro/internal/proql"
+)
+
+func TestBuildLinearChainPropagation(t *testing.T) {
+	set, err := Build(Config{
+		Topology:  Chain,
+		Profile:   ProfileLinear,
+		NumPeers:  5,
+		DataPeers: UpstreamDataPeers(5, 2), // peers 4 and 3
+		BaseSize:  10,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peer 4's 10 tuples propagate to peers 3..0; peer 3's to 2..0.
+	// A4=10, A3=10+10=20, A2=A1=A0=20.
+	for p, want := range map[int]int{4: 10, 3: 20, 2: 20, 1: 20, 0: 20} {
+		if got := set.Sys.DB.MustTable(ARel(p)).Len(); got != want {
+			t.Errorf("A%d has %d rows, want %d", p, got, want)
+		}
+	}
+	// Every peer has the reference partition.
+	for p := 0; p < 5; p++ {
+		if got := set.Sys.DB.MustTable(BRel(p)).Len(); got != 16 {
+			t.Errorf("B%d has %d rows, want 16", p, got)
+		}
+	}
+	// Provenance rows: one per propagated tuple per hop.
+	if got := set.Sys.ProvRowCount(); got != 10+20*3 {
+		t.Errorf("provenance rows = %d, want 70", got)
+	}
+}
+
+func TestBuildBranchedPropagation(t *testing.T) {
+	set, err := Build(Config{
+		Topology:  Branched,
+		Profile:   ProfileLinear,
+		NumPeers:  7, // 4 branches off peer 0: 1←5, 2←6, 3, 4
+		DataPeers: []int{3, 6},
+		BaseSize:  5,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peer 3's data flows 3→0; peer 6's flows 6→2→0.
+	if got := set.Sys.DB.MustTable(ARel(0)).Len(); got != 10 {
+		t.Errorf("A0 has %d rows, want 10", got)
+	}
+	if got := set.Sys.DB.MustTable(ARel(2)).Len(); got != 5 {
+		t.Errorf("A2 has %d rows, want 5", got)
+	}
+	chains := set.AChains()
+	// Disjoint decomposition into one downward path per branch.
+	if len(chains) != 4 {
+		t.Fatalf("chains = %v", chains)
+	}
+	seen := map[string]bool{}
+	total := 0
+	for _, c := range chains {
+		total += len(c)
+		for _, m := range c {
+			if seen[m] {
+				t.Errorf("mapping %s appears in two chains", m)
+			}
+			seen[m] = true
+		}
+	}
+	if total != 6 {
+		t.Errorf("chains cover %d mappings, want 6 (one per edge)", total)
+	}
+}
+
+func TestFanProfileRuleGrowth(t *testing.T) {
+	// The fan profile's unfolded-rule counts follow
+	// f(d) = 1 + f(d-1)·(d-1)-ish growth: 1, 2, 5, 16 for d = 1..4.
+	want := map[int]int{1: 1, 2: 2, 3: 5, 4: 16}
+	for d := 1; d <= 4; d++ {
+		set, err := Build(Config{
+			Topology:  Chain,
+			Profile:   ProfileFan,
+			NumPeers:  6,
+			DataPeers: DownstreamDataPeers(6, d),
+			BaseSize:  4,
+			Seed:      1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		comp, err := proql.CompileUnfold(set.Sys, proql.MustParse(set.TargetQuery()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(comp.Rules); got != want[d] {
+			t.Errorf("d=%d: unfolded rules = %d, want %d", d, got, want[d])
+		}
+	}
+}
+
+func TestTargetQueryResultsMatchInstance(t *testing.T) {
+	set, err := Build(Config{
+		Topology:  Chain,
+		Profile:   ProfileLinear,
+		NumPeers:  6,
+		DataPeers: UpstreamDataPeers(6, 2),
+		BaseSize:  8,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := proql.NewEngine(set.Sys)
+	res, err := eng.ExecString(set.TargetQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every A0 tuple is bound (all are derived).
+	if got, want := len(res.SortedRefs("x")), set.Sys.DB.MustTable(ARel(0)).Len(); got != want {
+		t.Errorf("bindings = %d, want %d", got, want)
+	}
+	// Derivability over the same query: everything true.
+	ann, err := eng.ExecString(set.TargetAnnotationQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ref, v := range ann.Annotations {
+		if v != true {
+			t.Errorf("%v not trusted", ref)
+		}
+	}
+}
+
+func TestASRSweepMatchesBaselineResults(t *testing.T) {
+	set, err := Build(Config{
+		Topology:  Chain,
+		Profile:   ProfileLinear,
+		NumPeers:  6,
+		DataPeers: UpstreamDataPeers(6, 2),
+		BaseSize:  10,
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := proql.NewEngine(set.Sys)
+	q := proql.MustParse(set.TargetQuery())
+	base, err := eng.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []asr.Kind{asr.CompletePath, asr.Subpath, asr.Prefix, asr.Suffix} {
+		for _, maxLen := range []int{1, 2, 3, 5} {
+			ix := asr.NewIndex(set.Sys)
+			for _, chain := range set.AChains() {
+				for _, seg := range SplitChain(chain, maxLen) {
+					if _, err := ix.Define(kind, seg...); err != nil {
+						t.Fatalf("%v len=%d: %v", kind, maxLen, err)
+					}
+				}
+			}
+			if err := ix.Materialize(); err != nil {
+				t.Fatal(err)
+			}
+			eng.RewriteRules = ix.RewriteRules
+			opt, err := eng.Exec(q)
+			if err != nil {
+				t.Fatalf("%v len=%d: %v", kind, maxLen, err)
+			}
+			eng.RewriteRules = nil
+			ix.DropAll()
+			if got, want := len(opt.SortedRefs("x")), len(base.SortedRefs("x")); got != want {
+				t.Errorf("%v len=%d: bindings %d, want %d", kind, maxLen, got, want)
+			}
+			if got, want := opt.MustGraph().NumDerivations(), base.MustGraph().NumDerivations(); got != want {
+				t.Errorf("%v len=%d: derivations %d, want %d", kind, maxLen, got, want)
+			}
+		}
+	}
+}
+
+func TestSplitChain(t *testing.T) {
+	chain := []string{"a", "b", "c", "d", "e"}
+	segs := SplitChain(chain, 2)
+	if len(segs) != 3 || len(segs[0]) != 2 || len(segs[2]) != 1 {
+		t.Errorf("segs = %v", segs)
+	}
+	segs = SplitChain(chain, 10)
+	if len(segs) != 1 || len(segs[0]) != 5 {
+		t.Errorf("segs = %v", segs)
+	}
+	if got := SplitChain(chain, 0); len(got) != 5 {
+		t.Errorf("maxLen 0 should clamp to 1: %v", got)
+	}
+}
+
+func TestDataPeerPlacements(t *testing.T) {
+	up := UpstreamDataPeers(10, 3)
+	if len(up) != 3 || up[0] != 9 || up[2] != 7 {
+		t.Errorf("upstream = %v", up)
+	}
+	down := DownstreamDataPeers(10, 3)
+	if len(down) != 3 || down[0] != 0 || down[2] != 2 {
+		t.Errorf("downstream = %v", down)
+	}
+	all := AllDataPeers(4)
+	if len(all) != 4 {
+		t.Errorf("all = %v", all)
+	}
+}
+
+func TestHarnessSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test is slow")
+	}
+	rows, err := RunFig7([]int{2, 3}, 4, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[1].UnfoldedRules <= rows[0].UnfoldedRules {
+		t.Errorf("Fig7 rows = %+v (rules must grow)", rows)
+	}
+	srows, err := RunFig9(5, 2, []int{5, 10}, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srows) != 2 || srows[1].ChainSize <= srows[0].ChainSize {
+		t.Errorf("Fig9 rows = %+v (instance must grow)", srows)
+	}
+	exp, err := RunASRSweep(Config{
+		Topology:  Chain,
+		Profile:   ProfileLinear,
+		NumPeers:  5,
+		DataPeers: UpstreamDataPeers(5, 2),
+		BaseSize:  10,
+		Seed:      7,
+	}, []int{1, 2}, []asr.Kind{asr.CompletePath, asr.Suffix}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Rows) != 4 {
+		t.Errorf("ASR sweep rows = %d", len(exp.Rows))
+	}
+	ov, err := RunAnnotationOverhead(Config{
+		Topology:  Chain,
+		Profile:   ProfileLinear,
+		NumPeers:  4,
+		DataPeers: UpstreamDataPeers(4, 1),
+		BaseSize:  10,
+		Seed:      7,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.ProjectionTime <= 0 || ov.AnnotatedTime <= 0 {
+		t.Errorf("overhead row = %+v", ov)
+	}
+}
