@@ -7,6 +7,7 @@ package repro_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/asr"
@@ -263,6 +264,102 @@ func BenchmarkAnnotationOverhead(b *testing.B) {
 	b.Run("annotated", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := eng.Exec(annot); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMultiPathMatch measures the graph backend on a multi-path
+// common-provenance query (the Q4 shape): the physical-plan pipeline
+// (indexed scans + hash join on the shared variable, optionally with a
+// parallel root scan) against the legacy tree-walking interpreter,
+// which re-walks the second path under every binding of the first.
+// EXPERIMENTS.md records the measured speedup.
+func BenchmarkMultiPathMatch(b *testing.B) {
+	set, err := workload.Build(workload.Config{
+		Topology:  workload.Chain,
+		Profile:   workload.ProfileLinear,
+		NumPeers:  8,
+		DataPeers: workload.UpstreamDataPeers(8, 2),
+		BaseSize:  40,
+		Seed:      42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := proql.NewEngine(set.Sys)
+	if _, err := eng.Graph(); err != nil { // prebuild so runs measure evaluation only
+		b.Fatal(err)
+	}
+	q, err := proql.Parse(fmt.Sprintf(
+		"FOR [%s $x] <-+ [$z], [%s $y] <-+ [$z] RETURN $x, $y",
+		workload.ARel(0), workload.ARel(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("interpreter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.ExecGraphLegacy(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("planned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.ExecGraph(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("planned-parallel", func(b *testing.B) {
+		par := proql.NewEngine(set.Sys)
+		par.Parallelism = runtime.GOMAXPROCS(0)
+		if _, err := par.Graph(); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := par.ExecGraph(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSinglePathProjection compares the two graph-backend
+// runtimes on the Section 6 target query (single anchored path with a
+// full ancestor projection), where the interpreter's whole-graph scans
+// are replaced by label-index lookups.
+func BenchmarkSinglePathProjection(b *testing.B) {
+	set, err := workload.Build(workload.Config{
+		Topology:  workload.Chain,
+		Profile:   workload.ProfileLinear,
+		NumPeers:  12,
+		DataPeers: workload.UpstreamDataPeers(12, 3),
+		BaseSize:  100,
+		Seed:      42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := proql.NewEngine(set.Sys)
+	if _, err := eng.Graph(); err != nil {
+		b.Fatal(err)
+	}
+	q, err := proql.Parse(set.TargetQuery())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("interpreter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.ExecGraphLegacy(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("planned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.ExecGraph(q); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -43,6 +43,7 @@ func main() {
 		seed     = flag.Int64("seed", 42, "workload seed")
 		loadFile = flag.String("load", "", "load a setting from a JSON file (see internal/settingio)")
 		saveFile = flag.String("save", "", "save the setting as JSON and exit")
+		par      = flag.Int("par", 1, "worker-pool size for graph-backend path scans (1 = serial)")
 	)
 	flag.Parse()
 
@@ -106,6 +107,7 @@ func main() {
 	}
 
 	engine := proql.NewEngine(sys)
+	engine.Parallelism = *par
 	if *demo {
 		runDemo(engine)
 		return

@@ -26,6 +26,13 @@ type Engine struct {
 	// system does not know (ASR tables).
 	AtomPlanOverride func(atom model.Atom) (relstore.Plan, bool)
 
+	// Parallelism > 1 partitions the graph backend's root path scan
+	// over that many workers. Results are identical (the pipeline
+	// deduplicates and the engine sorts bindings); only which
+	// representative row survives deduplication for INCLUDE paths over
+	// non-returned variables may vary with scheduling.
+	Parallelism int
+
 	// graph caches the materialized provenance graph for the graph
 	// backend.
 	graph *provgraph.Graph
@@ -40,11 +47,13 @@ func NewEngine(sys *exchange.System) *Engine {
 type Binding map[string]model.TupleRef
 
 // Stats reports how a query was executed. UnfoldTime and EvalTime are
-// the two components the paper plots separately in Figures 7–8.
+// the two components the paper plots separately in Figures 7–8;
+// PlanTime is the graph backend's physical-planning component.
 type Stats struct {
 	Backend       string // "relational" or "graph"
 	UnfoldedRules int
 	UnfoldTime    time.Duration
+	PlanTime      time.Duration
 	EvalTime      time.Duration
 }
 
@@ -122,7 +131,7 @@ func (e *Engine) Exec(q *Query) (*Result, error) {
 	if err != nil {
 		var nr *ErrNotRelational
 		if errors.As(err, &nr) {
-			return e.execGraph(q)
+			return e.execPlanned(q)
 		}
 		return nil, err
 	}
@@ -131,8 +140,17 @@ func (e *Engine) Exec(q *Query) (*Result, error) {
 
 // ExecGraph forces evaluation on the graph backend, bypassing the
 // relational translation. Useful for cross-checking backends and for
-// interactive exploration over a prebuilt graph.
+// interactive exploration over a prebuilt graph. Queries run through
+// the physical-plan pipeline (internal/proql/physplan).
 func (e *Engine) ExecGraph(q *Query) (*Result, error) {
+	return e.execPlanned(q)
+}
+
+// ExecGraphLegacy forces evaluation on the graph backend's original
+// tree-walking interpreter. It exists to cross-check the planned
+// pipeline (differential tests, benchmarks) and will be removed once
+// the pipeline has fully replaced it.
+func (e *Engine) ExecGraphLegacy(q *Query) (*Result, error) {
 	return e.execGraph(q)
 }
 

@@ -3,6 +3,7 @@ package proql
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -60,7 +61,7 @@ func (e *Engine) execGraph(q *Query) (*Result, error) {
 	var rows []graphBinding
 	for _, b := range bindings {
 		sig := bindingSignature(b, q.Projection.Return)
-		if sig == "" || !seen[sig] {
+		if !seen[sig] {
 			seen[sig] = true
 			rows = append(rows, b)
 		}
@@ -169,16 +170,26 @@ func cloneBinding(b graphBinding) graphBinding {
 	return out
 }
 
+// bindingSignature keys a binding by the RETURN variables using
+// graph-node ordinals: unique integers with explicit type tags and
+// separators, so distinct bindings can never collide (the previous
+// concatenation of raw node names could, since names may contain any
+// byte), and an unbound variable is an explicit '?' rather than
+// vanishing from the key.
 func bindingSignature(b graphBinding, vars []string) string {
 	var sb strings.Builder
 	for _, v := range vars {
 		switch n := b[v].(type) {
 		case *provgraph.TupleNode:
-			sb.WriteString(n.Ref.String())
+			sb.WriteByte('t')
+			sb.WriteString(strconv.Itoa(n.Ord()))
 		case *provgraph.DerivNode:
-			sb.WriteString(n.ID)
+			sb.WriteByte('d')
+			sb.WriteString(strconv.Itoa(n.Ord()))
+		default:
+			sb.WriteByte('?')
 		}
-		sb.WriteByte('\x00')
+		sb.WriteByte(',')
 	}
 	return sb.String()
 }

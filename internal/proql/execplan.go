@@ -1,0 +1,289 @@
+package proql
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/proql/physplan"
+	"repro/internal/provgraph"
+)
+
+// execPlanned evaluates a query on the graph backend through the
+// physical-plan pipeline: the query is compiled into a DAG of streaming
+// operators (path scans seeded from the graph's label indexes,
+// index-nested-loop extensions, hash joins on shared variables, pushed-
+// down filters, dedup, subgraph projection), replacing the tree-walking
+// interpreter's cartesian binding threading. ExecGraphLegacy retains
+// the interpreter for cross-checking.
+func (e *Engine) execPlanned(q *Query) (*Result, error) {
+	g, err := e.Graph()
+	if err != nil {
+		return nil, err
+	}
+	planStart := time.Now()
+	outG := provgraph.New()
+	res := &Result{
+		Stats: Stats{Backend: "graph"},
+		graph: outG,
+	}
+	plan, err := e.buildGraphPlan(g, q, outG)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.PlanTime = time.Since(planStart)
+
+	evalStart := time.Now()
+	it, err := plan.Root.Open()
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out := Binding{}
+		for i, v := range q.Projection.Return {
+			node := row[i]
+			if node == nil {
+				return nil, fmt.Errorf("proql: RETURN variable $%s is not bound by the FOR clause", v)
+			}
+			tn, isTuple := node.(*provgraph.TupleNode)
+			if !isTuple {
+				return nil, fmt.Errorf("proql: RETURN variable $%s binds derivation nodes; only tuple nodes can be returned", v)
+			}
+			out[v] = tn.Ref
+			physplan.CopyTupleMeta(outG, tn)
+		}
+		res.Bindings = append(res.Bindings, out)
+	}
+	sortBindings(res.Bindings, q.Projection.Return)
+
+	if q.Evaluate != "" {
+		if err := e.annotateGraphResult(q, res, outG); err != nil {
+			return nil, err
+		}
+	}
+	res.Stats.EvalTime = time.Since(evalStart)
+	return res, nil
+}
+
+// buildGraphPlan lowers a query to the physplan spec and compiles it.
+// outG receives the projected subgraph when the plan runs.
+func (e *Engine) buildGraphPlan(g *provgraph.Graph, q *Query, outG *provgraph.Graph) (*physplan.Plan, error) {
+	spec := physplan.Spec{
+		Return:  q.Projection.Return,
+		Out:     outG,
+		Workers: e.Parallelism,
+	}
+	pathVars := map[string]bool{}
+	for _, p := range q.Projection.For {
+		spec.Paths = append(spec.Paths, toPhysPath(p))
+		for _, v := range p.Vars() {
+			pathVars[v] = true
+		}
+	}
+	for _, p := range q.Projection.Include {
+		spec.Include = append(spec.Include, toPhysPath(p))
+	}
+	if q.Projection.Where != nil {
+		for _, c := range splitConjuncts(q.Projection.Where) {
+			need := condVars(c)
+			if _, isPath := c.(CondPath); isPath {
+				// A path condition's variables outside the FOR clause
+				// are existential: only the correlated ones gate
+				// placement, so the filter can prune as early as the
+				// correlation is available.
+				var correlated []string
+				for _, v := range need {
+					if pathVars[v] {
+						correlated = append(correlated, v)
+					}
+				}
+				need = correlated
+			}
+			spec.Filters = append(spec.Filters, physplan.FilterSpec{
+				Desc: c.condString(),
+				Vars: need,
+				Fn:   e.compileRowCond(g, c),
+			})
+		}
+	}
+	return physplan.Compile(g, spec)
+}
+
+// toPhysPath lowers an AST path expression to the physical layer's
+// representation.
+func toPhysPath(p PathExpr) physplan.Path {
+	out := physplan.Path{
+		Nodes: make([]physplan.Node, len(p.Nodes)),
+		Edges: make([]physplan.Edge, len(p.Edges)),
+	}
+	for i, n := range p.Nodes {
+		out.Nodes[i] = physplan.Node{Rel: n.Rel, Var: n.Var}
+	}
+	for i, e := range p.Edges {
+		kind := physplan.EdgeDirect
+		if e.Kind == EdgePlus {
+			kind = physplan.EdgePlus
+		}
+		out.Edges[i] = physplan.Edge{Kind: kind, Mapping: e.Mapping, Var: e.Var}
+	}
+	return out
+}
+
+// splitConjuncts flattens top-level ANDs into independently placeable
+// filters.
+func splitConjuncts(c Cond) []Cond {
+	if and, ok := c.(CondAnd); ok {
+		return append(splitConjuncts(and.L), splitConjuncts(and.R)...)
+	}
+	return []Cond{c}
+}
+
+// condVars returns the variables a condition references, including
+// every variable of embedded path conditions.
+func condVars(c Cond) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(v string) {
+		if v != "" && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	var walk func(c Cond)
+	walk = func(c Cond) {
+		switch cc := c.(type) {
+		case CondCmp:
+			add(cc.L.Var)
+			add(cc.R.Var)
+		case CondIn:
+			add(cc.Var)
+		case CondAnd:
+			walk(cc.L)
+			walk(cc.R)
+		case CondOr:
+			walk(cc.L)
+			walk(cc.R)
+		case CondNot:
+			walk(cc.E)
+		case CondPath:
+			for _, v := range cc.Path.Vars() {
+				add(v)
+			}
+		}
+	}
+	walk(c)
+	return out
+}
+
+// compileRowCond compiles a WHERE condition into a row predicate over
+// the plan schema, mirroring the interpreter's evalGraphCond.
+func (e *Engine) compileRowCond(g *provgraph.Graph, c Cond) physplan.FilterFn {
+	switch cc := c.(type) {
+	case CondCmp:
+		return func(s *physplan.Schema, row physplan.Row) (bool, error) {
+			l, err := e.rowOperand(cc.L, s, row)
+			if err != nil {
+				return false, err
+			}
+			r, err := e.rowOperand(cc.R, s, row)
+			if err != nil {
+				return false, err
+			}
+			return compareDatums(cc.Op, l, r)
+		}
+	case CondIn:
+		return func(s *physplan.Schema, row physplan.Row) (bool, error) {
+			col := s.Col(cc.Var)
+			if col < 0 || row[col] == nil {
+				return false, fmt.Errorf("proql: WHERE references unbound variable $%s", cc.Var)
+			}
+			tn, ok := row[col].(*provgraph.TupleNode)
+			if !ok {
+				return false, fmt.Errorf("proql: IN requires a tuple variable")
+			}
+			return tn.Ref.Rel == cc.Rel, nil
+		}
+	case CondAnd:
+		l, r := e.compileRowCond(g, cc.L), e.compileRowCond(g, cc.R)
+		return func(s *physplan.Schema, row physplan.Row) (bool, error) {
+			ok, err := l(s, row)
+			if err != nil || !ok {
+				return false, err
+			}
+			return r(s, row)
+		}
+	case CondOr:
+		l, r := e.compileRowCond(g, cc.L), e.compileRowCond(g, cc.R)
+		return func(s *physplan.Schema, row physplan.Row) (bool, error) {
+			ok, err := l(s, row)
+			if err != nil || ok {
+				return ok, err
+			}
+			return r(s, row)
+		}
+	case CondNot:
+		inner := e.compileRowCond(g, cc.E)
+		return func(s *physplan.Schema, row physplan.Row) (bool, error) {
+			ok, err := inner(s, row)
+			return !ok, err
+		}
+	case CondPath:
+		// The existence checker is compiled once against the plan
+		// schema on first evaluation.
+		var once sync.Once
+		var check func(physplan.Row) (bool, error)
+		path := toPhysPath(cc.Path)
+		return func(s *physplan.Schema, row physplan.Row) (bool, error) {
+			once.Do(func() { check = physplan.NewExistsChecker(g, path, s) })
+			return check(row)
+		}
+	}
+	return func(*physplan.Schema, physplan.Row) (bool, error) {
+		return false, fmt.Errorf("proql: unsupported WHERE condition")
+	}
+}
+
+// rowOperand resolves one comparison operand under a row, mirroring
+// the interpreter's graphOperand.
+func (e *Engine) rowOperand(o CmpOperand, s *physplan.Schema, row physplan.Row) (model.Datum, error) {
+	if o.Var == "" {
+		return o.Lit, nil
+	}
+	col := s.Col(o.Var)
+	if col < 0 || row[col] == nil {
+		return nil, fmt.Errorf("proql: WHERE references unbound variable $%s", o.Var)
+	}
+	switch n := row[col].(type) {
+	case *provgraph.DerivNode:
+		if o.Attr != "" {
+			return nil, fmt.Errorf("proql: derivation variable $%s has no attributes", o.Var)
+		}
+		return n.Mapping, nil
+	case *provgraph.TupleNode:
+		if o.Attr == "" {
+			return nil, fmt.Errorf("proql: bare tuple variable $%s cannot be compared; use $%s.<attr> or IN", o.Var, o.Var)
+		}
+		rel, ok := e.Sys.Schema.Relation(n.Ref.Rel)
+		if !ok {
+			return nil, fmt.Errorf("proql: unknown relation %q", n.Ref.Rel)
+		}
+		idx := rel.ColumnIndex(o.Attr)
+		if idx < 0 {
+			return nil, fmt.Errorf("proql: relation %s has no attribute %q", rel.Name, o.Attr)
+		}
+		if n.Row == nil {
+			return nil, fmt.Errorf("proql: no stored row for %v", n.Ref)
+		}
+		return n.Row[idx], nil
+	}
+	return nil, fmt.Errorf("proql: variable $%s bound to unexpected node", o.Var)
+}

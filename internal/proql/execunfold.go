@@ -3,13 +3,13 @@ package proql
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"time"
 
 	"repro/internal/model"
 	"repro/internal/provgraph"
 	"repro/internal/relstore"
 	"repro/internal/semiring"
+	"repro/internal/stream"
 )
 
 // unfoldOutput collects the relational backend's output: the
@@ -180,62 +180,64 @@ func (e *Engine) execUnfold(comp *Compiled) (*Result, error) {
 	}
 
 	// The unfolded rules are the branches of a UNION ALL and touch the
-	// database read-only: evaluate them concurrently, then fold the
-	// results in rule order so bindings and annotations stay
-	// deterministic (semiring ⊕ is commutative, but determinism keeps
-	// output ordering and tests stable).
-	ruleRows, err := runPlansParallel(e.Sys.DB, plans)
-	if err != nil {
-		return nil, err
-	}
-	for pi, rp := range plans {
-		for _, row := range ruleRows[pi] {
-			ref, key, err := anchorRefOf(rp, anchorRel, row)
+	// database read-only: evaluate them concurrently (bounded by
+	// GOMAXPROCS) and fold the merged stream in rule order so bindings
+	// and annotations stay deterministic (semiring ⊕ is commutative,
+	// but determinism keeps output ordering and tests stable). The
+	// rules flow through the same stream.Iterator interface the graph
+	// backend's physical operators use.
+	it := ruleStream(e.Sys.DB, plans)
+	defer it.Close()
+	for {
+		rr, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		rp, row := plans[rr.rule], rr.row
+		ref, key, err := anchorRefOf(rp, anchorRel, row)
+		if err != nil {
+			return nil, err
+		}
+		addBinding(ref, key)
+		if includeGraph {
+			if err := collectRowDerivations(out, rp, row); err != nil {
+				return nil, err
+			}
+		}
+		if s != nil && (includeGraph || !singleNode) {
+			v, err := e.evalTreeRow(s, q.LeafAssign, mapFuncs, rp, rp.rule.Tree, row)
 			if err != nil {
 				return nil, err
 			}
-			addBinding(ref, key)
-			if includeGraph {
-				if err := collectRowDerivations(out, rp, row); err != nil {
-					return nil, err
-				}
-			}
-			if s != nil && (includeGraph || !singleNode) {
-				v, err := e.evalTreeRow(s, q.LeafAssign, mapFuncs, rp, rp.rule.Tree, row)
-				if err != nil {
-					return nil, err
-				}
-				accumulate(res.Annotations, s, ref, v)
-			}
+			accumulate(res.Annotations, s, ref, v)
 		}
 	}
 	res.Stats.EvalTime = time.Since(evalStart)
 	return res, nil
 }
 
-// runPlansParallel evaluates every rule plan concurrently (bounded by
-// GOMAXPROCS); the plans only read from the database.
-func runPlansParallel(db *relstore.Database, plans []*rulePlan) ([][]model.Tuple, error) {
-	out := make([][]model.Tuple, len(plans))
-	errs := make([]error, len(plans))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
+// ruleRow tags a relational output row with the rule that produced it.
+type ruleRow struct {
+	rule int
+	row  model.Tuple
+}
+
+// ruleStream evaluates every rule plan concurrently and yields the
+// rows in rule order.
+func ruleStream(db *relstore.Database, plans []*rulePlan) stream.Iterator[ruleRow] {
+	makers := make([]func() (stream.Iterator[ruleRow], error), len(plans))
 	for i, rp := range plans {
-		wg.Add(1)
-		go func(i int, rp *rulePlan) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i], errs[i] = rp.plan.Run(db)
-		}(i, rp)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		i, rp := i, rp
+		makers[i] = func() (stream.Iterator[ruleRow], error) {
+			return stream.Map(relstore.Stream(rp.plan, db), func(t model.Tuple) (ruleRow, error) {
+				return ruleRow{rule: i, row: t}, nil
+			}), nil
 		}
 	}
-	return out, nil
+	return stream.OrderedParallel(makers, runtime.GOMAXPROCS(0))
 }
 
 // scanAnchor scans the anchor relation with the WHERE filter applied.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/provgraph"
 	"repro/internal/relstore"
 )
 
@@ -18,7 +19,15 @@ func (e *Engine) Explain(q *Query) (string, error) {
 	if err != nil {
 		if nr, ok := err.(*ErrNotRelational); ok {
 			fmt.Fprintf(&sb, "backend: graph (%s)\n", nr.Reason)
-			fmt.Fprintf(&sb, "evaluated by instance-level path matching over the materialized provenance graph\n")
+			g, gerr := e.Graph()
+			if gerr != nil {
+				return "", gerr
+			}
+			plan, perr := e.buildGraphPlan(g, q, provgraph.New())
+			if perr != nil {
+				return "", perr
+			}
+			sb.WriteString(plan.ExplainString())
 			return sb.String(), nil
 		}
 		return "", err

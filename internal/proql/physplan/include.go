@@ -1,0 +1,203 @@
+package physplan
+
+import (
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/provgraph"
+	"repro/internal/stream"
+)
+
+// Include copies the provenance paths matching the query's INCLUDE
+// PATH expressions (under each surviving row) into the output graph,
+// passing rows through unchanged. Include runs after Dedup, mirroring
+// the interpreter: one projection per distinct RETURN row. Variables
+// of an include path that the row leaves unbound act as wildcards; the
+// walk never binds them.
+type Include struct {
+	input Op
+	g     *provgraph.Graph
+	out   *provgraph.Graph
+	paths []boundPath
+}
+
+// Schema implements Op.
+func (inc *Include) Schema() *Schema { return inc.input.Schema() }
+
+func (inc *Include) explain(sb *strings.Builder, indent int) {
+	descs := make([]string, len(inc.paths))
+	for i, bp := range inc.paths {
+		descs[i] = bp.path.String()
+	}
+	writeLine(sb, indent, "Include(%s)", strings.Join(descs, "; "))
+	inc.input.explain(sb, indent+1)
+}
+
+// Open implements Op.
+func (inc *Include) Open() (stream.Iterator[Row], error) {
+	in, err := inc.input.Open()
+	if err != nil {
+		return nil, err
+	}
+	return &stream.Func[Row]{
+		NextFn: func() (Row, bool, error) {
+			row, ok, err := in.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			for i := range inc.paths {
+				if err := inc.paths[i].include(inc.g, inc.out, row); err != nil {
+					return nil, false, err
+				}
+			}
+			return row, true, nil
+		},
+		CloseFn: in.Close,
+	}, nil
+}
+
+// include copies the paths matching bp under row into out. Every
+// candidate start tuple's metadata is copied even when no path matches
+// it, and every included derivation brings all of its sources and
+// targets — both mirroring the interpreter's projection semantics.
+func (bp *boundPath) include(g, out *provgraph.Graph, row Row) error {
+	starts, err := bp.starts(g, row, false)
+	if err != nil {
+		return err
+	}
+	for _, st := range starts {
+		if r := bp.path.Nodes[0].Rel; r != "" && st.Ref.Rel != r {
+			continue
+		}
+		CopyTupleMeta(out, st)
+		bp.walkInclude(g, out, 0, st, row, map[*provgraph.TupleNode]bool{st: true})
+	}
+	return nil
+}
+
+func (bp *boundPath) walkInclude(g, out *provgraph.Graph, edgeIdx int, cur *provgraph.TupleNode, row Row, visited map[*provgraph.TupleNode]bool) bool {
+	if edgeIdx == len(bp.path.Edges) {
+		return true
+	}
+	edge := bp.path.Edges[edgeIdx]
+	nextCol := bp.nodeCol[edgeIdx+1]
+	nextRel := bp.path.Nodes[edgeIdx+1].Rel
+	// Fast path for the ubiquitous [$x] <-+ [] suffix: every ancestor
+	// derivation is included, so a linear BFS replaces simple-path
+	// enumeration (which can be exponential, and matters on cyclic
+	// graphs).
+	if edge.Kind == EdgePlus && edgeIdx == len(bp.path.Edges)-1 &&
+		nextRel == "" && (nextCol < 0 || row[nextCol] == nil) {
+		return includeAllAncestors(out, cur)
+	}
+	matchedAny := false
+	switch edge.Kind {
+	case EdgeDirect:
+		ec := bp.edgeCol[edgeIdx]
+		for _, d := range cur.Derivations {
+			if edge.Mapping != "" && d.Mapping != edge.Mapping {
+				continue
+			}
+			if ec >= 0 {
+				if prev := row[ec]; prev != nil && prev != any(d) {
+					continue
+				}
+			}
+			for _, src := range d.Sources {
+				if visited[src] || !bp.nodeMatches(edgeIdx+1, src, row) {
+					continue
+				}
+				visited[src] = true
+				if bp.walkInclude(g, out, edgeIdx+1, src, row, visited) {
+					CopyDerivation(out, d)
+					matchedAny = true
+				}
+				delete(visited, src)
+			}
+		}
+	case EdgePlus:
+		// Treat <-+ as one step followed by zero-or-more: copy a
+		// derivation iff its source either matches the next pattern
+		// (path ends here) or continues to a successful match.
+		var walk func(t *provgraph.TupleNode) bool
+		walk = func(t *provgraph.TupleNode) bool {
+			ok := false
+			for _, d := range t.Derivations {
+				for _, src := range d.Sources {
+					if visited[src] {
+						continue
+					}
+					visited[src] = true
+					endsHere := false
+					if bp.nodeMatches(edgeIdx+1, src, row) {
+						if bp.walkInclude(g, out, edgeIdx+1, src, row, visited) {
+							endsHere = true
+						}
+					}
+					continues := walk(src)
+					if endsHere || continues {
+						CopyDerivation(out, d)
+						ok = true
+					}
+					delete(visited, src)
+				}
+			}
+			return ok
+		}
+		matchedAny = walk(cur)
+	}
+	return matchedAny
+}
+
+// includeAllAncestors copies every derivation backwards-reachable from
+// cur into the output graph, reporting whether any exists.
+func includeAllAncestors(out *provgraph.Graph, cur *provgraph.TupleNode) bool {
+	seen := map[*provgraph.TupleNode]bool{cur: true}
+	queue := []*provgraph.TupleNode{cur}
+	found := false
+	for len(queue) > 0 {
+		tn := queue[0]
+		queue = queue[1:]
+		for _, d := range tn.Derivations {
+			found = true
+			CopyDerivation(out, d)
+			for _, src := range d.Sources {
+				if !seen[src] {
+					seen[src] = true
+					queue = append(queue, src)
+				}
+			}
+		}
+	}
+	return found
+}
+
+// CopyDerivation copies a derivation node (with all sources and
+// targets, including their metadata) into out.
+func CopyDerivation(out *provgraph.Graph, d *provgraph.DerivNode) {
+	srcs := make([]model.TupleRef, len(d.Sources))
+	for i, s := range d.Sources {
+		srcs[i] = s.Ref
+	}
+	tgts := make([]model.TupleRef, len(d.Targets))
+	for i, t := range d.Targets {
+		tgts[i] = t.Ref
+	}
+	out.AddDerivation(d.ID, d.Mapping, srcs, tgts)
+	for _, s := range d.Sources {
+		CopyTupleMeta(out, s)
+	}
+	for _, t := range d.Targets {
+		CopyTupleMeta(out, t)
+	}
+}
+
+// CopyTupleMeta copies one tuple node's stored row and leaf mark into
+// out.
+func CopyTupleMeta(out *provgraph.Graph, tn *provgraph.TupleNode) {
+	n := out.Tuple(tn.Ref)
+	if n.Row == nil {
+		n.Row = tn.Row
+	}
+	n.Leaf = tn.Leaf
+}

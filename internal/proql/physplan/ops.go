@@ -1,0 +1,447 @@
+package physplan
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/provgraph"
+	"repro/internal/stream"
+)
+
+// Op is a streaming physical operator. Open returns a fresh iterator
+// over the operator's output rows; Schema describes the row layout.
+// Every operator of one plan shares the plan-wide schema except
+// Project, which narrows it.
+type Op interface {
+	Open() (stream.Iterator[Row], error)
+	Schema() *Schema
+	explain(sb *strings.Builder, indent int)
+}
+
+// Explain renders an operator tree, one operator per line, children
+// indented under parents.
+func Explain(root Op) string {
+	var sb strings.Builder
+	root.explain(&sb, 0)
+	return sb.String()
+}
+
+func writeLine(sb *strings.Builder, indent int, format string, args ...any) {
+	for i := 0; i < indent; i++ {
+		sb.WriteString("  ")
+	}
+	fmt.Fprintf(sb, format, args...)
+	sb.WriteByte('\n')
+}
+
+// batchIter drains per-item row batches produced on demand — the
+// streaming granularity of path matching is one start tuple (or one
+// input row) at a time, whose matches form a batch.
+type batchIter struct {
+	produce func() ([]Row, bool, error)
+	closeFn func()
+	buf     []Row
+	pos     int
+}
+
+func (b *batchIter) Next() (Row, bool, error) {
+	for {
+		if b.pos < len(b.buf) {
+			r := b.buf[b.pos]
+			b.pos++
+			return r, true, nil
+		}
+		batch, ok, err := b.produce()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		b.buf, b.pos = batch, 0
+	}
+}
+
+func (b *batchIter) Close() {
+	if b.closeFn != nil {
+		b.closeFn()
+	}
+}
+
+// Scan enumerates the matches of one path expression over the whole
+// graph, seeding from the narrowest available index. With Workers > 1
+// the start tuples are partitioned over a worker pool; row order then
+// depends on scheduling, so parallel scans belong under order-
+// insensitive consumers (the planner always deduplicates and the
+// engine sorts final bindings).
+type Scan struct {
+	g       *provgraph.Graph
+	bp      boundPath
+	schema  *Schema
+	workers int
+	desc    string
+	est     float64
+}
+
+// Schema implements Op.
+func (s *Scan) Schema() *Schema { return s.schema }
+
+func (s *Scan) explain(sb *strings.Builder, indent int) {
+	par := ""
+	if s.workers > 1 {
+		par = fmt.Sprintf(" workers=%d", s.workers)
+	}
+	writeLine(sb, indent, "Scan(%s, %s, est=%.0f%s)", s.bp.path, s.desc, s.est, par)
+}
+
+// Open implements Op.
+func (s *Scan) Open() (stream.Iterator[Row], error) {
+	seed := make(Row, s.schema.Width())
+	starts, err := s.bp.starts(s.g, seed, true)
+	if err != nil {
+		return nil, err
+	}
+	if s.workers <= 1 {
+		i := 0
+		return &batchIter{produce: func() ([]Row, bool, error) {
+			for i < len(starts) {
+				st := starts[i]
+				i++
+				var batch []Row
+				s.bp.matchStart(s.g, st, seed, func(r Row) bool {
+					batch = append(batch, r)
+					return true
+				})
+				if len(batch) > 0 {
+					return batch, true, nil
+				}
+			}
+			return nil, false, nil
+		}}, nil
+	}
+	return s.openParallel(starts, seed), nil
+}
+
+// openParallel partitions the start tuples over the worker pool; each
+// worker streams its matches into a shared channel.
+func (s *Scan) openParallel(starts []*provgraph.TupleNode, seed Row) stream.Iterator[Row] {
+	type scanBatch struct{ rows []Row }
+	out := make(chan scanBatch, s.workers)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	next := make(chan int) // work queue of start indexes
+	go func() {
+		defer close(next)
+		for i := range starts {
+			select {
+			case next <- i:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < s.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				var batch []Row
+				s.bp.matchStart(s.g, starts[i], seed, func(r Row) bool {
+					batch = append(batch, r)
+					return true
+				})
+				if len(batch) == 0 {
+					continue
+				}
+				select {
+				case out <- scanBatch{rows: batch}:
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return &batchIter{
+		produce: func() ([]Row, bool, error) {
+			b, ok := <-out
+			if !ok {
+				return nil, false, nil
+			}
+			return b.rows, true, nil
+		},
+		closeFn: func() { stopOnce.Do(func() { close(stop) }) },
+	}
+}
+
+// Extend is the index-nested-loop join: for each input row it
+// enumerates the path's extensions, resolving the start tuple from the
+// row's bindings (goal-directed) or from the label indexes.
+type Extend struct {
+	input  Op
+	g      *provgraph.Graph
+	bp     boundPath
+	schema *Schema
+	desc   string
+}
+
+// Schema implements Op.
+func (e *Extend) Schema() *Schema { return e.schema }
+
+func (e *Extend) explain(sb *strings.Builder, indent int) {
+	writeLine(sb, indent, "Extend(%s, %s)", e.bp.path, e.desc)
+	e.input.explain(sb, indent+1)
+}
+
+// Open implements Op.
+func (e *Extend) Open() (stream.Iterator[Row], error) {
+	in, err := e.input.Open()
+	if err != nil {
+		return nil, err
+	}
+	return &batchIter{
+		produce: func() ([]Row, bool, error) {
+			for {
+				row, ok, err := in.Next()
+				if err != nil || !ok {
+					return nil, false, err
+				}
+				var batch []Row
+				if err := e.bp.matchAll(e.g, row, func(r Row) bool {
+					batch = append(batch, r)
+					return true
+				}); err != nil {
+					return nil, false, err
+				}
+				if len(batch) > 0 {
+					return batch, true, nil
+				}
+			}
+		},
+		closeFn: in.Close,
+	}, nil
+}
+
+// HashJoin joins two sub-plans on their shared variables (an empty On
+// list is a cross product). The right side is materialized into a hash
+// table; the left side streams.
+type HashJoin struct {
+	left, right Op
+	on          []string
+	onCols      []int
+	schema      *Schema
+}
+
+// Schema implements Op.
+func (j *HashJoin) Schema() *Schema { return j.schema }
+
+func (j *HashJoin) explain(sb *strings.Builder, indent int) {
+	if len(j.on) == 0 {
+		writeLine(sb, indent, "HashJoin(cross)")
+	} else {
+		writeLine(sb, indent, "HashJoin(on $%s)", strings.Join(j.on, ", $"))
+	}
+	j.left.explain(sb, indent+1)
+	j.right.explain(sb, indent+1)
+}
+
+// Open implements Op.
+func (j *HashJoin) Open() (stream.Iterator[Row], error) {
+	rit, err := j.right.Open()
+	if err != nil {
+		return nil, err
+	}
+	build := map[string][]Row{}
+	for {
+		row, ok, err := rit.Next()
+		if err != nil {
+			rit.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		k := RowKey(row, j.onCols)
+		build[k] = append(build[k], row)
+	}
+	rit.Close()
+	lit, err := j.left.Open()
+	if err != nil {
+		return nil, err
+	}
+	return &batchIter{
+		produce: func() ([]Row, bool, error) {
+			for {
+				lrow, ok, err := lit.Next()
+				if err != nil || !ok {
+					return nil, false, err
+				}
+				matches := build[RowKey(lrow, j.onCols)]
+				if len(matches) == 0 {
+					continue
+				}
+				batch := make([]Row, 0, len(matches))
+				for _, rrow := range matches {
+					out := cloneRow(lrow)
+					for c, v := range rrow {
+						if out[c] == nil {
+							out[c] = v
+						}
+					}
+					batch = append(batch, out)
+				}
+				return batch, true, nil
+			}
+		},
+		closeFn: lit.Close,
+	}, nil
+}
+
+// FilterFn evaluates a predicate over a row; the schema is the plan
+// schema the predicate was compiled against.
+type FilterFn func(*Schema, Row) (bool, error)
+
+// Filter keeps rows satisfying a compiled WHERE conjunct. A lenient
+// filter is a pushed-down pruning copy running on partially joined
+// rows: a predicate's value is stable once its variables are bound
+// (extensions never rebind), so false rows can be dropped early, but
+// evaluation errors must not surface for rows later joins would have
+// pruned — the lenient copy passes them through and the authoritative
+// end-of-pipeline filter re-evaluates, matching the interpreter's
+// evaluate-after-all-paths error semantics.
+type Filter struct {
+	input   Op
+	desc    string
+	fn      FilterFn
+	lenient bool
+}
+
+// Schema implements Op.
+func (f *Filter) Schema() *Schema { return f.input.Schema() }
+
+func (f *Filter) explain(sb *strings.Builder, indent int) {
+	if f.lenient {
+		writeLine(sb, indent, "Filter(prune: %s)", f.desc)
+	} else {
+		writeLine(sb, indent, "Filter(%s)", f.desc)
+	}
+	f.input.explain(sb, indent+1)
+}
+
+// Open implements Op.
+func (f *Filter) Open() (stream.Iterator[Row], error) {
+	in, err := f.input.Open()
+	if err != nil {
+		return nil, err
+	}
+	s := f.input.Schema()
+	return &stream.Func[Row]{
+		NextFn: func() (Row, bool, error) {
+			for {
+				row, ok, err := in.Next()
+				if err != nil || !ok {
+					return nil, false, err
+				}
+				keep, err := f.fn(s, row)
+				if err != nil {
+					if f.lenient {
+						return row, true, nil
+					}
+					return nil, false, err
+				}
+				if keep {
+					return row, true, nil
+				}
+			}
+		},
+		CloseFn: in.Close,
+	}, nil
+}
+
+// Dedup keeps the first row per distinct combination of the given
+// variables, keyed by node ordinals (collision-free, unlike string
+// concatenation of node names).
+type Dedup struct {
+	input  Op
+	on     []string
+	onCols []int
+}
+
+// Schema implements Op.
+func (d *Dedup) Schema() *Schema { return d.input.Schema() }
+
+func (d *Dedup) explain(sb *strings.Builder, indent int) {
+	writeLine(sb, indent, "Dedup($%s)", strings.Join(d.on, ", $"))
+	d.input.explain(sb, indent+1)
+}
+
+// Open implements Op.
+func (d *Dedup) Open() (stream.Iterator[Row], error) {
+	in, err := d.input.Open()
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	return &stream.Func[Row]{
+		NextFn: func() (Row, bool, error) {
+			for {
+				row, ok, err := in.Next()
+				if err != nil || !ok {
+					return nil, false, err
+				}
+				k := RowKey(row, d.onCols)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				return row, true, nil
+			}
+		},
+		CloseFn: in.Close,
+	}, nil
+}
+
+// Project narrows rows to the given variables, in order. Variables
+// absent from the input schema project to nil (the engine reports them
+// as unbound when assembling bindings, preserving the interpreter's
+// error behavior).
+type Project struct {
+	input  Op
+	cols   []string
+	colIdx []int
+	schema *Schema
+}
+
+// Schema implements Op.
+func (p *Project) Schema() *Schema { return p.schema }
+
+func (p *Project) explain(sb *strings.Builder, indent int) {
+	writeLine(sb, indent, "Project($%s)", strings.Join(p.cols, ", $"))
+	p.input.explain(sb, indent+1)
+}
+
+// Open implements Op.
+func (p *Project) Open() (stream.Iterator[Row], error) {
+	in, err := p.input.Open()
+	if err != nil {
+		return nil, err
+	}
+	return &stream.Func[Row]{
+		NextFn: func() (Row, bool, error) {
+			row, ok, err := in.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			out := make(Row, len(p.colIdx))
+			for i, c := range p.colIdx {
+				if c >= 0 {
+					out[i] = row[c]
+				}
+			}
+			return out, true, nil
+		},
+		CloseFn: in.Close,
+	}, nil
+}

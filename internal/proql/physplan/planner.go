@@ -1,0 +1,315 @@
+package physplan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/provgraph"
+)
+
+// FilterSpec is one WHERE conjunct: the variables it needs bound (only
+// those a FOR path can bind — the planner places the filter at the
+// earliest operator where all are available) and the compiled
+// predicate.
+type FilterSpec struct {
+	Desc string
+	Vars []string
+	Fn   FilterFn
+}
+
+// Spec is the logical input to the planner: the FOR paths, the WHERE
+// conjuncts, the INCLUDE paths with their output graph, and the RETURN
+// variables.
+type Spec struct {
+	Paths   []Path
+	Filters []FilterSpec
+	Return  []string
+	Include []Path
+	// Out receives the projected provenance subgraph (tuple metadata
+	// and included derivations). Required when Include is non-empty.
+	Out *provgraph.Graph
+	// Workers > 1 partitions the root path scan's start tuples over a
+	// worker pool.
+	Workers int
+}
+
+// Plan is a compiled physical plan.
+type Plan struct {
+	// Root streams the final projected rows (one column per RETURN
+	// variable, in order).
+	Root Op
+	// Order is the chosen evaluation order of Spec.Paths, most
+	// selective first.
+	Order []int
+	// Schema is the plan-wide row layout (every FOR-path variable).
+	Schema *Schema
+}
+
+// ExplainString renders the join order and the operator tree.
+func (p *Plan) ExplainString() string {
+	var sb strings.Builder
+	if len(p.Order) > 1 {
+		parts := make([]string, len(p.Order))
+		for i, idx := range p.Order {
+			parts[i] = fmt.Sprintf("%d", idx+1)
+		}
+		fmt.Fprintf(&sb, "join order: path %s\n", strings.Join(parts, " -> "))
+	}
+	sb.WriteString("physical plan:\n")
+	sb.WriteString(Explain(p.Root))
+	return sb.String()
+}
+
+// Compile builds the physical plan for spec over g: greedy ordering of
+// the FOR paths by estimated cost (connected paths preferred, bound
+// starts exploited), index-nested-loop extension where a path's start
+// is bound, hash joins on shared variables otherwise, filters pushed
+// to the earliest operator with their variables in scope, then
+// dedup on the RETURN variables, subgraph projection, and column
+// projection.
+func Compile(g *provgraph.Graph, spec Spec) (*Plan, error) {
+	// Plan-wide schema: every FOR-path variable, first appearance
+	// order. (Stable under reordering, so filter predicates compiled
+	// against it stay valid regardless of the chosen join order.)
+	var cols []string
+	seen := map[string]bool{}
+	for _, p := range spec.Paths {
+		for _, v := range p.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				cols = append(cols, v)
+			}
+		}
+	}
+	schema := NewSchema(cols)
+
+	est := newEstimator(g)
+	order := greedyOrder(est, spec.Paths)
+
+	bound := map[string]bool{}
+	var root Op
+	// Pushed-down filters are lenient pruning copies (see Filter); the
+	// authoritative evaluation happens once at the end of the pipeline,
+	// in query order, so errors and AND short-circuiting behave exactly
+	// as the interpreter's evaluate-after-all-paths semantics.
+	unpushed := make([]FilterSpec, len(spec.Filters))
+	copy(unpushed, spec.Filters)
+	pushFilters := func() {
+		var rest []FilterSpec
+		for _, f := range unpushed {
+			if root != nil && varsBound(f.Vars, bound) {
+				root = &Filter{input: root, desc: f.Desc, fn: f.Fn, lenient: true}
+			} else {
+				rest = append(rest, f)
+			}
+		}
+		unpushed = rest
+	}
+
+	for oi, idx := range order {
+		p := spec.Paths[idx]
+		bp := bindPath(p, schema)
+		desc := bp.startsDesc(bound)
+		switch {
+		case root == nil:
+			root = &Scan{g: g, bp: bp, schema: schema, workers: spec.Workers, desc: desc, est: est.pathCost(p, bound)}
+		case startBound(p, bound):
+			// Goal-directed: the start tuple (or first-edge derivation)
+			// is bound by earlier paths — extend row by row.
+			root = &Extend{input: root, g: g, bp: bp, schema: schema, desc: desc}
+		default:
+			// Independent scan hash-joined on the shared variables
+			// (empty = cross product).
+			shared := sharedVars(p, bound)
+			onCols := make([]int, len(shared))
+			for i, v := range shared {
+				onCols[i] = schema.Col(v)
+			}
+			// The independent scan runs uncorrelated, so its cost
+			// ignores variables bound on the probe side.
+			right := &Scan{g: g, bp: bp, schema: schema, desc: desc, est: est.pathCost(p, nil)}
+			root = &HashJoin{left: root, right: right, on: shared, onCols: onCols, schema: schema}
+		}
+		for _, v := range p.Vars() {
+			bound[v] = true
+		}
+		if oi < len(order)-1 {
+			pushFilters()
+		}
+	}
+	if root == nil {
+		// No FOR paths: a single empty row (mirrors the interpreter's
+		// unit seed binding).
+		root = &Scan{g: g, bp: bindPath(Path{Nodes: []Node{{}}}, schema), schema: schema, desc: "start=scan:all"}
+	}
+	// The authoritative filters, in query order. Filters whose
+	// variables no FOR path binds surface the interpreter's
+	// unbound-variable errors here.
+	for _, f := range spec.Filters {
+		root = &Filter{input: root, desc: f.Desc, fn: f.Fn}
+	}
+
+	retCols := make([]int, len(spec.Return))
+	for i, v := range spec.Return {
+		retCols[i] = schema.Col(v)
+	}
+	root = &Dedup{input: root, on: spec.Return, onCols: retCols}
+	if len(spec.Include) > 0 {
+		if spec.Out == nil {
+			return nil, fmt.Errorf("physplan: INCLUDE paths require Spec.Out")
+		}
+		bps := make([]boundPath, len(spec.Include))
+		for i, p := range spec.Include {
+			bps[i] = bindPath(p, schema)
+		}
+		root = &Include{input: root, g: g, out: spec.Out, paths: bps}
+	}
+	root = &Project{input: root, cols: spec.Return, colIdx: retCols, schema: NewSchema(spec.Return)}
+	return &Plan{Root: root, Order: order, Schema: schema}, nil
+}
+
+func varsBound(vars []string, bound map[string]bool) bool {
+	for _, v := range vars {
+		if !bound[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// startBound reports whether evaluating p row-by-row can seed from a
+// binding: its start node variable or first-edge derivation variable
+// is already bound.
+func startBound(p Path, bound map[string]bool) bool {
+	if v := p.Nodes[0].Var; v != "" && bound[v] {
+		return true
+	}
+	if len(p.Edges) > 0 && p.Edges[0].Kind == EdgeDirect {
+		if v := p.Edges[0].Var; v != "" && bound[v] {
+			return true
+		}
+	}
+	return false
+}
+
+func sharedVars(p Path, bound map[string]bool) []string {
+	var out []string
+	for _, v := range p.Vars() {
+		if bound[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// estimator provides the cheap cardinality statistics the greedy
+// ordering uses: index sizes and average in-degree fanout.
+type estimator struct {
+	g *provgraph.Graph
+	// fanout is the expected number of (derivation, source) pairs one
+	// backward step from a tuple node explores.
+	fanout float64
+}
+
+func newEstimator(g *provgraph.Graph) *estimator {
+	tuples := g.NumTuples()
+	if tuples == 0 {
+		return &estimator{g: g, fanout: 1}
+	}
+	pairs := 0
+	for _, d := range g.Derivations() {
+		pairs += len(d.Sources)
+	}
+	f := float64(pairs) / float64(tuples)
+	if f < 1 {
+		f = 1
+	}
+	return &estimator{g: g, fanout: f}
+}
+
+// pathCost estimates the number of (row, node) visits evaluating p
+// under the already-bound variables: start candidate count times the
+// per-edge expansion, discounted for every additional bound variable
+// (each acts as an equality filter).
+func (e *estimator) pathCost(p Path, bound map[string]bool) float64 {
+	var start float64
+	n0 := p.Nodes[0]
+	switch {
+	case n0.Var != "" && bound[n0.Var]:
+		start = 1
+	case len(p.Edges) > 0 && p.Edges[0].Kind == EdgeDirect && p.Edges[0].Var != "" && bound[p.Edges[0].Var]:
+		start = 2 // targets of one bound derivation
+	case n0.Rel != "":
+		start = float64(e.g.NumTuplesOf(n0.Rel))
+	case len(p.Edges) > 0 && p.Edges[0].Kind == EdgeDirect && p.Edges[0].Mapping != "":
+		start = float64(len(e.g.DerivationsOf(p.Edges[0].Mapping)))
+	default:
+		start = float64(e.g.NumTuples())
+	}
+	cost := start + 1
+	derivs := float64(e.g.NumDerivations())
+	for i, edge := range p.Edges {
+		f := e.fanout
+		if edge.Kind == EdgePlus {
+			// Multi-hop: quadratic in the average fanout as a crude
+			// stand-in for expected ancestor-set size.
+			f = e.fanout*e.fanout + 1
+		} else if edge.Mapping != "" && derivs > 0 {
+			// A named mapping keeps only its share of derivations.
+			share := float64(len(e.g.DerivationsOf(edge.Mapping))) / derivs
+			f *= share
+			if f < 0.1 {
+				f = 0.1
+			}
+		}
+		cost *= f
+		// A bound or relation-constrained endpoint filters the
+		// expansion.
+		end := p.Nodes[i+1]
+		if end.Var != "" && bound[end.Var] {
+			cost /= 8
+		} else if end.Rel != "" {
+			cost /= 2
+		}
+	}
+	return cost
+}
+
+// greedyOrder picks the evaluation order of the FOR paths: the
+// cheapest path first, then repeatedly the cheapest path connected to
+// the bound variables (falling back to disconnected paths only when no
+// connected one remains). Ties break toward query order.
+func greedyOrder(est *estimator, paths []Path) []int {
+	n := len(paths)
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	bound := map[string]bool{}
+	for len(order) < n {
+		best, bestCost, bestConnected := -1, 0.0, false
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			connected := len(order) == 0 || len(sharedVars(paths[i], bound)) > 0
+			cost := est.pathCost(paths[i], bound)
+			better := false
+			switch {
+			case best == -1:
+				better = true
+			case connected != bestConnected:
+				better = connected
+			default:
+				better = cost < bestCost
+			}
+			if better {
+				best, bestCost, bestConnected = i, cost, connected
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, v := range paths[best].Vars() {
+			bound[v] = true
+		}
+	}
+	return order
+}

@@ -1,0 +1,126 @@
+// Package physplan is the physical layer of the ProQL graph backend:
+// it compiles a query's FOR/WHERE/INCLUDE/RETURN block into a DAG of
+// streaming physical operators over a materialized provenance graph
+// (internal/provgraph), choosing a join order for the FOR path
+// expressions by estimated selectivity.
+//
+// The operator set mirrors a relational engine specialized to
+// provenance-graph navigation:
+//
+//   - Scan enumerates the instance-level matches of one path
+//     expression, seeding from the graph's label indexes (relation →
+//     tuples, mapping → derivations) and optionally partitioning its
+//     start tuples over a worker pool.
+//   - Extend is the index-nested-loop join: it extends each incoming
+//     row through a path whose start is already bound, following
+//     per-node adjacency lists (goal-directed evaluation).
+//   - HashJoin joins two independent sub-plans on their shared
+//     variables.
+//   - Filter, Dedup, Include and Project do WHERE evaluation,
+//     duplicate elimination on the RETURN variables, provenance
+//     subgraph projection, and final column selection.
+//
+// Rows are positional ([]any indexed by a Schema), holding
+// *provgraph.TupleNode / *provgraph.DerivNode values; nil marks a
+// variable not yet bound. All operators of one plan share the plan-wide
+// schema, so joins merge rows without column remapping.
+package physplan
+
+import "repro/internal/provgraph"
+
+// Row is one variable binding: a slice indexed by the plan Schema,
+// holding *provgraph.TupleNode or *provgraph.DerivNode values (nil =
+// unbound).
+type Row []any
+
+func cloneRow(r Row) Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Schema maps variable names to row columns.
+type Schema struct {
+	cols []string
+	idx  map[string]int
+}
+
+// NewSchema builds a schema over the given column (variable) names.
+func NewSchema(cols []string) *Schema {
+	s := &Schema{cols: cols, idx: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		s.idx[c] = i
+	}
+	return s
+}
+
+// Extend returns a schema with extra columns appended (names already
+// present are ignored).
+func (s *Schema) Extend(extra []string) *Schema {
+	cols := make([]string, len(s.cols), len(s.cols)+len(extra))
+	copy(cols, s.cols)
+	for _, c := range extra {
+		if _, ok := s.idx[c]; !ok {
+			cols = append(cols, c)
+		}
+	}
+	return NewSchema(cols)
+}
+
+// Cols returns the column names in order.
+func (s *Schema) Cols() []string { return s.cols }
+
+// Width returns the row width.
+func (s *Schema) Width() int { return len(s.cols) }
+
+// Col returns the column of a variable, or -1 if absent.
+func (s *Schema) Col(name string) int {
+	if i, ok := s.idx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// nodeKey appends a collision-free encoding of one bound value to buf:
+// node ordinals are unique per graph and contain no separator
+// ambiguity, unlike the raw string signatures they replace.
+func nodeKey(buf []byte, v any) []byte {
+	switch n := v.(type) {
+	case *provgraph.TupleNode:
+		buf = append(buf, 't')
+		buf = appendInt(buf, n.Ord())
+	case *provgraph.DerivNode:
+		buf = append(buf, 'd')
+		buf = appendInt(buf, n.Ord())
+	default:
+		buf = append(buf, '?')
+	}
+	return append(buf, ',')
+}
+
+func appendInt(buf []byte, n int) []byte {
+	if n == 0 {
+		return append(buf, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for n > 0 {
+		i--
+		tmp[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return append(buf, tmp[i:]...)
+}
+
+// RowKey encodes the given columns of a row as a dedup/join key.
+func RowKey(r Row, cols []int) string {
+	buf := make([]byte, 0, 8*len(cols))
+	for _, c := range cols {
+		if c < 0 {
+			buf = append(buf, '?', ',')
+			continue
+		}
+		buf = nodeKey(buf, r[c])
+	}
+	return string(buf)
+}

@@ -74,19 +74,26 @@ func TestRandomSettingsBackendParity(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s: graph: %v", label, err)
 			}
+			leg, err := eng.ExecGraphLegacy(q)
+			if err != nil {
+				t.Fatalf("%s: legacy graph: %v", label, err)
+			}
 			relRefs := rel.SortedRefs("x")
 			grRefs := gr.SortedRefs("x")
-			if len(relRefs) != len(grRefs) {
-				t.Fatalf("%s: bindings %d vs %d", label, len(relRefs), len(grRefs))
+			legRefs := leg.SortedRefs("x")
+			if len(relRefs) != len(grRefs) || len(relRefs) != len(legRefs) {
+				t.Fatalf("%s: bindings %d (relational) vs %d (planned) vs %d (legacy)",
+					label, len(relRefs), len(grRefs), len(legRefs))
 			}
 			for i := range relRefs {
-				if relRefs[i] != grRefs[i] {
+				if relRefs[i] != grRefs[i] || relRefs[i] != legRefs[i] {
 					t.Fatalf("%s: binding %d differs", label, i)
 				}
 			}
-			if rel.MustGraph().NumDerivations() != gr.MustGraph().NumDerivations() {
-				t.Errorf("%s: projected derivations %d vs %d", label,
-					rel.MustGraph().NumDerivations(), gr.MustGraph().NumDerivations())
+			if rel.MustGraph().NumDerivations() != gr.MustGraph().NumDerivations() ||
+				leg.MustGraph().NumDerivations() != gr.MustGraph().NumDerivations() {
+				t.Errorf("%s: projected derivations %d (relational) vs %d (planned) vs %d (legacy)", label,
+					rel.MustGraph().NumDerivations(), gr.MustGraph().NumDerivations(), leg.MustGraph().NumDerivations())
 			}
 			if rel.Annotations != nil {
 				for ref, v := range rel.Annotations {
@@ -94,12 +101,92 @@ func TestRandomSettingsBackendParity(t *testing.T) {
 					if !ok || !rel.Semiring.Eq(v, gv) {
 						t.Errorf("%s: annotation mismatch for %v", label, ref)
 					}
+					lv, ok := leg.Annotations[ref]
+					if !ok || !rel.Semiring.Eq(v, lv) {
+						t.Errorf("%s: legacy annotation mismatch for %v", label, ref)
+					}
 				}
 			}
 			// Every tuple of the target relation is derivable: the
 			// binding count must equal the materialized table size.
 			if got, want := len(relRefs), set.Sys.DB.MustTable(workload.ARel(0)).Len(); got != want {
 				t.Errorf("%s: bindings %d, table has %d", label, got, want)
+			}
+		}
+	}
+}
+
+// randomQuery draws a random ProQL query over a setting's A relations.
+// The shapes cover both backends: anchored single-path queries the
+// relational translation handles, and multi-path / derivation-variable
+// / path-condition queries that route to the graph backend.
+func randomQuery(rng *rand.Rand, numPeers int) (string, []string) {
+	mid := 1 + rng.Intn(numPeers-1)
+	any := rng.Intn(numPeers)
+	switch rng.Intn(6) {
+	case 0:
+		return fmt.Sprintf(`FOR [%s $x] INCLUDE PATH [$x] <-+ [] RETURN $x`, workload.ARel(any)), []string{"x"}
+	case 1:
+		return fmt.Sprintf(`FOR [%s $x] <-+ [%s $y] RETURN $x`, workload.ARel(0), workload.ARel(mid)), []string{"x"}
+	case 2:
+		return fmt.Sprintf(`FOR [%s $x] <-+ [$z], [%s $y] <-+ [$z] RETURN $x, $y`,
+			workload.ARel(0), workload.ARel(mid)), []string{"x", "y"}
+	case 3:
+		return fmt.Sprintf(`FOR [$x] <$p [%s $y] RETURN $x, $y`, workload.ARel(any)), []string{"x", "y"}
+	case 4:
+		return fmt.Sprintf(`FOR [%s $x] WHERE $x.c >= %d RETURN $x`, workload.ARel(any), rng.Intn(4)), []string{"x"}
+	default:
+		return fmt.Sprintf(`FOR [%s $x] WHERE [$x] <-+ [%s] RETURN $x`, workload.ARel(0), workload.ARel(mid)), []string{"x"}
+	}
+}
+
+// TestRandomQueriesDifferential generates random queries over random
+// settings and cross-checks every evaluation path the engine has: the
+// automatically chosen backend (Exec), the planned graph pipeline, and
+// the legacy graph interpreter must agree on bindings and projected
+// derivations.
+func TestRandomQueriesDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260728))
+	for trial := 0; trial < 20; trial++ {
+		cfg := randomConfig(rng)
+		cfg.NumPeers = 2 + rng.Intn(3) // keep the legacy interpreter tractable
+		cfg.BaseSize = 3 + rng.Intn(5)
+		cfg.DataPeers = workload.UpstreamDataPeers(cfg.NumPeers, 1+rng.Intn(cfg.NumPeers))
+		set, err := workload.Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := proql.NewEngine(set.Sys)
+		for qi := 0; qi < 4; qi++ {
+			text, vars := randomQuery(rng, cfg.NumPeers)
+			label := fmt.Sprintf("trial %d query %q", trial, text)
+			q := proql.MustParse(text)
+			auto, err := eng.Exec(q)
+			if err != nil {
+				t.Fatalf("%s: exec: %v", label, err)
+			}
+			planned, err := eng.ExecGraph(q)
+			if err != nil {
+				t.Fatalf("%s: planned: %v", label, err)
+			}
+			legacy, err := eng.ExecGraphLegacy(q)
+			if err != nil {
+				t.Fatalf("%s: legacy: %v", label, err)
+			}
+			for _, v := range vars {
+				aRefs, pRefs, lRefs := auto.SortedRefs(v), planned.SortedRefs(v), legacy.SortedRefs(v)
+				if len(aRefs) != len(pRefs) || len(aRefs) != len(lRefs) {
+					t.Fatalf("%s: $%s bindings %d (%s) vs %d (planned) vs %d (legacy)",
+						label, v, len(aRefs), auto.Stats.Backend, len(pRefs), len(lRefs))
+				}
+				for i := range aRefs {
+					if aRefs[i] != pRefs[i] || aRefs[i] != lRefs[i] {
+						t.Fatalf("%s: $%s binding %d differs", label, v, i)
+					}
+				}
+			}
+			if pd, ld := planned.MustGraph().NumDerivations(), legacy.MustGraph().NumDerivations(); pd != ld {
+				t.Errorf("%s: projected derivations %d (planned) vs %d (legacy)", label, pd, ld)
 			}
 		}
 	}

@@ -18,6 +18,8 @@ import (
 // TupleNode is a rectangle of Figure 1: one tuple in some relation.
 type TupleNode struct {
 	Ref model.TupleRef
+	// ord is the node's graph-wide insertion ordinal; see Ord.
+	ord int
 	// Row is the full tuple when available (used for labels and leaf
 	// CASE conditions); may be nil for dangling references.
 	Row model.Tuple
@@ -31,9 +33,16 @@ type TupleNode struct {
 	Uses []*DerivNode
 }
 
+// Ord returns the node's insertion ordinal, unique across the tuple
+// nodes of one graph. Ordinals give collision-free, allocation-cheap
+// deduplication and join keys for query evaluation.
+func (t *TupleNode) Ord() int { return t.ord }
+
 // DerivNode is an ellipse of Figure 1: one firing of a mapping,
 // relating its m source tuples to its n target tuples.
 type DerivNode struct {
+	// ord is the node's graph-wide insertion ordinal; see Ord.
+	ord int
 	// ID is unique within the graph: mapping name + provenance row key.
 	ID      string
 	Mapping string
@@ -45,20 +54,32 @@ type DerivNode struct {
 	ProvRow model.Tuple
 }
 
-// Graph is a provenance graph.
+// Graph is a provenance graph. Beyond the node maps it maintains the
+// secondary indexes the ProQL physical operators rely on: tuples
+// grouped by relation (label index) and derivations grouped by mapping,
+// so path steps are index lookups instead of full-graph scans. The
+// per-node adjacency (tuple→derivations in both directions) lives on
+// the nodes themselves as Derivations/Uses.
 type Graph struct {
 	tuples map[model.TupleRef]*TupleNode
 	derivs map[string]*DerivNode
 	// insertion order for deterministic iteration
 	tupleOrder []model.TupleRef
 	derivOrder []string
+	// byRel indexes tuple nodes by relation name, in insertion order.
+	byRel map[string][]*TupleNode
+	// byMapping indexes derivation nodes by mapping name, in insertion
+	// order.
+	byMapping map[string][]*DerivNode
 }
 
 // New returns an empty graph.
 func New() *Graph {
 	return &Graph{
-		tuples: make(map[model.TupleRef]*TupleNode),
-		derivs: make(map[string]*DerivNode),
+		tuples:    make(map[model.TupleRef]*TupleNode),
+		derivs:    make(map[string]*DerivNode),
+		byRel:     make(map[string][]*TupleNode),
+		byMapping: make(map[string][]*DerivNode),
 	}
 }
 
@@ -67,9 +88,10 @@ func (g *Graph) Tuple(ref model.TupleRef) *TupleNode {
 	if n, ok := g.tuples[ref]; ok {
 		return n
 	}
-	n := &TupleNode{Ref: ref}
+	n := &TupleNode{Ref: ref, ord: len(g.tupleOrder)}
 	g.tuples[ref] = n
 	g.tupleOrder = append(g.tupleOrder, ref)
+	g.byRel[ref.Rel] = append(g.byRel[ref.Rel], n)
 	return n
 }
 
@@ -85,7 +107,7 @@ func (g *Graph) AddDerivation(id, mapping string, sources, targets []model.Tuple
 	if d, ok := g.derivs[id]; ok {
 		return d
 	}
-	d := &DerivNode{ID: id, Mapping: mapping}
+	d := &DerivNode{ID: id, Mapping: mapping, ord: len(g.derivOrder)}
 	for _, ref := range sources {
 		tn := g.Tuple(ref)
 		d.Sources = append(d.Sources, tn)
@@ -98,8 +120,13 @@ func (g *Graph) AddDerivation(id, mapping string, sources, targets []model.Tuple
 	}
 	g.derivs[id] = d
 	g.derivOrder = append(g.derivOrder, id)
+	g.byMapping[mapping] = append(g.byMapping[mapping], d)
 	return d
 }
+
+// Ord returns the node's insertion ordinal, unique across the
+// derivation nodes of one graph.
+func (d *DerivNode) Ord() int { return d.ord }
 
 // Tuples iterates tuple nodes in insertion order.
 func (g *Graph) Tuples() []*TupleNode {
@@ -127,15 +154,25 @@ func (g *Graph) NumDerivations() int { return len(g.derivs) }
 
 // TuplesOf returns the tuple nodes of one relation, sorted by key.
 func (g *Graph) TuplesOf(rel string) []*TupleNode {
-	var out []*TupleNode
-	for _, ref := range g.tupleOrder {
-		if ref.Rel == rel {
-			out = append(out, g.tuples[ref])
-		}
-	}
+	idx := g.byRel[rel]
+	out := make([]*TupleNode, len(idx))
+	copy(out, idx)
 	sort.Slice(out, func(i, j int) bool { return out[i].Ref.Key < out[j].Ref.Key })
 	return out
 }
+
+// TuplesOfUnordered returns the relation's tuple nodes in insertion
+// order, straight from the label index without copying or sorting.
+// Callers must not mutate the returned slice.
+func (g *Graph) TuplesOfUnordered(rel string) []*TupleNode { return g.byRel[rel] }
+
+// NumTuplesOf returns the tuple-node count of one relation.
+func (g *Graph) NumTuplesOf(rel string) int { return len(g.byRel[rel]) }
+
+// DerivationsOf returns the derivation nodes of one mapping in
+// insertion order, straight from the mapping index. Callers must not
+// mutate the returned slice.
+func (g *Graph) DerivationsOf(mapping string) []*DerivNode { return g.byMapping[mapping] }
 
 // Build constructs the full provenance graph of an exchanged system:
 // one derivation node per provenance-relation row (materialized or

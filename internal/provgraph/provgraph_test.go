@@ -420,3 +420,83 @@ func TestEvalConfidentiality(t *testing.T) {
 		t.Errorf("C(2,cn2) confidentiality = %v, want public (it is a public leaf)", v)
 	}
 }
+
+func TestLabelIndexes(t *testing.T) {
+	g := buildExample(t, false)
+	// Relation index agrees with a full iteration.
+	for _, rel := range []string{"O", "A", "C", "N"} {
+		want := 0
+		for _, tn := range g.Tuples() {
+			if tn.Ref.Rel == rel {
+				want++
+			}
+		}
+		if got := g.NumTuplesOf(rel); got != want {
+			t.Errorf("NumTuplesOf(%s) = %d, want %d", rel, got, want)
+		}
+		if got := len(g.TuplesOfUnordered(rel)); got != want {
+			t.Errorf("TuplesOfUnordered(%s) = %d nodes, want %d", rel, got, want)
+		}
+		sorted := g.TuplesOf(rel)
+		for i := 1; i < len(sorted); i++ {
+			if sorted[i-1].Ref.Key > sorted[i].Ref.Key {
+				t.Errorf("TuplesOf(%s) not sorted", rel)
+			}
+		}
+	}
+	// Mapping index agrees with a full iteration and partitions the
+	// derivations.
+	total := 0
+	for _, m := range []string{"m1", "m2", "m4", "m5"} {
+		want := 0
+		for _, d := range g.Derivations() {
+			if d.Mapping == m {
+				want++
+			}
+		}
+		got := len(g.DerivationsOf(m))
+		if got != want {
+			t.Errorf("DerivationsOf(%s) = %d, want %d", m, got, want)
+		}
+		total += got
+	}
+	if total != g.NumDerivations() {
+		t.Errorf("mapping index covers %d derivations, graph has %d", total, g.NumDerivations())
+	}
+}
+
+func TestNodeOrdinalsUnique(t *testing.T) {
+	g := buildExample(t, false)
+	seenT := map[int]bool{}
+	for _, tn := range g.Tuples() {
+		if seenT[tn.Ord()] {
+			t.Fatalf("duplicate tuple ordinal %d", tn.Ord())
+		}
+		seenT[tn.Ord()] = true
+	}
+	seenD := map[int]bool{}
+	for _, d := range g.Derivations() {
+		if seenD[d.Ord()] {
+			t.Fatalf("duplicate derivation ordinal %d", d.Ord())
+		}
+		seenD[d.Ord()] = true
+	}
+}
+
+func TestIndexesTrackIncrementalAdds(t *testing.T) {
+	g := provgraph.New()
+	g.AddDerivation("m#1", "m", []model.TupleRef{refA(1)}, []model.TupleRef{refC(1, "x")})
+	if g.NumTuplesOf("A") != 1 || g.NumTuplesOf("C") != 1 {
+		t.Fatalf("label index after first add: A=%d C=%d", g.NumTuplesOf("A"), g.NumTuplesOf("C"))
+	}
+	// Re-adding the same derivation is a no-op everywhere.
+	g.AddDerivation("m#1", "m", []model.TupleRef{refA(1)}, []model.TupleRef{refC(1, "x")})
+	if len(g.DerivationsOf("m")) != 1 {
+		t.Fatalf("mapping index after duplicate add: %d", len(g.DerivationsOf("m")))
+	}
+	g.AddDerivation("m#2", "m", []model.TupleRef{refA(2)}, []model.TupleRef{refC(1, "x")})
+	if len(g.DerivationsOf("m")) != 2 || g.NumTuplesOf("A") != 2 || g.NumTuplesOf("C") != 1 {
+		t.Fatalf("indexes after second add: m=%d A=%d C=%d",
+			len(g.DerivationsOf("m")), g.NumTuplesOf("A"), g.NumTuplesOf("C"))
+	}
+}

@@ -1,0 +1,151 @@
+package relstore
+
+import (
+	"repro/internal/model"
+	"repro/internal/stream"
+)
+
+// Stream exposes a plan as a pull-based tuple iterator — the same
+// stream.Iterator interface the graph backend's physical operators
+// produce, so the engine can drain either backend through one loop.
+// Pipeline operators (Filter, Project, FilterFunc, Distinct, UnionAll)
+// stream over their inputs without materializing; pipeline breakers
+// (joins, grouping) materialize on first Next exactly as Run does.
+func Stream(p Plan, db *Database) stream.Iterator[model.Tuple] {
+	switch n := p.(type) {
+	case *UnionAll:
+		idx := 0
+		var cur stream.Iterator[model.Tuple]
+		return &stream.Func[model.Tuple]{
+			NextFn: func() (model.Tuple, bool, error) {
+				for {
+					if cur == nil {
+						if idx >= len(n.Inputs) {
+							return nil, false, nil
+						}
+						cur = Stream(n.Inputs[idx], db)
+						idx++
+					}
+					row, ok, err := cur.Next()
+					if err != nil {
+						return nil, false, err
+					}
+					if ok {
+						return row, true, nil
+					}
+					cur.Close()
+					cur = nil
+				}
+			},
+			CloseFn: func() {
+				if cur != nil {
+					cur.Close()
+				}
+			},
+		}
+	case *Filter:
+		in := Stream(n.Input, db)
+		return &stream.Func[model.Tuple]{
+			NextFn: func() (model.Tuple, bool, error) {
+				for {
+					row, ok, err := in.Next()
+					if err != nil || !ok {
+						return nil, false, err
+					}
+					keep, err := evalBool(n.Pred, row)
+					if err != nil {
+						return nil, false, err
+					}
+					if keep {
+						return row, true, nil
+					}
+				}
+			},
+			CloseFn: in.Close,
+		}
+	case *FilterFunc:
+		in := Stream(n.Input, db)
+		return &stream.Func[model.Tuple]{
+			NextFn: func() (model.Tuple, bool, error) {
+				for {
+					row, ok, err := in.Next()
+					if err != nil || !ok {
+						return nil, false, err
+					}
+					keep, err := n.Fn(row)
+					if err != nil {
+						return nil, false, err
+					}
+					if keep {
+						return row, true, nil
+					}
+				}
+			},
+			CloseFn: in.Close,
+		}
+	case *Project:
+		in := Stream(n.Input, db)
+		return &stream.Func[model.Tuple]{
+			NextFn: func() (model.Tuple, bool, error) {
+				row, ok, err := in.Next()
+				if err != nil || !ok {
+					return nil, false, err
+				}
+				nr := make(model.Tuple, len(n.Exprs))
+				for i, e := range n.Exprs {
+					v, err := e.Eval(row)
+					if err != nil {
+						return nil, false, err
+					}
+					nr[i] = v
+				}
+				return nr, true, nil
+			},
+			CloseFn: in.Close,
+		}
+	case *Distinct:
+		in := Stream(n.Input, db)
+		seen := map[string]bool{}
+		return &stream.Func[model.Tuple]{
+			NextFn: func() (model.Tuple, bool, error) {
+				for {
+					row, ok, err := in.Next()
+					if err != nil || !ok {
+						return nil, false, err
+					}
+					k := model.EncodeDatums(row)
+					if seen[k] {
+						continue
+					}
+					seen[k] = true
+					return row, true, nil
+				}
+			},
+			CloseFn: in.Close,
+		}
+	default:
+		// Pipeline breaker (Scan, IndexProbe, Values, HashJoin,
+		// GroupBy): materialize lazily on first pull.
+		var rows []model.Tuple
+		started := false
+		pos := 0
+		return &stream.Func[model.Tuple]{
+			NextFn: func() (model.Tuple, bool, error) {
+				if !started {
+					started = true
+					var err error
+					rows, err = p.Run(db)
+					if err != nil {
+						return nil, false, err
+					}
+				}
+				if pos >= len(rows) {
+					return nil, false, nil
+				}
+				row := rows[pos]
+				pos++
+				return row, true, nil
+			},
+		}
+	}
+}
