@@ -367,23 +367,59 @@ func BenchmarkSinglePathProjection(b *testing.B) {
 }
 
 // BenchmarkExchange measures update-exchange materialization itself —
-// the offline step whose output all queries consume.
+// the offline step whose output all queries consume — on the legacy
+// interpreting engine; BenchmarkExchangeCompiled is the same setting
+// on the compiled semi-naive engine, so the pair quantifies the
+// rule-compilation speedup (recorded in EXPERIMENTS.md).
 func BenchmarkExchange(b *testing.B) {
 	for _, base := range []int{250, 1000} {
 		b.Run(fmt.Sprintf("base=%d", base), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := workload.Build(workload.Config{
-					Topology:  workload.Chain,
-					Profile:   workload.ProfileLinear,
-					NumPeers:  10,
-					DataPeers: workload.UpstreamDataPeers(10, 2),
-					BaseSize:  base,
-					Seed:      42,
+					Topology:     workload.Chain,
+					Profile:      workload.ProfileLinear,
+					NumPeers:     10,
+					DataPeers:    workload.UpstreamDataPeers(10, 2),
+					BaseSize:     base,
+					Seed:         42,
+					LegacyEngine: true,
 				}); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkExchangeCompiled is BenchmarkExchange on the compiled
+// engine, serially and (on multi-core hosts) with a worker pool.
+func BenchmarkExchangeCompiled(b *testing.B) {
+	pars := []int{0}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		pars = append(pars, n)
+	}
+	for _, base := range []int{250, 1000} {
+		for _, par := range pars {
+			name := fmt.Sprintf("base=%d", base)
+			if par > 1 {
+				name += fmt.Sprintf("/par=%d", par)
+			}
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := workload.Build(workload.Config{
+						Topology:    workload.Chain,
+						Profile:     workload.ProfileLinear,
+						NumPeers:    10,
+						DataPeers:   workload.UpstreamDataPeers(10, 2),
+						BaseSize:    base,
+						Seed:        42,
+						Parallelism: par,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -84,14 +84,25 @@ func paperScale() scaleParams {
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: table1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, annot, or all")
-		scale = flag.String("scale", "default", "default or paper")
+		exp    = flag.String("exp", "all", "experiment: table1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, annot, or all")
+		scale  = flag.String("scale", "default", "default or paper")
+		engine = flag.String("engine", "compiled", "datalog engine for update exchange: legacy or compiled")
+		par    = flag.Int("par", 0, "compiled-engine worker count for exchange firing passes (0 = serial)")
 	)
 	flag.Parse()
 	p := defaultScale()
 	if *scale == "paper" {
 		p = paperScale()
 	}
+	switch *engine {
+	case "legacy":
+		workload.DefaultLegacyEngine = true
+	case "compiled":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -engine %q (want legacy or compiled)\n", *engine)
+		os.Exit(2)
+	}
+	workload.DefaultParallelism = *par
 	run := func(name string, fn func(scaleParams) error) {
 		if *exp != "all" && *exp != name {
 			return

@@ -29,193 +29,252 @@ func mkTable(t *testing.T, db *relstore.Database, name string, arity int, keyAll
 	return tbl
 }
 
+// engineRunner runs a rule set on one of the two engines with a
+// legacy-style binding hook, so every evaluation scenario below
+// exercises both the interpreter and the compiled executor.
+type engineRunner struct {
+	name string
+	run  func(t *testing.T, db *relstore.Database, rules []Rule, hook func(*Rule, Binding)) (iterations, derivations int, err error)
+}
+
+func engineRunners() []engineRunner {
+	return []engineRunner{
+		{name: "legacy", run: func(t *testing.T, db *relstore.Database, rules []Rule, hook func(*Rule, Binding)) (int, int, error) {
+			t.Helper()
+			e := NewEngineLegacy(db)
+			if hook != nil {
+				e.Hook = hook
+			}
+			err := e.Run(rules)
+			return e.Iterations, e.Derivations, err
+		}},
+		{name: "compiled", run: func(t *testing.T, db *relstore.Database, rules []Rule, hook func(*Rule, Binding)) (int, int, error) {
+			t.Helper()
+			e := NewEngine(db)
+			if hook != nil {
+				e.Hook = func(r *Rule, vars []string, slots []model.Datum) {
+					hook(r, BindingFromSlots(vars, slots))
+				}
+			}
+			err := e.Run(rules)
+			return e.Iterations, e.Derivations, err
+		}},
+	}
+}
+
 func TestEngineTransitiveClosure(t *testing.T) {
-	db := relstore.NewDatabase()
-	edge := mkTable(t, db, "edge", 2, true)
-	mkTable(t, db, "path", 2, true)
-	for _, e := range [][2]int64{{1, 2}, {2, 3}, {3, 4}} {
-		edge.Insert(model.Tuple{e[0], e[1]})
-	}
-	rules := []Rule{
-		NewRule("base", model.NewAtom("path", model.V("x"), model.V("y")),
-			model.NewAtom("edge", model.V("x"), model.V("y"))),
-		NewRule("step", model.NewAtom("path", model.V("x"), model.V("z")),
-			model.NewAtom("edge", model.V("x"), model.V("y")),
-			model.NewAtom("path", model.V("y"), model.V("z"))),
-	}
-	e := NewEngine(db)
-	if err := e.Run(rules); err != nil {
-		t.Fatal(err)
-	}
-	path := db.MustTable("path")
-	if path.Len() != 6 {
-		t.Fatalf("path has %d rows, want 6", path.Len())
-	}
-	if _, ok := path.LookupKey([]model.Datum{int64(1), int64(4)}); !ok {
-		t.Error("missing 1->4")
-	}
-	if e.Iterations < 2 {
-		t.Errorf("expected multiple iterations, got %d", e.Iterations)
+	for _, eng := range engineRunners() {
+		t.Run(eng.name, func(t *testing.T) {
+			db := relstore.NewDatabase()
+			edge := mkTable(t, db, "edge", 2, true)
+			mkTable(t, db, "path", 2, true)
+			for _, e := range [][2]int64{{1, 2}, {2, 3}, {3, 4}} {
+				edge.Insert(model.Tuple{e[0], e[1]})
+			}
+			rules := []Rule{
+				NewRule("base", model.NewAtom("path", model.V("x"), model.V("y")),
+					model.NewAtom("edge", model.V("x"), model.V("y"))),
+				NewRule("step", model.NewAtom("path", model.V("x"), model.V("z")),
+					model.NewAtom("edge", model.V("x"), model.V("y")),
+					model.NewAtom("path", model.V("y"), model.V("z"))),
+			}
+			iters, _, err := eng.run(t, db, rules, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := db.MustTable("path")
+			if path.Len() != 6 {
+				t.Fatalf("path has %d rows, want 6", path.Len())
+			}
+			if _, ok := path.LookupKey([]model.Datum{int64(1), int64(4)}); !ok {
+				t.Error("missing 1->4")
+			}
+			if iters < 2 {
+				t.Errorf("expected multiple iterations, got %d", iters)
+			}
+		})
 	}
 }
 
 func TestEngineDerivationHookSeesAllDerivations(t *testing.T) {
 	// r(x) derivable two ways: from s(x) and from t(x); the hook must
 	// see both derivations even though the fact is inserted once.
-	db := relstore.NewDatabase()
-	s := mkTable(t, db, "s", 1, true)
-	u := mkTable(t, db, "t", 1, true)
-	mkTable(t, db, "r", 1, true)
-	s.Insert(model.Tuple{int64(7)})
-	u.Insert(model.Tuple{int64(7)})
-	rules := []Rule{
-		NewRule("fromS", model.NewAtom("r", model.V("x")), model.NewAtom("s", model.V("x"))),
-		NewRule("fromT", model.NewAtom("r", model.V("x")), model.NewAtom("t", model.V("x"))),
-	}
-	e := NewEngine(db)
-	seen := map[string]int{}
-	e.Hook = func(r *Rule, b Binding) {
-		seen[r.ID]++
-	}
-	if err := e.Run(rules); err != nil {
-		t.Fatal(err)
-	}
-	if seen["fromS"] != 1 || seen["fromT"] != 1 {
-		t.Errorf("hook calls = %v, want one per rule", seen)
-	}
-	if db.MustTable("r").Len() != 1 {
-		t.Errorf("r has %d rows", db.MustTable("r").Len())
+	for _, eng := range engineRunners() {
+		t.Run(eng.name, func(t *testing.T) {
+			db := relstore.NewDatabase()
+			s := mkTable(t, db, "s", 1, true)
+			u := mkTable(t, db, "t", 1, true)
+			mkTable(t, db, "r", 1, true)
+			s.Insert(model.Tuple{int64(7)})
+			u.Insert(model.Tuple{int64(7)})
+			rules := []Rule{
+				NewRule("fromS", model.NewAtom("r", model.V("x")), model.NewAtom("s", model.V("x"))),
+				NewRule("fromT", model.NewAtom("r", model.V("x")), model.NewAtom("t", model.V("x"))),
+			}
+			seen := map[string]int{}
+			if _, _, err := eng.run(t, db, rules, func(r *Rule, b Binding) {
+				seen[r.ID]++
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if seen["fromS"] != 1 || seen["fromT"] != 1 {
+				t.Errorf("hook calls = %v, want one per rule", seen)
+			}
+			if db.MustTable("r").Len() != 1 {
+				t.Errorf("r has %d rows", db.MustTable("r").Len())
+			}
+		})
 	}
 }
 
 func TestEngineJoinWithConstantsAndWildcards(t *testing.T) {
-	db := relstore.NewDatabase()
-	a := mkTable(t, db, "A", 3, true)
-	c := mkTable(t, db, "C", 2, true)
-	mkTable(t, db, "O", 2, true)
-	// A(i, s, h), C(i, n) as in the running example.
-	a.Insert(model.Tuple{int64(1), int64(100), int64(7)})
-	a.Insert(model.Tuple{int64(2), int64(101), int64(5)})
-	c.Insert(model.Tuple{int64(2), int64(200)})
-	// O(n, h) :- A(i, _, h), C(i, n)
-	r := NewRule("m5", model.NewAtom("O", model.V("n"), model.V("h")),
-		model.NewAtom("A", model.V("i"), model.V("_"), model.V("h")),
-		model.NewAtom("C", model.V("i"), model.V("n")))
-	e := NewEngine(db)
-	if err := e.Run([]Rule{r}); err != nil {
-		t.Fatal(err)
-	}
-	o := db.MustTable("O")
-	if o.Len() != 1 {
-		t.Fatalf("O has %d rows", o.Len())
-	}
-	row, ok := o.LookupKey([]model.Datum{int64(200), int64(5)})
-	if !ok || row[1] != int64(5) {
-		t.Errorf("O row = %v %v", row, ok)
+	for _, eng := range engineRunners() {
+		t.Run(eng.name, func(t *testing.T) {
+			db := relstore.NewDatabase()
+			a := mkTable(t, db, "A", 3, true)
+			c := mkTable(t, db, "C", 2, true)
+			mkTable(t, db, "O", 2, true)
+			// A(i, s, h), C(i, n) as in the running example.
+			a.Insert(model.Tuple{int64(1), int64(100), int64(7)})
+			a.Insert(model.Tuple{int64(2), int64(101), int64(5)})
+			c.Insert(model.Tuple{int64(2), int64(200)})
+			// O(n, h) :- A(i, _, h), C(i, n)
+			r := NewRule("m5", model.NewAtom("O", model.V("n"), model.V("h")),
+				model.NewAtom("A", model.V("i"), model.V("_"), model.V("h")),
+				model.NewAtom("C", model.V("i"), model.V("n")))
+			if _, _, err := eng.run(t, db, []Rule{r}, nil); err != nil {
+				t.Fatal(err)
+			}
+			o := db.MustTable("O")
+			if o.Len() != 1 {
+				t.Fatalf("O has %d rows", o.Len())
+			}
+			row, ok := o.LookupKey([]model.Datum{int64(200), int64(5)})
+			if !ok || row[1] != int64(5) {
+				t.Errorf("O row = %v %v", row, ok)
+			}
+		})
 	}
 }
 
 func TestEngineConstantInBody(t *testing.T) {
-	db := relstore.NewDatabase()
-	n := mkTable(t, db, "N", 2, true)
-	mkTable(t, db, "Out", 1, true)
-	n.Insert(model.Tuple{int64(1), int64(0)})
-	n.Insert(model.Tuple{int64(2), int64(1)})
-	// Out(x) :- N(x, 1)
-	r := NewRule("k", model.NewAtom("Out", model.V("x")),
-		model.NewAtom("N", model.V("x"), model.C(int64(1))))
-	e := NewEngine(db)
-	if err := e.Run([]Rule{r}); err != nil {
-		t.Fatal(err)
-	}
-	if db.MustTable("Out").Len() != 1 {
-		t.Errorf("Out = %d rows", db.MustTable("Out").Len())
-	}
-	if _, ok := db.MustTable("Out").LookupKey([]model.Datum{int64(2)}); !ok {
-		t.Error("missing Out(2)")
+	for _, eng := range engineRunners() {
+		t.Run(eng.name, func(t *testing.T) {
+			db := relstore.NewDatabase()
+			n := mkTable(t, db, "N", 2, true)
+			mkTable(t, db, "Out", 1, true)
+			n.Insert(model.Tuple{int64(1), int64(0)})
+			n.Insert(model.Tuple{int64(2), int64(1)})
+			// Out(x) :- N(x, 1)
+			r := NewRule("k", model.NewAtom("Out", model.V("x")),
+				model.NewAtom("N", model.V("x"), model.C(int64(1))))
+			if _, _, err := eng.run(t, db, []Rule{r}, nil); err != nil {
+				t.Fatal(err)
+			}
+			if db.MustTable("Out").Len() != 1 {
+				t.Errorf("Out = %d rows", db.MustTable("Out").Len())
+			}
+			if _, ok := db.MustTable("Out").LookupKey([]model.Datum{int64(2)}); !ok {
+				t.Error("missing Out(2)")
+			}
+		})
 	}
 }
 
 func TestEngineMultiHeadRule(t *testing.T) {
-	db := relstore.NewDatabase()
-	src := mkTable(t, db, "S", 2, true)
-	mkTable(t, db, "H1", 1, true)
-	mkTable(t, db, "H2", 1, true)
-	src.Insert(model.Tuple{int64(1), int64(2)})
-	r := Rule{ID: "mh",
-		Heads: []model.Atom{
-			model.NewAtom("H1", model.V("x")),
-			model.NewAtom("H2", model.V("y")),
-		},
-		Body: []model.Atom{model.NewAtom("S", model.V("x"), model.V("y"))},
-	}
-	hooks := 0
-	e := NewEngine(db)
-	e.Hook = func(*Rule, Binding) { hooks++ }
-	if err := e.Run([]Rule{r}); err != nil {
-		t.Fatal(err)
-	}
-	if db.MustTable("H1").Len() != 1 || db.MustTable("H2").Len() != 1 {
-		t.Error("multi-head insertion failed")
-	}
-	if hooks != 1 {
-		t.Errorf("one derivation expected, hook saw %d", hooks)
+	for _, eng := range engineRunners() {
+		t.Run(eng.name, func(t *testing.T) {
+			db := relstore.NewDatabase()
+			src := mkTable(t, db, "S", 2, true)
+			mkTable(t, db, "H1", 1, true)
+			mkTable(t, db, "H2", 1, true)
+			src.Insert(model.Tuple{int64(1), int64(2)})
+			r := Rule{ID: "mh",
+				Heads: []model.Atom{
+					model.NewAtom("H1", model.V("x")),
+					model.NewAtom("H2", model.V("y")),
+				},
+				Body: []model.Atom{model.NewAtom("S", model.V("x"), model.V("y"))},
+			}
+			hooks := 0
+			if _, _, err := eng.run(t, db, []Rule{r}, func(*Rule, Binding) { hooks++ }); err != nil {
+				t.Fatal(err)
+			}
+			if db.MustTable("H1").Len() != 1 || db.MustTable("H2").Len() != 1 {
+				t.Error("multi-head insertion failed")
+			}
+			if hooks != 1 {
+				t.Errorf("one derivation expected, hook saw %d", hooks)
+			}
+		})
 	}
 }
 
-func TestEngineLazyIndexAboveThreshold(t *testing.T) {
-	// Large body tables get a secondary hash index built on first
-	// probe; results must match regardless.
-	db := relstore.NewDatabase()
-	edge := mkTable(t, db, "edge", 2, true)
-	mkTable(t, db, "out", 2, true)
-	n := int64(200) // well above indexThreshold
-	for i := int64(0); i < n; i++ {
-		edge.Insert(model.Tuple{i, i + 1})
-	}
-	// out(x, z) :- edge(x, y), edge(y, z)
-	r := NewRule("two", model.NewAtom("out", model.V("x"), model.V("z")),
-		model.NewAtom("edge", model.V("x"), model.V("y")),
-		model.NewAtom("edge", model.V("y"), model.V("z")))
-	e := NewEngine(db)
-	if err := e.Run([]Rule{r}); err != nil {
-		t.Fatal(err)
-	}
-	if got := db.MustTable("out").Len(); got != int(n-1) {
-		t.Errorf("out has %d rows, want %d", got, n-1)
-	}
-	// The probe pattern (edge joined on column 0) must have built an
-	// index.
-	if !edge.HasIndex([]int{0}) {
-		t.Error("expected lazily created index on edge[0]")
+func TestEngineLargeSelfJoin(t *testing.T) {
+	// Large body tables exercise the index paths of both engines: the
+	// legacy engine lazily creates table secondary indexes, the
+	// compiled engine probes its own journal indexes.
+	for _, eng := range engineRunners() {
+		t.Run(eng.name, func(t *testing.T) {
+			db := relstore.NewDatabase()
+			edge := mkTable(t, db, "edge", 2, true)
+			mkTable(t, db, "out", 2, true)
+			n := int64(200) // well above the legacy indexThreshold
+			for i := int64(0); i < n; i++ {
+				edge.Insert(model.Tuple{i, i + 1})
+			}
+			// out(x, z) :- edge(x, y), edge(y, z)
+			r := NewRule("two", model.NewAtom("out", model.V("x"), model.V("z")),
+				model.NewAtom("edge", model.V("x"), model.V("y")),
+				model.NewAtom("edge", model.V("y"), model.V("z")))
+			if _, _, err := eng.run(t, db, []Rule{r}, nil); err != nil {
+				t.Fatal(err)
+			}
+			if got := db.MustTable("out").Len(); got != int(n-1) {
+				t.Errorf("out has %d rows, want %d", got, n-1)
+			}
+			// The legacy probe pattern (edge joined on column 0) must
+			// have built a table index.
+			if eng.name == "legacy" && !edge.HasIndex([]int{0}) {
+				t.Error("expected lazily created index on edge[0]")
+			}
+		})
 	}
 }
 
 func TestEngineStats(t *testing.T) {
-	db := relstore.NewDatabase()
-	s := mkTable(t, db, "s", 1, true)
-	mkTable(t, db, "r", 1, true)
-	s.Insert(model.Tuple{int64(1)})
-	s.Insert(model.Tuple{int64(2)})
-	e := NewEngine(db)
-	if err := e.Run([]Rule{
-		NewRule("copy", model.NewAtom("r", model.V("x")), model.NewAtom("s", model.V("x"))),
-	}); err != nil {
-		t.Fatal(err)
-	}
-	if e.Derivations != 2 {
-		t.Errorf("Derivations = %d, want 2", e.Derivations)
-	}
-	if e.Iterations < 1 {
-		t.Errorf("Iterations = %d", e.Iterations)
+	for _, eng := range engineRunners() {
+		t.Run(eng.name, func(t *testing.T) {
+			db := relstore.NewDatabase()
+			s := mkTable(t, db, "s", 1, true)
+			mkTable(t, db, "r", 1, true)
+			s.Insert(model.Tuple{int64(1)})
+			s.Insert(model.Tuple{int64(2)})
+			iters, derivs, err := eng.run(t, db, []Rule{
+				NewRule("copy", model.NewAtom("r", model.V("x")), model.NewAtom("s", model.V("x"))),
+			}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if derivs != 2 {
+				t.Errorf("Derivations = %d, want 2", derivs)
+			}
+			if iters < 1 {
+				t.Errorf("Iterations = %d", iters)
+			}
+		})
 	}
 }
 
 func TestEngineMissingTableErrors(t *testing.T) {
-	db := relstore.NewDatabase()
-	r := NewRule("x", model.NewAtom("H", model.V("v")), model.NewAtom("B", model.V("v")))
-	if err := NewEngine(db).Run([]Rule{r}); err == nil {
-		t.Error("missing tables should error")
+	for _, eng := range engineRunners() {
+		t.Run(eng.name, func(t *testing.T) {
+			db := relstore.NewDatabase()
+			r := NewRule("x", model.NewAtom("H", model.V("v")), model.NewAtom("B", model.V("v")))
+			if _, _, err := eng.run(t, db, []Rule{r}, nil); err == nil {
+				t.Error("missing tables should error")
+			}
+		})
 	}
 }
 

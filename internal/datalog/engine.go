@@ -22,10 +22,18 @@ type DerivationHook func(rule *Rule, binding Binding)
 // scanning.
 const indexThreshold = 32
 
-// Engine evaluates positive Datalog programs bottom-up over a relstore
-// database. Each predicate is a table; head facts are inserted with the
-// table's set semantics (primary key identity).
-type Engine struct {
+// EngineLegacy is the original tuple-at-a-time interpreter, kept for
+// differential testing against the compiled engine (exec.go), exactly
+// as proql keeps ExecGraphLegacy beside the physical-plan pipeline. It
+// evaluates positive Datalog programs bottom-up over a relstore
+// database; each predicate is a table and head facts are inserted with
+// the table's set semantics (primary key identity). Its delta
+// discipline is coarse: a derivation whose body facts enter the delta
+// in the same iteration is re-enumerated once per delta position, so
+// the hook can fire several times for one distinct derivation (the
+// compiled engine fixes this; consumers keying on all columns absorb
+// the duplicates).
+type EngineLegacy struct {
 	DB   *relstore.Database
 	Hook DerivationHook
 
@@ -39,9 +47,9 @@ type Engine struct {
 	Derivations int
 }
 
-// NewEngine builds an engine over db.
-func NewEngine(db *relstore.Database) *Engine {
-	return &Engine{DB: db}
+// NewEngineLegacy builds a legacy interpreting engine over db.
+func NewEngineLegacy(db *relstore.Database) *EngineLegacy {
+	return &EngineLegacy{DB: db}
 }
 
 // Run evaluates the rules to fixpoint. All facts already present in the
@@ -50,7 +58,7 @@ func NewEngine(db *relstore.Database) *Engine {
 // firing pass; duplicate derivation enumerations that this coarse
 // discipline can produce are absorbed by the set semantics of the
 // consumer (provenance tables key on all columns).
-func (e *Engine) Run(rules []Rule) error {
+func (e *EngineLegacy) Run(rules []Rule) error {
 	// Seed delta with every existing fact.
 	e.delta = make(map[string][]model.Tuple)
 	preds := make(map[string]bool)
@@ -67,7 +75,11 @@ func (e *Engine) Run(rules []Rule) error {
 		if !ok {
 			return fmt.Errorf("datalog: predicate %q has no table", p)
 		}
-		rows := t.Rows()
+		rows := make([]model.Tuple, 0, t.Len())
+		t.Iterate(func(row model.Tuple) bool {
+			rows = append(rows, row)
+			return true
+		})
 		if len(rows) > 0 {
 			e.delta[p] = rows
 		}
@@ -88,7 +100,7 @@ func (e *Engine) Run(rules []Rule) error {
 
 // evalRule fires the rule for every combination of body tuples that
 // includes at least one delta tuple.
-func (e *Engine) evalRule(r *Rule) error {
+func (e *EngineLegacy) evalRule(r *Rule) error {
 	for i := range r.Body {
 		deltaRows := e.delta[r.Body[i].Rel]
 		if len(deltaRows) == 0 {
@@ -109,7 +121,7 @@ func (e *Engine) evalRule(r *Rule) error {
 
 // joinRest extends binding over the body atoms other than skip,
 // processed in order; on a complete match it fires the rule.
-func (e *Engine) joinRest(r *Rule, skip, pos int, binding Binding) error {
+func (e *EngineLegacy) joinRest(r *Rule, skip, pos int, binding Binding) error {
 	if pos == skip {
 		return e.joinRest(r, skip, pos+1, binding)
 	}
@@ -161,7 +173,7 @@ func (e *Engine) joinRest(r *Rule, skip, pos int, binding Binding) error {
 // candidates returns the rows of atom's table consistent with the
 // bound columns of atom under binding, using (and lazily creating)
 // secondary indexes for large tables.
-func (e *Engine) candidates(atom model.Atom, binding Binding) ([]model.Tuple, error) {
+func (e *EngineLegacy) candidates(atom model.Atom, binding Binding) ([]model.Tuple, error) {
 	t, ok := e.DB.Table(atom.Rel)
 	if !ok {
 		return nil, fmt.Errorf("datalog: predicate %q has no table", atom.Rel)
@@ -190,7 +202,7 @@ func (e *Engine) candidates(atom model.Atom, binding Binding) ([]model.Tuple, er
 
 // fire instantiates the heads under binding, inserts new facts, and
 // invokes the derivation hook.
-func (e *Engine) fire(r *Rule, binding Binding) error {
+func (e *EngineLegacy) fire(r *Rule, binding Binding) error {
 	e.Derivations++
 	if e.Hook != nil {
 		e.Hook(r, binding)

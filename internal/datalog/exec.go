@@ -1,0 +1,379 @@
+package datalog
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/relstore"
+)
+
+// SlotHook is the compiled engine's firing callback, invoked exactly
+// once per distinct rule firing (a distinct combination of body tuples
+// satisfying the rule — the Δ-partitioned executor never re-enumerates
+// a derivation, unlike EngineLegacy). vars names the variable stored in
+// each slot. slots is a reused buffer: hooks must copy any datums they
+// keep. Precompute positions with Program.VarSlots instead of scanning
+// vars per firing.
+type SlotHook func(rule *Rule, vars []string, slots []model.Datum)
+
+// Engine is the compiled semi-naive Datalog engine: rules are lowered
+// once into slot-based join programs (compile.go) and evaluated to
+// fixpoint over flat binding arrays, probing incremental hash indexes
+// over age-partitioned fact journals. With Parallelism > 1, each
+// round's Δ rows are partitioned across a worker pool that collects
+// firings into batches, which the coordinating goroutine then applies
+// in deterministic task order.
+type Engine struct {
+	DB   *relstore.Database
+	Hook SlotHook
+	// Parallelism is the worker count for the firing passes; values
+	// below 2 run serially.
+	Parallelism int
+
+	// Stats from the last run.
+	Iterations  int
+	Derivations int
+}
+
+// NewEngine builds a compiled engine over db.
+func NewEngine(db *relstore.Database) *Engine {
+	return &Engine{DB: db}
+}
+
+// Run compiles the rules and evaluates them to fixpoint. Callers that
+// evaluate the same rule set repeatedly should Compile once and use
+// RunProgram.
+func (e *Engine) Run(rules []Rule) error {
+	p, err := Compile(e.DB, rules)
+	if err != nil {
+		return err
+	}
+	return e.RunProgram(p)
+}
+
+// BindingFromSlots materializes a hook's slot buffer as a legacy
+// Binding map, for tests and debugging output.
+func BindingFromSlots(vars []string, slots []model.Datum) Binding {
+	b := make(Binding, len(vars))
+	for i, v := range vars {
+		b[v] = slots[i]
+	}
+	return b
+}
+
+// RunProgram evaluates a compiled program to fixpoint. All facts
+// already present in the database are the first round's Δ; the program
+// may be re-run after the database changes (state is reseeded from the
+// tables every call).
+func (e *Engine) RunProgram(p *Program) error {
+	if p.db != e.DB {
+		return fmt.Errorf("datalog: program was compiled against a different database")
+	}
+	e.Iterations, e.Derivations = 0, 0
+	for _, ps := range p.preds {
+		ps.reset()
+	}
+	x := &executor{eng: e, prog: p}
+	for {
+		work := false
+		for _, ps := range p.preds {
+			ps.extendIndexes()
+			if ps.deltaEnd > ps.oldEnd {
+				work = true
+			}
+		}
+		if !work {
+			return nil
+		}
+		e.Iterations++
+		var err error
+		if e.Parallelism > 1 {
+			err = x.roundParallel(e.Parallelism)
+		} else {
+			err = x.roundSerial()
+		}
+		if err != nil {
+			return err
+		}
+		for _, ps := range p.preds {
+			ps.oldEnd = ps.deltaEnd
+			ps.deltaEnd = len(ps.rows)
+		}
+	}
+}
+
+// reset reseeds a predicate's journal from its backing table and
+// clears the indexes; everything stored becomes the first round's Δ.
+func (ps *predState) reset() {
+	ps.rows = ps.rows[:0]
+	ps.table.Iterate(func(row model.Tuple) bool {
+		ps.rows = append(ps.rows, row)
+		return true
+	})
+	ps.oldEnd = 0
+	ps.deltaEnd = len(ps.rows)
+	for _, ix := range ps.indexes {
+		ix.buckets = make(map[string][]int32, len(ix.buckets))
+		ix.built = 0
+	}
+}
+
+// extendIndexes brings every probe index up to the joinable watermark.
+func (ps *predState) extendIndexes() {
+	var buf []byte
+	for _, ix := range ps.indexes {
+		for i := ix.built; i < ps.deltaEnd; i++ {
+			buf = appendCols(buf[:0], ps.rows[i], ix.cols)
+			ix.buckets[string(buf)] = append(ix.buckets[string(buf)], int32(i))
+		}
+		ix.built = ps.deltaEnd
+	}
+}
+
+func appendCols(buf []byte, row model.Tuple, cols []int) []byte {
+	for _, c := range cols {
+		buf = model.AppendDatum(buf, row[c])
+	}
+	return buf
+}
+
+// executor runs one program's rounds.
+type executor struct {
+	eng  *Engine
+	prog *Program
+	// arena carves the head rows the firing passes materialize;
+	// apply() runs only on the coordinating goroutine, so one arena
+	// suffices even in parallel mode.
+	arena model.TupleArena
+}
+
+// fireFn receives each completed firing; the serial path applies it
+// immediately, the parallel path batches it.
+type fireFn func(cr *compiledRule, slots []model.Datum) error
+
+func (x *executor) roundSerial() error {
+	slots := make([]model.Datum, x.prog.maxSlots)
+	var keyBuf []byte
+	for _, cr := range x.prog.rules {
+		for pi := range cr.progs {
+			dp := &cr.progs[pi]
+			delta := dp.pred.rows[dp.pred.oldEnd:dp.pred.deltaEnd]
+			if len(delta) == 0 {
+				continue
+			}
+			if err := runProg(cr, dp, delta, slots, &keyBuf, x.apply); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// apply records one distinct firing: bump stats, invoke the hook, and
+// insert the instantiated heads (new rows join the journal's NEW
+// region, invisible until the round ends).
+func (x *executor) apply(cr *compiledRule, slots []model.Datum) error {
+	x.eng.Derivations++
+	if x.eng.Hook != nil {
+		x.eng.Hook(&cr.rule, cr.slotVars, slots)
+	}
+	for hi := range cr.heads {
+		h := &cr.heads[hi]
+		row := x.arena.Alloc(len(h.cols))
+		for i, c := range h.cols {
+			if c.isConst {
+				row[i] = c.konst
+			} else {
+				row[i] = slots[c.slot]
+			}
+		}
+		inserted, err := h.pred.table.Insert(row)
+		if err != nil {
+			return err
+		}
+		if inserted {
+			h.pred.rows = append(h.pred.rows, row)
+		}
+	}
+	return nil
+}
+
+// runProg fires one Δ-specialized program over the given Δ rows.
+func runProg(cr *compiledRule, dp *deltaProg, delta []model.Tuple, slots []model.Datum, keyBuf *[]byte, fire fireFn) error {
+	for _, row := range delta {
+		if !matchSeed(&dp.seed, row, slots) {
+			continue
+		}
+		if err := joinFrom(cr, dp, 0, slots, keyBuf, fire); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func matchSeed(s *seedSpec, row model.Tuple, slots []model.Datum) bool {
+	for _, c := range s.consts {
+		if !model.Equal(row[c.col], c.val) {
+			return false
+		}
+	}
+	for _, b := range s.binds {
+		slots[b.slot] = row[b.col]
+	}
+	for _, q := range s.eqs {
+		if !model.Equal(row[q.col], slots[q.slot]) {
+			return false
+		}
+	}
+	return true
+}
+
+// joinFrom extends the binding through the steps from depth on,
+// calling fire on every completed match. Binds need no undo: each
+// step's checks reference only slots bound by earlier steps (or its
+// own row), so stale values in later slots are always overwritten
+// before being read.
+func joinFrom(cr *compiledRule, dp *deltaProg, depth int, slots []model.Datum, keyBuf *[]byte, fire fireFn) error {
+	if depth == len(dp.steps) {
+		return fire(cr, slots)
+	}
+	st := &dp.steps[depth]
+	limit := st.pred.deltaEnd
+	if st.part == partOld {
+		limit = st.pred.oldEnd
+	}
+	if limit == 0 {
+		return nil
+	}
+	if st.index != nil {
+		buf := (*keyBuf)[:0]
+		for _, pr := range st.probe {
+			if pr.isConst {
+				buf = model.AppendDatum(buf, pr.konst)
+			} else {
+				buf = model.AppendDatum(buf, slots[pr.slot])
+			}
+		}
+		*keyBuf = buf
+		// Bucket positions are ascending, so the partition bound is a
+		// cutoff.
+		for _, idx := range st.index.buckets[string(buf)] {
+			if int(idx) >= limit {
+				break
+			}
+			if err := stepRow(cr, dp, depth, st, st.pred.rows[idx], slots, keyBuf, fire); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, row := range st.pred.rows[:limit] {
+		if err := stepRow(cr, dp, depth, st, row, slots, keyBuf, fire); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func stepRow(cr *compiledRule, dp *deltaProg, depth int, st *joinStep, row model.Tuple, slots []model.Datum, keyBuf *[]byte, fire fireFn) error {
+	for _, b := range st.binds {
+		slots[b.slot] = row[b.col]
+	}
+	for _, q := range st.checks {
+		if !model.Equal(row[q.col], slots[q.slot]) {
+			return nil
+		}
+	}
+	return joinFrom(cr, dp, depth+1, slots, keyBuf, fire)
+}
+
+// roundParallel runs one round's firing passes over a worker pool. Δ
+// rows of every (rule, delta-position) pair are chunked into tasks;
+// workers enumerate matches into per-task batches (the journals and
+// indexes are read-only during this phase), and the coordinator then
+// applies all batches in task order — the hook/insert sequence is
+// deterministic and identical in content to the serial round.
+func (x *executor) roundParallel(workers int) error {
+	type task struct {
+		cr    *compiledRule
+		dp    *deltaProg
+		delta []model.Tuple
+	}
+	var tasks []task
+	for _, cr := range x.prog.rules {
+		for pi := range cr.progs {
+			dp := &cr.progs[pi]
+			delta := dp.pred.rows[dp.pred.oldEnd:dp.pred.deltaEnd]
+			if len(delta) == 0 {
+				continue
+			}
+			chunk := (len(delta) + workers*4 - 1) / (workers * 4)
+			if chunk < 32 {
+				chunk = 32
+			}
+			for lo := 0; lo < len(delta); lo += chunk {
+				hi := lo + chunk
+				if hi > len(delta) {
+					hi = len(delta)
+				}
+				tasks = append(tasks, task{cr: cr, dp: dp, delta: delta[lo:hi]})
+			}
+		}
+	}
+	if len(tasks) == 0 {
+		return nil
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	// batches[i] holds task i's firings as slot arrays flattened at the
+	// rule's stride; counts[i] the firing count (the stride can be 0
+	// for variable-free rules).
+	batches := make([][]model.Datum, len(tasks))
+	counts := make([]int, len(tasks))
+	errs := make([]error, workers)
+	// Buffered and pre-filled so an early-exiting worker can never
+	// strand the producer.
+	queue := make(chan int, len(tasks))
+	for ti := range tasks {
+		queue <- ti
+	}
+	close(queue)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			slots := make([]model.Datum, x.prog.maxSlots)
+			var keyBuf []byte
+			for ti := range queue {
+				t := tasks[ti]
+				stride := len(t.cr.slotVars)
+				errs[w] = runProg(t.cr, t.dp, t.delta, slots, &keyBuf, func(_ *compiledRule, s []model.Datum) error {
+					batches[ti] = append(batches[ti], s[:stride]...)
+					counts[ti]++
+					return nil
+				})
+				if errs[w] != nil {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for ti, t := range tasks {
+		stride := len(t.cr.slotVars)
+		for k := 0; k < counts[ti]; k++ {
+			if err := x.apply(t.cr, batches[ti][k*stride:(k+1)*stride]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -41,6 +41,15 @@ type Options struct {
 	// materializing a provenance table even for projection mappings.
 	// Used by the storage-overhead ablation.
 	MaterializeAll bool
+	// UseLegacyEngine evaluates the exchange program with the
+	// tuple-at-a-time interpreting engine instead of the compiled
+	// semi-naive engine; kept for differential testing and the
+	// engine-comparison benchmarks.
+	UseLegacyEngine bool
+	// Parallelism is the compiled engine's worker count for the firing
+	// passes (values below 2 run serially). Ignored by the legacy
+	// engine.
+	Parallelism int
 }
 
 // System is one CDSS replica: the schema, the backing database, and the
@@ -51,9 +60,25 @@ type System struct {
 	Prov   map[string]*ProvRel // by mapping name
 	opts   Options
 
+	// prog is the exchange program compiled once on first Run and
+	// reused by every subsequent fixpoint over this system; hookPlans
+	// maps each materialized mapping to its provenance table and the
+	// binding-slot positions of its provenance attributes.
+	prog      *datalog.Program
+	hookPlans map[string]hookPlan
+
 	// Stats from the last Run.
 	LastIterations  int
 	LastDerivations int
+}
+
+// hookPlan is the precompiled provenance-insertion recipe for one
+// mapping: which table receives the rows and which engine slots hold
+// the provenance attributes, so the per-firing hook does no map or
+// name lookups beyond one rule-ID fetch.
+type hookPlan struct {
+	table *relstore.Table
+	slots []int
 }
 
 // NewSystem creates the storage layout for a schema: one table per
@@ -173,9 +198,63 @@ func (s *System) Rules() []datalog.Rule {
 }
 
 // Run executes the exchange program to fixpoint, materializing every
-// public relation and populating the provenance tables.
+// public relation and populating the provenance tables. The default
+// engine is the compiled semi-naive one; the program is compiled once
+// per system and reused by subsequent runs (incremental maintenance
+// re-running the fixpoint pays no recompilation cost).
 func (s *System) Run() error {
+	if s.opts.UseLegacyEngine {
+		return s.runLegacy()
+	}
+	if s.prog == nil {
+		prog, err := datalog.Compile(s.DB, s.Rules())
+		if err != nil {
+			return err
+		}
+		plans := make(map[string]hookPlan, len(s.Prov))
+		for name, pr := range s.Prov {
+			if pr.Virtual {
+				continue
+			}
+			slots, err := prog.VarSlots(name, pr.Vars)
+			if err != nil {
+				return err
+			}
+			plans[name] = hookPlan{table: s.DB.MustTable(pr.TableName), slots: slots}
+		}
+		s.prog, s.hookPlans = prog, plans
+	}
 	eng := datalog.NewEngine(s.DB)
+	eng.Parallelism = s.opts.Parallelism
+	var arena model.TupleArena
+	eng.Hook = func(rule *datalog.Rule, _ []string, slots []model.Datum) {
+		hp, ok := s.hookPlans[rule.ID]
+		if !ok {
+			return
+		}
+		row := arena.Alloc(len(hp.slots))
+		for i, si := range hp.slots {
+			row[i] = slots[si]
+		}
+		// Set semantics on the all-column key keep reruns idempotent
+		// (the compiled engine itself never re-enumerates a
+		// derivation within one run).
+		if _, err := hp.table.Insert(row); err != nil {
+			panic(fmt.Sprintf("exchange: provenance insert: %v", err))
+		}
+	}
+	if err := eng.RunProgram(s.prog); err != nil {
+		return err
+	}
+	s.LastIterations = eng.Iterations
+	s.LastDerivations = eng.Derivations
+	return nil
+}
+
+// runLegacy is Run on the interpreting engine, with its map-based
+// binding hook.
+func (s *System) runLegacy() error {
+	eng := datalog.NewEngineLegacy(s.DB)
 	eng.Hook = func(rule *datalog.Rule, binding datalog.Binding) {
 		pr, ok := s.Prov[rule.ID]
 		if !ok || pr.Virtual {
@@ -185,8 +264,8 @@ func (s *System) Run() error {
 		for i, v := range pr.Vars {
 			row[i] = binding[v]
 		}
-		// Set semantics on the all-column key deduplicate repeated
-		// enumerations of the same derivation.
+		// Set semantics on the all-column key deduplicate the legacy
+		// engine's repeated enumerations of the same derivation.
 		if _, err := s.DB.MustTable(pr.TableName).Insert(row); err != nil {
 			panic(fmt.Sprintf("exchange: provenance insert: %v", err))
 		}
@@ -223,14 +302,12 @@ func (s *System) virtualProvRows(pr *ProvRel) ([]model.Tuple, error) {
 		return nil, fmt.Errorf("exchange: no table for %q", body.Rel)
 	}
 	var out []model.Tuple
-	for _, row := range t.Rows() {
+	t.Iterate(func(row model.Tuple) bool {
 		binding := make(map[string]model.Datum, len(body.Args))
-		okRow := true
 		for k, term := range body.Args {
 			if term.IsConst {
 				if !model.Equal(row[k], term.Const) {
-					okRow = false
-					break
+					return true
 				}
 				continue
 			}
@@ -239,22 +316,19 @@ func (s *System) virtualProvRows(pr *ProvRel) ([]model.Tuple, error) {
 			}
 			if prev, bound := binding[term.Var]; bound {
 				if !model.Equal(prev, row[k]) {
-					okRow = false
-					break
+					return true
 				}
 				continue
 			}
 			binding[term.Var] = row[k]
-		}
-		if !okRow {
-			continue
 		}
 		prow := make(model.Tuple, len(pr.Vars))
 		for i, v := range pr.Vars {
 			prow[i] = binding[v]
 		}
 		out = append(out, prow)
-	}
+		return true
+	})
 	return out, nil
 }
 

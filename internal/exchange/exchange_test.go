@@ -191,6 +191,45 @@ func TestInsertLocalValidation(t *testing.T) {
 	}
 }
 
+// dbSignature renders every table (instance and provenance relations
+// alike) in sorted-row order for whole-database comparison.
+func dbSignature(t *testing.T, sys *exchange.System) string {
+	t.Helper()
+	sig := ""
+	for _, name := range sys.DB.TableNames() {
+		sig += name + ":"
+		for _, row := range sys.DB.MustTable(name).SortedRows() {
+			sig += model.EncodeDatums(row) + ";"
+		}
+		sig += "\n"
+	}
+	return sig
+}
+
+func TestExchangeCompiledMatchesLegacy(t *testing.T) {
+	// The compiled semi-naive engine (default), its parallel mode, and
+	// the legacy interpreter must materialize identical instances and
+	// identical provenance tables, on both the acyclic and the cyclic
+	// (m3) running example.
+	for _, includeM3 := range []bool{false, true} {
+		legacy := fixture.MustSystem(fixture.Options{
+			IncludeM3: includeM3,
+			Exchange:  exchange.Options{UseLegacyEngine: true},
+		})
+		want := dbSignature(t, legacy)
+		for name, opts := range map[string]exchange.Options{
+			"compiled":          {},
+			"compiled-parallel": {Parallelism: 4},
+		} {
+			sys := fixture.MustSystem(fixture.Options{IncludeM3: includeM3, Exchange: opts})
+			if got := dbSignature(t, sys); got != want {
+				t.Errorf("m3=%v: %s database differs from legacy\nlegacy:\n%s\ngot:\n%s",
+					includeM3, name, want, got)
+			}
+		}
+	}
+}
+
 func TestIncrementalReRun(t *testing.T) {
 	// Inserting more local data and re-running propagates the new
 	// tuples and their provenance.

@@ -107,12 +107,13 @@ func (s *System) maintain(report *MaintenanceReport) error {
 		if !ok {
 			continue
 		}
-		for _, row := range t.Rows() {
+		t.Iterate(func(row model.Tuple) bool {
 			ref := model.NewTupleRef(r, row)
 			if _, seen := keys[ref]; !seen {
 				keys[ref] = r.KeyOf(row)
 			}
-		}
+			return true
+		})
 	}
 
 	// Monotone fixpoint of derivability (the boolean semiring of Table

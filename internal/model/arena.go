@@ -1,0 +1,29 @@
+package model
+
+// TupleArena carves tuples out of block allocations, for producers
+// that materialize many small long-lived rows in one pass (the Datalog
+// engine's firing loops allocate one head row and one provenance row
+// per derivation; block carving replaces per-row mallocs with one per
+// blockSize datums). Tuples returned by Alloc are full-capacity-capped
+// so appends can never alias a neighbor. The zero value is ready to
+// use; an arena must not be shared across goroutines.
+type TupleArena struct {
+	block []Datum
+}
+
+const arenaBlockSize = 1024
+
+// Alloc returns a zeroed tuple of width n carved from the current
+// block.
+func (a *TupleArena) Alloc(n int) Tuple {
+	if n > len(a.block) {
+		size := arenaBlockSize
+		if n > size {
+			size = n
+		}
+		a.block = make([]Datum, size)
+	}
+	t := Tuple(a.block[:n:n])
+	a.block = a.block[n:]
+	return t
+}

@@ -150,6 +150,37 @@ func EncodeDatum(sb *strings.Builder, d Datum) {
 	sb.WriteByte('|')
 }
 
+// AppendDatum appends the same canonical encoding EncodeDatum produces
+// to buf and returns the extended slice. Hash-probe hot paths (the
+// compiled Datalog engine) use it with a reused []byte key buffer so a
+// probe costs no builder allocation.
+func AppendDatum(buf []byte, d Datum) []byte {
+	switch v := d.(type) {
+	case nil:
+		buf = append(buf, 'n')
+	case int64:
+		buf = append(buf, 'i')
+		buf = strconv.AppendInt(buf, v, 10)
+	case float64:
+		buf = append(buf, 'f')
+		buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+	case string:
+		buf = append(buf, 's')
+		buf = strconv.AppendInt(buf, int64(len(v)), 10)
+		buf = append(buf, ':')
+		buf = append(buf, v...)
+	case bool:
+		if v {
+			buf = append(buf, 'T')
+		} else {
+			buf = append(buf, 'F')
+		}
+	default:
+		panic(fmt.Sprintf("model: unsupported datum type %T", d))
+	}
+	return append(buf, '|')
+}
+
 // EncodeDatums returns the canonical encoding of a datum sequence.
 func EncodeDatums(ds []Datum) string {
 	var sb strings.Builder

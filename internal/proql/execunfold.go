@@ -259,19 +259,23 @@ func (e *Engine) scanAnchor(comp *Compiled, rel *model.Relation, fn func(model.T
 			return err
 		}
 	}
-	for _, row := range t.Rows() {
+	var iterErr error
+	t.Iterate(func(row model.Tuple) bool {
 		ok, err := evalPred(pred, row)
 		if err != nil {
-			return err
+			iterErr = err
+			return false
 		}
 		if !ok {
-			continue
+			return true
 		}
 		if err := fn(row, model.NewTupleRef(rel, row)); err != nil {
-			return err
+			iterErr = err
+			return false
 		}
-	}
-	return nil
+		return true
+	})
+	return iterErr
 }
 
 func evalPred(pred relstore.Expr, row model.Tuple) (bool, error) {

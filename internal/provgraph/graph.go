@@ -203,14 +203,15 @@ func Build(sys *exchange.System) (*Graph, error) {
 		if !ok {
 			return nil, fmt.Errorf("provgraph: missing table %q", r.Name)
 		}
-		for _, row := range t.Rows() {
+		t.Iterate(func(row model.Tuple) bool {
 			ref := model.NewTupleRef(r, row)
 			tn := g.Tuple(ref)
 			if tn.Row == nil {
 				tn.Row = row
 			}
 			tn.Leaf = sys.IsLeaf(r.Name, r.KeyOf(row))
-		}
+			return true
+		})
 	}
 	return g, nil
 }

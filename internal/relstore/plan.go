@@ -44,7 +44,12 @@ func (s *Scan) Run(db *Database) ([]model.Tuple, error) {
 	if !ok {
 		return nil, fmt.Errorf("relstore: scan of unknown table %q", s.Table)
 	}
-	return t.Rows(), nil
+	out := make([]model.Tuple, 0, t.Len())
+	t.Iterate(func(row model.Tuple) bool {
+		out = append(out, row)
+		return true
+	})
+	return out, nil
 }
 
 // Arity implements Plan.

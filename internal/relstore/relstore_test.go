@@ -80,6 +80,91 @@ func TestTableDeleteAndSlotReuse(t *testing.T) {
 	}
 }
 
+func TestTableIterateAndCursor(t *testing.T) {
+	db := NewDatabase()
+	tbl := newKeyedTable(t, db, "R")
+	for i := int64(0); i < 5; i++ {
+		tbl.Insert(model.Tuple{i, "x"})
+	}
+	tbl.Delete([]model.Datum{int64(2)})
+
+	// Iterate visits exactly the live rows and honors early stop.
+	var seen []int64
+	tbl.Iterate(func(row model.Tuple) bool {
+		seen = append(seen, row[0].(int64))
+		return true
+	})
+	if len(seen) != 4 {
+		t.Errorf("Iterate visited %d rows, want 4", len(seen))
+	}
+	for _, id := range seen {
+		if id == 2 {
+			t.Error("Iterate visited a deleted row")
+		}
+	}
+	stops := 0
+	tbl.Iterate(func(model.Tuple) bool {
+		stops++
+		return stops < 2
+	})
+	if stops != 2 {
+		t.Errorf("early-stop Iterate visited %d rows, want 2", stops)
+	}
+
+	// Cursor streams the same live rows.
+	var fromCursor []int64
+	for cur := tbl.Cursor(); ; {
+		row, ok := cur.Next()
+		if !ok {
+			break
+		}
+		fromCursor = append(fromCursor, row[0].(int64))
+	}
+	if len(fromCursor) != len(seen) {
+		t.Fatalf("Cursor visited %d rows, Iterate %d", len(fromCursor), len(seen))
+	}
+	for i := range seen {
+		if fromCursor[i] != seen[i] {
+			t.Errorf("row %d: cursor %d, iterate %d", i, fromCursor[i], seen[i])
+		}
+	}
+}
+
+func TestStreamScanCursors(t *testing.T) {
+	// The streaming path for Scan must not materialize and must agree
+	// with Run, including skipping deleted slots.
+	db := NewDatabase()
+	tbl := newKeyedTable(t, db, "R")
+	for i := int64(0); i < 6; i++ {
+		tbl.Insert(model.Tuple{i, "x"})
+	}
+	tbl.Delete([]model.Datum{int64(3)})
+	it := Stream(&Scan{Table: "R", Width: 2}, db)
+	defer it.Close()
+	n := 0
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if row[0].(int64) == 3 {
+			t.Error("streamed a deleted row")
+		}
+		n++
+	}
+	if n != 5 {
+		t.Errorf("streamed %d rows, want 5", n)
+	}
+	// Unknown table surfaces as an error on first pull.
+	bad := Stream(&Scan{Table: "nope", Width: 1}, db)
+	if _, _, err := bad.Next(); err == nil {
+		t.Error("unknown table should error")
+	}
+}
+
 func TestSecondaryIndexProbe(t *testing.T) {
 	db := NewDatabase()
 	tbl := newKeyedTable(t, db, "R")

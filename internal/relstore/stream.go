@@ -1,6 +1,8 @@
 package relstore
 
 import (
+	"fmt"
+
 	"repro/internal/model"
 	"repro/internal/stream"
 )
@@ -123,9 +125,31 @@ func Stream(p Plan, db *Database) stream.Iterator[model.Tuple] {
 			},
 			CloseFn: in.Close,
 		}
+	case *Scan:
+		// Table scans stream straight off the storage cursor — no
+		// materialized row slice per drain.
+		var cur *Cursor
+		started := false
+		return &stream.Func[model.Tuple]{
+			NextFn: func() (model.Tuple, bool, error) {
+				if !started {
+					started = true
+					t, ok := db.Table(n.Table)
+					if !ok {
+						return nil, false, fmt.Errorf("relstore: scan of unknown table %q", n.Table)
+					}
+					cur = t.Cursor()
+				}
+				if cur == nil {
+					return nil, false, nil
+				}
+				row, ok := cur.Next()
+				return row, ok, nil
+			},
+		}
 	default:
-		// Pipeline breaker (Scan, IndexProbe, Values, HashJoin,
-		// GroupBy): materialize lazily on first pull.
+		// Pipeline breaker (IndexProbe, Values, HashJoin, GroupBy):
+		// materialize lazily on first pull.
 		var rows []model.Tuple
 		started := false
 		pos := 0

@@ -51,6 +51,10 @@ type Table struct {
 	// free lists row slots vacated by Delete for reuse; nil rows in
 	// rows mark deleted slots.
 	free []int
+	// keyBuf is the reusable scratch buffer for key encoding, so an
+	// insert or probe costs no builder allocation (the Datalog
+	// engine's firing passes insert millions of rows).
+	keyBuf []byte
 }
 
 // hashIndex maps encoded column values to the row indexes holding them.
@@ -88,18 +92,31 @@ func (t *Table) Insert(row model.Tuple) (bool, error) {
 		return false, fmt.Errorf("relstore: %s: row arity %d, want %d", t.Schema.Name, len(row), len(t.Schema.Columns))
 	}
 	if t.pk != nil {
-		key := encodeCols(row, t.Schema.Key)
-		if _, dup := t.pk[key]; dup {
+		// Duplicate lookup through the scratch buffer is allocation-
+		// free; the key string is materialized only for new rows.
+		key := t.encodeKey(row, t.Schema.Key)
+		if _, dup := t.pk[string(key)]; dup {
 			return false, nil
 		}
 		idx := t.claimSlot(row)
-		t.pk[key] = idx
+		t.pk[string(key)] = idx
 		t.indexRow(idx, row)
 		return true, nil
 	}
 	idx := t.claimSlot(row)
 	t.indexRow(idx, row)
 	return true, nil
+}
+
+// encodeKey encodes the row's cols into the table's scratch buffer;
+// the result is only valid until the next encodeKey call.
+func (t *Table) encodeKey(row model.Tuple, cols []int) []byte {
+	buf := t.keyBuf[:0]
+	for _, c := range cols {
+		buf = model.AppendDatum(buf, row[c])
+	}
+	t.keyBuf = buf
+	return buf
 }
 
 func (t *Table) claimSlot(row model.Tuple) int {
@@ -114,9 +131,12 @@ func (t *Table) claimSlot(row model.Tuple) int {
 }
 
 func (t *Table) indexRow(idx int, row model.Tuple) {
+	if len(t.indexes) == 0 {
+		return
+	}
 	for _, ix := range t.indexes {
-		k := encodeCols(row, ix.cols)
-		ix.buckets[k] = append(ix.buckets[k], idx)
+		k := t.encodeKey(row, ix.cols)
+		ix.buckets[string(k)] = append(ix.buckets[string(k)], idx)
 	}
 }
 
@@ -185,15 +205,21 @@ func (t *Table) HasIndex(cols []int) bool {
 // Probe returns the rows whose cols equal vals, using an index if one
 // exists and scanning otherwise.
 func (t *Table) Probe(cols []int, vals []model.Datum) []model.Tuple {
-	want := model.EncodeDatums(vals)
 	if ix, ok := t.indexes[IndexName(cols)]; ok {
-		idxs := ix.buckets[want]
+		// Local buffer, not t.keyBuf: Probe is a read path and must
+		// stay safe under concurrent readers.
+		var buf []byte
+		for _, v := range vals {
+			buf = model.AppendDatum(buf, v)
+		}
+		idxs := ix.buckets[string(buf)]
 		out := make([]model.Tuple, 0, len(idxs))
 		for _, i := range idxs {
 			out = append(out, t.rows[i])
 		}
 		return out
 	}
+	want := model.EncodeDatums(vals)
 	var out []model.Tuple
 	for _, row := range t.rows {
 		if row == nil {
@@ -216,6 +242,44 @@ func (t *Table) Rows() []model.Tuple {
 		}
 	}
 	return out
+}
+
+// Iterate calls fn for every live row, stopping early if fn returns
+// false. Unlike Rows it allocates nothing; hot paths (engine seeding,
+// scans) use it to avoid a fresh slice per pass. fn must not mutate the
+// rows or the table.
+func (t *Table) Iterate(fn func(model.Tuple) bool) {
+	for _, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		if !fn(row) {
+			return
+		}
+	}
+}
+
+// Cursor is a resumable, allocation-free iterator over a table's live
+// rows, for pull-based consumers (relstore.Stream). Rows inserted after
+// the cursor was created may or may not be visited.
+type Cursor struct {
+	t   *Table
+	pos int
+}
+
+// Cursor returns a cursor positioned before the first live row.
+func (t *Table) Cursor() *Cursor { return &Cursor{t: t} }
+
+// Next returns the next live row, or false when exhausted.
+func (c *Cursor) Next() (model.Tuple, bool) {
+	for c.pos < len(c.t.rows) {
+		row := c.t.rows[c.pos]
+		c.pos++
+		if row != nil {
+			return row, true
+		}
+	}
+	return nil, false
 }
 
 // SortedRows returns the live rows in lexicographic datum order;

@@ -84,7 +84,21 @@ type Config struct {
 	Categories int
 	// Seed drives all random generation.
 	Seed int64
+	// LegacyEngine runs update exchange on the interpreting Datalog
+	// engine instead of the compiled one (engine-comparison sweeps).
+	LegacyEngine bool
+	// Parallelism is the compiled engine's worker count (0/1 serial).
+	Parallelism int
 }
+
+// DefaultLegacyEngine and DefaultParallelism are process-wide engine
+// defaults applied to Configs that leave the corresponding fields
+// zero; proqlbench's -engine and -par flags reach every sweep through
+// them.
+var (
+	DefaultLegacyEngine bool
+	DefaultParallelism  int
+)
 
 // Defaults fills zero fields.
 func (c *Config) defaults() {
@@ -96,6 +110,12 @@ func (c *Config) defaults() {
 	}
 	if c.Categories <= 0 {
 		c.Categories = 16
+	}
+	if !c.LegacyEngine {
+		c.LegacyEngine = DefaultLegacyEngine
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = DefaultParallelism
 	}
 }
 
@@ -271,7 +291,10 @@ func Build(cfg Config) (*Setting, error) {
 		}
 	}
 
-	sys, err := exchange.NewSystem(schema, exchange.Options{})
+	sys, err := exchange.NewSystem(schema, exchange.Options{
+		UseLegacyEngine: cfg.LegacyEngine,
+		Parallelism:     cfg.Parallelism,
+	})
 	if err != nil {
 		return nil, err
 	}
