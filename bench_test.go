@@ -392,7 +392,10 @@ func BenchmarkExchange(b *testing.B) {
 }
 
 // BenchmarkExchangeCompiled is BenchmarkExchange on the compiled
-// engine, serially and (on multi-core hosts) with a worker pool.
+// engine, serially and (on multi-core hosts) with a worker pool. The
+// "noindex" variant skips maintenance of the deletion-support index
+// the hooks otherwise keep current, isolating the index's overhead
+// (the price paid at exchange time for delta-driven DeleteLocal).
 func BenchmarkExchangeCompiled(b *testing.B) {
 	pars := []int{0}
 	if n := runtime.GOMAXPROCS(0); n > 1 {
@@ -400,33 +403,42 @@ func BenchmarkExchangeCompiled(b *testing.B) {
 	}
 	for _, base := range []int{250, 1000} {
 		for _, par := range pars {
-			name := fmt.Sprintf("base=%d", base)
-			if par > 1 {
-				name += fmt.Sprintf("/par=%d", par)
-			}
-			b.Run(name, func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					if _, err := workload.Build(workload.Config{
-						Topology:    workload.Chain,
-						Profile:     workload.ProfileLinear,
-						NumPeers:    10,
-						DataPeers:   workload.UpstreamDataPeers(10, 2),
-						BaseSize:    base,
-						Seed:        42,
-						Parallelism: par,
-					}); err != nil {
-						b.Fatal(err)
-					}
+			for _, noIndex := range []bool{false, true} {
+				name := fmt.Sprintf("base=%d", base)
+				if par > 1 {
+					name += fmt.Sprintf("/par=%d", par)
 				}
-			})
+				if noIndex {
+					name += "/noindex"
+				}
+				b.Run(name, func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, err := workload.Build(workload.Config{
+							Topology:       workload.Chain,
+							Profile:        workload.ProfileLinear,
+							NumPeers:       10,
+							DataPeers:      workload.UpstreamDataPeers(10, 2),
+							BaseSize:       base,
+							Seed:           42,
+							Parallelism:    par,
+							NoSupportIndex: noIndex,
+						}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
 		}
 	}
 }
 
 // BenchmarkIncrementalDeletion quantifies the paper's Q5 claim —
-// "provenance can speed up this test" — by comparing provenance-based
-// deletion propagation against rebuilding the exchange from scratch on
-// the reduced base data.
+// "provenance can speed up this test" — by comparing deletion
+// propagation against rebuilding the exchange from scratch on the
+// reduced base data. The "provenance" arm is the delta-driven
+// propagator over the support index built alongside exchange; the
+// "legacy-maintain" arm is the pre-index whole-graph derivability
+// walk, kept for comparison.
 func BenchmarkIncrementalDeletion(b *testing.B) {
 	cfg := workload.Config{
 		Topology:  workload.Chain,
@@ -446,6 +458,20 @@ func BenchmarkIncrementalDeletion(b *testing.B) {
 			key := []model.Datum{int64(9)*10_000_000 + int64(i%cfg.BaseSize)}
 			b.StartTimer()
 			if _, err := set.Sys.DeleteLocal(workload.ARel(9), key); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("legacy-maintain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			set, err := workload.Build(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			key := []model.Datum{int64(9)*10_000_000 + int64(i%cfg.BaseSize)}
+			b.StartTimer()
+			if _, err := set.Sys.DeleteLocalLegacy(workload.ARel(9), key); err != nil {
 				b.Fatal(err)
 			}
 		}

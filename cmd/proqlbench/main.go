@@ -44,6 +44,9 @@ type scaleParams struct {
 	fig13Peers int
 	fig13Data  int
 	fig13Lens  []int
+	delPeers   []int
+	delData    int
+	delBase    int
 	runs       int
 	seed       int64
 }
@@ -64,6 +67,7 @@ func defaultScale() scaleParams {
 		fig11Peers: 20, fig11Data: 2, fig11Lens: []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
 		fig12Peers: 8, fig12Data: 4, fig12Lens: []int{1, 2, 3, 4, 5, 6, 7},
 		fig13Peers: 20, fig13Data: 4, fig13Lens: []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+		delPeers: []int{10, 20, 40}, delData: 2, delBase: 500,
 		runs: 5,
 		seed: 42,
 	}
@@ -78,13 +82,15 @@ func paperScale() scaleParams {
 	p.fig9Bases = []int{10000, 20000, 30000, 40000, 50000, 60000, 70000, 80000}
 	p.fig10Base = 10000
 	p.asrBase = 50000
+	p.delPeers = []int{10, 20, 40, 80}
+	p.delBase = 2000
 	p.runs = 7
 	return p
 }
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, annot, or all")
+		exp    = flag.String("exp", "all", "experiment: table1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, annot, del, or all")
 		scale  = flag.String("scale", "default", "default or paper")
 		engine = flag.String("engine", "compiled", "datalog engine for update exchange: legacy or compiled")
 		par    = flag.Int("par", 0, "compiled-engine worker count for exchange firing passes (0 = serial)")
@@ -141,6 +147,25 @@ func main() {
 		}, p.fig13Lens, p.runs)
 	})
 	run("annot", runAnnot)
+	run("del", runDeletion)
+}
+
+// runDeletion is the use-case-Q5 experiment: one base-tuple deletion
+// propagated by the delta-driven support-index walk, by the legacy
+// whole-graph derivability fixpoint, and by full re-exchange.
+func runDeletion(p scaleParams) error {
+	fmt.Printf("Incremental deletion (Q5): chain, base %d at %d upstream peers, one base tuple deleted\n", p.delBase, p.delData)
+	fmt.Println("peers  delta-maintain  legacy-maintain  rebuild  visited(tuples/derivs)  instance")
+	rows, err := workload.RunDeletion(p.delPeers, p.delData, p.delBase, p.runs, p.seed)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%5d  %14v  %15v  %7v  %11s  %9d\n",
+			r.Peers, r.MaintainTime, r.LegacyTime, r.RebuildTime,
+			fmt.Sprintf("%d/%d", r.TuplesVisited, r.DerivationsVisited), r.InstanceSize)
+	}
+	return nil
 }
 
 // runTable1 evaluates every Table 1 semiring over the Figure 1 graph.

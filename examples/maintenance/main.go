@@ -41,8 +41,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("Retracted %d base tuple(s); maintenance removed %d derived tuple(s) and %d derivation(s).\n\n",
+	fmt.Printf("Retracted %d base tuple(s); maintenance removed %d derived tuple(s) and %d derivation(s),\n",
 		report.LocalDeleted, report.TuplesDeleted, report.DerivationsDeleted)
+	fmt.Printf("visiting only the affected subgraph (%d tuple(s), %d derivation(s)) via the support index.\n\n",
+		report.TuplesVisited, report.DerivationsVisited)
 	show("After retraction:")
 
 	fmt.Println("Note the C(1,cn1) ⇄ N(1,cn1,false) cycle collapsed: provenance-based")

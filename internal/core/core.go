@@ -85,13 +85,14 @@ func (s *System) Run() error {
 
 // DeleteLocal removes base tuples and incrementally propagates the
 // deletions through the materialized views using their provenance
-// (use case Q5); caches and ASRs are refreshed.
+// (use case Q5); the cached provenance graph is patched in place from
+// the deletion report rather than rebuilt, and ASRs are refreshed.
 func (s *System) DeleteLocal(rel string, keys ...[]model.Datum) (*exchange.MaintenanceReport, error) {
 	report, err := s.ex.DeleteLocal(rel, keys...)
 	if err != nil {
 		return nil, err
 	}
-	s.engine.InvalidateGraph()
+	s.engine.MaintainGraph(report)
 	if len(s.index.Defs()) > 0 {
 		if err := s.index.Materialize(); err != nil {
 			return nil, err

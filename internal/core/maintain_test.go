@@ -1,0 +1,99 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fixture"
+	"repro/internal/model"
+)
+
+// TestFacadeDeleteLocalPatchesGraph: the facade's DeleteLocal patches
+// the engine's cached provenance graph in place; graph-backend queries
+// afterwards must see exactly what a fresh engine over the same
+// storage sees.
+func TestFacadeDeleteLocalPatchesGraph(t *testing.T) {
+	sys := openExample(t)
+	q := `FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x`
+	if _, err := sys.Query(q); err != nil { // warm the graph cache
+		t.Fatal(err)
+	}
+	if _, err := sys.Engine().Graph(); err != nil {
+		t.Fatal(err)
+	}
+	report, err := sys.DeleteLocal("A", []model.Datum{int64(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.TuplesDeleted == 0 {
+		t.Fatalf("deletion should have propagated, report=%+v", report)
+	}
+	res, err := sys.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.SortedRefs("x")
+
+	fresh := core.Wrap(sys.Exchange())
+	wantRes, err := fresh.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantRes.SortedRefs("x")
+	if len(got) != len(want) {
+		t.Fatalf("patched engine returned %d refs, fresh engine %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("ref %d: patched %v, fresh %v", i, got[i], want[i])
+		}
+	}
+	// The surviving O tuples rest on A(2) only.
+	for _, ref := range got {
+		if ref.Rel != "O" {
+			t.Errorf("unexpected relation in result: %v", ref)
+		}
+	}
+	if len(got) != 2 {
+		t.Errorf("want 2 surviving O tuples, got %d", len(got))
+	}
+}
+
+// TestFacadeDeleteThenRerun: deletions followed by new inserts and a
+// re-Run must keep storage, support index, and query results coherent.
+func TestFacadeDeleteThenRerun(t *testing.T) {
+	sys := openExample(t)
+	if _, err := sys.DeleteLocal("A", []model.Datum{int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.InsertLocal("A", model.Tuple{int64(1), "sn1", int64(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything that rested on A(1) is re-derived.
+	sysFresh := fixture.MustSystem(fixture.Options{})
+	for _, rel := range []string{"A", "C", "N", "O"} {
+		got := sys.Exchange().DB.MustTable(rel).SortedRows()
+		want := sysFresh.DB.MustTable(rel).SortedRows()
+		if len(got) != len(want) {
+			t.Errorf("%s: %d rows after delete+rerun, want %d", rel, len(got), len(want))
+			continue
+		}
+		for i := range got {
+			if model.EncodeDatums(got[i]) != model.EncodeDatums(want[i]) {
+				t.Errorf("%s row %d: %v vs %v", rel, i, got[i], want[i])
+			}
+		}
+	}
+	// And a second deletion still propagates correctly off the
+	// hook-maintained index.
+	report, err := sys.DeleteLocal("A", []model.Datum{int64(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.TuplesDeleted != 5 {
+		t.Errorf("TuplesDeleted = %d, want 5", report.TuplesDeleted)
+	}
+}

@@ -1,0 +1,59 @@
+package datalog
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/relstore"
+)
+
+func TestAtomKeySlots(t *testing.T) {
+	db := relstore.NewDatabase()
+	mkTable(t, db, "e", 2, true)
+	mkTable(t, db, "p", 2, true)
+	rule := NewRule("r1",
+		model.Atom{Rel: "p", Args: []model.Term{model.V("x"), model.V("y")}},
+		model.Atom{Rel: "e", Args: []model.Term{model.V("x"), model.V("y")}},
+	)
+	prog, err := Compile(db, []Rule{rule})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Head atom with a constant in one key position.
+	atom := model.Atom{Rel: "p", Args: []model.Term{model.V("y"), model.C(int64(7))}}
+	cols, err := prog.AtomKeySlots("r1", atom, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 {
+		t.Fatalf("got %d key cols", len(cols))
+	}
+	if cols[0].IsConst || cols[1].Slot != 0 && !cols[1].IsConst {
+		t.Errorf("unexpected cols: %+v", cols)
+	}
+	ySlots, err := prog.VarSlots("r1", []string{"y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols[0].Slot != ySlots[0] {
+		t.Errorf("y resolved to slot %d, VarSlots says %d", cols[0].Slot, ySlots[0])
+	}
+	if !cols[1].IsConst || !model.Equal(cols[1].Const, int64(7)) {
+		t.Errorf("constant key col not preserved: %+v", cols[1])
+	}
+
+	// Errors: wildcard key term, unknown variable, unknown rule,
+	// out-of-range key index.
+	if _, err := prog.AtomKeySlots("r1", model.Atom{Rel: "p", Args: []model.Term{model.V("_"), model.V("x")}}, []int{0}); err == nil {
+		t.Error("wildcard key term should fail")
+	}
+	if _, err := prog.AtomKeySlots("r1", model.Atom{Rel: "p", Args: []model.Term{model.V("nope"), model.V("x")}}, []int{0}); err == nil {
+		t.Error("unknown variable should fail")
+	}
+	if _, err := prog.AtomKeySlots("zzz", atom, []int{0}); err == nil {
+		t.Error("unknown rule should fail")
+	}
+	if _, err := prog.AtomKeySlots("r1", atom, []int{5}); err == nil {
+		t.Error("out-of-range key index should fail")
+	}
+}

@@ -50,6 +50,11 @@ type Options struct {
 	// passes (values below 2 run serially). Ignored by the legacy
 	// engine.
 	Parallelism int
+	// NoSupportIndex skips hook-maintenance of the deletion-support
+	// index during Run, trading faster exchange for an O(database)
+	// index rebuild on the first DeleteLocal (after which the hooks
+	// resume keeping it current). For systems that never delete.
+	NoSupportIndex bool
 }
 
 // System is one CDSS replica: the schema, the backing database, and the
@@ -62,23 +67,42 @@ type System struct {
 
 	// prog is the exchange program compiled once on first Run and
 	// reused by every subsequent fixpoint over this system; hookPlans
-	// maps each materialized mapping to its provenance table and the
-	// binding-slot positions of its provenance attributes.
+	// maps each mapping to its provenance table and the binding-slot
+	// positions of its provenance attributes and atom keys.
 	prog      *datalog.Program
 	hookPlans map[string]hookPlan
+
+	// support is the persistent ref→derivation index DeleteLocal
+	// propagates over. It is populated by the Run hooks as exchange
+	// enumerates derivations; nil means it must be rebuilt from the
+	// provenance tables on the next deletion (after MaintainLegacy, or
+	// when ref-plan compilation was not possible for this schema).
+	support *supportIndex
 
 	// Stats from the last Run.
 	LastIterations  int
 	LastDerivations int
 }
 
-// hookPlan is the precompiled provenance-insertion recipe for one
-// mapping: which table receives the rows and which engine slots hold
-// the provenance attributes, so the per-firing hook does no map or
-// name lookups beyond one rule-ID fetch.
+// hookPlan is the precompiled provenance recipe for one mapping: which
+// table receives the rows (nil for virtual provenance relations),
+// which engine slots hold the provenance attributes, and — for the
+// support index — each source/target atom's key columns resolved to
+// slots, so the per-firing hook does no map or name lookups beyond one
+// rule-ID fetch.
 type hookPlan struct {
 	table *relstore.Table
 	slots []int
+	// atoms lists the mapping's body atoms then head atoms; nSources
+	// is the body count. Nil when ref plans could not be compiled.
+	atoms    []atomPlan
+	nSources int
+}
+
+// atomPlan builds one atom's TupleRef from a firing's slot buffer.
+type atomPlan struct {
+	rel  string
+	cols []datalog.KeyCol
 }
 
 // NewSystem creates the storage layout for a schema: one table per
@@ -88,6 +112,9 @@ type hookPlan struct {
 func NewSystem(schema *model.Schema, opts Options) (*System, error) {
 	db := relstore.NewDatabase()
 	sys := &System{Schema: schema, DB: db, Prov: make(map[string]*ProvRel), opts: opts}
+	if !opts.NoSupportIndex {
+		sys.support = newSupportIndex()
+	}
 	for _, r := range schema.Relations() {
 		if _, err := db.CreateTable(relstore.SchemaOf(r)); err != nil {
 			return nil, err
@@ -212,21 +239,42 @@ func (s *System) Run() error {
 			return err
 		}
 		plans := make(map[string]hookPlan, len(s.Prov))
+		refPlansOK := true
 		for name, pr := range s.Prov {
-			if pr.Virtual {
-				continue
-			}
 			slots, err := prog.VarSlots(name, pr.Vars)
 			if err != nil {
 				return err
 			}
-			plans[name] = hookPlan{table: s.DB.MustTable(pr.TableName), slots: slots}
+			hp := hookPlan{slots: slots}
+			if !pr.Virtual {
+				hp.table = s.DB.MustTable(pr.TableName)
+			}
+			if atoms, n, err := s.compileRefPlans(prog, name, pr); err == nil {
+				hp.atoms, hp.nSources = atoms, n
+			} else {
+				refPlansOK = false
+			}
+			plans[name] = hp
+		}
+		if !refPlansOK {
+			// Some atom's key terms cannot be recovered from firings
+			// (e.g. a wildcard key term), so the support index cannot
+			// be hook-maintained. Drop it: DeleteLocal rebuilds from
+			// the provenance rows and surfaces the defect as an error
+			// there, exactly as the whole-graph walk did.
+			for name, hp := range plans {
+				hp.atoms, hp.nSources = nil, 0
+				plans[name] = hp
+			}
+			s.support = nil
 		}
 		s.prog, s.hookPlans = prog, plans
 	}
 	eng := datalog.NewEngine(s.DB)
 	eng.Parallelism = s.opts.Parallelism
 	var arena model.TupleArena
+	var keyBuf []byte
+	var idBuf []int32
 	eng.Hook = func(rule *datalog.Rule, _ []string, slots []model.Datum) {
 		hp, ok := s.hookPlans[rule.ID]
 		if !ok {
@@ -238,10 +286,38 @@ func (s *System) Run() error {
 		}
 		// Set semantics on the all-column key keep reruns idempotent
 		// (the compiled engine itself never re-enumerates a
-		// derivation within one run).
-		if _, err := hp.table.Insert(row); err != nil {
-			panic(fmt.Sprintf("exchange: provenance insert: %v", err))
+		// derivation within one run); only genuinely new derivations
+		// enter the support index.
+		fresh := false
+		if hp.table != nil {
+			inserted, err := hp.table.Insert(row)
+			if err != nil {
+				panic(fmt.Sprintf("exchange: provenance insert: %v", err))
+			}
+			fresh = inserted
+		} else if s.support != nil {
+			fresh = s.support.markVirtual(rule.ID, row)
 		}
+		if !fresh || s.support == nil || hp.atoms == nil {
+			return
+		}
+		if cap(idBuf) < len(hp.atoms) {
+			idBuf = make([]int32, len(hp.atoms))
+		}
+		ids := idBuf[:len(hp.atoms)]
+		for i := range hp.atoms {
+			ap := &hp.atoms[i]
+			keyBuf = keyBuf[:0]
+			for _, c := range ap.cols {
+				if c.IsConst {
+					keyBuf = model.AppendDatum(keyBuf, c.Const)
+				} else {
+					keyBuf = model.AppendDatum(keyBuf, slots[c.Slot])
+				}
+			}
+			ids[i] = s.support.tupleID(ap.rel, keyBuf)
+		}
+		s.support.add(rule.ID, hp.table == nil, row, ids, hp.nSources)
 	}
 	if err := eng.RunProgram(s.prog); err != nil {
 		return err
@@ -251,13 +327,45 @@ func (s *System) Run() error {
 	return nil
 }
 
+// compileRefPlans resolves, for one mapping, each body and head atom's
+// key columns into the compiled rule's slot numbering, so the exchange
+// hook can build the support index's TupleRefs straight from a
+// firing's slot buffer.
+func (s *System) compileRefPlans(prog *datalog.Program, name string, pr *ProvRel) ([]atomPlan, int, error) {
+	m := pr.Mapping
+	atoms := make([]atomPlan, 0, len(m.Body)+len(m.Head))
+	addAtom := func(a model.Atom) error {
+		r, ok := s.Schema.Relation(a.Rel)
+		if !ok {
+			return fmt.Errorf("exchange: unknown relation %q", a.Rel)
+		}
+		cols, err := prog.AtomKeySlots(name, a, r.Key)
+		if err != nil {
+			return err
+		}
+		atoms = append(atoms, atomPlan{rel: a.Rel, cols: cols})
+		return nil
+	}
+	for _, a := range m.Body {
+		if err := addAtom(a); err != nil {
+			return nil, 0, err
+		}
+	}
+	for _, a := range m.Head {
+		if err := addAtom(a); err != nil {
+			return nil, 0, err
+		}
+	}
+	return atoms, len(m.Body), nil
+}
+
 // runLegacy is Run on the interpreting engine, with its map-based
 // binding hook.
 func (s *System) runLegacy() error {
 	eng := datalog.NewEngineLegacy(s.DB)
 	eng.Hook = func(rule *datalog.Rule, binding datalog.Binding) {
 		pr, ok := s.Prov[rule.ID]
-		if !ok || pr.Virtual {
+		if !ok {
 			return
 		}
 		row := make(model.Tuple, len(pr.Vars))
@@ -266,9 +374,28 @@ func (s *System) runLegacy() error {
 		}
 		// Set semantics on the all-column key deduplicate the legacy
 		// engine's repeated enumerations of the same derivation.
-		if _, err := s.DB.MustTable(pr.TableName).Insert(row); err != nil {
-			panic(fmt.Sprintf("exchange: provenance insert: %v", err))
+		fresh := false
+		if !pr.Virtual {
+			inserted, err := s.DB.MustTable(pr.TableName).Insert(row)
+			if err != nil {
+				panic(fmt.Sprintf("exchange: provenance insert: %v", err))
+			}
+			fresh = inserted
+		} else if s.support != nil {
+			fresh = s.support.markVirtual(rule.ID, row)
 		}
+		if !fresh || s.support == nil {
+			return
+		}
+		sources, targets, err := s.AtomRefs(pr, row)
+		if err != nil {
+			// Atom keys not recoverable from the provenance row; stop
+			// hook maintenance and let DeleteLocal rebuild (and report
+			// the defect) on demand.
+			s.support = nil
+			return
+		}
+		s.supportAddRefs(pr, row, sources, targets)
 	}
 	if err := eng.Run(s.Rules()); err != nil {
 		return err

@@ -1,0 +1,157 @@
+package exchange_test
+
+import (
+	"testing"
+
+	"repro/internal/exchange"
+	"repro/internal/model"
+)
+
+// FuzzDeleteLocal drives random deletion sequences through a cyclic
+// setting in which P and Q copy each other (a mutual-support cycle per
+// key) and R feeds P external support:
+//
+//	mRP: P(x) :- R(x)    mPQ: Q(x) :- P(x)    mQP: P(x) :- Q(x)
+//
+// For every key x the pair {P(x), Q(x)} must exist exactly as long as
+// any external support (a local contribution P_l(x), Q_l(x), or the
+// base tuple R_l(x)) survives — when the last one goes, the whole
+// cycle must be deleted together, which is the case support counting
+// alone (without the localized derivability fixpoint) gets wrong.
+// Each step also cross-checks the report's counters against observed
+// storage deltas.
+func FuzzDeleteLocal(f *testing.F) {
+	// Seeds: drain a cycle's external support in different orders, at
+	// both provenance layouts (byte 0 switches MaterializeAll).
+	f.Add([]byte{0, 0x00, 0x11, 0x21})       // delete R(0), P_l(1), Q_l(1)
+	f.Add([]byte{1, 0x01, 0x11, 0x21})       // same key drained in order R,P,Q
+	f.Add([]byte{0, 0x21, 0x11, 0x01})       // reverse order
+	f.Add([]byte{1, 0x00, 0x00, 0x10, 0x20}) // repeated delete of a gone key
+	f.Add([]byte{0, 0x02, 0x12, 0x22, 0x01})
+
+	const domain = 3
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) == 0 || len(ops) > 24 {
+			t.Skip()
+		}
+		opts := exchange.Options{MaterializeAll: len(ops) > 0 && ops[0]%2 == 1}
+		sys := buildCycleSetting(t, opts)
+		// present[x] tracks which external supports survive.
+		type support struct{ r, p, q bool }
+		present := map[int64]*support{}
+		for x := int64(0); x < domain; x++ {
+			present[x] = &support{r: true, p: x == 1, q: x == 1 || x == 2}
+		}
+		for _, op := range ops[1:] {
+			rel := []string{"R", "P", "Q"}[int(op>>4)%3]
+			x := int64(op&0x0f) % domain
+			key := []model.Datum{x}
+
+			tuplesBefore := publicRowCount(sys)
+			derivsBefore := derivationCount(t, sys)
+
+			report, err := sys.DeleteLocal(rel, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Report counters must equal the observed storage deltas.
+			if got := tuplesBefore - publicRowCount(sys); got != report.TuplesDeleted {
+				t.Fatalf("TuplesDeleted=%d, storage lost %d rows (op %s[%d])",
+					report.TuplesDeleted, got, rel, x)
+			}
+			if got := derivsBefore - derivationCount(t, sys); got != report.DerivationsDeleted {
+				t.Fatalf("DerivationsDeleted=%d, storage lost %d derivations (op %s[%d])",
+					report.DerivationsDeleted, got, rel, x)
+			}
+			if report.TuplesDeleted != len(report.DeletedTuples) ||
+				report.DerivationsDeleted != len(report.DeletedDerivations) {
+				t.Fatalf("report lists inconsistent: %+v", report)
+			}
+
+			// Track the independent support model.
+			sup := present[x]
+			switch rel {
+			case "R":
+				sup.r = false
+			case "P":
+				sup.p = false
+			case "Q":
+				sup.q = false
+			}
+			// The whole cycle lives or dies together.
+			for y := int64(0); y < domain; y++ {
+				wantAlive := present[y].r || present[y].p || present[y].q
+				_, pAlive := sys.DB.MustTable("P").LookupKey([]model.Datum{y})
+				_, qAlive := sys.DB.MustTable("Q").LookupKey([]model.Datum{y})
+				if pAlive != wantAlive || qAlive != wantAlive {
+					t.Fatalf("key %d: want alive=%v, got P=%v Q=%v (cycle not deleted together)",
+						y, wantAlive, pAlive, qAlive)
+				}
+				_, rAlive := sys.DB.MustTable("R").LookupKey([]model.Datum{y})
+				if rAlive != present[y].r {
+					t.Fatalf("key %d: R alive=%v, want %v", y, rAlive, present[y].r)
+				}
+			}
+		}
+	})
+}
+
+// buildCycleSetting constructs the P⇄Q / R→P schema with base data
+// R_l = {0,1,2}, P_l = {1}, Q_l = {1,2}.
+func buildCycleSetting(t *testing.T, opts exchange.Options) *exchange.System {
+	t.Helper()
+	schema := model.NewSchema()
+	cols := []model.Column{{Name: "x", Type: model.TypeInt}}
+	for _, name := range []string{"P", "Q", "R"} {
+		if err := schema.AddRelation(model.MustRelation(name, cols, "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := model.V
+	for _, m := range []*model.Mapping{
+		model.NewMapping("mRP", model.NewAtom("P", v("x")), model.NewAtom("R", v("x"))),
+		model.NewMapping("mPQ", model.NewAtom("Q", v("x")), model.NewAtom("P", v("x"))),
+		model.NewMapping("mQP", model.NewAtom("P", v("x")), model.NewAtom("Q", v("x"))),
+	} {
+		if err := schema.AddMapping(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys, err := exchange.NewSystem(schema, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(sys.InsertLocal("R", model.Tuple{int64(0)}, model.Tuple{int64(1)}, model.Tuple{int64(2)}))
+	must(sys.InsertLocal("P", model.Tuple{int64(1)}))
+	must(sys.InsertLocal("Q", model.Tuple{int64(1)}, model.Tuple{int64(2)}))
+	must(sys.Run())
+	return sys
+}
+
+func publicRowCount(sys *exchange.System) int {
+	total := 0
+	for _, r := range sys.Schema.PublicRelations() {
+		total += sys.DB.MustTable(r.Name).Len()
+	}
+	return total
+}
+
+// derivationCount counts all derivations, materialized and virtual.
+func derivationCount(t *testing.T, sys *exchange.System) int {
+	t.Helper()
+	total := 0
+	for _, m := range sys.Schema.Mappings() {
+		rows, err := sys.ProvRows(m.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(rows)
+	}
+	return total
+}

@@ -17,6 +17,34 @@ type MaintenanceReport struct {
 	// DerivationsDeleted counts provenance rows removed because a
 	// source tuple disappeared.
 	DerivationsDeleted int
+
+	// TuplesVisited and DerivationsVisited measure the propagation's
+	// cost: the size of the affected subgraph the delta-driven walk
+	// examined. The legacy whole-graph walk reports the full instance
+	// here; the delta-driven propagator reports only the refs reachable
+	// from the deleted frontier — 0 derivations when the deleted tuples
+	// feed no mapping.
+	TuplesVisited      int
+	DerivationsVisited int
+
+	// DeletedLocals lists the refs of the base tuples removed from
+	// local-contribution tables (the deletion frontier), DeletedTuples
+	// the removed public-relation tuples, and DeletedDerivations the
+	// removed provenance rows, so consumers (e.g. an incrementally
+	// maintained provenance graph, provgraph.Apply) can apply the same
+	// deletions without diffing storage. The tuple/derivation lists are
+	// populated by the delta-driven propagator; MaintainLegacy leaves
+	// them nil.
+	DeletedLocals      []model.TupleRef
+	DeletedTuples      []model.TupleRef
+	DeletedDerivations []DeletedDerivation
+}
+
+// DeletedDerivation identifies one removed derivation: the mapping and
+// its provenance-relation row.
+type DeletedDerivation struct {
+	Mapping string
+	Row     model.Tuple
 }
 
 // DeleteLocal removes base tuples (by key) from a relation's
@@ -28,45 +56,278 @@ type MaintenanceReport struct {
 // This is the paper's use case Q5 — "during incremental view
 // maintenance or update exchange, when a base tuple is deleted, we
 // need to determine whether existing view tuples remain derivable;
-// provenance can speed up this test" — implemented by evaluating the
-// DERIVABILITY semiring over the stored provenance graph (the fixpoint
-// handles cyclic settings, so mutually-supporting tuples whose external
-// support vanished are removed together, which delete-and-rederive
-// algorithms must special-case).
+// provenance can speed up this test". The propagation is delta-driven:
+// the persistent support index (maintained as exchange runs) gives the
+// derivations consuming each deleted ref, the affected subgraph is the
+// forward closure of the deleted frontier through those support edges,
+// and derivability (the boolean semiring of Table 1) is re-established
+// only inside that subgraph by support counting — a derivation becomes
+// valid when its last undecided source does, and tuples of a mutually-
+// supporting (cyclic) component whose external support vanished are
+// never counted down, so the whole cycle collapses together, which
+// delete-and-rederive algorithms must special-case. Cost scales with
+// the affected subgraph, not the database.
 func (s *System) DeleteLocal(rel string, keys ...[]model.Datum) (*MaintenanceReport, error) {
-	r, ok := s.Schema.Relation(rel)
-	if !ok {
-		return nil, fmt.Errorf("exchange: unknown relation %q", rel)
+	report, frontier, err := s.deleteLocalBase(rel, keys)
+	if err != nil || report.LocalDeleted == 0 {
+		return report, err
 	}
-	lt, ok := s.DB.Table(r.LocalName())
-	if !ok {
-		return nil, fmt.Errorf("exchange: no local table for %q", rel)
+	if err := s.ensureSupport(); err != nil {
+		return nil, err
 	}
-	report := &MaintenanceReport{}
-	for _, key := range keys {
-		deleted, err := lt.Delete(key)
-		if err != nil {
-			return nil, err
-		}
-		if deleted {
-			report.LocalDeleted++
-		}
-	}
-	if report.LocalDeleted == 0 {
-		return report, nil
-	}
-	if err := s.maintain(report); err != nil {
+	if err := s.maintainDelta(report, frontier); err != nil {
 		return nil, err
 	}
 	return report, nil
 }
 
-// maintain recomputes derivability over the provenance graph and
-// removes underivable tuples and their invalidated derivations.
-// Implemented here (rather than in provgraph) to avoid an import
-// cycle: the graph structure is reconstructed inline from the
-// provenance rows.
-func (s *System) maintain(report *MaintenanceReport) error {
+// DeleteLocalLegacy is DeleteLocal propagating through MaintainLegacy's
+// whole-graph derivability walk; kept for differential testing against
+// the delta-driven propagator.
+func (s *System) DeleteLocalLegacy(rel string, keys ...[]model.Datum) (*MaintenanceReport, error) {
+	report, _, err := s.deleteLocalBase(rel, keys)
+	if err != nil || report.LocalDeleted == 0 {
+		return report, err
+	}
+	if err := s.MaintainLegacy(report); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// deleteLocalBase removes the keys from the relation's local table and
+// returns the refs of the tuples actually deleted (the frontier).
+func (s *System) deleteLocalBase(rel string, keys [][]model.Datum) (*MaintenanceReport, []model.TupleRef, error) {
+	r, ok := s.Schema.Relation(rel)
+	if !ok {
+		return nil, nil, fmt.Errorf("exchange: unknown relation %q", rel)
+	}
+	lt, ok := s.DB.Table(r.LocalName())
+	if !ok {
+		return nil, nil, fmt.Errorf("exchange: no local table for %q", rel)
+	}
+	report := &MaintenanceReport{}
+	var frontier []model.TupleRef
+	for _, key := range keys {
+		deleted, err := lt.Delete(key)
+		if err != nil {
+			return nil, nil, err
+		}
+		if deleted {
+			report.LocalDeleted++
+			frontier = append(frontier, model.RefFromKey(rel, key))
+		}
+	}
+	report.DeletedLocals = frontier
+	return report, frontier, nil
+}
+
+// ensureSupport (re)builds the support index from the provenance
+// relations when it is absent — after MaintainLegacy invalidated it, or
+// when a ref-plan compilation failure disabled hook maintenance.
+func (s *System) ensureSupport() error {
+	if s.support != nil {
+		return nil
+	}
+	ix := newSupportIndex()
+	s.support = ix
+	for _, m := range s.Schema.Mappings() {
+		pr := s.Prov[m.Name]
+		rows, err := s.ProvRows(m.Name)
+		if err != nil {
+			s.support = nil
+			return err
+		}
+		for _, row := range rows {
+			sources, targets, err := s.AtomRefs(pr, row)
+			if err != nil {
+				s.support = nil
+				return err
+			}
+			if pr.Virtual {
+				ix.markVirtual(m.Name, row)
+			}
+			s.supportAddRefs(pr, row, sources, targets)
+		}
+	}
+	return nil
+}
+
+// supportAddRefs interns the refs of one derivation and adds it to the
+// support index (the ref-based slow path shared by the legacy-engine
+// hook and index rebuilds; the compiled hook interns straight from its
+// slot buffer instead).
+func (s *System) supportAddRefs(pr *ProvRel, row model.Tuple, sources, targets []model.TupleRef) {
+	ids := make([]int32, 0, len(sources)+len(targets))
+	for _, ref := range sources {
+		ids = append(ids, s.support.tupleIDRef(ref))
+	}
+	for _, ref := range targets {
+		ids = append(ids, s.support.tupleIDRef(ref))
+	}
+	s.support.add(pr.Mapping.Name, pr.Virtual, row, ids, len(sources))
+}
+
+// IsLeafRef is IsLeaf addressed by an encoded ref (no key re-encoding).
+func (s *System) IsLeafRef(ref model.TupleRef) bool {
+	r, ok := s.Schema.Relation(ref.Rel)
+	if !ok || r.IsLocal {
+		return false
+	}
+	lt, ok := s.DB.Table(r.LocalName())
+	if !ok {
+		return false
+	}
+	_, found := lt.LookupEncoded(ref.Key)
+	return found
+}
+
+// maintainDelta propagates deletions from the frontier refs outward
+// over the support index.
+func (s *System) maintainDelta(report *MaintenanceReport, frontier []model.TupleRef) error {
+	ix := s.support
+
+	// Affected subgraph: the forward closure of the frontier through
+	// support edges. Every derivation consuming an affected tuple has
+	// all its targets affected, so the derivations targeting affected
+	// tuples (collected below) cover every derivation that can lose a
+	// source.
+	affected := make([]int32, 0, len(frontier))
+	inAffected := make(map[int32]bool, len(frontier))
+	addAffected := func(t int32) {
+		if !inAffected[t] {
+			inAffected[t] = true
+			affected = append(affected, t)
+		}
+	}
+	for _, ref := range frontier {
+		// Interning a frontier ref the index has never seen is fine:
+		// it simply has no adjacency, so only its own public row is
+		// checked.
+		addAffected(ix.tupleIDRef(ref))
+	}
+	for qi := 0; qi < len(affected); qi++ {
+		for e := ix.usesHead[affected[qi]]; e != -1; e = ix.edgeNext[e] {
+			for _, tgt := range ix.targets(&ix.derivs[ix.edgeDeriv[e]]) {
+				addAffected(tgt)
+			}
+		}
+	}
+	var derivSet []int32
+	pending := make(map[int32]int)
+	for _, t := range affected {
+		for e := ix.incomingHead[t]; e != -1; e = ix.edgeNext[e] {
+			di := ix.edgeDeriv[e]
+			if _, seen := pending[di]; !seen {
+				pending[di] = 0
+				derivSet = append(derivSet, di)
+			}
+		}
+	}
+	report.TuplesVisited = len(affected)
+	report.DerivationsVisited = len(derivSet)
+
+	// Localized derivability by support counting: a derivation's
+	// pending count is the number of its source occurrences that sit in
+	// the affected set and are not yet known derivable (sources outside
+	// the set kept their derivability by construction). Leaves seed the
+	// worklist; each count reaching zero fires the derivation and marks
+	// its targets. Tuples never marked — including whole cyclic
+	// components with no external support left — are underivable.
+	derivable := make(map[int32]bool)
+	for _, t := range affected {
+		if s.IsLeafRef(ix.refs[t]) {
+			derivable[t] = true
+		}
+	}
+	var fire []int32
+	for _, di := range derivSet {
+		p := 0
+		for _, src := range ix.sources(&ix.derivs[di]) {
+			if inAffected[src] && !derivable[src] {
+				p++
+			}
+		}
+		pending[di] = p
+		if p == 0 {
+			fire = append(fire, di)
+		}
+	}
+	for len(fire) > 0 {
+		di := fire[len(fire)-1]
+		fire = fire[:len(fire)-1]
+		for _, tgt := range ix.targets(&ix.derivs[di]) {
+			if !inAffected[tgt] || derivable[tgt] {
+				continue
+			}
+			derivable[tgt] = true
+			for e := ix.usesHead[tgt]; e != -1; e = ix.edgeNext[e] {
+				ui := ix.edgeDeriv[e]
+				if p, tracked := pending[ui]; tracked {
+					p--
+					pending[ui] = p
+					if p == 0 {
+						fire = append(fire, ui)
+					}
+				}
+			}
+		}
+	}
+
+	// Remove invalidated derivations (some source underivable). The
+	// provenance row is deleted for materialized mappings; a virtual
+	// row vanishes with its source tuple, which the same pass deletes.
+	for _, di := range derivSet {
+		if pending[di] == 0 {
+			continue
+		}
+		d := &ix.derivs[di]
+		if d.virtual {
+			report.DerivationsDeleted++
+		} else {
+			removed, err := s.DB.MustTable(s.Prov[d.mapping].TableName).Delete(d.row)
+			if err != nil {
+				return err
+			}
+			if removed {
+				report.DerivationsDeleted++
+			}
+		}
+		report.DeletedDerivations = append(report.DeletedDerivations, DeletedDerivation{Mapping: d.mapping, Row: d.row})
+		ix.remove(di)
+	}
+
+	// Remove underivable tuples. Every derivation touching them was
+	// invalid (a valid one would have fired and marked them), so their
+	// adjacency lists are empty by now.
+	for _, t := range affected {
+		if derivable[t] {
+			continue
+		}
+		ref := ix.refs[t]
+		if tbl, ok := s.DB.Table(ref.Rel); ok {
+			removed, err := tbl.DeleteEncoded(ref.Key)
+			if err != nil {
+				return err
+			}
+			if removed {
+				report.TuplesDeleted++
+				report.DeletedTuples = append(report.DeletedTuples, ref)
+			}
+		}
+	}
+	return nil
+}
+
+// MaintainLegacy recomputes derivability over the whole provenance
+// graph — reconstructed inline from every provenance row — and removes
+// underivable tuples and invalidated derivations. This is the pre-
+// support-index propagator, kept for differential testing against
+// maintainDelta; its cost is proportional to the database. It leaves
+// the support index stale, so it is invalidated here and rebuilt on
+// the next DeleteLocal.
+func (s *System) MaintainLegacy(report *MaintenanceReport) error {
+	s.support = nil
 	type derivation struct {
 		mapping string
 		row     model.Tuple
@@ -115,6 +376,8 @@ func (s *System) maintain(report *MaintenanceReport) error {
 			return true
 		})
 	}
+	report.TuplesVisited = len(keys)
+	report.DerivationsVisited = len(derivs)
 
 	// Monotone fixpoint of derivability (the boolean semiring of Table
 	// 1) from the current local tables.

@@ -190,6 +190,71 @@ func EncodeDatums(ds []Datum) string {
 	return sb.String()
 }
 
+// DecodeDatums parses a canonical encoding produced by EncodeDatums
+// back into the datum sequence. The encoding is self-delimiting (every
+// datum ends with '|', strings carry a length prefix), so round-
+// tripping is exact; malformed input returns an error.
+func DecodeDatums(enc string) ([]Datum, error) {
+	var out []Datum
+	for len(enc) > 0 {
+		tag := enc[0]
+		enc = enc[1:]
+		switch tag {
+		case 'n', 'T', 'F':
+			if len(enc) == 0 || enc[0] != '|' {
+				return nil, fmt.Errorf("model: truncated datum encoding")
+			}
+			enc = enc[1:]
+			switch tag {
+			case 'n':
+				out = append(out, nil)
+			case 'T':
+				out = append(out, true)
+			case 'F':
+				out = append(out, false)
+			}
+		case 'i', 'f':
+			sep := strings.IndexByte(enc, '|')
+			if sep < 0 {
+				return nil, fmt.Errorf("model: truncated datum encoding")
+			}
+			body := enc[:sep]
+			enc = enc[sep+1:]
+			if tag == 'i' {
+				v, err := strconv.ParseInt(body, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("model: bad int encoding %q", body)
+				}
+				out = append(out, v)
+			} else {
+				v, err := strconv.ParseFloat(body, 64)
+				if err != nil {
+					return nil, fmt.Errorf("model: bad float encoding %q", body)
+				}
+				out = append(out, v)
+			}
+		case 's':
+			colon := strings.IndexByte(enc, ':')
+			if colon < 0 {
+				return nil, fmt.Errorf("model: truncated string encoding")
+			}
+			n, err := strconv.Atoi(enc[:colon])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("model: bad string length %q", enc[:colon])
+			}
+			rest := enc[colon+1:]
+			if len(rest) < n+1 || rest[n] != '|' {
+				return nil, fmt.Errorf("model: truncated string encoding")
+			}
+			out = append(out, rest[:n])
+			enc = rest[n+1:]
+		default:
+			return nil, fmt.Errorf("model: unknown datum tag %q", tag)
+		}
+	}
+	return out, nil
+}
+
 // FormatDatum renders d for human consumption (query output, DOT labels).
 func FormatDatum(d Datum) string {
 	switch v := d.(type) {

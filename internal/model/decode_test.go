@@ -1,0 +1,47 @@
+package model
+
+import "testing"
+
+func TestDecodeDatumsRoundtrip(t *testing.T) {
+	cases := [][]Datum{
+		nil,
+		{int64(0)},
+		{int64(-42), "hello", true, false, nil, 3.25},
+		{"", "with|pipe", "12:34", "s5:x"},
+		{int64(9_000_000_000), -1.5e-7},
+	}
+	for _, ds := range cases {
+		enc := EncodeDatums(ds)
+		got, err := DecodeDatums(enc)
+		if err != nil {
+			t.Fatalf("DecodeDatums(%q): %v", enc, err)
+		}
+		if len(got) != len(ds) {
+			t.Fatalf("DecodeDatums(%q) = %v, want %v", enc, got, ds)
+		}
+		for i := range ds {
+			if !Equal(got[i], ds[i]) {
+				t.Errorf("datum %d: got %v, want %v", i, got[i], ds[i])
+			}
+		}
+	}
+}
+
+func TestDecodeDatumsMalformed(t *testing.T) {
+	for _, enc := range []string{"i", "i12", "x|", "s", "s3:ab", "s-1:|", "sx:|", "fnope|", "T"} {
+		if _, err := DecodeDatums(enc); err == nil {
+			t.Errorf("DecodeDatums(%q) should fail", enc)
+		}
+	}
+}
+
+func TestTupleRefKeyDatums(t *testing.T) {
+	ref := RefFromKey("R", []Datum{int64(7), "cn1"})
+	ds, err := ref.KeyDatums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 || !Equal(ds[0], int64(7)) || !Equal(ds[1], "cn1") {
+		t.Errorf("KeyDatums = %v", ds)
+	}
+}

@@ -44,3 +44,10 @@ func RefFromKey(rel string, key []Datum) TupleRef {
 func (r TupleRef) String() string {
 	return r.Rel + "[" + r.Key + "]"
 }
+
+// KeyDatums decodes the ref's key attributes back into datums, for
+// callers that need to look the tuple up in storage or render it
+// (maintenance reports list deleted tuples as refs).
+func (r TupleRef) KeyDatums() ([]Datum, error) {
+	return DecodeDatums(r.Key)
+}

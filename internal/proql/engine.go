@@ -179,3 +179,16 @@ func (e *Engine) Graph() (*provgraph.Graph, error) {
 // InvalidateGraph drops the cached graph (call after new exchange
 // runs).
 func (e *Engine) InvalidateGraph() { e.graph = nil }
+
+// MaintainGraph applies an incremental-deletion report to the cached
+// provenance graph in place, so a deletion costs a subgraph patch
+// instead of a full rebuild on the next graph-backend query. A no-op
+// when no graph is cached. Reports without deletion lists (the legacy
+// propagator's) cannot be patched in; callers holding one must
+// InvalidateGraph instead.
+func (e *Engine) MaintainGraph(report *exchange.MaintenanceReport) {
+	if e.graph == nil || report == nil {
+		return
+	}
+	provgraph.Apply(e.graph, e.Sys, report)
+}

@@ -1,0 +1,174 @@
+// Incremental graph maintenance: rather than rebuilding the whole
+// provenance graph after a deletion (Build is proportional to the
+// database), the deletion hooks below remove exactly the tuple and
+// derivation nodes an exchange.MaintenanceReport says were deleted,
+// keeping the adjacency and the label/mapping indexes coherent — the
+// graph-side counterpart of the delta-driven propagator.
+
+package provgraph
+
+import (
+	"repro/internal/exchange"
+	"repro/internal/model"
+)
+
+// Apply updates a built graph in place after an incremental deletion:
+// the report's deleted derivations and tuples are removed (with their
+// adjacency), and the leaf marks of surviving tuples whose local
+// contribution was deleted are cleared. Only reports produced by the
+// delta-driven DeleteLocal carry the deletion lists; MaintainLegacy
+// reports leave them empty, in which case Apply is a no-op and the
+// caller must rebuild.
+func Apply(g *Graph, sys *exchange.System, report *exchange.MaintenanceReport) {
+	if report == nil {
+		return
+	}
+	deadD := make(map[string]bool, len(report.DeletedDerivations))
+	for _, dd := range report.DeletedDerivations {
+		deadD[derivID(dd.Mapping, dd.Row)] = true
+	}
+	deadT := make(map[model.TupleRef]bool, len(report.DeletedTuples))
+	for _, ref := range report.DeletedTuples {
+		deadT[ref] = true
+	}
+	if len(deadD) > 0 || len(deadT) > 0 {
+		g.removeBatch(deadT, deadD)
+	}
+	// A deleted local contribution demotes a surviving tuple from leaf
+	// status (it may remain derivable through mappings).
+	for _, ref := range report.DeletedLocals {
+		if tn, ok := g.tuples[ref]; ok {
+			tn.Leaf = sys.IsLeafRef(ref)
+		}
+	}
+}
+
+// RemoveDerivation deletes one derivation node, splicing it out of its
+// source and target tuples' adjacency and the mapping index. It
+// reports whether the node existed.
+func (g *Graph) RemoveDerivation(id string) bool {
+	if _, ok := g.derivs[id]; !ok {
+		return false
+	}
+	g.removeBatch(nil, map[string]bool{id: true})
+	return true
+}
+
+// RemoveTuple deletes one tuple node together with every derivation
+// touching it (a derivation without one of its tuples is meaningless),
+// keeping all indexes coherent. It reports whether the node existed.
+func (g *Graph) RemoveTuple(ref model.TupleRef) bool {
+	if _, ok := g.tuples[ref]; !ok {
+		return false
+	}
+	g.removeBatch(map[model.TupleRef]bool{ref: true}, map[string]bool{})
+	return true
+}
+
+// removeBatch removes the given tuple refs and derivation ids in one
+// pass. Derivations incident to a removed tuple are cascaded into the
+// dead set (deadD is extended in place). Node ordinals are never
+// reused, so ordinal-keyed consumers stay collision-free.
+func (g *Graph) removeBatch(deadT map[model.TupleRef]bool, deadD map[string]bool) {
+	// Cascade: a removed tuple takes its incident derivations along.
+	for ref := range deadT {
+		if tn, ok := g.tuples[ref]; ok {
+			for _, d := range tn.Derivations {
+				deadD[d.ID] = true
+			}
+			for _, d := range tn.Uses {
+				deadD[d.ID] = true
+			}
+		}
+	}
+	// Splice dead derivations out of surviving tuples' adjacency.
+	touched := make(map[*TupleNode]bool)
+	deadMappings := make(map[string]bool)
+	for id := range deadD {
+		d, ok := g.derivs[id]
+		if !ok {
+			continue
+		}
+		deadMappings[d.Mapping] = true
+		for _, tn := range d.Sources {
+			if !deadT[tn.Ref] {
+				touched[tn] = true
+			}
+		}
+		for _, tn := range d.Targets {
+			if !deadT[tn.Ref] {
+				touched[tn] = true
+			}
+		}
+	}
+	for tn := range touched {
+		tn.Uses = filterDerivs(tn.Uses, deadD)
+		tn.Derivations = filterDerivs(tn.Derivations, deadD)
+	}
+	// Drop dead derivations from the registry, order, and mapping
+	// index.
+	removedD := false
+	for id := range deadD {
+		if _, ok := g.derivs[id]; ok {
+			delete(g.derivs, id)
+			removedD = true
+		}
+	}
+	if removedD {
+		kept := g.derivOrder[:0]
+		for _, id := range g.derivOrder {
+			if _, ok := g.derivs[id]; ok {
+				kept = append(kept, id)
+			}
+		}
+		g.derivOrder = kept
+		for m := range deadMappings {
+			keptD := g.byMapping[m][:0]
+			for _, d := range g.byMapping[m] {
+				if !deadD[d.ID] {
+					keptD = append(keptD, d)
+				}
+			}
+			g.byMapping[m] = keptD
+		}
+	}
+	// Drop dead tuples likewise.
+	removedT := false
+	deadRels := make(map[string]bool)
+	for ref := range deadT {
+		if _, ok := g.tuples[ref]; ok {
+			delete(g.tuples, ref)
+			deadRels[ref.Rel] = true
+			removedT = true
+		}
+	}
+	if removedT {
+		kept := g.tupleOrder[:0]
+		for _, ref := range g.tupleOrder {
+			if _, ok := g.tuples[ref]; ok {
+				kept = append(kept, ref)
+			}
+		}
+		g.tupleOrder = kept
+		for rel := range deadRels {
+			keptT := g.byRel[rel][:0]
+			for _, tn := range g.byRel[rel] {
+				if !deadT[tn.Ref] {
+					keptT = append(keptT, tn)
+				}
+			}
+			g.byRel[rel] = keptT
+		}
+	}
+}
+
+// filterDerivs drops every dead derivation from list in place.
+func filterDerivs(list []*DerivNode, dead map[string]bool) []*DerivNode {
+	kept := list[:0]
+	for _, d := range list {
+		if !dead[d.ID] {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

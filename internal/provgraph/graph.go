@@ -71,6 +71,12 @@ type Graph struct {
 	// byMapping indexes derivation nodes by mapping name, in insertion
 	// order.
 	byMapping map[string][]*DerivNode
+	// nextTupleOrd and nextDerivOrd are monotone ordinal counters,
+	// never reused: after incremental removals (Apply) the order
+	// slices shrink, so slice lengths would hand out colliding
+	// ordinals.
+	nextTupleOrd int
+	nextDerivOrd int
 }
 
 // New returns an empty graph.
@@ -88,7 +94,8 @@ func (g *Graph) Tuple(ref model.TupleRef) *TupleNode {
 	if n, ok := g.tuples[ref]; ok {
 		return n
 	}
-	n := &TupleNode{Ref: ref, ord: len(g.tupleOrder)}
+	n := &TupleNode{Ref: ref, ord: g.nextTupleOrd}
+	g.nextTupleOrd++
 	g.tuples[ref] = n
 	g.tupleOrder = append(g.tupleOrder, ref)
 	g.byRel[ref.Rel] = append(g.byRel[ref.Rel], n)
@@ -107,7 +114,8 @@ func (g *Graph) AddDerivation(id, mapping string, sources, targets []model.Tuple
 	if d, ok := g.derivs[id]; ok {
 		return d
 	}
-	d := &DerivNode{ID: id, Mapping: mapping, ord: len(g.derivOrder)}
+	d := &DerivNode{ID: id, Mapping: mapping, ord: g.nextDerivOrd}
+	g.nextDerivOrd++
 	for _, ref := range sources {
 		tn := g.Tuple(ref)
 		d.Sources = append(d.Sources, tn)

@@ -146,7 +146,17 @@ func (t *Table) Delete(key []model.Datum) (bool, error) {
 	if t.pk == nil {
 		return false, fmt.Errorf("relstore: %s has no primary key", t.Schema.Name)
 	}
-	enc := model.EncodeDatums(key)
+	return t.DeleteEncoded(model.EncodeDatums(key))
+}
+
+// DeleteEncoded is Delete for callers that already hold the canonical
+// key encoding (model.EncodeDatums of the key attributes) — deletion
+// propagation addresses tuples by model.TupleRef, whose Key field is
+// exactly this encoding, so the delete needs no re-encoding round trip.
+func (t *Table) DeleteEncoded(enc string) (bool, error) {
+	if t.pk == nil {
+		return false, fmt.Errorf("relstore: %s has no primary key", t.Schema.Name)
+	}
 	idx, ok := t.pk[enc]
 	if !ok {
 		return false, nil
@@ -176,7 +186,16 @@ func (t *Table) LookupKey(key []model.Datum) (model.Tuple, bool) {
 	if t.pk == nil {
 		return nil, false
 	}
-	idx, ok := t.pk[model.EncodeDatums(key)]
+	return t.LookupEncoded(model.EncodeDatums(key))
+}
+
+// LookupEncoded is LookupKey for callers holding the canonical key
+// encoding (a model.TupleRef's Key field).
+func (t *Table) LookupEncoded(enc string) (model.Tuple, bool) {
+	if t.pk == nil {
+		return nil, false
+	}
+	idx, ok := t.pk[enc]
 	if !ok {
 		return nil, false
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/asr"
+	"repro/internal/model"
 	"repro/internal/proql"
 )
 
@@ -265,6 +266,88 @@ func RunASRSweep(cfg Config, maxLens []int, kinds []asr.Kind, runs int) (*ASRExp
 		}
 	}
 	return exp, nil
+}
+
+// DeletionRow is one point of the use-case-Q5 experiment: the time to
+// propagate one base-tuple deletion with the delta-driven propagator
+// (support index), with the legacy whole-graph derivability walk, and
+// by rebuilding the exchange from scratch, plus the size of the
+// affected subgraph the delta walk visited versus the instance size.
+type DeletionRow struct {
+	Peers              int
+	MaintainTime       time.Duration
+	LegacyTime         time.Duration
+	RebuildTime        time.Duration
+	TuplesVisited      int
+	DerivationsVisited int
+	InstanceSize       int
+}
+
+// RunDeletion measures incremental deletion at Fig.-10-style scales:
+// a chain of n peers with data at the far end, deleting one base tuple
+// of the top peer so the whole propagation chain is affected. Each run
+// deletes a different key, so every measurement does the same amount
+// of work on a warm system.
+func RunDeletion(peerCounts []int, dataPeers, baseSize, runs int, seed int64) ([]DeletionRow, error) {
+	var out []DeletionRow
+	for _, n := range peerCounts {
+		cfg := Config{
+			Topology:  Chain,
+			Profile:   ProfileLinear,
+			NumPeers:  n,
+			DataPeers: UpstreamDataPeers(n, dataPeers),
+			BaseSize:  baseSize,
+			Seed:      seed,
+		}
+		row := DeletionRow{Peers: n}
+		src := n - 1
+		key := func(i int) []model.Datum {
+			return []model.Datum{int64(src)*10_000_000 + int64(i%baseSize)}
+		}
+
+		set, err := Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		row.InstanceSize = set.InstanceSize()
+		i := 0
+		row.MaintainTime, err = timed(runs, func() error {
+			rep, err := set.Sys.DeleteLocal(ARel(src), key(i))
+			i++
+			if rep != nil {
+				row.TuplesVisited = rep.TuplesVisited
+				row.DerivationsVisited = rep.DerivationsVisited
+			}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		legacySet, err := Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		j := 0
+		row.LegacyTime, err = timed(runs, func() error {
+			_, err := legacySet.Sys.DeleteLocalLegacy(ARel(src), key(j))
+			j++
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		row.RebuildTime, err = timed(runs, func() error {
+			_, err := Build(cfg)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
 }
 
 // AnnotationOverheadRow compares graph projection alone against

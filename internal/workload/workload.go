@@ -89,6 +89,9 @@ type Config struct {
 	LegacyEngine bool
 	// Parallelism is the compiled engine's worker count (0/1 serial).
 	Parallelism int
+	// NoSupportIndex disables hook-maintenance of the deletion-support
+	// index during exchange (index-overhead ablations).
+	NoSupportIndex bool
 }
 
 // DefaultLegacyEngine and DefaultParallelism are process-wide engine
@@ -294,6 +297,7 @@ func Build(cfg Config) (*Setting, error) {
 	sys, err := exchange.NewSystem(schema, exchange.Options{
 		UseLegacyEngine: cfg.LegacyEngine,
 		Parallelism:     cfg.Parallelism,
+		NoSupportIndex:  cfg.NoSupportIndex,
 	})
 	if err != nil {
 		return nil, err
