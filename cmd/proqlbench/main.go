@@ -47,6 +47,7 @@ type scaleParams struct {
 	delPeers   []int
 	delData    int
 	delBase    int
+	insBatch   int
 	runs       int
 	seed       int64
 }
@@ -68,8 +69,9 @@ func defaultScale() scaleParams {
 		fig12Peers: 8, fig12Data: 4, fig12Lens: []int{1, 2, 3, 4, 5, 6, 7},
 		fig13Peers: 20, fig13Data: 4, fig13Lens: []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
 		delPeers: []int{10, 20, 40}, delData: 2, delBase: 500,
-		runs: 5,
-		seed: 42,
+		insBatch: 5,
+		runs:     5,
+		seed:     42,
 	}
 }
 
@@ -90,7 +92,7 @@ func paperScale() scaleParams {
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, annot, del, or all")
+		exp    = flag.String("exp", "all", "experiment: table1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, annot, del, ins, or all")
 		scale  = flag.String("scale", "default", "default or paper")
 		engine = flag.String("engine", "compiled", "datalog engine for update exchange: legacy or compiled")
 		par    = flag.Int("par", 0, "compiled-engine worker count for exchange firing passes (0 = serial)")
@@ -148,6 +150,26 @@ func main() {
 	})
 	run("annot", runAnnot)
 	run("del", runDeletion)
+	run("ins", runInsertion)
+}
+
+// runInsertion is the insertion-side twin of the Q5 experiment: a
+// small batch of new base tuples propagated by the Δ-seeded RunDelta,
+// by a full re-run of the compiled fixpoint, and by full re-exchange.
+func runInsertion(p scaleParams) error {
+	fmt.Printf("Incremental insertion: chain, base %d at %d upstream peers, %d fresh tuples inserted\n",
+		p.delBase, p.delData, p.insBatch)
+	fmt.Println("peers  delta-run  full-rerun  rebuild  delta-derivs  instance")
+	rows, err := workload.RunInsertion(p.delPeers, p.delData, p.delBase, p.insBatch, p.runs, p.seed)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%5d  %9v  %10v  %7v  %12d  %9d\n",
+			r.Peers, r.DeltaTime, r.FullRerunTime, r.RebuildTime,
+			r.DeltaDerivations, r.InstanceSize)
+	}
+	return nil
 }
 
 // runDeletion is the use-case-Q5 experiment: one base-tuple deletion

@@ -70,13 +70,24 @@ func (s *System) InsertLocal(rel string, rows ...model.Tuple) error {
 	return s.ex.InsertLocal(rel, rows...)
 }
 
-// Run executes update exchange to fixpoint, materializing all peer
-// instances and their provenance, and invalidates cached state.
+// Run executes update exchange, materializing all peer instances and
+// their provenance. The first call runs the full fixpoint; afterwards
+// the engine's state persists, so subsequent calls propagate only the
+// rows inserted since the previous run (a Δ-seeded RunDelta whose cost
+// scales with the affected derivations, not the database) and the
+// cached provenance graph is patched in place instead of rebuilt.
+// After a deletion the engine state is stale and Run transparently
+// falls back to the full fixpoint.
 func (s *System) Run() error {
-	if err := s.ex.Run(); err != nil {
+	report, err := s.ex.RunDelta()
+	if err != nil {
 		return err
 	}
-	s.engine.InvalidateGraph()
+	if report.Full {
+		s.engine.InvalidateGraph()
+	} else {
+		s.engine.MaintainGraphInsert(report)
+	}
 	if len(s.index.Defs()) > 0 {
 		return s.index.Materialize()
 	}

@@ -1,0 +1,108 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// TestFacadeRunPatchesGraphOnInsert: after the first full run, the
+// facade's Run propagates new local rows with the Δ-seeded RunDelta
+// and patches the cached provenance graph in place; graph-backend
+// queries afterwards must see exactly what a fresh engine over the
+// same storage sees.
+func TestFacadeRunPatchesGraphOnInsert(t *testing.T) {
+	sys := openExample(t)
+	q := `FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x`
+	if _, err := sys.Query(q); err != nil { // warm the graph cache
+		t.Fatal(err)
+	}
+	gBefore, err := sys.Engine().Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.InsertLocal("A", model.Tuple{int64(3), "sn3", int64(4)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	gAfter, err := sys.Engine().Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gAfter != gBefore {
+		t.Fatal("incremental insertion rebuilt the cached graph instead of patching it")
+	}
+	res, err := sys.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.SortedRefs("x")
+
+	fresh := core.Wrap(sys.Exchange())
+	wantRes, err := fresh.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantRes.SortedRefs("x")
+	if len(got) != len(want) {
+		t.Fatalf("patched engine returned %d refs, fresh engine %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("ref %d: patched %v, fresh %v", i, got[i], want[i])
+		}
+	}
+	// The new A(3) row derives O(sn3,4) via m4.
+	found := false
+	for _, ref := range got {
+		if ref == model.RefFromKey("O", []model.Datum{"sn3", int64(4)}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("newly derived O tuple missing from patched query results: %v", got)
+	}
+}
+
+// TestFacadeRunAfterDeleteFallsBackToFullRun: a deletion invalidates
+// the persistent engine state, so the next Run is a full re-exchange
+// and the graph cache is dropped (not patched) — and results still
+// match a fresh engine.
+func TestFacadeRunAfterDeleteFallsBackToFullRun(t *testing.T) {
+	sys := openExample(t)
+	q := `FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x`
+	if _, err := sys.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.DeleteLocal("A", []model.Datum{int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.InsertLocal("A", model.Tuple{int64(1), "sn1", int64(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.SortedRefs("x")
+	fresh := core.Wrap(sys.Exchange())
+	wantRes, err := fresh.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantRes.SortedRefs("x")
+	if len(got) != len(want) {
+		t.Fatalf("got %d refs, fresh engine %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("ref %d: got %v, fresh %v", i, got[i], want[i])
+		}
+	}
+}

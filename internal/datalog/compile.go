@@ -36,7 +36,22 @@ type Program struct {
 	// maxSlots is the widest rule's slot count, sizing the executor's
 	// reusable binding buffers.
 	maxSlots int
+	// stateValid reports that the predicate journals, indexes, and age
+	// watermarks mirror the backing tables exactly (set after a
+	// successful run, cleared by InvalidateState and on run errors), so
+	// a delta-seeded run may extend them instead of reseeding.
+	stateValid bool
 }
+
+// StateValid reports whether the program's persistent evaluation state
+// (fact journals, hash indexes, age watermarks) is coherent with the
+// backing tables, i.e. whether RunProgramDelta may be used.
+func (p *Program) StateValid() bool { return p.stateValid }
+
+// InvalidateState marks the persistent evaluation state stale. Callers
+// must invoke it after mutating any backing table outside a run (e.g.
+// deletion propagation); the next RunProgram reseeds from the tables.
+func (p *Program) InvalidateState() { p.stateValid = false }
 
 // predState is one predicate's storage inside the engine: an
 // append-only journal of the predicate's facts partitioned by age

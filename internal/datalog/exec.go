@@ -17,6 +17,28 @@ import (
 // vars per firing.
 type SlotHook func(rule *Rule, vars []string, slots []model.Datum)
 
+// HeadInsert describes one head-atom insertion of a firing, surfaced to
+// HeadHook consumers: the head predicate, the materialized row, whether
+// the backing table actually stored it (false when the primary key
+// already existed), and — for keyed predicates — the row's canonical
+// key encoding, byte-identical to model.EncodeDatums of the key
+// attributes (a model.TupleRef's Key). Consumers that intern tuples by
+// encoded key (update exchange's support index) reuse this instead of
+// re-encoding the head key from the binding. EncKey and the HeadInsert
+// slice are reused buffers, valid only during the hook invocation.
+type HeadInsert struct {
+	Pred     string
+	EncKey   []byte
+	Row      model.Tuple
+	Inserted bool
+}
+
+// HeadHook is the firing callback variant that also receives the head
+// insertions. When set it replaces Hook, and the heads are inserted
+// BEFORE the callback runs (Hook fires before insertion) — consumers
+// needing the insertion results accept that ordering.
+type HeadHook func(rule *Rule, vars []string, slots []model.Datum, heads []HeadInsert)
+
 // Engine is the compiled semi-naive Datalog engine: rules are lowered
 // once into slot-based join programs (compile.go) and evaluated to
 // fixpoint over flat binding arrays, probing incremental hash indexes
@@ -27,6 +49,10 @@ type SlotHook func(rule *Rule, vars []string, slots []model.Datum)
 type Engine struct {
 	DB   *relstore.Database
 	Hook SlotHook
+	// HookHeads, when non-nil, is invoked instead of Hook and
+	// additionally receives the firing's head insertions (with their
+	// canonical key encodings). See HeadHook for ordering semantics.
+	HookHeads HeadHook
 	// Parallelism is the worker count for the firing passes; values
 	// below 2 run serially.
 	Parallelism int
@@ -65,15 +91,66 @@ func BindingFromSlots(vars []string, slots []model.Datum) Binding {
 // RunProgram evaluates a compiled program to fixpoint. All facts
 // already present in the database are the first round's Δ; the program
 // may be re-run after the database changes (state is reseeded from the
-// tables every call).
+// tables every call). A successful run leaves the journals, indexes,
+// and watermarks mirroring the tables exactly (StateValid), so a
+// subsequent RunProgramDelta can extend the fixpoint from newly
+// inserted facts alone.
 func (e *Engine) RunProgram(p *Program) error {
 	if p.db != e.DB {
 		return fmt.Errorf("datalog: program was compiled against a different database")
 	}
+	p.stateValid = false
 	e.Iterations, e.Derivations = 0, 0
 	for _, ps := range p.preds {
 		ps.reset()
 	}
+	if err := e.fixpoint(p); err != nil {
+		return err
+	}
+	p.stateValid = true
+	return nil
+}
+
+// RunProgramDelta extends a previous run's fixpoint from newly
+// inserted base facts alone: the delta rows (per predicate name) seed
+// the first semi-naive round as Δ while everything derived before
+// stays OLD, so the rounds enumerate exactly the derivations involving
+// at least one new fact — inserting k rows costs O(affected
+// derivations), not O(database). Requirements: the program's state
+// must be valid (a successful full run with no table mutations since —
+// see StateValid/InvalidateState), and the delta rows must already be
+// stored in their backing tables but absent from the journals (i.e.
+// freshly inserted, deduplicated by the caller). Hooks fire only for
+// the new derivations. On error the state is invalidated and the next
+// run must be a full RunProgram.
+func (e *Engine) RunProgramDelta(p *Program, delta map[string][]model.Tuple) error {
+	if p.db != e.DB {
+		return fmt.Errorf("datalog: program was compiled against a different database")
+	}
+	if !p.stateValid {
+		return fmt.Errorf("datalog: delta run requires valid persistent state (run RunProgram first)")
+	}
+	e.Iterations, e.Derivations = 0, 0
+	for name, rows := range delta {
+		id, ok := p.predID[name]
+		if !ok {
+			p.stateValid = false
+			return fmt.Errorf("datalog: delta predicate %q not in program", name)
+		}
+		ps := p.preds[id]
+		ps.rows = append(ps.rows, rows...)
+		ps.deltaEnd = len(ps.rows)
+	}
+	if err := e.fixpoint(p); err != nil {
+		p.stateValid = false
+		return err
+	}
+	return nil
+}
+
+// fixpoint runs semi-naive rounds until no predicate has Δ rows. On
+// entry rows[oldEnd:deltaEnd] of each predicate is the seed Δ.
+func (e *Engine) fixpoint(p *Program) error {
 	x := &executor{eng: e, prog: p}
 	for {
 		work := false
@@ -146,6 +223,14 @@ type executor struct {
 	// apply() runs only on the coordinating goroutine, so one arena
 	// suffices even in parallel mode.
 	arena model.TupleArena
+	// heads and encArena are the reused buffers HookHeads firings
+	// materialize head insertions into. Encoded keys are copied out of
+	// the tables' scratch buffers into encArena (offsets first, slices
+	// materialized after all heads inserted, since appends may move the
+	// arena).
+	heads    []HeadInsert
+	headOffs []int
+	encArena []byte
 }
 
 // fireFn receives each completed firing; the serial path applies it
@@ -172,9 +257,13 @@ func (x *executor) roundSerial() error {
 
 // apply records one distinct firing: bump stats, invoke the hook, and
 // insert the instantiated heads (new rows join the journal's NEW
-// region, invisible until the round ends).
+// region, invisible until the round ends). With HookHeads set the
+// heads are inserted first and surfaced to the callback.
 func (x *executor) apply(cr *compiledRule, slots []model.Datum) error {
 	x.eng.Derivations++
+	if x.eng.HookHeads != nil {
+		return x.applyWithHeads(cr, slots)
+	}
 	if x.eng.Hook != nil {
 		x.eng.Hook(&cr.rule, cr.slotVars, slots)
 	}
@@ -196,6 +285,59 @@ func (x *executor) apply(cr *compiledRule, slots []model.Datum) error {
 			h.pred.rows = append(h.pred.rows, row)
 		}
 	}
+	return nil
+}
+
+// applyWithHeads is apply for the HookHeads mode: insert every head
+// (collecting the insertion results and pk encodings), then invoke the
+// callback once with the completed HeadInsert batch. Single-head rules
+// (the common case) hand the table's scratch encoding through
+// directly; only multi-head rules copy encodings into the executor's
+// arena, since a later head insert into the same table would clobber
+// the earlier scratch.
+func (x *executor) applyWithHeads(cr *compiledRule, slots []model.Datum) error {
+	x.heads = x.heads[:0]
+	multi := len(cr.heads) > 1
+	if multi {
+		x.headOffs = x.headOffs[:0]
+		x.encArena = x.encArena[:0]
+	}
+	for hi := range cr.heads {
+		h := &cr.heads[hi]
+		row := x.arena.Alloc(len(h.cols))
+		for i, c := range h.cols {
+			if c.isConst {
+				row[i] = c.konst
+			} else {
+				row[i] = slots[c.slot]
+			}
+		}
+		enc, inserted, err := h.pred.table.InsertKeyed(row)
+		if err != nil {
+			return err
+		}
+		if inserted {
+			h.pred.rows = append(h.pred.rows, row)
+		}
+		ins := HeadInsert{Pred: h.pred.name, Row: row, Inserted: inserted}
+		if multi {
+			x.headOffs = append(x.headOffs, len(x.encArena))
+			x.encArena = append(x.encArena, enc...)
+		} else {
+			ins.EncKey = enc
+		}
+		x.heads = append(x.heads, ins)
+	}
+	if multi {
+		for i := range x.heads {
+			end := len(x.encArena)
+			if i+1 < len(x.headOffs) {
+				end = x.headOffs[i+1]
+			}
+			x.heads[i].EncKey = x.encArena[x.headOffs[i]:end]
+		}
+	}
+	x.eng.HookHeads(&cr.rule, cr.slotVars, slots, x.heads)
 	return nil
 }
 

@@ -68,9 +68,32 @@ type System struct {
 	// prog is the exchange program compiled once on first Run and
 	// reused by every subsequent fixpoint over this system; hookPlans
 	// maps each mapping to its provenance table and the binding-slot
-	// positions of its provenance attributes and atom keys.
+	// positions of its provenance attributes and atom keys. eng is the
+	// compiled engine driving it, created alongside prog; its predicate
+	// journals, indexes, and age watermarks persist across runs so
+	// RunDelta can seed a fixpoint from newly inserted rows alone.
 	prog      *datalog.Program
 	hookPlans map[string]hookPlan
+	eng       *datalog.Engine
+	// hookFull is the firing callback maintaining provenance tables,
+	// the support index (reusing the engine-surfaced head keys), and —
+	// during delta runs — the insertion report. hookLean is the
+	// provenance-only variant installed for full runs when no support
+	// index is alive, so exchange skips the head-surfacing machinery
+	// it would not consume.
+	hookFull datalog.HeadHook
+	hookLean datalog.SlotHook
+
+	// pending buffers, per public relation, the local-contribution rows
+	// InsertLocal actually stored since the last run — the Δ seed of
+	// the next RunDelta. deltaReady reports that the engine state still
+	// mirrors the tables (cleared by deletions and run errors, so the
+	// next run falls back to a full fixpoint). collect, when non-nil,
+	// is the report the hooks append insertion effects to (set only
+	// during delta runs).
+	pending    map[string][]model.Tuple
+	deltaReady bool
+	collect    *InsertionReport
 
 	// support is the persistent ref→derivation index DeleteLocal
 	// propagates over. It is populated by the Run hooks as exchange
@@ -182,7 +205,9 @@ func (s *System) virtualizable(m *model.Mapping, vars []string) bool {
 	return true
 }
 
-// InsertLocal adds rows to a relation's local-contribution table.
+// InsertLocal adds rows to a relation's local-contribution table. Rows
+// actually stored (not primary-key duplicates) join the pending delta
+// buffer, so the next RunDelta propagates exactly them.
 func (s *System) InsertLocal(rel string, rows ...model.Tuple) error {
 	r, ok := s.Schema.Relation(rel)
 	if !ok {
@@ -193,8 +218,15 @@ func (s *System) InsertLocal(rel string, rows ...model.Tuple) error {
 		return fmt.Errorf("exchange: no local table for %q", rel)
 	}
 	for _, row := range rows {
-		if _, err := t.Insert(row); err != nil {
+		inserted, err := t.Insert(row)
+		if err != nil {
 			return err
+		}
+		if inserted {
+			if s.pending == nil {
+				s.pending = make(map[string][]model.Tuple)
+			}
+			s.pending[rel] = append(s.pending[rel], row)
 		}
 	}
 	return nil
@@ -228,56 +260,187 @@ func (s *System) Rules() []datalog.Rule {
 // public relation and populating the provenance tables. The default
 // engine is the compiled semi-naive one; the program is compiled once
 // per system and reused by subsequent runs (incremental maintenance
-// re-running the fixpoint pays no recompilation cost).
+// re-running the fixpoint pays no recompilation cost). A successful
+// compiled run leaves the engine's journals mirroring the tables, so
+// the next batch of InsertLocal rows can be propagated by RunDelta
+// instead of a full re-fixpoint.
 func (s *System) Run() error {
 	if s.opts.UseLegacyEngine {
 		return s.runLegacy()
 	}
-	if s.prog == nil {
-		prog, err := datalog.Compile(s.DB, s.Rules())
+	if err := s.ensureCompiled(); err != nil {
+		return err
+	}
+	s.installHooks()
+	s.deltaReady = false
+	if err := s.eng.RunProgram(s.prog); err != nil {
+		return err
+	}
+	s.LastIterations = s.eng.Iterations
+	s.LastDerivations = s.eng.Derivations
+	s.deltaReady = true
+	s.pending = nil // a full run consumed everything the tables hold
+	return nil
+}
+
+// InsertionReport summarizes one RunDelta: what the delta propagation
+// added, so consumers (the cached provenance graph, provgraph.
+// ApplyInsertions) can patch instead of rebuilding.
+type InsertionReport struct {
+	// Full reports that RunDelta fell back to a full exchange — first
+	// run, legacy engine, or engine state invalidated by a deletion.
+	// The insertion lists below are empty then; cache holders must
+	// invalidate rather than patch.
+	Full bool
+
+	// Iterations and Derivations are the engine stats of this run; for
+	// delta runs Derivations counts only the new derivations.
+	Iterations  int
+	Derivations int
+
+	// InsertedLocals lists the refs (public relation + key) of the base
+	// tuples added to local-contribution tables since the last run —
+	// the delta seed. A surviving public tuple gaining a local
+	// contribution becomes a leaf even when nothing else changes.
+	InsertedLocals []model.TupleRef
+	// InsertedTuples lists the public-relation tuples the propagation
+	// newly materialized, with their full rows.
+	InsertedTuples []InsertedTuple
+	// InsertedDerivations lists the new derivations as (mapping,
+	// provenance-relation row) pairs, mirroring DeletedDerivation.
+	InsertedDerivations []InsertedDerivation
+}
+
+// InsertedTuple is one newly materialized public tuple.
+type InsertedTuple struct {
+	Ref model.TupleRef
+	Row model.Tuple
+}
+
+// InsertedDerivation identifies one new derivation: the mapping and its
+// provenance-relation row.
+type InsertedDerivation struct {
+	Mapping string
+	Row     model.Tuple
+}
+
+// RunDelta propagates the pending InsertLocal rows incrementally: the
+// persistent engine state (fact journals, hash indexes, age
+// watermarks) is kept alive between runs, and the semi-naive rounds
+// are seeded from the pending local-delta rows only, so the fixpoint
+// enumerates exactly the new derivations — inserting k rows into an
+// exchanged system costs O(affected derivations), not O(database).
+// The hooks extend the provenance tables and the deletion-support
+// index exactly as a full run would, and the returned report lists
+// everything added. When no valid persistent state exists (first run,
+// legacy engine, or a deletion invalidated it) RunDelta falls back to
+// a full Run and reports Full.
+func (s *System) RunDelta() (*InsertionReport, error) {
+	if s.opts.UseLegacyEngine || !s.deltaReady || s.prog == nil || !s.prog.StateValid() {
+		if err := s.Run(); err != nil {
+			return nil, err
+		}
+		return &InsertionReport{Full: true, Iterations: s.LastIterations, Derivations: s.LastDerivations}, nil
+	}
+	report := &InsertionReport{}
+	if len(s.pending) == 0 {
+		return report, nil
+	}
+	delta := make(map[string][]model.Tuple, len(s.pending))
+	for rel, rows := range s.pending {
+		r, ok := s.Schema.Relation(rel)
+		if !ok {
+			return nil, fmt.Errorf("exchange: unknown relation %q in pending delta", rel)
+		}
+		delta[r.LocalName()] = append(delta[r.LocalName()], rows...)
+		for _, row := range rows {
+			report.InsertedLocals = append(report.InsertedLocals, model.NewTupleRef(r, row))
+		}
+	}
+	// Delta runs always take the head-surfacing hook: the report needs
+	// the inserted head tuples regardless of the support index.
+	s.eng.HookHeads, s.eng.Hook = s.hookFull, nil
+	s.collect = report
+	err := s.eng.RunProgramDelta(s.prog, delta)
+	s.collect = nil
+	if err != nil {
+		s.deltaReady = false
+		return nil, err
+	}
+	s.pending = nil
+	s.LastIterations = s.eng.Iterations
+	s.LastDerivations = s.eng.Derivations
+	report.Iterations = s.eng.Iterations
+	report.Derivations = s.eng.Derivations
+	return report, nil
+}
+
+// invalidateDelta marks the persistent engine state stale (the tables
+// were mutated outside a run — deletion propagation); the next
+// RunDelta falls back to a full fixpoint.
+func (s *System) invalidateDelta() {
+	s.deltaReady = false
+	if s.prog != nil {
+		s.prog.InvalidateState()
+	}
+}
+
+// ensureCompiled compiles the exchange program, the per-mapping hook
+// plans, and the persistent engine with its firing hook, once per
+// System.
+func (s *System) ensureCompiled() error {
+	if s.prog != nil {
+		return nil
+	}
+	prog, err := datalog.Compile(s.DB, s.Rules())
+	if err != nil {
+		return err
+	}
+	plans := make(map[string]hookPlan, len(s.Prov))
+	refPlansOK := true
+	for name, pr := range s.Prov {
+		slots, err := prog.VarSlots(name, pr.Vars)
 		if err != nil {
 			return err
 		}
-		plans := make(map[string]hookPlan, len(s.Prov))
-		refPlansOK := true
-		for name, pr := range s.Prov {
-			slots, err := prog.VarSlots(name, pr.Vars)
-			if err != nil {
-				return err
-			}
-			hp := hookPlan{slots: slots}
-			if !pr.Virtual {
-				hp.table = s.DB.MustTable(pr.TableName)
-			}
-			if atoms, n, err := s.compileRefPlans(prog, name, pr); err == nil {
-				hp.atoms, hp.nSources = atoms, n
-			} else {
-				refPlansOK = false
-			}
+		hp := hookPlan{slots: slots}
+		if !pr.Virtual {
+			hp.table = s.DB.MustTable(pr.TableName)
+		}
+		if atoms, n, err := s.compileRefPlans(prog, name, pr); err == nil {
+			hp.atoms, hp.nSources = atoms, n
+		} else {
+			refPlansOK = false
+		}
+		plans[name] = hp
+	}
+	if !refPlansOK {
+		// Some atom's key terms cannot be recovered from firings
+		// (e.g. a wildcard key term), so the support index cannot
+		// be hook-maintained. Drop it: DeleteLocal rebuilds from
+		// the provenance rows and surfaces the defect as an error
+		// there, exactly as the whole-graph walk did.
+		for name, hp := range plans {
+			hp.atoms, hp.nSources = nil, 0
 			plans[name] = hp
 		}
-		if !refPlansOK {
-			// Some atom's key terms cannot be recovered from firings
-			// (e.g. a wildcard key term), so the support index cannot
-			// be hook-maintained. Drop it: DeleteLocal rebuilds from
-			// the provenance rows and surfaces the defect as an error
-			// there, exactly as the whole-graph walk did.
-			for name, hp := range plans {
-				hp.atoms, hp.nSources = nil, 0
-				plans[name] = hp
-			}
-			s.support = nil
-		}
-		s.prog, s.hookPlans = prog, plans
+		s.support = nil
 	}
+	s.prog, s.hookPlans = prog, plans
+
 	eng := datalog.NewEngine(s.DB)
 	eng.Parallelism = s.opts.Parallelism
 	var arena model.TupleArena
 	var keyBuf []byte
 	var idBuf []int32
-	eng.Hook = func(rule *datalog.Rule, _ []string, slots []model.Datum) {
+	s.hookFull = func(rule *datalog.Rule, _ []string, slots []model.Datum, heads []datalog.HeadInsert) {
 		hp, ok := s.hookPlans[rule.ID]
 		if !ok {
+			// Local copy rule: no provenance, but a delta run wants the
+			// freshly materialized public tuples for graph patching.
+			if s.collect != nil {
+				collectHeads(s.collect, heads)
+			}
 			return
 		}
 		row := arena.Alloc(len(hp.slots))
@@ -297,6 +460,18 @@ func (s *System) Run() error {
 			fresh = inserted
 		} else if s.support != nil {
 			fresh = s.support.markVirtual(rule.ID, row)
+		} else if s.collect != nil {
+			// Virtual mapping with no support index: delta rounds never
+			// re-enumerate a derivation across the system's lifetime,
+			// so every delta firing is new.
+			fresh = true
+		}
+		if s.collect != nil {
+			collectHeads(s.collect, heads)
+			if fresh {
+				s.collect.InsertedDerivations = append(s.collect.InsertedDerivations,
+					InsertedDerivation{Mapping: rule.ID, Row: row})
+			}
 		}
 		if !fresh || s.support == nil || hp.atoms == nil {
 			return
@@ -305,7 +480,7 @@ func (s *System) Run() error {
 			idBuf = make([]int32, len(hp.atoms))
 		}
 		ids := idBuf[:len(hp.atoms)]
-		for i := range hp.atoms {
+		for i := 0; i < hp.nSources; i++ {
 			ap := &hp.atoms[i]
 			keyBuf = keyBuf[:0]
 			for _, c := range ap.cols {
@@ -317,14 +492,58 @@ func (s *System) Run() error {
 			}
 			ids[i] = s.support.tupleID(ap.rel, keyBuf)
 		}
+		// Target atoms are the rule's heads in mapping order: reuse the
+		// primary-key encoding the engine's head insert already
+		// computed instead of re-encoding the key terms from slots.
+		for j := range heads {
+			ids[hp.nSources+j] = s.support.tupleID(heads[j].Pred, heads[j].EncKey)
+		}
 		s.support.add(rule.ID, hp.table == nil, row, ids, hp.nSources)
 	}
-	if err := eng.RunProgram(s.prog); err != nil {
-		return err
+	// The lean hook only materializes provenance rows; it is installed
+	// for full runs with no support index alive, where the engine's
+	// head-surfacing pass would feed nothing.
+	var leanArena model.TupleArena
+	s.hookLean = func(rule *datalog.Rule, _ []string, slots []model.Datum) {
+		hp, ok := s.hookPlans[rule.ID]
+		if !ok || hp.table == nil {
+			return
+		}
+		row := leanArena.Alloc(len(hp.slots))
+		for i, si := range hp.slots {
+			row[i] = slots[si]
+		}
+		if _, err := hp.table.Insert(row); err != nil {
+			panic(fmt.Sprintf("exchange: provenance insert: %v", err))
+		}
 	}
-	s.LastIterations = eng.Iterations
-	s.LastDerivations = eng.Derivations
+	s.eng = eng
 	return nil
+}
+
+// installHooks picks the firing callback for a full run: the head-
+// surfacing hook when a support index consumes the surfaced keys, the
+// lean provenance-only hook otherwise.
+func (s *System) installHooks() {
+	if s.support != nil {
+		s.eng.HookHeads, s.eng.Hook = s.hookFull, nil
+	} else {
+		s.eng.HookHeads, s.eng.Hook = nil, s.hookLean
+	}
+}
+
+// collectHeads appends a firing's freshly inserted head tuples to a
+// delta run's report.
+func collectHeads(report *InsertionReport, heads []datalog.HeadInsert) {
+	for i := range heads {
+		if !heads[i].Inserted {
+			continue
+		}
+		report.InsertedTuples = append(report.InsertedTuples, InsertedTuple{
+			Ref: model.TupleRef{Rel: heads[i].Pred, Key: string(heads[i].EncKey)},
+			Row: heads[i].Row,
+		})
+	}
 }
 
 // compileRefPlans resolves, for one mapping, each body and head atom's
@@ -402,6 +621,7 @@ func (s *System) runLegacy() error {
 	}
 	s.LastIterations = eng.Iterations
 	s.LastDerivations = eng.Derivations
+	s.pending = nil
 	return nil
 }
 

@@ -1,0 +1,64 @@
+package exchange
+
+import (
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Test-only exports: white-box views of the support index so the
+// differential tests can compare an incrementally maintained index
+// against a freshly built one, and the churn test can bound pool
+// growth.
+
+// SupportSignature renders the live derivation entries of the support
+// index — mapping, provenance row, source refs, target refs — as one
+// sorted, comparable string. Empty when no index is present.
+func (s *System) SupportSignature() string {
+	ix := s.support
+	if ix == nil {
+		return ""
+	}
+	var lines []string
+	for di := range ix.derivs {
+		d := &ix.derivs[di]
+		if d.dead {
+			continue
+		}
+		line := d.mapping + "|" + model.EncodeDatums(d.row) + "|S:"
+		for _, t := range ix.sources(d) {
+			line += ix.refs[t].Rel + "#" + ix.refs[t].Key + ";"
+		}
+		line += "|T:"
+		for _, t := range ix.targets(d) {
+			line += ix.refs[t].Rel + "#" + ix.refs[t].Key + ";"
+		}
+		lines = append(lines, line)
+	}
+	sort.Strings(lines)
+	out := ""
+	for _, l := range lines {
+		out += l + "\n"
+	}
+	return out
+}
+
+// HasSupportIndex reports whether the system currently holds a support
+// index.
+func (s *System) HasSupportIndex() bool { return s.support != nil }
+
+// SupportPoolSizes reports the support index's pool lengths and free-
+// list sizes: total derivation slots, live derivations, edge-pool
+// length, free edges, atom-pool length. Zeroes when no index exists.
+func (s *System) SupportPoolSizes() (derivSlots, live, edges, freeEdges, atomPool int) {
+	ix := s.support
+	if ix == nil {
+		return 0, 0, 0, 0, 0
+	}
+	return len(ix.derivs), ix.live(), len(ix.edgeDeriv), len(ix.edgeFree), len(ix.atomPool)
+}
+
+// DeltaReady reports whether the next RunDelta can run incrementally.
+func (s *System) DeltaReady() bool {
+	return s.deltaReady && s.prog != nil && s.prog.StateValid()
+}

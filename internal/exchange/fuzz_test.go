@@ -97,6 +97,112 @@ func FuzzDeleteLocal(f *testing.F) {
 	})
 }
 
+// FuzzInsertDelete drives interleaved InsertLocal+RunDelta /
+// DeleteLocal sequences through the same cyclic setting, checking
+// after every operation that (a) the report counters match the
+// observed storage deltas (insertion reports only on genuine delta
+// runs — a run after a deletion falls back to full and says so), and
+// (b) the mutual-support cycle {P(x), Q(x)} exists exactly when some
+// external support survives, under arbitrary orderings of support
+// arriving and draining.
+func FuzzInsertDelete(f *testing.F) {
+	// Seeds: drain then re-add a key's support; insert a brand-new key;
+	// alternate insert/delete on one key; both provenance layouts.
+	// Action nibbles: 0/1/2 = del R/P/Q, 3/4/5 = ins R/P/Q.
+	f.Add([]byte{0, 0x00, 0x30, 0x00})             // del R(0), ins R(0), del R(0)
+	f.Add([]byte{1, 0x33, 0x43, 0x03, 0x13, 0x23}) // new key 3: ins R, ins P, drain all
+	f.Add([]byte{0, 0x11, 0x41, 0x21, 0x51})       // mixed P/Q churn on key 1
+	f.Add([]byte{1, 0x30, 0x30, 0x00, 0x00})       // duplicate insert, repeated delete
+
+	const domain = 4 // one key beyond the initial data
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) == 0 || len(ops) > 24 {
+			t.Skip()
+		}
+		opts := exchange.Options{MaterializeAll: ops[0]%2 == 1}
+		sys := buildCycleSetting(t, opts)
+		type support struct{ r, p, q bool }
+		present := map[int64]*support{}
+		for x := int64(0); x < domain; x++ {
+			present[x] = &support{r: x < 3, p: x == 1, q: x == 1 || x == 2}
+		}
+		for _, op := range ops[1:] {
+			action := int(op>>4) % 6
+			rel := []string{"R", "P", "Q"}[action%3]
+			insert := action >= 3
+			x := int64(op&0x0f) % domain
+			key := []model.Datum{x}
+			sup := present[x]
+
+			tuplesBefore := publicRowCount(sys)
+			derivsBefore := derivationCount(t, sys)
+
+			if insert {
+				if err := sys.InsertLocal(rel, model.Tuple{x}); err != nil {
+					t.Fatal(err)
+				}
+				report, err := sys.RunDelta()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !report.Full {
+					if got := publicRowCount(sys) - tuplesBefore; got != len(report.InsertedTuples) {
+						t.Fatalf("InsertedTuples=%d, storage gained %d rows (op ins %s[%d])",
+							len(report.InsertedTuples), got, rel, x)
+					}
+					if got := derivationCount(t, sys) - derivsBefore; got != len(report.InsertedDerivations) {
+						t.Fatalf("InsertedDerivations=%d, storage gained %d derivations (op ins %s[%d])",
+							len(report.InsertedDerivations), got, rel, x)
+					}
+				}
+				switch rel {
+				case "R":
+					sup.r = true
+				case "P":
+					sup.p = true
+				case "Q":
+					sup.q = true
+				}
+			} else {
+				report, err := sys.DeleteLocal(rel, key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := tuplesBefore - publicRowCount(sys); got != report.TuplesDeleted {
+					t.Fatalf("TuplesDeleted=%d, storage lost %d rows (op del %s[%d])",
+						report.TuplesDeleted, got, rel, x)
+				}
+				if got := derivsBefore - derivationCount(t, sys); got != report.DerivationsDeleted {
+					t.Fatalf("DerivationsDeleted=%d, storage lost %d derivations (op del %s[%d])",
+						report.DerivationsDeleted, got, rel, x)
+				}
+				switch rel {
+				case "R":
+					sup.r = false
+				case "P":
+					sup.p = false
+				case "Q":
+					sup.q = false
+				}
+			}
+
+			// The whole cycle lives or dies with its external support.
+			for y := int64(0); y < domain; y++ {
+				wantAlive := present[y].r || present[y].p || present[y].q
+				_, pAlive := sys.DB.MustTable("P").LookupKey([]model.Datum{y})
+				_, qAlive := sys.DB.MustTable("Q").LookupKey([]model.Datum{y})
+				if pAlive != wantAlive || qAlive != wantAlive {
+					t.Fatalf("key %d: want alive=%v, got P=%v Q=%v", y, wantAlive, pAlive, qAlive)
+				}
+				_, rAlive := sys.DB.MustTable("R").LookupKey([]model.Datum{y})
+				if rAlive != present[y].r {
+					t.Fatalf("key %d: R alive=%v, want %v", y, rAlive, present[y].r)
+				}
+			}
+		}
+	})
+}
+
 // buildCycleSetting constructs the P⇄Q / R→P schema with base data
 // R_l = {0,1,2}, P_l = {1}, Q_l = {1,2}.
 func buildCycleSetting(t *testing.T, opts exchange.Options) *exchange.System {

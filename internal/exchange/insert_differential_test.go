@@ -1,0 +1,279 @@
+package exchange_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/exchange"
+	"repro/internal/model"
+)
+
+// Three-way differential for incremental insertion, mirroring the
+// deletion differential: on randomly generated CDSS settings (acyclic
+// and cyclic mapping graphs) and random insertion batches, the
+// Δ-seeded RunDelta must leave the database, the provenance tables,
+// AND the support index identical to (a) a full re-run on the same
+// warm system and (b) a from-scratch exchange oracle over all base
+// data inserted so far. Some trials interleave deletions to exercise
+// the invalidation path (RunDelta must fall back to a full run and
+// still converge to the oracle).
+
+func TestDifferentialInsertion(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260729))
+	for trial := 0; trial < 70; trial++ {
+		cyclic := trial%2 == 1
+		withDeletes := trial%5 == 4
+		s := genDelSetting(rng, cyclic)
+
+		// Split base data: roughly half seeds the initial exchange, the
+		// rest arrives in insertion batches.
+		initial := make([][]model.Tuple, len(s.facts))
+		var later []struct {
+			ri  int
+			row model.Tuple
+		}
+		for i, rows := range s.facts {
+			for _, row := range rows {
+				if rng.Intn(2) == 0 {
+					initial[i] = append(initial[i], row)
+				} else {
+					later = append(later, struct {
+						ri  int
+						row model.Tuple
+					}{i, row})
+				}
+			}
+		}
+
+		sysDelta := s.build(t, initial)
+		sysFull := s.build(t, initial)
+
+		// current[i] tracks the base rows present, keyed by encoding
+		// (all columns are the key), for the oracle arm.
+		current := make([]map[string]model.Tuple, len(s.facts))
+		for i, rows := range initial {
+			current[i] = map[string]model.Tuple{}
+			for _, row := range rows {
+				current[i][model.EncodeDatums(row)] = row
+			}
+		}
+
+		step := 0
+		for len(later) > 0 {
+			step++
+			// Take a batch of 1–3 pending rows.
+			n := 1 + rng.Intn(3)
+			if n > len(later) {
+				n = len(later)
+			}
+			batch := later[:n]
+			later = later[n:]
+			for _, ins := range batch {
+				current[ins.ri][model.EncodeDatums(ins.row)] = ins.row
+				if err := sysDelta.InsertLocal(relName(ins.ri), ins.row.Clone()); err != nil {
+					t.Fatal(err)
+				}
+				if err := sysFull.InsertLocal(relName(ins.ri), ins.row.Clone()); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			if withDeletes && rng.Intn(3) == 0 {
+				// Delete one surviving row from both systems, then let
+				// the next RunDelta hit the invalidation fallback.
+				ri := rng.Intn(len(current))
+				for enc, row := range current[ri] {
+					delete(current[ri], enc)
+					if _, err := sysDelta.DeleteLocal(relName(ri), row); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := sysFull.DeleteLocal(relName(ri), row); err != nil {
+						t.Fatal(err)
+					}
+					if sysDelta.DeltaReady() {
+						t.Fatalf("trial %d step %d: delta state still valid after deletion", trial, step)
+					}
+					break
+				}
+			}
+
+			wantFull := !sysDelta.DeltaReady()
+			tuplesBefore := publicRowCount(sysDelta)
+			derivsBefore := derivationCount(t, sysDelta)
+			report, err := sysDelta.RunDelta()
+			if err != nil {
+				t.Fatalf("trial %d step %d: RunDelta: %v", trial, step, err)
+			}
+			if report.Full != wantFull {
+				t.Fatalf("trial %d step %d: report.Full=%v, want %v", trial, step, report.Full, wantFull)
+			}
+			if !report.Full {
+				// Report lists must match the observed storage deltas.
+				if got := publicRowCount(sysDelta) - tuplesBefore; got != len(report.InsertedTuples) {
+					t.Fatalf("trial %d step %d: InsertedTuples=%d, storage gained %d rows",
+						trial, step, len(report.InsertedTuples), got)
+				}
+				if got := derivationCount(t, sysDelta) - derivsBefore; got != len(report.InsertedDerivations) {
+					t.Fatalf("trial %d step %d: InsertedDerivations=%d, storage gained %d derivations",
+						trial, step, len(report.InsertedDerivations), got)
+				}
+			}
+			if err := sysFull.Run(); err != nil {
+				t.Fatalf("trial %d step %d: full Run: %v", trial, step, err)
+			}
+
+			oracleFacts := make([][]model.Tuple, len(current))
+			for i := range current {
+				for _, row := range current[i] {
+					oracleFacts[i] = append(oracleFacts[i], row)
+				}
+			}
+			oracle := s.build(t, oracleFacts)
+
+			sigDelta, sigFull, sigOracle := signature(t, sysDelta), signature(t, sysFull), signature(t, oracle)
+			if sigDelta != sigOracle {
+				t.Fatalf("trial %d step %d (cyclic=%v): delta != oracle\nmappings: %v\ndelta:\n%s\noracle:\n%s",
+					trial, step, cyclic, s.mappings, sigDelta, sigOracle)
+			}
+			if sigFull != sigOracle {
+				t.Fatalf("trial %d step %d (cyclic=%v): full != oracle\nmappings: %v\nfull:\n%s\noracle:\n%s",
+					trial, step, cyclic, s.mappings, sigFull, sigOracle)
+			}
+			if sysDelta.HasSupportIndex() && oracle.HasSupportIndex() {
+				if got, want := sysDelta.SupportSignature(), oracle.SupportSignature(); got != want {
+					t.Fatalf("trial %d step %d: support index differs from from-scratch build\ndelta:\n%s\noracle:\n%s",
+						trial, step, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRunDeltaMultiHeadMapping covers the multi-head (GLAV) path of
+// the head-surfacing hook: one derivation relates two target tuples,
+// whose encoded keys the engine must surface without clobbering each
+// other. Incremental insertion and a subsequent deletion must both
+// leave storage and support index identical to a from-scratch oracle.
+func TestRunDeltaMultiHeadMapping(t *testing.T) {
+	build := func(xs ...int64) *exchange.System {
+		t.Helper()
+		schema := model.NewSchema()
+		cols := []model.Column{{Name: "x", Type: model.TypeInt}}
+		for _, name := range []string{"S", "T1", "T2"} {
+			if err := schema.AddRelation(model.MustRelation(name, cols, "x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		v := model.V
+		m := model.NewMultiHeadMapping("mGLAV",
+			[]model.Atom{model.NewAtom("T1", v("x")), model.NewAtom("T2", v("x"))},
+			[]model.Atom{model.NewAtom("S", v("x"))})
+		if err := schema.AddMapping(m); err != nil {
+			t.Fatal(err)
+		}
+		sys, err := exchange.NewSystem(schema, exchange.Options{MaterializeAll: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range xs {
+			if err := sys.InsertLocal("S", model.Tuple{x}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sys.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	sys := build(1, 2)
+	if err := sys.InsertLocal("S", model.Tuple{int64(3)}); err != nil {
+		t.Fatal(err)
+	}
+	report, err := sys.RunDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Full {
+		t.Fatal("unexpected full-run fallback")
+	}
+	// One new derivation relating two new target tuples.
+	if len(report.InsertedDerivations) != 1 || len(report.InsertedTuples) != 3 {
+		t.Fatalf("report = %+v, want 1 derivation and 3 tuples (S, T1, T2)", report)
+	}
+	oracle := build(1, 2, 3)
+	if got, want := signature(t, sys), signature(t, oracle); got != want {
+		t.Fatalf("multi-head delta != oracle\ndelta:\n%s\noracle:\n%s", got, want)
+	}
+	if got, want := sys.SupportSignature(), oracle.SupportSignature(); got != want {
+		t.Fatalf("multi-head support index != oracle\ndelta:\n%s\noracle:\n%s", got, want)
+	}
+	// Deleting the base row must take both heads with it.
+	rep, err := sys.DeleteLocal("S", []model.Datum{int64(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TuplesDeleted != 3 || rep.DerivationsDeleted != 1 {
+		t.Fatalf("deletion report = %+v, want 3 tuples and 1 derivation", rep)
+	}
+	if got, want := signature(t, sys), signature(t, build(1, 2)); got != want {
+		t.Fatalf("post-delete state != oracle\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestRunDeltaNoPendingIsCheapNoOp checks that RunDelta with nothing
+// pending does no work and reports nothing.
+func TestRunDeltaNoPendingIsCheapNoOp(t *testing.T) {
+	sys := buildCycleSetting(t, exchange.Options{})
+	report, err := sys.RunDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Full {
+		t.Fatal("RunDelta on warm system reported a full run")
+	}
+	if report.Derivations != 0 || len(report.InsertedTuples) != 0 || len(report.InsertedLocals) != 0 {
+		t.Fatalf("no-pending RunDelta did work: %+v", report)
+	}
+}
+
+// TestSupportPoolChurn drives sustained delete/re-derive churn through
+// the cycle setting and asserts the support index's derivation, edge,
+// and atom pools stay bounded by the live size (free lists recycle
+// vacated slots) instead of growing with total churn.
+func TestSupportPoolChurn(t *testing.T) {
+	sys := buildCycleSetting(t, exchange.Options{})
+	// Warm up one churn cycle so every pool reaches steady state.
+	churn := func(x int64) {
+		key := []model.Datum{x}
+		if _, err := sys.DeleteLocal("R", key); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.InsertLocal("R", model.Tuple{x}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.RunDelta(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	churn(0)
+	derivSlots0, live0, edges0, _, atoms0 := sys.SupportPoolSizes()
+	for i := 0; i < 200; i++ {
+		churn(int64(i % 3))
+	}
+	derivSlots, live, edges, freeEdges, atoms := sys.SupportPoolSizes()
+	if live != live0 {
+		t.Fatalf("live derivations drifted: %d -> %d", live0, live)
+	}
+	// Pools may exceed the warm-up size by at most one churn cycle's
+	// worth of slack (deletion frees after the re-derive allocated).
+	const slack = 8
+	if derivSlots > derivSlots0+slack {
+		t.Errorf("derivation slots grew with churn: %d -> %d", derivSlots0, derivSlots)
+	}
+	if edges > edges0+2*slack {
+		t.Errorf("edge pool grew with churn: %d -> %d (free %d)", edges0, edges, freeEdges)
+	}
+	if atoms > atoms0+2*slack {
+		t.Errorf("atom pool grew with churn: %d -> %d", atoms0, atoms)
+	}
+}

@@ -119,6 +119,13 @@ func (s *System) deleteLocalBase(rel string, keys [][]model.Datum) (*Maintenance
 		}
 	}
 	report.DeletedLocals = frontier
+	if report.LocalDeleted > 0 {
+		// The persistent engine journals no longer mirror the tables;
+		// the next insertion run must reseed from scratch (a possible
+		// follow-up: feed the deletion report into the journals so
+		// delta-seeded runs survive deletions too).
+		s.invalidateDelta()
+	}
 	return report, frontier, nil
 }
 
@@ -328,6 +335,7 @@ func (s *System) maintainDelta(report *MaintenanceReport, frontier []model.Tuple
 // the next DeleteLocal.
 func (s *System) MaintainLegacy(report *MaintenanceReport) error {
 	s.support = nil
+	s.invalidateDelta()
 	type derivation struct {
 		mapping string
 		row     model.Tuple

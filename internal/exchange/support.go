@@ -44,10 +44,14 @@ type supportIndex struct {
 	// it by offset), so adding a derivation allocates nothing beyond
 	// amortized pool growth.
 	atomPool []int32
-	// free lists tombstoned derivation slots for reuse. (Unlinked pool
-	// edges and atom segments are leaked; both pools are bounded by the
-	// derivations ever added, like the engine's fact journals.)
-	free []int32
+	// free lists tombstoned derivation slots for reuse; edgeFree lists
+	// edges unlink spliced out of their chains, and atomFree lists
+	// vacated atomPool segments per segment length. With all three
+	// recycled, a system under sustained delete/re-derive churn grows
+	// the pools with the live derivation count, not the total churn.
+	free     []int32
+	edgeFree []int32
+	atomFree map[uint16][]int32
 	// virtSeen dedups virtual derivations across re-runs by encoded
 	// provenance row; materialized mappings dedup through their
 	// provenance table's set semantics instead.
@@ -81,6 +85,7 @@ func newSupportIndex() *supportIndex {
 	return &supportIndex{
 		byRel:    make(map[string]map[string]int32),
 		virtSeen: make(map[string]map[string]bool),
+		atomFree: make(map[uint16][]int32),
 	}
 }
 
@@ -143,8 +148,15 @@ func (ix *supportIndex) markVirtual(mapping string, row model.Tuple) bool {
 // responsible for dedup (provenance-table insert result, or
 // markVirtual).
 func (ix *supportIndex) add(mapping string, virtual bool, row model.Tuple, atomIDs []int32, nSources int) {
-	off := int32(len(ix.atomPool))
-	ix.atomPool = append(ix.atomPool, atomIDs...)
+	var off int32
+	if fl := ix.atomFree[uint16(len(atomIDs))]; len(fl) > 0 {
+		off = fl[len(fl)-1]
+		ix.atomFree[uint16(len(atomIDs))] = fl[:len(fl)-1]
+		copy(ix.atomPool[off:], atomIDs)
+	} else {
+		off = int32(len(ix.atomPool))
+		ix.atomPool = append(ix.atomPool, atomIDs...)
+	}
 	e := derivEntry{
 		mapping:  mapping,
 		virtual:  virtual,
@@ -171,6 +183,13 @@ func (ix *supportIndex) add(mapping string, virtual bool, row model.Tuple, atomI
 }
 
 func (ix *supportIndex) newEdge(di, next int32) int32 {
+	if n := len(ix.edgeFree); n > 0 {
+		e := ix.edgeFree[n-1]
+		ix.edgeFree = ix.edgeFree[:n-1]
+		ix.edgeDeriv[e] = di
+		ix.edgeNext[e] = next
+		return e
+	}
 	e := int32(len(ix.edgeDeriv))
 	ix.edgeDeriv = append(ix.edgeDeriv, di)
 	ix.edgeNext = append(ix.edgeNext, next)
@@ -178,8 +197,9 @@ func (ix *supportIndex) newEdge(di, next int32) int32 {
 }
 
 // remove deletes a derivation entry, unlinking every occurrence of it
-// from its tuples' chains and releasing its virtual-dedup mark (so a
-// re-derivation after a later insert re-enters the index).
+// from its tuples' chains (returning the edges and the atomPool
+// segment to their free lists) and releasing its virtual-dedup mark
+// (so a re-derivation after a later insert re-enters the index).
 func (ix *supportIndex) remove(di int32) {
 	d := &ix.derivs[di]
 	if d.dead {
@@ -196,17 +216,22 @@ func (ix *supportIndex) remove(di int32) {
 			delete(seen, model.EncodeDatums(d.row))
 		}
 	}
+	if d.nAtoms > 0 {
+		ix.atomFree[d.nAtoms] = append(ix.atomFree[d.nAtoms], d.atomOff)
+	}
 	*d = derivEntry{dead: true}
 	ix.free = append(ix.free, di)
 }
 
-// unlink removes every edge referencing di from head[t]'s chain.
+// unlink removes every edge referencing di from head[t]'s chain,
+// returning spliced-out edges to the free list.
 func (ix *supportIndex) unlink(head []int32, t, di int32) {
 	p := &head[t]
 	for *p != -1 {
 		e := *p
 		if ix.edgeDeriv[e] == di {
 			*p = ix.edgeNext[e]
+			ix.edgeFree = append(ix.edgeFree, e)
 		} else {
 			p = &ix.edgeNext[e]
 		}

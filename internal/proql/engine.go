@@ -192,3 +192,18 @@ func (e *Engine) MaintainGraph(report *exchange.MaintenanceReport) {
 	}
 	provgraph.Apply(e.graph, e.Sys, report)
 }
+
+// MaintainGraphInsert applies an incremental-insertion report (a
+// RunDelta's) to the cached provenance graph in place, so new local
+// data costs a subgraph patch instead of a full rebuild on the next
+// graph-backend query. A no-op when no graph is cached; when the
+// report says the run was a full re-exchange (or the patch fails) the
+// cache is invalidated and the next query rebuilds.
+func (e *Engine) MaintainGraphInsert(report *exchange.InsertionReport) {
+	if e.graph == nil || report == nil {
+		return
+	}
+	if ok, err := provgraph.ApplyInsertions(e.graph, e.Sys, report); !ok || err != nil {
+		e.graph = nil
+	}
+}

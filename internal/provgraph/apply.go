@@ -1,13 +1,17 @@
 // Incremental graph maintenance: rather than rebuilding the whole
-// provenance graph after a deletion (Build is proportional to the
-// database), the deletion hooks below remove exactly the tuple and
-// derivation nodes an exchange.MaintenanceReport says were deleted,
-// keeping the adjacency and the label/mapping indexes coherent — the
-// graph-side counterpart of the delta-driven propagator.
+// provenance graph after an update (Build is proportional to the
+// database), the hooks below patch exactly the nodes a report says
+// changed, keeping the adjacency and the label/mapping indexes
+// coherent. Apply removes what an exchange.MaintenanceReport says a
+// deletion propagated away; ApplyInsertions adds what an
+// exchange.InsertionReport says a Δ-seeded RunDelta derived — the
+// graph-side counterparts of the two delta-driven propagators.
 
 package provgraph
 
 import (
+	"fmt"
+
 	"repro/internal/exchange"
 	"repro/internal/model"
 )
@@ -41,6 +45,53 @@ func Apply(g *Graph, sys *exchange.System, report *exchange.MaintenanceReport) {
 			tn.Leaf = sys.IsLeafRef(ref)
 		}
 	}
+}
+
+// ApplyInsertions updates a built graph in place after an incremental
+// insertion (exchange.System.RunDelta): the report's new public tuples
+// become tuple nodes (with rows and leaf marks), its new derivations
+// become derivation nodes wired to their source and target tuples, and
+// surviving tuples that gained a local contribution are re-marked as
+// leaves. Reports with Full set carry no insertion lists (the run
+// reseeded everything); callers holding one must rebuild instead —
+// ApplyInsertions reports false in that case and leaves the graph
+// untouched.
+func ApplyInsertions(g *Graph, sys *exchange.System, report *exchange.InsertionReport) (bool, error) {
+	if report == nil {
+		return true, nil
+	}
+	if report.Full {
+		return false, nil
+	}
+	for _, it := range report.InsertedTuples {
+		tn := g.Tuple(it.Ref)
+		if tn.Row == nil {
+			tn.Row = it.Row
+		}
+		tn.Leaf = sys.IsLeafRef(it.Ref)
+	}
+	for _, id := range report.InsertedDerivations {
+		pr, ok := sys.Prov[id.Mapping]
+		if !ok {
+			return false, fmt.Errorf("provgraph: insertion report names unknown mapping %q", id.Mapping)
+		}
+		sources, targets, err := sys.AtomRefs(pr, id.Row)
+		if err != nil {
+			return false, err
+		}
+		d := g.AddDerivation(derivID(id.Mapping, id.Row), id.Mapping, sources, targets)
+		if d.ProvRow == nil {
+			d.ProvRow = id.Row
+		}
+	}
+	// A new local contribution promotes a surviving tuple to leaf
+	// status (new tuples already got their mark above).
+	for _, ref := range report.InsertedLocals {
+		if tn, ok := g.tuples[ref]; ok {
+			tn.Leaf = sys.IsLeafRef(ref)
+		}
+	}
+	return true, nil
 }
 
 // RemoveDerivation deletes one derivation node, splicing it out of its

@@ -1,0 +1,114 @@
+package provgraph
+
+import (
+	"testing"
+
+	"repro/internal/exchange"
+	"repro/internal/fixture"
+	"repro/internal/model"
+)
+
+// insertAndPatch inserts rows, runs the Δ-seeded RunDelta, applies the
+// insertion report to the prebuilt graph, and returns the patched
+// graph next to a from-scratch rebuild.
+func insertAndPatch(t *testing.T, opts fixture.Options, insert func(sys *exchange.System)) (*Graph, *Graph) {
+	t.Helper()
+	sys := fixture.MustSystem(opts)
+	g, err := Build(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insert(sys)
+	report, err := sys.RunDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Full {
+		t.Fatal("RunDelta on a warm system should not fall back to a full run")
+	}
+	ok, err := ApplyInsertions(g, sys, report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("ApplyInsertions refused a delta report")
+	}
+	rebuilt, err := Build(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, rebuilt
+}
+
+// TestApplyInsertionsMatchesRebuild: inserting a new A row cascades
+// through m2/m4 into new N and O tuples plus their derivations; the
+// patched graph must be label-equal to a rebuild.
+func TestApplyInsertionsMatchesRebuild(t *testing.T) {
+	patched, rebuilt := insertAndPatch(t, fixture.Options{}, func(sys *exchange.System) {
+		if err := sys.InsertLocal("A", model.Tuple{int64(3), "sn3", int64(9)}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	graphsEqual(t, patched, rebuilt)
+	// The new chain must actually be present.
+	if _, ok := patched.Lookup(model.RefFromKey("O", []model.Datum{"sn3", int64(9)})); !ok {
+		t.Error("patched graph is missing the newly derived O tuple")
+	}
+}
+
+// TestApplyInsertionsMatchesRebuildCyclic is the same check over the
+// cyclic mapping set (m1/m3 derive C and N from each other).
+func TestApplyInsertionsMatchesRebuildCyclic(t *testing.T) {
+	patched, rebuilt := insertAndPatch(t, fixture.Options{IncludeM3: true}, func(sys *exchange.System) {
+		if err := sys.InsertLocal("A", model.Tuple{int64(4), "sn4", int64(2)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.InsertLocal("N", model.Tuple{int64(4), "cn4", false}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	graphsEqual(t, patched, rebuilt)
+}
+
+// TestApplyInsertionsPromotesLeafOnSurvivor: a new local contribution
+// for an already-derived tuple adds no nodes but must set the
+// survivor's leaf mark.
+func TestApplyInsertionsPromotesLeafOnSurvivor(t *testing.T) {
+	ref := model.RefFromKey("N", []model.Datum{int64(1), "sn1", true})
+	patched, rebuilt := insertAndPatch(t, fixture.Options{}, func(sys *exchange.System) {
+		// N(1,sn1,true) is derived by m2 from A(1); contribute it
+		// locally too.
+		if err := sys.InsertLocal("N", model.Tuple{int64(1), "sn1", true}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	tn, ok := patched.Lookup(ref)
+	if !ok {
+		t.Fatal("survivor vanished from patched graph")
+	}
+	if !tn.Leaf {
+		t.Error("survivor should have been promoted to leaf")
+	}
+	graphsEqual(t, patched, rebuilt)
+}
+
+// TestApplyInsertionsRejectsFullReport: a fallback full run carries no
+// insertion lists; ApplyInsertions must refuse (the caller rebuilds).
+func TestApplyInsertionsRejectsFullReport(t *testing.T) {
+	sys := fixture.MustSystem(fixture.Options{})
+	g, err := Build(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := g.NumTuples()
+	ok, err := ApplyInsertions(g, sys, &exchange.InsertionReport{Full: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("ApplyInsertions accepted a Full report")
+	}
+	if g.NumTuples() != before {
+		t.Fatal("refused patch still mutated the graph")
+	}
+}

@@ -53,8 +53,12 @@ type Table struct {
 	free []int
 	// keyBuf is the reusable scratch buffer for key encoding, so an
 	// insert or probe costs no builder allocation (the Datalog
-	// engine's firing passes insert millions of rows).
+	// engine's firing passes insert millions of rows). ixBuf is the
+	// separate scratch for secondary-index keys, so the primary-key
+	// encoding of the row just inserted stays valid until the table's
+	// next key-encoding operation (InsertKeyed relies on this).
 	keyBuf []byte
+	ixBuf  []byte
 }
 
 // hashIndex maps encoded column values to the row indexes holding them.
@@ -135,9 +139,41 @@ func (t *Table) indexRow(idx int, row model.Tuple) {
 		return
 	}
 	for _, ix := range t.indexes {
-		k := t.encodeKey(row, ix.cols)
-		ix.buckets[string(k)] = append(ix.buckets[string(k)], idx)
+		buf := t.ixBuf[:0]
+		for _, c := range ix.cols {
+			buf = model.AppendDatum(buf, row[c])
+		}
+		t.ixBuf = buf
+		ix.buckets[string(buf)] = append(ix.buckets[string(buf)], idx)
 	}
+}
+
+// InsertKeyed is Insert additionally surfacing the row's canonical
+// primary-key encoding (the same bytes as model.EncodeDatums of the key
+// attributes, i.e. a model.TupleRef's Key). Consumers that intern
+// tuples by encoded key — the update-exchange support index — reuse the
+// probe Insert performs anyway instead of re-encoding the key. The
+// returned slice aliases the table's scratch buffer: it is valid only
+// until the table's next key-encoding operation (insert, delete, or
+// keyed lookup) and must be copied to be retained. For keyless tables
+// the encoding is nil.
+func (t *Table) InsertKeyed(row model.Tuple) ([]byte, bool, error) {
+	if len(row) != len(t.Schema.Columns) {
+		return nil, false, fmt.Errorf("relstore: %s: row arity %d, want %d", t.Schema.Name, len(row), len(t.Schema.Columns))
+	}
+	if t.pk == nil {
+		idx := t.claimSlot(row)
+		t.indexRow(idx, row)
+		return nil, true, nil
+	}
+	key := t.encodeKey(row, t.Schema.Key)
+	if _, dup := t.pk[string(key)]; dup {
+		return key, false, nil
+	}
+	idx := t.claimSlot(row)
+	t.pk[string(key)] = idx
+	t.indexRow(idx, row)
+	return key, true, nil
 }
 
 // Delete removes the row with the given primary key, reporting whether

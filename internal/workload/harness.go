@@ -350,6 +350,103 @@ func RunDeletion(peerCounts []int, dataPeers, baseSize, runs int, seed int64) ([
 	return out, nil
 }
 
+// InsertionRow is one point of the incremental-insertion experiment:
+// the time to propagate a small batch of new base tuples with the
+// Δ-seeded RunDelta, with a full re-run of the compiled fixpoint, and
+// by rebuilding the exchange from scratch, plus the derivations the
+// delta run enumerated versus the instance size.
+type InsertionRow struct {
+	Peers            int
+	DeltaTime        time.Duration
+	FullRerunTime    time.Duration
+	RebuildTime      time.Duration
+	DeltaDerivations int
+	InstanceSize     int
+}
+
+// RunInsertion measures incremental insertion at Fig.-10-style scales:
+// a chain of n peers with data at the far end, inserting batch fresh
+// base tuples at the top peer so the whole propagation chain extends.
+// Each run inserts different keys, so every measurement does the same
+// amount of work on a warm system.
+func RunInsertion(peerCounts []int, dataPeers, baseSize, batch, runs int, seed int64) ([]InsertionRow, error) {
+	var out []InsertionRow
+	for _, n := range peerCounts {
+		cfg := Config{
+			Topology:   Chain,
+			Profile:    ProfileLinear,
+			NumPeers:   n,
+			DataPeers:  UpstreamDataPeers(n, dataPeers),
+			BaseSize:   baseSize,
+			Categories: 16,
+			Seed:       seed,
+		}
+		row := InsertionRow{Peers: n}
+		src := n - 1
+		var next int64
+		newRows := func() []model.Tuple {
+			rows := make([]model.Tuple, batch)
+			for j := range rows {
+				k := int64(src)*10_000_000 + int64(baseSize) + next
+				next++
+				r := model.Tuple{k, k % int64(cfg.Categories)}
+				for a := 0; a < 10; a++ {
+					r = append(r, k+int64(a))
+				}
+				rows[j] = r
+			}
+			return rows
+		}
+
+		set, err := Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		row.InstanceSize = set.InstanceSize()
+		row.DeltaTime, err = timed(runs, func() error {
+			if err := set.Sys.InsertLocal(ARel(src), newRows()...); err != nil {
+				return err
+			}
+			rep, err := set.Sys.RunDelta()
+			if rep != nil {
+				if rep.Full {
+					return fmt.Errorf("workload: delta arm fell back to a full run")
+				}
+				row.DeltaDerivations = rep.Derivations
+			}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		fullSet, err := Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		next = 0
+		row.FullRerunTime, err = timed(runs, func() error {
+			if err := fullSet.Sys.InsertLocal(ARel(src), newRows()...); err != nil {
+				return err
+			}
+			return fullSet.Sys.Run()
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		row.RebuildTime, err = timed(runs, func() error {
+			_, err := Build(cfg)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
 // AnnotationOverheadRow compares graph projection alone against
 // projection plus annotation computation (Section 6.1.2's observation
 // that the projection component dominates).
