@@ -576,6 +576,87 @@ func BenchmarkIncrementalInsertion(b *testing.B) {
 	})
 }
 
+// BenchmarkInterleavedChurn is the mixed-workload twin of the two
+// incremental benchmarks above (experiment E12): every iteration
+// retracts one existing base tuple AND inserts a batch of fresh ones
+// at the far peer, then propagates. The "delta" arm exercises journal
+// repair — DeleteLocal feeds its report back into the persistent
+// engine state, so the following RunDelta stays delta-seeded instead
+// of falling back to a full fixpoint; "full-rerun" is the pre-repair
+// behavior (deletion invalidates, Run pays the whole fixpoint).
+func BenchmarkInterleavedChurn(b *testing.B) {
+	cfg := workload.Config{
+		Topology:  workload.Chain,
+		Profile:   workload.ProfileLinear,
+		NumPeers:  10,
+		DataPeers: workload.UpstreamDataPeers(10, 2),
+		BaseSize:  500,
+		Seed:      42,
+	}
+	const batch = 5
+	src := cfg.NumPeers - 1
+	newRows := func(next *int64) []model.Tuple {
+		rows := make([]model.Tuple, batch)
+		for j := range rows {
+			k := int64(src)*10_000_000 + int64(cfg.BaseSize) + *next
+			*next++
+			row := model.Tuple{k, k % int64(16)}
+			for a := 0; a < 10; a++ {
+				row = append(row, k+int64(a))
+			}
+			rows[j] = row
+		}
+		return rows
+	}
+	// Iteration 0 deletes a base row; later iterations delete the first
+	// row inserted by the previous iteration, so every deletion is a
+	// real retraction no matter how large b.N grows (cycling over the
+	// base range would turn iterations past BaseSize into no-op
+	// deletes and skip the journal-repair work being measured).
+	churnArm := func(b *testing.B, set *workload.Setting, propagate func() error) {
+		b.Helper()
+		var next int64
+		var delKey int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			key := []model.Datum{int64(src)*10_000_000 + delKey}
+			if _, err := set.Sys.DeleteLocal(workload.ARel(src), key); err != nil {
+				b.Fatal(err)
+			}
+			if err := set.Sys.InsertLocal(workload.ARel(src), newRows(&next)...); err != nil {
+				b.Fatal(err)
+			}
+			delKey = int64(cfg.BaseSize) + int64(i)*batch
+			if err := propagate(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("delta", func(b *testing.B) {
+		set, err := workload.Build(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		churnArm(b, set, func() error {
+			report, err := set.Sys.RunDelta()
+			if err != nil {
+				return err
+			}
+			if report.Full {
+				b.Fatal("delta arm fell back to a full run")
+			}
+			return nil
+		})
+	})
+	b.Run("full-rerun", func(b *testing.B) {
+		set, err := workload.Build(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		churnArm(b, set, set.Sys.Run)
+	})
+}
+
 // BenchmarkSuperfluousProvenance is the storage ablation of Section
 // 4.1: materializing all provenance relations versus replacing
 // projection mappings with views.

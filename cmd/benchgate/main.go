@@ -1,0 +1,195 @@
+// Command benchgate is the CI perf-trajectory gate: it compares a
+// fresh proqlbench -json run against a checked-in baseline and exits
+// non-zero when any metric regressed by more than the allowed factor.
+// It also fails when the current run silently dropped an experiment,
+// row, or metric the baseline covers, so the trajectory can only grow.
+//
+// The baseline is recorded on whatever machine cut the PR, while the
+// gate runs on a CI runner of unknown speed — absolute wall-clock
+// comparisons would fail on hardware, not code. Latency metrics are
+// therefore gated on their share of the same row's rebuild_ns (the
+// from-scratch re-exchange arm every experiment carries): a uniform
+// machine slowdown cancels out, while an incremental path regressing
+// relative to the rebuild arm is exactly the signal the trajectory
+// exists to catch. rebuild_ns itself is the normalizer and is
+// reported but not gated; deterministic counters (visited tuples,
+// delta derivations) are gated strictly on their absolute values.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_baseline.json -current BENCH_pr5.json -factor 2
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// benchFile mirrors proqlbench's -json output loosely: each experiment
+// is a list of rows keyed by "peers", every other numeric field is a
+// gated metric.
+type benchFile struct {
+	Schema string                   `json:"schema"`
+	Scale  string                   `json:"scale"`
+	Engine string                   `json:"engine"`
+	Del    []map[string]json.Number `json:"del"`
+	Ins    []map[string]json.Number `json:"ins"`
+	Mix    []map[string]json.Number `json:"mix"`
+}
+
+func load(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// ungated metrics: row identity and instance size (growth there is a
+// workload-scale change, not a perf regression).
+var ungated = map[string]bool{"peers": true, "instance_rows": true}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "checked-in baseline JSON")
+		currentPath  = flag.String("current", "", "fresh proqlbench -json output")
+		factor       = flag.Float64("factor", 2.0, "maximum allowed current/baseline ratio per metric (latency metrics compare rebuild-normalized shares, counters absolute values)")
+		floorNS      = flag.Float64("floor-ns", 1_000_000, "latency metrics whose current value is below this many ns are exempt from the ratio gate (µs-scale timings jitter; a real blow-up crosses the floor). Counters are always gated strictly")
+	)
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if base.Scale != cur.Scale || base.Engine != cur.Engine {
+		fmt.Fprintf(os.Stderr, "benchgate: scale/engine mismatch: baseline %s/%s vs current %s/%s\n",
+			base.Scale, base.Engine, cur.Scale, cur.Engine)
+		os.Exit(1)
+	}
+	failures := 0
+	for _, exp := range []struct {
+		name      string
+		base, cur []map[string]json.Number
+	}{
+		{"del", base.Del, cur.Del},
+		{"ins", base.Ins, cur.Ins},
+		{"mix", base.Mix, cur.Mix},
+	} {
+		failures += gateExperiment(exp.name, exp.base, exp.cur, *factor, *floorNS)
+	}
+	if failures > 0 {
+		fmt.Printf("benchgate: FAIL — %d regression(s) beyond %.1fx\n", failures, *factor)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: OK — no metric regressed beyond %.1fx of %s\n", *factor, *baselinePath)
+}
+
+func gateExperiment(name string, base, cur []map[string]json.Number, factor, floorNS float64) int {
+	if len(base) == 0 {
+		return 0
+	}
+	curByPeers := make(map[string]map[string]json.Number, len(cur))
+	for _, row := range cur {
+		curByPeers[string(row["peers"])] = row
+	}
+	failures := 0
+	for _, brow := range base {
+		peers := string(brow["peers"])
+		crow, ok := curByPeers[peers]
+		if !ok {
+			fmt.Printf("%s[peers=%s]: row missing from current run\n", name, peers)
+			failures++
+			continue
+		}
+		for _, metric := range sortedKeys(brow) {
+			if ungated[metric] {
+				continue
+			}
+			bv, err1 := brow[metric].Float64()
+			cnum, present := crow[metric]
+			if !present {
+				fmt.Printf("%s[peers=%s].%s: metric missing from current run\n", name, peers, metric)
+				failures++
+				continue
+			}
+			cv, err2 := cnum.Float64()
+			if err1 != nil || err2 != nil {
+				fmt.Printf("%s[peers=%s].%s: non-numeric metric\n", name, peers, metric)
+				failures++
+				continue
+			}
+			isLatency := strings.HasSuffix(metric, "_ns")
+			// Latencies are compared as shares of the same row's
+			// rebuild arm, so the gate measures the code's incremental
+			// advantage rather than the runner's clock speed. The
+			// normalizer itself is informational only.
+			gb, gc := bv, cv
+			note := ""
+			if metric == "rebuild_ns" {
+				fmt.Printf("%s[peers=%s].%-22s %14.0f -> %14.0f  (%.2fx) normalizer (not gated)\n",
+					name, peers, metric, bv, cv, ratioOf(bv, cv, factor))
+				continue
+			}
+			if isLatency {
+				br, berr := brow["rebuild_ns"].Float64()
+				cr, cerr := crow["rebuild_ns"].Float64()
+				if berr == nil && cerr == nil && br > 0 && cr > 0 {
+					gb, gc = bv/br, cv/cr
+					note = " of rebuild"
+				}
+			}
+			ratio := ratioOf(gb, gc, factor)
+			status := "ok"
+			switch {
+			case ratio <= factor:
+			case isLatency && cv < floorNS:
+				status = "ok (below noise floor)"
+			default:
+				status = "REGRESSED"
+				failures++
+			}
+			fmt.Printf("%s[peers=%s].%-22s %14.0f -> %14.0f  (%.2fx%s) %s\n",
+				name, peers, metric, bv, cv, ratio, note, status)
+		}
+	}
+	return failures
+}
+
+// ratioOf is current/baseline with a zero-baseline guard (a value
+// appearing where the baseline had none counts as a regression).
+func ratioOf(base, cur, factor float64) float64 {
+	if base > 0 {
+		return cur / base
+	}
+	if cur > 0 {
+		return factor + 1
+	}
+	return 1
+}
+
+func sortedKeys(m map[string]json.Number) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/asr"
 	"repro/internal/fixture"
@@ -22,6 +24,54 @@ import (
 	"repro/internal/semiring"
 	"repro/internal/workload"
 )
+
+// The -json flag emits the incremental-maintenance sweeps (del, ins,
+// mix) in a machine-readable form — the repo's perf trajectory. CI
+// writes BENCH_pr<N>.json per run and cmd/benchgate fails the build on
+// a >2× regression against the checked-in BENCH_baseline.json.
+
+type benchDelRow struct {
+	Peers              int   `json:"peers"`
+	MaintainNS         int64 `json:"maintain_ns"`
+	LegacyMaintainNS   int64 `json:"legacy_maintain_ns"`
+	RebuildNS          int64 `json:"rebuild_ns"`
+	TuplesVisited      int   `json:"tuples_visited"`
+	DerivationsVisited int   `json:"derivations_visited"`
+	InstanceRows       int   `json:"instance_rows"`
+}
+
+type benchInsRow struct {
+	Peers            int   `json:"peers"`
+	DeltaNS          int64 `json:"delta_ns"`
+	FullRerunNS      int64 `json:"full_rerun_ns"`
+	RebuildNS        int64 `json:"rebuild_ns"`
+	DeltaDerivations int   `json:"delta_derivations"`
+	InstanceRows     int   `json:"instance_rows"`
+}
+
+type benchMixRow struct {
+	Peers            int   `json:"peers"`
+	DeltaNS          int64 `json:"delta_ns"`
+	FullRerunNS      int64 `json:"full_rerun_ns"`
+	RebuildNS        int64 `json:"rebuild_ns"`
+	ASRPatchNS       int64 `json:"asr_patch_ns"`
+	ASRRematNS       int64 `json:"asr_remat_ns"`
+	DeltaDerivations int   `json:"delta_derivations"`
+	TuplesVisited    int   `json:"tuples_visited"`
+	InstanceRows     int   `json:"instance_rows"`
+}
+
+type benchJSON struct {
+	Schema string        `json:"schema"`
+	Scale  string        `json:"scale"`
+	Engine string        `json:"engine"`
+	Del    []benchDelRow `json:"del,omitempty"`
+	Ins    []benchInsRow `json:"ins,omitempty"`
+	Mix    []benchMixRow `json:"mix,omitempty"`
+}
+
+// collected gathers sweep results when -json is set.
+var collected *benchJSON
 
 type scaleParams struct {
 	fig7Peers  []int
@@ -75,6 +125,17 @@ func defaultScale() scaleParams {
 	}
 }
 
+// ciScale trims the incremental-maintenance sweeps so the CI bench
+// job finishes in seconds while still covering two chain lengths; the
+// checked-in BENCH_baseline.json is recorded at this scale.
+func ciScale() scaleParams {
+	p := defaultScale()
+	p.delPeers = []int{10, 20}
+	p.delBase = 500
+	p.runs = 5
+	return p
+}
+
 func paperScale() scaleParams {
 	p := defaultScale()
 	p.fig7Peers = []int{2, 3, 4, 5, 6, 7, 8}
@@ -92,15 +153,23 @@ func paperScale() scaleParams {
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, annot, del, ins, or all")
-		scale  = flag.String("scale", "default", "default or paper")
-		engine = flag.String("engine", "compiled", "datalog engine for update exchange: legacy or compiled")
-		par    = flag.Int("par", 0, "compiled-engine worker count for exchange firing passes (0 = serial)")
+		exp      = flag.String("exp", "all", "comma-separated experiments: table1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, annot, del, ins, mix, or all")
+		scale    = flag.String("scale", "default", "default, ci, or paper")
+		engine   = flag.String("engine", "compiled", "datalog engine for update exchange: legacy or compiled")
+		par      = flag.Int("par", 0, "compiled-engine worker count for exchange firing passes (0 = serial)")
+		jsonPath = flag.String("json", "", "write the del/ins/mix sweep results to this file (perf-trajectory JSON)")
 	)
 	flag.Parse()
 	p := defaultScale()
-	if *scale == "paper" {
+	switch *scale {
+	case "default":
+	case "paper":
 		p = paperScale()
+	case "ci":
+		p = ciScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -scale %q (want default, ci, or paper)\n", *scale)
+		os.Exit(2)
 	}
 	switch *engine {
 	case "legacy":
@@ -111,8 +180,17 @@ func main() {
 		os.Exit(2)
 	}
 	workload.DefaultParallelism = *par
+	if *jsonPath != "" {
+		collected = &benchJSON{Schema: "proqlbench-v1", Scale: *scale, Engine: *engine}
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(*exp, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			want[name] = true
+		}
+	}
 	run := func(name string, fn func(scaleParams) error) {
-		if *exp != "all" && *exp != name {
+		if !want["all"] && !want[name] {
 			return
 		}
 		fmt.Printf("===== %s =====\n", name)
@@ -151,6 +229,55 @@ func main() {
 	run("annot", runAnnot)
 	run("del", runDeletion)
 	run("ins", runInsertion)
+	run("mix", runMixed)
+	if collected != nil {
+		data, err := json.MarshalIndent(collected, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal -json output: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}
+
+// runMixed is the interleaved-churn experiment (E12): every operation
+// retracts one base tuple AND inserts a batch of fresh ones, then
+// propagates. The delta arm exercises journal repair (the RunDelta
+// after a DeleteLocal must stay delta-seeded) plus incremental ASR
+// patching; the comparison arms pay a full fixpoint, a from-scratch
+// rebuild, or a per-operation ASR re-materialization.
+func runMixed(p scaleParams) error {
+	fmt.Printf("Interleaved churn (E12): chain, base %d at %d upstream peers, 1 delete + %d inserts per op\n",
+		p.delBase, p.delData, p.insBatch)
+	fmt.Println("peers  mixed-delta  full-rerun  rebuild  asr-patch  asr-remat  delta-derivs  visited  instance")
+	rows, err := workload.RunMixed(p.delPeers, p.delData, p.delBase, p.insBatch, p.runs, p.seed)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%5d  %11v  %10v  %7v  %9v  %9v  %12d  %7d  %8d\n",
+			r.Peers, r.DeltaTime, r.FullRerunTime, r.RebuildTime,
+			r.ASRPatchTime, r.ASRRematTime, r.DeltaDerivations, r.TuplesVisited, r.InstanceSize)
+		if collected != nil {
+			collected.Mix = append(collected.Mix, benchMixRow{
+				Peers:            r.Peers,
+				DeltaNS:          r.DeltaTime.Nanoseconds(),
+				FullRerunNS:      r.FullRerunTime.Nanoseconds(),
+				RebuildNS:        r.RebuildTime.Nanoseconds(),
+				ASRPatchNS:       r.ASRPatchTime.Nanoseconds(),
+				ASRRematNS:       r.ASRRematTime.Nanoseconds(),
+				DeltaDerivations: r.DeltaDerivations,
+				TuplesVisited:    r.TuplesVisited,
+				InstanceRows:     r.InstanceSize,
+			})
+		}
+	}
+	return nil
 }
 
 // runInsertion is the insertion-side twin of the Q5 experiment: a
@@ -168,6 +295,16 @@ func runInsertion(p scaleParams) error {
 		fmt.Printf("%5d  %9v  %10v  %7v  %12d  %9d\n",
 			r.Peers, r.DeltaTime, r.FullRerunTime, r.RebuildTime,
 			r.DeltaDerivations, r.InstanceSize)
+		if collected != nil {
+			collected.Ins = append(collected.Ins, benchInsRow{
+				Peers:            r.Peers,
+				DeltaNS:          r.DeltaTime.Nanoseconds(),
+				FullRerunNS:      r.FullRerunTime.Nanoseconds(),
+				RebuildNS:        r.RebuildTime.Nanoseconds(),
+				DeltaDerivations: r.DeltaDerivations,
+				InstanceRows:     r.InstanceSize,
+			})
+		}
 	}
 	return nil
 }
@@ -186,6 +323,17 @@ func runDeletion(p scaleParams) error {
 		fmt.Printf("%5d  %14v  %15v  %7v  %11s  %9d\n",
 			r.Peers, r.MaintainTime, r.LegacyTime, r.RebuildTime,
 			fmt.Sprintf("%d/%d", r.TuplesVisited, r.DerivationsVisited), r.InstanceSize)
+		if collected != nil {
+			collected.Del = append(collected.Del, benchDelRow{
+				Peers:              r.Peers,
+				MaintainNS:         r.MaintainTime.Nanoseconds(),
+				LegacyMaintainNS:   r.LegacyTime.Nanoseconds(),
+				RebuildNS:          r.RebuildTime.Nanoseconds(),
+				TuplesVisited:      r.TuplesVisited,
+				DerivationsVisited: r.DerivationsVisited,
+				InstanceRows:       r.InstanceSize,
+			})
+		}
 	}
 	return nil
 }

@@ -17,6 +17,11 @@ type Index struct {
 	sys  *exchange.System
 	defs []*Def
 	used map[string]string // mapping → ASR name, for overlap checks
+	// materializations counts full backing-table rebuilds
+	// (materializeDef calls); steady-state update paths patch via
+	// ApplyInsertions/ApplyDeletions instead, so tests pin this
+	// counter to catch rebuild regressions.
+	materializations int
 }
 
 // NewIndex creates an empty ASR index for a system.
@@ -48,7 +53,10 @@ func (ix *Index) Define(kind Kind, chain ...string) (*Def, error) {
 
 // Materialize builds (or rebuilds) the backing tables of every
 // definition and creates hash indexes on each span's boundary columns,
-// mirroring the paper's B-Tree indexes on ASR key columns.
+// mirroring the paper's B-Tree indexes on ASR key columns. It is the
+// full-rebuild path — definition changes and full exchange runs; the
+// steady-state update path patches the tables incrementally via
+// ApplyInsertions/ApplyDeletions (maintain.go) instead.
 func (ix *Index) Materialize() error {
 	for _, d := range ix.defs {
 		if err := ix.materializeDef(d); err != nil {
@@ -79,7 +87,13 @@ func (ix *Index) TotalRows() int {
 	return total
 }
 
+// Materializations reports how many full backing-table builds have
+// happened (for tests asserting the steady-state path patches rather
+// than rebuilds).
+func (ix *Index) Materializations() int { return ix.materializations }
+
 func (ix *Index) materializeDef(d *Def) error {
+	ix.materializations++
 	ix.sys.DB.DropTable(d.Name)
 	t, err := ix.sys.DB.CreateTable(&relstore.TableSchema{
 		Name:    d.Name,

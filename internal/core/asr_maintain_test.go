@@ -1,0 +1,76 @@
+package core_test
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/asr"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// facadeASRSnapshot renders the ASR backing tables of a facade system
+// as one sorted comparable string.
+func facadeASRSnapshot(t *testing.T, sys *core.System) string {
+	t.Helper()
+	var lines []string
+	for _, d := range sys.ASRIndex().Defs() {
+		tbl, ok := sys.Exchange().DB.Table(d.Name)
+		if !ok {
+			t.Fatalf("ASR table %s missing", d.Name)
+		}
+		for _, row := range tbl.Rows() {
+			lines = append(lines, d.Name+"|"+model.EncodeDatums(row))
+		}
+	}
+	sort.Strings(lines)
+	out := ""
+	for _, l := range lines {
+		out += l + "\n"
+	}
+	return out
+}
+
+// TestFacadeSteadyStateNeverMaterializes is the acceptance check for
+// incremental ASR maintenance: after an ASR is defined, the
+// steady-state update path (InsertLocal+Run, DeleteLocal) must patch
+// the backing tables from the insertion/deletion reports and never
+// invoke Materialize again — while leaving the tables row-identical to
+// a full re-materialization.
+func TestFacadeSteadyStateNeverMaterializes(t *testing.T) {
+	sys := openExample(t)
+	if err := sys.DefineASR(asr.Subpath, "m5", "m1"); err != nil {
+		t.Fatal(err)
+	}
+	baseline := sys.ASRIndex().Materializations()
+
+	// Steady-state churn: insert + run, delete, insert + run.
+	if err := sys.InsertLocal("A", model.Tuple{int64(3), "sn3", int64(4)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.DeleteLocal("A", []model.Datum{int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.InsertLocal("A", model.Tuple{int64(1), "sn1", int64(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.ASRIndex().Materializations(); got != baseline {
+		t.Fatalf("steady-state path re-materialized ASRs %d time(s); want patches only", got-baseline)
+	}
+
+	// The patched tables must equal ground truth.
+	patched := facadeASRSnapshot(t, sys)
+	if err := sys.ASRIndex().Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := facadeASRSnapshot(t, sys)
+	if patched != rebuilt {
+		t.Fatalf("patched ASR tables differ from re-materialization\npatched:\n%s\nrebuilt:\n%s", patched, rebuilt)
+	}
+}

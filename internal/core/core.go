@@ -74,10 +74,12 @@ func (s *System) InsertLocal(rel string, rows ...model.Tuple) error {
 // their provenance. The first call runs the full fixpoint; afterwards
 // the engine's state persists, so subsequent calls propagate only the
 // rows inserted since the previous run (a Δ-seeded RunDelta whose cost
-// scales with the affected derivations, not the database) and the
-// cached provenance graph is patched in place instead of rebuilt.
-// After a deletion the engine state is stale and Run transparently
-// falls back to the full fixpoint.
+// scales with the affected derivations, not the database), the cached
+// provenance graph is patched in place instead of rebuilt, and ASR
+// backing tables are patched from the same insertion report instead of
+// re-materialized. Deletions do not break the chain: DeleteLocal
+// repairs the engine's journals from its deletion report, so a Run
+// after it is still delta-seeded.
 func (s *System) Run() error {
 	report, err := s.ex.RunDelta()
 	if err != nil {
@@ -88,26 +90,22 @@ func (s *System) Run() error {
 	} else {
 		s.engine.MaintainGraphInsert(report)
 	}
-	if len(s.index.Defs()) > 0 {
-		return s.index.Materialize()
-	}
-	return nil
+	return s.index.ApplyInsertions(report)
 }
 
 // DeleteLocal removes base tuples and incrementally propagates the
 // deletions through the materialized views using their provenance
-// (use case Q5); the cached provenance graph is patched in place from
-// the deletion report rather than rebuilt, and ASRs are refreshed.
+// (use case Q5); the cached provenance graph and the ASR backing
+// tables are patched in place from the deletion report rather than
+// rebuilt.
 func (s *System) DeleteLocal(rel string, keys ...[]model.Datum) (*exchange.MaintenanceReport, error) {
 	report, err := s.ex.DeleteLocal(rel, keys...)
 	if err != nil {
 		return nil, err
 	}
 	s.engine.MaintainGraph(report)
-	if len(s.index.Defs()) > 0 {
-		if err := s.index.Materialize(); err != nil {
-			return nil, err
-		}
+	if err := s.index.ApplyDeletions(report); err != nil {
+		return nil, err
 	}
 	return report, nil
 }

@@ -67,24 +67,46 @@ func TestFacadeRunPatchesGraphOnInsert(t *testing.T) {
 	}
 }
 
-// TestFacadeRunAfterDeleteFallsBackToFullRun: a deletion invalidates
-// the persistent engine state, so the next Run is a full re-exchange
-// and the graph cache is dropped (not patched) — and results still
-// match a fresh engine.
-func TestFacadeRunAfterDeleteFallsBackToFullRun(t *testing.T) {
+// TestFacadeRunAfterDeleteStaysDelta: a deletion feeds its report
+// back into the persistent engine journals (datalog journal repair),
+// so the Run after a DeleteLocal is STILL delta-seeded — the cached
+// graph is patched, not rebuilt, the run enumerates only the affected
+// derivations, and results still match a fresh engine.
+func TestFacadeRunAfterDeleteStaysDelta(t *testing.T) {
 	sys := openExample(t)
+	fullDerivations := sys.Exchange().LastDerivations
 	q := `FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x`
 	if _, err := sys.Query(q); err != nil {
 		t.Fatal(err)
 	}
+	gBefore, err := sys.Engine().Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := sys.DeleteLocal("A", []model.Datum{int64(1)}); err != nil {
 		t.Fatal(err)
+	}
+	if !sys.Exchange().DeltaReady() {
+		t.Fatal("deletion broke the delta chain (journal repair failed)")
 	}
 	if err := sys.InsertLocal("A", model.Tuple{int64(1), "sn1", int64(7)}); err != nil {
 		t.Fatal(err)
 	}
 	if err := sys.Run(); err != nil {
 		t.Fatal(err)
+	}
+	// The post-deletion run was delta-seeded: it enumerated only the
+	// derivations of the re-inserted row, not the whole fixpoint.
+	if got := sys.Exchange().LastDerivations; got >= fullDerivations {
+		t.Fatalf("run after deletion enumerated %d derivations (full fixpoint is %d) — not delta-seeded",
+			got, fullDerivations)
+	}
+	gAfter, err := sys.Engine().Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gAfter != gBefore {
+		t.Fatal("run after deletion rebuilt the cached graph instead of patching it")
 	}
 	res, err := sys.Query(q)
 	if err != nil {

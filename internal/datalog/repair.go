@@ -1,0 +1,147 @@
+package datalog
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// This file is the deletion-repair half of the persistent evaluation
+// state: RunProgram/RunProgramDelta (exec.go) leave the predicate
+// journals mirroring the backing tables, and ApplyDeletions keeps that
+// mirror intact when rows are deleted from the tables outside a run
+// (update exchange's deletion propagation). Without it a deletion
+// forces InvalidateState and the next run pays a full fixpoint; with
+// it a Run after a DeleteLocal stays delta-seeded.
+
+// ApplyDeletions removes the identified rows from the persistent
+// predicate journals and repairs the hash indexes and age watermarks
+// in place, so the journals keep mirroring the backing tables after
+// the caller deleted those rows from storage — the program's state
+// stays valid and the next RunProgramDelta needs no reseeding full
+// fixpoint.
+//
+// deleted maps predicate names to the canonical primary-key encodings
+// (model.EncodeDatums of the key attributes, a model.TupleRef's Key)
+// of the rows removed from that predicate's table. Keys not present in
+// a journal are ignored (e.g. a base row that was deleted before it
+// was ever propagated). Unknown predicates are an error: every
+// predicate the caller can delete from must be part of the program.
+//
+// The repair compacts each affected predicate's journal and rebuilds
+// only that predicate's probe indexes: cost is O(journal rows of the
+// touched predicates), independent of the rest of the database and of
+// the derivation count a full fixpoint would re-enumerate.
+//
+// ApplyDeletions requires valid state (StateValid). On any error the
+// state is invalidated and the caller must fall back to a full
+// RunProgram.
+func (p *Program) ApplyDeletions(deleted map[string][]string) error {
+	if !p.stateValid {
+		return fmt.Errorf("datalog: deletion repair requires valid persistent state (run RunProgram first)")
+	}
+	for name, keys := range deleted {
+		if len(keys) == 0 {
+			continue
+		}
+		id, ok := p.predID[name]
+		if !ok {
+			p.stateValid = false
+			return fmt.Errorf("datalog: deleted predicate %q not in program", name)
+		}
+		ps := p.preds[id]
+		dead := make(map[string]bool, len(keys))
+		for _, k := range keys {
+			dead[k] = true
+		}
+		if err := ps.compactDead(dead); err != nil {
+			p.stateValid = false
+			return err
+		}
+	}
+	return nil
+}
+
+// compactDead removes the journal rows whose primary-key encoding is
+// in dead, then restores the journal invariants: watermarks cover the
+// whole (now shorter) journal as OLD and the probe indexes are rebuilt
+// over the surviving rows (bucket positions must stay ascending and
+// gap-free, so in-place bucket surgery would cost as much as a
+// rebuild).
+func (ps *predState) compactDead(dead map[string]bool) error {
+	keyCols := ps.table.Schema.Key
+	if keyCols == nil {
+		return fmt.Errorf("datalog: predicate %q has no primary key; cannot repair journal", ps.name)
+	}
+	var buf []byte
+	kept := ps.rows[:0]
+	for _, row := range ps.rows {
+		buf = appendCols(buf[:0], row, keyCols)
+		if dead[string(buf)] {
+			continue
+		}
+		kept = append(kept, row)
+	}
+	removed := len(ps.rows) - len(kept)
+	// Drop the vacated tail slots so the journal doesn't pin deleted
+	// tuples alive.
+	for i := len(kept); i < len(ps.rows); i++ {
+		ps.rows[i] = nil
+	}
+	ps.rows = kept
+	ps.oldEnd = len(ps.rows)
+	ps.deltaEnd = len(ps.rows)
+	if removed == 0 {
+		return nil
+	}
+	for _, ix := range ps.indexes {
+		ix.buckets = make(map[string][]int32, len(ix.buckets))
+		ix.built = 0
+	}
+	ps.extendIndexes()
+	return nil
+}
+
+// JournalLen reports the journal length of a predicate (tests and
+// diagnostics); -1 when the predicate is not part of the program.
+func (p *Program) JournalLen(pred string) int {
+	id, ok := p.predID[pred]
+	if !ok {
+		return -1
+	}
+	return len(p.preds[id].rows)
+}
+
+// JournalMirrorsTables verifies that every predicate journal holds
+// exactly the rows of its backing table (set equality on primary-key
+// encodings, multiplicity-checked). It is O(database) and intended for
+// tests and fuzz oracles, not production paths.
+func (p *Program) JournalMirrorsTables() error {
+	for _, ps := range p.preds {
+		counts := make(map[string]int, len(ps.rows))
+		var buf []byte
+		for _, row := range ps.rows {
+			buf = appendCols(buf[:0], row, ps.table.Schema.Key)
+			counts[string(buf)]++
+		}
+		n := 0
+		var err error
+		ps.table.Iterate(func(row model.Tuple) bool {
+			buf = appendCols(buf[:0], row, ps.table.Schema.Key)
+			if counts[string(buf)] == 0 {
+				err = fmt.Errorf("datalog: table %s row %s missing from journal", ps.name, row.Format())
+				return false
+			}
+			counts[string(buf)]--
+			n++
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if n != len(ps.rows) {
+			return fmt.Errorf("datalog: journal of %s holds %d rows, table %d", ps.name, len(ps.rows), n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package datalog
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// encKey encodes a row's key columns the way the journals and
+// TupleRefs do.
+func encKey(row model.Tuple, keyCols []int) string {
+	var buf []byte
+	buf = appendCols(buf, row, keyCols)
+	return string(buf)
+}
+
+// TestApplyDeletionsKeepsDeltaRunsExact: delete derived and base rows
+// from the tables, repair the journals with ApplyDeletions, then
+// extend the fixpoint with RunProgramDelta — the result must equal a
+// from-scratch fixpoint over the post-deletion base data plus the new
+// rows, and the state must stay valid throughout (no full reseeding).
+func TestApplyDeletionsKeepsDeltaRunsExact(t *testing.T) {
+	db, rules := tcProgram(t)
+	e := NewEngine(db)
+	p, err := Compile(db, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunProgram(p); err != nil {
+		t.Fatal(err)
+	}
+
+	// Delete edge(3,4) and every path row reaching 4 — the rows a
+	// deletion propagator would remove — from the tables.
+	edge, path := db.MustTable("edge"), db.MustTable("path")
+	keyCols := edge.Schema.Key
+	deadEdges := []model.Tuple{{int64(3), int64(4)}}
+	deadPaths := []model.Tuple{{int64(3), int64(4)}, {int64(2), int64(4)}, {int64(1), int64(4)}}
+	deleted := map[string][]string{}
+	for _, row := range deadEdges {
+		if ok, err := edge.Delete(row); err != nil || !ok {
+			t.Fatalf("delete edge %v: ok=%v err=%v", row, ok, err)
+		}
+		deleted["edge"] = append(deleted["edge"], encKey(row, keyCols))
+	}
+	for _, row := range deadPaths {
+		if ok, err := path.Delete(row); err != nil || !ok {
+			t.Fatalf("delete path %v: ok=%v err=%v", row, ok, err)
+		}
+		deleted["path"] = append(deleted["path"], encKey(row, keyCols))
+	}
+	if err := p.ApplyDeletions(deleted); err != nil {
+		t.Fatal(err)
+	}
+	if !p.StateValid() {
+		t.Fatal("state invalid after successful deletion repair")
+	}
+	if err := p.JournalMirrorsTables(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Extend with a new edge 4->5 (reattaching below the cut) plus
+	// 0->1 (prepending): the delta run must see the repaired journals,
+	// i.e. not rederive any path through the deleted edge.
+	newRows := []model.Tuple{{int64(0), int64(1)}, {int64(4), int64(5)}}
+	for _, row := range newRows {
+		if _, err := edge.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.RunProgramDelta(p, map[string][]model.Tuple{"edge": newRows}); err != nil {
+		t.Fatal(err)
+	}
+	if !p.StateValid() {
+		t.Fatal("state invalid after delta run over repaired journals")
+	}
+	if err := p.JournalMirrorsTables(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Oracle: fresh fixpoint over edges {1-2, 2-3, 0-1, 4-5}.
+	odb, orules := tcProgram(t)
+	oedge := odb.MustTable("edge")
+	if ok, err := oedge.Delete(model.Tuple{int64(3), int64(4)}); err != nil || !ok {
+		t.Fatalf("oracle delete: ok=%v err=%v", ok, err)
+	}
+	for _, row := range newRows {
+		if _, err := oedge.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oe := NewEngine(odb)
+	if err := oe.Run(orules); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := dbSignature(db), dbSignature(odb); got != want {
+		t.Fatalf("repaired+delta database differs from oracle\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestApplyDeletionsGuards covers the protocol errors: repair without
+// valid state, and repair naming a predicate outside the program.
+func TestApplyDeletionsGuards(t *testing.T) {
+	db, rules := tcProgram(t)
+	p, err := Compile(db, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ApplyDeletions(map[string][]string{"edge": {"x"}}); err == nil {
+		t.Fatal("repair before any run must fail")
+	}
+	e := NewEngine(db)
+	if err := e.RunProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ApplyDeletions(map[string][]string{"nosuch": {"x"}}); err == nil {
+		t.Fatal("repair of unknown predicate must fail")
+	}
+	if p.StateValid() {
+		t.Fatal("failed repair must invalidate state")
+	}
+}
+
+// TestApplyDeletionsUnknownKeysAreIgnored: keys absent from the
+// journal (never-propagated base rows, repeated deletes) are no-ops
+// and leave the state valid.
+func TestApplyDeletionsUnknownKeysAreIgnored(t *testing.T) {
+	db, rules := tcProgram(t)
+	e := NewEngine(db)
+	p, err := Compile(db, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	ghost := encKey(model.Tuple{int64(99), int64(99)}, db.MustTable("edge").Schema.Key)
+	if err := p.ApplyDeletions(map[string][]string{"edge": {ghost}}); err != nil {
+		t.Fatal(err)
+	}
+	if !p.StateValid() {
+		t.Fatal("no-op repair invalidated state")
+	}
+	if err := p.JournalMirrorsTables(); err != nil {
+		t.Fatal(err)
+	}
+}

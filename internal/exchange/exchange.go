@@ -87,13 +87,23 @@ type System struct {
 	// pending buffers, per public relation, the local-contribution rows
 	// InsertLocal actually stored since the last run — the Δ seed of
 	// the next RunDelta. deltaReady reports that the engine state still
-	// mirrors the tables (cleared by deletions and run errors, so the
-	// next run falls back to a full fixpoint). collect, when non-nil,
-	// is the report the hooks append insertion effects to (set only
-	// during delta runs).
+	// mirrors the tables; deletions keep it alive by repairing the
+	// journals from the deletion report (repairJournals), so only run
+	// errors and the legacy propagator clear it and force the next run
+	// to a full fixpoint. collect, when non-nil, is the report the
+	// hooks append insertion effects to (set only during delta runs).
 	pending    map[string][]model.Tuple
 	deltaReady bool
 	collect    *InsertionReport
+	// deadRows buffers, per predicate (local or public table name), the
+	// encoded keys of rows deletion propagation removed from storage but
+	// not yet from the persistent journals. DeleteLocal defers the
+	// journal repair here — recording a key is O(1), keeping deletions
+	// at their support-index cost — and the next RunDelta flushes the
+	// batch into datalog.Program.ApplyDeletions before seeding, so the
+	// repair's O(affected journals) cost is amortized into the run that
+	// actually needs coherent journals.
+	deadRows map[string][]string
 
 	// support is the persistent ref→derivation index DeleteLocal
 	// propagates over. It is populated by the Run hooks as exchange
@@ -279,7 +289,8 @@ func (s *System) Run() error {
 	s.LastIterations = s.eng.Iterations
 	s.LastDerivations = s.eng.Derivations
 	s.deltaReady = true
-	s.pending = nil // a full run consumed everything the tables hold
+	s.pending = nil  // a full run consumed everything the tables hold
+	s.deadRows = nil // journals reseeded from the tables; nothing stale
 	return nil
 }
 
@@ -288,9 +299,11 @@ func (s *System) Run() error {
 // ApplyInsertions) can patch instead of rebuilding.
 type InsertionReport struct {
 	// Full reports that RunDelta fell back to a full exchange — first
-	// run, legacy engine, or engine state invalidated by a deletion.
-	// The insertion lists below are empty then; cache holders must
-	// invalidate rather than patch.
+	// run, legacy engine, or engine state invalidated by an earlier
+	// run error or legacy-propagator deletion (delta-driven DeleteLocal
+	// repairs the journals and keeps delta runs alive). The insertion
+	// lists below are empty then; cache holders must invalidate rather
+	// than patch.
 	Full bool
 
 	// Iterations and Derivations are the engine stats of this run; for
@@ -332,11 +345,22 @@ type InsertedDerivation struct {
 // exchanged system costs O(affected derivations), not O(database).
 // The hooks extend the provenance tables and the deletion-support
 // index exactly as a full run would, and the returned report lists
-// everything added. When no valid persistent state exists (first run,
-// legacy engine, or a deletion invalidated it) RunDelta falls back to
-// a full Run and reports Full.
+// everything added. Interleaved deletions do not break the chain of
+// delta runs: DeleteLocal repairs the persistent journals from its
+// deletion report, so a RunDelta after it still seeds from the pending
+// rows alone. When no valid persistent state exists (first run, legacy
+// engine, or an earlier error invalidated it) RunDelta falls back to a
+// full Run and reports Full.
 func (s *System) RunDelta() (*InsertionReport, error) {
 	if s.opts.UseLegacyEngine || !s.deltaReady || s.prog == nil || !s.prog.StateValid() {
+		if err := s.Run(); err != nil {
+			return nil, err
+		}
+		return &InsertionReport{Full: true, Iterations: s.LastIterations, Derivations: s.LastDerivations}, nil
+	}
+	if err := s.flushDeadRows(); err != nil {
+		// Journal repair failed (the datalog layer invalidated its
+		// state); reseed with a full run.
 		if err := s.Run(); err != nil {
 			return nil, err
 		}
@@ -375,11 +399,22 @@ func (s *System) RunDelta() (*InsertionReport, error) {
 	return report, nil
 }
 
+// DeltaReady reports whether the persistent engine state currently
+// mirrors the backing tables, i.e. whether the next RunDelta will run
+// incrementally instead of falling back to a full fixpoint. It stays
+// true across DeleteLocal (which repairs the journals from its
+// report); only run errors and the legacy propagation paths clear it.
+func (s *System) DeltaReady() bool {
+	return s.deltaReady && s.prog != nil && s.prog.StateValid()
+}
+
 // invalidateDelta marks the persistent engine state stale (the tables
-// were mutated outside a run — deletion propagation); the next
-// RunDelta falls back to a full fixpoint.
+// were mutated outside a run and the journals could not be repaired —
+// legacy propagation, run errors); the next RunDelta falls back to a
+// full fixpoint.
 func (s *System) invalidateDelta() {
 	s.deltaReady = false
+	s.deadRows = nil // a full reseed supersedes any deferred repair
 	if s.prog != nil {
 		s.prog.InvalidateState()
 	}

@@ -58,7 +58,18 @@ func (s *System) SupportPoolSizes() (derivSlots, live, edges, freeEdges, atomPoo
 	return len(ix.derivs), ix.live(), len(ix.edgeDeriv), len(ix.edgeFree), len(ix.atomPool)
 }
 
-// DeltaReady reports whether the next RunDelta can run incrementally.
-func (s *System) DeltaReady() bool {
-	return s.deltaReady && s.prog != nil && s.prog.StateValid()
+// JournalsMirrorTables flushes any deferred journal repairs and then
+// verifies the compiled engine's persistent journals hold exactly the
+// rows of their backing tables — the invariant deletion repair must
+// preserve. Only meaningful when no pending inserts are buffered
+// (freshly inserted rows reach the journals at the next delta run);
+// nil when the program has not been compiled yet.
+func (s *System) JournalsMirrorTables() error {
+	if s.prog == nil {
+		return nil
+	}
+	if err := s.flushDeadRows(); err != nil {
+		return err
+	}
+	return s.prog.JournalMirrorsTables()
 }

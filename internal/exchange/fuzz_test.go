@@ -1,6 +1,7 @@
 package exchange_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/exchange"
@@ -198,6 +199,137 @@ func FuzzInsertDelete(f *testing.F) {
 				if rAlive != present[y].r {
 					t.Fatalf("key %d: R alive=%v, want %v", y, rAlive, present[y].r)
 				}
+			}
+		}
+	})
+}
+
+// FuzzInterleavedChurn fuzzes the journal-repair path: unlike
+// FuzzInsertDelete it buffers multiple inserts before a run and
+// interleaves deletions at arbitrary points (including while inserts
+// are pending, exercising the pending-buffer purge), asserting that
+// (a) the delta chain NEVER breaks — DeleteLocal repairs the
+// persistent journals, so every RunDelta after the initial exchange
+// reports Full=false, (b) whenever no inserts are pending the
+// journals mirror the backing tables exactly, and (c) after every run
+// the mutual-support cycle {P(x), Q(x)} exists exactly when some
+// external support survives. Action nibbles: 0/1/2 = del R/P/Q,
+// 3/4/5 = ins R/P/Q (buffered), 6/7 = RunDelta.
+func FuzzInterleavedChurn(f *testing.F) {
+	// Seeds: churn one key through delete→insert→run; buffer several
+	// inserts across a deletion before running; delete a pending row
+	// before it ever propagates; both provenance layouts.
+	f.Add([]byte{0, 0x00, 0x30, 0x60, 0x00, 0x60})       // del R0, ins R0, run, del R0, run
+	f.Add([]byte{1, 0x33, 0x43, 0x01, 0x60, 0x13, 0x70}) // ins R3+P3 pending, del P1, run, del P3, run
+	f.Add([]byte{0, 0x31, 0x11, 0x60})                   // ins buffered then its key's P support deleted
+	f.Add([]byte{1, 0x02, 0x12, 0x22, 0x60, 0x32, 0x60}) // drain key 2, run, re-add, run
+	f.Add([]byte{0, 0x60, 0x60, 0x00, 0x60})             // idle runs around a deletion
+
+	const domain = 4
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) == 0 || len(ops) > 24 {
+			t.Skip()
+		}
+		opts := exchange.Options{MaterializeAll: ops[0]%2 == 1}
+		sys := buildCycleSetting(t, opts)
+		type support struct{ r, p, q bool }
+		present := map[int64]*support{}
+		for x := int64(0); x < domain; x++ {
+			present[x] = &support{r: x < 3, p: x == 1, q: x == 1 || x == 2}
+		}
+		pending := 0
+		checkCycle := func(where string) {
+			t.Helper()
+			for y := int64(0); y < domain; y++ {
+				wantAlive := present[y].r || present[y].p || present[y].q
+				_, pAlive := sys.DB.MustTable("P").LookupKey([]model.Datum{y})
+				_, qAlive := sys.DB.MustTable("Q").LookupKey([]model.Datum{y})
+				if pAlive != wantAlive || qAlive != wantAlive {
+					t.Fatalf("%s: key %d: want alive=%v, got P=%v Q=%v", where, y, wantAlive, pAlive, qAlive)
+				}
+			}
+		}
+		for _, op := range ops[1:] {
+			action := int(op>>4) % 8
+			x := int64(op&0x0f) % domain
+			sup := present[x]
+			switch {
+			case action < 3: // delete
+				rel := []string{"R", "P", "Q"}[action]
+				tuplesBefore := publicRowCount(sys)
+				derivsBefore := derivationCount(t, sys)
+				report, err := sys.DeleteLocal(rel, []model.Datum{x})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := tuplesBefore - publicRowCount(sys); got != report.TuplesDeleted {
+					t.Fatalf("TuplesDeleted=%d, storage lost %d rows (op del %s[%d])",
+						report.TuplesDeleted, got, rel, x)
+				}
+				if got := derivsBefore - derivationCount(t, sys); got != report.DerivationsDeleted {
+					t.Fatalf("DerivationsDeleted=%d, storage lost %d derivations (op del %s[%d])",
+						report.DerivationsDeleted, got, rel, x)
+				}
+				if !sys.DeltaReady() {
+					t.Fatalf("deletion of %s[%d] broke the delta chain", rel, x)
+				}
+				switch rel {
+				case "R":
+					sup.r = false
+				case "P":
+					sup.p = false
+				case "Q":
+					sup.q = false
+				}
+				// With inserts buffered the journals legitimately lag
+				// the tables and public rows of freshly inserted keys
+				// don't exist yet, so full-coherence checks only run
+				// when nothing was buffered since the last run.
+				if pending == 0 {
+					if err := sys.JournalsMirrorTables(); err != nil {
+						t.Fatalf("journals diverged after del %s[%d]: %v", rel, x, err)
+					}
+					checkCycle(fmt.Sprintf("after del %s[%d]", rel, x))
+				}
+			case action < 6: // insert (buffered)
+				rel := []string{"R", "P", "Q"}[action-3]
+				if err := sys.InsertLocal(rel, model.Tuple{x}); err != nil {
+					t.Fatal(err)
+				}
+				fresh := false
+				switch rel {
+				case "R":
+					fresh, sup.r = !sup.r, true
+				case "P":
+					fresh, sup.p = !sup.p, true
+				case "Q":
+					fresh, sup.q = !sup.q, true
+				}
+				if fresh {
+					pending++
+				}
+			default: // run
+				tuplesBefore := publicRowCount(sys)
+				derivsBefore := derivationCount(t, sys)
+				report, err := sys.RunDelta()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if report.Full {
+					t.Fatal("RunDelta fell back to a full fixpoint")
+				}
+				if got := publicRowCount(sys) - tuplesBefore; got != len(report.InsertedTuples) {
+					t.Fatalf("InsertedTuples=%d, storage gained %d rows", len(report.InsertedTuples), got)
+				}
+				if got := derivationCount(t, sys) - derivsBefore; got != len(report.InsertedDerivations) {
+					t.Fatalf("InsertedDerivations=%d, storage gained %d derivations",
+						len(report.InsertedDerivations), got)
+				}
+				pending = 0
+				if err := sys.JournalsMirrorTables(); err != nil {
+					t.Fatalf("journals diverged after delta run: %v", err)
+				}
+				checkCycle("after run")
 			}
 		}
 	})

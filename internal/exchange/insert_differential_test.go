@@ -14,9 +14,10 @@ import (
 // Δ-seeded RunDelta must leave the database, the provenance tables,
 // AND the support index identical to (a) a full re-run on the same
 // warm system and (b) a from-scratch exchange oracle over all base
-// data inserted so far. Some trials interleave deletions to exercise
-// the invalidation path (RunDelta must fall back to a full run and
-// still converge to the oracle).
+// data inserted so far. Some trials interleave deletions: DeleteLocal
+// repairs the persistent journals from its report, so the following
+// RunDelta must STAY delta-seeded (no full-run fallback) and still
+// converge to the oracle.
 
 func TestDifferentialInsertion(t *testing.T) {
 	rng := rand.New(rand.NewSource(20260729))
@@ -79,8 +80,9 @@ func TestDifferentialInsertion(t *testing.T) {
 			}
 
 			if withDeletes && rng.Intn(3) == 0 {
-				// Delete one surviving row from both systems, then let
-				// the next RunDelta hit the invalidation fallback.
+				// Delete one surviving row from both systems; journal
+				// repair must keep the delta state alive, so the next
+				// RunDelta stays incremental across the deletion.
 				ri := rng.Intn(len(current))
 				for enc, row := range current[ri] {
 					delete(current[ri], enc)
@@ -90,8 +92,8 @@ func TestDifferentialInsertion(t *testing.T) {
 					if _, err := sysFull.DeleteLocal(relName(ri), row); err != nil {
 						t.Fatal(err)
 					}
-					if sysDelta.DeltaReady() {
-						t.Fatalf("trial %d step %d: delta state still valid after deletion", trial, step)
+					if !sysDelta.DeltaReady() {
+						t.Fatalf("trial %d step %d: delta state lost across deletion (journal repair failed)", trial, step)
 					}
 					break
 				}

@@ -67,18 +67,75 @@ type DeletedDerivation struct {
 // never counted down, so the whole cycle collapses together, which
 // delete-and-rederive algorithms must special-case. Cost scales with
 // the affected subgraph, not the database.
+// After the propagation the deletion report is fed back into the
+// compiled engine's persistent state: the deleted rows' keys join the
+// deferred-repair buffer, and the next RunDelta flushes them into the
+// journals (datalog.Program.ApplyDeletions) before seeding — so the
+// engine state keeps mirroring the tables and the run after a
+// DeleteLocal stays delta-seeded, while the deletion itself pays only
+// O(deleted rows) on top of the support-index walk.
 func (s *System) DeleteLocal(rel string, keys ...[]model.Datum) (*MaintenanceReport, error) {
 	report, frontier, err := s.deleteLocalBase(rel, keys)
 	if err != nil || report.LocalDeleted == 0 {
 		return report, err
 	}
+	repairable := s.DeltaReady()
 	if err := s.ensureSupport(); err != nil {
+		s.invalidateDelta()
 		return nil, err
 	}
 	if err := s.maintainDelta(report, frontier); err != nil {
+		s.invalidateDelta()
 		return nil, err
 	}
+	if !repairable {
+		s.invalidateDelta()
+		return report, nil
+	}
+	if err := s.deferJournalRepair(report); err != nil {
+		// The tables themselves are consistent; degrade to the
+		// pre-repair behavior (next run pays a full fixpoint).
+		s.invalidateDelta()
+	}
 	return report, nil
+}
+
+// deferJournalRepair records a deletion report's removed rows in the
+// deferred-repair buffer the next delta run flushes into the
+// journals. Provenance rows live outside the Datalog program (they
+// are hook-maintained), so only the local/public deletions are
+// translated.
+func (s *System) deferJournalRepair(report *MaintenanceReport) error {
+	if s.deadRows == nil {
+		s.deadRows = make(map[string][]string)
+	}
+	for _, ref := range report.DeletedLocals {
+		r, ok := s.Schema.Relation(ref.Rel)
+		if !ok {
+			return fmt.Errorf("exchange: unknown relation %q in deletion report", ref.Rel)
+		}
+		name := r.LocalName()
+		s.deadRows[name] = append(s.deadRows[name], ref.Key)
+	}
+	for _, ref := range report.DeletedTuples {
+		s.deadRows[ref.Rel] = append(s.deadRows[ref.Rel], ref.Key)
+	}
+	return nil
+}
+
+// flushDeadRows applies the deferred journal repairs accumulated by
+// DeleteLocal since the last run. A no-op when nothing is buffered or
+// when the persistent state is already slated for a full reseed.
+func (s *System) flushDeadRows() error {
+	if len(s.deadRows) == 0 {
+		return nil
+	}
+	dead := s.deadRows
+	s.deadRows = nil
+	if s.prog == nil || !s.prog.StateValid() {
+		return nil
+	}
+	return s.prog.ApplyDeletions(dead)
 }
 
 // DeleteLocalLegacy is DeleteLocal propagating through MaintainLegacy's
@@ -116,17 +173,36 @@ func (s *System) deleteLocalBase(rel string, keys [][]model.Datum) (*Maintenance
 		if deleted {
 			report.LocalDeleted++
 			frontier = append(frontier, model.RefFromKey(rel, key))
+			// A row inserted since the last run and deleted before it
+			// ever propagated must leave the pending delta buffer too,
+			// or the next RunDelta would seed from a row no table
+			// holds.
+			s.dropPending(rel, r, key)
 		}
 	}
 	report.DeletedLocals = frontier
-	if report.LocalDeleted > 0 {
-		// The persistent engine journals no longer mirror the tables;
-		// the next insertion run must reseed from scratch (a possible
-		// follow-up: feed the deletion report into the journals so
-		// delta-seeded runs survive deletions too).
-		s.invalidateDelta()
-	}
 	return report, frontier, nil
+}
+
+// dropPending removes any buffered-but-not-yet-run local rows matching
+// the deleted key from the pending delta buffer.
+func (s *System) dropPending(rel string, r *model.Relation, key []model.Datum) {
+	rows := s.pending[rel]
+	if len(rows) == 0 {
+		return
+	}
+	enc := model.EncodeDatums(key)
+	kept := rows[:0]
+	for _, row := range rows {
+		if model.EncodeDatums(r.KeyOf(row)) != enc {
+			kept = append(kept, row)
+		}
+	}
+	if len(kept) == 0 {
+		delete(s.pending, rel)
+		return
+	}
+	s.pending[rel] = kept
 }
 
 // ensureSupport (re)builds the support index from the provenance

@@ -199,6 +199,14 @@ func (t *Table) DeleteEncoded(enc string) (bool, error) {
 	}
 	row := t.rows[idx]
 	delete(t.pk, enc)
+	t.unindexAndFree(idx, row)
+	return true, nil
+}
+
+// unindexAndFree removes a live row's entries from every secondary
+// index and returns its slot to the free list (shared by the keyed
+// and predicate delete paths, so index maintenance cannot diverge).
+func (t *Table) unindexAndFree(idx int, row model.Tuple) {
 	for _, ix := range t.indexes {
 		k := encodeCols(row, ix.cols)
 		bucket := ix.buckets[k]
@@ -214,7 +222,28 @@ func (t *Table) DeleteEncoded(enc string) (bool, error) {
 	}
 	t.rows[idx] = nil
 	t.free = append(t.free, idx)
-	return true, nil
+}
+
+// DeleteWhere removes every live row for which match returns true,
+// maintaining the primary key (if any) and all secondary indexes, and
+// reports how many rows were removed. Unlike Delete it works on
+// keyless tables (ASR backing tables hold NULL-padded span rows with
+// no primary key), which is what incremental ASR maintenance patches.
+// match must not mutate the rows or the table.
+func (t *Table) DeleteWhere(match func(model.Tuple) bool) int {
+	removed := 0
+	for idx, row := range t.rows {
+		if row == nil || !match(row) {
+			continue
+		}
+		if t.pk != nil {
+			key := t.encodeKey(row, t.Schema.Key)
+			delete(t.pk, string(key))
+		}
+		t.unindexAndFree(idx, row)
+		removed++
+	}
+	return removed
 }
 
 // LookupKey returns the row with the given primary key, if present.

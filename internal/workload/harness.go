@@ -447,6 +447,193 @@ func RunInsertion(peerCounts []int, dataPeers, baseSize, batch, runs int, seed i
 	return out, nil
 }
 
+// MixedRow is one point of the interleaved-churn experiment (E12):
+// each operation deletes one existing base tuple AND inserts a small
+// batch of fresh ones at the far peer, then propagates. The delta arm
+// relies on journal repair — DeleteLocal patches the persistent
+// engine state, so the following RunDelta stays delta-seeded; the
+// full-rerun arm pays a complete fixpoint per operation; the rebuild
+// arm re-exchanges from scratch. The ASR columns measure maintaining
+// a complete-path ASR over the whole chain under the same churn:
+// patched from the insertion/deletion reports versus re-materialized
+// per operation.
+type MixedRow struct {
+	Peers            int
+	DeltaTime        time.Duration
+	FullRerunTime    time.Duration
+	RebuildTime      time.Duration
+	DeltaDerivations int
+	TuplesVisited    int
+	ASRPatchTime     time.Duration
+	ASRRematTime     time.Duration
+	InstanceSize     int
+}
+
+// RunMixed measures interleaved insert/delete churn at Fig.-10-style
+// scales: a chain of n peers with data at the far end; every measured
+// operation retracts one base tuple and inserts batch fresh ones at
+// the top peer, so the whole propagation chain is touched in both
+// directions. Deleted keys and inserted keys are distinct across
+// iterations, so every measurement does the same amount of work on a
+// warm system.
+func RunMixed(peerCounts []int, dataPeers, baseSize, batch, runs int, seed int64) ([]MixedRow, error) {
+	var out []MixedRow
+	for _, n := range peerCounts {
+		cfg := Config{
+			Topology:   Chain,
+			Profile:    ProfileLinear,
+			NumPeers:   n,
+			DataPeers:  UpstreamDataPeers(n, dataPeers),
+			BaseSize:   baseSize,
+			Categories: 16,
+			Seed:       seed,
+		}
+		row := MixedRow{Peers: n}
+		src := n - 1
+		var delNext, insNext int64
+		churn := func() (delKey []model.Datum, ins []model.Tuple) {
+			delKey = []model.Datum{int64(src)*10_000_000 + delNext%int64(baseSize)}
+			delNext++
+			ins = make([]model.Tuple, batch)
+			for j := range ins {
+				k := int64(src)*10_000_000 + int64(baseSize) + insNext
+				insNext++
+				r := model.Tuple{k, k % int64(cfg.Categories)}
+				for a := 0; a < 10; a++ {
+					r = append(r, k+int64(a))
+				}
+				ins[j] = r
+			}
+			return delKey, ins
+		}
+
+		set, err := Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		row.InstanceSize = set.InstanceSize()
+		row.DeltaTime, err = timed(runs, func() error {
+			delKey, ins := churn()
+			rep, err := set.Sys.DeleteLocal(ARel(src), delKey)
+			if err != nil {
+				return err
+			}
+			row.TuplesVisited = rep.TuplesVisited
+			if err := set.Sys.InsertLocal(ARel(src), ins...); err != nil {
+				return err
+			}
+			irep, err := set.Sys.RunDelta()
+			if err != nil {
+				return err
+			}
+			if irep.Full {
+				return fmt.Errorf("workload: mixed delta arm fell back to a full run")
+			}
+			row.DeltaDerivations = irep.Derivations
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		fullSet, err := Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		delNext, insNext = 0, 0
+		row.FullRerunTime, err = timed(runs, func() error {
+			delKey, ins := churn()
+			if _, err := fullSet.Sys.DeleteLocal(ARel(src), delKey); err != nil {
+				return err
+			}
+			if err := fullSet.Sys.InsertLocal(ARel(src), ins...); err != nil {
+				return err
+			}
+			return fullSet.Sys.Run()
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		row.RebuildTime, err = timed(runs, func() error {
+			_, err := Build(cfg)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// ASR maintenance under the same churn: a complete-path ASR
+		// over the whole A-chain, patched from the reports versus
+		// re-materialized per operation.
+		patchSet, err := Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		chain := patchSet.AChains()[0]
+		patchIx := asr.NewIndex(patchSet.Sys)
+		if _, err := patchIx.Define(asr.CompletePath, chain...); err != nil {
+			return nil, err
+		}
+		if err := patchIx.Materialize(); err != nil {
+			return nil, err
+		}
+		delNext, insNext = 0, 0
+		row.ASRPatchTime, err = timed(runs, func() error {
+			delKey, ins := churn()
+			rep, err := patchSet.Sys.DeleteLocal(ARel(src), delKey)
+			if err != nil {
+				return err
+			}
+			if err := patchIx.ApplyDeletions(rep); err != nil {
+				return err
+			}
+			if err := patchSet.Sys.InsertLocal(ARel(src), ins...); err != nil {
+				return err
+			}
+			irep, err := patchSet.Sys.RunDelta()
+			if err != nil {
+				return err
+			}
+			return patchIx.ApplyInsertions(irep)
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		rematSet, err := Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rematIx := asr.NewIndex(rematSet.Sys)
+		if _, err := rematIx.Define(asr.CompletePath, chain...); err != nil {
+			return nil, err
+		}
+		if err := rematIx.Materialize(); err != nil {
+			return nil, err
+		}
+		delNext, insNext = 0, 0
+		row.ASRRematTime, err = timed(runs, func() error {
+			delKey, ins := churn()
+			if _, err := rematSet.Sys.DeleteLocal(ARel(src), delKey); err != nil {
+				return err
+			}
+			if err := rematSet.Sys.InsertLocal(ARel(src), ins...); err != nil {
+				return err
+			}
+			if _, err := rematSet.Sys.RunDelta(); err != nil {
+				return err
+			}
+			return rematIx.Materialize()
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
 // AnnotationOverheadRow compares graph projection alone against
 // projection plus annotation computation (Section 6.1.2's observation
 // that the projection component dominates).

@@ -247,6 +247,17 @@ func TestHarnessSmoke(t *testing.T) {
 	if len(exp.Rows) != 4 {
 		t.Errorf("ASR sweep rows = %d", len(exp.Rows))
 	}
+	mrows, err := RunMixed([]int{4}, 1, 20, 2, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mrows) != 1 || mrows[0].DeltaTime <= 0 || mrows[0].FullRerunTime <= 0 ||
+		mrows[0].ASRPatchTime <= 0 || mrows[0].ASRRematTime <= 0 {
+		t.Errorf("mixed rows = %+v", mrows)
+	}
+	if mrows[0].DeltaDerivations <= 0 || mrows[0].TuplesVisited <= 0 {
+		t.Errorf("mixed row counters empty: %+v", mrows[0])
+	}
 	ov, err := RunAnnotationOverhead(Config{
 		Topology:  Chain,
 		Profile:   ProfileLinear,
