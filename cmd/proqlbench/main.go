@@ -61,13 +61,22 @@ type benchMixRow struct {
 	InstanceRows     int   `json:"instance_rows"`
 }
 
+type benchShardRow struct {
+	Shards           int   `json:"shards"`
+	RunNS            int64 `json:"run_ns"`
+	DeltaNS          int64 `json:"delta_ns"`
+	DeltaDerivations int   `json:"delta_derivations"`
+	InstanceRows     int   `json:"instance_rows"`
+}
+
 type benchJSON struct {
-	Schema string        `json:"schema"`
-	Scale  string        `json:"scale"`
-	Engine string        `json:"engine"`
-	Del    []benchDelRow `json:"del,omitempty"`
-	Ins    []benchInsRow `json:"ins,omitempty"`
-	Mix    []benchMixRow `json:"mix,omitempty"`
+	Schema string          `json:"schema"`
+	Scale  string          `json:"scale"`
+	Engine string          `json:"engine"`
+	Del    []benchDelRow   `json:"del,omitempty"`
+	Ins    []benchInsRow   `json:"ins,omitempty"`
+	Mix    []benchMixRow   `json:"mix,omitempty"`
+	Shard  []benchShardRow `json:"shard,omitempty"`
 }
 
 // collected gathers sweep results when -json is set.
@@ -98,6 +107,9 @@ type scaleParams struct {
 	delData    int
 	delBase    int
 	insBatch   int
+	shardPeers int
+	shardBase  int
+	shardList  []int
 	runs       int
 	seed       int64
 }
@@ -119,9 +131,10 @@ func defaultScale() scaleParams {
 		fig12Peers: 8, fig12Data: 4, fig12Lens: []int{1, 2, 3, 4, 5, 6, 7},
 		fig13Peers: 20, fig13Data: 4, fig13Lens: []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
 		delPeers: []int{10, 20, 40}, delData: 2, delBase: 500,
-		insBatch: 5,
-		runs:     5,
-		seed:     42,
+		insBatch:   5,
+		shardPeers: 40, shardBase: 500, shardList: []int{1, 2, 4, 8},
+		runs: 5,
+		seed: 42,
 	}
 }
 
@@ -132,6 +145,8 @@ func ciScale() scaleParams {
 	p := defaultScale()
 	p.delPeers = []int{10, 20}
 	p.delBase = 500
+	p.shardPeers = 40
+	p.shardBase = 500
 	p.runs = 5
 	return p
 }
@@ -147,16 +162,19 @@ func paperScale() scaleParams {
 	p.asrBase = 50000
 	p.delPeers = []int{10, 20, 40, 80}
 	p.delBase = 2000
+	p.shardPeers = 80
+	p.shardBase = 2000
 	p.runs = 7
 	return p
 }
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiments: table1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, annot, del, ins, mix, or all")
+		exp      = flag.String("exp", "all", "comma-separated experiments: table1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, annot, del, ins, mix, shard, or all")
 		scale    = flag.String("scale", "default", "default, ci, or paper")
 		engine   = flag.String("engine", "compiled", "datalog engine for update exchange: legacy or compiled")
-		par      = flag.Int("par", 0, "compiled-engine worker count for exchange firing passes (0 = serial)")
+		par      = flag.Int("par", 0, "compiled-engine worker count per evaluation round (0 = serial); how much hardware a round may use, independent of -shards")
+		shards   = flag.Int("shards", 0, "fact-space shard count for the compiled engine (0/1 = unsharded); fixes data partitioning and merge order, while -par fixes the workers evaluating the shards")
 		jsonPath = flag.String("json", "", "write the del/ins/mix sweep results to this file (perf-trajectory JSON)")
 	)
 	flag.Parse()
@@ -180,6 +198,7 @@ func main() {
 		os.Exit(2)
 	}
 	workload.DefaultParallelism = *par
+	workload.DefaultShards = *shards
 	if *jsonPath != "" {
 		collected = &benchJSON{Schema: "proqlbench-v1", Scale: *scale, Engine: *engine}
 	}
@@ -230,6 +249,7 @@ func main() {
 	run("del", runDeletion)
 	run("ins", runInsertion)
 	run("mix", runMixed)
+	run("shard", runShard)
 	if collected != nil {
 		data, err := json.MarshalIndent(collected, "", "  ")
 		if err != nil {
@@ -273,6 +293,43 @@ func runMixed(p scaleParams) error {
 				ASRRematNS:       r.ASRRematTime.Nanoseconds(),
 				DeltaDerivations: r.DeltaDerivations,
 				TuplesVisited:    r.TuplesVisited,
+				InstanceRows:     r.InstanceSize,
+			})
+		}
+	}
+	return nil
+}
+
+// runShard is the strong-scaling experiment (E13): the same
+// Fig.-10-style chain built at shard counts 1/2/4/8 (Parallelism set
+// to the shard count), measuring the warm full-exchange fixpoint and
+// one interleaved churn operation per shard count. The S=1 row is the
+// unsharded serial engine — the parity and speedup reference the gate
+// normalizes against.
+func runShard(p scaleParams) error {
+	fmt.Printf("Shard scaling (E13): chain of %d peers, base %d at %d upstream peers, shard counts %v\n",
+		p.shardPeers, p.shardBase, p.delData, p.shardList)
+	fmt.Println("shards  full-run  mixed-delta  delta-derivs  instance")
+	rows, err := workload.RunShardScaling(p.shardList, p.shardPeers, p.delData, p.shardBase, p.insBatch, p.runs, p.seed)
+	if err != nil {
+		return err
+	}
+	var base float64
+	for _, r := range rows {
+		speedup := ""
+		if r.Shards == 1 {
+			base = float64(r.RunTime)
+		} else if base > 0 {
+			speedup = fmt.Sprintf("  (%.2fx vs S=1)", base/float64(r.RunTime))
+		}
+		fmt.Printf("%6d  %8v  %11v  %12d  %8d%s\n",
+			r.Shards, r.RunTime, r.DeltaTime, r.DeltaDerivations, r.InstanceSize, speedup)
+		if collected != nil {
+			collected.Shard = append(collected.Shard, benchShardRow{
+				Shards:           r.Shards,
+				RunNS:            r.RunTime.Nanoseconds(),
+				DeltaNS:          r.DeltaTime.Nanoseconds(),
+				DeltaDerivations: r.DeltaDerivations,
 				InstanceRows:     r.InstanceSize,
 			})
 		}

@@ -39,13 +39,25 @@ type HeadInsert struct {
 // needing the insertion results accept that ordering.
 type HeadHook func(rule *Rule, vars []string, slots []model.Datum, heads []HeadInsert)
 
+// ShardHook is the firing callback of shard-parallel programs
+// (CompileSharded with more than one shard). It is invoked by the
+// shard that owns the firing's head row — concurrently across shards,
+// never concurrently for the same shard — so implementations must keep
+// any mutable state per shard (indexed by the shard argument) or
+// immutable. The head insertion semantics match HeadHook, except that
+// Inserted reflects the shard journal's duplicate check: the backing
+// table itself is only written back at the end of the run.
+type ShardHook func(shard int, rule *Rule, vars []string, slots []model.Datum, heads []HeadInsert)
+
 // Engine is the compiled semi-naive Datalog engine: rules are lowered
 // once into slot-based join programs (compile.go) and evaluated to
 // fixpoint over flat binding arrays, probing incremental hash indexes
 // over age-partitioned fact journals. With Parallelism > 1, each
 // round's Δ rows are partitioned across a worker pool that collects
 // firings into batches, which the coordinating goroutine then applies
-// in deterministic task order.
+// in deterministic task order. Programs compiled with more than one
+// shard run every round's firing passes on all shards in parallel
+// instead (shard.go), with Parallelism bounding the worker pool.
 type Engine struct {
 	DB   *relstore.Database
 	Hook SlotHook
@@ -53,8 +65,14 @@ type Engine struct {
 	// additionally receives the firing's head insertions (with their
 	// canonical key encodings). See HeadHook for ordering semantics.
 	HookHeads HeadHook
+	// HookShard is the firing callback for sharded programs; setting it
+	// alongside a single-shard program (or Hook/HookHeads alongside a
+	// sharded one) is an error — the two modes have different
+	// concurrency contracts.
+	HookShard ShardHook
 	// Parallelism is the worker count for the firing passes; values
-	// below 2 run serially.
+	// below 2 run serially. For sharded programs it bounds the shard
+	// worker pool (0 means one worker per shard).
 	Parallelism int
 
 	// Stats from the last run.
@@ -88,6 +106,20 @@ func BindingFromSlots(vars []string, slots []model.Datum) Binding {
 	return b
 }
 
+// checkProgram validates the program/engine pairing before a run.
+func (e *Engine) checkProgram(p *Program) error {
+	if p.db != e.DB {
+		return fmt.Errorf("datalog: program was compiled against a different database")
+	}
+	if p.nShards > 1 && (e.Hook != nil || e.HookHeads != nil) {
+		return fmt.Errorf("datalog: sharded program requires HookShard (Hook/HookHeads are single-shard callbacks)")
+	}
+	if p.nShards == 1 && e.HookShard != nil {
+		return fmt.Errorf("datalog: HookShard requires a sharded program")
+	}
+	return nil
+}
+
 // RunProgram evaluates a compiled program to fixpoint. All facts
 // already present in the database are the first round's Δ; the program
 // may be re-run after the database changes (state is reseeded from the
@@ -96,13 +128,20 @@ func BindingFromSlots(vars []string, slots []model.Datum) Binding {
 // subsequent RunProgramDelta can extend the fixpoint from newly
 // inserted facts alone.
 func (e *Engine) RunProgram(p *Program) error {
-	if p.db != e.DB {
-		return fmt.Errorf("datalog: program was compiled against a different database")
+	if err := e.checkProgram(p); err != nil {
+		return err
 	}
 	p.stateValid = false
 	e.Iterations, e.Derivations = 0, 0
+	if p.nShards > 1 {
+		if err := e.runSharded(p, nil); err != nil {
+			return err
+		}
+		p.stateValid = true
+		return nil
+	}
 	for _, ps := range p.preds {
-		ps.reset()
+		ps.shards[0].reset(ps.table)
 	}
 	if err := e.fixpoint(p); err != nil {
 		return err
@@ -124,22 +163,29 @@ func (e *Engine) RunProgram(p *Program) error {
 // the new derivations. On error the state is invalidated and the next
 // run must be a full RunProgram.
 func (e *Engine) RunProgramDelta(p *Program, delta map[string][]model.Tuple) error {
-	if p.db != e.DB {
-		return fmt.Errorf("datalog: program was compiled against a different database")
+	if err := e.checkProgram(p); err != nil {
+		return err
 	}
 	if !p.stateValid {
 		return fmt.Errorf("datalog: delta run requires valid persistent state (run RunProgram first)")
 	}
 	e.Iterations, e.Derivations = 0, 0
+	if p.nShards > 1 {
+		if err := e.runSharded(p, delta); err != nil {
+			p.stateValid = false
+			return err
+		}
+		return nil
+	}
 	for name, rows := range delta {
 		id, ok := p.predID[name]
 		if !ok {
 			p.stateValid = false
 			return fmt.Errorf("datalog: delta predicate %q not in program", name)
 		}
-		ps := p.preds[id]
-		ps.rows = append(ps.rows, rows...)
-		ps.deltaEnd = len(ps.rows)
+		sh := p.preds[id].shards[0]
+		sh.rows = append(sh.rows, rows...)
+		sh.deltaEnd = len(sh.rows)
 	}
 	if err := e.fixpoint(p); err != nil {
 		p.stateValid = false
@@ -148,15 +194,17 @@ func (e *Engine) RunProgramDelta(p *Program, delta map[string][]model.Tuple) err
 	return nil
 }
 
-// fixpoint runs semi-naive rounds until no predicate has Δ rows. On
-// entry rows[oldEnd:deltaEnd] of each predicate is the seed Δ.
+// fixpoint runs semi-naive rounds until no predicate has Δ rows (the
+// single-shard loop; shard.go holds the parallel one). On entry
+// rows[oldEnd:deltaEnd] of each predicate is the seed Δ.
 func (e *Engine) fixpoint(p *Program) error {
 	x := &executor{eng: e, prog: p}
 	for {
 		work := false
 		for _, ps := range p.preds {
-			ps.extendIndexes()
-			if ps.deltaEnd > ps.oldEnd {
+			sh := ps.shards[0]
+			sh.extendIndexes()
+			if sh.deltaEnd > sh.oldEnd {
 				work = true
 			}
 		}
@@ -174,37 +222,47 @@ func (e *Engine) fixpoint(p *Program) error {
 			return err
 		}
 		for _, ps := range p.preds {
-			ps.oldEnd = ps.deltaEnd
-			ps.deltaEnd = len(ps.rows)
+			sh := ps.shards[0]
+			sh.oldEnd = sh.deltaEnd
+			sh.deltaEnd = len(sh.rows)
 		}
 	}
 }
 
-// reset reseeds a predicate's journal from its backing table and
-// clears the indexes; everything stored becomes the first round's Δ.
-func (ps *predState) reset() {
-	ps.rows = ps.rows[:0]
-	ps.table.Iterate(func(row model.Tuple) bool {
-		ps.rows = append(ps.rows, row)
+// reset reseeds a shard's journal from a backing table and clears the
+// indexes and position map; everything stored becomes the first
+// round's Δ. (Single-shard form: the whole table lands in the shard.
+// Sharded programs route rows by key hash instead — shard.go.)
+func (sh *predShard) reset(table *relstore.Table) {
+	sh.rows = sh.rows[:0]
+	table.Iterate(func(row model.Tuple) bool {
+		sh.rows = append(sh.rows, row)
 		return true
 	})
-	ps.oldEnd = 0
-	ps.deltaEnd = len(ps.rows)
-	for _, ix := range ps.indexes {
+	sh.oldEnd = 0
+	sh.deltaEnd = len(sh.rows)
+	sh.synced = len(sh.rows)
+	sh.pos = nil
+	sh.posBuilt = 0
+	sh.clearIndexes()
+}
+
+func (sh *predShard) clearIndexes() {
+	for _, ix := range sh.indexes {
 		ix.buckets = make(map[string][]int32, len(ix.buckets))
 		ix.built = 0
 	}
 }
 
 // extendIndexes brings every probe index up to the joinable watermark.
-func (ps *predState) extendIndexes() {
+func (sh *predShard) extendIndexes() {
 	var buf []byte
-	for _, ix := range ps.indexes {
-		for i := ix.built; i < ps.deltaEnd; i++ {
-			buf = appendCols(buf[:0], ps.rows[i], ix.cols)
+	for _, ix := range sh.indexes {
+		for i := ix.built; i < sh.deltaEnd; i++ {
+			buf = appendCols(buf[:0], sh.rows[i], ix.cols)
 			ix.buckets[string(buf)] = append(ix.buckets[string(buf)], int32(i))
 		}
-		ix.built = ps.deltaEnd
+		ix.built = sh.deltaEnd
 	}
 }
 
@@ -215,7 +273,7 @@ func appendCols(buf []byte, row model.Tuple, cols []int) []byte {
 	return buf
 }
 
-// executor runs one program's rounds.
+// executor runs one single-shard program's rounds.
 type executor struct {
 	eng  *Engine
 	prog *Program
@@ -243,7 +301,8 @@ func (x *executor) roundSerial() error {
 	for _, cr := range x.prog.rules {
 		for pi := range cr.progs {
 			dp := &cr.progs[pi]
-			delta := dp.pred.rows[dp.pred.oldEnd:dp.pred.deltaEnd]
+			sh := dp.pred.shards[0]
+			delta := sh.rows[sh.oldEnd:sh.deltaEnd]
 			if len(delta) == 0 {
 				continue
 			}
@@ -282,7 +341,8 @@ func (x *executor) apply(cr *compiledRule, slots []model.Datum) error {
 			return err
 		}
 		if inserted {
-			h.pred.rows = append(h.pred.rows, row)
+			sh := h.pred.shards[0]
+			sh.rows = append(sh.rows, row)
 		}
 	}
 	return nil
@@ -317,7 +377,8 @@ func (x *executor) applyWithHeads(cr *compiledRule, slots []model.Datum) error {
 			return err
 		}
 		if inserted {
-			h.pred.rows = append(h.pred.rows, row)
+			sh := h.pred.shards[0]
+			sh.rows = append(sh.rows, row)
 		}
 		ins := HeadInsert{Pred: h.pred.name, Row: row, Inserted: inserted}
 		if multi {
@@ -372,18 +433,20 @@ func matchSeed(s *seedSpec, row model.Tuple, slots []model.Datum) bool {
 }
 
 // joinFrom extends the binding through the steps from depth on,
-// calling fire on every completed match. Binds need no undo: each
-// step's checks reference only slots bound by earlier steps (or its
-// own row), so stale values in later slots are always overwritten
-// before being read.
+// calling fire on every completed match (single-shard form; shard.go
+// holds the fan-out variant). Binds need no undo: each step's checks
+// reference only slots bound by earlier steps (or its own row), so
+// stale values in later slots are always overwritten before being
+// read.
 func joinFrom(cr *compiledRule, dp *deltaProg, depth int, slots []model.Datum, keyBuf *[]byte, fire fireFn) error {
 	if depth == len(dp.steps) {
 		return fire(cr, slots)
 	}
 	st := &dp.steps[depth]
-	limit := st.pred.deltaEnd
+	sh := st.pred.shards[0]
+	limit := sh.deltaEnd
 	if st.part == partOld {
-		limit = st.pred.oldEnd
+		limit = sh.oldEnd
 	}
 	if limit == 0 {
 		return nil
@@ -404,13 +467,13 @@ func joinFrom(cr *compiledRule, dp *deltaProg, depth int, slots []model.Datum, k
 			if int(idx) >= limit {
 				break
 			}
-			if err := stepRow(cr, dp, depth, st, st.pred.rows[idx], slots, keyBuf, fire); err != nil {
+			if err := stepRow(cr, dp, depth, st, sh.rows[idx], slots, keyBuf, fire); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	for _, row := range st.pred.rows[:limit] {
+	for _, row := range sh.rows[:limit] {
 		if err := stepRow(cr, dp, depth, st, row, slots, keyBuf, fire); err != nil {
 			return err
 		}
@@ -446,7 +509,8 @@ func (x *executor) roundParallel(workers int) error {
 	for _, cr := range x.prog.rules {
 		for pi := range cr.progs {
 			dp := &cr.progs[pi]
-			delta := dp.pred.rows[dp.pred.oldEnd:dp.pred.deltaEnd]
+			sh := dp.pred.shards[0]
+			delta := sh.rows[sh.oldEnd:sh.deltaEnd]
 			if len(delta) == 0 {
 				continue
 			}

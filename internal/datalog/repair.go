@@ -2,24 +2,25 @@ package datalog
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/model"
 )
 
 // This file is the deletion-repair half of the persistent evaluation
-// state: RunProgram/RunProgramDelta (exec.go) leave the predicate
-// journals mirroring the backing tables, and ApplyDeletions keeps that
-// mirror intact when rows are deleted from the tables outside a run
-// (update exchange's deletion propagation). Without it a deletion
-// forces InvalidateState and the next run pays a full fixpoint; with
-// it a Run after a DeleteLocal stays delta-seeded.
+// state: RunProgram/RunProgramDelta (exec.go, shard.go) leave the
+// predicate journals mirroring the backing tables, and ApplyDeletions
+// keeps that mirror intact when rows are deleted from the tables
+// outside a run (update exchange's deletion propagation). Without it a
+// deletion forces InvalidateState and the next run pays a full
+// fixpoint; with it a Run after a DeleteLocal stays delta-seeded.
 
 // ApplyDeletions removes the identified rows from the persistent
-// predicate journals and repairs the hash indexes and age watermarks
-// in place, so the journals keep mirroring the backing tables after
-// the caller deleted those rows from storage — the program's state
-// stays valid and the next RunProgramDelta needs no reseeding full
-// fixpoint.
+// predicate journals and repairs the hash indexes, key→position maps,
+// and age watermarks in place, so the journals keep mirroring the
+// backing tables after the caller deleted those rows from storage —
+// the program's state stays valid and the next RunProgramDelta needs
+// no reseeding full fixpoint.
 //
 // deleted maps predicate names to the canonical primary-key encodings
 // (model.EncodeDatums of the key attributes, a model.TupleRef's Key)
@@ -28,10 +29,15 @@ import (
 // was ever propagated). Unknown predicates are an error: every
 // predicate the caller can delete from must be part of the program.
 //
-// The repair compacts each affected predicate's journal and rebuilds
-// only that predicate's probe indexes: cost is O(journal rows of the
-// touched predicates), independent of the rest of the database and of
-// the derivation count a full fixpoint would re-enumerate.
+// The repair is O(deleted rows): each dead key is routed to its shard
+// and removed by a swap-delete against the shard's key→position map,
+// with in-place surgery on the affected index buckets (bucket
+// positions stay ascending, so a partition bound stays a cutoff). The
+// position map itself is built lazily — sharded runs keep it hot (it
+// is their duplicate filter), while serial runs skip it on the insert
+// hot path and the first repair after a run extends it over the rows
+// appended since (amortized O(new rows), zero cost when no run
+// intervened).
 //
 // ApplyDeletions requires valid state (StateValid). On any error the
 // state is invalidated and the caller must fall back to a full
@@ -50,79 +56,168 @@ func (p *Program) ApplyDeletions(deleted map[string][]string) error {
 			return fmt.Errorf("datalog: deleted predicate %q not in program", name)
 		}
 		ps := p.preds[id]
-		dead := make(map[string]bool, len(keys))
-		for _, k := range keys {
-			dead[k] = true
-		}
-		if err := ps.compactDead(dead); err != nil {
+		if len(ps.keyCols) == 0 {
 			p.stateValid = false
-			return err
+			return fmt.Errorf("datalog: predicate %q has no primary key; cannot repair journal", ps.name)
+		}
+		for _, k := range keys {
+			sh := ps.shards[ShardOfKey(k, p.nShards)]
+			sh.ensurePos(ps.keyCols)
+			sh.removeKey(k, ps.keyCols)
+		}
+		// Restore the journal invariants: the whole (now shorter)
+		// journal is OLD and fully indexed. Shards the keys did not
+		// route to already satisfy this (valid state between runs).
+		for _, sh := range ps.shards {
+			sh.oldEnd = len(sh.rows)
+			sh.deltaEnd = len(sh.rows)
+			sh.synced = len(sh.rows)
+			for _, ix := range sh.indexes {
+				ix.built = len(sh.rows)
+			}
 		}
 	}
 	return nil
 }
 
-// compactDead removes the journal rows whose primary-key encoding is
-// in dead, then restores the journal invariants: watermarks cover the
-// whole (now shorter) journal as OLD and the probe indexes are rebuilt
-// over the surviving rows (bucket positions must stay ascending and
-// gap-free, so in-place bucket surgery would cost as much as a
-// rebuild).
-func (ps *predState) compactDead(dead map[string]bool) error {
-	keyCols := ps.table.Schema.Key
-	if keyCols == nil {
-		return fmt.Errorf("datalog: predicate %q has no primary key; cannot repair journal", ps.name)
+// ensurePos extends the shard's key→position map over the journal rows
+// appended since it was last current (all rows, after a serial reset).
+func (sh *predShard) ensurePos(keyCols []int) {
+	if sh.posBuilt == len(sh.rows) && sh.pos != nil {
+		return
+	}
+	if sh.pos == nil {
+		sh.pos = make(map[string]int32, len(sh.rows))
 	}
 	var buf []byte
-	kept := ps.rows[:0]
-	for _, row := range ps.rows {
-		buf = appendCols(buf[:0], row, keyCols)
-		if dead[string(buf)] {
-			continue
-		}
-		kept = append(kept, row)
+	for i := sh.posBuilt; i < len(sh.rows); i++ {
+		buf = appendCols(buf[:0], sh.rows[i], keyCols)
+		sh.pos[string(buf)] = int32(i)
 	}
-	removed := len(ps.rows) - len(kept)
-	// Drop the vacated tail slots so the journal doesn't pin deleted
-	// tuples alive.
-	for i := len(kept); i < len(ps.rows); i++ {
-		ps.rows[i] = nil
-	}
-	ps.rows = kept
-	ps.oldEnd = len(ps.rows)
-	ps.deltaEnd = len(ps.rows)
-	if removed == 0 {
-		return nil
-	}
-	for _, ix := range ps.indexes {
-		ix.buckets = make(map[string][]int32, len(ix.buckets))
-		ix.built = 0
-	}
-	ps.extendIndexes()
-	return nil
+	sh.posBuilt = len(sh.rows)
 }
 
-// JournalLen reports the journal length of a predicate (tests and
-// diagnostics); -1 when the predicate is not part of the program.
+// removeKey swap-deletes the row with the given key encoding from the
+// shard journal: the journal tail replaces the dead row's slot, the
+// position map records the move, and each probe index drops the dead
+// position and re-files the moved one — O(index count) bucket
+// operations per deleted row, independent of the journal length.
+func (sh *predShard) removeKey(k string, keyCols []int) {
+	p, ok := sh.pos[k]
+	if !ok {
+		return
+	}
+	delete(sh.pos, k)
+	row := sh.rows[p]
+	var buf []byte
+	for _, ix := range sh.indexes {
+		buf = appendCols(buf[:0], row, ix.cols)
+		ix.removePos(buf, p)
+	}
+	last := int32(len(sh.rows) - 1)
+	if p != last {
+		moved := sh.rows[last]
+		sh.rows[p] = moved
+		buf = appendCols(buf[:0], moved, keyCols)
+		sh.pos[string(buf)] = p
+		for _, ix := range sh.indexes {
+			buf = appendCols(buf[:0], moved, ix.cols)
+			ix.movePos(buf, last, p)
+		}
+	}
+	// Clear the vacated tail slot so the journal doesn't pin the
+	// deleted tuple alive.
+	sh.rows[last] = nil
+	sh.rows = sh.rows[:last]
+	sh.posBuilt = len(sh.rows)
+}
+
+// removePos deletes position p from the bucket of the encoded key
+// (ascending order preserved; empty buckets are dropped).
+func (ix *probeIndex) removePos(key []byte, p int32) {
+	b := ix.buckets[string(key)]
+	i := sort.Search(len(b), func(i int) bool { return b[i] >= p })
+	if i >= len(b) || b[i] != p {
+		return
+	}
+	b = append(b[:i], b[i+1:]...)
+	if len(b) == 0 {
+		delete(ix.buckets, string(key))
+		return
+	}
+	ix.buckets[string(key)] = b
+}
+
+// movePos re-files a journal move old→new inside the encoded key's
+// bucket. old is the journal tail, hence the bucket's final (largest)
+// entry; new is inserted at its sorted slot.
+func (ix *probeIndex) movePos(key []byte, old, new int32) {
+	b := ix.buckets[string(key)]
+	if n := len(b); n > 0 && b[n-1] == old {
+		b = b[:n-1]
+	} else {
+		// Defensive: the ascending invariant puts the tail row last,
+		// but fall back to a search rather than corrupt the bucket.
+		i := sort.Search(len(b), func(i int) bool { return b[i] >= old })
+		if i < len(b) && b[i] == old {
+			b = append(b[:i], b[i+1:]...)
+		}
+	}
+	i := sort.Search(len(b), func(i int) bool { return b[i] >= new })
+	b = append(b, 0)
+	copy(b[i+1:], b[i:])
+	b[i] = new
+	ix.buckets[string(key)] = b
+}
+
+// JournalLen reports the journal length of a predicate, summed over
+// its shards (tests and diagnostics); -1 when the predicate is not
+// part of the program.
 func (p *Program) JournalLen(pred string) int {
 	id, ok := p.predID[pred]
 	if !ok {
 		return -1
 	}
-	return len(p.preds[id].rows)
+	n := 0
+	for _, sh := range p.preds[id].shards {
+		n += len(sh.rows)
+	}
+	return n
 }
 
 // JournalMirrorsTables verifies that every predicate journal holds
 // exactly the rows of its backing table (set equality on primary-key
-// encodings, multiplicity-checked). It is O(database) and intended for
+// encodings, multiplicity-checked across shards), that every row sits
+// in the shard its key hashes to, and that the position maps index
+// their covered prefix exactly. It is O(database) and intended for
 // tests and fuzz oracles, not production paths.
 func (p *Program) JournalMirrorsTables() error {
 	for _, ps := range p.preds {
-		counts := make(map[string]int, len(ps.rows))
+		counts := make(map[string]int)
+		total := 0
 		var buf []byte
-		for _, row := range ps.rows {
-			buf = appendCols(buf[:0], row, ps.table.Schema.Key)
-			counts[string(buf)]++
+		for si, sh := range ps.shards {
+			if len(sh.pos) != sh.posBuilt {
+				return fmt.Errorf("datalog: %s shard %d position map holds %d keys, covers %d rows", ps.name, si, len(sh.pos), sh.posBuilt)
+			}
+			for i, row := range sh.rows {
+				buf = appendCols(buf[:0], row, ps.table.Schema.Key)
+				counts[string(buf)]++
+				total++
+				if p.nShards > 1 {
+					if got := shardOfBytes(buf, p.nShards); got != si {
+						return fmt.Errorf("datalog: %s row %s in shard %d, hashes to %d", ps.name, row.Format(), si, got)
+					}
+					if sh.synced != len(sh.rows) {
+						return fmt.Errorf("datalog: %s shard %d synced watermark %d, journal %d", ps.name, si, sh.synced, len(sh.rows))
+					}
+				}
+				if i < sh.posBuilt {
+					if got, ok := sh.pos[string(buf)]; !ok || got != int32(i) {
+						return fmt.Errorf("datalog: %s shard %d position map misses row %d", ps.name, si, i)
+					}
+				}
+			}
 		}
 		n := 0
 		var err error
@@ -139,8 +234,8 @@ func (p *Program) JournalMirrorsTables() error {
 		if err != nil {
 			return err
 		}
-		if n != len(ps.rows) {
-			return fmt.Errorf("datalog: journal of %s holds %d rows, table %d", ps.name, len(ps.rows), n)
+		if n != total {
+			return fmt.Errorf("datalog: journal of %s holds %d rows, table %d", ps.name, total, n)
 		}
 	}
 	return nil

@@ -1,0 +1,575 @@
+package datalog
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// This file is the shard-parallel executor: programs compiled with
+// CompileSharded(S > 1) partition every predicate's fact space into S
+// shards by a hash of the row's primary-key encoding, and each
+// semi-naive round runs all shards in parallel. A shard worker
+// enumerates its own Δ rows and APPLIES the resulting derivations
+// locally — journal append, position-map insert, index bookkeeping,
+// hook — instead of funneling batches back to a coordinator; only
+// firings whose head row hashes to a foreign shard are batched into
+// per-(src,dst) cross-shard queues, which the destination shards drain
+// at the round's merge barrier in stable source order. The round
+// structure preserves the semi-naive exactly-once guarantee (rows
+// applied during a round are NEW — invisible until the global
+// watermark advance) and makes every run deterministic: per-shard
+// journal contents and hook sequences depend only on the shard count,
+// never on the worker pool size or goroutine scheduling.
+//
+// Memory safety across shards: during the firing phase a worker reads
+// other shards' journals through `view`, a slice-header snapshot taken
+// at the round barrier. The owning shard may append concurrently, but
+// appends only touch positions at or beyond deltaEnd (which readers
+// never cross) and never move the rows below it — a reallocating
+// append leaves the snapshot's backing array intact. Probe indexes and
+// watermarks are only mutated at barriers. Backing tables are not
+// written at all during a run: fresh rows live in the journals
+// (rows[synced:]) and are written back table-by-table when the
+// fixpoint completes.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// shardOfBytes routes a canonical key encoding to a shard by FNV-1a.
+func shardOfBytes(b []byte, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return int(h % uint64(n))
+}
+
+// ShardOfKey reports which of n shards owns the tuple with the given
+// canonical key encoding (model.EncodeDatums of the key attributes, a
+// model.TupleRef's Key). Exported so consumers that keep per-shard
+// satellite state (update exchange's support index) route by the exact
+// hash the engine uses.
+func ShardOfKey(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return int(h % uint64(n))
+}
+
+// crossQueue buffers the firings one shard produced for another within
+// a round: per firing the rule and its slot binding, flattened at the
+// rule's stride into one reusable arena.
+type crossQueue struct {
+	crs  []*compiledRule
+	offs []int32
+	flat []model.Datum
+}
+
+func (q *crossQueue) reset() {
+	q.crs = q.crs[:0]
+	q.offs = q.offs[:0]
+	q.flat = q.flat[:0]
+}
+
+// shardedRun drives one sharded program evaluation.
+type shardedRun struct {
+	eng     *Engine
+	prog    *Program
+	n       int
+	workers int
+	execs   []*shardExec
+}
+
+// shardExec is one shard's worker state: reusable binding and
+// encoding buffers, the shard's tuple arena, its outgoing cross-shard
+// queues, and its derivation count (summed deterministically into the
+// engine stats after the run).
+type shardExec struct {
+	x  *shardedRun
+	id int
+
+	slots []model.Datum
+	// keyBufs holds one probe-encoding scratch per join depth: a
+	// fan-out over shards re-reads the encoded probe after deeper
+	// recursion returned, so depths cannot share one buffer the way the
+	// single-shard executor does.
+	keyBufs [][]byte
+	// routeBuf is the scratch for shard-routing encodings (head keys
+	// and non-probe-order route keys); always fully consumed before any
+	// recursion.
+	routeBuf []byte
+	arena    model.TupleArena
+	headBuf  [1]HeadInsert
+	// rowScratch materializes duplicate head rows for the hook without
+	// spending arena memory on them; valid only during the hook call,
+	// like EncKey.
+	rowScratch model.Tuple
+	out        []crossQueue
+
+	derivations int
+}
+
+// runSharded evaluates a sharded program to fixpoint: a full run when
+// delta is nil (journals reseeded and routed from the tables), a
+// delta-seeded run otherwise. On success the backing tables have been
+// synced with every fresh journal row.
+func (e *Engine) runSharded(p *Program, delta map[string][]model.Tuple) error {
+	x := &shardedRun{eng: e, prog: p, n: p.nShards}
+	x.workers = e.Parallelism
+	if x.workers <= 0 || x.workers > x.n {
+		x.workers = x.n
+	}
+	// Exec scratch (binding buffers, cross-shard queues, arenas) lives
+	// on the Program so warm re-runs reuse the grown queue capacity
+	// instead of re-paying round-1's allocation; a Program only ever
+	// evaluates one run at a time, like its journals.
+	if p.execs == nil {
+		maxSteps := 0
+		for _, cr := range p.rules {
+			for pi := range cr.progs {
+				if n := len(cr.progs[pi].steps); n > maxSteps {
+					maxSteps = n
+				}
+			}
+		}
+		p.execs = make([]*shardExec, x.n)
+		for i := range p.execs {
+			p.execs[i] = &shardExec{
+				id:      i,
+				slots:   make([]model.Datum, p.maxSlots),
+				keyBufs: make([][]byte, maxSteps),
+				out:     make([]crossQueue, x.n),
+			}
+		}
+	}
+	x.execs = p.execs
+	for _, se := range x.execs {
+		se.x = x
+		se.derivations = 0
+	}
+	if delta == nil {
+		if err := x.resetAll(); err != nil {
+			return err
+		}
+	} else if err := x.seedDelta(delta); err != nil {
+		return err
+	}
+	if err := x.fixpoint(); err != nil {
+		return err
+	}
+	if err := x.syncTables(); err != nil {
+		return err
+	}
+	for _, se := range x.execs {
+		e.Derivations += se.derivations
+	}
+	return nil
+}
+
+// tasks runs f(0..n-1) over the worker pool and returns the
+// lowest-index error.
+func (x *shardedRun) tasks(n int, f func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	workers := x.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	queue := make(chan int, n)
+	for i := 0; i < n; i++ {
+		queue <- i
+	}
+	close(queue)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				errs[i] = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// phase runs one per-shard pass over the worker pool (a barrier: every
+// shard completes before phase returns).
+func (x *shardedRun) phase(f func(se *shardExec) error) error {
+	return x.tasks(x.n, func(i int) error { return f(x.execs[i]) })
+}
+
+// resetAll reseeds every predicate's shard journals from its backing
+// table, routing each row by its key hash; everything stored becomes
+// the first round's Δ. Parallel by predicate (each task reads one
+// table and writes only that predicate's shards).
+func (x *shardedRun) resetAll() error {
+	return x.tasks(len(x.prog.preds), func(pi int) error {
+		ps := x.prog.preds[pi]
+		for _, sh := range ps.shards {
+			sh.rows = sh.rows[:0]
+			sh.clearIndexes()
+			if sh.pos == nil {
+				sh.pos = make(map[string]int32)
+			} else {
+				clear(sh.pos)
+			}
+			sh.posBuilt = 0
+		}
+		var buf []byte
+		ps.table.Iterate(func(row model.Tuple) bool {
+			buf = appendCols(buf[:0], row, ps.keyCols)
+			sh := ps.shards[shardOfBytes(buf, x.n)]
+			sh.pos[string(buf)] = int32(len(sh.rows))
+			sh.rows = append(sh.rows, row)
+			return true
+		})
+		for _, sh := range ps.shards {
+			sh.oldEnd = 0
+			sh.deltaEnd = len(sh.rows)
+			sh.synced = len(sh.rows)
+			sh.posBuilt = len(sh.rows)
+			sh.view = sh.rows
+		}
+		return nil
+	})
+}
+
+// seedDelta routes the delta rows into their shards' journals as the
+// first round's Δ. The rows are already stored in the backing tables
+// (RunProgramDelta's contract), so the synced watermark advances with
+// them.
+func (x *shardedRun) seedDelta(delta map[string][]model.Tuple) error {
+	for name, rows := range delta {
+		id, ok := x.prog.predID[name]
+		if !ok {
+			return fmt.Errorf("datalog: delta predicate %q not in program", name)
+		}
+		ps := x.prog.preds[id]
+		var buf []byte
+		for _, row := range rows {
+			buf = appendCols(buf[:0], row, ps.keyCols)
+			sh := ps.shards[shardOfBytes(buf, x.n)]
+			sh.pos[string(buf)] = int32(len(sh.rows))
+			sh.rows = append(sh.rows, row)
+		}
+		for _, sh := range ps.shards {
+			sh.deltaEnd = len(sh.rows)
+			sh.synced = len(sh.rows)
+			sh.posBuilt = len(sh.rows)
+		}
+	}
+	return nil
+}
+
+// fixpoint runs the shard-parallel semi-naive rounds: per round, a
+// parallel index/view refresh, the parallel firing phase (local
+// applies plus cross-shard enqueues), the parallel queue drain, and
+// the serial watermark advance.
+func (x *shardedRun) fixpoint() error {
+	for {
+		if err := x.phase(func(se *shardExec) error {
+			for _, ps := range x.prog.preds {
+				sh := ps.shards[se.id]
+				sh.extendIndexes()
+				sh.view = sh.rows
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		work := false
+		for _, ps := range x.prog.preds {
+			for _, sh := range ps.shards {
+				if sh.deltaEnd > sh.oldEnd {
+					work = true
+				}
+			}
+		}
+		if !work {
+			return nil
+		}
+		x.eng.Iterations++
+		if err := x.phase((*shardExec).enumerate); err != nil {
+			return err
+		}
+		if err := x.phase((*shardExec).drain); err != nil {
+			return err
+		}
+		for _, ps := range x.prog.preds {
+			for _, sh := range ps.shards {
+				sh.oldEnd = sh.deltaEnd
+				sh.deltaEnd = len(sh.rows)
+			}
+		}
+	}
+}
+
+// enumerate is the firing phase of one shard: run every Δ-specialized
+// program over the shard's own Δ rows, applying own-shard firings
+// in place and enqueueing foreign ones.
+func (se *shardExec) enumerate() error {
+	for _, cr := range se.x.prog.rules {
+		for pi := range cr.progs {
+			dp := &cr.progs[pi]
+			sh := dp.pred.shards[se.id]
+			delta := sh.rows[sh.oldEnd:sh.deltaEnd]
+			for _, row := range delta {
+				if !matchSeed(&dp.seed, row, se.slots) {
+					continue
+				}
+				if err := se.joinFrom(cr, dp, 0); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// joinFrom is the sharded variant of the executor's join recursion: an
+// indexed step whose probe covers the target's key columns routes to
+// the single shard that can hold matches; other steps fan out over all
+// shards in stable order.
+func (se *shardExec) joinFrom(cr *compiledRule, dp *deltaProg, depth int) error {
+	if depth == len(dp.steps) {
+		return se.fire(cr)
+	}
+	st := &dp.steps[depth]
+	if st.indexOrd >= 0 {
+		buf := se.keyBufs[depth][:0]
+		for _, pr := range st.probe {
+			if pr.isConst {
+				buf = model.AppendDatum(buf, pr.konst)
+			} else {
+				buf = model.AppendDatum(buf, se.slots[pr.slot])
+			}
+		}
+		se.keyBufs[depth] = buf
+		if st.routeProbe != nil {
+			rb := buf
+			if !st.routeIsProbe {
+				rb = se.routeBuf[:0]
+				for _, j := range st.routeProbe {
+					pr := st.probe[j]
+					if pr.isConst {
+						rb = model.AppendDatum(rb, pr.konst)
+					} else {
+						rb = model.AppendDatum(rb, se.slots[pr.slot])
+					}
+				}
+				se.routeBuf = rb
+			}
+			sh := st.pred.shards[shardOfBytes(rb, se.x.n)]
+			return se.probeShard(cr, dp, depth, st, sh, buf)
+		}
+		for _, sh := range st.pred.shards {
+			if err := se.probeShard(cr, dp, depth, st, sh, buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, sh := range st.pred.shards {
+		limit := sh.deltaEnd
+		if st.part == partOld {
+			limit = sh.oldEnd
+		}
+		view := sh.view
+		for _, row := range view[:limit] {
+			if err := se.stepRow(cr, dp, depth, st, row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// probeShard walks one shard's index bucket for the encoded probe.
+// buf is the depth's own scratch, so it stays valid across the shard
+// fan-out even though deeper recursion re-encodes at other depths.
+func (se *shardExec) probeShard(cr *compiledRule, dp *deltaProg, depth int, st *joinStep, sh *predShard, buf []byte) error {
+	limit := sh.deltaEnd
+	if st.part == partOld {
+		limit = sh.oldEnd
+	}
+	if limit == 0 {
+		return nil
+	}
+	view := sh.view
+	for _, idx := range sh.indexes[st.indexOrd].buckets[string(buf)] {
+		if int(idx) >= limit {
+			break
+		}
+		if err := se.stepRow(cr, dp, depth, st, view[idx]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (se *shardExec) stepRow(cr *compiledRule, dp *deltaProg, depth int, st *joinStep, row model.Tuple) error {
+	for _, b := range st.binds {
+		se.slots[b.slot] = row[b.col]
+	}
+	for _, q := range st.checks {
+		if !model.Equal(row[q.col], se.slots[q.slot]) {
+			return nil
+		}
+	}
+	return se.joinFrom(cr, dp, depth+1)
+}
+
+// fire routes one completed firing by its head-row key hash: applied
+// in place when this shard owns the head row, enqueued for the owning
+// shard otherwise.
+func (se *shardExec) fire(cr *compiledRule) error {
+	h := cr.head()
+	buf := se.routeBuf[:0]
+	for _, k := range h.pred.keyCols {
+		c := h.cols[k]
+		if c.isConst {
+			buf = model.AppendDatum(buf, c.konst)
+		} else {
+			buf = model.AppendDatum(buf, se.slots[c.slot])
+		}
+	}
+	se.routeBuf = buf
+	dst := shardOfBytes(buf, se.x.n)
+	if dst == se.id {
+		return se.apply(cr, se.slots, buf)
+	}
+	q := &se.out[dst]
+	q.crs = append(q.crs, cr)
+	q.offs = append(q.offs, int32(len(q.flat)))
+	q.flat = append(q.flat, se.slots[:len(cr.slotVars)]...)
+	return nil
+}
+
+// apply records one distinct firing on the shard that owns its head
+// row: duplicate-check against the shard's position map (the journals
+// mirror the tables, so map presence is exactly table presence plus
+// this run's fresh rows), append to the NEW journal region, and invoke
+// the shard hook. The backing table is not touched — end-of-run sync
+// writes the fresh rows back.
+func (se *shardExec) apply(cr *compiledRule, slots []model.Datum, enc []byte) error {
+	h := cr.head()
+	sh := h.pred.shards[se.id]
+	se.derivations++
+	_, dup := sh.pos[string(enc)]
+	var row model.Tuple
+	if dup {
+		// Duplicate head rows exist only for the hook call; materialize
+		// them in reusable scratch rather than permanent arena memory.
+		if cap(se.rowScratch) < len(h.cols) {
+			se.rowScratch = make(model.Tuple, len(h.cols))
+		}
+		row = se.rowScratch[:len(h.cols)]
+	} else {
+		row = se.arena.Alloc(len(h.cols))
+	}
+	for i, c := range h.cols {
+		if c.isConst {
+			row[i] = c.konst
+		} else {
+			row[i] = slots[c.slot]
+		}
+	}
+	inserted := false
+	if !dup {
+		sh.pos[string(enc)] = int32(len(sh.rows))
+		sh.rows = append(sh.rows, row)
+		sh.posBuilt = len(sh.rows)
+		inserted = true
+	}
+	if hook := se.x.eng.HookShard; hook != nil {
+		se.headBuf[0] = HeadInsert{Pred: h.pred.name, EncKey: enc, Row: row, Inserted: inserted}
+		hook(se.id, &cr.rule, cr.slotVars, slots, se.headBuf[:])
+	}
+	return nil
+}
+
+// drain is the merge phase of one shard: apply the firings every other
+// shard queued for it, in stable source order, so the destination
+// journal and hook sequence are deterministic.
+func (se *shardExec) drain() error {
+	for src := 0; src < se.x.n; src++ {
+		if src == se.id {
+			continue
+		}
+		q := &se.x.execs[src].out[se.id]
+		for i, cr := range q.crs {
+			start := q.offs[i]
+			slots := q.flat[start : int(start)+len(cr.slotVars)]
+			h := cr.head()
+			buf := se.routeBuf[:0]
+			for _, k := range h.pred.keyCols {
+				c := h.cols[k]
+				if c.isConst {
+					buf = model.AppendDatum(buf, c.konst)
+				} else {
+					buf = model.AppendDatum(buf, slots[c.slot])
+				}
+			}
+			se.routeBuf = buf
+			if err := se.apply(cr, slots, buf); err != nil {
+				return err
+			}
+		}
+		q.reset()
+	}
+	return nil
+}
+
+// syncTables writes every shard's fresh journal rows (rows[synced:])
+// back to the backing tables, parallel by predicate (each table has
+// exactly one writer) and in stable shard order within a table. The
+// position maps guarantee key uniqueness across a predicate's shards,
+// so every insert must succeed.
+func (x *shardedRun) syncTables() error {
+	return x.tasks(len(x.prog.preds), func(pi int) error {
+		ps := x.prog.preds[pi]
+		for _, sh := range ps.shards {
+			for _, row := range sh.rows[sh.synced:] {
+				inserted, err := ps.table.Insert(row)
+				if err != nil {
+					return err
+				}
+				if !inserted {
+					return fmt.Errorf("datalog: internal: sharded journal row of %s already in table", ps.name)
+				}
+			}
+			sh.synced = len(sh.rows)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,278 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// Shard-determinism differential testing: a program compiled with S > 1
+// shards must be observationally identical to the serial compiled
+// engine on the same inputs — byte-identical fixpoints, the same
+// derivation count (both executors enumerate each derivation exactly
+// once), and the same firing multiset — across full runs, Δ-seeded
+// runs, and journal repair after deletions, at several shard counts and
+// worker-pool sizes. The serial engine is the oracle; no semantic
+// reasoning about the programs is needed.
+
+// churnStep is one lockstep mutation round: rows to insert into EDB
+// tables (followed by a delta run) after deleting a few existing rows
+// (followed by ApplyDeletions). Deletions pick rows by index into the
+// table's sorted rows, which is deterministic because both sides hold
+// byte-identical databases when the step is applied.
+type churnStep struct {
+	ins  map[string][]model.Tuple
+	dels []delPick
+}
+
+type delPick struct {
+	pred string
+	idx  int
+}
+
+func genChurnSteps(rng *rand.Rand, s diffSetting, names []string) []churnStep {
+	const domain = 3
+	steps := make([]churnStep, 3+rng.Intn(2))
+	for si := range steps {
+		st := churnStep{ins: map[string][]model.Tuple{}}
+		for _, p := range []string{"e0", "e1"} {
+			n := rng.Intn(3)
+			for i := 0; i < n; i++ {
+				row := make(model.Tuple, s.arities[p])
+				for k := range row {
+					row[k] = int64(rng.Intn(domain))
+				}
+				st.ins[p] = append(st.ins[p], row)
+			}
+		}
+		nd := rng.Intn(3)
+		for i := 0; i < nd; i++ {
+			st.dels = append(st.dels, delPick{pred: names[rng.Intn(len(names))], idx: rng.Intn(24)})
+		}
+		steps[si] = st
+	}
+	return steps
+}
+
+// shardSide is one engine-under-test (serial oracle or a sharded
+// configuration) holding its own database replica and firing log.
+type shardSide struct {
+	label   string
+	eng     *Engine
+	prog    *Program
+	firings map[string]int
+	// byShard collects sharded firings per shard during a run (the hook
+	// runs concurrently across shards); mergeFirings folds them in.
+	byShard [][]string
+}
+
+func (sd *shardSide) mergeFirings() {
+	for i, keys := range sd.byShard {
+		for _, k := range keys {
+			sd.firings[k]++
+		}
+		sd.byShard[i] = sd.byShard[i][:0]
+	}
+}
+
+// applyStep mutates the side's database per the step and runs the
+// repair + delta machinery: deletions via table delete + ApplyDeletions,
+// insertions via table insert + RunProgramDelta.
+func (sd *shardSide) applyStep(t *testing.T, trial int, st churnStep) {
+	t.Helper()
+	deleted := map[string][]string{}
+	for _, pick := range st.dels {
+		tbl := sd.eng.DB.MustTable(pick.pred)
+		rows := tbl.SortedRows()
+		if len(rows) == 0 {
+			continue
+		}
+		row := rows[pick.idx%len(rows)]
+		if ok, err := tbl.Delete(row); err != nil || !ok {
+			t.Fatalf("trial %d %s: delete %v: ok=%v err=%v", trial, sd.label, row, ok, err)
+		}
+		// Predicates the rules never mention are not part of the program
+		// (no journal to repair); the table mutation alone is the step.
+		if _, ok := sd.prog.predID[pick.pred]; ok {
+			deleted[pick.pred] = append(deleted[pick.pred], encKey(row, tbl.Schema.Key))
+		}
+	}
+	if len(deleted) > 0 {
+		if err := sd.prog.ApplyDeletions(deleted); err != nil {
+			t.Fatalf("trial %d %s: ApplyDeletions: %v", trial, sd.label, err)
+		}
+	}
+	delta := map[string][]model.Tuple{}
+	for pred, rows := range st.ins {
+		if _, ok := sd.prog.predID[pred]; !ok {
+			continue
+		}
+		tbl := sd.eng.DB.MustTable(pred)
+		for _, row := range rows {
+			cp := append(model.Tuple(nil), row...)
+			inserted, err := tbl.Insert(cp)
+			if err != nil {
+				t.Fatalf("trial %d %s: insert: %v", trial, sd.label, err)
+			}
+			if inserted {
+				delta[pred] = append(delta[pred], cp)
+			}
+		}
+	}
+	if err := sd.eng.RunProgramDelta(sd.prog, delta); err != nil {
+		t.Fatalf("trial %d %s: RunProgramDelta: %v", trial, sd.label, err)
+	}
+	sd.mergeFirings()
+}
+
+func TestDifferentialShardedVsSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	shardCounts := []int{2, 3, 8}
+	for trial := 0; trial < 50; trial++ {
+		s := genDiffSetting(rng)
+		var names []string
+		for p := range s.arities {
+			names = append(names, p)
+		}
+		sort.Strings(names)
+		steps := genChurnSteps(rng, s, names)
+
+		// Serial oracle.
+		oracle := &shardSide{label: "serial", firings: map[string]int{}}
+		odb := s.materialize(t)
+		oracle.eng = NewEngine(odb)
+		oracle.eng.Hook = func(r *Rule, vars []string, slots []model.Datum) {
+			oracle.firings[firingKey(r, BindingFromSlots(vars, slots))]++
+		}
+		var err error
+		if oracle.prog, err = Compile(odb, s.rules); err != nil {
+			t.Fatalf("trial %d: compile: %v", trial, err)
+		}
+		if err := oracle.eng.RunProgram(oracle.prog); err != nil {
+			t.Fatalf("trial %d: serial run: %v", trial, err)
+		}
+
+		sides := make([]*shardSide, 0, len(shardCounts))
+		for ci, S := range shardCounts {
+			sd := &shardSide{
+				label:   fmt.Sprintf("S=%d", S),
+				firings: map[string]int{},
+				byShard: make([][]string, S),
+			}
+			db := s.materialize(t)
+			sd.eng = NewEngine(db)
+			sd.eng.Parallelism = []int{0, 1, 3}[(trial+ci)%3]
+			sd.eng.HookShard = func(shard int, r *Rule, vars []string, slots []model.Datum, heads []HeadInsert) {
+				for _, h := range heads {
+					if h.Row == nil {
+						t.Errorf("trial %d %s: head with nil row", trial, sd.label)
+					}
+				}
+				sd.byShard[shard] = append(sd.byShard[shard], firingKey(r, BindingFromSlots(vars, slots)))
+			}
+			if sd.prog, err = CompileSharded(db, s.rules, S); err != nil {
+				t.Fatalf("trial %d %s: compile: %v", trial, sd.label, err)
+			}
+			if err := sd.eng.RunProgram(sd.prog); err != nil {
+				t.Fatalf("trial %d %s: run: %v", trial, sd.label, err)
+			}
+			sd.mergeFirings()
+			sides = append(sides, sd)
+		}
+
+		check := func(stage string) {
+			t.Helper()
+			osig := tableSignature(oracle.eng.DB, names)
+			for _, sd := range sides {
+				if sig := tableSignature(sd.eng.DB, names); sig != osig {
+					t.Fatalf("trial %d %s %s: fixpoint differs from serial\nrules: %v\nserial:\n%s\nsharded:\n%s",
+						trial, stage, sd.label, s.rules, osig, sig)
+				}
+				if sd.eng.Derivations != oracle.eng.Derivations {
+					t.Fatalf("trial %d %s %s: %d derivations, serial %d\nrules: %v",
+						trial, stage, sd.label, sd.eng.Derivations, oracle.eng.Derivations, s.rules)
+				}
+				if len(sd.firings) != len(oracle.firings) {
+					t.Fatalf("trial %d %s %s: %d distinct firings, serial %d",
+						trial, stage, sd.label, len(sd.firings), len(oracle.firings))
+				}
+				for k, n := range oracle.firings {
+					if sd.firings[k] != n {
+						t.Fatalf("trial %d %s %s: firing %s seen %d times, serial %d",
+							trial, stage, sd.label, k, sd.firings[k], n)
+					}
+				}
+				if err := sd.prog.JournalMirrorsTables(); err != nil {
+					t.Fatalf("trial %d %s %s: %v", trial, stage, sd.label, err)
+				}
+			}
+		}
+		check("full")
+
+		for si, st := range steps {
+			oracle.applyStep(t, trial, st)
+			for _, sd := range sides {
+				sd.applyStep(t, trial, st)
+			}
+			check(fmt.Sprintf("step %d", si))
+		}
+	}
+}
+
+// TestShardedRunIsDeterministic re-runs one sharded program several
+// times at different worker-pool sizes: the firing order inside each
+// shard and the journal contents must be identical run to run (the
+// merge barrier drains cross-shard queues in stable source order, so
+// the pool size must be unobservable).
+func TestShardedRunIsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := genDiffSetting(rng)
+	var names []string
+	for p := range s.arities {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	const S = 4
+	var want string
+	var wantLog []string
+	for run, par := range []int{0, 1, 2, 4, 4} {
+		db := s.materialize(t)
+		eng := NewEngine(db)
+		eng.Parallelism = par
+		logByShard := make([][]string, S)
+		eng.HookShard = func(shard int, r *Rule, vars []string, slots []model.Datum, heads []HeadInsert) {
+			logByShard[shard] = append(logByShard[shard],
+				fmt.Sprintf("%d:%s", shard, firingKey(r, BindingFromSlots(vars, slots))))
+		}
+		p, err := CompileSharded(db, s.rules, S)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.RunProgram(p); err != nil {
+			t.Fatal(err)
+		}
+		var log []string
+		for _, l := range logByShard {
+			log = append(log, l...)
+		}
+		sig := tableSignature(db, names)
+		if run == 0 {
+			want, wantLog = sig, log
+			continue
+		}
+		if sig != want {
+			t.Fatalf("run %d (par=%d): fixpoint differs", run, par)
+		}
+		if len(log) != len(wantLog) {
+			t.Fatalf("run %d (par=%d): %d firings, want %d", run, par, len(log), len(wantLog))
+		}
+		for i := range log {
+			if log[i] != wantLog[i] {
+				t.Fatalf("run %d (par=%d): firing %d is %s, want %s", run, par, i, log[i], wantLog[i])
+			}
+		}
+	}
+}

@@ -15,25 +15,26 @@ import (
 // index — mapping, provenance row, source refs, target refs — as one
 // sorted, comparable string. Empty when no index is present.
 func (s *System) SupportSignature() string {
-	ix := s.support
-	if ix == nil {
+	if s.support == nil {
 		return ""
 	}
 	var lines []string
-	for di := range ix.derivs {
-		d := &ix.derivs[di]
-		if d.dead {
-			continue
+	for _, ix := range s.support.shards {
+		for di := range ix.derivs {
+			d := &ix.derivs[di]
+			if d.dead {
+				continue
+			}
+			line := d.mapping + "|" + model.EncodeDatums(d.row) + "|S:"
+			for _, t := range ix.sources(d) {
+				line += ix.refs[t].Rel + "#" + ix.refs[t].Key + ";"
+			}
+			line += "|T:"
+			for _, t := range ix.targets(d) {
+				line += ix.refs[t].Rel + "#" + ix.refs[t].Key + ";"
+			}
+			lines = append(lines, line)
 		}
-		line := d.mapping + "|" + model.EncodeDatums(d.row) + "|S:"
-		for _, t := range ix.sources(d) {
-			line += ix.refs[t].Rel + "#" + ix.refs[t].Key + ";"
-		}
-		line += "|T:"
-		for _, t := range ix.targets(d) {
-			line += ix.refs[t].Rel + "#" + ix.refs[t].Key + ";"
-		}
-		lines = append(lines, line)
 	}
 	sort.Strings(lines)
 	out := ""
@@ -48,14 +49,21 @@ func (s *System) SupportSignature() string {
 func (s *System) HasSupportIndex() bool { return s.support != nil }
 
 // SupportPoolSizes reports the support index's pool lengths and free-
-// list sizes: total derivation slots, live derivations, edge-pool
-// length, free edges, atom-pool length. Zeroes when no index exists.
+// list sizes, summed over shards: total derivation slots, live
+// derivations, edge-pool length, free edges, atom-pool length. Zeroes
+// when no index exists.
 func (s *System) SupportPoolSizes() (derivSlots, live, edges, freeEdges, atomPool int) {
-	ix := s.support
-	if ix == nil {
+	if s.support == nil {
 		return 0, 0, 0, 0, 0
 	}
-	return len(ix.derivs), ix.live(), len(ix.edgeDeriv), len(ix.edgeFree), len(ix.atomPool)
+	for _, ix := range s.support.shards {
+		derivSlots += len(ix.derivs)
+		live += ix.live()
+		edges += len(ix.edgeDeriv)
+		freeEdges += len(ix.edgeFree)
+		atomPool += len(ix.atomPool)
+	}
+	return
 }
 
 // JournalsMirrorTables flushes any deferred journal repairs and then

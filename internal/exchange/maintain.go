@@ -3,6 +3,7 @@ package exchange
 import (
 	"fmt"
 
+	"repro/internal/datalog"
 	"repro/internal/model"
 )
 
@@ -212,7 +213,8 @@ func (s *System) ensureSupport() error {
 	if s.support != nil {
 		return nil
 	}
-	ix := newSupportIndex()
+	n := s.opts.shardCount()
+	ix := newSupportIndex(n)
 	s.support = ix
 	for _, m := range s.Schema.Mappings() {
 		pr := s.Prov[m.Name]
@@ -227,28 +229,36 @@ func (s *System) ensureSupport() error {
 				s.support = nil
 				return err
 			}
-			if pr.Virtual {
-				ix.markVirtual(m.Name, row)
+			// Route the derivation to the shard its head (first target)
+			// key hashes to — the same shard whose engine worker fires
+			// it, so hook maintenance and rebuilds agree on placement.
+			shard := 0
+			if n > 1 && len(targets) > 0 {
+				shard = datalog.ShardOfKey(targets[0].Key, n)
 			}
-			s.supportAddRefs(pr, row, sources, targets)
+			if pr.Virtual {
+				ix.shards[shard].markVirtual(m.Name, row)
+			}
+			s.supportAddRefs(shard, pr, row, sources, targets)
 		}
 	}
 	return nil
 }
 
 // supportAddRefs interns the refs of one derivation and adds it to the
-// support index (the ref-based slow path shared by the legacy-engine
-// hook and index rebuilds; the compiled hook interns straight from its
-// slot buffer instead).
-func (s *System) supportAddRefs(pr *ProvRel, row model.Tuple, sources, targets []model.TupleRef) {
+// given support shard (the ref-based slow path shared by the
+// legacy-engine hook and index rebuilds; the compiled hooks intern
+// straight from their slot buffers instead).
+func (s *System) supportAddRefs(shard int, pr *ProvRel, row model.Tuple, sources, targets []model.TupleRef) {
+	sup := s.support.shards[shard]
 	ids := make([]int32, 0, len(sources)+len(targets))
 	for _, ref := range sources {
-		ids = append(ids, s.support.tupleIDRef(ref))
+		ids = append(ids, sup.tupleIDRef(ref))
 	}
 	for _, ref := range targets {
-		ids = append(ids, s.support.tupleIDRef(ref))
+		ids = append(ids, sup.tupleIDRef(ref))
 	}
-	s.support.add(pr.Mapping.Name, pr.Virtual, row, ids, len(sources))
+	sup.add(pr.Mapping.Name, pr.Virtual, row, ids, len(sources))
 }
 
 // IsLeafRef is IsLeaf addressed by an encoded ref (no key re-encoding).
@@ -266,9 +276,14 @@ func (s *System) IsLeafRef(ref model.TupleRef) bool {
 }
 
 // maintainDelta propagates deletions from the frontier refs outward
-// over the support index.
+// over the support index. Single-shard systems run the original
+// shard-local int32 walk; sharded systems take maintainDeltaMulti,
+// which walks all shards' pools under a transient global interning.
 func (s *System) maintainDelta(report *MaintenanceReport, frontier []model.TupleRef) error {
-	ix := s.support
+	if s.support.nShards() > 1 {
+		return s.maintainDeltaMulti(report, frontier)
+	}
+	ix := s.support.shards[0]
 
 	// Affected subgraph: the forward closure of the frontier through
 	// support edges. Every derivation consuming an affected tuple has
@@ -388,6 +403,172 @@ func (s *System) maintainDelta(report *MaintenanceReport, frontier []model.Tuple
 			continue
 		}
 		ref := ix.refs[t]
+		if tbl, ok := s.DB.Table(ref.Rel); ok {
+			removed, err := tbl.DeleteEncoded(ref.Key)
+			if err != nil {
+				return err
+			}
+			if removed {
+				report.TuplesDeleted++
+				report.DeletedTuples = append(report.DeletedTuples, ref)
+			}
+		}
+	}
+	return nil
+}
+
+// maintainDeltaMulti is the deletion walk over a sharded support
+// index. Shard-local tuple ids are meaningless across shards (one
+// tuple may be interned wherever a firing referenced it), so the walk
+// interns the refs it reaches into transient walk ids of its own and
+// addresses derivations globally as gid = shard<<32 | local index. A
+// tuple's uses/incoming adjacency is the union over all shards'
+// chains (probed read-only — shards that never saw the tuple must not
+// grow); everything else — affected-closure, per-occurrence pending
+// counts, leaf seeding, cycle collapse — mirrors the single-shard
+// walk, and the visited counts it reports are the same unique-tuple /
+// unique-derivation measures.
+func (s *System) maintainDeltaMulti(report *MaintenanceReport, frontier []model.TupleRef) error {
+	shards := s.support.shards
+
+	wid := make(map[model.TupleRef]int32, len(frontier))
+	var wrefs []model.TupleRef
+	widOf := func(ref model.TupleRef) int32 {
+		if id, ok := wid[ref]; ok {
+			return id
+		}
+		id := int32(len(wrefs))
+		wid[ref] = id
+		wrefs = append(wrefs, ref)
+		return id
+	}
+
+	affected := make([]int32, 0, len(frontier))
+	inAffected := make(map[int32]bool, len(frontier))
+	addAffected := func(t int32) {
+		if !inAffected[t] {
+			inAffected[t] = true
+			affected = append(affected, t)
+		}
+	}
+	for _, ref := range frontier {
+		addAffected(widOf(ref))
+	}
+	// forEdges yields the derivations linked from ref's chain of the
+	// given kind in every shard, in stable shard order.
+	forEdges := func(ref model.TupleRef, incoming bool, f func(si int, di int32)) {
+		for si, sh := range shards {
+			lid, ok := sh.lookupID(ref)
+			if !ok {
+				continue
+			}
+			head := sh.usesHead
+			if incoming {
+				head = sh.incomingHead
+			}
+			for e := head[lid]; e != -1; e = sh.edgeNext[e] {
+				f(si, sh.edgeDeriv[e])
+			}
+		}
+	}
+	for qi := 0; qi < len(affected); qi++ {
+		forEdges(wrefs[affected[qi]], false, func(si int, di int32) {
+			sh := shards[si]
+			for _, tgt := range sh.targets(&sh.derivs[di]) {
+				addAffected(widOf(sh.refs[tgt]))
+			}
+		})
+	}
+	var derivSet []int64
+	pending := make(map[int64]int)
+	for _, t := range affected {
+		forEdges(wrefs[t], true, func(si int, di int32) {
+			g := int64(si)<<32 | int64(di)
+			if _, seen := pending[g]; !seen {
+				pending[g] = 0
+				derivSet = append(derivSet, g)
+			}
+		})
+	}
+	report.TuplesVisited = len(affected)
+	report.DerivationsVisited = len(derivSet)
+
+	derivable := make(map[int32]bool)
+	for _, t := range affected {
+		if s.IsLeafRef(wrefs[t]) {
+			derivable[t] = true
+		}
+	}
+	var fire []int64
+	for _, g := range derivSet {
+		sh := shards[g>>32]
+		d := &sh.derivs[int32(g)]
+		p := 0
+		for _, src := range sh.sources(d) {
+			// Every wid entry is affected by construction, so a hit in
+			// the walk interning means the source sits in the subgraph.
+			if wt, ok := wid[sh.refs[src]]; ok && !derivable[wt] {
+				p++
+			}
+		}
+		pending[g] = p
+		if p == 0 {
+			fire = append(fire, g)
+		}
+	}
+	for len(fire) > 0 {
+		g := fire[len(fire)-1]
+		fire = fire[:len(fire)-1]
+		sh := shards[g>>32]
+		for _, tgt := range sh.targets(&sh.derivs[int32(g)]) {
+			ref := sh.refs[tgt]
+			wt, ok := wid[ref]
+			if !ok || derivable[wt] {
+				continue
+			}
+			derivable[wt] = true
+			forEdges(ref, false, func(si int, di int32) {
+				ug := int64(si)<<32 | int64(di)
+				if p, tracked := pending[ug]; tracked {
+					p--
+					pending[ug] = p
+					if p == 0 {
+						fire = append(fire, ug)
+					}
+				}
+			})
+		}
+	}
+
+	// Remove invalidated derivations (some source underivable).
+	for _, g := range derivSet {
+		if pending[g] == 0 {
+			continue
+		}
+		sh := shards[g>>32]
+		di := int32(g)
+		d := &sh.derivs[di]
+		if d.virtual {
+			report.DerivationsDeleted++
+		} else {
+			removed, err := s.DB.MustTable(s.Prov[d.mapping].TableName).Delete(d.row)
+			if err != nil {
+				return err
+			}
+			if removed {
+				report.DerivationsDeleted++
+			}
+		}
+		report.DeletedDerivations = append(report.DeletedDerivations, DeletedDerivation{Mapping: d.mapping, Row: d.row})
+		sh.remove(di)
+	}
+
+	// Remove underivable tuples.
+	for _, t := range affected {
+		if derivable[t] {
+			continue
+		}
+		ref := wrefs[t]
 		if tbl, ok := s.DB.Table(ref.Rel); ok {
 			removed, err := tbl.DeleteEncoded(ref.Key)
 			if err != nil {

@@ -1,0 +1,179 @@
+package exchange_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exchange"
+	"repro/internal/model"
+)
+
+// Lockstep shard-determinism differential for the full update-exchange
+// stack: identical settings are exchanged and churned side by side at
+// shard counts {1, 2, 3, 8}, and after the initial exchange and every
+// interleaved delete / insert+RunDelta step all sides must agree
+// byte-for-byte — tables and provenance rows (signature), support-index
+// derivations with their source/target refs (SupportSignature),
+// engine derivation counts, deletion-walk visit counts, and insertion
+// reports (as sets; the sharded engine merges its report in shard
+// order, not firing order). The serial side is the oracle; sharded
+// sides must also keep their journals mirroring the tables and never
+// fall back to a full fixpoint.
+func TestDifferentialShardedExchange(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	shardCounts := []int{1, 2, 3, 8}
+	for trial := 0; trial < 40; trial++ {
+		cyclic := trial%2 == 1
+		s := genDelSetting(rng, cyclic)
+
+		// Split the base data: half seeds the initial exchange, the
+		// rest arrives over the churn steps.
+		initial := make([][]model.Tuple, len(s.facts))
+		var later []struct {
+			ri  int
+			row model.Tuple
+		}
+		for i, rows := range s.facts {
+			for _, row := range rows {
+				if rng.Intn(2) == 0 {
+					initial[i] = append(initial[i], row)
+				} else {
+					later = append(later, struct {
+						ri  int
+						row model.Tuple
+					}{i, row})
+				}
+			}
+		}
+
+		sides := make([]*exchange.System, len(shardCounts))
+		for i, S := range shardCounts {
+			sc := s
+			sc.opts.Shards = S
+			sides[i] = sc.build(t, initial)
+		}
+		oracle := sides[0]
+
+		check := func(stage string) {
+			t.Helper()
+			sig, sup := signature(t, oracle), oracle.SupportSignature()
+			for i, sys := range sides[1:] {
+				label := fmt.Sprintf("S=%d", shardCounts[i+1])
+				if got := signature(t, sys); got != sig {
+					t.Fatalf("trial %d %s %s: storage differs from serial\nmappings: %v\nserial:\n%s\nsharded:\n%s",
+						trial, stage, label, s.mappings, sig, got)
+				}
+				if got := sys.SupportSignature(); got != sup {
+					t.Fatalf("trial %d %s %s: support index differs from serial\nserial:\n%s\nsharded:\n%s",
+						trial, stage, label, sup, got)
+				}
+				if err := sys.JournalsMirrorTables(); err != nil {
+					t.Fatalf("trial %d %s %s: %v", trial, stage, label, err)
+				}
+			}
+		}
+		check("initial")
+		if d := oracle.LastDerivations; d >= 0 {
+			for i, sys := range sides[1:] {
+				if sys.LastDerivations != d {
+					t.Fatalf("trial %d S=%d: %d derivations on initial exchange, serial %d",
+						trial, shardCounts[i+1], sys.LastDerivations, d)
+				}
+			}
+		}
+
+		current := make([]map[string]model.Tuple, len(s.facts))
+		for i, rows := range initial {
+			current[i] = map[string]model.Tuple{}
+			for _, row := range rows {
+				current[i][model.EncodeDatums(row)] = row
+			}
+		}
+
+		for step := 0; step < 6; step++ {
+			nDel := rng.Intn(3)
+			for d := 0; d < nDel; d++ {
+				ri := rng.Intn(len(current))
+				for enc, row := range current[ri] {
+					delete(current[ri], enc)
+					reports := make([]*exchange.MaintenanceReport, len(sides))
+					for i, sys := range sides {
+						rep, err := sys.DeleteLocal(relName(ri), row)
+						if err != nil {
+							t.Fatalf("trial %d step %d S=%d: DeleteLocal: %v", trial, step, shardCounts[i], err)
+						}
+						reports[i] = rep
+					}
+					for i, rep := range reports[1:] {
+						o := reports[0]
+						if rep.LocalDeleted != o.LocalDeleted || rep.TuplesDeleted != o.TuplesDeleted ||
+							rep.DerivationsDeleted != o.DerivationsDeleted ||
+							rep.TuplesVisited != o.TuplesVisited || rep.DerivationsVisited != o.DerivationsVisited {
+							t.Fatalf("trial %d step %d S=%d: deletion reports differ\nserial  %+v\nsharded %+v",
+								trial, step, shardCounts[i+1], o, rep)
+						}
+					}
+					break
+				}
+			}
+
+			nIns := rng.Intn(3)
+			if nIns > len(later) {
+				nIns = len(later)
+			}
+			for _, ins := range later[:nIns] {
+				current[ins.ri][model.EncodeDatums(ins.row)] = ins.row
+				for i, sys := range sides {
+					if err := sys.InsertLocal(relName(ins.ri), ins.row.Clone()); err != nil {
+						t.Fatalf("trial %d step %d S=%d: InsertLocal: %v", trial, step, shardCounts[i], err)
+					}
+				}
+			}
+			later = later[nIns:]
+
+			reports := make([]*exchange.InsertionReport, len(sides))
+			for i, sys := range sides {
+				rep, err := sys.RunDelta()
+				if err != nil {
+					t.Fatalf("trial %d step %d S=%d: RunDelta: %v", trial, step, shardCounts[i], err)
+				}
+				if rep.Full {
+					t.Fatalf("trial %d step %d S=%d: fell back to a full fixpoint", trial, step, shardCounts[i])
+				}
+				reports[i] = rep
+			}
+			for i, rep := range reports[1:] {
+				o := reports[0]
+				if rep.Derivations != o.Derivations || rep.Iterations != o.Iterations {
+					t.Fatalf("trial %d step %d S=%d: delta stats differ: %d derivations / %d rounds, serial %d / %d",
+						trial, step, shardCounts[i+1], rep.Derivations, rep.Iterations, o.Derivations, o.Iterations)
+				}
+				if got, want := insertionSet(rep), insertionSet(o); got != want {
+					t.Fatalf("trial %d step %d S=%d: insertion reports differ\nserial:\n%s\nsharded:\n%s",
+						trial, step, shardCounts[i+1], want, got)
+				}
+			}
+			check(fmt.Sprintf("step %d", step))
+		}
+	}
+}
+
+// insertionSet renders an insertion report's tuple and derivation
+// lists as one sorted comparable string (the sharded engine emits them
+// in shard order, the serial one in firing order).
+func insertionSet(rep *exchange.InsertionReport) string {
+	var lines []string
+	for _, it := range rep.InsertedTuples {
+		lines = append(lines, "T:"+it.Ref.Rel+"#"+it.Ref.Key+"="+model.EncodeDatums(it.Row))
+	}
+	for _, d := range rep.InsertedDerivations {
+		lines = append(lines, "D:"+d.Mapping+"|"+model.EncodeDatums(d.Row))
+	}
+	sortStrings(lines)
+	out := ""
+	for _, l := range lines {
+		out += l + "\n"
+	}
+	return out
+}

@@ -254,6 +254,22 @@ func (t *Table) LookupKey(key []model.Datum) (model.Tuple, bool) {
 	return t.LookupEncoded(model.EncodeDatums(key))
 }
 
+// LookupKeyBytes is LookupEncoded for callers holding the canonical
+// key encoding as a byte scratch: the map probe allocates nothing. It
+// is a pure read and safe under concurrent readers as long as no
+// writer runs — the sharded exchange hooks use it as their duplicate
+// probe against tables that are only written between runs.
+func (t *Table) LookupKeyBytes(enc []byte) (model.Tuple, bool) {
+	if t.pk == nil {
+		return nil, false
+	}
+	idx, ok := t.pk[string(enc)]
+	if !ok {
+		return nil, false
+	}
+	return t.rows[idx], true
+}
+
 // LookupEncoded is LookupKey for callers holding the canonical key
 // encoding (a model.TupleRef's Key field).
 func (t *Table) LookupEncoded(enc string) (model.Tuple, bool) {

@@ -88,19 +88,29 @@ type Config struct {
 	// engine instead of the compiled one (engine-comparison sweeps).
 	LegacyEngine bool
 	// Parallelism is the compiled engine's worker count (0/1 serial).
+	// It sets how many goroutines evaluate a round — how much hardware
+	// the engine may use — and is independent of Shards, which sets how
+	// the fact space is partitioned.
 	Parallelism int
+	// Shards partitions the fact space into this many hash shards, each
+	// with its own journal, indexes, and arena (0/1 = unsharded serial
+	// engine). Shards fixes the data layout and the deterministic merge
+	// order; Parallelism fixes the worker count that evaluates the
+	// shards. S shards saturate at Parallelism = S workers.
+	Shards int
 	// NoSupportIndex disables hook-maintenance of the deletion-support
 	// index during exchange (index-overhead ablations).
 	NoSupportIndex bool
 }
 
-// DefaultLegacyEngine and DefaultParallelism are process-wide engine
-// defaults applied to Configs that leave the corresponding fields
-// zero; proqlbench's -engine and -par flags reach every sweep through
-// them.
+// DefaultLegacyEngine, DefaultParallelism, and DefaultShards are
+// process-wide engine defaults applied to Configs that leave the
+// corresponding fields zero; proqlbench's -engine, -par, and -shards
+// flags reach every sweep through them.
 var (
 	DefaultLegacyEngine bool
 	DefaultParallelism  int
+	DefaultShards       int
 )
 
 // Defaults fills zero fields.
@@ -119,6 +129,9 @@ func (c *Config) defaults() {
 	}
 	if c.Parallelism == 0 {
 		c.Parallelism = DefaultParallelism
+	}
+	if c.Shards == 0 {
+		c.Shards = DefaultShards
 	}
 }
 
@@ -297,6 +310,7 @@ func Build(cfg Config) (*Setting, error) {
 	sys, err := exchange.NewSystem(schema, exchange.Options{
 		UseLegacyEngine: cfg.LegacyEngine,
 		Parallelism:     cfg.Parallelism,
+		Shards:          cfg.Shards,
 		NoSupportIndex:  cfg.NoSupportIndex,
 	})
 	if err != nil {
