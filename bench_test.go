@@ -324,6 +324,18 @@ func BenchmarkMultiPathMatch(b *testing.B) {
 			}
 		}
 	})
+	b.Run("asr", func(b *testing.B) {
+		goal := proql.NewEngine(set.Sys)
+		if _, err := goal.ExecASR(q); err != nil { // warm the adapter and plan cache
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := goal.ExecASR(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkSinglePathProjection compares the two graph-backend

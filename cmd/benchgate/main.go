@@ -40,6 +40,7 @@ type benchFile struct {
 	Ins    []map[string]json.Number `json:"ins"`
 	Mix    []map[string]json.Number `json:"mix"`
 	Shard  []map[string]json.Number `json:"shard"`
+	Proql  []map[string]json.Number `json:"proql"`
 }
 
 func load(path string) (*benchFile, error) {
@@ -56,7 +57,7 @@ func load(path string) (*benchFile, error) {
 
 // ungated metrics: row identity and instance size (growth there is a
 // workload-scale change, not a perf regression).
-var ungated = map[string]bool{"peers": true, "shards": true, "instance_rows": true}
+var ungated = map[string]bool{"peers": true, "shards": true, "scale": true, "instance_rows": true}
 
 func main() {
 	var (
@@ -98,6 +99,7 @@ func main() {
 		failures += gateExperiment(exp.name, exp.base, exp.cur, *factor, *floorNS)
 	}
 	failures += gateShard(base.Shard, cur.Shard, *shardFactor, *floorNS)
+	failures += gateProQL(base.Proql, cur.Proql, *factor, *floorNS)
 	if failures > 0 {
 		fmt.Printf("benchgate: FAIL — %d regression(s) beyond %.1fx\n", failures, *factor)
 		os.Exit(1)
@@ -257,6 +259,87 @@ func gateShard(base, cur []map[string]json.Number, factor, floorNS float64) int 
 			}
 			fmt.Printf("shard[shards=%s].%-22s %14.0f -> %14.0f  (%.2fx%s) %s\n",
 				shards, metric, bv, cv, ratio, note, status)
+		}
+	}
+	return failures
+}
+
+// gateProQL gates the E14 backend sweep. Rows are keyed by "scale" and
+// the asr backend's latencies are normalized within each row against
+// the same file's graph-backend arm (graph_build_ns + graph_eval_ns:
+// the cold cost of answering the same query by materializing the
+// provenance graph). The gated quantity is the asr backend's share of
+// its reference arm, so runner speed cancels; the graph arm's own
+// latencies are the normalizer and are reported ungated. graph_builds
+// and the plan-cache counters are deterministic and gated strictly —
+// graph_builds in particular must stay 0.
+func gateProQL(base, cur []map[string]json.Number, factor, floorNS float64) int {
+	if len(base) == 0 {
+		return 0
+	}
+	curByScale := make(map[string]map[string]json.Number, len(cur))
+	for _, row := range cur {
+		curByScale[string(row["scale"])] = row
+	}
+	graphArm := func(row map[string]json.Number) float64 {
+		b, err1 := row["graph_build_ns"].Float64()
+		e, err2 := row["graph_eval_ns"].Float64()
+		if err1 != nil || err2 != nil {
+			return 0
+		}
+		return b + e
+	}
+	failures := 0
+	for _, brow := range base {
+		scale := string(brow["scale"])
+		crow, ok := curByScale[scale]
+		if !ok {
+			fmt.Printf("proql[scale=%s]: row missing from current run\n", scale)
+			failures++
+			continue
+		}
+		bnorm, cnorm := graphArm(brow), graphArm(crow)
+		for _, metric := range sortedKeys(brow) {
+			if ungated[metric] {
+				continue
+			}
+			bv, err1 := brow[metric].Float64()
+			cnum, present := crow[metric]
+			if !present {
+				fmt.Printf("proql[scale=%s].%s: metric missing from current run\n", scale, metric)
+				failures++
+				continue
+			}
+			cv, err2 := cnum.Float64()
+			if err1 != nil || err2 != nil {
+				fmt.Printf("proql[scale=%s].%s: non-numeric metric\n", scale, metric)
+				failures++
+				continue
+			}
+			isLatency := strings.HasSuffix(metric, "_ns")
+			if metric == "graph_build_ns" || metric == "graph_eval_ns" {
+				fmt.Printf("proql[scale=%s].%-22s %14.0f -> %14.0f  (%.2fx) normalizer (not gated)\n",
+					scale, metric, bv, cv, ratioOf(bv, cv, factor))
+				continue
+			}
+			gb, gc := bv, cv
+			note := ""
+			if isLatency && bnorm > 0 && cnorm > 0 {
+				gb, gc = bv/bnorm, cv/cnorm
+				note = " of graph arm"
+			}
+			ratio := ratioOf(gb, gc, factor)
+			status := "ok"
+			switch {
+			case ratio <= factor:
+			case isLatency && cv < floorNS:
+				status = "ok (below noise floor)"
+			default:
+				status = "REGRESSED"
+				failures++
+			}
+			fmt.Printf("proql[scale=%s].%-22s %14.0f -> %14.0f  (%.2fx%s) %s\n",
+				scale, metric, bv, cv, ratio, note, status)
 		}
 	}
 	return failures

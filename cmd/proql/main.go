@@ -11,6 +11,7 @@
 //	proql -peers 8 -data 2 -base 100 -topology chain   # synthetic setting
 //	proql -save s.json            # serialize the setting as JSON and exit
 //	proql -load s.json            # load a setting from JSON
+//	proql -backend asr -demo      # force the goal-directed ASR backend
 //
 // In the shell, prefix a query with "explain" to see the Section 4
 // translation (matched mappings, unfolded rules, physical plans).
@@ -44,6 +45,7 @@ func main() {
 		loadFile = flag.String("load", "", "load a setting from a JSON file (see internal/settingio)")
 		saveFile = flag.String("save", "", "save the setting as JSON and exit")
 		par      = flag.Int("par", 1, "worker-pool size for graph-backend path scans (1 = serial)")
+		backend  = flag.String("backend", "auto", "execution backend: auto (relational when the query allows, else graph), relational, graph, or asr (goal-directed over the provenance tables, no graph build)")
 	)
 	flag.Parse()
 
@@ -108,6 +110,7 @@ func main() {
 
 	engine := proql.NewEngine(sys)
 	engine.Parallelism = *par
+	engine.Backend = *backend
 	if *demo {
 		runDemo(engine)
 		return

@@ -69,6 +69,18 @@ type benchShardRow struct {
 	InstanceRows     int   `json:"instance_rows"`
 }
 
+type benchProQLRow struct {
+	Scale        int   `json:"scale"`
+	GraphBuildNS int64 `json:"graph_build_ns"`
+	GraphEvalNS  int64 `json:"graph_eval_ns"`
+	ASRFirstNS   int64 `json:"asr_first_ns"`
+	ASREvalNS    int64 `json:"asr_eval_ns"`
+	GraphBuilds  int64 `json:"graph_builds"`
+	CacheHits    int   `json:"cache_hits"`
+	CacheMisses  int   `json:"cache_misses"`
+	InstanceRows int   `json:"instance_rows"`
+}
+
 type benchJSON struct {
 	Schema string          `json:"schema"`
 	Scale  string          `json:"scale"`
@@ -77,41 +89,46 @@ type benchJSON struct {
 	Ins    []benchInsRow   `json:"ins,omitempty"`
 	Mix    []benchMixRow   `json:"mix,omitempty"`
 	Shard  []benchShardRow `json:"shard,omitempty"`
+	Proql  []benchProQLRow `json:"proql,omitempty"`
 }
 
 // collected gathers sweep results when -json is set.
 var collected *benchJSON
 
 type scaleParams struct {
-	fig7Peers  []int
-	fig7Base   int
-	fig8Peers  int
-	fig8Data   []int
-	fig8Base   int
-	fig9Peers  int
-	fig9Bases  []int
-	fig10Peers []int
-	fig10Base  int
-	scaleData  int
-	asrBase    int
-	fig11Peers int
-	fig11Data  int
-	fig11Lens  []int
-	fig12Peers int
-	fig12Data  int
-	fig12Lens  []int
-	fig13Peers int
-	fig13Data  int
-	fig13Lens  []int
-	delPeers   []int
-	delData    int
-	delBase    int
-	insBatch   int
-	shardPeers int
-	shardBase  int
-	shardList  []int
-	runs       int
-	seed       int64
+	fig7Peers   []int
+	fig7Base    int
+	fig8Peers   int
+	fig8Data    []int
+	fig8Base    int
+	fig9Peers   int
+	fig9Bases   []int
+	fig10Peers  []int
+	fig10Base   int
+	scaleData   int
+	asrBase     int
+	fig11Peers  int
+	fig11Data   int
+	fig11Lens   []int
+	fig12Peers  int
+	fig12Data   int
+	fig12Lens   []int
+	fig13Peers  int
+	fig13Data   int
+	fig13Lens   []int
+	delPeers    []int
+	delData     int
+	delBase     int
+	insBatch    int
+	shardPeers  int
+	shardBase   int
+	shardList   []int
+	proqlScales []int
+	proqlPeers  int
+	proqlData   int
+	proqlBase   int
+	runs        int
+	seed        int64
 }
 
 func defaultScale() scaleParams {
@@ -133,6 +150,7 @@ func defaultScale() scaleParams {
 		delPeers: []int{10, 20, 40}, delData: 2, delBase: 500,
 		insBatch:   5,
 		shardPeers: 40, shardBase: 500, shardList: []int{1, 2, 4, 8},
+		proqlScales: []int{1, 10, 100}, proqlPeers: 8, proqlData: 2, proqlBase: 20,
 		runs: 5,
 		seed: 42,
 	}
@@ -164,13 +182,14 @@ func paperScale() scaleParams {
 	p.delBase = 2000
 	p.shardPeers = 80
 	p.shardBase = 2000
+	p.proqlBase = 100
 	p.runs = 7
 	return p
 }
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiments: table1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, annot, del, ins, mix, shard, or all")
+		exp      = flag.String("exp", "all", "comma-separated experiments: table1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, annot, del, ins, mix, shard, proql, or all")
 		scale    = flag.String("scale", "default", "default, ci, or paper")
 		engine   = flag.String("engine", "compiled", "datalog engine for update exchange: legacy or compiled")
 		par      = flag.Int("par", 0, "compiled-engine worker count per evaluation round (0 = serial); how much hardware a round may use, independent of -shards")
@@ -202,11 +221,21 @@ func main() {
 	if *jsonPath != "" {
 		collected = &benchJSON{Schema: "proqlbench-v1", Scale: *scale, Engine: *engine}
 	}
+	known := []string{"all", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "annot", "del", "ins", "mix", "shard", "proql"}
+	isKnown := map[string]bool{}
+	for _, name := range known {
+		isKnown[name] = true
+	}
 	want := map[string]bool{}
 	for _, name := range strings.Split(*exp, ",") {
-		if name = strings.TrimSpace(name); name != "" {
-			want[name] = true
+		if name = strings.TrimSpace(name); name == "" {
+			continue
 		}
+		if !isKnown[name] {
+			fmt.Fprintf(os.Stderr, "unknown -exp %q (want one of: %s)\n", name, strings.Join(known, ", "))
+			os.Exit(2)
+		}
+		want[name] = true
 	}
 	run := func(name string, fn func(scaleParams) error) {
 		if !want["all"] && !want[name] {
@@ -250,6 +279,7 @@ func main() {
 	run("ins", runInsertion)
 	run("mix", runMixed)
 	run("shard", runShard)
+	run("proql", runProQL)
 	if collected != nil {
 		data, err := json.MarshalIndent(collected, "", "  ")
 		if err != nil {
@@ -331,6 +361,44 @@ func runShard(p scaleParams) error {
 				DeltaNS:          r.DeltaTime.Nanoseconds(),
 				DeltaDerivations: r.DeltaDerivations,
 				InstanceRows:     r.InstanceSize,
+			})
+		}
+	}
+	return nil
+}
+
+// runProQL is the backend sweep (E14): the Q4-shaped multi-path
+// common-provenance query at 1x/10x/100x of the base setting, on the
+// graph backend (materialize the provenance graph, then evaluate warm)
+// and on the goal-directed asr backend (probe the ASR tables directly:
+// no materialization, plan cached after the first run). graph-builds
+// must read 0 — the asr arm never pays the build column.
+func runProQL(p scaleParams) error {
+	fmt.Printf("ProQL backend sweep (E14): chain of %d peers, base %d at %d upstream peers, scales %v\n",
+		p.proqlPeers, p.proqlBase, p.proqlData, p.proqlScales)
+	fmt.Println("scale  graph-build  graph-eval  asr-first  asr-eval  graph-builds  cache(h/m)  instance")
+	rows, err := workload.RunProQL(p.proqlScales, p.proqlPeers, p.proqlData, p.proqlBase, p.runs, p.seed)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%5d  %11v  %10v  %9v  %8v  %12d  %10s  %8d\n",
+			r.Scale, r.GraphBuildTime, r.GraphEvalTime, r.ASRFirstTime, r.ASREvalTime,
+			r.GraphBuilds, fmt.Sprintf("%d/%d", r.CacheHits, r.CacheMisses), r.InstanceSize)
+		if r.GraphBuilds != 0 {
+			return fmt.Errorf("asr arm materialized %d provenance graphs at scale %d, want 0", r.GraphBuilds, r.Scale)
+		}
+		if collected != nil {
+			collected.Proql = append(collected.Proql, benchProQLRow{
+				Scale:        r.Scale,
+				GraphBuildNS: r.GraphBuildTime.Nanoseconds(),
+				GraphEvalNS:  r.GraphEvalTime.Nanoseconds(),
+				ASRFirstNS:   r.ASRFirstTime.Nanoseconds(),
+				ASREvalNS:    r.ASREvalTime.Nanoseconds(),
+				GraphBuilds:  r.GraphBuilds,
+				CacheHits:    r.CacheHits,
+				CacheMisses:  r.CacheMisses,
+				InstanceRows: r.InstanceSize,
 			})
 		}
 	}

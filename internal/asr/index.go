@@ -118,7 +118,7 @@ func (ix *Index) materializeDef(d *Def) error {
 	}
 	// Index the span column together with each position's columns so
 	// rewritten lookups are fast.
-	t.CreateIndex([]int{0})
+	t.EnsureIndex([]int{0})
 	return nil
 }
 

@@ -135,9 +135,7 @@ func (sp *sideProbe) candidates(vals []model.Datum) []model.Tuple {
 func (ix *Index) newSideProbe(mapping string, cols []int) (*sideProbe, error) {
 	if pr := ix.sys.Prov[mapping]; pr != nil && !pr.Virtual {
 		if tbl, ok := ix.sys.DB.Table(pr.TableName); ok {
-			if !tbl.HasIndex(cols) {
-				tbl.CreateIndex(cols)
-			}
+			tbl.EnsureIndex(cols)
 			return &sideProbe{table: tbl, cols: cols}, nil
 		}
 	}

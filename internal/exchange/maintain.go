@@ -2,6 +2,7 @@ package exchange
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/datalog"
 	"repro/internal/model"
@@ -479,14 +480,18 @@ func (s *System) maintainDeltaMulti(report *MaintenanceReport, frontier []model.
 			}
 		})
 	}
+	// Pending counts partition by a derivation's home shard, which is
+	// what lets the fire loop's decrement phase run shard-parallel.
 	var derivSet []int64
-	pending := make(map[int64]int)
+	pendings := make([]map[int32]int, len(shards))
+	for si := range pendings {
+		pendings[si] = make(map[int32]int)
+	}
 	for _, t := range affected {
 		forEdges(wrefs[t], true, func(si int, di int32) {
-			g := int64(si)<<32 | int64(di)
-			if _, seen := pending[g]; !seen {
-				pending[g] = 0
-				derivSet = append(derivSet, g)
+			if _, seen := pendings[si][di]; !seen {
+				pendings[si][di] = 0
+				derivSet = append(derivSet, int64(si)<<32|int64(di))
 			}
 		})
 	}
@@ -511,38 +516,16 @@ func (s *System) maintainDeltaMulti(report *MaintenanceReport, frontier []model.
 				p++
 			}
 		}
-		pending[g] = p
+		pendings[g>>32][int32(g)] = p
 		if p == 0 {
 			fire = append(fire, g)
 		}
 	}
-	for len(fire) > 0 {
-		g := fire[len(fire)-1]
-		fire = fire[:len(fire)-1]
-		sh := shards[g>>32]
-		for _, tgt := range sh.targets(&sh.derivs[int32(g)]) {
-			ref := sh.refs[tgt]
-			wt, ok := wid[ref]
-			if !ok || derivable[wt] {
-				continue
-			}
-			derivable[wt] = true
-			forEdges(ref, false, func(si int, di int32) {
-				ug := int64(si)<<32 | int64(di)
-				if p, tracked := pending[ug]; tracked {
-					p--
-					pending[ug] = p
-					if p == 0 {
-						fire = append(fire, ug)
-					}
-				}
-			})
-		}
-	}
+	fireLoopMulti(shards, wid, derivable, pendings, fire)
 
 	// Remove invalidated derivations (some source underivable).
 	for _, g := range derivSet {
-		if pending[g] == 0 {
+		if pendings[g>>32][int32(g)] == 0 {
 			continue
 		}
 		sh := shards[g>>32]
@@ -581,6 +564,138 @@ func (s *System) maintainDeltaMulti(report *MaintenanceReport, frontier []model.
 		}
 	}
 	return nil
+}
+
+// fireLoopMulti propagates derivability from the zero-pending seed
+// set. With a single shard it is the plain stack-driven walk. With
+// several shards it runs in synchronized rounds: each shard's worker
+// processes its home segment of the frontier (reading only its own
+// adjacency arrays) and collects the fired derivations' target refs; a
+// serial barrier dedups those into the newly derivable tuples; the
+// workers then decrement their own pending partitions against the new
+// tuples' uses chains and emit the next frontier. Pending counts
+// partition by home shard, so no two workers touch the same entry, and
+// each tuple becomes derivable exactly once, so every (tuple, use
+// edge) pair decrements exactly once — the final derivable set and
+// pending counts are identical to the serial walk's regardless of
+// scheduling.
+func fireLoopMulti(shards []*supportShard, wid map[model.TupleRef]int32, derivable map[int32]bool, pendings []map[int32]int, fire []int64) {
+	if len(shards) <= 1 {
+		for len(fire) > 0 {
+			g := fire[len(fire)-1]
+			fire = fire[:len(fire)-1]
+			sh := shards[g>>32]
+			for _, tgt := range sh.targets(&sh.derivs[int32(g)]) {
+				ref := sh.refs[tgt]
+				wt, ok := wid[ref]
+				if !ok || derivable[wt] {
+					continue
+				}
+				derivable[wt] = true
+				for si, s2 := range shards {
+					lid, found := s2.lookupID(ref)
+					if !found {
+						continue
+					}
+					for e := s2.usesHead[lid]; e != -1; e = s2.edgeNext[e] {
+						di := s2.edgeDeriv[e]
+						if p, tracked := pendings[si][di]; tracked {
+							p--
+							pendings[si][di] = p
+							if p == 0 {
+								fire = append(fire, int64(si)<<32|int64(di))
+							}
+						}
+					}
+				}
+			}
+		}
+		return
+	}
+
+	frontier := fire
+	homes := make([][]int64, len(shards))
+	tgtRefs := make([][]model.TupleRef, len(shards))
+	nextBy := make([][]int64, len(shards))
+	for len(frontier) > 0 {
+		for si := range homes {
+			homes[si] = homes[si][:0]
+		}
+		for _, g := range frontier {
+			homes[g>>32] = append(homes[g>>32], g)
+		}
+		// Phase 1 (parallel): each shard expands its home segment of
+		// the frontier into target refs.
+		var wg sync.WaitGroup
+		for si := range shards {
+			if len(homes[si]) == 0 {
+				tgtRefs[si] = tgtRefs[si][:0]
+				continue
+			}
+			wg.Add(1)
+			go func(si int) {
+				defer wg.Done()
+				sh := shards[si]
+				out := tgtRefs[si][:0]
+				for _, g := range homes[si] {
+					for _, tgt := range sh.targets(&sh.derivs[int32(g)]) {
+						out = append(out, sh.refs[tgt])
+					}
+				}
+				tgtRefs[si] = out
+			}(si)
+		}
+		wg.Wait()
+		// Barrier (serial): dedup targets into newly derivable tuples,
+		// in stable shard order.
+		var newly []model.TupleRef
+		for _, refs := range tgtRefs {
+			for _, ref := range refs {
+				wt, ok := wid[ref]
+				if !ok || derivable[wt] {
+					continue
+				}
+				derivable[wt] = true
+				newly = append(newly, ref)
+			}
+		}
+		if len(newly) == 0 {
+			return
+		}
+		// Phase 2 (parallel): each shard decrements its own pending
+		// partition against the new tuples' uses chains.
+		for si := range shards {
+			wg.Add(1)
+			go func(si int) {
+				defer wg.Done()
+				sh := shards[si]
+				pend := pendings[si]
+				next := nextBy[si][:0]
+				for _, ref := range newly {
+					lid, ok := sh.lookupID(ref)
+					if !ok {
+						continue
+					}
+					for e := sh.usesHead[lid]; e != -1; e = sh.edgeNext[e] {
+						di := sh.edgeDeriv[e]
+						if p, tracked := pend[di]; tracked {
+							p--
+							pend[di] = p
+							if p == 0 {
+								next = append(next, int64(si)<<32|int64(di))
+							}
+						}
+					}
+				}
+				nextBy[si] = next
+			}(si)
+		}
+		wg.Wait()
+		frontier = frontier[:0]
+		for _, next := range nextBy {
+			frontier = append(frontier, next...)
+		}
+	}
 }
 
 // MaintainLegacy recomputes derivability over the whole provenance

@@ -2,6 +2,7 @@ package proql
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"time"
 
@@ -17,6 +18,13 @@ import (
 // backend for query shapes the relational translation does not cover.
 type Engine struct {
 	Sys *exchange.System
+
+	// Backend forces an execution backend: "relational", "graph", or
+	// "asr" (goal-directed evaluation over the provenance tables, no
+	// graph materialization). Empty or "auto" keeps the default policy:
+	// relational when the translation covers the query, graph
+	// otherwise.
+	Backend string
 
 	// RewriteRules, when set, rewrites the unfolded conjunctive rules
 	// before planning — the hook the ASR layer (Section 5) uses to
@@ -34,8 +42,11 @@ type Engine struct {
 	Parallelism int
 
 	// graph caches the materialized provenance graph for the graph
-	// backend.
+	// backend; asr caches the goal-directed adapter's interned handles.
+	// plans is the shape-keyed plan cache shared by all backends.
 	graph *provgraph.Graph
+	asr   *asrGraph
+	plans *planCache
 }
 
 // NewEngine builds an engine over a system.
@@ -50,7 +61,7 @@ type Binding map[string]model.TupleRef
 // the two components the paper plots separately in Figures 7–8;
 // PlanTime is the graph backend's physical-planning component.
 type Stats struct {
-	Backend       string // "relational" or "graph"
+	Backend       string // "relational", "graph", or "asr"
 	UnfoldedRules int
 	UnfoldTime    time.Duration
 	PlanTime      time.Duration
@@ -125,9 +136,26 @@ func (r *Result) SortedRefs(v string) []model.TupleRef {
 	return out
 }
 
-// Exec parses nothing: it runs an already parsed query.
+// Exec parses nothing: it runs an already parsed query on the engine's
+// selected backend (Backend), defaulting to relational-with-graph-
+// fallback.
 func (e *Engine) Exec(q *Query) (*Result, error) {
-	comp, err := CompileUnfold(e.Sys, q)
+	switch e.Backend {
+	case "", "auto":
+	case "relational":
+		comp, err := e.compileUnfoldCached(q)
+		if err != nil {
+			return nil, err
+		}
+		return e.execUnfold(comp)
+	case "graph":
+		return e.execPlanned(q)
+	case "asr":
+		return e.ExecASR(q)
+	default:
+		return nil, fmt.Errorf("proql: unknown backend %q (want relational, graph, or asr)", e.Backend)
+	}
+	comp, err := e.compileUnfoldCached(q)
 	if err != nil {
 		var nr *ErrNotRelational
 		if errors.As(err, &nr) {
@@ -144,6 +172,22 @@ func (e *Engine) Exec(q *Query) (*Result, error) {
 // the physical-plan pipeline (internal/proql/physplan).
 func (e *Engine) ExecGraph(q *Query) (*Result, error) {
 	return e.execPlanned(q)
+}
+
+// ExecASR forces evaluation on the goal-directed ASR backend: the same
+// physical-plan pipeline as the graph backend, but running directly
+// over the provenance relations (and their secondary indexes) through
+// an adapter that interns tuple and derivation handles on demand — no
+// provenance graph is ever materialized, so memory stays proportional
+// to the portion of the graph the query actually touches.
+func (e *Engine) ExecASR(q *Query) (*Result, error) {
+	g, err := e.asrAdapter()
+	if err != nil {
+		return nil, err
+	}
+	// The adapter interns handles in shared maps, so plans run
+	// single-worker regardless of e.Parallelism.
+	return e.execPhys(q, g, "asr", 1)
 }
 
 // ExecGraphLegacy forces evaluation on the graph backend's original
@@ -176,9 +220,12 @@ func (e *Engine) Graph() (*provgraph.Graph, error) {
 	return e.graph, nil
 }
 
-// InvalidateGraph drops the cached graph (call after new exchange
-// runs).
-func (e *Engine) InvalidateGraph() { e.graph = nil }
+// InvalidateGraph drops the cached graph and the ASR adapter's
+// interned handles (call after new exchange runs).
+func (e *Engine) InvalidateGraph() {
+	e.graph = nil
+	e.asr = nil
+}
 
 // MaintainGraph applies an incremental-deletion report to the cached
 // provenance graph in place, so a deletion costs a subgraph patch
@@ -187,6 +234,10 @@ func (e *Engine) InvalidateGraph() { e.graph = nil }
 // propagator's) cannot be patched in; callers holding one must
 // InvalidateGraph instead.
 func (e *Engine) MaintainGraph(report *exchange.MaintenanceReport) {
+	// The ASR adapter caches rows and adjacency read from the tables;
+	// any maintenance invalidates it (it re-interns lazily, so a drop
+	// costs only the warmed handles).
+	e.asr = nil
 	if e.graph == nil || report == nil {
 		return
 	}
@@ -200,6 +251,7 @@ func (e *Engine) MaintainGraph(report *exchange.MaintenanceReport) {
 // report says the run was a full re-exchange (or the patch fails) the
 // cache is invalidated and the next query rebuilds.
 func (e *Engine) MaintainGraphInsert(report *exchange.InsertionReport) {
+	e.asr = nil
 	if e.graph == nil || report == nil {
 		return
 	}

@@ -1,0 +1,490 @@
+// This file is the goal-directed ASR backend: the same physical-plan
+// pipeline as the graph backend, but with a storage adapter (asrGraph)
+// answering the operators' navigation calls directly from the relstore
+// tables — probing the provenance relations' secondary indexes for a
+// tuple's incoming derivations instead of following materialized
+// adjacency lists. No provgraph is ever built: handles are interned
+// lazily, so memory is proportional to the portion of the provenance
+// graph the query touches, not to the instance.
+
+package proql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/exchange"
+	"repro/internal/model"
+	"repro/internal/proql/physplan"
+	"repro/internal/provgraph"
+)
+
+// asrAdapter returns the engine's cached ASR adapter, building the
+// probe descriptors on first use. The adapter is dropped whenever the
+// underlying tables change (InvalidateGraph, Maintain*).
+func (e *Engine) asrAdapter() (*asrGraph, error) {
+	if e.asr != nil {
+		return e.asr, nil
+	}
+	probes, err := e.Sys.IncomingProbes()
+	if err != nil {
+		return nil, err
+	}
+	e.asr = &asrGraph{
+		sys:     e.Sys,
+		probes:  probes,
+		tuples:  map[model.TupleRef]*asrTuple{},
+		derivs:  map[string]*asrDeriv{},
+		virtIdx: map[string]map[string][]model.Tuple{},
+	}
+	return e.asr, nil
+}
+
+// asrGraph implements physplan.Graph over an exchanged system's
+// relational storage. It is single-goroutine (handles intern into
+// shared maps), so plans over it always run with one worker.
+type asrGraph struct {
+	sys    *exchange.System
+	probes map[string][]exchange.IncomingProbe
+
+	tuples map[model.TupleRef]*asrTuple
+	derivs map[string]*asrDeriv
+	ords   int // shared ordinal counter for tuples and derivations
+
+	// virtRows caches the reconstructed provenance rows of virtual
+	// (superfluous) mappings; virtIdx hash-indexes them per probed
+	// column set, mirroring the secondary indexes materialized tables
+	// get.
+	virtRows map[string][]model.Tuple
+	virtIdx  map[string]map[string][]model.Tuple
+
+	// relScan caches the interned handle list of a fully scanned
+	// relation, so repeated anchor scans (the common case with a plan
+	// cache) skip re-encoding every ref. Dropped with the adapter on
+	// maintenance.
+	relScan map[string][]*asrTuple
+
+	err error
+}
+
+func (g *asrGraph) fail(err error) {
+	if g.err == nil {
+		g.err = err
+	}
+}
+
+// Err implements physplan.Graph.
+func (g *asrGraph) Err() error { return g.err }
+
+// asrTuple is the interned handle of one tuple; row, leaf mark, and
+// incoming derivations resolve lazily and stick.
+type asrTuple struct {
+	g   *asrGraph
+	ref model.TupleRef
+	ord int
+	key []model.Datum // decoded key datums, relation key order
+
+	row    model.Tuple
+	rowOK  bool
+	leaf   bool
+	leafOK bool
+	// inBy caches incoming derivations per mapping filter ("" = all).
+	inBy map[string][]*asrDeriv
+}
+
+// TupleRef implements physplan.Tuple.
+func (t *asrTuple) TupleRef() model.TupleRef { return t.ref }
+
+// TupleOrd implements physplan.Tuple.
+func (t *asrTuple) TupleOrd() int { return t.ord }
+
+// TupleRow implements physplan.Tuple.
+func (t *asrTuple) TupleRow() model.Tuple {
+	if !t.rowOK {
+		t.rowOK = true
+		if tab, ok := t.g.sys.DB.Table(t.ref.Rel); ok {
+			if row, found := tab.LookupKey(t.key); found {
+				t.row = row
+			}
+		}
+	}
+	return t.row
+}
+
+// TupleLeaf implements physplan.Tuple.
+func (t *asrTuple) TupleLeaf() bool {
+	if !t.leafOK {
+		t.leafOK = true
+		t.leaf = t.g.sys.IsLeaf(t.ref.Rel, t.key)
+	}
+	return t.leaf
+}
+
+// asrDeriv is the interned handle of one derivation (one provenance
+// row); its source and target tuples resolve lazily.
+type asrDeriv struct {
+	g       *asrGraph
+	ord     int
+	id      string
+	mapping string
+	pr      *exchange.ProvRel
+	row     model.Tuple
+
+	srcs, tgts []*asrTuple
+	edgesOK    bool
+}
+
+// DerivOrd implements physplan.Deriv.
+func (d *asrDeriv) DerivOrd() int { return d.ord }
+
+// DerivID implements physplan.Deriv.
+func (d *asrDeriv) DerivID() string { return d.id }
+
+// DerivMapping implements physplan.Deriv.
+func (d *asrDeriv) DerivMapping() string { return d.mapping }
+
+// internTuple returns the unique handle of a reference, recording its
+// decoded key datums on first sight.
+func (g *asrGraph) internTuple(ref model.TupleRef, key []model.Datum) *asrTuple {
+	if t, ok := g.tuples[ref]; ok {
+		return t
+	}
+	g.ords++
+	t := &asrTuple{g: g, ref: ref, ord: g.ords, key: key, inBy: map[string][]*asrDeriv{}}
+	g.tuples[ref] = t
+	return t
+}
+
+// internDeriv returns the unique handle of one provenance row,
+// minting the same ID provgraph.Build would.
+func (g *asrGraph) internDeriv(pr *exchange.ProvRel, row model.Tuple) *asrDeriv {
+	id := provgraph.DerivIDFor(pr.Mapping.Name, row)
+	if d, ok := g.derivs[id]; ok {
+		return d
+	}
+	g.ords++
+	d := &asrDeriv{g: g, ord: g.ords, id: id, mapping: pr.Mapping.Name, pr: pr, row: row}
+	g.derivs[id] = d
+	return d
+}
+
+// edges resolves a derivation's source and target handles from its
+// provenance row (AtomRefKeys reconstructs every atom's key).
+func (d *asrDeriv) edges() ([]*asrTuple, []*asrTuple) {
+	if d.edgesOK {
+		return d.srcs, d.tgts
+	}
+	d.edgesOK = true
+	srcs, tgts, err := d.g.sys.AtomRefKeys(d.pr, d.row)
+	if err != nil {
+		d.g.fail(err)
+		return nil, nil
+	}
+	for _, rk := range srcs {
+		d.srcs = append(d.srcs, d.g.internTuple(rk.Ref, rk.Key))
+	}
+	for _, rk := range tgts {
+		d.tgts = append(d.tgts, d.g.internTuple(rk.Ref, rk.Key))
+	}
+	return d.srcs, d.tgts
+}
+
+// incoming resolves (and caches) the derivations targeting t,
+// restricted to one mapping when mapping != "". Resolution probes only
+// the provenance relations whose head can produce t's relation —
+// the goal-directed reverse step — using each table's secondary index
+// on the probed head-key columns.
+func (t *asrTuple) incoming(mapping string) []*asrDeriv {
+	if ds, ok := t.inBy[mapping]; ok {
+		return ds
+	}
+	g := t.g
+	var out []*asrDeriv
+	seen := map[*asrDeriv]bool{}
+	for i := range g.probes[t.ref.Rel] {
+		p := &g.probes[t.ref.Rel][i]
+		if mapping != "" && p.Prov.Mapping.Name != mapping {
+			continue
+		}
+		if !p.Matches(t.key) {
+			continue
+		}
+		vals := p.ProbeVals(t.key)
+		g.eachProvRowMatching(p, vals, func(row model.Tuple) bool {
+			d := g.internDeriv(p.Prov, row)
+			if !seen[d] {
+				seen[d] = true
+				out = append(out, d)
+			}
+			return true
+		})
+		if g.err != nil {
+			break
+		}
+	}
+	t.inBy[mapping] = out
+	return out
+}
+
+// eachProvRowMatching enumerates the provenance rows of one probe
+// whose probed columns equal vals: an index probe on the materialized
+// table, or a hash-map probe over the cached reconstruction for
+// virtual mappings. An empty column set (all-constant head key) means
+// every row of the relation matches.
+func (g *asrGraph) eachProvRowMatching(p *exchange.IncomingProbe, vals []model.Datum, fn func(model.Tuple) bool) {
+	if !p.Prov.Virtual {
+		tab, ok := g.sys.DB.Table(p.Prov.TableName)
+		if !ok {
+			g.fail(fmt.Errorf("proql: missing provenance table %q", p.Prov.TableName))
+			return
+		}
+		if len(p.Cols) == 0 {
+			tab.Iterate(fn)
+			return
+		}
+		tab.EnsureIndex(p.Cols)
+		tab.ProbeEach(p.Cols, vals, fn)
+		return
+	}
+	rows, ok := g.virtualRows(p.Prov)
+	if !ok {
+		return
+	}
+	if len(p.Cols) == 0 {
+		for _, row := range rows {
+			if !fn(row) {
+				return
+			}
+		}
+		return
+	}
+	idx := g.virtualIndex(p.Prov, p.Cols, rows)
+	var buf []byte
+	for _, v := range vals {
+		buf = model.AppendDatum(buf, v)
+	}
+	for _, row := range idx[string(buf)] {
+		if !fn(row) {
+			return
+		}
+	}
+}
+
+// virtualRows caches the reconstructed provenance rows of a virtual
+// mapping.
+func (g *asrGraph) virtualRows(pr *exchange.ProvRel) ([]model.Tuple, bool) {
+	if g.virtRows == nil {
+		g.virtRows = map[string][]model.Tuple{}
+	}
+	name := pr.Mapping.Name
+	if rows, ok := g.virtRows[name]; ok {
+		return rows, true
+	}
+	rows, err := g.sys.ProvRows(name)
+	if err != nil {
+		g.fail(err)
+		return nil, false
+	}
+	g.virtRows[name] = rows
+	return rows, true
+}
+
+// virtualIndex hash-indexes a virtual mapping's rows on one column
+// set, cached per (mapping, columns).
+func (g *asrGraph) virtualIndex(pr *exchange.ProvRel, cols []int, rows []model.Tuple) map[string][]model.Tuple {
+	var sig strings.Builder
+	sig.WriteString(pr.Mapping.Name)
+	for _, c := range cols {
+		sig.WriteByte('|')
+		sig.WriteString(strconv.Itoa(c))
+	}
+	key := sig.String()
+	if idx, ok := g.virtIdx[key]; ok {
+		return idx
+	}
+	idx := make(map[string][]model.Tuple, len(rows))
+	for _, row := range rows {
+		var buf []byte
+		for _, c := range cols {
+			buf = model.AppendDatum(buf, row[c])
+		}
+		idx[string(buf)] = append(idx[string(buf)], row)
+	}
+	g.virtIdx[key] = idx
+	return idx
+}
+
+// EachDerivInto implements physplan.Graph: incoming edges resolve by
+// index probes against the (at most few) provenance relations whose
+// head produces t's relation.
+func (g *asrGraph) EachDerivInto(t physplan.Tuple, mapping string, yield func(physplan.Deriv) bool) {
+	if g.err != nil {
+		return
+	}
+	for _, d := range t.(*asrTuple).incoming(mapping) {
+		if !yield(d) {
+			return
+		}
+	}
+}
+
+// EachDerivOf implements physplan.Graph.
+func (g *asrGraph) EachDerivOf(mapping string, yield func(physplan.Deriv) bool) {
+	if g.err != nil {
+		return
+	}
+	pr, ok := g.sys.Prov[mapping]
+	if !ok {
+		return
+	}
+	if pr.Virtual {
+		rows, ok := g.virtualRows(pr)
+		if !ok {
+			return
+		}
+		for _, row := range rows {
+			if !yield(g.internDeriv(pr, row)) {
+				return
+			}
+		}
+		return
+	}
+	tab, ok := g.sys.DB.Table(pr.TableName)
+	if !ok {
+		return
+	}
+	// Collect before interning: Iterate must not observe index
+	// creation a nested navigation call might trigger on this table.
+	rows := tab.Rows()
+	for _, row := range rows {
+		if !yield(g.internDeriv(pr, row)) {
+			return
+		}
+	}
+}
+
+// EachSource implements physplan.Graph.
+func (g *asrGraph) EachSource(d physplan.Deriv, yield func(physplan.Tuple) bool) {
+	if g.err != nil {
+		return
+	}
+	srcs, _ := d.(*asrDeriv).edges()
+	for _, s := range srcs {
+		if !yield(s) {
+			return
+		}
+	}
+}
+
+// EachTarget implements physplan.Graph.
+func (g *asrGraph) EachTarget(d physplan.Deriv, yield func(physplan.Tuple) bool) {
+	if g.err != nil {
+		return
+	}
+	_, tgts := d.(*asrDeriv).edges()
+	for _, t := range tgts {
+		if !yield(t) {
+			return
+		}
+	}
+}
+
+// EachTupleOf implements physplan.Graph.
+func (g *asrGraph) EachTupleOf(rel string, yield func(physplan.Tuple) bool) {
+	if g.err != nil {
+		return
+	}
+	r, ok := g.sys.Schema.Relation(rel)
+	if !ok || r.IsLocal {
+		return
+	}
+	tab, ok := g.sys.DB.Table(rel)
+	if !ok {
+		return
+	}
+	scan, cached := g.relScan[rel]
+	if !cached {
+		rows := tab.Rows()
+		scan = make([]*asrTuple, 0, len(rows))
+		for _, row := range rows {
+			scan = append(scan, g.internTuple(model.NewTupleRef(r, row), r.KeyOf(row)))
+		}
+		if g.relScan == nil {
+			g.relScan = map[string][]*asrTuple{}
+		}
+		g.relScan[rel] = scan
+	}
+	for _, t := range scan {
+		if !yield(t) {
+			return
+		}
+	}
+}
+
+// EachTuple implements physplan.Graph.
+func (g *asrGraph) EachTuple(yield func(physplan.Tuple) bool) {
+	for _, r := range g.sys.Schema.PublicRelations() {
+		cont := true
+		g.EachTupleOf(r.Name, func(t physplan.Tuple) bool {
+			cont = yield(t)
+			return cont
+		})
+		if !cont || g.err != nil {
+			return
+		}
+	}
+}
+
+// NumTuples implements physplan.Graph.
+func (g *asrGraph) NumTuples() int {
+	n := 0
+	for _, r := range g.sys.Schema.PublicRelations() {
+		if tab, ok := g.sys.DB.Table(r.Name); ok {
+			n += tab.Len()
+		}
+	}
+	return n
+}
+
+// NumTuplesOf implements physplan.Graph.
+func (g *asrGraph) NumTuplesOf(rel string) int {
+	if tab, ok := g.sys.DB.Table(rel); ok {
+		return tab.Len()
+	}
+	return 0
+}
+
+// NumDerivations implements physplan.Graph.
+func (g *asrGraph) NumDerivations() int {
+	n := 0
+	for name := range g.sys.Prov {
+		n += g.NumDerivationsOf(name)
+	}
+	return n
+}
+
+// NumDerivationsOf implements physplan.Graph.
+func (g *asrGraph) NumDerivationsOf(mapping string) int {
+	pr, ok := g.sys.Prov[mapping]
+	if !ok {
+		return 0
+	}
+	if pr.Virtual {
+		rows, _ := g.virtualRows(pr)
+		return len(rows)
+	}
+	if tab, ok := g.sys.DB.Table(pr.TableName); ok {
+		return tab.Len()
+	}
+	return 0
+}
+
+// SourcePairs implements physplan.Graph.
+func (g *asrGraph) SourcePairs() int {
+	n := 0
+	for name, pr := range g.sys.Prov {
+		n += g.NumDerivationsOf(name) * len(pr.Mapping.Body)
+	}
+	return n
+}

@@ -22,13 +22,20 @@ func (e *Engine) execPlanned(q *Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return e.execPhys(q, physplan.NewMem(g), "graph", e.Parallelism)
+}
+
+// execPhys evaluates a query through the physical-plan pipeline over
+// any physplan storage (the materialized graph or the goal-directed
+// ASR adapter) — the shared executor of the graph and asr backends.
+func (e *Engine) execPhys(q *Query, g physplan.Graph, backend string, workers int) (*Result, error) {
 	planStart := time.Now()
 	outG := provgraph.New()
 	res := &Result{
-		Stats: Stats{Backend: "graph"},
+		Stats: Stats{Backend: backend},
 		graph: outG,
 	}
-	plan, err := e.buildGraphPlan(g, q, outG)
+	plan, err := e.buildPhysPlan(g, q, outG, workers, backend)
 	if err != nil {
 		return nil, err
 	}
@@ -54,14 +61,17 @@ func (e *Engine) execPlanned(q *Query) (*Result, error) {
 			if node == nil {
 				return nil, fmt.Errorf("proql: RETURN variable $%s is not bound by the FOR clause", v)
 			}
-			tn, isTuple := node.(*provgraph.TupleNode)
+			tn, isTuple := node.(physplan.Tuple)
 			if !isTuple {
 				return nil, fmt.Errorf("proql: RETURN variable $%s binds derivation nodes; only tuple nodes can be returned", v)
 			}
-			out[v] = tn.Ref
+			out[v] = tn.TupleRef()
 			physplan.CopyTupleMeta(outG, tn)
 		}
 		res.Bindings = append(res.Bindings, out)
+	}
+	if err := g.Err(); err != nil {
+		return nil, err
 	}
 	sortBindings(res.Bindings, q.Projection.Return)
 
@@ -74,13 +84,35 @@ func (e *Engine) execPlanned(q *Query) (*Result, error) {
 	return res, nil
 }
 
-// buildGraphPlan lowers a query to the physplan spec and compiles it.
-// outG receives the projected subgraph when the plan runs.
-func (e *Engine) buildGraphPlan(g *provgraph.Graph, q *Query, outG *provgraph.Graph) (*physplan.Plan, error) {
+// buildPhysPlan lowers the query and compiles it, replaying cached
+// planner decisions when the plan cache holds a valid entry for the
+// query's shape on this backend.
+func (e *Engine) buildPhysPlan(g physplan.Graph, q *Query, outG *provgraph.Graph, workers int, backend string) (*physplan.Plan, error) {
+	if dec, ok := e.cachedDecisions(backend, q); ok {
+		spec, err := e.lowerSpec(g, q, outG, workers)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := physplan.CompileWithDecisions(g, spec, dec)
+		if err == nil {
+			return plan, nil
+		}
+		// A stale or mismatched entry falls through to a fresh compile.
+	}
+	plan, err := e.buildGraphPlan(g, q, outG, workers)
+	if err != nil {
+		return nil, err
+	}
+	e.storeDecisions(backend, q, plan.Decisions())
+	return plan, nil
+}
+
+// lowerSpec lowers a query to the physplan spec without compiling it.
+func (e *Engine) lowerSpec(g physplan.Graph, q *Query, outG *provgraph.Graph, workers int) (physplan.Spec, error) {
 	spec := physplan.Spec{
 		Return:  q.Projection.Return,
 		Out:     outG,
-		Workers: e.Parallelism,
+		Workers: workers,
 	}
 	pathVars := map[string]bool{}
 	for _, p := range q.Projection.For {
@@ -114,6 +146,16 @@ func (e *Engine) buildGraphPlan(g *provgraph.Graph, q *Query, outG *provgraph.Gr
 				Fn:   e.compileRowCond(g, c),
 			})
 		}
+	}
+	return spec, nil
+}
+
+// buildGraphPlan lowers a query to the physplan spec and compiles it.
+// outG receives the projected subgraph when the plan runs.
+func (e *Engine) buildGraphPlan(g physplan.Graph, q *Query, outG *provgraph.Graph, workers int) (*physplan.Plan, error) {
+	spec, err := e.lowerSpec(g, q, outG, workers)
+	if err != nil {
+		return nil, err
 	}
 	return physplan.Compile(g, spec)
 }
@@ -186,7 +228,7 @@ func condVars(c Cond) []string {
 
 // compileRowCond compiles a WHERE condition into a row predicate over
 // the plan schema, mirroring the interpreter's evalGraphCond.
-func (e *Engine) compileRowCond(g *provgraph.Graph, c Cond) physplan.FilterFn {
+func (e *Engine) compileRowCond(g physplan.Graph, c Cond) physplan.FilterFn {
 	switch cc := c.(type) {
 	case CondCmp:
 		return func(s *physplan.Schema, row physplan.Row) (bool, error) {
@@ -206,11 +248,11 @@ func (e *Engine) compileRowCond(g *provgraph.Graph, c Cond) physplan.FilterFn {
 			if col < 0 || row[col] == nil {
 				return false, fmt.Errorf("proql: WHERE references unbound variable $%s", cc.Var)
 			}
-			tn, ok := row[col].(*provgraph.TupleNode)
+			tn, ok := row[col].(physplan.Tuple)
 			if !ok {
 				return false, fmt.Errorf("proql: IN requires a tuple variable")
 			}
-			return tn.Ref.Rel == cc.Rel, nil
+			return tn.TupleRef().Rel == cc.Rel, nil
 		}
 	case CondAnd:
 		l, r := e.compileRowCond(g, cc.L), e.compileRowCond(g, cc.R)
@@ -263,27 +305,29 @@ func (e *Engine) rowOperand(o CmpOperand, s *physplan.Schema, row physplan.Row) 
 		return nil, fmt.Errorf("proql: WHERE references unbound variable $%s", o.Var)
 	}
 	switch n := row[col].(type) {
-	case *provgraph.DerivNode:
+	case physplan.Deriv:
 		if o.Attr != "" {
 			return nil, fmt.Errorf("proql: derivation variable $%s has no attributes", o.Var)
 		}
-		return n.Mapping, nil
-	case *provgraph.TupleNode:
+		return n.DerivMapping(), nil
+	case physplan.Tuple:
 		if o.Attr == "" {
 			return nil, fmt.Errorf("proql: bare tuple variable $%s cannot be compared; use $%s.<attr> or IN", o.Var, o.Var)
 		}
-		rel, ok := e.Sys.Schema.Relation(n.Ref.Rel)
+		ref := n.TupleRef()
+		rel, ok := e.Sys.Schema.Relation(ref.Rel)
 		if !ok {
-			return nil, fmt.Errorf("proql: unknown relation %q", n.Ref.Rel)
+			return nil, fmt.Errorf("proql: unknown relation %q", ref.Rel)
 		}
 		idx := rel.ColumnIndex(o.Attr)
 		if idx < 0 {
 			return nil, fmt.Errorf("proql: relation %s has no attribute %q", rel.Name, o.Attr)
 		}
-		if n.Row == nil {
-			return nil, fmt.Errorf("proql: no stored row for %v", n.Ref)
+		r := n.TupleRow()
+		if r == nil {
+			return nil, fmt.Errorf("proql: no stored row for %v", ref)
 		}
-		return n.Row[idx], nil
+		return r[idx], nil
 	}
 	return nil, fmt.Errorf("proql: variable $%s bound to unexpected node", o.Var)
 }

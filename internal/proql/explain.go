@@ -4,48 +4,110 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/proql/physplan"
 	"repro/internal/provgraph"
 	"repro/internal/relstore"
 )
 
-// Explain compiles a query without executing it and renders the
-// translation the paper's Section 4 pipeline produced: the matched
-// relations and mappings, every unfolded conjunctive rule (after ASR
-// rewriting, if enabled), and each rule's physical plan. Queries that
-// require the graph backend report that instead.
+// Explain compiles a query without executing it and renders the chosen
+// backend's translation: for the relational backend (Section 4) the
+// matched relations and mappings, every unfolded conjunctive rule
+// (after ASR rewriting, if enabled), and each rule's physical plan;
+// for the graph and asr backends the physical operator tree. The
+// engine's Backend selection applies, and the trailing plan-cache line
+// reports hit/miss counters (Explain itself consults the cache, so
+// explaining a repeated shape counts a hit).
 func (e *Engine) Explain(q *Query) (string, error) {
 	var sb strings.Builder
-	comp, err := CompileUnfold(e.Sys, q)
-	if err != nil {
-		if nr, ok := err.(*ErrNotRelational); ok {
-			fmt.Fprintf(&sb, "backend: graph (%s)\n", nr.Reason)
-			g, gerr := e.Graph()
-			if gerr != nil {
-				return "", gerr
+	switch e.Backend {
+	case "", "auto":
+		comp, err := e.compileUnfoldCached(q)
+		if err != nil {
+			if nr, ok := err.(*ErrNotRelational); ok {
+				fmt.Fprintf(&sb, "backend: graph (%s)\n", nr.Reason)
+				if err := e.explainPhys(&sb, q, "graph"); err != nil {
+					return "", err
+				}
+				break
 			}
-			plan, perr := e.buildGraphPlan(g, q, provgraph.New())
-			if perr != nil {
-				return "", perr
-			}
-			sb.WriteString(plan.ExplainString())
-			return sb.String(), nil
+			return "", err
 		}
-		return "", err
+		if err := e.explainRelational(&sb, q, comp); err != nil {
+			return "", err
+		}
+	case "relational":
+		comp, err := e.compileUnfoldCached(q)
+		if err != nil {
+			return "", err
+		}
+		if err := e.explainRelational(&sb, q, comp); err != nil {
+			return "", err
+		}
+	case "graph":
+		fmt.Fprintf(&sb, "backend: graph (forced)\n")
+		if err := e.explainPhys(&sb, q, "graph"); err != nil {
+			return "", err
+		}
+	case "asr":
+		fmt.Fprintf(&sb, "backend: asr (forced)\n")
+		if err := e.explainPhys(&sb, q, "asr"); err != nil {
+			return "", err
+		}
+	default:
+		return "", fmt.Errorf("proql: unknown backend %q (want relational, graph, or asr)", e.Backend)
 	}
-	fmt.Fprintf(&sb, "backend: relational\n")
-	fmt.Fprintf(&sb, "anchor: %s ($%s)\n", comp.AnchorRel, comp.AnchorVar)
-	fmt.Fprintf(&sb, "matched relations: %s\n", strings.Join(comp.Allowed.SortedRelations(), ", "))
-	fmt.Fprintf(&sb, "matched mappings: %s\n", strings.Join(comp.Allowed.SortedMappings(), ", "))
+	st := e.PlanCacheStats()
+	fmt.Fprintf(&sb, "plan cache: %d entries, %d hits, %d misses\n", st.Entries, st.Hits, st.Misses)
+	return sb.String(), nil
+}
+
+// explainPhys renders the physical-plan pipeline's operator tree over
+// the requested storage (going through the plan cache, like
+// execution).
+func (e *Engine) explainPhys(sb *strings.Builder, q *Query, backend string) error {
+	var g physplan.Graph
+	if backend == "asr" {
+		ag, err := e.asrAdapter()
+		if err != nil {
+			return err
+		}
+		g = ag
+	} else {
+		mg, err := e.Graph()
+		if err != nil {
+			return err
+		}
+		g = physplan.NewMem(mg)
+	}
+	workers := e.Parallelism
+	if backend == "asr" {
+		workers = 1
+	}
+	plan, err := e.buildPhysPlan(g, q, provgraph.New(), workers, backend)
+	if err != nil {
+		return err
+	}
+	sb.WriteString(plan.ExplainString())
+	return nil
+}
+
+// explainRelational renders the Section 4 pipeline: anchor, matched
+// schema-graph fragment, unfolded rules, per-rule relational plans.
+func (e *Engine) explainRelational(sb *strings.Builder, q *Query, comp *Compiled) error {
+	fmt.Fprintf(sb, "backend: relational\n")
+	fmt.Fprintf(sb, "anchor: %s ($%s)\n", comp.AnchorRel, comp.AnchorVar)
+	fmt.Fprintf(sb, "matched relations: %s\n", strings.Join(comp.Allowed.SortedRelations(), ", "))
+	fmt.Fprintf(sb, "matched mappings: %s\n", strings.Join(comp.Allowed.SortedMappings(), ", "))
 	rules := comp.Rules
 	if e.RewriteRules != nil {
 		rules = e.RewriteRules(rules)
-		fmt.Fprintf(&sb, "ASR rewriting: enabled\n")
+		fmt.Fprintf(sb, "ASR rewriting: enabled\n")
 	}
-	fmt.Fprintf(&sb, "unfolded rules: %d\n", len(rules))
+	fmt.Fprintf(sb, "unfolded rules: %d\n", len(rules))
 	ctx := &planContext{sys: e.Sys, atomPlanOverride: e.AtomPlanOverride}
 	spec := pruneSpecFor(q)
 	for i, r := range rules {
-		fmt.Fprintf(&sb, "\n-- rule %d: %s :- ", i+1, r.Anchor)
+		fmt.Fprintf(sb, "\n-- rule %d: %s :- ", i+1, r.Anchor)
 		parts := make([]string, len(r.Body))
 		for j, a := range r.Body {
 			parts[j] = a.String()
@@ -54,11 +116,11 @@ func (e *Engine) Explain(q *Query) (string, error) {
 		sb.WriteByte('\n')
 		rp, err := buildRulePlan(ctx, r, q.Projection.Where, comp.AnchorVar, spec)
 		if err != nil {
-			return "", err
+			return err
 		}
 		sb.WriteString(indent(relstore.Explain(rp.plan), "   "))
 	}
-	return sb.String(), nil
+	return nil
 }
 
 // ExplainString parses and explains a query.

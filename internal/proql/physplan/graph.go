@@ -1,0 +1,161 @@
+package physplan
+
+import (
+	"repro/internal/model"
+	"repro/internal/provgraph"
+)
+
+// Tuple is a handle to one tuple node of a provenance store. Handles
+// are interned: one store hands out exactly one (pointer-comparable)
+// handle per tuple, so interface equality and map keys work as node
+// identity throughout the operators.
+type Tuple interface {
+	// TupleRef identifies the tuple.
+	TupleRef() model.TupleRef
+	// TupleOrd is a store-wide unique ordinal (dedup/join keys).
+	TupleOrd() int
+	// TupleRow is the stored row, or nil for dangling references.
+	TupleRow() model.Tuple
+	// TupleLeaf reports a local contribution ('+' node).
+	TupleLeaf() bool
+}
+
+// Deriv is a handle to one derivation node; interned like Tuple.
+type Deriv interface {
+	// DerivOrd is a store-wide unique ordinal.
+	DerivOrd() int
+	// DerivID is the derivation's unique ID (mapping # provenance key).
+	DerivID() string
+	// DerivMapping names the mapping that fired.
+	DerivMapping() string
+}
+
+// Graph is the provenance-store surface the physical operators run
+// over. The materialized provgraph and the goal-directed ASR adapter
+// both implement it, so one operator set serves both backends.
+//
+// Enumeration is callback-style (yield returning false stops early) so
+// lazy implementations never build intermediate slices. Implementations
+// that can fail mid-enumeration (storage-backed adapters) record the
+// first failure and surface it from Err; the engine checks Err after
+// draining a plan.
+type Graph interface {
+	// EachDerivInto enumerates the derivations targeting t — its
+	// incoming edges — restricted to one mapping when mapping != ""
+	// (the goal-direction hook: storage adapters probe only that
+	// mapping's provenance table).
+	EachDerivInto(t Tuple, mapping string, yield func(Deriv) bool)
+	// EachDerivOf enumerates one mapping's derivations.
+	EachDerivOf(mapping string, yield func(Deriv) bool)
+	// EachSource enumerates d's source tuples in atom order.
+	EachSource(d Deriv, yield func(Tuple) bool)
+	// EachTarget enumerates d's target tuples in atom order.
+	EachTarget(d Deriv, yield func(Tuple) bool)
+	// EachTupleOf enumerates one relation's tuples.
+	EachTupleOf(rel string, yield func(Tuple) bool)
+	// EachTuple enumerates every tuple.
+	EachTuple(yield func(Tuple) bool)
+	// NumTuples, NumTuplesOf, NumDerivations, NumDerivationsOf and
+	// SourcePairs are the cardinality statistics the planner's cost
+	// model uses; estimates are fine.
+	NumTuples() int
+	NumTuplesOf(rel string) int
+	NumDerivations() int
+	NumDerivationsOf(mapping string) int
+	// SourcePairs counts (derivation, source) pairs — the fanout
+	// numerator.
+	SourcePairs() int
+	// Err returns the first enumeration failure, or nil.
+	Err() error
+}
+
+// Mem adapts a materialized *provgraph.Graph to the Graph interface:
+// handles are the graph's own node pointers, enumeration walks the
+// adjacency slices directly.
+type Mem struct {
+	G *provgraph.Graph
+}
+
+// NewMem wraps a materialized provenance graph.
+func NewMem(g *provgraph.Graph) Mem { return Mem{G: g} }
+
+// EachDerivInto implements Graph.
+func (m Mem) EachDerivInto(t Tuple, mapping string, yield func(Deriv) bool) {
+	for _, d := range t.(*provgraph.TupleNode).Derivations {
+		if mapping != "" && d.Mapping != mapping {
+			continue
+		}
+		if !yield(d) {
+			return
+		}
+	}
+}
+
+// EachDerivOf implements Graph.
+func (m Mem) EachDerivOf(mapping string, yield func(Deriv) bool) {
+	for _, d := range m.G.DerivationsOf(mapping) {
+		if !yield(d) {
+			return
+		}
+	}
+}
+
+// EachSource implements Graph.
+func (m Mem) EachSource(d Deriv, yield func(Tuple) bool) {
+	for _, s := range d.(*provgraph.DerivNode).Sources {
+		if !yield(s) {
+			return
+		}
+	}
+}
+
+// EachTarget implements Graph.
+func (m Mem) EachTarget(d Deriv, yield func(Tuple) bool) {
+	for _, t := range d.(*provgraph.DerivNode).Targets {
+		if !yield(t) {
+			return
+		}
+	}
+}
+
+// EachTupleOf implements Graph.
+func (m Mem) EachTupleOf(rel string, yield func(Tuple) bool) {
+	for _, t := range m.G.TuplesOfUnordered(rel) {
+		if !yield(t) {
+			return
+		}
+	}
+}
+
+// EachTuple implements Graph.
+func (m Mem) EachTuple(yield func(Tuple) bool) {
+	for _, t := range m.G.Tuples() {
+		if !yield(t) {
+			return
+		}
+	}
+}
+
+// NumTuples implements Graph.
+func (m Mem) NumTuples() int { return m.G.NumTuples() }
+
+// NumTuplesOf implements Graph.
+func (m Mem) NumTuplesOf(rel string) int { return m.G.NumTuplesOf(rel) }
+
+// NumDerivations implements Graph.
+func (m Mem) NumDerivations() int { return m.G.NumDerivations() }
+
+// NumDerivationsOf implements Graph.
+func (m Mem) NumDerivationsOf(mapping string) int { return len(m.G.DerivationsOf(mapping)) }
+
+// SourcePairs implements Graph.
+func (m Mem) SourcePairs() int {
+	pairs := 0
+	for _, d := range m.G.Derivations() {
+		pairs += len(d.Sources)
+	}
+	return pairs
+}
+
+// Err implements Graph; in-memory enumeration cannot fail.
+func (m Mem) Err() error { return nil }

@@ -16,7 +16,7 @@ import (
 // walk never binds them.
 type Include struct {
 	input Op
-	g     *provgraph.Graph
+	g     Graph
 	out   *provgraph.Graph
 	paths []boundPath
 }
@@ -60,22 +60,18 @@ func (inc *Include) Open() (stream.Iterator[Row], error) {
 // candidate start tuple's metadata is copied even when no path matches
 // it, and every included derivation brings all of its sources and
 // targets — both mirroring the interpreter's projection semantics.
-func (bp *boundPath) include(g, out *provgraph.Graph, row Row) error {
-	starts, err := bp.starts(g, row, false)
-	if err != nil {
-		return err
-	}
-	for _, st := range starts {
-		if r := bp.path.Nodes[0].Rel; r != "" && st.Ref.Rel != r {
-			continue
+func (bp *boundPath) include(g Graph, out *provgraph.Graph, row Row) error {
+	return bp.eachStart(g, row, false, func(st Tuple) bool {
+		if r := bp.path.Nodes[0].Rel; r != "" && st.TupleRef().Rel != r {
+			return true
 		}
 		CopyTupleMeta(out, st)
-		bp.walkInclude(g, out, 0, st, row, map[*provgraph.TupleNode]bool{st: true})
-	}
-	return nil
+		bp.walkInclude(g, out, 0, st, row, map[Tuple]bool{st: true})
+		return true
+	})
 }
 
-func (bp *boundPath) walkInclude(g, out *provgraph.Graph, edgeIdx int, cur *provgraph.TupleNode, row Row, visited map[*provgraph.TupleNode]bool) bool {
+func (bp *boundPath) walkInclude(g Graph, out *provgraph.Graph, edgeIdx int, cur Tuple, row Row, visited map[Tuple]bool) bool {
 	if edgeIdx == len(bp.path.Edges) {
 		return true
 	}
@@ -88,44 +84,43 @@ func (bp *boundPath) walkInclude(g, out *provgraph.Graph, edgeIdx int, cur *prov
 	// graphs).
 	if edge.Kind == EdgePlus && edgeIdx == len(bp.path.Edges)-1 &&
 		nextRel == "" && (nextCol < 0 || row[nextCol] == nil) {
-		return includeAllAncestors(out, cur)
+		return includeAllAncestors(g, out, cur)
 	}
 	matchedAny := false
 	switch edge.Kind {
 	case EdgeDirect:
 		ec := bp.edgeCol[edgeIdx]
-		for _, d := range cur.Derivations {
-			if edge.Mapping != "" && d.Mapping != edge.Mapping {
-				continue
-			}
+		g.EachDerivInto(cur, edge.Mapping, func(d Deriv) bool {
 			if ec >= 0 {
 				if prev := row[ec]; prev != nil && prev != any(d) {
-					continue
+					return true
 				}
 			}
-			for _, src := range d.Sources {
+			g.EachSource(d, func(src Tuple) bool {
 				if visited[src] || !bp.nodeMatches(edgeIdx+1, src, row) {
-					continue
+					return true
 				}
 				visited[src] = true
 				if bp.walkInclude(g, out, edgeIdx+1, src, row, visited) {
-					CopyDerivation(out, d)
+					CopyDerivation(g, out, d)
 					matchedAny = true
 				}
 				delete(visited, src)
-			}
-		}
+				return true
+			})
+			return true
+		})
 	case EdgePlus:
 		// Treat <-+ as one step followed by zero-or-more: copy a
 		// derivation iff its source either matches the next pattern
 		// (path ends here) or continues to a successful match.
-		var walk func(t *provgraph.TupleNode) bool
-		walk = func(t *provgraph.TupleNode) bool {
+		var walk func(t Tuple) bool
+		walk = func(t Tuple) bool {
 			ok := false
-			for _, d := range t.Derivations {
-				for _, src := range d.Sources {
+			g.EachDerivInto(t, "", func(d Deriv) bool {
+				g.EachSource(d, func(src Tuple) bool {
 					if visited[src] {
-						continue
+						return true
 					}
 					visited[src] = true
 					endsHere := false
@@ -136,12 +131,14 @@ func (bp *boundPath) walkInclude(g, out *provgraph.Graph, edgeIdx int, cur *prov
 					}
 					continues := walk(src)
 					if endsHere || continues {
-						CopyDerivation(out, d)
+						CopyDerivation(g, out, d)
 						ok = true
 					}
 					delete(visited, src)
-				}
-			}
+					return true
+				})
+				return true
+			})
 			return ok
 		}
 		matchedAny = walk(cur)
@@ -151,53 +148,58 @@ func (bp *boundPath) walkInclude(g, out *provgraph.Graph, edgeIdx int, cur *prov
 
 // includeAllAncestors copies every derivation backwards-reachable from
 // cur into the output graph, reporting whether any exists.
-func includeAllAncestors(out *provgraph.Graph, cur *provgraph.TupleNode) bool {
-	seen := map[*provgraph.TupleNode]bool{cur: true}
-	queue := []*provgraph.TupleNode{cur}
+func includeAllAncestors(g Graph, out *provgraph.Graph, cur Tuple) bool {
+	seen := map[Tuple]bool{cur: true}
+	queue := []Tuple{cur}
 	found := false
 	for len(queue) > 0 {
 		tn := queue[0]
 		queue = queue[1:]
-		for _, d := range tn.Derivations {
+		g.EachDerivInto(tn, "", func(d Deriv) bool {
 			found = true
-			CopyDerivation(out, d)
-			for _, src := range d.Sources {
+			CopyDerivation(g, out, d)
+			g.EachSource(d, func(src Tuple) bool {
 				if !seen[src] {
 					seen[src] = true
 					queue = append(queue, src)
 				}
-			}
-		}
+				return true
+			})
+			return true
+		})
 	}
 	return found
 }
 
 // CopyDerivation copies a derivation node (with all sources and
 // targets, including their metadata) into out.
-func CopyDerivation(out *provgraph.Graph, d *provgraph.DerivNode) {
-	srcs := make([]model.TupleRef, len(d.Sources))
-	for i, s := range d.Sources {
-		srcs[i] = s.Ref
-	}
-	tgts := make([]model.TupleRef, len(d.Targets))
-	for i, t := range d.Targets {
-		tgts[i] = t.Ref
-	}
-	out.AddDerivation(d.ID, d.Mapping, srcs, tgts)
-	for _, s := range d.Sources {
+func CopyDerivation(g Graph, out *provgraph.Graph, d Deriv) {
+	var srcs, tgts []model.TupleRef
+	g.EachSource(d, func(s Tuple) bool {
+		srcs = append(srcs, s.TupleRef())
+		return true
+	})
+	g.EachTarget(d, func(t Tuple) bool {
+		tgts = append(tgts, t.TupleRef())
+		return true
+	})
+	out.AddDerivation(d.DerivID(), d.DerivMapping(), srcs, tgts)
+	g.EachSource(d, func(s Tuple) bool {
 		CopyTupleMeta(out, s)
-	}
-	for _, t := range d.Targets {
+		return true
+	})
+	g.EachTarget(d, func(t Tuple) bool {
 		CopyTupleMeta(out, t)
-	}
+		return true
+	})
 }
 
 // CopyTupleMeta copies one tuple node's stored row and leaf mark into
 // out.
-func CopyTupleMeta(out *provgraph.Graph, tn *provgraph.TupleNode) {
-	n := out.Tuple(tn.Ref)
+func CopyTupleMeta(out *provgraph.Graph, tn Tuple) {
+	n := out.Tuple(tn.TupleRef())
 	if n.Row == nil {
-		n.Row = tn.Row
+		n.Row = tn.TupleRow()
 	}
-	n.Leaf = tn.Leaf
+	n.Leaf = tn.TupleLeaf()
 }

@@ -5,7 +5,6 @@ import (
 	"strings"
 	"sync"
 
-	"repro/internal/provgraph"
 	"repro/internal/stream"
 )
 
@@ -73,7 +72,7 @@ func (b *batchIter) Close() {
 // insensitive consumers (the planner always deduplicates and the
 // engine sorts final bindings).
 type Scan struct {
-	g       *provgraph.Graph
+	g       Graph
 	bp      boundPath
 	schema  *Schema
 	workers int
@@ -95,7 +94,7 @@ func (s *Scan) explain(sb *strings.Builder, indent int) {
 // Open implements Op.
 func (s *Scan) Open() (stream.Iterator[Row], error) {
 	seed := make(Row, s.schema.Width())
-	starts, err := s.bp.starts(s.g, seed, true)
+	starts, err := s.bp.startTuples(s.g, seed, true)
 	if err != nil {
 		return nil, err
 	}
@@ -122,7 +121,7 @@ func (s *Scan) Open() (stream.Iterator[Row], error) {
 
 // openParallel partitions the start tuples over the worker pool; each
 // worker streams its matches into a shared channel.
-func (s *Scan) openParallel(starts []*provgraph.TupleNode, seed Row) stream.Iterator[Row] {
+func (s *Scan) openParallel(starts []Tuple, seed Row) stream.Iterator[Row] {
 	type scanBatch struct{ rows []Row }
 	out := make(chan scanBatch, s.workers)
 	stop := make(chan struct{})
@@ -181,7 +180,7 @@ func (s *Scan) openParallel(starts []*provgraph.TupleNode, seed Row) stream.Iter
 // row's bindings (goal-directed) or from the label indexes.
 type Extend struct {
 	input  Op
-	g      *provgraph.Graph
+	g      Graph
 	bp     boundPath
 	schema *Schema
 	desc   string

@@ -3,8 +3,6 @@ package physplan
 import (
 	"fmt"
 	"strings"
-
-	"repro/internal/provgraph"
 )
 
 // EdgeKind distinguishes single derivation steps from <-+ paths.
@@ -123,8 +121,8 @@ func bindPath(p Path, s *Schema) boundPath {
 }
 
 // nodeMatches reports whether tn satisfies node pattern i under row.
-func (bp *boundPath) nodeMatches(i int, tn *provgraph.TupleNode, row Row) bool {
-	if r := bp.path.Nodes[i].Rel; r != "" && tn.Ref.Rel != r {
+func (bp *boundPath) nodeMatches(i int, tn Tuple, row Row) bool {
+	if r := bp.path.Nodes[i].Rel; r != "" && tn.TupleRef().Rel != r {
 		return false
 	}
 	if c := bp.nodeCol[i]; c >= 0 {
@@ -135,49 +133,66 @@ func (bp *boundPath) nodeMatches(i int, tn *provgraph.TupleNode, row Row) bool {
 	return true
 }
 
-// starts returns the candidate start tuples of the path under row,
-// narrowest index first: a bound start variable, a bound first-edge
-// derivation variable (its targets), the relation label index, the
-// first-edge mapping index (targets of its derivations), or the whole
-// graph. With useIndexes false the derivation-variable and mapping
-// shortcuts are skipped and candidate sets match the naive enumeration
-// exactly (INCLUDE paths copy metadata for every candidate, so their
-// candidate set is semantically visible).
-func (bp *boundPath) starts(g *provgraph.Graph, row Row, useIndexes bool) ([]*provgraph.TupleNode, error) {
+// eachStart enumerates the candidate start tuples of the path under
+// row, narrowest index first: a bound start variable, a bound
+// first-edge derivation variable (its targets), the relation label
+// index, the first-edge mapping index (targets of its derivations), or
+// the whole store. With useIndexes false the derivation-variable and
+// mapping shortcuts are skipped and candidate sets match the naive
+// enumeration exactly (INCLUDE paths copy metadata for every
+// candidate, so their candidate set is semantically visible).
+func (bp *boundPath) eachStart(g Graph, row Row, useIndexes bool, yield func(Tuple) bool) error {
 	n0 := bp.path.Nodes[0]
 	if c := bp.nodeCol[0]; c >= 0 && row[c] != nil {
-		tn, ok := row[c].(*provgraph.TupleNode)
+		tn, ok := row[c].(Tuple)
 		if !ok {
-			return nil, fmt.Errorf("proql: variable $%s is a derivation node but used as a tuple node", n0.Var)
+			return fmt.Errorf("proql: variable $%s is a derivation node but used as a tuple node", n0.Var)
 		}
-		return []*provgraph.TupleNode{tn}, nil
+		yield(tn)
+		return nil
 	}
 	if useIndexes && len(bp.path.Edges) > 0 && bp.path.Edges[0].Kind == EdgeDirect {
 		if c := bp.edgeCol[0]; c >= 0 && row[c] != nil {
-			if d, ok := row[c].(*provgraph.DerivNode); ok {
-				return d.Targets, nil
+			if d, ok := row[c].(Deriv); ok {
+				g.EachTarget(d, yield)
+				return nil
 			}
 		}
 	}
 	if n0.Rel != "" {
-		return g.TuplesOfUnordered(n0.Rel), nil
+		g.EachTupleOf(n0.Rel, yield)
+		return nil
 	}
 	if useIndexes && len(bp.path.Edges) > 0 && bp.path.Edges[0].Kind == EdgeDirect && bp.path.Edges[0].Mapping != "" {
 		// Label index: a valid start must be the target of at least one
 		// derivation of the first edge's mapping.
-		var out []*provgraph.TupleNode
-		seen := map[*provgraph.TupleNode]bool{}
-		for _, d := range g.DerivationsOf(bp.path.Edges[0].Mapping) {
-			for _, t := range d.Targets {
+		seen := map[Tuple]bool{}
+		cont := true
+		g.EachDerivOf(bp.path.Edges[0].Mapping, func(d Deriv) bool {
+			g.EachTarget(d, func(t Tuple) bool {
 				if !seen[t] {
 					seen[t] = true
-					out = append(out, t)
+					cont = yield(t)
 				}
-			}
-		}
-		return out, nil
+				return cont
+			})
+			return cont
+		})
+		return nil
 	}
-	return g.Tuples(), nil
+	g.EachTuple(yield)
+	return nil
+}
+
+// startTuples materializes eachStart's candidates (the parallel scan
+// partitions them over workers).
+func (bp *boundPath) startTuples(g Graph, row Row, useIndexes bool) ([]Tuple, error) {
+	var out []Tuple
+	err := bp.eachStart(g, row, useIndexes, func(t Tuple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out, err
 }
 
 // startsDesc describes the start strategy for EXPLAIN output, given the
@@ -202,22 +217,18 @@ func (bp *boundPath) startsDesc(bound map[string]bool) string {
 // matchAll enumerates every extension of row that satisfies the path,
 // passing each completed row (a fresh copy) to yield. yield returning
 // false stops the enumeration early.
-func (bp *boundPath) matchAll(g *provgraph.Graph, row Row, yield func(Row) bool) error {
-	starts, err := bp.starts(g, row, true)
-	if err != nil {
-		return err
-	}
-	for _, st := range starts {
-		if !bp.matchStart(g, st, row, yield) {
-			return nil
-		}
-	}
-	return nil
+func (bp *boundPath) matchAll(g Graph, row Row, yield func(Row) bool) error {
+	cont := true
+	err := bp.eachStart(g, row, true, func(st Tuple) bool {
+		cont = bp.matchStart(g, st, row, yield)
+		return cont
+	})
+	return err
 }
 
 // matchStart enumerates the path's matches anchored at one start
 // tuple. It reports false when yield stopped the enumeration.
-func (bp *boundPath) matchStart(g *provgraph.Graph, st *provgraph.TupleNode, row Row, yield func(Row) bool) bool {
+func (bp *boundPath) matchStart(g Graph, st Tuple, row Row, yield func(Row) bool) bool {
 	if !bp.nodeMatches(0, st, row) {
 		return true
 	}
@@ -226,34 +237,32 @@ func (bp *boundPath) matchStart(g *provgraph.Graph, st *provgraph.TupleNode, row
 		nr = cloneRow(nr)
 		nr[c] = st
 	}
-	visited := map[*provgraph.TupleNode]bool{st: true}
+	visited := map[Tuple]bool{st: true}
 	return bp.step(g, 0, st, nr, visited, yield)
 }
 
 // step matches the path's edge edgeIdx (and everything after it) from
 // cur, mirroring the tree-walking interpreter's simple-path semantics:
 // within one path match a tuple node is never revisited.
-func (bp *boundPath) step(g *provgraph.Graph, edgeIdx int, cur *provgraph.TupleNode, row Row, visited map[*provgraph.TupleNode]bool, yield func(Row) bool) bool {
+func (bp *boundPath) step(g Graph, edgeIdx int, cur Tuple, row Row, visited map[Tuple]bool, yield func(Row) bool) bool {
 	if edgeIdx == len(bp.path.Edges) {
 		return yield(cloneRow(row))
 	}
 	edge := bp.path.Edges[edgeIdx]
 	nextCol := bp.nodeCol[edgeIdx+1]
+	cont := true
 	switch edge.Kind {
 	case EdgeDirect:
 		ec := bp.edgeCol[edgeIdx]
-		for _, d := range cur.Derivations {
-			if edge.Mapping != "" && d.Mapping != edge.Mapping {
-				continue
-			}
+		g.EachDerivInto(cur, edge.Mapping, func(d Deriv) bool {
 			if ec >= 0 {
 				if prev := row[ec]; prev != nil && prev != any(d) {
-					continue
+					return true
 				}
 			}
-			for _, src := range d.Sources {
+			g.EachSource(d, func(src Tuple) bool {
 				if visited[src] || !bp.nodeMatches(edgeIdx+1, src, row) {
-					continue
+					return true
 				}
 				nr, cloned := row, false
 				if ec >= 0 && nr[ec] == nil {
@@ -267,24 +276,23 @@ func (bp *boundPath) step(g *provgraph.Graph, edgeIdx int, cur *provgraph.TupleN
 					nr[nextCol] = src
 				}
 				visited[src] = true
-				ok := bp.step(g, edgeIdx+1, src, nr, visited, yield)
+				cont = bp.step(g, edgeIdx+1, src, nr, visited, yield)
 				delete(visited, src)
-				if !ok {
-					return false
-				}
-			}
-		}
+				return cont
+			})
+			return cont
+		})
 	case EdgePlus:
 		// All ancestors at distance >= 1 reachable by simple paths, in
 		// discovery order for determinism.
-		var reached []*provgraph.TupleNode
-		seen := map[*provgraph.TupleNode]bool{}
-		var walk func(t *provgraph.TupleNode)
-		walk = func(t *provgraph.TupleNode) {
-			for _, d := range t.Derivations {
-				for _, src := range d.Sources {
+		var reached []Tuple
+		seen := map[Tuple]bool{}
+		var walk func(t Tuple)
+		walk = func(t Tuple) {
+			g.EachDerivInto(t, "", func(d Deriv) bool {
+				g.EachSource(d, func(src Tuple) bool {
 					if visited[src] {
-						continue
+						return true
 					}
 					if !seen[src] {
 						seen[src] = true
@@ -293,8 +301,10 @@ func (bp *boundPath) step(g *provgraph.Graph, edgeIdx int, cur *provgraph.TupleN
 					visited[src] = true
 					walk(src)
 					delete(visited, src)
-				}
-			}
+					return true
+				})
+				return true
+			})
 		}
 		walk(cur)
 		for _, src := range reached {
@@ -307,21 +317,21 @@ func (bp *boundPath) step(g *provgraph.Graph, edgeIdx int, cur *provgraph.TupleN
 				nr[nextCol] = src
 			}
 			visited[src] = true
-			ok := bp.step(g, edgeIdx+1, src, nr, visited, yield)
+			cont = bp.step(g, edgeIdx+1, src, nr, visited, yield)
 			delete(visited, src)
-			if !ok {
-				return false
+			if !cont {
+				break
 			}
 		}
 	}
-	return true
+	return cont
 }
 
 // NewExistsChecker precompiles an existential path condition against a
 // schema, returning a predicate over that schema's rows. It is the
 // WHERE-clause path-condition primitive: variables of the path absent
 // from s are existential.
-func NewExistsChecker(g *provgraph.Graph, p Path, s *Schema) func(Row) (bool, error) {
+func NewExistsChecker(g Graph, p Path, s *Schema) func(Row) (bool, error) {
 	ext := s.Extend(p.Vars())
 	bp := bindPath(p, ext)
 	width := ext.Width()

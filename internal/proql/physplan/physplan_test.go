@@ -65,9 +65,9 @@ func rowStrings(rows []Row) []string {
 	return out
 }
 
-func compile(t *testing.T, g *provgraph.Graph, spec Spec) *Plan {
+func compilePlan(t *testing.T, g *provgraph.Graph, spec Spec) *Plan {
 	t.Helper()
-	plan, err := Compile(g, spec)
+	plan, err := Compile(NewMem(g), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestScanSinglePath(t *testing.T) {
 		Nodes: []Node{{Rel: "O", Var: "x"}, {Rel: "B", Var: "y"}},
 		Edges: []Edge{{Kind: EdgeDirect}},
 	}
-	plan := compile(t, g, Spec{Paths: []Path{p}, Return: []string{"x", "y"}})
+	plan := compilePlan(t, g, Spec{Paths: []Path{p}, Return: []string{"x", "y"}})
 	rows := mustRows(t, plan.Root)
 	if len(rows) != 3 {
 		t.Fatalf("rows = %d, want 3", len(rows))
@@ -96,7 +96,7 @@ func TestScanMappingIndexStart(t *testing.T) {
 		Nodes: []Node{{Var: "x"}, {Var: "y"}},
 		Edges: []Edge{{Kind: EdgeDirect, Mapping: "mx"}},
 	}
-	plan := compile(t, g, Spec{Paths: []Path{p}, Return: []string{"x", "y"}})
+	plan := compilePlan(t, g, Spec{Paths: []Path{p}, Return: []string{"x", "y"}})
 	if want := "start=index:mapping(mx)"; !contains(Explain(plan.Root), want) {
 		t.Errorf("plan should use the mapping index:\n%s", Explain(plan.Root))
 	}
@@ -135,7 +135,7 @@ func TestHashJoinOnSharedVar(t *testing.T) {
 		Nodes: []Node{{Rel: "C", Var: "y"}, {Rel: "A", Var: "z"}},
 		Edges: []Edge{{Kind: EdgePlus}},
 	}
-	plan := compile(t, g, Spec{Paths: []Path{p1, p2}, Return: []string{"x", "y", "z"}})
+	plan := compilePlan(t, g, Spec{Paths: []Path{p1, p2}, Return: []string{"x", "y", "z"}})
 	rows := mustRows(t, plan.Root)
 	// Every (O(i), C(i), A(i)) triple.
 	if len(rows) != 3 {
@@ -163,7 +163,7 @@ func TestExtendWhenStartBound(t *testing.T) {
 		Nodes: []Node{{Var: "y"}, {Rel: "A", Var: "z"}},
 		Edges: []Edge{{Kind: EdgeDirect}},
 	}
-	plan := compile(t, g, Spec{Paths: []Path{p1, p2}, Return: []string{"x", "z"}})
+	plan := compilePlan(t, g, Spec{Paths: []Path{p1, p2}, Return: []string{"x", "z"}})
 	if !contains(Explain(plan.Root), "Extend(") {
 		t.Fatalf("expected an Extend operator:\n%s", Explain(plan.Root))
 	}
@@ -194,7 +194,7 @@ func TestFilterPushdown(t *testing.T) {
 			return tn.Ref == keep, nil
 		},
 	}
-	plan := compile(t, g, Spec{Paths: []Path{p1, p2}, Filters: []FilterSpec{filter}, Return: []string{"x", "z"}})
+	plan := compilePlan(t, g, Spec{Paths: []Path{p1, p2}, Filters: []FilterSpec{filter}, Return: []string{"x", "z"}})
 	rows := mustRows(t, plan.Root)
 	if len(rows) != 1 {
 		t.Fatalf("rows = %d, want 1", len(rows))
@@ -237,9 +237,9 @@ func TestParallelScanMatchesSerial(t *testing.T) {
 		Edges: []Edge{{Kind: EdgePlus}},
 	}
 	spec := Spec{Paths: []Path{p1}, Return: []string{"x", "z"}}
-	serial := compile(t, g, spec)
+	serial := compilePlan(t, g, spec)
 	spec.Workers = 4
-	parallel := compile(t, g, spec)
+	parallel := compilePlan(t, g, spec)
 	a := rowStrings(mustRows(t, serial.Root))
 	b := rowStrings(mustRows(t, parallel.Root))
 	if len(a) != len(b) {
@@ -258,7 +258,7 @@ func TestParallelScanEarlyClose(t *testing.T) {
 		Nodes: []Node{{Rel: "O", Var: "x"}, {Var: "z"}},
 		Edges: []Edge{{Kind: EdgePlus}},
 	}
-	plan := compile(t, g, Spec{Paths: []Path{p1}, Return: []string{"x"}, Workers: 4})
+	plan := compilePlan(t, g, Spec{Paths: []Path{p1}, Return: []string{"x"}, Workers: 4})
 	it, err := plan.Root.Open()
 	if err != nil {
 		t.Fatal(err)
@@ -273,7 +273,7 @@ func TestExistsChecker(t *testing.T) {
 	g := diamondGraph(2)
 	base := NewSchema([]string{"x"})
 	// [$x] <- [B]: true for O tuples (derived from B), false for A.
-	check := NewExistsChecker(g, Path{
+	check := NewExistsChecker(NewMem(g), Path{
 		Nodes: []Node{{Var: "x"}, {Rel: "B"}},
 		Edges: []Edge{{Kind: EdgeDirect}},
 	}, base)
@@ -299,7 +299,7 @@ func TestGreedyOrderPrefersSelectiveStart(t *testing.T) {
 		Nodes: []Node{{Var: "x"}, {Rel: "A", Var: "w"}},
 		Edges: []Edge{{Kind: EdgeDirect, Mapping: "mx"}},
 	}
-	plan := compile(t, g, Spec{Paths: []Path{broad, narrow}, Return: []string{"x", "z", "w"}})
+	plan := compilePlan(t, g, Spec{Paths: []Path{broad, narrow}, Return: []string{"x", "z", "w"}})
 	if len(plan.Order) != 2 || plan.Order[0] != 1 {
 		t.Fatalf("order = %v, want the narrow mapping-indexed path first\n%s", plan.Order, Explain(plan.Root))
 	}
@@ -320,7 +320,7 @@ func TestIncludeProjectsSubgraph(t *testing.T) {
 		Nodes: []Node{{Var: "x"}, {}},
 		Edges: []Edge{{Kind: EdgePlus}},
 	}
-	plan := compile(t, g, Spec{Paths: []Path{p}, Include: []Path{inc}, Return: []string{"x"}, Out: out})
+	plan := compilePlan(t, g, Spec{Paths: []Path{p}, Include: []Path{inc}, Return: []string{"x"}, Out: out})
 	rows := mustRows(t, plan.Root)
 	if len(rows) != 3 {
 		t.Fatalf("rows = %d, want 3", len(rows))
@@ -335,7 +335,7 @@ func TestLenientFilterDefersErrors(t *testing.T) {
 	g := diamondGraph(2)
 	schema := NewSchema([]string{"x"})
 	scan := &Scan{
-		g:      g,
+		g:      NewMem(g),
 		bp:     bindPath(Path{Nodes: []Node{{Rel: "O", Var: "x"}}}, schema),
 		schema: schema,
 	}

@@ -33,6 +33,16 @@ type Spec struct {
 	Workers int
 }
 
+// Decisions captures the planner's data-dependent choices — the join
+// order of the FOR paths and their estimated costs. They depend only on
+// the query shape and store statistics, never on WHERE constants, so a
+// plan cache can replay them via CompileWithDecisions and skip the
+// estimator entirely.
+type Decisions struct {
+	Order []int
+	Costs []float64
+}
+
 // Plan is a compiled physical plan.
 type Plan struct {
 	// Root streams the final projected rows (one column per RETURN
@@ -41,9 +51,14 @@ type Plan struct {
 	// Order is the chosen evaluation order of Spec.Paths, most
 	// selective first.
 	Order []int
+	// Costs are the estimated per-path costs, parallel to Order.
+	Costs []float64
 	// Schema is the plan-wide row layout (every FOR-path variable).
 	Schema *Schema
 }
+
+// Decisions returns the plan's cacheable planning choices.
+func (p *Plan) Decisions() Decisions { return Decisions{Order: p.Order, Costs: p.Costs} }
 
 // ExplainString renders the join order and the operator tree.
 func (p *Plan) ExplainString() string {
@@ -67,7 +82,22 @@ func (p *Plan) ExplainString() string {
 // to the earliest operator with their variables in scope, then
 // dedup on the RETURN variables, subgraph projection, and column
 // projection.
-func Compile(g *provgraph.Graph, spec Spec) (*Plan, error) {
+func Compile(g Graph, spec Spec) (*Plan, error) {
+	return compile(g, spec, nil)
+}
+
+// CompileWithDecisions builds the physical plan replaying previously
+// made planning decisions (a plan-cache hit): the estimator and greedy
+// ordering are skipped, only the operator tree — whose filter closures
+// capture the current query's constants — is rebuilt.
+func CompileWithDecisions(g Graph, spec Spec, dec Decisions) (*Plan, error) {
+	if len(dec.Order) != len(spec.Paths) {
+		return nil, fmt.Errorf("physplan: cached decisions cover %d paths, query has %d", len(dec.Order), len(spec.Paths))
+	}
+	return compile(g, spec, &dec)
+}
+
+func compile(g Graph, spec Spec, dec *Decisions) (*Plan, error) {
 	// Plan-wide schema: every FOR-path variable, first appearance
 	// order. (Stable under reordering, so filter predicates compiled
 	// against it stay valid regardless of the chosen join order.)
@@ -83,8 +113,29 @@ func Compile(g *provgraph.Graph, spec Spec) (*Plan, error) {
 	}
 	schema := NewSchema(cols)
 
-	est := newEstimator(g)
-	order := greedyOrder(est, spec.Paths)
+	var order []int
+	var costs []float64
+	var est *estimator
+	if dec != nil {
+		order = dec.Order
+		costs = make([]float64, len(order))
+		copy(costs, dec.Costs)
+	} else {
+		est = newEstimator(g)
+		order = greedyOrder(est, spec.Paths)
+		costs = make([]float64, len(order))
+	}
+	// costFor records (or replays, on a cache hit) the estimate shown
+	// in EXPLAIN for the path at order slot oi.
+	costFor := func(oi int, p Path, bound map[string]bool) float64 {
+		if est != nil {
+			costs[oi] = est.pathCost(p, bound)
+		}
+		if oi < len(costs) {
+			return costs[oi]
+		}
+		return 0
+	}
 
 	bound := map[string]bool{}
 	var root Op
@@ -112,7 +163,7 @@ func Compile(g *provgraph.Graph, spec Spec) (*Plan, error) {
 		desc := bp.startsDesc(bound)
 		switch {
 		case root == nil:
-			root = &Scan{g: g, bp: bp, schema: schema, workers: spec.Workers, desc: desc, est: est.pathCost(p, bound)}
+			root = &Scan{g: g, bp: bp, schema: schema, workers: spec.Workers, desc: desc, est: costFor(oi, p, bound)}
 		case startBound(p, bound):
 			// Goal-directed: the start tuple (or first-edge derivation)
 			// is bound by earlier paths — extend row by row.
@@ -127,7 +178,7 @@ func Compile(g *provgraph.Graph, spec Spec) (*Plan, error) {
 			}
 			// The independent scan runs uncorrelated, so its cost
 			// ignores variables bound on the probe side.
-			right := &Scan{g: g, bp: bp, schema: schema, desc: desc, est: est.pathCost(p, nil)}
+			right := &Scan{g: g, bp: bp, schema: schema, desc: desc, est: costFor(oi, p, nil)}
 			root = &HashJoin{left: root, right: right, on: shared, onCols: onCols, schema: schema}
 		}
 		for _, v := range p.Vars() {
@@ -165,7 +216,7 @@ func Compile(g *provgraph.Graph, spec Spec) (*Plan, error) {
 		root = &Include{input: root, g: g, out: spec.Out, paths: bps}
 	}
 	root = &Project{input: root, cols: spec.Return, colIdx: retCols, schema: NewSchema(spec.Return)}
-	return &Plan{Root: root, Order: order, Schema: schema}, nil
+	return &Plan{Root: root, Order: order, Costs: costs, Schema: schema}, nil
 }
 
 func varsBound(vars []string, bound map[string]bool) bool {
@@ -205,22 +256,18 @@ func sharedVars(p Path, bound map[string]bool) []string {
 // estimator provides the cheap cardinality statistics the greedy
 // ordering uses: index sizes and average in-degree fanout.
 type estimator struct {
-	g *provgraph.Graph
+	g Graph
 	// fanout is the expected number of (derivation, source) pairs one
 	// backward step from a tuple node explores.
 	fanout float64
 }
 
-func newEstimator(g *provgraph.Graph) *estimator {
+func newEstimator(g Graph) *estimator {
 	tuples := g.NumTuples()
 	if tuples == 0 {
 		return &estimator{g: g, fanout: 1}
 	}
-	pairs := 0
-	for _, d := range g.Derivations() {
-		pairs += len(d.Sources)
-	}
-	f := float64(pairs) / float64(tuples)
+	f := float64(g.SourcePairs()) / float64(tuples)
 	if f < 1 {
 		f = 1
 	}
@@ -242,7 +289,7 @@ func (e *estimator) pathCost(p Path, bound map[string]bool) float64 {
 	case n0.Rel != "":
 		start = float64(e.g.NumTuplesOf(n0.Rel))
 	case len(p.Edges) > 0 && p.Edges[0].Kind == EdgeDirect && p.Edges[0].Mapping != "":
-		start = float64(len(e.g.DerivationsOf(p.Edges[0].Mapping)))
+		start = float64(e.g.NumDerivationsOf(p.Edges[0].Mapping))
 	default:
 		start = float64(e.g.NumTuples())
 	}
@@ -256,7 +303,7 @@ func (e *estimator) pathCost(p Path, bound map[string]bool) float64 {
 			f = e.fanout*e.fanout + 1
 		} else if edge.Mapping != "" && derivs > 0 {
 			// A named mapping keeps only its share of derivations.
-			share := float64(len(e.g.DerivationsOf(edge.Mapping))) / derivs
+			share := float64(e.g.NumDerivationsOf(edge.Mapping)) / derivs
 			f *= share
 			if f < 0.1 {
 				f = 0.1

@@ -20,17 +20,16 @@
 //     duplicate elimination on the RETURN variables, provenance
 //     subgraph projection, and final column selection.
 //
-// Rows are positional ([]any indexed by a Schema), holding
-// *provgraph.TupleNode / *provgraph.DerivNode values; nil marks a
-// variable not yet bound. All operators of one plan share the plan-wide
-// schema, so joins merge rows without column remapping.
+// Rows are positional ([]any indexed by a Schema), holding Tuple /
+// Deriv handles; nil marks a variable not yet bound. All operators of
+// one plan share the plan-wide schema, so joins merge rows without
+// column remapping. Operators run over the Graph storage interface, so
+// the same plans serve the materialized provgraph and the goal-directed
+// ASR adapter.
 package physplan
 
-import "repro/internal/provgraph"
-
 // Row is one variable binding: a slice indexed by the plan Schema,
-// holding *provgraph.TupleNode or *provgraph.DerivNode values (nil =
-// unbound).
+// holding Tuple or Deriv handles (nil = unbound).
 type Row []any
 
 func cloneRow(r Row) Row {
@@ -82,16 +81,16 @@ func (s *Schema) Col(name string) int {
 }
 
 // nodeKey appends a collision-free encoding of one bound value to buf:
-// node ordinals are unique per graph and contain no separator
+// node ordinals are unique per store and contain no separator
 // ambiguity, unlike the raw string signatures they replace.
 func nodeKey(buf []byte, v any) []byte {
 	switch n := v.(type) {
-	case *provgraph.TupleNode:
+	case Tuple:
 		buf = append(buf, 't')
-		buf = appendInt(buf, n.Ord())
-	case *provgraph.DerivNode:
+		buf = appendInt(buf, n.TupleOrd())
+	case Deriv:
 		buf = append(buf, 'd')
-		buf = appendInt(buf, n.Ord())
+		buf = appendInt(buf, n.DerivOrd())
 	default:
 		buf = append(buf, '?')
 	}

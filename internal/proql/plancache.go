@@ -1,0 +1,195 @@
+package proql
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/proql/physplan"
+)
+
+// planCache caches per-query-shape planning work: the physplan join
+// order and cost estimates for the graph and asr backends, and the
+// unfolded rule set for the relational backend. Keys are normalized
+// query shapes — structure and binding pattern, with WHERE literals
+// masked — so repeated queries differing only in constants hit.
+// Entries are validated against the relstore definition version and
+// the mapping count, so dropping or (re)creating tables (Materialize,
+// schema edits) invalidates without an explicit hook; row churn keeps
+// entries alive, since planning decisions depend only on coarse
+// statistics and correctness never does.
+type planCache struct {
+	entries map[string]*planCacheEntry
+	hits    int
+	misses  int
+}
+
+type planCacheEntry struct {
+	dbVersion uint64
+	mappings  int
+	// dec replays the physplan planner (graph/asr backends); comp is
+	// the relational backend's unfolded compilation. Exactly one is
+	// set, according to the backend segment of the key.
+	dec    physplan.Decisions
+	hasDec bool
+	comp   *Compiled
+}
+
+// PlanCacheStats reports plan-cache effectiveness, surfaced by
+// EXPLAIN.
+type PlanCacheStats struct {
+	Entries int
+	Hits    int
+	Misses  int
+}
+
+// PlanCacheStats returns the engine's cache counters.
+func (e *Engine) PlanCacheStats() PlanCacheStats {
+	if e.plans == nil {
+		return PlanCacheStats{}
+	}
+	return PlanCacheStats{Entries: len(e.plans.entries), Hits: e.plans.hits, Misses: e.plans.misses}
+}
+
+func (e *Engine) cacheLookup(key string) (*planCacheEntry, bool) {
+	if e.plans == nil {
+		e.plans = &planCache{entries: map[string]*planCacheEntry{}}
+	}
+	ent, ok := e.plans.entries[key]
+	if ok && ent.dbVersion == e.Sys.DB.Version() && ent.mappings == len(e.Sys.Schema.Mappings()) {
+		e.plans.hits++
+		return ent, true
+	}
+	if ok {
+		// Stale: a table was created or dropped since the entry was
+		// recorded (e.g. ASR materialization changed the plan space).
+		delete(e.plans.entries, key)
+	}
+	e.plans.misses++
+	return nil, false
+}
+
+func (e *Engine) cacheStore(key string, ent *planCacheEntry) {
+	if e.plans == nil {
+		e.plans = &planCache{entries: map[string]*planCacheEntry{}}
+	}
+	ent.dbVersion = e.Sys.DB.Version()
+	ent.mappings = len(e.Sys.Schema.Mappings())
+	e.plans.entries[key] = ent
+}
+
+// cachedDecisions returns the replayable planner decisions for a
+// query's shape on one backend, if cached and still valid.
+func (e *Engine) cachedDecisions(backend string, q *Query) (physplan.Decisions, bool) {
+	ent, ok := e.cacheLookup(backend + "\x00" + shapeKey(q))
+	if !ok || !ent.hasDec {
+		return physplan.Decisions{}, false
+	}
+	return ent.dec, true
+}
+
+// storeDecisions records freshly made planner decisions.
+func (e *Engine) storeDecisions(backend string, q *Query, dec physplan.Decisions) {
+	e.cacheStore(backend+"\x00"+shapeKey(q), &planCacheEntry{dec: dec, hasDec: true})
+}
+
+// compileUnfoldCached is CompileUnfold behind the plan cache: on a hit
+// the cached rule set is reused with the Query re-pointed, so the
+// current constants flow into plan building and evaluation while the
+// unfolding work is skipped. Compilation failures (including
+// ErrNotRelational) are not cached.
+func (e *Engine) compileUnfoldCached(q *Query) (*Compiled, error) {
+	key := "relational\x00" + shapeKey(q)
+	if ent, ok := e.cacheLookup(key); ok && ent.comp != nil {
+		cp := *ent.comp
+		cp.Query = q
+		return &cp, nil
+	}
+	comp, err := CompileUnfold(e.Sys, q)
+	if err != nil {
+		return nil, err
+	}
+	e.cacheStore(key, &planCacheEntry{comp: comp})
+	return comp, nil
+}
+
+// shapeKey renders the normalized shape of a query: path structure,
+// variable names, condition operators and attribute accesses — but
+// WHERE literals masked to '?', so queries differing only in constants
+// share a key. Unfolding and physplan ordering never read literal
+// values (constants enter at operator-build time), which is what makes
+// the masking sound.
+func shapeKey(q *Query) string {
+	var sb strings.Builder
+	sb.WriteString("for:")
+	for i, p := range q.Projection.For {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		sb.WriteString(p.String())
+	}
+	if q.Projection.Where != nil {
+		sb.WriteString("|where:")
+		writeCondShape(&sb, q.Projection.Where)
+	}
+	if len(q.Projection.Include) > 0 {
+		sb.WriteString("|include:")
+		for i, p := range q.Projection.Include {
+			if i > 0 {
+				sb.WriteByte(';')
+			}
+			sb.WriteString(p.String())
+		}
+	}
+	sb.WriteString("|return:")
+	sb.WriteString(strings.Join(q.Projection.Return, ","))
+	return sb.String()
+}
+
+func writeCondShape(sb *strings.Builder, c Cond) {
+	switch cc := c.(type) {
+	case CondCmp:
+		writeOperandShape(sb, cc.L)
+		sb.WriteString(cc.Op)
+		writeOperandShape(sb, cc.R)
+	case CondIn:
+		sb.WriteByte('$')
+		sb.WriteString(cc.Var)
+		sb.WriteString(" in ")
+		sb.WriteString(cc.Rel)
+	case CondAnd:
+		sb.WriteByte('(')
+		writeCondShape(sb, cc.L)
+		sb.WriteString(" AND ")
+		writeCondShape(sb, cc.R)
+		sb.WriteByte(')')
+	case CondOr:
+		sb.WriteByte('(')
+		writeCondShape(sb, cc.L)
+		sb.WriteString(" OR ")
+		writeCondShape(sb, cc.R)
+		sb.WriteByte(')')
+	case CondNot:
+		sb.WriteString("(NOT ")
+		writeCondShape(sb, cc.E)
+		sb.WriteByte(')')
+	case CondPath:
+		sb.WriteString(cc.Path.String())
+	default:
+		sb.WriteString(strconv.Quote(c.condString()))
+	}
+}
+
+// writeOperandShape keeps the binding pattern (variable vs literal,
+// attribute access) and masks the literal value.
+func writeOperandShape(sb *strings.Builder, o CmpOperand) {
+	if o.Var != "" {
+		sb.WriteByte('$')
+		sb.WriteString(o.Var)
+		if o.Attr != "" {
+			sb.WriteByte('.')
+			sb.WriteString(o.Attr)
+		}
+		return
+	}
+	sb.WriteByte('?')
+}

@@ -1,0 +1,113 @@
+package proql
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/relstore"
+)
+
+// TestPlanCacheHitsOnRepeatedShape runs the same query shape with
+// different constants on each backend and expects cache hits after the
+// first execution.
+func TestPlanCacheHitsOnRepeatedShape(t *testing.T) {
+	for _, backend := range []string{"relational", "graph", "asr"} {
+		e := exampleEngine(t)
+		e.Backend = backend
+		for i, n := range []int{5, 6, 7} {
+			q := MustParse(fmt.Sprintf(`FOR [A $x] WHERE $x.length >= %d RETURN $x`, n))
+			if _, err := e.Exec(q); err != nil {
+				t.Fatalf("%s: run %d: %v", backend, i, err)
+			}
+		}
+		st := e.PlanCacheStats()
+		if st.Hits != 2 || st.Misses != 1 {
+			t.Errorf("%s: stats = %+v, want 2 hits / 1 miss", backend, st)
+		}
+	}
+}
+
+// TestPlanCacheConstantsStillApply guards against the classic plan-
+// cache bug: a hit must still evaluate the *current* constants.
+func TestPlanCacheConstantsStillApply(t *testing.T) {
+	for _, backend := range []string{"relational", "graph", "asr"} {
+		e := exampleEngine(t)
+		e.Backend = backend
+		counts := map[int]int{}
+		// A_l rows have length 7 and 5 (Figure 1).
+		for _, n := range []int{0, 6, 100} {
+			res, err := e.Exec(MustParse(fmt.Sprintf(`FOR [A $x] WHERE $x.length >= %d RETURN $x`, n)))
+			if err != nil {
+				t.Fatalf("%s: length >= %d: %v", backend, n, err)
+			}
+			counts[n] = len(res.SortedRefs("x"))
+		}
+		if counts[0] != 2 || counts[6] != 1 || counts[100] != 0 {
+			t.Errorf("%s: counts = %v, want {0:2 6:1 100:0}", backend, counts)
+		}
+	}
+}
+
+// TestPlanCacheMissOnDifferentBindingPattern changes a literal operand
+// into a variable access: same operator, different binding pattern,
+// must not share an entry.
+func TestPlanCacheMissOnDifferentBindingPattern(t *testing.T) {
+	e := exampleEngine(t)
+	e.Backend = "relational"
+	if _, err := e.Exec(MustParse(`FOR [A $x] WHERE $x.length >= 6 RETURN $x`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec(MustParse(`FOR [A $x] WHERE $x.length >= $x.id RETURN $x`)); err != nil {
+		t.Fatal(err)
+	}
+	st := e.PlanCacheStats()
+	if st.Hits != 0 || st.Misses != 2 {
+		t.Errorf("stats = %+v, want 0 hits / 2 misses (distinct binding patterns)", st)
+	}
+}
+
+// TestPlanCacheInvalidationOnDefinitionChange bumps the store's
+// definition version (as Materialize's DropTable+CreateTable does) and
+// expects the next execution to re-plan; row churn alone must not
+// invalidate.
+func TestPlanCacheInvalidationOnDefinitionChange(t *testing.T) {
+	e := exampleEngine(t)
+	e.Backend = "graph"
+	q := `FOR [O $x] <-+ [$z], [C $y] <-+ [$z] RETURN $x, $y`
+	for i := 0; i < 2; i++ {
+		if _, err := e.Exec(MustParse(q)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := e.PlanCacheStats(); st.Hits != 1 {
+		t.Fatalf("warmup stats = %+v, want 1 hit", st)
+	}
+	// Row churn: entries stay valid.
+	if _, err := e.Sys.DB.MustTable("A_l").Insert(model.Tuple{int64(99), "x", int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec(MustParse(q)); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.PlanCacheStats(); st.Hits != 2 {
+		t.Fatalf("after row churn stats = %+v, want 2 hits", st)
+	}
+	// Definition change: a new table bumps the version and invalidates.
+	if _, err := e.Sys.DB.CreateTable(&relstore.TableSchema{
+		Name:    "ASR_test",
+		Columns: []model.Column{{Name: "k", Type: model.TypeInt}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec(MustParse(q)); err != nil {
+		t.Fatal(err)
+	}
+	st := e.PlanCacheStats()
+	if st.Hits != 2 {
+		t.Errorf("definition change should force a miss: stats = %+v", st)
+	}
+	if st.Misses < 2 {
+		t.Errorf("expected a second miss after invalidation: stats = %+v", st)
+	}
+}

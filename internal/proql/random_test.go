@@ -173,20 +173,27 @@ func TestRandomQueriesDifferential(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s: legacy: %v", label, err)
 			}
+			goal, err := eng.ExecASR(q)
+			if err != nil {
+				t.Fatalf("%s: asr: %v", label, err)
+			}
 			for _, v := range vars {
-				aRefs, pRefs, lRefs := auto.SortedRefs(v), planned.SortedRefs(v), legacy.SortedRefs(v)
-				if len(aRefs) != len(pRefs) || len(aRefs) != len(lRefs) {
-					t.Fatalf("%s: $%s bindings %d (%s) vs %d (planned) vs %d (legacy)",
-						label, v, len(aRefs), auto.Stats.Backend, len(pRefs), len(lRefs))
+				aRefs, pRefs, lRefs, sRefs := auto.SortedRefs(v), planned.SortedRefs(v), legacy.SortedRefs(v), goal.SortedRefs(v)
+				if len(aRefs) != len(pRefs) || len(aRefs) != len(lRefs) || len(aRefs) != len(sRefs) {
+					t.Fatalf("%s: $%s bindings %d (%s) vs %d (planned) vs %d (legacy) vs %d (asr)",
+						label, v, len(aRefs), auto.Stats.Backend, len(pRefs), len(lRefs), len(sRefs))
 				}
 				for i := range aRefs {
-					if aRefs[i] != pRefs[i] || aRefs[i] != lRefs[i] {
+					if aRefs[i] != pRefs[i] || aRefs[i] != lRefs[i] || aRefs[i] != sRefs[i] {
 						t.Fatalf("%s: $%s binding %d differs", label, v, i)
 					}
 				}
 			}
 			if pd, ld := planned.MustGraph().NumDerivations(), legacy.MustGraph().NumDerivations(); pd != ld {
 				t.Errorf("%s: projected derivations %d (planned) vs %d (legacy)", label, pd, ld)
+			}
+			if pd, sd := planned.MustGraph().NumDerivations(), goal.MustGraph().NumDerivations(); pd != sd {
+				t.Errorf("%s: projected derivations %d (planned) vs %d (asr)", label, pd, sd)
 			}
 		}
 	}
@@ -279,6 +286,86 @@ func TestRandomDeletionMatchesRebuild(t *testing.T) {
 		for ref, v := range res.Annotations {
 			if v != true {
 				t.Errorf("trial %d: %v survived maintenance but is not derivable", trial, ref)
+			}
+		}
+	}
+}
+
+// TestRandomASRBackendAfterChurn cross-checks the asr and graph
+// backends on random queries issued immediately after deletion and
+// delta-insertion churn — the window where the asr adapter's lazily
+// interned handles and the maintained graph are most likely to
+// diverge from the tables if invalidation is wrong.
+func TestRandomASRBackendAfterChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	for trial := 0; trial < 10; trial++ {
+		cfg := randomConfig(rng)
+		cfg.Profile = workload.ProfileLinear
+		cfg.NumPeers = 2 + rng.Intn(3)
+		cfg.DataPeers = workload.UpstreamDataPeers(cfg.NumPeers, 1+rng.Intn(cfg.NumPeers))
+		set, err := workload.Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := proql.NewEngine(set.Sys)
+		// Warm both backends pre-churn so stale caches would be caught.
+		if _, err := eng.ExecASR(proql.MustParse(set.TargetQuery())); err != nil {
+			t.Fatalf("trial %d: warm asr: %v", trial, err)
+		}
+		if _, err := eng.ExecGraph(proql.MustParse(set.TargetQuery())); err != nil {
+			t.Fatalf("trial %d: warm graph: %v", trial, err)
+		}
+		for round := 0; round < 3; round++ {
+			src := cfg.DataPeers[rng.Intn(len(cfg.DataPeers))]
+			switch rng.Intn(2) {
+			case 0:
+				victim := int64(src)*10_000_000 + int64(rng.Intn(cfg.BaseSize))
+				rep, err := set.Sys.DeleteLocal(workload.ARel(src), []model.Datum{victim})
+				if err != nil {
+					t.Fatalf("trial %d round %d: delete: %v", trial, round, err)
+				}
+				eng.MaintainGraph(rep)
+			default:
+				k := int64(src)*10_000_000 + int64(cfg.BaseSize) + int64(100*trial+round)
+				row := model.Tuple{k, k % int64(cfg.Categories)}
+				for a := 0; a < 10; a++ {
+					row = append(row, k+int64(a))
+				}
+				if err := set.Sys.InsertLocal(workload.ARel(src), row); err != nil {
+					t.Fatalf("trial %d round %d: insert: %v", trial, round, err)
+				}
+				rep, err := set.Sys.RunDelta()
+				if err != nil {
+					t.Fatalf("trial %d round %d: delta: %v", trial, round, err)
+				}
+				eng.MaintainGraphInsert(rep)
+			}
+			// Query immediately after the churn.
+			text, vars := randomQuery(rng, cfg.NumPeers)
+			q := proql.MustParse(text)
+			gr, err := eng.ExecGraph(q)
+			if err != nil {
+				t.Fatalf("trial %d round %d %q: graph: %v", trial, round, text, err)
+			}
+			goal, err := eng.ExecASR(q)
+			if err != nil {
+				t.Fatalf("trial %d round %d %q: asr: %v", trial, round, text, err)
+			}
+			for _, v := range vars {
+				gRefs, sRefs := gr.SortedRefs(v), goal.SortedRefs(v)
+				if len(gRefs) != len(sRefs) {
+					t.Fatalf("trial %d round %d %q: $%s bindings %d (graph) vs %d (asr)",
+						trial, round, text, v, len(gRefs), len(sRefs))
+				}
+				for i := range gRefs {
+					if gRefs[i] != sRefs[i] {
+						t.Fatalf("trial %d round %d %q: $%s binding %d differs", trial, round, text, v, i)
+					}
+				}
+			}
+			if gd, sd := gr.MustGraph().NumDerivations(), goal.MustGraph().NumDerivations(); gd != sd {
+				t.Errorf("trial %d round %d %q: projected derivations %d (graph) vs %d (asr)",
+					trial, round, text, gd, sd)
 			}
 		}
 	}

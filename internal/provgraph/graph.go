@@ -10,6 +10,7 @@ package provgraph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/exchange"
 	"repro/internal/model"
@@ -37,6 +38,18 @@ type TupleNode struct {
 // nodes of one graph. Ordinals give collision-free, allocation-cheap
 // deduplication and join keys for query evaluation.
 func (t *TupleNode) Ord() int { return t.ord }
+
+// TupleRef implements the physplan tuple-handle surface.
+func (t *TupleNode) TupleRef() model.TupleRef { return t.Ref }
+
+// TupleOrd implements the physplan tuple-handle surface.
+func (t *TupleNode) TupleOrd() int { return t.ord }
+
+// TupleRow implements the physplan tuple-handle surface.
+func (t *TupleNode) TupleRow() model.Tuple { return t.Row }
+
+// TupleLeaf implements the physplan tuple-handle surface.
+func (t *TupleNode) TupleLeaf() bool { return t.Leaf }
 
 // DerivNode is an ellipse of Figure 1: one firing of a mapping,
 // relating its m source tuples to its n target tuples.
@@ -136,6 +149,15 @@ func (g *Graph) AddDerivation(id, mapping string, sources, targets []model.Tuple
 // derivation nodes of one graph.
 func (d *DerivNode) Ord() int { return d.ord }
 
+// DerivOrd implements the physplan derivation-handle surface.
+func (d *DerivNode) DerivOrd() int { return d.ord }
+
+// DerivID implements the physplan derivation-handle surface.
+func (d *DerivNode) DerivID() string { return d.ID }
+
+// DerivMapping implements the physplan derivation-handle surface.
+func (d *DerivNode) DerivMapping() string { return d.Mapping }
+
 // Tuples iterates tuple nodes in insertion order.
 func (g *Graph) Tuples() []*TupleNode {
 	out := make([]*TupleNode, 0, len(g.tupleOrder))
@@ -182,10 +204,19 @@ func (g *Graph) NumTuplesOf(rel string) int { return len(g.byRel[rel]) }
 // mutate the returned slice.
 func (g *Graph) DerivationsOf(mapping string) []*DerivNode { return g.byMapping[mapping] }
 
+// buildCount counts full-graph materializations; see Builds.
+var buildCount atomic.Int64
+
+// Builds returns the number of Build calls since process start. Tests
+// use the delta to assert that goal-directed backends never pay a
+// whole-graph materialization.
+func Builds() int64 { return buildCount.Load() }
+
 // Build constructs the full provenance graph of an exchanged system:
 // one derivation node per provenance-relation row (materialized or
 // virtual), plus leaf marks from the local-contribution tables.
 func Build(sys *exchange.System) (*Graph, error) {
+	buildCount.Add(1)
 	g := New()
 	for _, m := range sys.Schema.Mappings() {
 		pr := sys.Prov[m.Name]
@@ -227,6 +258,12 @@ func Build(sys *exchange.System) (*Graph, error) {
 func derivID(mapping string, row model.Tuple) string {
 	return mapping + "#" + model.EncodeDatums(row)
 }
+
+// DerivIDFor returns the canonical derivation-node ID for one
+// provenance row of a mapping. Goal-directed backends that never build
+// the graph use it to mint IDs identical to Build's, so projected
+// subgraphs and annotations agree across backends.
+func DerivIDFor(mapping string, row model.Tuple) string { return derivID(mapping, row) }
 
 // IsCyclic reports whether the graph contains a derivation cycle
 // (a tuple transitively deriving itself).

@@ -302,6 +302,47 @@ func (t *Table) HasIndex(cols []int) bool {
 	return ok
 }
 
+// EnsureIndex builds a secondary hash index on cols unless one already
+// exists — the idempotent entry point for goal-directed probes that
+// want an index on first use without paying a rebuild on every call.
+func (t *Table) EnsureIndex(cols []int) {
+	if !t.HasIndex(cols) {
+		t.CreateIndex(cols)
+	}
+}
+
+// ProbeEach calls fn for every live row whose cols equal vals, using an
+// index if one exists and scanning otherwise. Unlike Probe it
+// materializes no result slice; fn returning false stops the
+// enumeration. fn must not mutate the rows or the table.
+func (t *Table) ProbeEach(cols []int, vals []model.Datum, fn func(model.Tuple) bool) {
+	if ix, ok := t.indexes[IndexName(cols)]; ok {
+		// Local buffer, not t.keyBuf: a read path, safe under
+		// concurrent readers.
+		var buf []byte
+		for _, v := range vals {
+			buf = model.AppendDatum(buf, v)
+		}
+		for _, i := range ix.buckets[string(buf)] {
+			if !fn(t.rows[i]) {
+				return
+			}
+		}
+		return
+	}
+	want := model.EncodeDatums(vals)
+	for _, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		if encodeCols(row, cols) == want {
+			if !fn(row) {
+				return
+			}
+		}
+	}
+}
+
 // Probe returns the rows whose cols equal vals, using an index if one
 // exists and scanning otherwise.
 func (t *Table) Probe(cols []int, vals []model.Datum) []model.Tuple {
@@ -416,12 +457,23 @@ func encodeCols(row model.Tuple, cols []int) string {
 // replica at each peer).
 type Database struct {
 	tables map[string]*Table
+	// version counts definition changes (table creates and drops); see
+	// Version.
+	version uint64
 }
 
 // NewDatabase returns an empty database.
 func NewDatabase() *Database {
 	return &Database{tables: make(map[string]*Table)}
 }
+
+// Version returns a counter bumped on every definition change
+// (CreateTable/DropTable). Caches keyed on query shape — the ProQL
+// plan cache — compare it to detect that mappings, provenance tables
+// or ASR materializations changed out from under a cached plan. Row
+// churn does not bump it: cached planning decisions stay sound across
+// data changes, only definition changes invalidate.
+func (db *Database) Version() uint64 { return db.version }
 
 // CreateTable registers a new empty table.
 func (db *Database) CreateTable(schema *TableSchema) (*Table, error) {
@@ -430,12 +482,16 @@ func (db *Database) CreateTable(schema *TableSchema) (*Table, error) {
 	}
 	t := NewTable(schema)
 	db.tables[schema.Name] = t
+	db.version++
 	return t, nil
 }
 
 // DropTable removes a table if it exists.
 func (db *Database) DropTable(name string) {
-	delete(db.tables, name)
+	if _, ok := db.tables[name]; ok {
+		delete(db.tables, name)
+		db.version++
+	}
 }
 
 // Table looks up a table by name.

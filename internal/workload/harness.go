@@ -8,6 +8,7 @@ import (
 	"repro/internal/asr"
 	"repro/internal/model"
 	"repro/internal/proql"
+	"repro/internal/provgraph"
 )
 
 // Runs is the measurement protocol of Section 6.1.3: each experiment
@@ -767,4 +768,103 @@ func RunAnnotationOverhead(cfg Config, runs int) (*AnnotationOverheadRow, error)
 		return nil, err
 	}
 	return row, nil
+}
+
+// ProQLRow is one point of the E14 backend sweep: the Q4-shaped
+// multi-path common-provenance query evaluated by the materialized
+// graph backend and by the goal-directed asr backend, at one scale
+// multiplier of the base setting.
+type ProQLRow struct {
+	Scale        int
+	InstanceSize int
+	// GraphBuildTime is the provgraph materialization the graph
+	// backend pays before answering anything; GraphEvalTime is its
+	// warm per-query evaluation over the built graph.
+	GraphBuildTime time.Duration
+	GraphEvalTime  time.Duration
+	// ASRFirstTime is the asr backend's cold evaluation (adapter
+	// warm-up plus a plan-cache miss); ASREvalTime is the warm
+	// repeated-shape evaluation, where planning is a cache hit.
+	ASRFirstTime time.Duration
+	ASREvalTime  time.Duration
+	// GraphBuilds counts provgraph materializations observed during
+	// the asr arm. The backend's defining invariant is 0.
+	GraphBuilds int64
+	CacheHits   int
+	CacheMisses int
+}
+
+// RunProQL sweeps the multi-path provenance query across scale
+// multipliers of a chain setting, comparing the graph backend
+// (materialize the provenance graph, then evaluate) against the
+// goal-directed asr backend (probe the ASR tables directly — no
+// materialization, and planning amortized by the shape-keyed cache).
+func RunProQL(scales []int, numPeers, dataPeers, baseSize, runs int, seed int64) ([]ProQLRow, error) {
+	var out []ProQLRow
+	for _, sc := range scales {
+		cfg := Config{
+			Topology:  Chain,
+			Profile:   ProfileLinear,
+			NumPeers:  numPeers,
+			DataPeers: UpstreamDataPeers(numPeers, dataPeers),
+			BaseSize:  baseSize * sc,
+			Seed:      seed,
+		}
+		set, err := Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := ProQLRow{Scale: sc, InstanceSize: set.InstanceSize()}
+		q, err := proql.Parse(fmt.Sprintf(
+			"FOR [%s $x] <-+ [$z], [%s $y] <-+ [$z] RETURN $x, $y",
+			ARel(0), ARel(1)))
+		if err != nil {
+			return nil, err
+		}
+
+		graphEng := proql.NewEngine(set.Sys)
+		graphEng.Backend = "graph"
+		row.GraphBuildTime, err = timed(runs, func() error {
+			graphEng.InvalidateGraph()
+			_, err := graphEng.Graph()
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.GraphEvalTime, err = timed(runs, func() error {
+			_, err := graphEng.Exec(q)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		before := provgraph.Builds()
+		// Cold arm: a fresh engine per iteration, so every run pays the
+		// adapter warm-up and a plan-cache miss (the discard-extremes
+		// protocol tames the noise a single cold measurement carries).
+		var asrEng *proql.Engine
+		row.ASRFirstTime, err = timed(runs, func() error {
+			asrEng = proql.NewEngine(set.Sys)
+			asrEng.Backend = "asr"
+			_, err := asrEng.Exec(q)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.ASREvalTime, err = timed(runs, func() error {
+			_, err := asrEng.Exec(q)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.GraphBuilds = provgraph.Builds() - before
+		st := asrEng.PlanCacheStats()
+		row.CacheHits, row.CacheMisses = st.Hits, st.Misses
+		out = append(out, row)
+	}
+	return out, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/asr"
 	"repro/internal/proql"
+	"repro/internal/provgraph"
 )
 
 func TestBuildLinearChainPropagation(t *testing.T) {
@@ -311,6 +312,65 @@ func TestShardedBuildParity(t *testing.T) {
 		if got, want := sharded.Sys.ProvRowCount(), serial.Sys.ProvRowCount(); got != want {
 			t.Errorf("S=%d: %d provenance rows, serial %d", s, got, want)
 		}
+	}
+}
+
+// TestProQLSweepZeroBuildsAt100x runs the E14 backend sweep at 1× and
+// 100× of the base setting and asserts the asr backend's defining
+// invariant at both points: the Q4-shaped multi-path query and the
+// Q5-shaped annotation query evaluate with zero provgraph
+// materializations, with the plan cache hitting on repeated shapes.
+func TestProQLSweepZeroBuildsAt100x(t *testing.T) {
+	rows, err := RunProQL([]int{1, 100}, 6, 2, 4, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		if r.GraphBuilds != 0 {
+			t.Errorf("scale %d: asr arm materialized %d provenance graphs, want 0", r.Scale, r.GraphBuilds)
+		}
+		if r.CacheHits == 0 {
+			t.Errorf("scale %d: repeated shapes never hit the plan cache: %+v", r.Scale, r)
+		}
+		if r.GraphBuildTime <= 0 || r.GraphEvalTime <= 0 || r.ASRFirstTime <= 0 || r.ASREvalTime <= 0 {
+			t.Errorf("scale %d: non-positive times: %+v", r.Scale, r)
+		}
+	}
+	// The fixed-size B partitions don't scale with BaseSize, so the
+	// whole-instance ratio is below 100x; 10x is the sanity floor.
+	if rows[1].InstanceSize <= rows[0].InstanceSize*10 {
+		t.Errorf("100x instance (%d tuples) did not scale over 1x (%d)", rows[1].InstanceSize, rows[0].InstanceSize)
+	}
+
+	// Q5 shape (derivability annotation) at the 100x point, same
+	// invariant: annotation evaluation stays on the projected result,
+	// never the full graph.
+	set, err := Build(Config{
+		Topology:  Chain,
+		Profile:   ProfileLinear,
+		NumPeers:  6,
+		DataPeers: UpstreamDataPeers(6, 2),
+		BaseSize:  400,
+		Seed:      9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := proql.NewEngine(set.Sys)
+	eng.Backend = "asr"
+	before := provgraph.Builds()
+	ann, err := eng.ExecString(set.TargetAnnotationQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ann.Annotations) == 0 {
+		t.Fatal("annotation query returned no annotations")
+	}
+	if got := provgraph.Builds() - before; got != 0 {
+		t.Errorf("annotation query materialized %d provenance graphs, want 0", got)
 	}
 }
 
