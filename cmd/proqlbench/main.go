@@ -81,6 +81,20 @@ type benchProQLRow struct {
 	InstanceRows int   `json:"instance_rows"`
 }
 
+type benchServeRow struct {
+	Backend      string `json:"backend"`
+	Readers      int    `json:"readers"`
+	Queries      int    `json:"queries"`
+	Errors       int    `json:"errors"`
+	P50NS        int64  `json:"p50_ns"`
+	P99NS        int64  `json:"p99_ns"`
+	MaxNS        int64  `json:"max_ns"`
+	SoloP50NS    int64  `json:"solo_p50_ns"`
+	Commits      int    `json:"commits"`
+	ElapsedNS    int64  `json:"elapsed_ns"`
+	InstanceRows int    `json:"instance_rows"`
+}
+
 type benchJSON struct {
 	Schema string          `json:"schema"`
 	Scale  string          `json:"scale"`
@@ -90,6 +104,7 @@ type benchJSON struct {
 	Mix    []benchMixRow   `json:"mix,omitempty"`
 	Shard  []benchShardRow `json:"shard,omitempty"`
 	Proql  []benchProQLRow `json:"proql,omitempty"`
+	Serve  []benchServeRow `json:"serve,omitempty"`
 }
 
 // collected gathers sweep results when -json is set.
@@ -127,6 +142,12 @@ type scaleParams struct {
 	proqlPeers  int
 	proqlData   int
 	proqlBase   int
+	serveReader []int
+	servePeers  int
+	serveData   int
+	serveBase   int
+	serveBatch  int
+	serveQPR    int
 	runs        int
 	seed        int64
 }
@@ -151,6 +172,8 @@ func defaultScale() scaleParams {
 		insBatch:   5,
 		shardPeers: 40, shardBase: 500, shardList: []int{1, 2, 4, 8},
 		proqlScales: []int{1, 10, 100}, proqlPeers: 8, proqlData: 2, proqlBase: 20,
+		serveReader: []int{1, 4}, servePeers: 8, serveData: 2, serveBase: 100,
+		serveBatch: 5, serveQPR: 20,
 		runs: 5,
 		seed: 42,
 	}
@@ -165,6 +188,8 @@ func ciScale() scaleParams {
 	p.delBase = 500
 	p.shardPeers = 40
 	p.shardBase = 500
+	p.serveBase = 50
+	p.serveQPR = 25
 	p.runs = 5
 	return p
 }
@@ -189,7 +214,7 @@ func paperScale() scaleParams {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiments: table1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, annot, del, ins, mix, shard, proql, or all")
+		exp      = flag.String("exp", "all", "comma-separated experiments: table1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, annot, del, ins, mix, shard, proql, serve, or all")
 		scale    = flag.String("scale", "default", "default, ci, or paper")
 		engine   = flag.String("engine", "compiled", "datalog engine for update exchange: legacy or compiled")
 		par      = flag.Int("par", 0, "compiled-engine worker count per evaluation round (0 = serial); how much hardware a round may use, independent of -shards")
@@ -221,7 +246,7 @@ func main() {
 	if *jsonPath != "" {
 		collected = &benchJSON{Schema: "proqlbench-v1", Scale: *scale, Engine: *engine}
 	}
-	known := []string{"all", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "annot", "del", "ins", "mix", "shard", "proql"}
+	known := []string{"all", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "annot", "del", "ins", "mix", "shard", "proql", "serve"}
 	isKnown := map[string]bool{}
 	for _, name := range known {
 		isKnown[name] = true
@@ -280,6 +305,7 @@ func main() {
 	run("mix", runMixed)
 	run("shard", runShard)
 	run("proql", runProQL)
+	run("serve", runServe)
 	if collected != nil {
 		data, err := json.MarshalIndent(collected, "", "  ")
 		if err != nil {
@@ -398,6 +424,44 @@ func runProQL(p scaleParams) error {
 				GraphBuilds:  r.GraphBuilds,
 				CacheHits:    r.CacheHits,
 				CacheMisses:  r.CacheMisses,
+				InstanceRows: r.InstanceSize,
+			})
+		}
+	}
+	return nil
+}
+
+// runServe is the concurrent-serving experiment (E15): N reader
+// goroutines per backend querying through the MVCC snapshot layer
+// while a churn writer alternates committing and deleting a batch of
+// base tuples. The gate bounds each row's p99 as a multiple of its
+// own solo (serial, quiescent) p50 and requires zero read errors.
+func runServe(p scaleParams) error {
+	fmt.Printf("Concurrent serving (E15): chain of %d peers, base %d at %d upstream peers, %d queries/reader, churn batch %d\n",
+		p.servePeers, p.serveBase, p.serveData, p.serveQPR, p.serveBatch)
+	fmt.Println("backend     readers  queries  errors       p50       p99       max  solo-p50  commits  instance")
+	rows, err := workload.RunServe(p.serveReader, p.servePeers, p.serveData, p.serveBase, p.serveBatch, p.serveQPR, p.seed)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%-10s  %7d  %7d  %6d  %8v  %8v  %8v  %8v  %7d  %8d\n",
+			r.Backend, r.Readers, r.Queries, r.Errors, r.P50, r.P99, r.Max, r.SoloP50, r.Commits, r.InstanceSize)
+		if r.Errors > 0 {
+			return fmt.Errorf("serve %s/%d readers: %d read errors, want 0", r.Backend, r.Readers, r.Errors)
+		}
+		if collected != nil {
+			collected.Serve = append(collected.Serve, benchServeRow{
+				Backend:      r.Backend,
+				Readers:      r.Readers,
+				Queries:      r.Queries,
+				Errors:       r.Errors,
+				P50NS:        r.P50.Nanoseconds(),
+				P99NS:        r.P99.Nanoseconds(),
+				MaxNS:        r.Max.Nanoseconds(),
+				SoloP50NS:    r.SoloP50.Nanoseconds(),
+				Commits:      r.Commits,
+				ElapsedNS:    r.Elapsed.Nanoseconds(),
 				InstanceRows: r.InstanceSize,
 			})
 		}

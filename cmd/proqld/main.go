@@ -1,0 +1,509 @@
+// Command proqld serves ProQL over HTTP: any number of concurrent
+// query requests run against snapshot-isolated storage epochs while
+// insert/delete requests commit update exchanges. It is the serving
+// face of the MVCC layer — a query admitted before a commit publishes
+// answers from the pre-commit state; one admitted after sees the
+// whole commit.
+//
+// Usage:
+//
+//	proqld                        # running example on :8080
+//	proqld -addr :9090            # custom listen address
+//	proqld -peers 8 -data 2 -base 100   # synthetic chain setting
+//	proqld -smoke                 # self-test on an ephemeral port and exit
+//
+// Endpoints:
+//
+//	GET  /healthz   liveness probe
+//	GET  /stats     epoch, instance size, plan-cache and serving counters
+//	POST /query     {"query": "FOR [O $x] ... RETURN $x", "backend": "auto|graph|asr"}
+//	POST /insert    {"relation": "A", "rows": [[3, "sn3", 9]]}  (commits a Run)
+//	POST /delete    {"relation": "A", "keys": [[3]]}            (commits a DeleteLocal)
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exchange"
+	"repro/internal/fixture"
+	"repro/internal/model"
+	"repro/internal/proql"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		peers    = flag.Int("peers", 0, "serve a synthetic setting with this many peers instead of the running example")
+		dataN    = flag.Int("data", 2, "number of peers with local data (synthetic setting)")
+		base     = flag.Int("base", 100, "base size per data peer (synthetic setting)")
+		topology = flag.String("topology", "chain", "chain or branched (synthetic setting)")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		smoke    = flag.Bool("smoke", false, "start on an ephemeral port, run a concurrent read/write self-test, and exit")
+	)
+	flag.Parse()
+
+	ex, err := buildSystem(*peers, *dataN, *base, *topology, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "proqld:", err)
+		os.Exit(1)
+	}
+	srv := newServer(core.Wrap(ex))
+
+	if *smoke {
+		if err := runSmoke(srv); err != nil {
+			fmt.Fprintln(os.Stderr, "proqld: smoke:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("proqld listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, srv.mux()); err != nil {
+		fmt.Fprintln(os.Stderr, "proqld:", err)
+		os.Exit(1)
+	}
+}
+
+func buildSystem(peers, dataN, base int, topology string, seed int64) (*exchange.System, error) {
+	if peers <= 0 {
+		return fixture.System(fixture.Options{})
+	}
+	topo := workload.Chain
+	if topology == "branched" {
+		topo = workload.Branched
+	}
+	set, err := workload.Build(workload.Config{
+		Topology:  topo,
+		Profile:   workload.ProfileLinear,
+		NumPeers:  peers,
+		DataPeers: workload.UpstreamDataPeers(peers, dataN),
+		BaseSize:  base,
+		Seed:      seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return set.Sys, nil
+}
+
+type server struct {
+	sys     *core.System
+	queries atomic.Int64
+	commits atomic.Int64
+}
+
+func newServer(sys *core.System) *server { return &server{sys: sys} }
+
+func (s *server) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("/healthz", s.handleHealth)
+	m.HandleFunc("/stats", s.handleStats)
+	m.HandleFunc("/query", s.handleQuery)
+	m.HandleFunc("/insert", s.handleInsert)
+	m.HandleFunc("/delete", s.handleDelete)
+	return m
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	io.WriteString(w, "ok\n")
+}
+
+type statsResponse struct {
+	Epoch        uint64 `json:"epoch"`
+	InstanceSize int    `json:"instance_size"`
+	Queries      int64  `json:"queries"`
+	Commits      int64  `json:"commits"`
+	CacheEntries int    `json:"cache_entries"`
+	CacheHits    int    `json:"cache_hits"`
+	CacheMisses  int    `json:"cache_misses"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.sys.Engine().PlanCacheStats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Epoch:        s.sys.Exchange().DB.Epoch(),
+		InstanceSize: s.sys.Exchange().DB.TotalRows(),
+		Queries:      s.queries.Load(),
+		Commits:      s.commits.Load(),
+		CacheEntries: st.Entries,
+		CacheHits:    st.Hits,
+		CacheMisses:  st.Misses,
+	})
+}
+
+type queryRequest struct {
+	Query string `json:"query"`
+	// Backend selects the execution strategy: "" or "auto" (relational
+	// when the query allows, else graph), "graph", or "asr". The choice
+	// is per request; all of them read a pinned snapshot.
+	Backend string `json:"backend"`
+}
+
+type queryResponse struct {
+	Bindings  map[string][]string `json:"bindings"`
+	Count     int                 `json:"count"`
+	Backend   string              `json:"backend"`
+	Epoch     uint64              `json:"epoch"`
+	ElapsedNS int64               `json:"elapsed_ns"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	q, err := proql.Parse(req.Query)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	eng := s.sys.Engine()
+	start := time.Now()
+	var res *proql.Result
+	switch req.Backend {
+	case "", "auto", "relational":
+		res, err = eng.Exec(q)
+	case "graph":
+		res, err = eng.ExecGraph(q)
+	case "asr":
+		res, err = eng.ExecASR(q)
+	default:
+		http.Error(w, fmt.Sprintf("unknown backend %q", req.Backend), http.StatusBadRequest)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	s.queries.Add(1)
+	resp := queryResponse{
+		Bindings:  map[string][]string{},
+		Backend:   res.Stats.Backend,
+		Epoch:     s.sys.Exchange().DB.Epoch(),
+		ElapsedNS: time.Since(start).Nanoseconds(),
+	}
+	vars := map[string]bool{}
+	for _, b := range res.Bindings {
+		for v := range b {
+			vars[v] = true
+		}
+	}
+	for v := range vars {
+		refs := res.SortedRefs(v)
+		out := make([]string, len(refs))
+		for i, ref := range refs {
+			out[i] = ref.Rel + "(" + ref.Key + ")"
+		}
+		resp.Bindings[v] = out
+		if len(out) > resp.Count {
+			resp.Count = len(out)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type insertRequest struct {
+	Relation string  `json:"relation"`
+	Rows     [][]any `json:"rows"`
+}
+
+type mutateResponse struct {
+	Applied int    `json:"applied"`
+	Epoch   uint64 `json:"epoch"`
+}
+
+func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req insertRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rel, ok := s.sys.Exchange().Schema.Relation(req.Relation)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown relation %q", req.Relation), http.StatusBadRequest)
+		return
+	}
+	rows := make([]model.Tuple, len(req.Rows))
+	for i, raw := range req.Rows {
+		row, err := decodeRow(rel, raw)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("row %d: %v", i, err), http.StatusBadRequest)
+			return
+		}
+		rows[i] = row
+	}
+	if err := s.sys.InsertLocal(req.Relation, rows...); err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	if err := s.sys.Run(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.commits.Add(1)
+	writeJSON(w, http.StatusOK, mutateResponse{
+		Applied: len(rows),
+		Epoch:   s.sys.Exchange().DB.Epoch(),
+	})
+}
+
+type deleteRequest struct {
+	Relation string  `json:"relation"`
+	Keys     [][]any `json:"keys"`
+}
+
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req deleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rel, ok := s.sys.Exchange().Schema.Relation(req.Relation)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown relation %q", req.Relation), http.StatusBadRequest)
+		return
+	}
+	keys := make([][]model.Datum, len(req.Keys))
+	for i, raw := range req.Keys {
+		key, err := decodeKey(rel, raw)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("key %d: %v", i, err), http.StatusBadRequest)
+			return
+		}
+		keys[i] = key
+	}
+	if _, err := s.sys.DeleteLocal(req.Relation, keys...); err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	s.commits.Add(1)
+	writeJSON(w, http.StatusOK, mutateResponse{
+		Applied: len(keys),
+		Epoch:   s.sys.Exchange().DB.Epoch(),
+	})
+}
+
+// decodeRow converts a JSON row ([]any with float64 numbers) into a
+// model.Tuple using the relation's declared column types.
+func decodeRow(rel *model.Relation, raw []any) (model.Tuple, error) {
+	if len(raw) != len(rel.Columns) {
+		return nil, fmt.Errorf("arity %d, want %d", len(raw), len(rel.Columns))
+	}
+	row := make(model.Tuple, len(raw))
+	for i, v := range raw {
+		d, err := decodeDatum(rel.Columns[i].Type, v)
+		if err != nil {
+			return nil, fmt.Errorf("column %s: %v", rel.Columns[i].Name, err)
+		}
+		row[i] = d
+	}
+	return row, nil
+}
+
+// decodeKey converts JSON key values in key-column order.
+func decodeKey(rel *model.Relation, raw []any) ([]model.Datum, error) {
+	if len(raw) != len(rel.Key) {
+		return nil, fmt.Errorf("%d key values, want %d", len(raw), len(rel.Key))
+	}
+	key := make([]model.Datum, len(raw))
+	for i, v := range raw {
+		col := rel.Columns[rel.Key[i]]
+		d, err := decodeDatum(col.Type, v)
+		if err != nil {
+			return nil, fmt.Errorf("key column %s: %v", col.Name, err)
+		}
+		key[i] = d
+	}
+	return key, nil
+}
+
+func decodeDatum(t model.DatumType, v any) (model.Datum, error) {
+	switch t {
+	case model.TypeInt:
+		f, ok := v.(float64)
+		if !ok || f != float64(int64(f)) {
+			return nil, fmt.Errorf("want integer, got %v", v)
+		}
+		return int64(f), nil
+	case model.TypeFloat:
+		f, ok := v.(float64)
+		if !ok {
+			return nil, fmt.Errorf("want number, got %v", v)
+		}
+		return f, nil
+	case model.TypeString:
+		s, ok := v.(string)
+		if !ok {
+			return nil, fmt.Errorf("want string, got %v", v)
+		}
+		return s, nil
+	case model.TypeBool:
+		b, ok := v.(bool)
+		if !ok {
+			return nil, fmt.Errorf("want bool, got %v", v)
+		}
+		return b, nil
+	}
+	return nil, fmt.Errorf("unsupported column type")
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// runSmoke starts the server on an ephemeral port and drives the CI
+// self-test: concurrent readers on all three backends racing HTTP
+// insert/delete commits, each response checked against the two legal
+// committed states of the running example.
+func runSmoke(srv *server) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.mux()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	if _, err := httpGet(base + "/healthz"); err != nil {
+		return err
+	}
+
+	// Each HTTP mutation is one commit, so the legal O-binding counts
+	// are the committed states of the cycle: 4 (base), 5 (A(3) alone —
+	// m4 fires, m1/m5 await N(3)), 6 (both rows in). Anything else is
+	// a torn read. (The single-commit insert path is differentially
+	// tested in internal/core; this smoke checks the serving stack.)
+	const q = `FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x`
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for _, backend := range []string{"auto", "graph", "asr"} {
+		wg.Add(1)
+		go func(backend string) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				body, err := httpPost(base+"/query", queryRequest{Query: q, Backend: backend})
+				if err != nil {
+					errs <- fmt.Errorf("%s: %v", backend, err)
+					return
+				}
+				var resp queryResponse
+				if err := json.Unmarshal(body, &resp); err != nil {
+					errs <- err
+					return
+				}
+				if n := len(resp.Bindings["x"]); n < 4 || n > 6 {
+					errs <- fmt.Errorf("%s: %d O bindings, want 4-6", backend, n)
+					return
+				}
+			}
+		}(backend)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 5; round++ {
+			if _, err := httpPost(base+"/insert", insertRequest{
+				Relation: "A", Rows: [][]any{{3, "sn3", 9}},
+			}); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := httpPost(base+"/insert", insertRequest{
+				Relation: "N", Rows: [][]any{{3, "cn3", false}},
+			}); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := httpPost(base+"/delete", deleteRequest{
+				Relation: "A", Keys: [][]any{{3}},
+			}); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := httpPost(base+"/delete", deleteRequest{
+				Relation: "N", Keys: [][]any{{3, "cn3", false}},
+			}); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+
+	body, err := httpGet(base + "/stats")
+	if err != nil {
+		return err
+	}
+	var st statsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		return err
+	}
+	if st.Queries < 45 || st.Commits < 20 {
+		return fmt.Errorf("implausible counters: %+v", st)
+	}
+	fmt.Printf("proqld smoke ok: %d queries, %d commits, epoch %d, %d cache entries\n",
+		st.Queries, st.Commits, st.Epoch, st.CacheEntries)
+	return nil
+}
+
+func httpGet(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, bytes.TrimSpace(body))
+	}
+	return body, nil
+}
+
+func httpPost(url string, payload any) ([]byte, error) {
+	buf, err := json.Marshal(payload)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("POST %s: %s: %s", url, resp.Status, bytes.TrimSpace(body))
+	}
+	return body, nil
+}

@@ -58,6 +58,10 @@ func (ix *Index) Define(kind Kind, chain ...string) (*Def, error) {
 // steady-state update path patches the tables incrementally via
 // ApplyInsertions/ApplyDeletions (maintain.go) instead.
 func (ix *Index) Materialize() error {
+	// One storage epoch for the whole rebuild: concurrent snapshot
+	// readers never observe a half-built ASR table.
+	ix.sys.DB.BeginBatch()
+	defer ix.sys.DB.EndBatch()
 	for _, d := range ix.defs {
 		if err := ix.materializeDef(d); err != nil {
 			return err

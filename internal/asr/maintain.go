@@ -36,6 +36,8 @@ func (ix *Index) ApplyInsertions(report *exchange.InsertionReport) error {
 	if len(report.InsertedDerivations) == 0 {
 		return nil
 	}
+	ix.sys.DB.BeginBatch()
+	defer ix.sys.DB.EndBatch()
 	delta := make(map[string][]model.Tuple)
 	for _, d := range report.InsertedDerivations {
 		delta[d.Mapping] = append(delta[d.Mapping], d.Row)
@@ -77,6 +79,8 @@ func (ix *Index) ApplyDeletions(report *exchange.MaintenanceReport) error {
 		}
 		return ix.Materialize()
 	}
+	ix.sys.DB.BeginBatch()
+	defer ix.sys.DB.EndBatch()
 	deleted := make(map[string]*deletedProv)
 	for _, dd := range report.DeletedDerivations {
 		set := deleted[dd.Mapping]

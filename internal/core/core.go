@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/asr"
 	"repro/internal/exchange"
@@ -25,11 +26,24 @@ import (
 )
 
 // System is one CDSS replica with query and indexing support.
+//
+// Concurrency: queries (Query, and the engine's Exec* family) may run
+// from any number of goroutines, including while a mutation commits —
+// each query reads a pinned storage snapshot or latched graph, so it
+// observes either the whole commit or none of it. Mutations
+// (InsertLocal, Run, DeleteLocal, DefineASR, AdviseASRs, UseASRs) are
+// serialized by an internal writer lock: callers may issue them from
+// multiple goroutines, but they execute one at a time.
 type System struct {
 	ex     *exchange.System
 	engine *proql.Engine
 	index  *asr.Index
 	useASR bool
+
+	// wmu serializes mutations. Single-logical-writer keeps the epoch
+	// protocol simple: every commit is one batch, and the cached-graph
+	// patch that follows it always sees the post-commit epoch.
+	wmu sync.Mutex
 }
 
 // Options configures Open.
@@ -67,6 +81,8 @@ func (s *System) Engine() *proql.Engine { return s.engine }
 // InsertLocal adds local-contribution tuples to a relation. Call Run
 // afterwards to propagate them.
 func (s *System) InsertLocal(rel string, rows ...model.Tuple) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	return s.ex.InsertLocal(rel, rows...)
 }
 
@@ -81,16 +97,31 @@ func (s *System) InsertLocal(rel string, rows ...model.Tuple) error {
 // repairs the engine's journals from its deletion report, so a Run
 // after it is still delta-seeded.
 func (s *System) Run() error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	// One outer batch makes the exchange run and the ASR patches a
+	// single storage epoch: a concurrent snapshot sees the pre-run
+	// state or the fully propagated-and-indexed one, never an exchanged
+	// instance whose ASR tables lag behind.
+	db := s.ex.DB
+	db.BeginBatch()
 	report, err := s.ex.RunDelta()
 	if err != nil {
+		db.EndBatch()
 		return err
 	}
+	asrErr := s.index.ApplyInsertions(report)
+	db.EndBatch()
+	// Patch the cached graph only after the batch published: the
+	// engine compares its graph's epoch to the post-commit epoch to
+	// decide between patching and skipping (a concurrent query may
+	// have rebuilt the graph from the committed state already).
 	if report.Full {
 		s.engine.InvalidateGraph()
 	} else {
 		s.engine.MaintainGraphInsert(report)
 	}
-	return s.index.ApplyInsertions(report)
+	return asrErr
 }
 
 // DeleteLocal removes base tuples and incrementally propagates the
@@ -99,13 +130,22 @@ func (s *System) Run() error {
 // tables are patched in place from the deletion report rather than
 // rebuilt.
 func (s *System) DeleteLocal(rel string, keys ...[]model.Datum) (*exchange.MaintenanceReport, error) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	// Same epoch discipline as Run: deletions and the ASR patches they
+	// imply commit atomically; the graph patch follows the publish.
+	db := s.ex.DB
+	db.BeginBatch()
 	report, err := s.ex.DeleteLocal(rel, keys...)
 	if err != nil {
+		db.EndBatch()
 		return nil, err
 	}
+	asrErr := s.index.ApplyDeletions(report)
+	db.EndBatch()
 	s.engine.MaintainGraph(report)
-	if err := s.index.ApplyDeletions(report); err != nil {
-		return nil, err
+	if asrErr != nil {
+		return nil, asrErr
 	}
 	return report, nil
 }
@@ -119,6 +159,8 @@ func (s *System) Query(text string) (*proql.Result, error) {
 // (ordered from the derived end toward the sources) and materializes
 // it. UseASRs must be enabled for queries to exploit it.
 func (s *System) DefineASR(kind asr.Kind, chain ...string) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	if _, err := s.index.Define(kind, chain...); err != nil {
 		return err
 	}
@@ -129,18 +171,29 @@ func (s *System) DefineASR(kind asr.Kind, chain ...string) error {
 // future work) for target-style queries anchored at a relation,
 // materializes the suggested indexes, and enables rewriting.
 func (s *System) AdviseASRs(anchorRel string, maxLen int) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	if _, err := s.index.Advise(anchorRel, maxLen); err != nil {
 		return err
 	}
 	if err := s.index.Materialize(); err != nil {
 		return err
 	}
-	s.UseASRs(true)
+	s.useASRsLocked(true)
 	return nil
 }
 
-// UseASRs toggles ASR-based rewriting for subsequent queries.
+// UseASRs toggles ASR-based rewriting for subsequent queries. Like all
+// mutations it is serialized with other writers, but it swaps a hook
+// the query path reads without a latch: call it during setup, not
+// while queries are in flight.
 func (s *System) UseASRs(on bool) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	s.useASRsLocked(on)
+}
+
+func (s *System) useASRsLocked(on bool) {
 	s.useASR = on
 	if on {
 		s.engine.RewriteRules = s.index.RewriteRules

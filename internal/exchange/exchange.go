@@ -132,6 +132,13 @@ type System struct {
 	// Stats from the last Run.
 	LastIterations  int
 	LastDerivations int
+
+	// inProbes is the per-relation reverse-edge probe index built once
+	// at NewSystem (it depends only on the schema and the provenance
+	// layout, never on the data). Caching it — and pre-building the
+	// secondary indexes it probes — keeps the ASR query path free of
+	// writes: a concurrent reader never triggers index construction.
+	inProbes map[string][]IncomingProbe
 }
 
 // hookPlan is the precompiled provenance recipe for one mapping: which
@@ -221,7 +228,53 @@ func NewSystem(schema *model.Schema, opts Options) (*System, error) {
 			}
 		}
 	}
+	// Build the reverse-edge probe index now and pre-ensure every
+	// secondary index it probes: query-time EnsureIndex was a hidden
+	// write on the read-only ASR path, racing concurrent queries.
+	probes, err := sys.IncomingProbes()
+	if err != nil {
+		return nil, err
+	}
+	sys.inProbes = probes
+	for _, ps := range probes {
+		for i := range ps {
+			p := &ps[i]
+			if !p.Prov.Virtual && len(p.Cols) > 0 {
+				db.MustTable(p.Prov.TableName).EnsureIndex(p.Cols)
+			}
+		}
+	}
 	return sys, nil
+}
+
+// Probes returns the per-relation reverse-edge probe index computed at
+// NewSystem. The map and its slices are shared and must not be
+// mutated; every probed secondary index was pre-built, so probing is
+// read-only.
+func (s *System) Probes() map[string][]IncomingProbe { return s.inProbes }
+
+// Snapshot returns a read-only view of the system pinned to the
+// current storage epoch, plus a release function. Reads through the
+// view (table lookups, provenance rows, leaf checks, probes) observe
+// exactly the state committed when Snapshot was called, no matter
+// what Run/RunDelta/DeleteLocal commit afterwards. The view carries
+// only the fields the read path consults — schema, provenance layout,
+// probe index, options — all immutable after NewSystem; the writer's
+// journals, delta buffers, and support index are deliberately absent
+// (copying them here would race with a concurrent commit mutating
+// them). Mutating entry points on the view fail (its database rejects
+// writes). Callers must invoke the release function when done;
+// holding it only delays reclamation of deleted rows.
+func (s *System) Snapshot() (*System, func()) {
+	snap := s.DB.Snapshot()
+	view := &System{
+		Schema:   s.Schema,
+		DB:       snap,
+		Prov:     s.Prov,
+		opts:     s.opts,
+		inProbes: s.inProbes,
+	}
+	return view, snap.Close
 }
 
 func (s *System) provRelFor(m *model.Mapping) (*ProvRel, error) {
@@ -275,6 +328,10 @@ func (s *System) InsertLocal(rel string, rows ...model.Tuple) error {
 	if !ok {
 		return fmt.Errorf("exchange: no local table for %q", rel)
 	}
+	// One batch: a multi-row insert commits as a single epoch, so a
+	// concurrent snapshot sees all of the rows or none of them.
+	s.DB.BeginBatch()
+	defer s.DB.EndBatch()
 	for _, row := range rows {
 		inserted, err := t.Insert(row)
 		if err != nil {
@@ -323,6 +380,11 @@ func (s *System) Rules() []datalog.Rule {
 // the next batch of InsertLocal rows can be propagated by RunDelta
 // instead of a full re-fixpoint.
 func (s *System) Run() error {
+	// The whole fixpoint — public-relation materialization plus all
+	// provenance rows — commits as one storage epoch: snapshots taken
+	// while it runs observe the pre-run state only.
+	s.DB.BeginBatch()
+	defer s.DB.EndBatch()
 	if s.opts.UseLegacyEngine {
 		return s.runLegacy()
 	}
@@ -410,6 +472,11 @@ type InsertedDerivation struct {
 // engine, or an earlier error invalidated it) RunDelta falls back to a
 // full Run and reports Full.
 func (s *System) RunDelta() (*InsertionReport, error) {
+	// One epoch per delta run (batches nest across the full-run
+	// fallback): concurrent snapshots see the pre-delta state until
+	// the run commits, then all of its effects at once.
+	s.DB.BeginBatch()
+	defer s.DB.EndBatch()
 	if s.opts.UseLegacyEngine || !s.deltaReady || s.prog == nil || !s.prog.StateValid() {
 		if err := s.Run(); err != nil {
 			return nil, err

@@ -77,6 +77,10 @@ type DeletedDerivation struct {
 // DeleteLocal stays delta-seeded, while the deletion itself pays only
 // O(deleted rows) on top of the support-index walk.
 func (s *System) DeleteLocal(rel string, keys ...[]model.Datum) (*MaintenanceReport, error) {
+	// One epoch for the base deletions plus everything the propagation
+	// cascades to: snapshots taken mid-deletion observe none of it.
+	s.DB.BeginBatch()
+	defer s.DB.EndBatch()
 	report, frontier, err := s.deleteLocalBase(rel, keys)
 	if err != nil || report.LocalDeleted == 0 {
 		return report, err
@@ -144,6 +148,8 @@ func (s *System) flushDeadRows() error {
 // whole-graph derivability walk; kept for differential testing against
 // the delta-driven propagator.
 func (s *System) DeleteLocalLegacy(rel string, keys ...[]model.Datum) (*MaintenanceReport, error) {
+	s.DB.BeginBatch()
+	defer s.DB.EndBatch()
 	report, _, err := s.deleteLocalBase(rel, keys)
 	if err != nil || report.LocalDeleted == 0 {
 		return report, err

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/exchange"
@@ -41,17 +42,33 @@ type Engine struct {
 	// non-returned variables may vary with scheduling.
 	Parallelism int
 
-	// graph caches the materialized provenance graph for the graph
-	// backend; asr caches the goal-directed adapter's interned handles.
-	// plans is the shape-keyed plan cache shared by all backends.
-	graph *provgraph.Graph
-	asr   *asrGraph
+	// graphMu guards the cached materialized graph (patched in place by
+	// Maintain*) and the ASR adapter handle. Graph-backend queries hold
+	// the read side for their whole evaluation, so a maintenance patch
+	// (write side) never mutates the graph mid-query: readers started
+	// before a commit finish on the pre-patch graph, then the patch
+	// applies. graphEpoch is the storage epoch the cached graph
+	// reflects; Maintain* skips the patch when a concurrent rebuild
+	// already observed the post-commit state (double-patch guard).
+	graphMu    sync.RWMutex
+	graph      *provgraph.Graph
+	graphEpoch uint64
+	// asr is the goal-directed adapter bound to a pinned storage
+	// snapshot; it is shared (refcounted) by concurrent ASR queries at
+	// the same epoch and retired when the epoch moves on.
+	asr *asrGraph
+	// plans is the shape-keyed plan cache shared by all backends; it is
+	// internally synchronized.
 	plans *planCache
 }
 
-// NewEngine builds an engine over a system.
+// NewEngine builds an engine over a system. The engine is safe for
+// concurrent queries (Exec/ExecGraph/ExecASR/ExecString); maintenance
+// entry points (Graph invalidation and patching) may run concurrently
+// with queries but must themselves be serialized by the caller, as
+// core.System does under its writer lock.
 func NewEngine(sys *exchange.System) *Engine {
-	return &Engine{Sys: sys}
+	return &Engine{Sys: sys, plans: newPlanCache()}
 }
 
 // Binding is one RETURN row: distinguished variable → tuple node.
@@ -181,12 +198,13 @@ func (e *Engine) ExecGraph(q *Query) (*Result, error) {
 // provenance graph is ever materialized, so memory stays proportional
 // to the portion of the graph the query actually touches.
 func (e *Engine) ExecASR(q *Query) (*Result, error) {
-	g, err := e.asrAdapter()
+	g, release, err := e.asrAdapter()
 	if err != nil {
 		return nil, err
 	}
-	// The adapter interns handles in shared maps, so plans run
-	// single-worker regardless of e.Parallelism.
+	defer release()
+	// The adapter interns handles in shared maps under its own lock,
+	// so plans run single-worker regardless of e.Parallelism.
 	return e.execPhys(q, g, "asr", 1)
 }
 
@@ -208,23 +226,85 @@ func (e *Engine) ExecString(query string) (*Result, error) {
 }
 
 // Graph returns the engine's materialized provenance graph, building
-// it on first use.
+// it on first use from a consistent storage snapshot. The returned
+// graph is the live cache: a later maintenance commit may patch it in
+// place. Callers that need mid-commit stability should run queries
+// (which hold the graph latch for their whole evaluation) instead of
+// holding the pointer across commits.
 func (e *Engine) Graph() (*provgraph.Graph, error) {
-	if e.graph == nil {
-		g, err := provgraph.Build(e.Sys)
-		if err != nil {
-			return nil, err
-		}
-		e.graph = g
+	g, release, err := e.acquireGraph()
+	if err != nil {
+		return nil, err
 	}
-	return e.graph, nil
+	release()
+	return g, nil
 }
 
-// InvalidateGraph drops the cached graph and the ASR adapter's
-// interned handles (call after new exchange runs).
+// acquireGraph returns the cached graph with the read latch held; the
+// caller must invoke the release function when done reading. While
+// any reader holds the latch, maintenance patches wait, so the graph
+// never changes under an in-flight query.
+func (e *Engine) acquireGraph() (*provgraph.Graph, func(), error) {
+	for {
+		e.graphMu.RLock()
+		if e.graph != nil {
+			return e.graph, e.graphMu.RUnlock, nil
+		}
+		e.graphMu.RUnlock()
+		if err := e.buildGraph(); err != nil {
+			return nil, nil, err
+		}
+	}
+}
+
+// buildGraph materializes the provenance graph from a pinned storage
+// snapshot, so a concurrent exchange commit cannot leak half of its
+// writes into the build. The epoch the snapshot pinned is recorded for
+// the Maintain* double-patch guard.
+func (e *Engine) buildGraph() error {
+	e.graphMu.Lock()
+	defer e.graphMu.Unlock()
+	if e.graph != nil {
+		return nil
+	}
+	snap, release := e.Sys.Snapshot()
+	defer release()
+	g, err := provgraph.Build(snap)
+	if err != nil {
+		return err
+	}
+	e.graph = g
+	e.graphEpoch = snap.DB.Epoch()
+	return nil
+}
+
+// InvalidateGraph drops the cached graph and retires the ASR adapter
+// (call after new exchange runs). In-flight queries finish on the
+// graph or adapter they already hold.
 func (e *Engine) InvalidateGraph() {
+	e.graphMu.Lock()
+	defer e.graphMu.Unlock()
 	e.graph = nil
+	e.graphEpoch = 0
+	e.retireASRLocked()
+}
+
+// retireASRLocked detaches the current ASR adapter: new queries build
+// a fresh one, in-flight queries keep reading their pinned snapshot,
+// and the snapshot is released once the last of them finishes. Callers
+// hold graphMu.
+func (e *Engine) retireASRLocked() {
+	g := e.asr
+	if g == nil {
+		return
+	}
 	e.asr = nil
+	g.retired = true
+	if g.refs == 0 && g.release != nil {
+		rel := g.release
+		g.release = nil
+		rel()
+	}
 }
 
 // MaintainGraph applies an incremental-deletion report to the cached
@@ -232,16 +312,27 @@ func (e *Engine) InvalidateGraph() {
 // instead of a full rebuild on the next graph-backend query. A no-op
 // when no graph is cached. Reports without deletion lists (the legacy
 // propagator's) cannot be patched in; callers holding one must
-// InvalidateGraph instead.
+// InvalidateGraph instead. The patch waits for in-flight graph
+// queries: they finish on the pre-patch graph.
 func (e *Engine) MaintainGraph(report *exchange.MaintenanceReport) {
-	// The ASR adapter caches rows and adjacency read from the tables;
-	// any maintenance invalidates it (it re-interns lazily, so a drop
-	// costs only the warmed handles).
-	e.asr = nil
+	e.graphMu.Lock()
+	defer e.graphMu.Unlock()
+	// The ASR adapter is bound to a pre-commit snapshot; retire it so
+	// the next ASR query re-pins current state (it re-interns lazily,
+	// so the drop costs only the warmed handles).
+	e.retireASRLocked()
 	if e.graph == nil || report == nil {
 		return
 	}
+	post := e.Sys.DB.Epoch()
+	if post == e.graphEpoch {
+		// A concurrent query rebuilt the graph from the post-commit
+		// state after the deletion published; patching it again would
+		// double-apply the report.
+		return
+	}
 	provgraph.Apply(e.graph, e.Sys, report)
+	e.graphEpoch = post
 }
 
 // MaintainGraphInsert applies an incremental-insertion report (a
@@ -249,13 +340,23 @@ func (e *Engine) MaintainGraph(report *exchange.MaintenanceReport) {
 // data costs a subgraph patch instead of a full rebuild on the next
 // graph-backend query. A no-op when no graph is cached; when the
 // report says the run was a full re-exchange (or the patch fails) the
-// cache is invalidated and the next query rebuilds.
+// cache is invalidated and the next query rebuilds. Like
+// MaintainGraph, the patch waits for in-flight graph queries.
 func (e *Engine) MaintainGraphInsert(report *exchange.InsertionReport) {
-	e.asr = nil
+	e.graphMu.Lock()
+	defer e.graphMu.Unlock()
+	e.retireASRLocked()
 	if e.graph == nil || report == nil {
 		return
 	}
+	post := e.Sys.DB.Epoch()
+	if post == e.graphEpoch {
+		return // rebuilt post-commit by a concurrent query; see MaintainGraph
+	}
 	if ok, err := provgraph.ApplyInsertions(e.graph, e.Sys, report); !ok || err != nil {
 		e.graph = nil
+		e.graphEpoch = 0
+		return
 	}
+	e.graphEpoch = post
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/exchange"
 	"repro/internal/model"
@@ -20,34 +21,78 @@ import (
 	"repro/internal/provgraph"
 )
 
-// asrAdapter returns the engine's cached ASR adapter, building the
-// probe descriptors on first use. The adapter is dropped whenever the
-// underlying tables change (InvalidateGraph, Maintain*).
-func (e *Engine) asrAdapter() (*asrGraph, error) {
-	if e.asr != nil {
-		return e.asr, nil
+// asrAdapter returns the engine's ASR adapter with a reference held;
+// the caller must invoke the release function when its query is done.
+// The adapter is bound to a pinned storage snapshot, so every query
+// sharing it reads one consistent epoch no matter what commits
+// concurrently; when the storage epoch moves on (or maintenance
+// retires it), new queries get a fresh adapter and the old snapshot
+// is released once its last in-flight query finishes.
+func (e *Engine) asrAdapter() (*asrGraph, func(), error) {
+	e.graphMu.Lock()
+	defer e.graphMu.Unlock()
+	if e.asr != nil && e.asr.epoch != e.Sys.DB.Epoch() {
+		e.retireASRLocked()
 	}
-	probes, err := e.Sys.IncomingProbes()
-	if err != nil {
-		return nil, err
+	if e.asr == nil {
+		probes := e.Sys.Probes()
+		if probes == nil {
+			var err error
+			if probes, err = e.Sys.IncomingProbes(); err != nil {
+				return nil, nil, err
+			}
+		}
+		snap, release := e.Sys.Snapshot()
+		e.asr = &asrGraph{
+			sys:     snap,
+			release: release,
+			epoch:   snap.DB.Epoch(),
+			probes:  probes,
+			tuples:  map[model.TupleRef]*asrTuple{},
+			derivs:  map[string]*asrDeriv{},
+			virtIdx: map[string]map[string][]model.Tuple{},
+		}
 	}
-	e.asr = &asrGraph{
-		sys:     e.Sys,
-		probes:  probes,
-		tuples:  map[model.TupleRef]*asrTuple{},
-		derivs:  map[string]*asrDeriv{},
-		virtIdx: map[string]map[string][]model.Tuple{},
+	g := e.asr
+	g.refs++
+	return g, func() { e.releaseASR(g) }, nil
+}
+
+// releaseASR drops one query's reference; the retired adapter's
+// snapshot is released when the last reference goes.
+func (e *Engine) releaseASR(g *asrGraph) {
+	e.graphMu.Lock()
+	g.refs--
+	var rel func()
+	if g.refs == 0 && g.retired && g.release != nil {
+		rel, g.release = g.release, nil
 	}
-	return e.asr, nil
+	e.graphMu.Unlock()
+	if rel != nil {
+		rel()
+	}
 }
 
 // asrGraph implements physplan.Graph over an exchanged system's
-// relational storage. It is single-goroutine (handles intern into
-// shared maps), so plans over it always run with one worker.
+// relational storage, reading through a pinned snapshot view. Handles
+// intern into shared maps under mu, so concurrent queries can share
+// one adapter; within a single plan execution runs one worker (the
+// interning cost would serialize workers anyway).
 type asrGraph struct {
-	sys    *exchange.System
+	sys    *exchange.System // snapshot view; reads are epoch-frozen
 	probes map[string][]exchange.IncomingProbe
 
+	// release unpins the snapshot; refs/retired are managed by the
+	// owning engine under its graphMu.
+	release func()
+	epoch   uint64
+	refs    int
+	retired bool
+
+	// mu guards the interning maps, the lazy per-handle fields, the
+	// memoized caches below, and err. It is never held while yielding
+	// to physplan callbacks or while probing tables.
+	mu     sync.Mutex
 	tuples map[model.TupleRef]*asrTuple
 	derivs map[string]*asrDeriv
 	ords   int // shared ordinal counter for tuples and derivations
@@ -69,13 +114,19 @@ type asrGraph struct {
 }
 
 func (g *asrGraph) fail(err error) {
+	g.mu.Lock()
 	if g.err == nil {
 		g.err = err
 	}
+	g.mu.Unlock()
 }
 
 // Err implements physplan.Graph.
-func (g *asrGraph) Err() error { return g.err }
+func (g *asrGraph) Err() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}
 
 // asrTuple is the interned handle of one tuple; row, leaf mark, and
 // incoming derivations resolve lazily and stick.
@@ -99,26 +150,45 @@ func (t *asrTuple) TupleRef() model.TupleRef { return t.ref }
 // TupleOrd implements physplan.Tuple.
 func (t *asrTuple) TupleOrd() int { return t.ord }
 
-// TupleRow implements physplan.Tuple.
+// TupleRow implements physplan.Tuple. The lazy resolution is computed
+// outside the adapter lock (it reads the snapshot, so two racing
+// resolvers compute the same value) and recorded under it.
 func (t *asrTuple) TupleRow() model.Tuple {
-	if !t.rowOK {
-		t.rowOK = true
-		if tab, ok := t.g.sys.DB.Table(t.ref.Rel); ok {
-			if row, found := tab.LookupKey(t.key); found {
-				t.row = row
-			}
+	g := t.g
+	g.mu.Lock()
+	if t.rowOK {
+		row := t.row
+		g.mu.Unlock()
+		return row
+	}
+	g.mu.Unlock()
+	var row model.Tuple
+	if tab, ok := g.sys.DB.Table(t.ref.Rel); ok {
+		if r, found := tab.LookupKey(t.key); found {
+			row = r
 		}
 	}
-	return t.row
+	g.mu.Lock()
+	t.row, t.rowOK = row, true
+	g.mu.Unlock()
+	return row
 }
 
 // TupleLeaf implements physplan.Tuple.
 func (t *asrTuple) TupleLeaf() bool {
-	if !t.leafOK {
-		t.leafOK = true
-		t.leaf = t.g.sys.IsLeaf(t.ref.Rel, t.key)
+	g := t.g
+	g.mu.Lock()
+	if t.leafOK {
+		leaf := t.leaf
+		g.mu.Unlock()
+		return leaf
 	}
-	return t.leaf
+	g.mu.Unlock()
+	leaf := g.sys.IsLeaf(t.ref.Rel, t.key)
+	g.mu.Lock()
+	t.leaf, t.leafOK = leaf, true
+	g.mu.Unlock()
+	return leaf
 }
 
 // asrDeriv is the interned handle of one derivation (one provenance
@@ -147,6 +217,8 @@ func (d *asrDeriv) DerivMapping() string { return d.mapping }
 // internTuple returns the unique handle of a reference, recording its
 // decoded key datums on first sight.
 func (g *asrGraph) internTuple(ref model.TupleRef, key []model.Datum) *asrTuple {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if t, ok := g.tuples[ref]; ok {
 		return t
 	}
@@ -160,6 +232,8 @@ func (g *asrGraph) internTuple(ref model.TupleRef, key []model.Datum) *asrTuple 
 // minting the same ID provgraph.Build would.
 func (g *asrGraph) internDeriv(pr *exchange.ProvRel, row model.Tuple) *asrDeriv {
 	id := provgraph.DerivIDFor(pr.Mapping.Name, row)
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if d, ok := g.derivs[id]; ok {
 		return d
 	}
@@ -172,22 +246,34 @@ func (g *asrGraph) internDeriv(pr *exchange.ProvRel, row model.Tuple) *asrDeriv 
 // edges resolves a derivation's source and target handles from its
 // provenance row (AtomRefKeys reconstructs every atom's key).
 func (d *asrDeriv) edges() ([]*asrTuple, []*asrTuple) {
+	g := d.g
+	g.mu.Lock()
 	if d.edgesOK {
-		return d.srcs, d.tgts
+		srcs, tgts := d.srcs, d.tgts
+		g.mu.Unlock()
+		return srcs, tgts
 	}
-	d.edgesOK = true
-	srcs, tgts, err := d.g.sys.AtomRefKeys(d.pr, d.row)
+	g.mu.Unlock()
+	srcs, tgts, err := g.sys.AtomRefKeys(d.pr, d.row)
 	if err != nil {
-		d.g.fail(err)
+		g.fail(err)
 		return nil, nil
 	}
+	ss := make([]*asrTuple, 0, len(srcs))
 	for _, rk := range srcs {
-		d.srcs = append(d.srcs, d.g.internTuple(rk.Ref, rk.Key))
+		ss = append(ss, g.internTuple(rk.Ref, rk.Key))
 	}
+	ts := make([]*asrTuple, 0, len(tgts))
 	for _, rk := range tgts {
-		d.tgts = append(d.tgts, d.g.internTuple(rk.Ref, rk.Key))
+		ts = append(ts, g.internTuple(rk.Ref, rk.Key))
 	}
-	return d.srcs, d.tgts
+	g.mu.Lock()
+	if !d.edgesOK {
+		d.srcs, d.tgts, d.edgesOK = ss, ts, true
+	}
+	srcsOut, tgtsOut := d.srcs, d.tgts
+	g.mu.Unlock()
+	return srcsOut, tgtsOut
 }
 
 // incoming resolves (and caches) the derivations targeting t,
@@ -196,10 +282,16 @@ func (d *asrDeriv) edges() ([]*asrTuple, []*asrTuple) {
 // the goal-directed reverse step — using each table's secondary index
 // on the probed head-key columns.
 func (t *asrTuple) incoming(mapping string) []*asrDeriv {
+	g := t.g
+	g.mu.Lock()
 	if ds, ok := t.inBy[mapping]; ok {
+		g.mu.Unlock()
 		return ds
 	}
-	g := t.g
+	g.mu.Unlock()
+	// Resolve outside the lock (probes read the snapshot, interning
+	// relocks per handle); two racing resolvers of the same tuple
+	// compute identical slices, so the overwrite below is benign.
 	var out []*asrDeriv
 	seen := map[*asrDeriv]bool{}
 	for i := range g.probes[t.ref.Rel] {
@@ -219,11 +311,13 @@ func (t *asrTuple) incoming(mapping string) []*asrDeriv {
 			}
 			return true
 		})
-		if g.err != nil {
+		if g.Err() != nil {
 			break
 		}
 	}
+	g.mu.Lock()
 	t.inBy[mapping] = out
+	g.mu.Unlock()
 	return out
 }
 
@@ -243,7 +337,8 @@ func (g *asrGraph) eachProvRowMatching(p *exchange.IncomingProbe, vals []model.D
 			tab.Iterate(fn)
 			return
 		}
-		tab.EnsureIndex(p.Cols)
+		// The index was pre-built at NewSystem (exchange pre-ensures
+		// every probed column set); ProbeEach scans if it is absent.
 		tab.ProbeEach(p.Cols, vals, fn)
 		return
 	}
@@ -272,21 +367,27 @@ func (g *asrGraph) eachProvRowMatching(p *exchange.IncomingProbe, vals []model.D
 }
 
 // virtualRows caches the reconstructed provenance rows of a virtual
-// mapping.
+// mapping. The reconstruction reads the snapshot outside the lock;
+// racing reconstructions of the same mapping are identical.
 func (g *asrGraph) virtualRows(pr *exchange.ProvRel) ([]model.Tuple, bool) {
-	if g.virtRows == nil {
-		g.virtRows = map[string][]model.Tuple{}
-	}
 	name := pr.Mapping.Name
+	g.mu.Lock()
 	if rows, ok := g.virtRows[name]; ok {
+		g.mu.Unlock()
 		return rows, true
 	}
+	g.mu.Unlock()
 	rows, err := g.sys.ProvRows(name)
 	if err != nil {
 		g.fail(err)
 		return nil, false
 	}
+	g.mu.Lock()
+	if g.virtRows == nil {
+		g.virtRows = map[string][]model.Tuple{}
+	}
 	g.virtRows[name] = rows
+	g.mu.Unlock()
 	return rows, true
 }
 
@@ -300,9 +401,12 @@ func (g *asrGraph) virtualIndex(pr *exchange.ProvRel, cols []int, rows []model.T
 		sig.WriteString(strconv.Itoa(c))
 	}
 	key := sig.String()
+	g.mu.Lock()
 	if idx, ok := g.virtIdx[key]; ok {
+		g.mu.Unlock()
 		return idx
 	}
+	g.mu.Unlock()
 	idx := make(map[string][]model.Tuple, len(rows))
 	for _, row := range rows {
 		var buf []byte
@@ -311,7 +415,13 @@ func (g *asrGraph) virtualIndex(pr *exchange.ProvRel, cols []int, rows []model.T
 		}
 		idx[string(buf)] = append(idx[string(buf)], row)
 	}
-	g.virtIdx[key] = idx
+	g.mu.Lock()
+	if prev, ok := g.virtIdx[key]; ok {
+		idx = prev
+	} else {
+		g.virtIdx[key] = idx
+	}
+	g.mu.Unlock()
 	return idx
 }
 
@@ -319,7 +429,7 @@ func (g *asrGraph) virtualIndex(pr *exchange.ProvRel, cols []int, rows []model.T
 // index probes against the (at most few) provenance relations whose
 // head produces t's relation.
 func (g *asrGraph) EachDerivInto(t physplan.Tuple, mapping string, yield func(physplan.Deriv) bool) {
-	if g.err != nil {
+	if g.Err() != nil {
 		return
 	}
 	for _, d := range t.(*asrTuple).incoming(mapping) {
@@ -331,7 +441,7 @@ func (g *asrGraph) EachDerivInto(t physplan.Tuple, mapping string, yield func(ph
 
 // EachDerivOf implements physplan.Graph.
 func (g *asrGraph) EachDerivOf(mapping string, yield func(physplan.Deriv) bool) {
-	if g.err != nil {
+	if g.Err() != nil {
 		return
 	}
 	pr, ok := g.sys.Prov[mapping]
@@ -366,7 +476,7 @@ func (g *asrGraph) EachDerivOf(mapping string, yield func(physplan.Deriv) bool) 
 
 // EachSource implements physplan.Graph.
 func (g *asrGraph) EachSource(d physplan.Deriv, yield func(physplan.Tuple) bool) {
-	if g.err != nil {
+	if g.Err() != nil {
 		return
 	}
 	srcs, _ := d.(*asrDeriv).edges()
@@ -379,7 +489,7 @@ func (g *asrGraph) EachSource(d physplan.Deriv, yield func(physplan.Tuple) bool)
 
 // EachTarget implements physplan.Graph.
 func (g *asrGraph) EachTarget(d physplan.Deriv, yield func(physplan.Tuple) bool) {
-	if g.err != nil {
+	if g.Err() != nil {
 		return
 	}
 	_, tgts := d.(*asrDeriv).edges()
@@ -392,7 +502,7 @@ func (g *asrGraph) EachTarget(d physplan.Deriv, yield func(physplan.Tuple) bool)
 
 // EachTupleOf implements physplan.Graph.
 func (g *asrGraph) EachTupleOf(rel string, yield func(physplan.Tuple) bool) {
-	if g.err != nil {
+	if g.Err() != nil {
 		return
 	}
 	r, ok := g.sys.Schema.Relation(rel)
@@ -403,17 +513,25 @@ func (g *asrGraph) EachTupleOf(rel string, yield func(physplan.Tuple) bool) {
 	if !ok {
 		return
 	}
+	g.mu.Lock()
 	scan, cached := g.relScan[rel]
+	g.mu.Unlock()
 	if !cached {
 		rows := tab.Rows()
 		scan = make([]*asrTuple, 0, len(rows))
 		for _, row := range rows {
 			scan = append(scan, g.internTuple(model.NewTupleRef(r, row), r.KeyOf(row)))
 		}
-		if g.relScan == nil {
-			g.relScan = map[string][]*asrTuple{}
+		g.mu.Lock()
+		if prev, ok := g.relScan[rel]; ok {
+			scan = prev // a racing scan won; both are identical
+		} else {
+			if g.relScan == nil {
+				g.relScan = map[string][]*asrTuple{}
+			}
+			g.relScan[rel] = scan
 		}
-		g.relScan[rel] = scan
+		g.mu.Unlock()
 	}
 	for _, t := range scan {
 		if !yield(t) {
@@ -430,7 +548,7 @@ func (g *asrGraph) EachTuple(yield func(physplan.Tuple) bool) {
 			cont = yield(t)
 			return cont
 		})
-		if !cont || g.err != nil {
+		if !cont || g.Err() != nil {
 			return
 		}
 	}

@@ -18,10 +18,11 @@ import (
 // existential path conditions — at the cost of touching the whole
 // graph, where the relational backend is goal-directed.
 func (e *Engine) execGraph(q *Query) (*Result, error) {
-	g, err := e.Graph()
+	g, release, err := e.acquireGraph()
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	start := time.Now()
 	outG := provgraph.New()
 	res := &Result{

@@ -18,10 +18,15 @@ import (
 // interpreter's cartesian binding threading. ExecGraphLegacy retains
 // the interpreter for cross-checking.
 func (e *Engine) execPlanned(q *Query) (*Result, error) {
-	g, err := e.Graph()
+	// Hold the graph latch for the whole evaluation: a concurrent
+	// maintenance commit patches the cached graph only after every
+	// in-flight query released it, so this query reads the pre-patch
+	// snapshot throughout.
+	g, release, err := e.acquireGraph()
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	return e.execPhys(q, physplan.NewMem(g), "graph", e.Parallelism)
 }
 

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/exchange"
 	"repro/internal/model"
 	"repro/internal/provgraph"
 	"repro/internal/relstore"
@@ -45,10 +46,15 @@ func (o *unfoldOutput) addProvRow(mapping string, row model.Tuple) {
 // build assembles the projected provenance subgraph from the collected
 // rows: one derivation node per output provenance row (with all its
 // sources and targets), plus the anchor tuples, with stored rows and
-// leaf marks attached.
+// leaf marks attached. The projected structure (anchors, derivations)
+// was frozen at query time; node metadata — stored rows and leaf marks
+// — resolves against a snapshot taken when the graph is first
+// assembled, so a tuple deleted between the query and the first
+// Graph() call simply carries no stored row.
 func (o *unfoldOutput) build() (*provgraph.Graph, error) {
 	g := provgraph.New()
-	sys := o.eng.Sys
+	sys, release := o.eng.Sys.Snapshot()
+	defer release()
 	meta := func(ref model.TupleRef, key []model.Datum) {
 		tn := g.Tuple(ref)
 		if tn.Row != nil {
@@ -97,7 +103,12 @@ func (o *unfoldOutput) build() (*provgraph.Graph, error) {
 // execUnfold runs a compiled query on the relational backend: one plan
 // per unfolded conjunctive rule, UNION of the results, and a semiring
 // aggregation grouped by the distinguished tuple (Section 4.2.4).
+// Evaluation reads through a pinned storage snapshot, so a concurrent
+// exchange commit (RunDelta, DeleteLocal) cannot leak half of its
+// writes into one query's result.
 func (e *Engine) execUnfold(comp *Compiled) (*Result, error) {
+	sys, release := e.Sys.Snapshot()
+	defer release()
 	q := comp.Query
 	out := newUnfoldOutput(e)
 	res := &Result{
@@ -131,7 +142,7 @@ func (e *Engine) execUnfold(comp *Compiled) (*Result, error) {
 	if e.RewriteRules != nil {
 		rules = e.RewriteRules(rules)
 	}
-	ctx := &planContext{sys: e.Sys, atomPlanOverride: e.AtomPlanOverride}
+	ctx := &planContext{sys: sys, atomPlanOverride: e.AtomPlanOverride}
 	spec := pruneSpecFor(q)
 	plans := make([]*rulePlan, 0, len(rules))
 	for _, r := range rules {
@@ -144,7 +155,7 @@ func (e *Engine) execUnfold(comp *Compiled) (*Result, error) {
 	res.Stats.UnfoldTime = time.Since(unfoldStart)
 
 	evalStart := time.Now()
-	anchorRel, ok := e.Sys.Schema.Relation(comp.AnchorRel)
+	anchorRel, ok := sys.Schema.Relation(comp.AnchorRel)
 	if !ok {
 		return nil, fmt.Errorf("proql: unknown anchor relation %q", comp.AnchorRel)
 	}
@@ -160,7 +171,7 @@ func (e *Engine) execUnfold(comp *Compiled) (*Result, error) {
 	// Single-node FOR clauses bind every tuple of the anchor relation
 	// (subject to WHERE), independent of derivations.
 	if singleNode {
-		if err := e.scanAnchor(comp, anchorRel, func(row model.Tuple, ref model.TupleRef) error {
+		if err := scanAnchor(sys, comp, anchorRel, func(row model.Tuple, ref model.TupleRef) error {
 			addBinding(ref, anchorRel.KeyOf(row))
 			if s != nil && !includeGraph {
 				// With no INCLUDE PATH the projected subgraph is just
@@ -186,7 +197,7 @@ func (e *Engine) execUnfold(comp *Compiled) (*Result, error) {
 	// but determinism keeps output ordering and tests stable). The
 	// rules flow through the same stream.Iterator interface the graph
 	// backend's physical operators use.
-	it := ruleStream(e.Sys.DB, plans)
+	it := ruleStream(sys.DB, plans)
 	defer it.Close()
 	for {
 		rr, ok, err := it.Next()
@@ -240,9 +251,10 @@ func ruleStream(db *relstore.Database, plans []*rulePlan) stream.Iterator[ruleRo
 	return stream.OrderedParallel(makers, runtime.GOMAXPROCS(0))
 }
 
-// scanAnchor scans the anchor relation with the WHERE filter applied.
-func (e *Engine) scanAnchor(comp *Compiled, rel *model.Relation, fn func(model.Tuple, model.TupleRef) error) error {
-	t, ok := e.Sys.DB.Table(rel.Name)
+// scanAnchor scans the anchor relation with the WHERE filter applied,
+// reading through the query's snapshot system.
+func scanAnchor(sys *exchange.System, comp *Compiled, rel *model.Relation, fn func(model.Tuple, model.TupleRef) error) error {
+	t, ok := sys.DB.Table(rel.Name)
 	if !ok {
 		return fmt.Errorf("proql: missing table %q", rel.Name)
 	}
@@ -254,7 +266,7 @@ func (e *Engine) scanAnchor(comp *Compiled, rel *model.Relation, fn func(model.T
 		}
 		pseudo := &ConjRule{Anchor: comp.AnchorAtom}
 		var err error
-		pred, err = condToExpr(w, pseudo, varCols, comp.AnchorVar, e.Sys)
+		pred, err = condToExpr(w, pseudo, varCols, comp.AnchorVar, sys)
 		if err != nil {
 			return err
 		}

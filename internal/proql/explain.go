@@ -67,16 +67,18 @@ func (e *Engine) Explain(q *Query) (string, error) {
 func (e *Engine) explainPhys(sb *strings.Builder, q *Query, backend string) error {
 	var g physplan.Graph
 	if backend == "asr" {
-		ag, err := e.asrAdapter()
+		ag, release, err := e.asrAdapter()
 		if err != nil {
 			return err
 		}
+		defer release()
 		g = ag
 	} else {
-		mg, err := e.Graph()
+		mg, release, err := e.acquireGraph()
 		if err != nil {
 			return err
 		}
+		defer release()
 		g = physplan.NewMem(mg)
 	}
 	workers := e.Parallelism

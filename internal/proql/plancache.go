@@ -3,6 +3,7 @@ package proql
 import (
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/proql/physplan"
 )
@@ -17,10 +18,20 @@ import (
 // schema edits) invalidates without an explicit hook; row churn keeps
 // entries alive, since planning decisions depend only on coarse
 // statistics and correctness never does.
+//
+// The cache is shared by every concurrent query on the engine; mu
+// guards the entry map and the hit/miss counters. Entries themselves
+// are immutable once stored (readers copy before re-pointing the
+// query), so the lock covers only map access, never planning work.
 type planCache struct {
+	mu      sync.Mutex
 	entries map[string]*planCacheEntry
 	hits    int
 	misses  int
+}
+
+func newPlanCache() *planCache {
+	return &planCache{entries: map[string]*planCacheEntry{}}
 }
 
 type planCacheEntry struct {
@@ -44,37 +55,48 @@ type PlanCacheStats struct {
 
 // PlanCacheStats returns the engine's cache counters.
 func (e *Engine) PlanCacheStats() PlanCacheStats {
+	c := e.cache()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PlanCacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses}
+}
+
+// cache returns the engine's plan cache. NewEngine pre-creates it;
+// the fallback covers engines built as bare literals in tests.
+func (e *Engine) cache() *planCache {
 	if e.plans == nil {
-		return PlanCacheStats{}
+		e.plans = newPlanCache()
 	}
-	return PlanCacheStats{Entries: len(e.plans.entries), Hits: e.plans.hits, Misses: e.plans.misses}
+	return e.plans
 }
 
 func (e *Engine) cacheLookup(key string) (*planCacheEntry, bool) {
-	if e.plans == nil {
-		e.plans = &planCache{entries: map[string]*planCacheEntry{}}
-	}
-	ent, ok := e.plans.entries[key]
-	if ok && ent.dbVersion == e.Sys.DB.Version() && ent.mappings == len(e.Sys.Schema.Mappings()) {
-		e.plans.hits++
+	c := e.cache()
+	dbVersion := e.Sys.DB.Version()
+	mappings := len(e.Sys.Schema.Mappings())
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ent, ok := c.entries[key]
+	if ok && ent.dbVersion == dbVersion && ent.mappings == mappings {
+		c.hits++
 		return ent, true
 	}
 	if ok {
 		// Stale: a table was created or dropped since the entry was
 		// recorded (e.g. ASR materialization changed the plan space).
-		delete(e.plans.entries, key)
+		delete(c.entries, key)
 	}
-	e.plans.misses++
+	c.misses++
 	return nil, false
 }
 
 func (e *Engine) cacheStore(key string, ent *planCacheEntry) {
-	if e.plans == nil {
-		e.plans = &planCache{entries: map[string]*planCacheEntry{}}
-	}
+	c := e.cache()
 	ent.dbVersion = e.Sys.DB.Version()
 	ent.mappings = len(e.Sys.Schema.Mappings())
-	e.plans.entries[key] = ent
+	c.mu.Lock()
+	c.entries[key] = ent
+	c.mu.Unlock()
 }
 
 // cachedDecisions returns the replayable planner decisions for a

@@ -1,0 +1,315 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Database is a named collection of tables — one peer's replica of the
+// whole CDSS (the paper's standalone ORCHESTRA engine keeps a complete
+// replica at each peer) — and the epoch authority for snapshot
+// isolation.
+//
+// Epoch discipline: writes stamp rows with published+1 (the pending
+// epoch). Outside a batch every mutating table operation publishes
+// immediately, so single-caller code behaves exactly as before:
+// a write is visible to every snapshot taken after it returns.
+// BeginBatch/EndBatch group a multi-step commit (a delta run plus its
+// ASR patches) into one atomic epoch: snapshots taken mid-batch see
+// none of the batch's writes, and EndBatch makes them all visible at
+// once. Snapshot pins the current epoch and returns a read-only view;
+// deleted slots are reclaimed only once no pin can still observe them.
+type Database struct {
+	mu     sync.Mutex // guards tables and pins
+	tables map[string]*Table
+	pins   map[uint64]int
+	// version counts definition changes (table creates and drops); see
+	// Version.
+	version atomic.Uint64
+	// published is the newest committed epoch; snapshots read as of it.
+	published atomic.Uint64
+	// batch suppresses per-operation publishing while > 0.
+	batch atomic.Int32
+	// ndead counts dead slots awaiting reclamation across all tables —
+	// the fast-path guard that keeps publish O(1) when nothing died.
+	ndead     atomic.Int64
+	dirtyMu   sync.Mutex
+	dirtyTabs map[*tableState]struct{}
+
+	// Snapshot views: base points at the writable database, snapEpoch
+	// and snapVersion freeze what the view observes.
+	base        *Database
+	snapEpoch   uint64
+	snapVersion uint64
+	closed      atomic.Bool
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	db := &Database{
+		tables:    make(map[string]*Table),
+		pins:      make(map[uint64]int),
+		dirtyTabs: make(map[*tableState]struct{}),
+	}
+	// Epochs start at 1: asOf 0 is reserved for the writer's own view,
+	// so even a snapshot of a never-written database pins a real epoch.
+	db.published.Store(1)
+	return db
+}
+
+// Version returns a counter bumped on every definition change
+// (CreateTable/DropTable). Caches keyed on query shape — the ProQL
+// plan cache — compare it to detect that mappings, provenance tables
+// or ASR materializations changed out from under a cached plan. Row
+// churn does not bump it: cached planning decisions stay sound across
+// data changes, only definition changes invalidate. On a snapshot
+// view this is the version frozen at snapshot time.
+func (db *Database) Version() uint64 {
+	if db.base != nil {
+		return db.snapVersion
+	}
+	return db.version.Load()
+}
+
+// Epoch returns the newest committed epoch (for views, the pinned
+// one). It only moves forward; two equal epochs observe equal data.
+func (db *Database) Epoch() uint64 {
+	if db.base != nil {
+		return db.snapEpoch
+	}
+	return db.published.Load()
+}
+
+// IsSnapshot reports whether this database is a read-only view.
+func (db *Database) IsSnapshot() bool { return db.base != nil }
+
+// Snapshot pins the current epoch and returns a read-only view: every
+// table read through it observes exactly the state committed by that
+// epoch, no matter what the writer commits afterwards. The caller
+// must Close the view to release the pin (holding it only delays
+// reclamation of deleted rows — it can never corrupt reads).
+// Snapshotting a snapshot re-pins the same epoch.
+func (db *Database) Snapshot() *Database {
+	base := db
+	if db.base != nil {
+		base = db.base
+	}
+	base.mu.Lock()
+	e := base.published.Load()
+	ver := base.version.Load()
+	var tabs map[string]*Table
+	if db.base != nil {
+		e, ver = db.snapEpoch, db.snapVersion
+		tabs = db.tables // immutable once built
+	} else {
+		tabs = make(map[string]*Table, len(db.tables))
+		for name, t := range db.tables {
+			tabs[name] = &Table{Schema: t.Schema, s: t.s, asOf: e}
+		}
+	}
+	base.pins[e]++
+	base.mu.Unlock()
+	return &Database{tables: tabs, base: base, snapEpoch: e, snapVersion: ver}
+}
+
+// Close releases a snapshot view's pin, allowing rows deleted after
+// its epoch to be reclaimed. A no-op on the writable database and on
+// an already-closed view.
+func (db *Database) Close() {
+	if db.base == nil || !db.closed.CompareAndSwap(false, true) {
+		return
+	}
+	db.base.mu.Lock()
+	if n := db.base.pins[db.snapEpoch]; n > 1 {
+		db.base.pins[db.snapEpoch] = n - 1
+	} else {
+		delete(db.base.pins, db.snapEpoch)
+	}
+	db.base.mu.Unlock()
+	db.base.tryReclaim()
+}
+
+// BeginBatch suppresses per-operation publishing: writes made until
+// the matching EndBatch stamp the same pending epoch and stay
+// invisible to new snapshots. Batches nest.
+func (db *Database) BeginBatch() {
+	if db.base != nil {
+		return
+	}
+	db.batch.Add(1)
+}
+
+// EndBatch closes the innermost batch; the outermost EndBatch
+// publishes everything the batch wrote as one atomic epoch.
+func (db *Database) EndBatch() {
+	if db.base != nil {
+		return
+	}
+	if db.batch.Add(-1) == 0 {
+		db.publish()
+	}
+}
+
+// opPublish publishes after a single mutating table operation unless a
+// batch is open. Table code calls it outside the table lock.
+func (db *Database) opPublish() {
+	if db.batch.Load() == 0 {
+		db.publish()
+	}
+}
+
+func (db *Database) publish() {
+	db.published.Add(1)
+	db.tryReclaim()
+}
+
+// noteDead registers a table as holding dead slots awaiting
+// reclamation. Called under the table's write lock; dirtyMu is a leaf
+// lock so the ordering is safe.
+func (db *Database) noteDead(s *tableState) {
+	db.ndead.Add(1)
+	db.dirtyMu.Lock()
+	db.dirtyTabs[s] = struct{}{}
+	db.dirtyMu.Unlock()
+}
+
+// tryReclaim sweeps dead slots that no pinned snapshot can still
+// observe. The horizon is the oldest pinned epoch (or the published
+// epoch when nothing is pinned): a slot that died at or before it is
+// invisible to every current and future reader.
+func (db *Database) tryReclaim() {
+	if db.base != nil || db.ndead.Load() == 0 {
+		return
+	}
+	db.dirtyMu.Lock()
+	if len(db.dirtyTabs) == 0 {
+		db.dirtyMu.Unlock()
+		return
+	}
+	tabs := make([]*tableState, 0, len(db.dirtyTabs))
+	for s := range db.dirtyTabs {
+		tabs = append(tabs, s)
+	}
+	clear(db.dirtyTabs)
+	db.dirtyMu.Unlock()
+	db.mu.Lock()
+	horizon := db.published.Load()
+	for e := range db.pins {
+		if e < horizon {
+			horizon = e
+		}
+	}
+	db.mu.Unlock()
+	total := 0
+	for _, s := range tabs {
+		n, remaining := s.sweep(horizon)
+		total += n
+		if remaining {
+			db.dirtyMu.Lock()
+			db.dirtyTabs[s] = struct{}{}
+			db.dirtyMu.Unlock()
+		}
+	}
+	if total > 0 {
+		db.ndead.Add(-int64(total))
+	}
+}
+
+// Pins returns how many snapshot views are currently open (testing
+// and stats).
+func (db *Database) Pins() int {
+	base := db
+	if db.base != nil {
+		base = db.base
+	}
+	base.mu.Lock()
+	n := 0
+	for _, c := range base.pins {
+		n += c
+	}
+	base.mu.Unlock()
+	return n
+}
+
+// CreateTable registers a new empty table.
+func (db *Database) CreateTable(schema *TableSchema) (*Table, error) {
+	if db.base != nil {
+		return nil, fmt.Errorf("relstore: CreateTable on a read-only snapshot")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[schema.Name]; dup {
+		return nil, fmt.Errorf("relstore: table %q already exists", schema.Name)
+	}
+	t := newTable(schema, db)
+	db.tables[schema.Name] = t
+	db.version.Add(1)
+	return t, nil
+}
+
+// DropTable removes a table if it exists. Existing snapshot views
+// keep reading their copy. A no-op on views.
+func (db *Database) DropTable(name string) {
+	if db.base != nil {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; ok {
+		delete(db.tables, name)
+		db.version.Add(1)
+	}
+}
+
+// Table looks up a table by name.
+func (db *Database) Table(name string) (*Table, bool) {
+	if db.base != nil {
+		t, ok := db.tables[name]
+		return t, ok
+	}
+	db.mu.Lock()
+	t, ok := db.tables[name]
+	db.mu.Unlock()
+	return t, ok
+}
+
+// MustTable looks up a table, panicking if absent (programming error).
+func (db *Database) MustTable(name string) *Table {
+	t, ok := db.Table(name)
+	if !ok {
+		panic(fmt.Sprintf("relstore: no such table %q", name))
+	}
+	return t
+}
+
+// TableNames returns all table names, sorted.
+func (db *Database) TableNames() []string {
+	names := make([]string, 0, len(db.tables))
+	if db.base != nil {
+		for n := range db.tables {
+			names = append(names, n)
+		}
+	} else {
+		db.mu.Lock()
+		for n := range db.tables {
+			names = append(names, n)
+		}
+		db.mu.Unlock()
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalRows sums Len over all tables; the "instance size" metric of
+// Figures 9 and 10.
+func (db *Database) TotalRows() int {
+	total := 0
+	for _, name := range db.TableNames() {
+		if t, ok := db.Table(name); ok {
+			total += t.Len()
+		}
+	}
+	return total
+}

@@ -5,12 +5,22 @@
 // queries are translated into (scans, filters, hash joins including
 // outer joins, UNION ALL, and GROUP BY/HAVING with semiring
 // aggregation).
+//
+// Tables are multi-versioned: every row slot carries the epoch it was
+// born in and, once deleted, the epoch it died in. Database.Snapshot
+// pins an epoch and returns a read-only view whose reads observe
+// exactly the rows committed by that epoch, so ProQL queries run
+// against a consistent state while delta runs keep committing. The
+// writer pays O(changed rows) per commit — no copy-on-write of tables
+// or indexes — and deleted slots are reclaimed once no pinned snapshot
+// can still observe them. See snapshot.go for the epoch discipline.
 package relstore
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/model"
 )
@@ -39,18 +49,56 @@ func SchemaOf(r *model.Relation) *TableSchema {
 	return &TableSchema{Name: r.Name, Columns: r.Columns, Key: r.Key}
 }
 
-// Table is an in-memory table with optional primary-key enforcement and
-// optional secondary hash indexes.
+// Table is a handle to an in-memory table with optional primary-key
+// enforcement and optional secondary hash indexes. The handle is
+// cheap: the writable head table and every snapshot view share the
+// same guarded state, differing only in the epoch they read as of.
+// Writes are rejected on views. Mutating methods may be called by one
+// logical writer at a time (concurrent writers inside a sharded sync
+// are serialized per operation by the internal lock, but the scratch
+// aliasing of InsertKeyed assumes one writer per table); reads are
+// safe from any number of goroutines.
 type Table struct {
 	Schema *TableSchema
-	rows   []model.Tuple
-	// pk maps encoded key datums to row index (only when Key != nil).
+	s      *tableState
+	// asOf is 0 on the writable head (reads see the latest state,
+	// including uncommitted writes) and the pinned epoch on views.
+	asOf uint64
+}
+
+// tableState is the versioned storage shared by a head table and all
+// of its snapshot views.
+type tableState struct {
+	mu     sync.RWMutex
+	schema *TableSchema
+	// db is the owning database (epoch source); nil for standalone
+	// tables, which delete eagerly since no snapshot can observe them.
+	db   *Database
+	rows []model.Tuple
+	// born and died are the slot's visibility interval: a reader at
+	// epoch E sees slot i iff born[i] <= E < died[i] (died 0 = live).
+	born []uint64
+	died []uint64
+	// prev chains older versions of the same primary key: pk points at
+	// the newest slot for a key, prev at the one it replaced (-1 none).
+	// Only delete-then-reinsert of the same key grows a chain, and
+	// reclamation splices it back out.
+	prev []int
+	// pk maps encoded key datums to the newest slot for that key (only
+	// when Key != nil). The entry may point at a dead slot until the
+	// slot is reclaimed.
 	pk map[string]int
 	// indexes maps an index name (from IndexName) to a hash index.
+	// Buckets hold live and dead-but-unreclaimed slots; probes filter
+	// by visibility.
 	indexes map[string]*hashIndex
-	// free lists row slots vacated by Delete for reuse; nil rows in
-	// rows mark deleted slots.
+	// free lists reclaimed row slots for reuse; nil rows mark them.
 	free []int
+	// dead lists deleted slots awaiting reclamation (empty for
+	// standalone tables, which reclaim inside the delete).
+	dead []int
+	// live counts rows visible to the writer.
+	live int
 	// keyBuf is the reusable scratch buffer for key encoding, so an
 	// insert or probe costs no builder allocation (the Datalog
 	// engine's firing passes insert millions of rows). ixBuf is the
@@ -67,13 +115,44 @@ type hashIndex struct {
 	buckets map[string][]int
 }
 
-// NewTable creates an empty table.
+// NewTable creates an empty standalone table (not owned by a
+// Database): deletes reclaim immediately and no snapshots exist.
 func NewTable(schema *TableSchema) *Table {
-	t := &Table{Schema: schema, indexes: make(map[string]*hashIndex)}
+	return newTable(schema, nil)
+}
+
+func newTable(schema *TableSchema, db *Database) *Table {
+	s := &tableState{schema: schema, db: db, indexes: make(map[string]*hashIndex)}
 	if schema.Key != nil {
-		t.pk = make(map[string]int)
+		s.pk = make(map[string]int)
 	}
-	return t
+	return &Table{Schema: schema, s: s}
+}
+
+// stamp is the epoch new writes are born (and deletes die) in: one
+// past the last published epoch, so a snapshot taken before the
+// surrounding commit publishes cannot see them.
+func (s *tableState) stamp() uint64 {
+	if s.db == nil {
+		return 1
+	}
+	return s.db.published.Load() + 1
+}
+
+// visible reports whether slot i exists at epoch asOf (0 = the
+// writer's view of the latest state). Callers hold s.mu.
+func (s *tableState) visible(i int, asOf uint64) bool {
+	if s.rows[i] == nil {
+		return false
+	}
+	if asOf == 0 {
+		return s.died[i] == 0
+	}
+	return s.born[i] <= asOf && (s.died[i] == 0 || s.died[i] > asOf)
+}
+
+func (t *Table) readOnlyErr() error {
+	return fmt.Errorf("relstore: %s: write rejected on a read-only snapshot (epoch %d)", t.Schema.Name, t.asOf)
 }
 
 // IndexName derives the registry key for a secondary index on cols.
@@ -85,67 +164,30 @@ func IndexName(cols []int) string {
 	return strings.Join(parts, ",")
 }
 
-// Len returns the number of live rows.
-func (t *Table) Len() int { return len(t.rows) - len(t.free) }
+// Len returns the number of live rows (at the view's epoch, for
+// snapshots).
+func (t *Table) Len() int {
+	s := t.s
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if t.asOf == 0 {
+		return s.live
+	}
+	n := 0
+	for i := range s.rows {
+		if s.visible(i, t.asOf) {
+			n++
+		}
+	}
+	return n
+}
 
 // Insert adds a row. With a primary key, set semantics apply: a row
 // whose key already exists is ignored and Insert reports false. The
 // row is stored by reference; callers must not mutate it afterwards.
 func (t *Table) Insert(row model.Tuple) (bool, error) {
-	if len(row) != len(t.Schema.Columns) {
-		return false, fmt.Errorf("relstore: %s: row arity %d, want %d", t.Schema.Name, len(row), len(t.Schema.Columns))
-	}
-	if t.pk != nil {
-		// Duplicate lookup through the scratch buffer is allocation-
-		// free; the key string is materialized only for new rows.
-		key := t.encodeKey(row, t.Schema.Key)
-		if _, dup := t.pk[string(key)]; dup {
-			return false, nil
-		}
-		idx := t.claimSlot(row)
-		t.pk[string(key)] = idx
-		t.indexRow(idx, row)
-		return true, nil
-	}
-	idx := t.claimSlot(row)
-	t.indexRow(idx, row)
-	return true, nil
-}
-
-// encodeKey encodes the row's cols into the table's scratch buffer;
-// the result is only valid until the next encodeKey call.
-func (t *Table) encodeKey(row model.Tuple, cols []int) []byte {
-	buf := t.keyBuf[:0]
-	for _, c := range cols {
-		buf = model.AppendDatum(buf, row[c])
-	}
-	t.keyBuf = buf
-	return buf
-}
-
-func (t *Table) claimSlot(row model.Tuple) int {
-	if n := len(t.free); n > 0 {
-		idx := t.free[n-1]
-		t.free = t.free[:n-1]
-		t.rows[idx] = row
-		return idx
-	}
-	t.rows = append(t.rows, row)
-	return len(t.rows) - 1
-}
-
-func (t *Table) indexRow(idx int, row model.Tuple) {
-	if len(t.indexes) == 0 {
-		return
-	}
-	for _, ix := range t.indexes {
-		buf := t.ixBuf[:0]
-		for _, c := range ix.cols {
-			buf = model.AppendDatum(buf, row[c])
-		}
-		t.ixBuf = buf
-		ix.buckets[string(buf)] = append(ix.buckets[string(buf)], idx)
-	}
+	_, ok, err := t.InsertKeyed(row)
+	return ok, err
 }
 
 // InsertKeyed is Insert additionally surfacing the row's canonical
@@ -158,28 +200,100 @@ func (t *Table) indexRow(idx int, row model.Tuple) {
 // keyed lookup) and must be copied to be retained. For keyless tables
 // the encoding is nil.
 func (t *Table) InsertKeyed(row model.Tuple) ([]byte, bool, error) {
+	if t.asOf != 0 {
+		return nil, false, t.readOnlyErr()
+	}
 	if len(row) != len(t.Schema.Columns) {
 		return nil, false, fmt.Errorf("relstore: %s: row arity %d, want %d", t.Schema.Name, len(row), len(t.Schema.Columns))
 	}
-	if t.pk == nil {
-		idx := t.claimSlot(row)
-		t.indexRow(idx, row)
-		return nil, true, nil
+	s := t.s
+	s.mu.Lock()
+	key, inserted := s.insert(row)
+	s.mu.Unlock()
+	if inserted && s.db != nil {
+		s.db.opPublish()
 	}
-	key := t.encodeKey(row, t.Schema.Key)
-	if _, dup := t.pk[string(key)]; dup {
-		return key, false, nil
+	return key, inserted, nil
+}
+
+// insert does the keyed/keyless insert under s.mu, returning the key
+// encoding (aliasing keyBuf) and whether the row was new.
+func (s *tableState) insert(row model.Tuple) ([]byte, bool) {
+	if s.pk == nil {
+		idx := s.claimSlot(row)
+		s.indexRow(idx, row)
+		s.live++
+		return nil, true
 	}
-	idx := t.claimSlot(row)
-	t.pk[string(key)] = idx
-	t.indexRow(idx, row)
-	return key, true, nil
+	// Duplicate lookup through the scratch buffer is allocation-free;
+	// the key string is materialized only for new rows.
+	key := s.encodeKey(row, s.schema.Key)
+	if head, ok := s.pk[string(key)]; ok {
+		if s.died[head] == 0 {
+			return key, false
+		}
+		// The key was deleted: the new row starts a fresh version,
+		// chained to the dead one so snapshots keep finding the old
+		// version until it is reclaimed.
+		idx := s.claimSlot(row)
+		s.prev[idx] = head
+		s.pk[string(key)] = idx
+		s.indexRow(idx, row)
+		s.live++
+		return key, true
+	}
+	idx := s.claimSlot(row)
+	s.pk[string(key)] = idx
+	s.indexRow(idx, row)
+	s.live++
+	return key, true
+}
+
+// encodeKey encodes the row's cols into the table's scratch buffer;
+// the result is only valid until the next encodeKey call.
+func (s *tableState) encodeKey(row model.Tuple, cols []int) []byte {
+	buf := s.keyBuf[:0]
+	for _, c := range cols {
+		buf = model.AppendDatum(buf, row[c])
+	}
+	s.keyBuf = buf
+	return buf
+}
+
+func (s *tableState) claimSlot(row model.Tuple) int {
+	e := s.stamp()
+	if n := len(s.free); n > 0 {
+		idx := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.rows[idx] = row
+		s.born[idx], s.died[idx], s.prev[idx] = e, 0, -1
+		return idx
+	}
+	s.rows = append(s.rows, row)
+	s.born = append(s.born, e)
+	s.died = append(s.died, 0)
+	s.prev = append(s.prev, -1)
+	return len(s.rows) - 1
+}
+
+func (s *tableState) indexRow(idx int, row model.Tuple) {
+	if len(s.indexes) == 0 {
+		return
+	}
+	for _, ix := range s.indexes {
+		buf := s.ixBuf[:0]
+		for _, c := range ix.cols {
+			buf = model.AppendDatum(buf, row[c])
+		}
+		s.ixBuf = buf
+		ix.buckets[string(buf)] = append(ix.buckets[string(buf)], idx)
+	}
 }
 
 // Delete removes the row with the given primary key, reporting whether
 // it existed. Only valid on keyed tables.
 func (t *Table) Delete(key []model.Datum) (bool, error) {
-	if t.pk == nil {
+	if t.s.pk == nil {
 		return false, fmt.Errorf("relstore: %s has no primary key", t.Schema.Name)
 	}
 	return t.DeleteEncoded(model.EncodeDatums(key))
@@ -190,24 +304,47 @@ func (t *Table) Delete(key []model.Datum) (bool, error) {
 // propagation addresses tuples by model.TupleRef, whose Key field is
 // exactly this encoding, so the delete needs no re-encoding round trip.
 func (t *Table) DeleteEncoded(enc string) (bool, error) {
-	if t.pk == nil {
+	if t.asOf != 0 {
+		return false, t.readOnlyErr()
+	}
+	s := t.s
+	if s.pk == nil {
 		return false, fmt.Errorf("relstore: %s has no primary key", t.Schema.Name)
 	}
-	idx, ok := t.pk[enc]
-	if !ok {
-		return false, nil
+	s.mu.Lock()
+	idx, ok := s.pk[enc]
+	if ok && s.died[idx] == 0 {
+		s.kill(idx)
+	} else {
+		ok = false
 	}
-	row := t.rows[idx]
-	delete(t.pk, enc)
-	t.unindexAndFree(idx, row)
-	return true, nil
+	s.mu.Unlock()
+	if ok && s.db != nil {
+		s.db.opPublish()
+	}
+	return ok, nil
 }
 
-// unindexAndFree removes a live row's entries from every secondary
-// index and returns its slot to the free list (shared by the keyed
-// and predicate delete paths, so index maintenance cannot diverge).
-func (t *Table) unindexAndFree(idx int, row model.Tuple) {
-	for _, ix := range t.indexes {
+// kill marks a live slot dead in the pending epoch. Standalone tables
+// reclaim immediately (no snapshot can observe them); tables owned by
+// a database defer reclamation to the epoch sweep.
+func (s *tableState) kill(idx int) {
+	s.died[idx] = s.stamp()
+	s.live--
+	if s.db == nil {
+		s.reclaim(idx)
+		return
+	}
+	s.dead = append(s.dead, idx)
+	s.db.noteDead(s)
+}
+
+// reclaim removes a dead slot for good: its secondary-index entries
+// and primary-key chain link go away and the slot returns to the free
+// list. Callers hold s.mu and guarantee no snapshot can still see it.
+func (s *tableState) reclaim(idx int) {
+	row := s.rows[idx]
+	for _, ix := range s.indexes {
 		k := encodeCols(row, ix.cols)
 		bucket := ix.buckets[k]
 		for i, r := range bucket {
@@ -220,8 +357,55 @@ func (t *Table) unindexAndFree(idx int, row model.Tuple) {
 			delete(ix.buckets, k)
 		}
 	}
-	t.rows[idx] = nil
-	t.free = append(t.free, idx)
+	if s.pk != nil {
+		// encodeCols, not encodeKey: the keyBuf scratch belongs to the
+		// insert path, whose callers may still hold the returned alias
+		// without the lock — and reclamation can run on whichever
+		// goroutine released the last snapshot pin.
+		key := encodeCols(row, s.schema.Key)
+		if head, ok := s.pk[key]; ok {
+			if head == idx {
+				if s.prev[idx] >= 0 {
+					s.pk[key] = s.prev[idx]
+				} else {
+					delete(s.pk, key)
+				}
+			} else {
+				for cur := head; cur >= 0; cur = s.prev[cur] {
+					if s.prev[cur] == idx {
+						s.prev[cur] = s.prev[idx]
+						break
+					}
+				}
+			}
+		}
+	}
+	s.rows[idx] = nil
+	s.prev[idx] = -1
+	s.free = append(s.free, idx)
+}
+
+// sweep reclaims every dead slot that died at or before horizon,
+// returning how many it reclaimed and whether unreclaimable dead
+// slots remain (a pinned snapshot still observes them).
+func (s *tableState) sweep(horizon uint64) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.dead) == 0 {
+		return 0, false
+	}
+	kept := s.dead[:0]
+	n := 0
+	for _, idx := range s.dead {
+		if s.died[idx] != 0 && s.died[idx] <= horizon {
+			s.reclaim(idx)
+			n++
+		} else {
+			kept = append(kept, idx)
+		}
+	}
+	s.dead = kept
+	return n, len(kept) > 0
 }
 
 // DeleteWhere removes every live row for which match returns true,
@@ -229,116 +413,147 @@ func (t *Table) unindexAndFree(idx int, row model.Tuple) {
 // reports how many rows were removed. Unlike Delete it works on
 // keyless tables (ASR backing tables hold NULL-padded span rows with
 // no primary key), which is what incremental ASR maintenance patches.
-// match must not mutate the rows or the table.
+// match must not mutate the rows or the table; it runs under the
+// table's write lock.
 func (t *Table) DeleteWhere(match func(model.Tuple) bool) int {
+	if t.asOf != 0 {
+		panic(t.readOnlyErr())
+	}
+	s := t.s
+	s.mu.Lock()
 	removed := 0
-	for idx, row := range t.rows {
-		if row == nil || !match(row) {
+	for idx := range s.rows {
+		if !s.visible(idx, 0) || !match(s.rows[idx]) {
 			continue
 		}
-		if t.pk != nil {
-			key := t.encodeKey(row, t.Schema.Key)
-			delete(t.pk, string(key))
-		}
-		t.unindexAndFree(idx, row)
+		s.kill(idx)
 		removed++
+	}
+	s.mu.Unlock()
+	if removed > 0 && s.db != nil {
+		s.db.opPublish()
 	}
 	return removed
 }
 
 // LookupKey returns the row with the given primary key, if present.
 func (t *Table) LookupKey(key []model.Datum) (model.Tuple, bool) {
-	if t.pk == nil {
+	if t.s.pk == nil {
 		return nil, false
 	}
 	return t.LookupEncoded(model.EncodeDatums(key))
 }
 
 // LookupKeyBytes is LookupEncoded for callers holding the canonical
-// key encoding as a byte scratch: the map probe allocates nothing. It
-// is a pure read and safe under concurrent readers as long as no
-// writer runs — the sharded exchange hooks use it as their duplicate
-// probe against tables that are only written between runs.
+// key encoding as a byte scratch: the map probe allocates nothing.
 func (t *Table) LookupKeyBytes(enc []byte) (model.Tuple, bool) {
-	if t.pk == nil {
+	s := t.s
+	if s.pk == nil {
 		return nil, false
 	}
-	idx, ok := t.pk[string(enc)]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idx, ok := s.pk[string(enc)]
 	if !ok {
 		return nil, false
 	}
-	return t.rows[idx], true
+	return s.lookupVersion(idx, t.asOf)
 }
 
 // LookupEncoded is LookupKey for callers holding the canonical key
 // encoding (a model.TupleRef's Key field).
 func (t *Table) LookupEncoded(enc string) (model.Tuple, bool) {
-	if t.pk == nil {
+	s := t.s
+	if s.pk == nil {
 		return nil, false
 	}
-	idx, ok := t.pk[enc]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idx, ok := s.pk[enc]
 	if !ok {
 		return nil, false
 	}
-	return t.rows[idx], true
+	return s.lookupVersion(idx, t.asOf)
+}
+
+// lookupVersion walks the version chain from the newest slot to the
+// one visible at asOf. The writer view stops at the head: only the
+// newest version of a key can be live.
+func (s *tableState) lookupVersion(idx int, asOf uint64) (model.Tuple, bool) {
+	for idx >= 0 {
+		if s.visible(idx, asOf) {
+			return s.rows[idx], true
+		}
+		if asOf == 0 {
+			return nil, false
+		}
+		idx = s.prev[idx]
+	}
+	return nil, false
 }
 
 // CreateIndex builds (or rebuilds) a secondary hash index on cols.
+// A no-op on snapshot views (probes fall back to scans).
 func (t *Table) CreateIndex(cols []int) {
+	if t.asOf != 0 {
+		return
+	}
+	s := t.s
+	s.mu.Lock()
+	s.createIndexLocked(cols)
+	s.mu.Unlock()
+}
+
+func (s *tableState) createIndexLocked(cols []int) {
 	ix := &hashIndex{cols: append([]int(nil), cols...), buckets: make(map[string][]int)}
-	for idx, row := range t.rows {
+	// Dead-but-unreclaimed slots are indexed too: snapshot probes must
+	// still find them, and reclamation removes their entries.
+	for idx, row := range s.rows {
 		if row == nil {
 			continue
 		}
 		k := encodeCols(row, cols)
 		ix.buckets[k] = append(ix.buckets[k], idx)
 	}
-	t.indexes[IndexName(cols)] = ix
+	s.indexes[IndexName(cols)] = ix
 }
 
 // HasIndex reports whether an index on exactly cols exists.
 func (t *Table) HasIndex(cols []int) bool {
-	_, ok := t.indexes[IndexName(cols)]
+	s := t.s
+	s.mu.RLock()
+	_, ok := s.indexes[IndexName(cols)]
+	s.mu.RUnlock()
 	return ok
 }
 
 // EnsureIndex builds a secondary hash index on cols unless one already
-// exists — the idempotent entry point for goal-directed probes that
-// want an index on first use without paying a rebuild on every call.
+// exists — the idempotent entry point for writers that want an index
+// on first use without paying a rebuild on every call. A no-op on
+// snapshot views: query paths must not mutate shared table state, so
+// views scan when the writer did not pre-build the index.
 func (t *Table) EnsureIndex(cols []int) {
-	if !t.HasIndex(cols) {
-		t.CreateIndex(cols)
+	if t.asOf != 0 {
+		return
 	}
+	s := t.s
+	s.mu.Lock()
+	if _, ok := s.indexes[IndexName(cols)]; !ok {
+		s.createIndexLocked(cols)
+	}
+	s.mu.Unlock()
 }
 
 // ProbeEach calls fn for every live row whose cols equal vals, using an
-// index if one exists and scanning otherwise. Unlike Probe it
-// materializes no result slice; fn returning false stops the
-// enumeration. fn must not mutate the rows or the table.
+// index if one exists and scanning otherwise. fn returning false stops
+// the enumeration. The matching rows are collected under the read lock
+// and yielded outside it, so fn may freely query this or other tables.
+// fn must not mutate the rows.
 func (t *Table) ProbeEach(cols []int, vals []model.Datum, fn func(model.Tuple) bool) {
-	if ix, ok := t.indexes[IndexName(cols)]; ok {
-		// Local buffer, not t.keyBuf: a read path, safe under
-		// concurrent readers.
-		var buf []byte
-		for _, v := range vals {
-			buf = model.AppendDatum(buf, v)
-		}
-		for _, i := range ix.buckets[string(buf)] {
-			if !fn(t.rows[i]) {
-				return
-			}
-		}
-		return
-	}
-	want := model.EncodeDatums(vals)
-	for _, row := range t.rows {
-		if row == nil {
-			continue
-		}
-		if encodeCols(row, cols) == want {
-			if !fn(row) {
-				return
-			}
+	var stack [16]model.Tuple
+	for _, row := range t.probeInto(stack[:0], cols, vals) {
+		if !fn(row) {
+			return
 		}
 	}
 }
@@ -346,66 +561,99 @@ func (t *Table) ProbeEach(cols []int, vals []model.Datum, fn func(model.Tuple) b
 // Probe returns the rows whose cols equal vals, using an index if one
 // exists and scanning otherwise.
 func (t *Table) Probe(cols []int, vals []model.Datum) []model.Tuple {
-	if ix, ok := t.indexes[IndexName(cols)]; ok {
-		// Local buffer, not t.keyBuf: Probe is a read path and must
-		// stay safe under concurrent readers.
+	return t.probeInto(nil, cols, vals)
+}
+
+func (t *Table) probeInto(out []model.Tuple, cols []int, vals []model.Datum) []model.Tuple {
+	s := t.s
+	s.mu.RLock()
+	if ix, ok := s.indexes[IndexName(cols)]; ok {
+		// Local buffer, not s.keyBuf: a read path, safe under
+		// concurrent readers.
 		var buf []byte
 		for _, v := range vals {
 			buf = model.AppendDatum(buf, v)
 		}
-		idxs := ix.buckets[string(buf)]
-		out := make([]model.Tuple, 0, len(idxs))
-		for _, i := range idxs {
-			out = append(out, t.rows[i])
+		for _, i := range ix.buckets[string(buf)] {
+			if s.visible(i, t.asOf) {
+				out = append(out, s.rows[i])
+			}
 		}
-		return out
-	}
-	want := model.EncodeDatums(vals)
-	var out []model.Tuple
-	for _, row := range t.rows {
-		if row == nil {
-			continue
-		}
-		if encodeCols(row, cols) == want {
-			out = append(out, row)
+	} else {
+		want := model.EncodeDatums(vals)
+		for i, row := range s.rows {
+			if s.visible(i, t.asOf) && encodeCols(row, cols) == want {
+				out = append(out, row)
+			}
 		}
 	}
+	s.mu.RUnlock()
 	return out
 }
 
 // Rows returns the live rows. The returned slice is freshly allocated
 // but shares the underlying tuples; callers must not mutate them.
 func (t *Table) Rows() []model.Tuple {
-	out := make([]model.Tuple, 0, t.Len())
-	for _, row := range t.rows {
-		if row != nil {
+	s := t.s
+	s.mu.RLock()
+	out := make([]model.Tuple, 0, len(s.rows)-len(s.free))
+	for i, row := range s.rows {
+		if s.visible(i, t.asOf) {
 			out = append(out, row)
 		}
 	}
+	s.mu.RUnlock()
 	return out
 }
 
+// iterateBatch is the shared refill size for Iterate and Cursor: rows
+// are collected under the read lock in batches of this many and
+// yielded outside it, bounding how long a scan can hold the lock while
+// letting callbacks query tables without re-entering it.
+const iterateBatch = 64
+
 // Iterate calls fn for every live row, stopping early if fn returns
-// false. Unlike Rows it allocates nothing; hot paths (engine seeding,
-// scans) use it to avoid a fresh slice per pass. fn must not mutate the
-// rows or the table.
+// false. Rows are yielded outside the table lock in small batches; fn
+// must not mutate the rows. On the writer view, rows inserted by fn
+// itself may or may not be visited.
 func (t *Table) Iterate(fn func(model.Tuple) bool) {
-	for _, row := range t.rows {
-		if row == nil {
-			continue
+	s := t.s
+	var batch [iterateBatch]model.Tuple
+	pos := 0
+	for {
+		s.mu.RLock()
+		n := 0
+		for pos < len(s.rows) && n < len(batch) {
+			if s.visible(pos, t.asOf) {
+				batch[n] = s.rows[pos]
+				n++
+			}
+			pos++
 		}
-		if !fn(row) {
+		done := pos >= len(s.rows)
+		s.mu.RUnlock()
+		for i := 0; i < n; i++ {
+			if !fn(batch[i]) {
+				return
+			}
+		}
+		if done {
 			return
 		}
 	}
 }
 
-// Cursor is a resumable, allocation-free iterator over a table's live
-// rows, for pull-based consumers (relstore.Stream). Rows inserted after
-// the cursor was created may or may not be visited.
+// Cursor is a resumable iterator over a table's live rows, for
+// pull-based consumers (relstore.Stream). It refills a small buffer
+// under the table's read lock and serves rows from it, so Next never
+// blocks behind a whole commit. On the writer view, rows inserted
+// after the cursor was created may or may not be visited; on a
+// snapshot view the cursor sees exactly the pinned epoch.
 type Cursor struct {
 	t   *Table
 	pos int
+	buf []model.Tuple
+	bi  int
 }
 
 // Cursor returns a cursor positioned before the first live row.
@@ -413,14 +661,30 @@ func (t *Table) Cursor() *Cursor { return &Cursor{t: t} }
 
 // Next returns the next live row, or false when exhausted.
 func (c *Cursor) Next() (model.Tuple, bool) {
-	for c.pos < len(c.t.rows) {
-		row := c.t.rows[c.pos]
-		c.pos++
-		if row != nil {
-			return row, true
-		}
+	if c.bi < len(c.buf) {
+		row := c.buf[c.bi]
+		c.bi++
+		return row, true
 	}
-	return nil, false
+	s := c.t.s
+	if c.buf == nil {
+		c.buf = make([]model.Tuple, 0, iterateBatch)
+	}
+	c.buf = c.buf[:0]
+	c.bi = 0
+	s.mu.RLock()
+	for c.pos < len(s.rows) && len(c.buf) < iterateBatch {
+		if s.visible(c.pos, c.t.asOf) {
+			c.buf = append(c.buf, s.rows[c.pos])
+		}
+		c.pos++
+	}
+	s.mu.RUnlock()
+	if len(c.buf) == 0 {
+		return nil, false
+	}
+	c.bi = 1
+	return c.buf[0], true
 }
 
 // SortedRows returns the live rows in lexicographic datum order;
@@ -450,81 +714,4 @@ func encodeCols(row model.Tuple, cols []int) string {
 		model.EncodeDatum(&sb, row[c])
 	}
 	return sb.String()
-}
-
-// Database is a named collection of tables — one peer's replica of the
-// whole CDSS (the paper's standalone ORCHESTRA engine keeps a complete
-// replica at each peer).
-type Database struct {
-	tables map[string]*Table
-	// version counts definition changes (table creates and drops); see
-	// Version.
-	version uint64
-}
-
-// NewDatabase returns an empty database.
-func NewDatabase() *Database {
-	return &Database{tables: make(map[string]*Table)}
-}
-
-// Version returns a counter bumped on every definition change
-// (CreateTable/DropTable). Caches keyed on query shape — the ProQL
-// plan cache — compare it to detect that mappings, provenance tables
-// or ASR materializations changed out from under a cached plan. Row
-// churn does not bump it: cached planning decisions stay sound across
-// data changes, only definition changes invalidate.
-func (db *Database) Version() uint64 { return db.version }
-
-// CreateTable registers a new empty table.
-func (db *Database) CreateTable(schema *TableSchema) (*Table, error) {
-	if _, dup := db.tables[schema.Name]; dup {
-		return nil, fmt.Errorf("relstore: table %q already exists", schema.Name)
-	}
-	t := NewTable(schema)
-	db.tables[schema.Name] = t
-	db.version++
-	return t, nil
-}
-
-// DropTable removes a table if it exists.
-func (db *Database) DropTable(name string) {
-	if _, ok := db.tables[name]; ok {
-		delete(db.tables, name)
-		db.version++
-	}
-}
-
-// Table looks up a table by name.
-func (db *Database) Table(name string) (*Table, bool) {
-	t, ok := db.tables[name]
-	return t, ok
-}
-
-// MustTable looks up a table, panicking if absent (programming error).
-func (db *Database) MustTable(name string) *Table {
-	t, ok := db.tables[name]
-	if !ok {
-		panic(fmt.Sprintf("relstore: no such table %q", name))
-	}
-	return t
-}
-
-// TableNames returns all table names, sorted.
-func (db *Database) TableNames() []string {
-	names := make([]string, 0, len(db.tables))
-	for n := range db.tables {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
-}
-
-// TotalRows sums Len over all tables; the "instance size" metric of
-// Figures 9 and 10.
-func (db *Database) TotalRows() int {
-	total := 0
-	for _, t := range db.tables {
-		total += t.Len()
-	}
-	return total
 }
