@@ -45,7 +45,8 @@ type benchFile struct {
 	// Serve rows mix a string metric (backend) with numbers, so they
 	// decode as any; load uses UseNumber so numeric values still carry
 	// full precision as json.Number.
-	Serve []map[string]any `json:"serve"`
+	Serve   []map[string]any         `json:"serve"`
+	Recover []map[string]json.Number `json:"recover"`
 }
 
 func load(path string) (*benchFile, error) {
@@ -81,6 +82,7 @@ func main() {
 		shardFactor  = flag.Float64("shard-factor", 3.0, "maximum allowed ratio for the shard experiment's scaling shares; looser than -factor because t(S)/t(S=1) compounds the noise of two independent measurements")
 		serveFactor  = flag.Float64("serve-factor", 5.0, "maximum allowed current/baseline ratio for the serve experiment's p50 contention shares (p50 as a multiple of the row's solo p50); looser than -factor because contention depends on the runner's core count and scheduler")
 		serveP99Cap  = flag.Float64("serve-p99-cap", 100.0, "absolute ceiling on the serve experiment's p99 contention share (p99 as a multiple of the same row's solo p50). The tail is gated against this cap rather than the baseline: per-row p99 rests on few samples, so a cross-run ratio of two noisy tails flakes, while 'reads stay within Nx of the uncontended median even under churn' is the bound the experiment exists to enforce")
+		recoverCap   = flag.Float64("recover-cap", 0.2, "absolute ceiling on the recover experiment's restart share (recover_ns as a fraction of the same row's cold_ns). The durable-restart claim is that checkpoint + WAL replay beats the cold full exchange by at least 1/cap (5x at the default); the share is a within-run ratio, so runner speed cancels and the cap gates the claim itself, not the clock")
 		floorNS      = flag.Float64("floor-ns", 5_000_000, "latency metrics whose current value is below this many ns are exempt from the ratio gate (timings this small are dominated by scheduler/GC pauses on a shared runner; a real blow-up — an incremental path degenerating to rebuild scale — crosses the floor). Counters are always gated strictly")
 	)
 	flag.Parse()
@@ -117,6 +119,7 @@ func main() {
 	failures += gateShard(base.Shard, cur.Shard, *shardFactor, *floorNS)
 	failures += gateProQL(base.Proql, cur.Proql, *factor, *floorNS)
 	failures += gateServe(base.Serve, cur.Serve, *serveFactor, *serveP99Cap, *floorNS)
+	failures += gateRecover(base.Recover, cur.Recover, *factor, *recoverCap)
 	if failures > 0 {
 		fmt.Printf("benchgate: FAIL — %d regression(s) beyond %.1fx\n", failures, *factor)
 		os.Exit(1)
@@ -478,6 +481,89 @@ func gateServe(base, cur []map[string]any, factor, p99Cap, floorNS float64) int 
 			}
 			fmt.Printf("serve[%s].%-22s %14.0f -> %14.0f  (%.2fx%s) %s\n",
 				k, metric, bv, cv, ratio, note, status)
+		}
+	}
+	return failures
+}
+
+// gateRecover gates the E16 durable-restart sweep. Rows are keyed by
+// peers; recover_ns is normalized within each row against the same
+// file's cold_ns (the cold full re-exchange of the identical final
+// state, churn included), so the gated quantity is the restart share
+// — the fraction of a cold start a durable restart costs. The share
+// is gated twice: against the baseline's share by factor (the restart
+// path must not lose ground), and against the absolute recoverCap
+// (the O(changed-rows) restart claim: recovery at least 1/cap times
+// faster than cold). cold_ns is the normalizer, reported ungated;
+// replay_batches is deterministic and gated strictly. No noise-floor
+// exemption applies — the share is a within-run ratio, so a slow
+// runner inflates both arms alike.
+func gateRecover(base, cur []map[string]json.Number, factor, shareCap float64) int {
+	if len(base) == 0 {
+		return 0
+	}
+	curByPeers := make(map[string]map[string]json.Number, len(cur))
+	for _, row := range cur {
+		curByPeers[string(row["peers"])] = row
+	}
+	failures := 0
+	for _, brow := range base {
+		peers := string(brow["peers"])
+		crow, ok := curByPeers[peers]
+		if !ok {
+			fmt.Printf("recover[peers=%s]: row missing from current run\n", peers)
+			failures++
+			continue
+		}
+		for _, metric := range sortedKeys(brow) {
+			if ungated[metric] {
+				continue
+			}
+			bv, err1 := brow[metric].Float64()
+			cnum, present := crow[metric]
+			if !present {
+				fmt.Printf("recover[peers=%s].%s: metric missing from current run\n", peers, metric)
+				failures++
+				continue
+			}
+			cv, err2 := cnum.Float64()
+			if err1 != nil || err2 != nil {
+				fmt.Printf("recover[peers=%s].%s: non-numeric metric\n", peers, metric)
+				failures++
+				continue
+			}
+			if metric == "cold_ns" {
+				fmt.Printf("recover[peers=%s].%-22s %14.0f -> %14.0f  (%.2fx) normalizer (not gated)\n",
+					peers, metric, bv, cv, ratioOf(bv, cv, factor))
+				continue
+			}
+			if metric == "recover_ns" {
+				br, berr := brow["cold_ns"].Float64()
+				cr, cerr := crow["cold_ns"].Float64()
+				if berr != nil || cerr != nil || br <= 0 || cr <= 0 {
+					fmt.Printf("recover[peers=%s].%s: missing cold_ns normalizer\n", peers, metric)
+					failures++
+					continue
+				}
+				gb, gc := bv/br, cv/cr
+				ratio := ratioOf(gb, gc, factor)
+				status := "ok"
+				if ratio > factor || gc > shareCap {
+					status = "REGRESSED"
+					failures++
+				}
+				fmt.Printf("recover[peers=%s].%-22s %14.0f -> %14.0f  (%.2fx of cold, share %.3f, cap %.3f) %s\n",
+					peers, metric, bv, cv, ratio, gc, shareCap, status)
+				continue
+			}
+			ratio := ratioOf(bv, cv, factor)
+			status := "ok"
+			if ratio > factor {
+				status = "REGRESSED"
+				failures++
+			}
+			fmt.Printf("recover[peers=%s].%-22s %14.0f -> %14.0f  (%.2fx) %s\n",
+				peers, metric, bv, cv, ratio, status)
 		}
 	}
 	return failures

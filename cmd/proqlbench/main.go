@@ -95,16 +95,25 @@ type benchServeRow struct {
 	InstanceRows int    `json:"instance_rows"`
 }
 
+type benchRecoverRow struct {
+	Peers         int   `json:"peers"`
+	RecoverNS     int64 `json:"recover_ns"`
+	ColdNS        int64 `json:"cold_ns"`
+	ReplayBatches int   `json:"replay_batches"`
+	InstanceRows  int   `json:"instance_rows"`
+}
+
 type benchJSON struct {
-	Schema string          `json:"schema"`
-	Scale  string          `json:"scale"`
-	Engine string          `json:"engine"`
-	Del    []benchDelRow   `json:"del,omitempty"`
-	Ins    []benchInsRow   `json:"ins,omitempty"`
-	Mix    []benchMixRow   `json:"mix,omitempty"`
-	Shard  []benchShardRow `json:"shard,omitempty"`
-	Proql  []benchProQLRow `json:"proql,omitempty"`
-	Serve  []benchServeRow `json:"serve,omitempty"`
+	Schema  string            `json:"schema"`
+	Scale   string            `json:"scale"`
+	Engine  string            `json:"engine"`
+	Del     []benchDelRow     `json:"del,omitempty"`
+	Ins     []benchInsRow     `json:"ins,omitempty"`
+	Mix     []benchMixRow     `json:"mix,omitempty"`
+	Shard   []benchShardRow   `json:"shard,omitempty"`
+	Proql   []benchProQLRow   `json:"proql,omitempty"`
+	Serve   []benchServeRow   `json:"serve,omitempty"`
+	Recover []benchRecoverRow `json:"recover,omitempty"`
 }
 
 // collected gathers sweep results when -json is set.
@@ -135,6 +144,9 @@ type scaleParams struct {
 	delData     int
 	delBase     int
 	insBatch    int
+	recovPeers  []int
+	recovBase   int
+	recovBatch  int
 	shardPeers  int
 	shardBase   int
 	shardList   []int
@@ -170,6 +182,7 @@ func defaultScale() scaleParams {
 		fig13Peers: 20, fig13Data: 4, fig13Lens: []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
 		delPeers: []int{10, 20, 40}, delData: 2, delBase: 500,
 		insBatch:   5,
+		recovPeers: []int{6, 10}, recovBase: 4000, recovBatch: 10,
 		shardPeers: 40, shardBase: 500, shardList: []int{1, 2, 4, 8},
 		proqlScales: []int{1, 10, 100}, proqlPeers: 8, proqlData: 2, proqlBase: 20,
 		serveReader: []int{1, 4}, servePeers: 8, serveData: 2, serveBase: 100,
@@ -205,6 +218,8 @@ func paperScale() scaleParams {
 	p.asrBase = 50000
 	p.delPeers = []int{10, 20, 40, 80}
 	p.delBase = 2000
+	p.recovPeers = []int{10, 20}
+	p.recovBase = 8000
 	p.shardPeers = 80
 	p.shardBase = 2000
 	p.proqlBase = 100
@@ -246,7 +261,7 @@ func main() {
 	if *jsonPath != "" {
 		collected = &benchJSON{Schema: "proqlbench-v1", Scale: *scale, Engine: *engine}
 	}
-	known := []string{"all", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "annot", "del", "ins", "mix", "shard", "proql", "serve"}
+	known := []string{"all", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "annot", "del", "ins", "mix", "shard", "proql", "serve", "recover"}
 	isKnown := map[string]bool{}
 	for _, name := range known {
 		isKnown[name] = true
@@ -306,6 +321,7 @@ func main() {
 	run("shard", runShard)
 	run("proql", runProQL)
 	run("serve", runServe)
+	run("recover", runRecover)
 	if collected != nil {
 		data, err := json.MarshalIndent(collected, "", "  ")
 		if err != nil {
@@ -463,6 +479,37 @@ func runServe(p scaleParams) error {
 				Commits:      r.Commits,
 				ElapsedNS:    r.Elapsed.Nanoseconds(),
 				InstanceRows: r.InstanceSize,
+			})
+		}
+	}
+	return nil
+}
+
+// runRecover is the durable-restart experiment (E16): the same
+// exchanged instance brought back by checkpoint + WAL-suffix replay +
+// warm engine attach (never firing a rule) versus the cold full
+// exchange a non-durable system pays — and the cold arm still loses
+// the post-checkpoint churn, which only exists in the log.
+func runRecover(p scaleParams) error {
+	const churnOps = 5
+	fmt.Printf("Durable restart (E16): fan chain, base %d at %d upstream peers, checkpoint + %d churn ops of %d inserts\n",
+		p.recovBase, p.delData, churnOps, p.recovBatch)
+	fmt.Println("peers  recover  cold-exchange  replayed  instance")
+	rows, err := workload.RunRecovery(p.recovPeers, p.delData, p.recovBase, p.recovBatch, churnOps, p.runs, p.seed)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		share := float64(r.RecoverTime) / float64(r.ColdTime)
+		fmt.Printf("%5d  %7v  %13v  %8d  %8d  (%.2fx of cold)\n",
+			r.Peers, r.RecoverTime, r.ColdTime, r.ReplayBatches, r.InstanceSize, share)
+		if collected != nil {
+			collected.Recover = append(collected.Recover, benchRecoverRow{
+				Peers:         r.Peers,
+				RecoverNS:     r.RecoverTime.Nanoseconds(),
+				ColdNS:        r.ColdTime.Nanoseconds(),
+				ReplayBatches: r.ReplayBatches,
+				InstanceRows:  r.InstanceSize,
 			})
 		}
 	}

@@ -23,7 +23,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -35,31 +37,37 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/exchange"
 	"repro/internal/fixture"
 	"repro/internal/model"
 	"repro/internal/proql"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		peers    = flag.Int("peers", 0, "serve a synthetic setting with this many peers instead of the running example")
-		dataN    = flag.Int("data", 2, "number of peers with local data (synthetic setting)")
-		base     = flag.Int("base", 100, "base size per data peer (synthetic setting)")
-		topology = flag.String("topology", "chain", "chain or branched (synthetic setting)")
-		seed     = flag.Int64("seed", 42, "workload seed")
-		smoke    = flag.Bool("smoke", false, "start on an ephemeral port, run a concurrent read/write self-test, and exit")
+		addr      = flag.String("addr", ":8080", "listen address")
+		peers     = flag.Int("peers", 0, "serve a synthetic setting with this many peers instead of the running example")
+		dataN     = flag.Int("data", 2, "number of peers with local data (synthetic setting)")
+		base      = flag.Int("base", 100, "base size per data peer (synthetic setting)")
+		topology  = flag.String("topology", "chain", "chain or branched (synthetic setting)")
+		seed      = flag.Int64("seed", 42, "workload seed")
+		dataDir   = flag.String("data-dir", "", "persist storage in this directory (checkpoint + write-ahead log); restart recovers the instance instead of rebuilding it")
+		syncEvery = flag.Int("sync-every", 1, "fsync the log every N commits (durable mode; 1 = every commit)")
+		ckptEvery = flag.Int("checkpoint-every", 256, "checkpoint after this many commits (durable mode; 0 = never)")
+		timeout   = flag.Duration("query-timeout", 30*time.Second, "abort queries running longer than this (0 = no limit)")
+		maxConns  = flag.Int("max-conns", 64, "concurrent request limit; excess requests get 503 instead of queuing (0 = unlimited)")
+		smoke     = flag.Bool("smoke", false, "start on an ephemeral port, run a concurrent read/write self-test, and exit")
 	)
 	flag.Parse()
 
-	ex, err := buildSystem(*peers, *dataN, *base, *topology, *seed)
+	sys, err := buildSystem(*peers, *dataN, *base, *topology, *seed, *dataDir, *syncEvery, *ckptEvery)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "proqld:", err)
 		os.Exit(1)
 	}
-	srv := newServer(core.Wrap(ex))
+	defer sys.Close()
+	srv := newServer(sys, *timeout, *maxConns)
 
 	if *smoke {
 		if err := runSmoke(srv); err != nil {
@@ -69,42 +77,79 @@ func main() {
 		return
 	}
 
-	fmt.Printf("proqld listening on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, srv.mux()); err != nil {
+	if *dataDir != "" {
+		fmt.Printf("proqld serving durable store %s on %s\n", *dataDir, *addr)
+	} else {
+		fmt.Printf("proqld listening on %s\n", *addr)
+	}
+	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
 		fmt.Fprintln(os.Stderr, "proqld:", err)
 		os.Exit(1)
 	}
 }
 
-func buildSystem(peers, dataN, base int, topology string, seed int64) (*exchange.System, error) {
+func buildSystem(peers, dataN, base int, topology string, seed int64, dataDir string, syncEvery, ckptEvery int) (*core.System, error) {
+	wopts := wal.Options{SyncEvery: syncEvery, CheckpointEvery: ckptEvery}
 	if peers <= 0 {
-		return fixture.System(fixture.Options{})
+		if dataDir != "" {
+			ex, st, err := fixture.DurableSystem(fixture.Options{}, dataDir, wopts)
+			if err != nil {
+				return nil, err
+			}
+			return core.WrapDurable(ex, st), nil
+		}
+		ex, err := fixture.System(fixture.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return core.Wrap(ex), nil
 	}
 	topo := workload.Chain
 	if topology == "branched" {
 		topo = workload.Branched
 	}
-	set, err := workload.Build(workload.Config{
+	cfg := workload.Config{
 		Topology:  topo,
 		Profile:   workload.ProfileLinear,
 		NumPeers:  peers,
 		DataPeers: workload.UpstreamDataPeers(peers, dataN),
 		BaseSize:  base,
 		Seed:      seed,
-	})
+	}
+	if dataDir != "" {
+		set, st, err := workload.OpenDurable(cfg, dataDir, wopts)
+		if err != nil {
+			return nil, err
+		}
+		return core.WrapDurable(set.Sys, st), nil
+	}
+	set, err := workload.Build(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return set.Sys, nil
+	return core.Wrap(set.Sys), nil
 }
 
 type server struct {
 	sys     *core.System
-	queries atomic.Int64
-	commits atomic.Int64
+	timeout time.Duration
+	// conns admits at most cap(conns) concurrent requests; nil means
+	// unlimited. A full semaphore fails fast with 503 — the server
+	// never queues admission unboundedly.
+	conns    chan struct{}
+	queries  atomic.Int64
+	commits  atomic.Int64
+	rejected atomic.Int64
+	timeouts atomic.Int64
 }
 
-func newServer(sys *core.System) *server { return &server{sys: sys} }
+func newServer(sys *core.System, timeout time.Duration, maxConns int) *server {
+	s := &server{sys: sys, timeout: timeout}
+	if maxConns > 0 {
+		s.conns = make(chan struct{}, maxConns)
+	}
+	return s
+}
 
 func (s *server) mux() *http.ServeMux {
 	m := http.NewServeMux()
@@ -116,6 +161,30 @@ func (s *server) mux() *http.ServeMux {
 	return m
 }
 
+// handler wraps the mux with the connection limit. The liveness probe
+// bypasses the limit so orchestrators can still see a saturated server
+// as alive.
+func (s *server) handler() http.Handler {
+	m := s.mux()
+	if s.conns == nil {
+		return m
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			m.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case s.conns <- struct{}{}:
+			defer func() { <-s.conns }()
+			m.ServeHTTP(w, r)
+		default:
+			s.rejected.Add(1)
+			http.Error(w, "server at connection limit", http.StatusServiceUnavailable)
+		}
+	})
+}
+
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	io.WriteString(w, "ok\n")
 }
@@ -125,6 +194,9 @@ type statsResponse struct {
 	InstanceSize int    `json:"instance_size"`
 	Queries      int64  `json:"queries"`
 	Commits      int64  `json:"commits"`
+	Rejected     int64  `json:"rejected"`
+	Timeouts     int64  `json:"timeouts"`
+	Durable      bool   `json:"durable"`
 	CacheEntries int    `json:"cache_entries"`
 	CacheHits    int    `json:"cache_hits"`
 	CacheMisses  int    `json:"cache_misses"`
@@ -137,6 +209,9 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		InstanceSize: s.sys.Exchange().DB.TotalRows(),
 		Queries:      s.queries.Load(),
 		Commits:      s.commits.Load(),
+		Rejected:     s.rejected.Load(),
+		Timeouts:     s.timeouts.Load(),
+		Durable:      s.sys.Store() != nil,
 		CacheEntries: st.Entries,
 		CacheHits:    st.Hits,
 		CacheMisses:  st.Misses,
@@ -174,21 +249,34 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	// The query runs under the request context — a dropped client
+	// connection cancels it — bounded by the server's query timeout.
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
 	eng := s.sys.Engine()
 	start := time.Now()
 	var res *proql.Result
 	switch req.Backend {
 	case "", "auto", "relational":
-		res, err = eng.Exec(q)
+		res, err = eng.ExecContext(ctx, q)
 	case "graph":
-		res, err = eng.ExecGraph(q)
+		res, err = eng.ExecGraphContext(ctx, q)
 	case "asr":
-		res, err = eng.ExecASR(q)
+		res, err = eng.ExecASRContext(ctx, q)
 	default:
 		http.Error(w, fmt.Sprintf("unknown backend %q", req.Backend), http.StatusBadRequest)
 		return
 	}
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.timeouts.Add(1)
+			http.Error(w, "query aborted: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
@@ -387,7 +475,7 @@ func runSmoke(srv *server) error {
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv.mux()}
+	hs := &http.Server{Handler: srv.handler()}
 	go hs.Serve(ln)
 	defer hs.Close()
 	base := "http://" + ln.Addr().String()
@@ -473,9 +561,128 @@ func runSmoke(srv *server) error {
 	if st.Queries < 45 || st.Commits < 20 {
 		return fmt.Errorf("implausible counters: %+v", st)
 	}
+	if err := smokeHardening(srv); err != nil {
+		return err
+	}
+	if err := smokeDurable(); err != nil {
+		return err
+	}
 	fmt.Printf("proqld smoke ok: %d queries, %d commits, epoch %d, %d cache entries\n",
 		st.Queries, st.Commits, st.Epoch, st.CacheEntries)
 	return nil
+}
+
+// smokeHardening checks the serving guards: a cancelled context aborts
+// query execution on every backend, and a saturated connection limit
+// rejects with 503 while the liveness probe stays reachable.
+func smokeHardening(srv *server) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	const text = `FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x`
+	eng := srv.sys.Engine()
+	for _, run := range []struct {
+		backend string
+		exec    func(*proql.Query) (*proql.Result, error)
+	}{
+		{"relational", func(q *proql.Query) (*proql.Result, error) { return eng.ExecContext(ctx, q) }},
+		{"graph", func(q *proql.Query) (*proql.Result, error) { return eng.ExecGraphContext(ctx, q) }},
+		{"asr", func(q *proql.Query) (*proql.Result, error) { return eng.ExecASRContext(ctx, q) }},
+	} {
+		q, err := proql.Parse(text)
+		if err != nil {
+			return err
+		}
+		if _, err := run.exec(q); !errors.Is(err, context.Canceled) {
+			return fmt.Errorf("%s backend ignored cancelled context: err=%v", run.backend, err)
+		}
+	}
+
+	// Saturate a limit-1 server and verify fail-fast admission.
+	limited := newServer(srv.sys, srv.timeout, 1)
+	limited.conns <- struct{}{}
+	h := limited.handler()
+	rec := newRecorder()
+	h.ServeHTTP(rec, mustRequest(http.MethodGet, "/stats"))
+	if rec.status != http.StatusServiceUnavailable {
+		return fmt.Errorf("saturated server returned %d, want 503", rec.status)
+	}
+	rec = newRecorder()
+	h.ServeHTTP(rec, mustRequest(http.MethodGet, "/healthz"))
+	if rec.status != http.StatusOK {
+		return fmt.Errorf("liveness probe blocked by connection limit: %d", rec.status)
+	}
+	<-limited.conns
+	if limited.rejected.Load() != 1 {
+		return fmt.Errorf("rejected counter = %d, want 1", limited.rejected.Load())
+	}
+	return nil
+}
+
+// smokeDurable commits through a durable running example, kills the
+// process state, reopens the directory, and checks the instance
+// survived — the -data-dir path end to end.
+func smokeDurable() error {
+	dir, err := os.MkdirTemp("", "proqld-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	sys, err := buildSystem(0, 0, 0, "", 0, dir, 1, 0)
+	if err != nil {
+		return err
+	}
+	if err := sys.InsertLocal("A", model.Tuple{int64(3), "sn3", int64(9)}); err != nil {
+		return err
+	}
+	if err := sys.Run(); err != nil {
+		return err
+	}
+	wantRows := sys.Exchange().DB.TotalRows()
+	wantEpoch := sys.Exchange().DB.Epoch()
+	if err := sys.Close(); err != nil {
+		return err
+	}
+	re, err := buildSystem(0, 0, 0, "", 0, dir, 1, 0)
+	if err != nil {
+		return fmt.Errorf("reopen durable dir: %v", err)
+	}
+	defer re.Close()
+	if got := re.Exchange().DB.TotalRows(); got != wantRows {
+		return fmt.Errorf("recovered %d rows, want %d", got, wantRows)
+	}
+	if got := re.Exchange().DB.Epoch(); got < wantEpoch {
+		return fmt.Errorf("recovered epoch %d regressed below %d", got, wantEpoch)
+	}
+	// The recovered instance serves queries immediately (warm attach).
+	res, err := re.Query(`FOR [O $x] RETURN $x`)
+	if err != nil {
+		return err
+	}
+	if n := len(res.SortedRefs("x")); n != 5 {
+		return fmt.Errorf("recovered O has %d tuples, want 5", n)
+	}
+	return nil
+}
+
+// recorder is a minimal ResponseWriter for in-process handler checks.
+type recorder struct {
+	status int
+	hdr    http.Header
+	body   bytes.Buffer
+}
+
+func newRecorder() *recorder { return &recorder{status: http.StatusOK, hdr: http.Header{}} }
+
+func (r *recorder) Header() http.Header         { return r.hdr }
+func (r *recorder) WriteHeader(code int)        { r.status = code }
+func (r *recorder) Write(b []byte) (int, error) { return r.body.Write(b) }
+
+func mustRequest(method, path string) *http.Request {
+	req, err := http.NewRequest(method, "http://proqld.invalid"+path, nil)
+	if err != nil {
+		panic(err)
+	}
+	return req
 }
 
 func httpGet(url string) ([]byte, error) {

@@ -23,6 +23,7 @@ import (
 	"repro/internal/proql"
 	"repro/internal/provgraph"
 	"repro/internal/semiring"
+	"repro/internal/wal"
 )
 
 // System is one CDSS replica with query and indexing support.
@@ -39,6 +40,9 @@ type System struct {
 	engine *proql.Engine
 	index  *asr.Index
 	useASR bool
+	// store is the durability layer of a system created by OpenDurable;
+	// nil for purely in-memory systems.
+	store *wal.Store
 
 	// wmu serializes mutations. Single-logical-writer keeps the epoch
 	// protocol simple: every commit is one batch, and the cached-graph
@@ -51,6 +55,13 @@ type Options struct {
 	// MaterializeAllProvenance disables the superfluous-provenance-
 	// relation optimization of Section 4.1.
 	MaterializeAllProvenance bool
+	// SyncEvery is the durable store's fsync cadence in committed
+	// batches (<= 1 syncs every commit). Only used by OpenDurable.
+	SyncEvery int
+	// CheckpointEvery, when > 0, checkpoints the durable store after
+	// this many committed batches (checked after each Run/DeleteLocal).
+	// Only used by OpenDurable.
+	CheckpointEvery int
 }
 
 // Open creates a system over a declared schema.
@@ -66,10 +77,75 @@ func Open(schema *model.Schema, opts Options) (*System, error) {
 	return s, nil
 }
 
+// OpenDurable creates (or reopens) a system whose storage persists in
+// dir: every committed batch is appended to a write-ahead log and
+// restart recovers from the newest checkpoint plus the log suffix,
+// re-attaching the exchange engine's delta state warm — no cold full
+// exchange. Call Checkpoint (or set Options.CheckpointEvery) to bound
+// the replay suffix, and Close before process exit.
+func OpenDurable(schema *model.Schema, dir string, opts Options) (*System, error) {
+	ex, st, err := exchange.OpenDurable(schema, dir,
+		wal.Options{SyncEvery: opts.SyncEvery, CheckpointEvery: opts.CheckpointEvery},
+		exchange.Options{MaterializeAll: opts.MaterializeAllProvenance})
+	if err != nil {
+		return nil, err
+	}
+	s := &System{ex: ex, engine: proql.NewEngine(ex), store: st}
+	s.index = asr.NewIndex(ex)
+	return s, nil
+}
+
+// Store exposes the durability layer (nil for in-memory systems).
+func (s *System) Store() *wal.Store { return s.store }
+
+// Checkpoint snapshots a durable system and truncates its log; a
+// no-op on in-memory systems. Serialized with other mutations.
+func (s *System) Checkpoint() error {
+	if s.store == nil {
+		return nil
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return s.store.Checkpoint()
+}
+
+// Close flushes and closes the durability layer; the system stays
+// usable in memory. A no-op on in-memory systems.
+func (s *System) Close() error {
+	if s.store == nil {
+		return nil
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return s.store.Close()
+}
+
+// maybeCheckpointLocked runs the configured checkpoint cadence after a
+// committed mutation. Called with wmu held (the store itself only
+// needs commit-hook exclusion, but holding the writer lock keeps the
+// checkpoint ordered against other mutations).
+func (s *System) maybeCheckpointLocked() error {
+	if s.store == nil {
+		return nil
+	}
+	_, err := s.store.MaybeCheckpoint()
+	return err
+}
+
 // Wrap adapts an already-built exchange system (e.g. a generated
 // workload setting or the running-example fixture) into the facade.
 func Wrap(ex *exchange.System) *System {
 	return &System{ex: ex, engine: proql.NewEngine(ex), index: asr.NewIndex(ex)}
+}
+
+// WrapDurable is Wrap for an exchange system opened through a durable
+// store (exchange.OpenDurable, fixture.DurableSystem, workload.
+// OpenDurable): the facade takes ownership of the store, so Checkpoint,
+// Close, and the CheckpointEvery cadence work as with OpenDurable.
+func WrapDurable(ex *exchange.System, st *wal.Store) *System {
+	s := Wrap(ex)
+	s.store = st
+	return s
 }
 
 // Exchange exposes the underlying exchange system for advanced use.
@@ -121,7 +197,10 @@ func (s *System) Run() error {
 	} else {
 		s.engine.MaintainGraphInsert(report)
 	}
-	return asrErr
+	if asrErr != nil {
+		return asrErr
+	}
+	return s.maybeCheckpointLocked()
 }
 
 // DeleteLocal removes base tuples and incrementally propagates the
@@ -146,6 +225,9 @@ func (s *System) DeleteLocal(rel string, keys ...[]model.Datum) (*exchange.Maint
 	s.engine.MaintainGraph(report)
 	if asrErr != nil {
 		return nil, asrErr
+	}
+	if err := s.maybeCheckpointLocked(); err != nil {
+		return nil, err
 	}
 	return report, nil
 }

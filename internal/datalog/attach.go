@@ -1,0 +1,151 @@
+package datalog
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/model"
+)
+
+// WarmAttach seeds a compiled program's persistent evaluation state
+// directly from the backing tables without evaluating a single rule:
+// every predicate journal holds exactly its table's rows (routed by
+// key hash for sharded programs), the key→position maps cover them,
+// and the age watermarks mark everything OLD — the state a successful
+// full run would have left behind, built in O(rows) instead of
+// O(derivations). Probe indexes are cleared and rebuild lazily at the
+// next run's first round.
+//
+// exclude lists rows (per predicate name, matched by primary key) to
+// leave out of the journals: rows that are in the tables but must seed
+// the next RunPogramDelta as Δ — a recovered system's inserted-but-
+// never-propagated rows. Excluding them reproduces the journal state
+// of a live system with the same pending inserts (journals mirror the
+// tables as of the last completed run). Excluded predicates must be
+// keyed.
+//
+// This is the recovery path: a process that restored its tables from
+// a checkpoint + write-ahead-log replay attaches warm and proceeds
+// with RunProgramDelta, never re-deriving the world with a cold
+// RunProgram. The soundness argument is the PR 4–5 invariant the rest
+// of this package maintains: between runs, valid state means "journals
+// mirror tables", nothing more — so journals rebuilt from the tables
+// are exactly as valid as journals left behind by a run.
+//
+// After WarmAttach, StateValid reports true.
+//
+// Predicates attach independently (each touches only its own shards
+// and reads only its own table), so they are fanned out across the
+// machine: attach is the restart path's wall clock, and unlike the
+// fixpoint a cold run pays, it has no cross-predicate dependencies to
+// serialize on.
+func (p *Program) WarmAttach(exclude map[string][]model.Tuple) {
+	nw := runtime.GOMAXPROCS(0)
+	if nw > len(p.preds) {
+		nw = len(p.preds)
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(p.preds) {
+					return
+				}
+				p.attachPred(p.preds[i], exclude)
+			}
+		}()
+	}
+	wg.Wait()
+	p.stateValid = true
+}
+
+// attachPred seeds one predicate's journal state from its table.
+func (p *Program) attachPred(ps *predState, exclude map[string][]model.Tuple) {
+	var skip map[string]bool
+	if rows := exclude[ps.name]; len(rows) > 0 && len(ps.keyCols) > 0 {
+		skip = make(map[string]bool, len(rows))
+		var kb []byte
+		for _, row := range rows {
+			kb = appendCols(kb[:0], row, ps.keyCols)
+			skip[string(kb)] = true
+		}
+	}
+	nrows := ps.table.Len()
+
+	if p.nShards == 1 {
+		// Serial programs do not keep position maps between runs (reset
+		// leaves pos nil; ensurePos rebuilds it on demand at the next
+		// deletion repair), so the warm attach must not pay for one
+		// either: without exclusions the journal seed is a straight
+		// append of the table — the restart path's cheapest possible
+		// O(rows).
+		sh := ps.shards[0]
+		if cap(sh.rows) < nrows {
+			sh.rows = make([]model.Tuple, 0, nrows)
+		} else {
+			sh.rows = sh.rows[:0]
+		}
+		sh.clearIndexes()
+		sh.pos = nil
+		sh.posBuilt = 0
+		if skip == nil {
+			ps.table.Iterate(func(row model.Tuple) bool {
+				sh.rows = append(sh.rows, row)
+				return true
+			})
+		} else {
+			var buf []byte
+			ps.table.Iterate(func(row model.Tuple) bool {
+				buf = appendCols(buf[:0], row, ps.keyCols)
+				if skip[string(buf)] {
+					return true
+				}
+				sh.rows = append(sh.rows, row)
+				return true
+			})
+		}
+		sh.oldEnd = len(sh.rows)
+		sh.deltaEnd = len(sh.rows)
+		sh.synced = len(sh.rows)
+		sh.view = sh.rows
+		return
+	}
+
+	// Sharded programs keep the position maps hot between runs
+	// (seedDelta assigns into them), so build them alongside the
+	// key-hash routing.
+	for _, sh := range ps.shards {
+		sh.rows = sh.rows[:0]
+		sh.clearIndexes()
+		// Presize for an even spread; a fresh map sized for the table
+		// beats clearing and regrowing a stale one row by row.
+		sh.pos = make(map[string]int32, nrows/len(ps.shards)+1)
+		sh.posBuilt = 0
+	}
+	var buf []byte
+	ps.table.Iterate(func(row model.Tuple) bool {
+		buf = appendCols(buf[:0], row, ps.keyCols)
+		if skip != nil && skip[string(buf)] {
+			return true
+		}
+		sh := ps.shards[shardOfBytes(buf, p.nShards)]
+		sh.pos[string(buf)] = int32(len(sh.rows))
+		sh.rows = append(sh.rows, row)
+		return true
+	})
+	for _, sh := range ps.shards {
+		sh.oldEnd = len(sh.rows)
+		sh.deltaEnd = len(sh.rows)
+		sh.synced = len(sh.rows)
+		sh.posBuilt = len(sh.rows)
+		sh.view = sh.rows
+	}
+}

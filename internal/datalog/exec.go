@@ -183,8 +183,21 @@ func (e *Engine) RunProgramDelta(p *Program, delta map[string][]model.Tuple) err
 			p.stateValid = false
 			return fmt.Errorf("datalog: delta predicate %q not in program", name)
 		}
-		sh := p.preds[id].shards[0]
-		sh.rows = append(sh.rows, rows...)
+		ps := p.preds[id]
+		sh := ps.shards[0]
+		if sh.pos != nil {
+			// Keep the key→position map hot (see apply): the next
+			// deletion repair stays O(deleted rows).
+			var buf []byte
+			for _, row := range rows {
+				buf = appendCols(buf[:0], row, ps.keyCols)
+				sh.pos[string(buf)] = int32(len(sh.rows))
+				sh.rows = append(sh.rows, row)
+			}
+			sh.posBuilt = len(sh.rows)
+		} else {
+			sh.rows = append(sh.rows, rows...)
+		}
 		sh.deltaEnd = len(sh.rows)
 	}
 	if err := e.fixpoint(p); err != nil {
@@ -289,6 +302,9 @@ type executor struct {
 	heads    []HeadInsert
 	headOffs []int
 	encArena []byte
+	// posBuf is the key-encoding scratch for journalAppend's position
+	// map maintenance.
+	posBuf []byte
 }
 
 // fireFn receives each completed firing; the serial path applies it
@@ -341,11 +357,32 @@ func (x *executor) apply(cr *compiledRule, slots []model.Datum) error {
 			return err
 		}
 		if inserted {
-			sh := h.pred.shards[0]
-			sh.rows = append(sh.rows, row)
+			x.journalAppend(h.pred, row, nil)
 		}
 	}
 	return nil
+}
+
+// journalAppend appends a freshly inserted head row to the predicate's
+// (single-shard) journal. Once the shard's key→position map exists —
+// built by the first deletion repair (repair.go) — it is maintained
+// here on the insert path, so every later repair stays O(deleted
+// rows) instead of re-scanning the journal; until then the insert hot
+// path pays only this nil check. enc is the row's canonical key
+// encoding when the caller already has it, nil to encode here.
+func (x *executor) journalAppend(pred *predState, row model.Tuple, enc []byte) {
+	sh := pred.shards[0]
+	if sh.pos != nil {
+		if enc == nil {
+			x.posBuf = appendCols(x.posBuf[:0], row, pred.keyCols)
+			enc = x.posBuf
+		}
+		sh.pos[string(enc)] = int32(len(sh.rows))
+		sh.rows = append(sh.rows, row)
+		sh.posBuilt = len(sh.rows)
+		return
+	}
+	sh.rows = append(sh.rows, row)
 }
 
 // applyWithHeads is apply for the HookHeads mode: insert every head
@@ -377,8 +414,7 @@ func (x *executor) applyWithHeads(cr *compiledRule, slots []model.Datum) error {
 			return err
 		}
 		if inserted {
-			sh := h.pred.shards[0]
-			sh.rows = append(sh.rows, row)
+			x.journalAppend(h.pred, row, enc)
 		}
 		ins := HeadInsert{Pred: h.pred.name, Row: row, Inserted: inserted}
 		if multi {

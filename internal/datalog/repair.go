@@ -33,11 +33,13 @@ import (
 // and removed by a swap-delete against the shard's key→position map,
 // with in-place surgery on the affected index buckets (bucket
 // positions stay ascending, so a partition bound stays a cutoff). The
-// position map itself is built lazily — sharded runs keep it hot (it
-// is their duplicate filter), while serial runs skip it on the insert
-// hot path and the first repair after a run extends it over the rows
-// appended since (amortized O(new rows), zero cost when no run
-// intervened).
+// position map is built lazily but kept hot from then on: sharded runs
+// always maintain it (it is their duplicate filter), while serial runs
+// pay only a nil check on the insert hot path until the first repair
+// builds the map — after which the executor maintains it per appended
+// row (exec.go journalAppend), so every subsequent repair is O(deleted
+// rows) even when full runs' worth of inserts intervened. Only a full
+// RunProgram reset drops the map back to lazy.
 //
 // ApplyDeletions requires valid state (StateValid). On any error the
 // state is invalidated and the caller must fall back to a full

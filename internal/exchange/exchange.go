@@ -195,16 +195,44 @@ type shardHookState struct {
 // provenance table per non-superfluous mapping (keyed on all columns,
 // since a provenance row is identified by the whole derivation).
 func NewSystem(schema *model.Schema, opts Options) (*System, error) {
+	return newSystemOn(relstore.NewDatabase(), schema, opts)
+}
+
+// ensureTable returns the named table, creating it when absent. A
+// pre-existing table (a durable database recovered from disk) must
+// match the expected layout.
+func ensureTable(db *relstore.Database, schema *relstore.TableSchema) error {
+	t, ok := db.Table(schema.Name)
+	if !ok {
+		_, err := db.CreateTable(schema)
+		return err
+	}
+	if len(t.Schema.Columns) != len(schema.Columns) || len(t.Schema.Key) != len(schema.Key) {
+		return fmt.Errorf("exchange: recovered table %q has %d columns / %d key attrs, schema wants %d / %d",
+			schema.Name, len(t.Schema.Columns), len(t.Schema.Key), len(schema.Columns), len(schema.Key))
+	}
+	for i, k := range schema.Key {
+		if t.Schema.Key[i] != k {
+			return fmt.Errorf("exchange: recovered table %q key mismatch at position %d", schema.Name, i)
+		}
+	}
+	return nil
+}
+
+// newSystemOn builds the system over an existing database, creating
+// whatever tables it does not already hold — the shared path of
+// NewSystem (fresh in-memory database) and OpenDurable (database
+// recovered from a checkpoint + log replay).
+func newSystemOn(db *relstore.Database, schema *model.Schema, opts Options) (*System, error) {
 	if opts.shardCount() > 1 && opts.UseLegacyEngine {
 		return nil, fmt.Errorf("exchange: sharded execution requires the compiled engine (Shards=%d with UseLegacyEngine)", opts.Shards)
 	}
-	db := relstore.NewDatabase()
 	sys := &System{Schema: schema, DB: db, Prov: make(map[string]*ProvRel), opts: opts}
 	if !opts.NoSupportIndex {
 		sys.support = newSupportIndex(opts.shardCount())
 	}
 	for _, r := range schema.Relations() {
-		if _, err := db.CreateTable(relstore.SchemaOf(r)); err != nil {
+		if err := ensureTable(db, relstore.SchemaOf(r)); err != nil {
 			return nil, err
 		}
 	}
@@ -219,7 +247,7 @@ func NewSystem(schema *model.Schema, opts Options) (*System, error) {
 			for i := range key {
 				key[i] = i
 			}
-			if _, err := db.CreateTable(&relstore.TableSchema{
+			if err := ensureTable(db, &relstore.TableSchema{
 				Name:    pr.TableName,
 				Columns: pr.Cols,
 				Key:     key,

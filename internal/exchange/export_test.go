@@ -48,6 +48,12 @@ func (s *System) SupportSignature() string {
 // index.
 func (s *System) HasSupportIndex() bool { return s.support != nil }
 
+// EnsureSupport forces the lazy support-index rebuild from the
+// provenance tables (the recovery differential compares a recovered
+// system's rebuilt index against a never-crashed one's hook-maintained
+// index).
+func (s *System) EnsureSupport() error { return s.ensureSupport() }
+
 // SupportPoolSizes reports the support index's pool lengths and free-
 // list sizes, summed over shards: total derivation slots, live
 // derivations, edge-pool length, free edges, atom-pool length. Zeroes

@@ -1,0 +1,278 @@
+package exchange_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/exchange"
+	"repro/internal/model"
+	"repro/internal/wal"
+)
+
+// The crash-recovery differential: a durable system killed at an
+// arbitrary point — between committed batches or mid-append (torn log
+// tail) — then reopened and driven through the remaining workload must
+// end byte-identical to a never-crashed in-memory system that executed
+// the whole workload: same instance (every table), same support index.
+//
+// Each script op commits exactly one logged batch, so a kill "inside"
+// op i recovers the state after op i-1 and the driver re-applies ops
+// i..n — the crash-and-continue discipline a real peer follows.
+
+// recoveryOp is one scripted mutation. Ops must be deterministic and
+// commit exactly one batch.
+type recoveryOp struct {
+	name  string
+	apply func(sys *exchange.System) error
+}
+
+func insOp(rel string, vals ...int64) recoveryOp {
+	rows := make([]model.Tuple, len(vals))
+	for i, v := range vals {
+		rows[i] = model.Tuple{v}
+	}
+	return recoveryOp{
+		name:  fmt.Sprintf("insert %s%v", rel, vals),
+		apply: func(sys *exchange.System) error { return sys.InsertLocal(rel, rows...) },
+	}
+}
+
+func runOp() recoveryOp {
+	return recoveryOp{name: "run", apply: func(sys *exchange.System) error {
+		_, err := sys.RunDelta()
+		return err
+	}}
+}
+
+func delOp(rel string, key int64) recoveryOp {
+	return recoveryOp{
+		name: fmt.Sprintf("delete %s[%d]", rel, key),
+		apply: func(sys *exchange.System) error {
+			_, err := sys.DeleteLocal(rel, []model.Datum{key})
+			return err
+		},
+	}
+}
+
+// recoveryScript drives the P⇄Q / R→P cycle schema through inserts,
+// delta runs, and propagated deletions.
+func recoveryScript() []recoveryOp {
+	return []recoveryOp{
+		insOp("R", 0, 1, 2),
+		insOp("P", 1),
+		runOp(),
+		insOp("Q", 1, 2),
+		runOp(),
+		insOp("R", 3, 4),
+		runOp(),
+		delOp("R", 1),
+		insOp("Q", 5),
+		runOp(),
+		delOp("Q", 2),
+		insOp("R", 6),
+		runOp(),
+	}
+}
+
+func cycleSchema(t *testing.T) *model.Schema {
+	t.Helper()
+	schema := model.NewSchema()
+	cols := []model.Column{{Name: "x", Type: model.TypeInt}}
+	for _, name := range []string{"P", "Q", "R"} {
+		if err := schema.AddRelation(model.MustRelation(name, cols, "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := model.V
+	for _, m := range []*model.Mapping{
+		model.NewMapping("mRP", model.NewAtom("P", v("x")), model.NewAtom("R", v("x"))),
+		model.NewMapping("mPQ", model.NewAtom("Q", v("x")), model.NewAtom("P", v("x"))),
+		model.NewMapping("mQP", model.NewAtom("P", v("x")), model.NewAtom("Q", v("x"))),
+	} {
+		if err := schema.AddMapping(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return schema
+}
+
+func instanceSignature(sys *exchange.System) string {
+	sig := ""
+	for _, name := range sys.DB.TableNames() {
+		sig += name + ":"
+		for _, row := range sys.DB.MustTable(name).SortedRows() {
+			sig += model.EncodeDatums(row) + ";"
+		}
+		sig += "\n"
+	}
+	return sig
+}
+
+// currentWAL locates the live log segment (exactly one per directory).
+func currentWAL(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("expected one live wal segment in %s, got %v (%v)", dir, matches, err)
+	}
+	return matches[0]
+}
+
+func TestCrashRecoveryDifferential(t *testing.T) {
+	schema := cycleSchema(t)
+	ops := recoveryScript()
+
+	// Never-crashed oracle: plain in-memory system, whole script.
+	oracle, err := exchange.NewSystem(schema, exchange.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		if err := op.apply(oracle); err != nil {
+			t.Fatalf("oracle %s: %v", op.name, err)
+		}
+	}
+	wantSig := instanceSignature(oracle)
+	if err := oracle.EnsureSupport(); err != nil {
+		t.Fatal(err)
+	}
+	wantSupport := oracle.SupportSignature()
+	if wantSupport == "" {
+		t.Fatal("oracle produced an empty support signature")
+	}
+
+	for k := 0; k <= len(ops); k++ {
+		for _, torn := range []bool{false, true} {
+			if torn && k == 0 {
+				continue // nothing on disk to tear yet
+			}
+			t.Run(fmt.Sprintf("crash=%d/torn=%v", k, torn), func(t *testing.T) {
+				dir := t.TempDir()
+				sys, st, err := exchange.OpenDurable(cycleSchema(t), dir, wal.Options{}, exchange.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				walPath := currentWAL(t, dir)
+				// sizes[i] is the segment length after ops[i] committed;
+				// truncating into (sizes[i-1], sizes[i]) simulates a kill
+				// mid-append of op i's batch.
+				sizes := make([]int64, k)
+				for i := 0; i < k; i++ {
+					if err := ops[i].apply(sys); err != nil {
+						t.Fatalf("%s: %v", ops[i].name, err)
+					}
+					fi, err := os.Stat(walPath)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sizes[i] = fi.Size()
+				}
+				// Kill: abandon the store without Close. Every committed
+				// batch was flushed; the in-process handle just leaks until
+				// the test ends.
+				_ = st
+				resume := k
+				if torn {
+					// Tear op k-1's batch: keep a strict prefix of its
+					// record, forcing recovery back to op k-2's state.
+					prev := int64(0)
+					if k > 1 {
+						prev = sizes[k-2]
+					}
+					if sizes[k-1] <= prev+1 {
+						t.Skip("op appended no bytes to tear")
+					}
+					if err := os.Truncate(walPath, prev+1); err != nil {
+						t.Fatal(err)
+					}
+					resume = k - 1
+				}
+
+				rec, st2, err := exchange.OpenDurable(cycleSchema(t), dir, wal.Options{}, exchange.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer st2.Close()
+				for i := resume; i < len(ops); i++ {
+					if err := ops[i].apply(rec); err != nil {
+						t.Fatalf("resumed %s: %v", ops[i].name, err)
+					}
+				}
+				if got := instanceSignature(rec); got != wantSig {
+					t.Fatalf("recovered instance differs from never-crashed oracle\ngot:\n%s\nwant:\n%s", got, wantSig)
+				}
+				if err := rec.EnsureSupport(); err != nil {
+					t.Fatal(err)
+				}
+				if got := rec.SupportSignature(); got != wantSupport {
+					t.Fatalf("recovered support index differs\ngot:\n%s\nwant:\n%s", got, wantSupport)
+				}
+				if err := rec.JournalsMirrorTables(); err != nil {
+					t.Fatalf("recovered journals do not mirror tables: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestRecoveryWithCheckpoint crashes after a mid-script checkpoint and
+// checks recovery = checkpoint + suffix replay, still matching the
+// oracle.
+func TestRecoveryWithCheckpoint(t *testing.T) {
+	schema := cycleSchema(t)
+	ops := recoveryScript()
+	oracle, err := exchange.NewSystem(schema, exchange.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		if err := op.apply(oracle); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := oracle.EnsureSupport(); err != nil {
+		t.Fatal(err)
+	}
+
+	for ckptAt := 1; ckptAt < len(ops); ckptAt += 3 {
+		t.Run(fmt.Sprintf("ckpt=%d", ckptAt), func(t *testing.T) {
+			dir := t.TempDir()
+			sys, st, err := exchange.OpenDurable(cycleSchema(t), dir, wal.Options{}, exchange.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, op := range ops {
+				if err := op.apply(sys); err != nil {
+					t.Fatalf("%s: %v", op.name, err)
+				}
+				if i == ckptAt {
+					if err := st.Checkpoint(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			// Kill without Close, reopen.
+			rec, st2, err := exchange.OpenDurable(cycleSchema(t), dir, wal.Options{}, exchange.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st2.Close()
+			if got, want := instanceSignature(rec), instanceSignature(oracle); got != want {
+				t.Fatalf("recovered instance differs\ngot:\n%s\nwant:\n%s", got, want)
+			}
+			if err := rec.EnsureSupport(); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := rec.SupportSignature(), oracle.SupportSignature(); got != want {
+				t.Fatalf("recovered support index differs\ngot:\n%s\nwant:\n%s", got, want)
+			}
+			// Recovery touched only the suffix: batches after the
+			// checkpoint, not the whole history.
+			if st2.Replayed() >= len(ops) {
+				t.Fatalf("replayed %d batches despite checkpoint at op %d", st2.Replayed(), ckptAt)
+			}
+		})
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/exchange"
 	"repro/internal/model"
+	"repro/internal/wal"
 )
 
 // Example 2.1 mapping names.
@@ -109,22 +110,50 @@ func System(opts Options) (*exchange.System, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := seedBase(sys); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// DurableSystem is System over persistent storage in dir: a fresh
+// directory is seeded with the Figure 1 base data and exchanged; an
+// existing one recovers its instance (checkpoint + log replay, warm
+// engine re-attach) without re-seeding, so mutations from earlier
+// processes survive restarts.
+func DurableSystem(opts Options, dir string, wopts wal.Options) (*exchange.System, *wal.Store, error) {
+	schema, err := Schema(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	sys, st, err := exchange.OpenDurable(schema, dir, wopts, opts.Exchange)
+	if err != nil {
+		return nil, nil, err
+	}
+	if sys.DB.TotalRows() == 0 {
+		if err := seedBase(sys); err != nil {
+			st.Close()
+			return nil, nil, err
+		}
+	}
+	return sys, st, nil
+}
+
+// seedBase loads the Figure 1 base data and runs the initial exchange.
+func seedBase(sys *exchange.System) error {
 	if err := sys.InsertLocal("A",
 		model.Tuple{int64(1), "sn1", int64(7)},
 		model.Tuple{int64(2), "sn2", int64(5)},
 	); err != nil {
-		return nil, err
+		return err
 	}
 	if err := sys.InsertLocal("N", model.Tuple{int64(1), "cn1", false}); err != nil {
-		return nil, err
+		return err
 	}
 	if err := sys.InsertLocal("C", model.Tuple{int64(2), "cn2"}); err != nil {
-		return nil, err
+		return err
 	}
-	if err := sys.Run(); err != nil {
-		return nil, err
-	}
-	return sys, nil
+	return sys.Run()
 }
 
 // MustSystem is System for tests and examples that cannot proceed on

@@ -37,6 +37,13 @@ type Query struct {
 	MapAssign *AssignClause
 	// Projection is the graph-projection block.
 	Projection Projection
+
+	// Cancel, when non-nil, is polled during execution (per result row
+	// / start tuple); a non-nil return aborts the query with that
+	// error. It is per-request state, not part of the query shape —
+	// the plan cache ignores it. Set it directly or via the engine's
+	// Exec*Context entry points.
+	Cancel func() error
 }
 
 // Projection is the FOR / WHERE / INCLUDE PATH / RETURN block.

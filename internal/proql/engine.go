@@ -1,6 +1,7 @@
 package proql
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -214,6 +215,28 @@ func (e *Engine) ExecASR(q *Query) (*Result, error) {
 // the pipeline has fully replaced it.
 func (e *Engine) ExecGraphLegacy(q *Query) (*Result, error) {
 	return e.execGraph(q)
+}
+
+// ExecContext is Exec under a context: the query polls ctx during
+// evaluation (per result row / start tuple) and aborts with ctx.Err()
+// once the context is cancelled or its deadline passes — the entry
+// point servers use to bound query time. The context binding is
+// per-call state on q; the plan cache is unaffected.
+func (e *Engine) ExecContext(ctx context.Context, q *Query) (*Result, error) {
+	q.Cancel = ctx.Err
+	return e.Exec(q)
+}
+
+// ExecGraphContext is ExecGraph under a context (see ExecContext).
+func (e *Engine) ExecGraphContext(ctx context.Context, q *Query) (*Result, error) {
+	q.Cancel = ctx.Err
+	return e.ExecGraph(q)
+}
+
+// ExecASRContext is ExecASR under a context (see ExecContext).
+func (e *Engine) ExecASRContext(ctx context.Context, q *Query) (*Result, error) {
+	q.Cancel = ctx.Err
+	return e.ExecASR(q)
 }
 
 // ExecString parses and runs a query.

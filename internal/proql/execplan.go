@@ -53,6 +53,11 @@ func (e *Engine) execPhys(q *Query, g physplan.Graph, backend string, workers in
 	}
 	defer it.Close()
 	for {
+		if q.Cancel != nil {
+			if err := q.Cancel(); err != nil {
+				return nil, err
+			}
+		}
 		row, ok, err := it.Next()
 		if err != nil {
 			return nil, err
@@ -118,6 +123,7 @@ func (e *Engine) lowerSpec(g physplan.Graph, q *Query, outG *provgraph.Graph, wo
 		Return:  q.Projection.Return,
 		Out:     outG,
 		Workers: workers,
+		Cancel:  q.Cancel,
 	}
 	pathVars := map[string]bool{}
 	for _, p := range q.Projection.For {

@@ -172,6 +172,11 @@ func (e *Engine) execUnfold(comp *Compiled) (*Result, error) {
 	// (subject to WHERE), independent of derivations.
 	if singleNode {
 		if err := scanAnchor(sys, comp, anchorRel, func(row model.Tuple, ref model.TupleRef) error {
+			if q.Cancel != nil {
+				if err := q.Cancel(); err != nil {
+					return err
+				}
+			}
 			addBinding(ref, anchorRel.KeyOf(row))
 			if s != nil && !includeGraph {
 				// With no INCLUDE PATH the projected subgraph is just
@@ -200,6 +205,11 @@ func (e *Engine) execUnfold(comp *Compiled) (*Result, error) {
 	it := ruleStream(sys.DB, plans)
 	defer it.Close()
 	for {
+		if q.Cancel != nil {
+			if err := q.Cancel(); err != nil {
+				return nil, err
+			}
+		}
 		rr, ok, err := it.Next()
 		if err != nil {
 			return nil, err

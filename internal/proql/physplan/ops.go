@@ -78,6 +78,7 @@ type Scan struct {
 	workers int
 	desc    string
 	est     float64
+	cancel  func() error
 }
 
 // Schema implements Op.
@@ -102,6 +103,11 @@ func (s *Scan) Open() (stream.Iterator[Row], error) {
 		i := 0
 		return &batchIter{produce: func() ([]Row, bool, error) {
 			for i < len(starts) {
+				if s.cancel != nil {
+					if err := s.cancel(); err != nil {
+						return nil, false, err
+					}
+				}
 				st := starts[i]
 				i++
 				var batch []Row
@@ -143,6 +149,9 @@ func (s *Scan) openParallel(starts []Tuple, seed Row) stream.Iterator[Row] {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if s.cancel != nil && s.cancel() != nil {
+					return
+				}
 				var batch []Row
 				s.bp.matchStart(s.g, starts[i], seed, func(r Row) bool {
 					batch = append(batch, r)
@@ -165,6 +174,11 @@ func (s *Scan) openParallel(starts []Tuple, seed Row) stream.Iterator[Row] {
 	}()
 	return &batchIter{
 		produce: func() ([]Row, bool, error) {
+			if s.cancel != nil {
+				if err := s.cancel(); err != nil {
+					return nil, false, err
+				}
+			}
 			b, ok := <-out
 			if !ok {
 				return nil, false, nil
@@ -184,6 +198,7 @@ type Extend struct {
 	bp     boundPath
 	schema *Schema
 	desc   string
+	cancel func() error
 }
 
 // Schema implements Op.
@@ -203,6 +218,11 @@ func (e *Extend) Open() (stream.Iterator[Row], error) {
 	return &batchIter{
 		produce: func() ([]Row, bool, error) {
 			for {
+				if e.cancel != nil {
+					if err := e.cancel(); err != nil {
+						return nil, false, err
+					}
+				}
 				row, ok, err := in.Next()
 				if err != nil || !ok {
 					return nil, false, err

@@ -31,6 +31,11 @@ type Spec struct {
 	// Workers > 1 partitions the root path scan's start tuples over a
 	// worker pool.
 	Workers int
+	// Cancel, when non-nil, is polled by the long-running operators
+	// (one check per start tuple / input row); a non-nil return aborts
+	// the plan with that error. The engine wires a request context's
+	// Err here so servers can bound query time.
+	Cancel func() error
 }
 
 // Decisions captures the planner's data-dependent choices — the join
@@ -163,11 +168,11 @@ func compile(g Graph, spec Spec, dec *Decisions) (*Plan, error) {
 		desc := bp.startsDesc(bound)
 		switch {
 		case root == nil:
-			root = &Scan{g: g, bp: bp, schema: schema, workers: spec.Workers, desc: desc, est: costFor(oi, p, bound)}
+			root = &Scan{g: g, bp: bp, schema: schema, workers: spec.Workers, desc: desc, est: costFor(oi, p, bound), cancel: spec.Cancel}
 		case startBound(p, bound):
 			// Goal-directed: the start tuple (or first-edge derivation)
 			// is bound by earlier paths — extend row by row.
-			root = &Extend{input: root, g: g, bp: bp, schema: schema, desc: desc}
+			root = &Extend{input: root, g: g, bp: bp, schema: schema, desc: desc, cancel: spec.Cancel}
 		default:
 			// Independent scan hash-joined on the shared variables
 			// (empty = cross product).
@@ -178,7 +183,7 @@ func compile(g Graph, spec Spec, dec *Decisions) (*Plan, error) {
 			}
 			// The independent scan runs uncorrelated, so its cost
 			// ignores variables bound on the probe side.
-			right := &Scan{g: g, bp: bp, schema: schema, desc: desc, est: costFor(oi, p, nil)}
+			right := &Scan{g: g, bp: bp, schema: schema, desc: desc, est: costFor(oi, p, nil), cancel: spec.Cancel}
 			root = &HashJoin{left: root, right: right, on: shared, onCols: onCols, schema: schema}
 		}
 		for _, v := range p.Vars() {
@@ -191,7 +196,7 @@ func compile(g Graph, spec Spec, dec *Decisions) (*Plan, error) {
 	if root == nil {
 		// No FOR paths: a single empty row (mirrors the interpreter's
 		// unit seed binding).
-		root = &Scan{g: g, bp: bindPath(Path{Nodes: []Node{{}}}, schema), schema: schema, desc: "start=scan:all"}
+		root = &Scan{g: g, bp: bindPath(Path{Nodes: []Node{{}}}, schema), schema: schema, desc: "start=scan:all", cancel: spec.Cancel}
 	}
 	// The authoritative filters, in query order. Filters whose
 	// variables no FOR path binds surface the interpreter's

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/model"
 )
 
 // Database is a named collection of tables — one peer's replica of the
@@ -22,6 +24,11 @@ import (
 // once. Snapshot pins the current epoch and returns a read-only view;
 // deleted slots are reclaimed only once no pin can still observe them.
 type Database struct {
+	// BackendFactory, when non-nil, supplies the slot store behind every
+	// table subsequently created on this database (backend.go); nil uses
+	// the in-memory default. Set it before creating tables.
+	BackendFactory func(*TableSchema) Backend
+
 	mu     sync.Mutex // guards tables and pins
 	tables map[string]*Table
 	pins   map[uint64]int
@@ -37,6 +44,14 @@ type Database struct {
 	ndead     atomic.Int64
 	dirtyMu   sync.Mutex
 	dirtyTabs map[*tableState]struct{}
+
+	// Commit capture: while hook is set, every mutation appends a
+	// LoggedOp to logOps (under logMu — sharded syncs write different
+	// tables concurrently) and publish hands the batch to the hook with
+	// its epoch. hook is written once, before any logged mutation.
+	hook   CommitHook
+	logMu  sync.Mutex
+	logOps []LoggedOp
 
 	// Snapshot views: base points at the writable database, snapEpoch
 	// and snapVersion freeze what the view observes.
@@ -161,7 +176,16 @@ func (db *Database) opPublish() {
 }
 
 func (db *Database) publish() {
-	db.published.Add(1)
+	e := db.published.Add(1)
+	if db.hook != nil {
+		db.logMu.Lock()
+		ops := db.logOps
+		db.logOps = nil
+		db.logMu.Unlock()
+		if len(ops) > 0 {
+			db.hook(e, ops)
+		}
+	}
 	db.tryReclaim()
 }
 
@@ -176,9 +200,13 @@ func (db *Database) noteDead(s *tableState) {
 }
 
 // tryReclaim sweeps dead slots that no pinned snapshot can still
-// observe. The horizon is the oldest pinned epoch (or the published
-// epoch when nothing is pinned): a slot that died at or before it is
-// invisible to every current and future reader.
+// observe. The observable epochs are the pinned ones plus the
+// published epoch (a future snapshot pins at or after it); a dead
+// version whose [born, died) interval contains none of them is gone
+// for good. Sweeping against the whole pin set — not just the oldest
+// pin — squashes hot-key version chains under a long-pinned snapshot:
+// versions born and dead entirely between two pins reclaim
+// immediately instead of accumulating behind the horizon.
 func (db *Database) tryReclaim() {
 	if db.base != nil || db.ndead.Load() == 0 {
 		return
@@ -195,16 +223,19 @@ func (db *Database) tryReclaim() {
 	clear(db.dirtyTabs)
 	db.dirtyMu.Unlock()
 	db.mu.Lock()
-	horizon := db.published.Load()
+	// pub must be read under the same lock Snapshot pins under: a pin
+	// racing in after the copy lands at an epoch >= pub, and sweep
+	// keeps everything that died after pub.
+	pub := db.published.Load()
+	pins := make([]uint64, 0, len(db.pins))
 	for e := range db.pins {
-		if e < horizon {
-			horizon = e
-		}
+		pins = append(pins, e)
 	}
 	db.mu.Unlock()
+	sort.Slice(pins, func(i, j int) bool { return pins[i] < pins[j] })
 	total := 0
 	for _, s := range tabs {
-		n, remaining := s.sweep(horizon)
+		n, remaining := s.sweep(pins, pub)
 		total += n
 		if remaining {
 			db.dirtyMu.Lock()
@@ -214,6 +245,68 @@ func (db *Database) tryReclaim() {
 	}
 	if total > 0 {
 		db.ndead.Add(-int64(total))
+	}
+}
+
+// OpKind discriminates the mutations a commit hook observes.
+type OpKind uint8
+
+const (
+	// OpInsert is a row insertion; Row holds the stored tuple.
+	OpInsert OpKind = iota + 1
+	// OpDeleteKey is a keyed delete; Key holds the canonical primary-key
+	// encoding (model.EncodeDatums of the key attributes).
+	OpDeleteKey
+	// OpDeleteRow is a keyless delete; Row holds the removed tuple
+	// (replay removes one matching row — one delete under multiset
+	// semantics).
+	OpDeleteRow
+	// OpCreateTable is a table creation; Schema holds the definition.
+	OpCreateTable
+	// OpDropTable removes the named table.
+	OpDropTable
+)
+
+// LoggedOp is one captured mutation, in execution order within its
+// commit. Row tuples are aliased, not copied — they are immutable once
+// stored, and hooks run synchronously inside the commit.
+type LoggedOp struct {
+	Kind   OpKind
+	Table  string
+	Row    model.Tuple
+	Key    string
+	Schema *TableSchema
+}
+
+// CommitHook observes committed batches: epoch is the just-published
+// epoch and ops every mutation it made visible, in execution order.
+// The hook runs synchronously inside the publish (EndBatch or the
+// per-operation publish outside batches) — this is the write-ahead
+// log's append point. It must not mutate the database.
+type CommitHook func(epoch uint64, ops []LoggedOp)
+
+// SetCommitHook installs the commit hook. It must be installed before
+// any mutation it should observe and before concurrent use of the
+// database; mutations made while no hook is set are not captured
+// (recovery replays run exactly so).
+func (db *Database) SetCommitHook(h CommitHook) { db.hook = h }
+
+// logOp appends one captured mutation to the pending commit's log.
+func (db *Database) logOp(op LoggedOp) {
+	db.logMu.Lock()
+	db.logOps = append(db.logOps, op)
+	db.logMu.Unlock()
+}
+
+// FastForward advances the published epoch to at least e. Recovery
+// uses it after replaying a write-ahead log so that epochs committed
+// after the restart stay ahead of every epoch already on disk.
+func (db *Database) FastForward(e uint64) {
+	for {
+		cur := db.published.Load()
+		if e <= cur || db.published.CompareAndSwap(cur, e) {
+			return
+		}
 	}
 }
 
@@ -239,13 +332,23 @@ func (db *Database) CreateTable(schema *TableSchema) (*Table, error) {
 		return nil, fmt.Errorf("relstore: CreateTable on a read-only snapshot")
 	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if _, dup := db.tables[schema.Name]; dup {
+		db.mu.Unlock()
 		return nil, fmt.Errorf("relstore: table %q already exists", schema.Name)
 	}
 	t := newTable(schema, db)
 	db.tables[schema.Name] = t
 	db.version.Add(1)
+	logged := db.hook != nil
+	if logged {
+		db.logOp(LoggedOp{Kind: OpCreateTable, Table: schema.Name, Schema: schema})
+	}
+	db.mu.Unlock()
+	if logged {
+		// DDL publishes like any mutation so the logged op reaches the
+		// commit hook even when no row write follows it.
+		db.opPublish()
+	}
 	return t, nil
 }
 
@@ -256,10 +359,18 @@ func (db *Database) DropTable(name string) {
 		return
 	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
+	logged := false
 	if _, ok := db.tables[name]; ok {
 		delete(db.tables, name)
 		db.version.Add(1)
+		if db.hook != nil {
+			db.logOp(LoggedOp{Kind: OpDropTable, Table: name})
+			logged = true
+		}
+	}
+	db.mu.Unlock()
+	if logged {
+		db.opPublish()
 	}
 }
 

@@ -13,7 +13,9 @@
 // against a consistent state while delta runs keep committing. The
 // writer pays O(changed rows) per commit — no copy-on-write of tables
 // or indexes — and deleted slots are reclaimed once no pinned snapshot
-// can still observe them. See snapshot.go for the epoch discipline.
+// can still observe them. See snapshot.go for the epoch discipline,
+// backend.go for the pluggable slot store behind each table, and
+// snapshot.go's commit hook for the write-ahead logging seam.
 package relstore
 
 import (
@@ -49,7 +51,7 @@ func SchemaOf(r *model.Relation) *TableSchema {
 	return &TableSchema{Name: r.Name, Columns: r.Columns, Key: r.Key}
 }
 
-// Table is a handle to an in-memory table with optional primary-key
+// Table is a handle to a stored table with optional primary-key
 // enforcement and optional secondary hash indexes. The handle is
 // cheap: the writable head table and every snapshot view share the
 // same guarded state, differing only in the epoch they read as of.
@@ -67,33 +69,26 @@ type Table struct {
 }
 
 // tableState is the versioned storage shared by a head table and all
-// of its snapshot views.
+// of its snapshot views: a slot Backend holding the row versions, plus
+// the key map, secondary indexes, and reclamation bookkeeping.
 type tableState struct {
 	mu     sync.RWMutex
 	schema *TableSchema
 	// db is the owning database (epoch source); nil for standalone
 	// tables, which delete eagerly since no snapshot can observe them.
-	db   *Database
-	rows []model.Tuple
-	// born and died are the slot's visibility interval: a reader at
-	// epoch E sees slot i iff born[i] <= E < died[i] (died 0 = live).
-	born []uint64
-	died []uint64
-	// prev chains older versions of the same primary key: pk points at
-	// the newest slot for a key, prev at the one it replaced (-1 none).
-	// Only delete-then-reinsert of the same key grows a chain, and
-	// reclamation splices it back out.
-	prev []int
+	db *Database
+	// be stores the row versions (slot → tuple, born/died interval,
+	// version-chain link). memBackend unless the database plugs in
+	// another one.
+	be Backend
 	// pk maps encoded key datums to the newest slot for that key (only
 	// when Key != nil). The entry may point at a dead slot until the
-	// slot is reclaimed.
+	// slot is reclaimed; prev links chain the older versions behind it.
 	pk map[string]int
 	// indexes maps an index name (from IndexName) to a hash index.
 	// Buckets hold live and dead-but-unreclaimed slots; probes filter
 	// by visibility.
 	indexes map[string]*hashIndex
-	// free lists reclaimed row slots for reuse; nil rows mark them.
-	free []int
 	// dead lists deleted slots awaiting reclamation (empty for
 	// standalone tables, which reclaim inside the delete).
 	dead []int
@@ -109,7 +104,7 @@ type tableState struct {
 	ixBuf  []byte
 }
 
-// hashIndex maps encoded column values to the row indexes holding them.
+// hashIndex maps encoded column values to the row slots holding them.
 type hashIndex struct {
 	cols    []int
 	buckets map[string][]int
@@ -122,7 +117,11 @@ func NewTable(schema *TableSchema) *Table {
 }
 
 func newTable(schema *TableSchema, db *Database) *Table {
-	s := &tableState{schema: schema, db: db, indexes: make(map[string]*hashIndex)}
+	factory := newMemBackend
+	if db != nil && db.BackendFactory != nil {
+		factory = db.BackendFactory
+	}
+	s := &tableState{schema: schema, db: db, be: factory(schema), indexes: make(map[string]*hashIndex)}
 	if schema.Key != nil {
 		s.pk = make(map[string]int)
 	}
@@ -142,13 +141,28 @@ func (s *tableState) stamp() uint64 {
 // visible reports whether slot i exists at epoch asOf (0 = the
 // writer's view of the latest state). Callers hold s.mu.
 func (s *tableState) visible(i int, asOf uint64) bool {
-	if s.rows[i] == nil {
-		return false
+	_, ok := s.liveRow(i, asOf)
+	return ok
+}
+
+// liveRow returns the slot's row when it is visible at asOf (0 = the
+// writer's view). Callers hold s.mu.
+func (s *tableState) liveRow(i int, asOf uint64) (model.Tuple, bool) {
+	row := s.be.Row(i)
+	if row == nil {
+		return nil, false
 	}
+	born, died := s.be.Stamps(i)
 	if asOf == 0 {
-		return s.died[i] == 0
+		if died != 0 {
+			return nil, false
+		}
+		return row, true
 	}
-	return s.born[i] <= asOf && (s.died[i] == 0 || s.died[i] > asOf)
+	if born <= asOf && (died == 0 || died > asOf) {
+		return row, true
+	}
+	return nil, false
 }
 
 func (t *Table) readOnlyErr() error {
@@ -174,7 +188,7 @@ func (t *Table) Len() int {
 		return s.live
 	}
 	n := 0
-	for i := range s.rows {
+	for i, slots := 0, s.be.Slots(); i < slots; i++ {
 		if s.visible(i, t.asOf) {
 			n++
 		}
@@ -216,37 +230,118 @@ func (t *Table) InsertKeyed(row model.Tuple) ([]byte, bool, error) {
 	return key, inserted, nil
 }
 
+// BulkLoad inserts a batch of rows through a single lock acquisition
+// and a single publish, presizing the backend and the primary-key map
+// for the whole batch. It is the checkpoint-recovery fast path:
+// loading a large snapshot through per-row Insert pays a lock round
+// trip, a publish check, a duplicate probe, and incremental map and
+// slice growth per row, which dominates restart time. Every row must
+// be new — on keyed tables a key that repeats within the batch or
+// already exists in the table is an error (a consistent snapshot
+// never holds one; a checkpoint that does is corrupt), detected by
+// the map's size not growing, so each key is hashed exactly once. On
+// error the table is left partially loaded and must be discarded.
+// Rows are stored by reference; the batch publishes as one epoch.
+// Returns how many rows were inserted.
+func (t *Table) BulkLoad(rows []model.Tuple) (int, error) {
+	if t.asOf != 0 {
+		return 0, t.readOnlyErr()
+	}
+	s := t.s
+	for _, row := range rows {
+		if len(row) != len(t.Schema.Columns) {
+			return 0, fmt.Errorf("relstore: %s: row arity %d, want %d", t.Schema.Name, len(row), len(t.Schema.Columns))
+		}
+	}
+	s.mu.Lock()
+	if g, ok := s.be.(growableBackend); ok {
+		g.Grow(len(rows))
+	}
+	if s.pk != nil && len(s.pk) == 0 {
+		s.pk = make(map[string]int, len(rows))
+	}
+	for _, row := range rows {
+		idx := s.be.Claim(row, s.stamp())
+		if s.pk != nil {
+			key := s.encodeKey(row, s.schema.Key)
+			before := len(s.pk)
+			s.pk[string(key)] = idx
+			if len(s.pk) == before {
+				s.mu.Unlock()
+				return 0, fmt.Errorf("relstore: %s: duplicate key %q in bulk load", t.Schema.Name, key)
+			}
+		}
+		s.indexRow(idx, row)
+		s.live++
+		s.logInsert(row)
+	}
+	s.mu.Unlock()
+	if len(rows) > 0 && s.db != nil {
+		s.db.opPublish()
+	}
+	return len(rows), nil
+}
+
 // insert does the keyed/keyless insert under s.mu, returning the key
 // encoding (aliasing keyBuf) and whether the row was new.
 func (s *tableState) insert(row model.Tuple) ([]byte, bool) {
 	if s.pk == nil {
-		idx := s.claimSlot(row)
+		idx := s.be.Claim(row, s.stamp())
 		s.indexRow(idx, row)
 		s.live++
+		s.logInsert(row)
 		return nil, true
 	}
 	// Duplicate lookup through the scratch buffer is allocation-free;
 	// the key string is materialized only for new rows.
 	key := s.encodeKey(row, s.schema.Key)
 	if head, ok := s.pk[string(key)]; ok {
-		if s.died[head] == 0 {
+		if _, died := s.be.Stamps(head); died == 0 {
 			return key, false
 		}
 		// The key was deleted: the new row starts a fresh version,
 		// chained to the dead one so snapshots keep finding the old
 		// version until it is reclaimed.
-		idx := s.claimSlot(row)
-		s.prev[idx] = head
+		idx := s.be.Claim(row, s.stamp())
+		s.be.SetPrev(idx, head)
 		s.pk[string(key)] = idx
 		s.indexRow(idx, row)
 		s.live++
+		s.logInsert(row)
 		return key, true
 	}
-	idx := s.claimSlot(row)
+	idx := s.be.Claim(row, s.stamp())
 	s.pk[string(key)] = idx
 	s.indexRow(idx, row)
 	s.live++
+	s.logInsert(row)
 	return key, true
+}
+
+// logInsert captures the insert for the database's commit log. Called
+// under s.mu; a no-op unless a commit hook is installed.
+func (s *tableState) logInsert(row model.Tuple) {
+	if s.db == nil || s.db.hook == nil {
+		return
+	}
+	s.db.logOp(LoggedOp{Kind: OpInsert, Table: s.schema.Name, Row: row})
+}
+
+// logDelete captures the logical delete of a live row for the
+// database's commit log: by canonical key encoding for keyed tables,
+// by full row for keyless ones (replay removes one matching row, which
+// is exactly one delete under multiset semantics). Called under s.mu.
+func (s *tableState) logDelete(row model.Tuple) {
+	if s.db == nil || s.db.hook == nil {
+		return
+	}
+	op := LoggedOp{Table: s.schema.Name}
+	if s.schema.Key != nil {
+		op.Kind, op.Key = OpDeleteKey, encodeCols(row, s.schema.Key)
+	} else {
+		op.Kind, op.Row = OpDeleteRow, row
+	}
+	s.db.logOp(op)
 }
 
 // encodeKey encodes the row's cols into the table's scratch buffer;
@@ -258,22 +353,6 @@ func (s *tableState) encodeKey(row model.Tuple, cols []int) []byte {
 	}
 	s.keyBuf = buf
 	return buf
-}
-
-func (s *tableState) claimSlot(row model.Tuple) int {
-	e := s.stamp()
-	if n := len(s.free); n > 0 {
-		idx := s.free[n-1]
-		s.free = s.free[:n-1]
-		s.rows[idx] = row
-		s.born[idx], s.died[idx], s.prev[idx] = e, 0, -1
-		return idx
-	}
-	s.rows = append(s.rows, row)
-	s.born = append(s.born, e)
-	s.died = append(s.died, 0)
-	s.prev = append(s.prev, -1)
-	return len(s.rows) - 1
 }
 
 func (s *tableState) indexRow(idx int, row model.Tuple) {
@@ -313,10 +392,12 @@ func (t *Table) DeleteEncoded(enc string) (bool, error) {
 	}
 	s.mu.Lock()
 	idx, ok := s.pk[enc]
-	if ok && s.died[idx] == 0 {
-		s.kill(idx)
-	} else {
-		ok = false
+	if ok {
+		if _, died := s.be.Stamps(idx); died == 0 {
+			s.kill(idx)
+		} else {
+			ok = false
+		}
 	}
 	s.mu.Unlock()
 	if ok && s.db != nil {
@@ -329,7 +410,8 @@ func (t *Table) DeleteEncoded(enc string) (bool, error) {
 // reclaim immediately (no snapshot can observe them); tables owned by
 // a database defer reclamation to the epoch sweep.
 func (s *tableState) kill(idx int) {
-	s.died[idx] = s.stamp()
+	s.logDelete(s.be.Row(idx))
+	s.be.Kill(idx, s.stamp())
 	s.live--
 	if s.db == nil {
 		s.reclaim(idx)
@@ -340,10 +422,11 @@ func (s *tableState) kill(idx int) {
 }
 
 // reclaim removes a dead slot for good: its secondary-index entries
-// and primary-key chain link go away and the slot returns to the free
-// list. Callers hold s.mu and guarantee no snapshot can still see it.
+// and primary-key chain link go away and the slot returns to the
+// backend's free pool. Callers hold s.mu and guarantee no snapshot can
+// still see it.
 func (s *tableState) reclaim(idx int) {
-	row := s.rows[idx]
+	row := s.be.Row(idx)
 	for _, ix := range s.indexes {
 		k := encodeCols(row, ix.cols)
 		bucket := ix.buckets[k]
@@ -365,30 +448,36 @@ func (s *tableState) reclaim(idx int) {
 		key := encodeCols(row, s.schema.Key)
 		if head, ok := s.pk[key]; ok {
 			if head == idx {
-				if s.prev[idx] >= 0 {
-					s.pk[key] = s.prev[idx]
+				if prev := s.be.Prev(idx); prev >= 0 {
+					s.pk[key] = prev
 				} else {
 					delete(s.pk, key)
 				}
 			} else {
-				for cur := head; cur >= 0; cur = s.prev[cur] {
-					if s.prev[cur] == idx {
-						s.prev[cur] = s.prev[idx]
+				for cur := head; cur >= 0; cur = s.be.Prev(cur) {
+					if s.be.Prev(cur) == idx {
+						s.be.SetPrev(cur, s.be.Prev(idx))
 						break
 					}
 				}
 			}
 		}
 	}
-	s.rows[idx] = nil
-	s.prev[idx] = -1
-	s.free = append(s.free, idx)
+	s.be.Release(idx)
 }
 
-// sweep reclaims every dead slot that died at or before horizon,
-// returning how many it reclaimed and whether unreclaimable dead
-// slots remain (a pinned snapshot still observes them).
-func (s *tableState) sweep(horizon uint64) (int, bool) {
+// sweep reclaims every dead slot no longer observable, returning how
+// many it reclaimed and whether unreclaimable dead slots remain. pins
+// is the ascending set of pinned snapshot epochs and pub the published
+// epoch as read under the pin lock: a reader exists (or can start) at
+// each pin and at any epoch >= pub, so a dead version is reclaimable
+// iff it died at or before pub and its [born, died) interval contains
+// no pin. Sweeping against the whole pin set — not just the oldest pin
+// — is what squashes hot-key version chains under a long-pinned
+// snapshot: intermediate versions born and dead between two pins go
+// away immediately, keeping only the newest version visible per
+// pinned epoch.
+func (s *tableState) sweep(pins []uint64, pub uint64) (int, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.dead) == 0 {
@@ -397,15 +486,51 @@ func (s *tableState) sweep(horizon uint64) (int, bool) {
 	kept := s.dead[:0]
 	n := 0
 	for _, idx := range s.dead {
-		if s.died[idx] != 0 && s.died[idx] <= horizon {
-			s.reclaim(idx)
-			n++
-		} else {
-			kept = append(kept, idx)
+		born, died := s.be.Stamps(idx)
+		if died == 0 {
+			// Defensive: a live slot has no business on the dead list.
+			continue
 		}
+		if died > pub {
+			// Could still become visible to a snapshot pinned at or
+			// after pub.
+			kept = append(kept, idx)
+			continue
+		}
+		// Observable iff some pinned epoch falls inside [born, died).
+		i := sort.Search(len(pins), func(i int) bool { return pins[i] >= born })
+		if i < len(pins) && pins[i] < died {
+			kept = append(kept, idx)
+			continue
+		}
+		s.reclaim(idx)
+		n++
 	}
 	s.dead = kept
 	return n, len(kept) > 0
+}
+
+// ChainLen reports how many versions the table currently holds for the
+// given primary key: the newest slot plus every chained older version
+// awaiting reclamation. 0 when the key has no slot at all. Diagnostics
+// for the version-chain squash; O(chain length).
+func (t *Table) ChainLen(key []model.Datum) int {
+	s := t.s
+	if s.pk == nil {
+		return 0
+	}
+	enc := model.EncodeDatums(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idx, ok := s.pk[enc]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for cur := idx; cur >= 0; cur = s.be.Prev(cur) {
+		n++
+	}
+	return n
 }
 
 // DeleteWhere removes every live row for which match returns true,
@@ -422,8 +547,9 @@ func (t *Table) DeleteWhere(match func(model.Tuple) bool) int {
 	s := t.s
 	s.mu.Lock()
 	removed := 0
-	for idx := range s.rows {
-		if !s.visible(idx, 0) || !match(s.rows[idx]) {
+	for idx, slots := 0, s.be.Slots(); idx < slots; idx++ {
+		row, ok := s.liveRow(idx, 0)
+		if !ok || !match(row) {
 			continue
 		}
 		s.kill(idx)
@@ -481,13 +607,13 @@ func (t *Table) LookupEncoded(enc string) (model.Tuple, bool) {
 // newest version of a key can be live.
 func (s *tableState) lookupVersion(idx int, asOf uint64) (model.Tuple, bool) {
 	for idx >= 0 {
-		if s.visible(idx, asOf) {
-			return s.rows[idx], true
+		if row, ok := s.liveRow(idx, asOf); ok {
+			return row, true
 		}
 		if asOf == 0 {
 			return nil, false
 		}
-		idx = s.prev[idx]
+		idx = s.be.Prev(idx)
 	}
 	return nil, false
 }
@@ -505,16 +631,28 @@ func (t *Table) CreateIndex(cols []int) {
 }
 
 func (s *tableState) createIndexLocked(cols []int) {
-	ix := &hashIndex{cols: append([]int(nil), cols...), buckets: make(map[string][]int)}
+	// Presized for the worst case of all-distinct keys: an index build
+	// over a loaded table (the recovery path rebuilds every probe index
+	// at reopen) would otherwise spend most of its time rehashing the
+	// growing bucket map.
+	slots := s.be.Slots()
+	ix := &hashIndex{cols: append([]int(nil), cols...), buckets: make(map[string][]int, slots)}
 	// Dead-but-unreclaimed slots are indexed too: snapshot probes must
 	// still find them, and reclamation removes their entries.
-	for idx, row := range s.rows {
+	buf := s.ixBuf
+	for idx := 0; idx < slots; idx++ {
+		row := s.be.Row(idx)
 		if row == nil {
 			continue
 		}
-		k := encodeCols(row, cols)
+		buf = buf[:0]
+		for _, c := range cols {
+			buf = model.AppendDatum(buf, row[c])
+		}
+		k := string(buf)
 		ix.buckets[k] = append(ix.buckets[k], idx)
 	}
+	s.ixBuf = buf
 	s.indexes[IndexName(cols)] = ix
 }
 
@@ -575,14 +713,14 @@ func (t *Table) probeInto(out []model.Tuple, cols []int, vals []model.Datum) []m
 			buf = model.AppendDatum(buf, v)
 		}
 		for _, i := range ix.buckets[string(buf)] {
-			if s.visible(i, t.asOf) {
-				out = append(out, s.rows[i])
+			if row, ok := s.liveRow(i, t.asOf); ok {
+				out = append(out, row)
 			}
 		}
 	} else {
 		want := model.EncodeDatums(vals)
-		for i, row := range s.rows {
-			if s.visible(i, t.asOf) && encodeCols(row, cols) == want {
+		for i, slots := 0, s.be.Slots(); i < slots; i++ {
+			if row, ok := s.liveRow(i, t.asOf); ok && encodeCols(row, cols) == want {
 				out = append(out, row)
 			}
 		}
@@ -596,9 +734,9 @@ func (t *Table) probeInto(out []model.Tuple, cols []int, vals []model.Datum) []m
 func (t *Table) Rows() []model.Tuple {
 	s := t.s
 	s.mu.RLock()
-	out := make([]model.Tuple, 0, len(s.rows)-len(s.free))
-	for i, row := range s.rows {
-		if s.visible(i, t.asOf) {
+	out := make([]model.Tuple, 0, s.live)
+	for i, slots := 0, s.be.Slots(); i < slots; i++ {
+		if row, ok := s.liveRow(i, t.asOf); ok {
 			out = append(out, row)
 		}
 	}
@@ -622,15 +760,16 @@ func (t *Table) Iterate(fn func(model.Tuple) bool) {
 	pos := 0
 	for {
 		s.mu.RLock()
+		slots := s.be.Slots()
 		n := 0
-		for pos < len(s.rows) && n < len(batch) {
-			if s.visible(pos, t.asOf) {
-				batch[n] = s.rows[pos]
+		for pos < slots && n < len(batch) {
+			if row, ok := s.liveRow(pos, t.asOf); ok {
+				batch[n] = row
 				n++
 			}
 			pos++
 		}
-		done := pos >= len(s.rows)
+		done := pos >= slots
 		s.mu.RUnlock()
 		for i := 0; i < n; i++ {
 			if !fn(batch[i]) {
@@ -673,9 +812,10 @@ func (c *Cursor) Next() (model.Tuple, bool) {
 	c.buf = c.buf[:0]
 	c.bi = 0
 	s.mu.RLock()
-	for c.pos < len(s.rows) && len(c.buf) < iterateBatch {
-		if s.visible(c.pos, c.t.asOf) {
-			c.buf = append(c.buf, s.rows[c.pos])
+	slots := s.be.Slots()
+	for c.pos < slots && len(c.buf) < iterateBatch {
+		if row, ok := s.liveRow(c.pos, c.t.asOf); ok {
+			c.buf = append(c.buf, row)
 		}
 		c.pos++
 	}

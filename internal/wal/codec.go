@@ -1,0 +1,487 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/relstore"
+)
+
+// Batch is one committed relstore batch as stored in the log: the
+// epoch it published and its mutations in execution order. Rows and
+// keys reuse the canonical self-delimiting datum encoding
+// (model.AppendDatum), so log records round-trip exactly and a
+// replayed key is byte-identical to the one the primary-key map hashed
+// on the original run.
+type Batch struct {
+	Epoch uint64
+	Ops   []relstore.LoggedOp
+}
+
+// Payload byte layout (all integers uvarint, strings length-prefixed):
+//
+//	batch   := epoch nops op*
+//	op      := kind table body
+//	body    := row            (OpInsert, OpDeleteRow — EncodeDatums of the tuple)
+//	         | key            (OpDeleteKey — EncodeDatums of the key attributes)
+//	         | schema         (OpCreateTable)
+//	         | ε              (OpDropTable)
+//	schema  := ncols (name type)* nkey keypos*
+//	string  := len bytes
+
+func appendUvarint(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendSchema(buf []byte, sc *relstore.TableSchema) []byte {
+	buf = appendUvarint(buf, uint64(len(sc.Columns)))
+	for _, c := range sc.Columns {
+		buf = appendString(buf, c.Name)
+		buf = appendUvarint(buf, uint64(c.Type))
+	}
+	buf = appendUvarint(buf, uint64(len(sc.Key)))
+	for _, k := range sc.Key {
+		buf = appendUvarint(buf, uint64(k))
+	}
+	return buf
+}
+
+// AppendBatch appends the encoded batch to buf and returns it.
+func AppendBatch(buf []byte, epoch uint64, ops []relstore.LoggedOp) []byte {
+	buf = appendUvarint(buf, epoch)
+	buf = appendUvarint(buf, uint64(len(ops)))
+	for i := range ops {
+		op := &ops[i]
+		buf = append(buf, byte(op.Kind))
+		buf = appendString(buf, op.Table)
+		switch op.Kind {
+		case relstore.OpInsert, relstore.OpDeleteRow:
+			buf = appendString(buf, model.EncodeDatums(op.Row))
+		case relstore.OpDeleteKey:
+			buf = appendString(buf, op.Key)
+		case relstore.OpCreateTable:
+			buf = appendSchema(buf, op.Schema)
+		case relstore.OpDropTable:
+		default:
+			panic(fmt.Sprintf("wal: unknown op kind %d", op.Kind))
+		}
+	}
+	return buf
+}
+
+// decoder walks an untrusted payload; every read is bounds-checked so
+// arbitrary bytes decode to an error, never a panic.
+type decoder struct {
+	b []byte
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("wal: truncated varint")
+	}
+	d.b = d.b[n:]
+	return v, nil
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(d.b)) {
+		return "", fmt.Errorf("wal: string length %d exceeds remaining %d bytes", n, len(d.b))
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s, nil
+}
+
+func (d *decoder) schema() (*relstore.TableSchema, error) {
+	ncols, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ncols > uint64(len(d.b)) { // each column costs >= 1 byte
+		return nil, fmt.Errorf("wal: column count %d exceeds payload", ncols)
+	}
+	sc := &relstore.TableSchema{Columns: make([]model.Column, ncols)}
+	for i := range sc.Columns {
+		name, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		typ, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		sc.Columns[i] = model.Column{Name: name, Type: model.DatumType(typ)}
+	}
+	nkey, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nkey > ncols {
+		return nil, fmt.Errorf("wal: key width %d exceeds %d columns", nkey, ncols)
+	}
+	for i := uint64(0); i < nkey; i++ {
+		k, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if k >= ncols {
+			return nil, fmt.Errorf("wal: key position %d out of range", k)
+		}
+		sc.Key = append(sc.Key, int(k))
+	}
+	return sc, nil
+}
+
+// DecodeBatch parses one batch payload. Inserted rows are decoded to
+// datums; delete keys and keyless delete rows stay in their canonical
+// encoding (that is what replay compares against).
+func DecodeBatch(payload []byte) (Batch, error) {
+	d := decoder{b: payload}
+	var b Batch
+	var err error
+	if b.Epoch, err = d.uvarint(); err != nil {
+		return b, err
+	}
+	nops, err := d.uvarint()
+	if err != nil {
+		return b, err
+	}
+	if nops > uint64(len(d.b)) { // each op costs >= 1 byte
+		return b, fmt.Errorf("wal: op count %d exceeds payload", nops)
+	}
+	b.Ops = make([]relstore.LoggedOp, 0, nops)
+	for i := uint64(0); i < nops; i++ {
+		if len(d.b) == 0 {
+			return b, fmt.Errorf("wal: truncated op")
+		}
+		op := relstore.LoggedOp{Kind: relstore.OpKind(d.b[0])}
+		d.b = d.b[1:]
+		if op.Table, err = d.str(); err != nil {
+			return b, err
+		}
+		switch op.Kind {
+		case relstore.OpInsert:
+			enc, err := d.str()
+			if err != nil {
+				return b, err
+			}
+			if op.Row, err = model.DecodeDatums(enc); err != nil {
+				return b, err
+			}
+		case relstore.OpDeleteRow, relstore.OpDeleteKey:
+			// Kept encoded: replay matches on canonical encodings.
+			if op.Key, err = d.str(); err != nil {
+				return b, err
+			}
+		case relstore.OpCreateTable:
+			if op.Schema, err = d.schema(); err != nil {
+				return b, err
+			}
+			op.Schema.Name = op.Table
+		case relstore.OpDropTable:
+		default:
+			return b, fmt.Errorf("wal: unknown op kind %d", op.Kind)
+		}
+		b.Ops = append(b.Ops, op)
+	}
+	if len(d.b) != 0 {
+		return b, fmt.Errorf("wal: %d trailing bytes after batch", len(d.b))
+	}
+	return b, nil
+}
+
+// Checkpoint file records. The first record is a header, then the row
+// dictionary in one or more frames, then one record per table, then a
+// trailer; a checkpoint missing its trailer is rejected as incomplete.
+//
+//	header  := magic gen epoch ndict ntables
+//	dict    := 'D' start nrows row*      (rows start..start+nrows-1)
+//	table   := 'T' name schema nrows ref*  (ref = uvarint dictionary index)
+//	trailer := trailerMagic
+//
+// The dictionary holds every distinct row once; tables are streams of
+// references into it. An exchanged instance stores the same tuple in
+// many tables — the public copy and the provenance copies at every
+// propagation hop — so writing (and at restart, decoding) each copy
+// separately multiplies the checkpoint's size and the restart's datum
+// decode cost by the duplication factor (~9× on the fan workload).
+// With the dictionary, a duplicated row costs one varint to store and
+// one slice index to restore, and the restored tables share the
+// tuple's backing storage the way a live instance does.
+//
+// Dictionary frames carry their absolute start index and must cover
+// 0..ndict-1 in order with no gaps or overlaps: the reader hands each
+// frame to a decode worker writing a disjoint range of the shared
+// dictionary slice, so sequential coverage is what makes that safe
+// against crafted files. All dictionary frames precede all table
+// records; the reader barriers on the dictionary being fully decoded
+// before any table record is resolved.
+
+const (
+	ckptMagic   = "proql-ckpt-3"
+	ckptTrailer = "proql-ckpt-end"
+
+	// ckptRecDict / ckptRecTable discriminate checkpoint body records.
+	ckptRecDict  = 'D'
+	ckptRecTable = 'T'
+
+	// ckptDictFrameTarget bounds a dictionary frame's payload so frame
+	// decoding parallelizes across workers.
+	ckptDictFrameTarget = 512 << 10
+)
+
+// Checkpoint rows use a binary datum encoding, not the canonical text
+// one: the canonical form exists for identity (log replay matches keys
+// byte-for-byte), but checkpoint rows are only ever decoded back into
+// datums, and at restart the decoder is the hot loop — parsing
+// millions of textual int64s costs more than the rest of the load.
+// Fixed-width little-endian numbers decode in one move.
+//
+//	bdatum := 'n' | 'T' | 'F'
+//	        | 'i' int64:8LE
+//	        | 'f' float64:8LE
+//	        | 's' len:uvarint bytes
+func appendBinDatum(buf []byte, d model.Datum) []byte {
+	switch v := d.(type) {
+	case nil:
+		return append(buf, 'n')
+	case bool:
+		if v {
+			return append(buf, 'T')
+		}
+		return append(buf, 'F')
+	case int64:
+		buf = append(buf, 'i')
+		return binary.LittleEndian.AppendUint64(buf, uint64(v))
+	case float64:
+		buf = append(buf, 'f')
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	case string:
+		buf = append(buf, 's')
+		buf = binary.AppendUvarint(buf, uint64(len(v)))
+		return append(buf, v...)
+	default:
+		panic(fmt.Sprintf("wal: unsupported datum type %T", d))
+	}
+}
+
+// appendBinDatums appends a whole row: datum count, then each datum.
+func appendBinDatums(buf []byte, row model.Tuple) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(row)))
+	for _, d := range row {
+		buf = appendBinDatum(buf, d)
+	}
+	return buf
+}
+
+// decodeBinDatums parses one binary row from the head of b into dst
+// (an arena), returning the extended arena and the remaining bytes.
+// String datums are copied out of b.
+func decodeBinDatums(dst []model.Datum, b []byte) ([]model.Datum, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return dst, b, fmt.Errorf("wal: truncated row header")
+	}
+	b = b[sz:]
+	if n > uint64(len(b)) { // each datum costs >= 1 byte
+		return dst, b, fmt.Errorf("wal: row datum count %d exceeds payload", n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if len(b) == 0 {
+			return dst, b, fmt.Errorf("wal: truncated datum")
+		}
+		tag := b[0]
+		b = b[1:]
+		switch tag {
+		case 'n':
+			dst = append(dst, nil)
+		case 'T':
+			dst = append(dst, true)
+		case 'F':
+			dst = append(dst, false)
+		case 'i':
+			if len(b) < 8 {
+				return dst, b, fmt.Errorf("wal: truncated int datum")
+			}
+			dst = append(dst, int64(binary.LittleEndian.Uint64(b)))
+			b = b[8:]
+		case 'f':
+			if len(b) < 8 {
+				return dst, b, fmt.Errorf("wal: truncated float datum")
+			}
+			dst = append(dst, math.Float64frombits(binary.LittleEndian.Uint64(b)))
+			b = b[8:]
+		case 's':
+			l, sz := binary.Uvarint(b)
+			if sz <= 0 || l > uint64(len(b)-sz) {
+				return dst, b, fmt.Errorf("wal: truncated string datum")
+			}
+			dst = append(dst, string(b[sz:sz+int(l)]))
+			b = b[sz+int(l):]
+		default:
+			return dst, b, fmt.Errorf("wal: unknown binary datum tag %q", tag)
+		}
+	}
+	return dst, b, nil
+}
+
+// appendCkptHeader encodes the checkpoint header record.
+func appendCkptHeader(buf []byte, gen, epoch uint64, ndict, ntables int) []byte {
+	buf = appendString(buf, ckptMagic)
+	buf = appendUvarint(buf, gen)
+	buf = appendUvarint(buf, epoch)
+	buf = appendUvarint(buf, uint64(ndict))
+	return appendUvarint(buf, uint64(ntables))
+}
+
+func decodeCkptHeader(payload []byte) (gen, epoch, ndict, ntables uint64, err error) {
+	d := decoder{b: payload}
+	magic, err := d.str()
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if magic != ckptMagic {
+		return 0, 0, 0, 0, fmt.Errorf("wal: bad checkpoint magic %q", magic)
+	}
+	if gen, err = d.uvarint(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if epoch, err = d.uvarint(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if ndict, err = d.uvarint(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if ntables, err = d.uvarint(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	return gen, epoch, ndict, ntables, nil
+}
+
+// peekCkptDictFrame parses a dictionary frame's header without
+// touching its rows: the reader validates sequential coverage before
+// handing the frame to a decode worker.
+func peekCkptDictFrame(payload []byte) (start, nrows uint64, err error) {
+	d := decoder{b: payload}
+	if len(d.b) == 0 || d.b[0] != ckptRecDict {
+		return 0, 0, fmt.Errorf("wal: not a dictionary frame")
+	}
+	d.b = d.b[1:]
+	if start, err = d.uvarint(); err != nil {
+		return 0, 0, err
+	}
+	if nrows, err = d.uvarint(); err != nil {
+		return 0, 0, err
+	}
+	if nrows > uint64(len(d.b)) { // each row record costs >= 1 byte
+		return 0, 0, fmt.Errorf("wal: dictionary frame row count %d exceeds payload", nrows)
+	}
+	return start, nrows, nil
+}
+
+// decodeCkptDictFrame decodes a dictionary frame's rows into
+// dict[start : start+nrows]. The destination range was validated by
+// the reader; datums land in one arena per frame so a frame costs one
+// slice-header allocation per row and nothing else.
+func decodeCkptDictFrame(payload []byte, dict []model.Tuple) error {
+	start, nrows, err := peekCkptDictFrame(payload)
+	if err != nil {
+		return err
+	}
+	d := decoder{b: payload}
+	d.b = d.b[1:]
+	if _, err := d.uvarint(); err != nil {
+		return err
+	}
+	if _, err := d.uvarint(); err != nil {
+		return err
+	}
+	hint := nrows * 4
+	if max := uint64(len(d.b)); hint > max { // every datum encoding is >= 1 byte
+		hint = max
+	}
+	arena := make([]model.Datum, 0, hint)
+	for i := uint64(0); i < nrows; i++ {
+		s := len(arena)
+		if arena, d.b, err = decodeBinDatums(arena, d.b); err != nil {
+			return err
+		}
+		dict[start+i] = model.Tuple(arena[s:len(arena):len(arena)])
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("wal: %d trailing bytes after dictionary frame", len(d.b))
+	}
+	return nil
+}
+
+// appendCkptTable encodes one table record: named schema, then the
+// row count, then one dictionary reference per row.
+func appendCkptTable(buf []byte, name string, sc *relstore.TableSchema, refs []uint64) []byte {
+	buf = append(buf, ckptRecTable)
+	buf = appendString(buf, name)
+	buf = appendSchema(buf, sc)
+	buf = appendUvarint(buf, uint64(len(refs)))
+	for _, r := range refs {
+		buf = appendUvarint(buf, r)
+	}
+	return buf
+}
+
+// ckptTable is one decoded checkpoint table record. Its rows alias the
+// shared dictionary: tables restored from the same checkpoint share
+// tuple storage exactly as the live instance they snapshot did.
+type ckptTable struct {
+	schema *relstore.TableSchema
+	rows   []model.Tuple
+}
+
+func decodeCkptTable(payload []byte, dict []model.Tuple) (ckptTable, error) {
+	d := decoder{b: payload}
+	var ct ckptTable
+	if len(d.b) == 0 || d.b[0] != ckptRecTable {
+		return ct, fmt.Errorf("wal: not a table record")
+	}
+	d.b = d.b[1:]
+	name, err := d.str()
+	if err != nil {
+		return ct, err
+	}
+	if ct.schema, err = d.schema(); err != nil {
+		return ct, err
+	}
+	ct.schema.Name = name
+	nrows, err := d.uvarint()
+	if err != nil {
+		return ct, err
+	}
+	if nrows > uint64(len(d.b)) { // each reference costs >= 1 byte
+		return ct, fmt.Errorf("wal: row count %d exceeds payload", nrows)
+	}
+	ct.rows = make([]model.Tuple, 0, nrows)
+	for i := uint64(0); i < nrows; i++ {
+		ref, err := d.uvarint()
+		if err != nil {
+			return ct, err
+		}
+		if ref >= uint64(len(dict)) {
+			return ct, fmt.Errorf("wal: dictionary reference %d out of range %d", ref, len(dict))
+		}
+		ct.rows = append(ct.rows, dict[ref])
+	}
+	if len(d.b) != 0 {
+		return ct, fmt.Errorf("wal: %d trailing bytes after table record", len(d.b))
+	}
+	return ct, nil
+}

@@ -1,0 +1,186 @@
+// Package wal is the durability layer behind the relstore: an
+// append-only write-ahead log of committed batches plus generational
+// checkpoints of full table contents. Restart cost is O(changed rows
+// since the last checkpoint), not O(database): recovery loads the
+// newest checkpoint, replays the current log segment's suffix, and
+// hands the warm tables back to the exchange engine, which re-attaches
+// its delta-evaluation state in O(rows) (datalog.WarmAttach) instead
+// of re-deriving the world with a cold full run.
+//
+// On-disk layout, one generation live at a time:
+//
+//	<dir>/ckpt-<gen>.ckpt   full table snapshot (absent for gen with no checkpoint yet)
+//	<dir>/wal-<gen>.log     batches committed after that checkpoint
+//
+// Both files are sequences of CRC-framed records:
+//
+//	[uint32 LE payload length][uint32 LE CRC-32C of payload][payload]
+//
+// A checkpoint rotates generations: snapshot → ckpt-(g+1).tmp → fsync
+// → rename → fresh wal-(g+1).log → old generation deleted. The rename
+// is the commit point, so a crash anywhere leaves either generation g
+// fully intact or generation g+1 fully intact. Log appends are group
+// committed: each batch is buffered and flushed with a single write,
+// and the file is fsynced every SyncEvery batches.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// maxRecord bounds a single record payload (64 MiB). A length prefix
+// beyond it is treated as a torn or corrupt tail, not an allocation.
+const maxRecord = 64 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame appends the CRC frame for payload to buf.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// readFrames decodes consecutive frames from r, calling fn with each
+// payload (valid only during the call). It returns the byte offset of
+// the first incomplete or corrupt frame — the torn-tail truncation
+// point — and a nil error: a damaged tail is an expected crash
+// artifact, not a failure. Errors from fn abort the scan.
+func readFrames(r io.Reader, fn func(payload []byte) error) (int64, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var off int64
+	var hdr [8]byte
+	var buf []byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return off, nil // clean EOF or torn header
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxRecord {
+			return off, nil
+		}
+		if cap(buf) < int(n) {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return off, nil // torn payload
+		}
+		if crc32.Checksum(buf, castagnoli) != want {
+			return off, nil
+		}
+		if err := fn(buf); err != nil {
+			return off, err
+		}
+		off += 8 + int64(n)
+	}
+}
+
+// segment is an append-only framed log file with group commit: every
+// Append buffers the frame and flushes it in one write; the file is
+// fsynced every syncEvery appends (and on Sync/Close).
+type segment struct {
+	f         *os.File
+	bw        *bufio.Writer
+	syncEvery int
+	unsynced  int
+	scratch   []byte
+}
+
+// openSegment opens (creating if needed) the log file for appending.
+func openSegment(path string, syncEvery int) (*segment, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if syncEvery < 1 {
+		syncEvery = 1
+	}
+	return &segment{f: f, bw: bufio.NewWriterSize(f, 1<<16), syncEvery: syncEvery}, nil
+}
+
+// Append writes one framed record and flushes it to the OS. Durability
+// lags by at most syncEvery-1 records.
+func (s *segment) Append(payload []byte) error {
+	s.scratch = appendFrame(s.scratch[:0], payload)
+	if _, err := s.bw.Write(s.scratch); err != nil {
+		return err
+	}
+	if err := s.bw.Flush(); err != nil {
+		return err
+	}
+	s.unsynced++
+	if s.unsynced >= s.syncEvery {
+		return s.Sync()
+	}
+	return nil
+}
+
+// Sync forces the file to stable storage.
+func (s *segment) Sync() error {
+	s.unsynced = 0
+	return s.f.Sync()
+}
+
+// Close flushes, syncs, and closes the file.
+func (s *segment) Close() error {
+	if err := s.bw.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// replayFile scans the framed records of path, truncating a torn tail
+// in place. A missing file is an empty log. fn errors abort.
+func replayFile(path string, fn func(payload []byte) error) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	good, err := readFrames(f, fn)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if good < st.Size() {
+		if err := os.Truncate(path, good); err != nil {
+			return fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

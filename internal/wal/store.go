@@ -1,0 +1,586 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/relstore"
+)
+
+// Options tunes a durable store.
+type Options struct {
+	// SyncEvery is the fsync cadence in committed batches; <= 1 syncs
+	// every commit (full durability), larger values trade the tail of
+	// the log for throughput.
+	SyncEvery int
+	// CheckpointEvery, when > 0, is the batch count at which
+	// MaybeCheckpoint rotates generations.
+	CheckpointEvery int
+}
+
+// Store binds a relstore.Database to an on-disk generation: every
+// committed batch is appended to the live log segment via the
+// database's commit hook, and Checkpoint rotates to a fresh
+// generation. Open recovers the database from the newest checkpoint
+// plus the log suffix.
+//
+// The zero value is not usable; construct with Open.
+type Store struct {
+	dir  string
+	opts Options
+	db   *relstore.Database
+
+	mu        sync.Mutex
+	seg       *segment
+	gen       uint64
+	pending   int // batches logged since the last checkpoint
+	lastEpoch uint64
+	replayed  int // batches replayed by Open (stats)
+	encBuf    []byte
+	err       error // first append failure; surfaced by Err/Close
+}
+
+func ckptPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("ckpt-%d.ckpt", gen))
+}
+
+func logPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%d.log", gen))
+}
+
+// Open recovers (or initialises) a durable database in dir: it loads
+// the newest checkpoint generation if one exists, replays the
+// generation's log suffix with torn-tail truncation, fast-forwards the
+// epoch counter past everything on disk, and installs the commit hook
+// so subsequent batches are logged. The returned store owns the
+// database's commit hook; install any observers before writing.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	// Recovery is one allocation burst in which nearly everything
+	// allocated stays live (the instance itself), so concurrent GC
+	// cycles and mark assists only re-scan a growing live set to
+	// reclaim almost nothing. Defer collection until the load is done;
+	// peak heap is bounded by the instance plus the largest table's
+	// decode buffer. The previous policy is restored on every path out.
+	gcPct := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(gcPct)
+	gen, hasCkpt, err := newestGeneration(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, opts: opts, gen: gen, db: relstore.NewDatabase()}
+	var ckptEpoch uint64
+	if hasCkpt {
+		if ckptEpoch, err = s.loadCheckpoint(ckptPath(dir, gen)); err != nil {
+			return nil, err
+		}
+	}
+	s.lastEpoch = ckptEpoch
+	if err := s.replayLog(logPath(dir, gen), ckptEpoch); err != nil {
+		return nil, err
+	}
+	s.db.FastForward(s.lastEpoch)
+	if s.seg, err = openSegment(logPath(dir, gen), opts.SyncEvery); err != nil {
+		return nil, err
+	}
+	removeStaleGenerations(dir, gen)
+	s.db.SetCommitHook(s.onCommit)
+	return s, nil
+}
+
+// removeStaleGenerations deletes files left behind by a crash between
+// a checkpoint's commit point and its cleanup: older generations and
+// abandoned .tmp checkpoints. Best-effort — recovery ignores them
+// anyway (newest generation wins).
+func removeStaleGenerations(dir string, live uint64) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if filepath.Ext(name) == ".tmp" {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		var g uint64
+		if n, _ := fmt.Sscanf(name, "ckpt-%d.ckpt", &g); n == 1 && filepath.Ext(name) == ".ckpt" && g < live {
+			os.Remove(filepath.Join(dir, name))
+		} else if n, _ := fmt.Sscanf(name, "wal-%d.log", &g); n == 1 && filepath.Ext(name) == ".log" && g < live {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// newestGeneration scans dir for checkpoint and log files and returns
+// the highest generation present. hasCkpt reports whether that
+// generation has a checkpoint file (the first generation does not).
+func newestGeneration(dir string) (gen uint64, hasCkpt bool, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, false, err
+	}
+	best := uint64(0)
+	ckpts := map[uint64]bool{}
+	for _, e := range ents {
+		var g uint64
+		if n, _ := fmt.Sscanf(e.Name(), "ckpt-%d.ckpt", &g); n == 1 && filepath.Ext(e.Name()) == ".ckpt" {
+			ckpts[g] = true
+			if g > best {
+				best = g
+			}
+		} else if n, _ := fmt.Sscanf(e.Name(), "wal-%d.log", &g); n == 1 && filepath.Ext(e.Name()) == ".log" {
+			if g > best {
+				best = g
+			}
+		}
+	}
+	return best, ckpts[best], nil
+}
+
+// loadCheckpoint applies a checkpoint file to the (empty) database and
+// returns the epoch it snapshots. The trailer record is required: a
+// file missing it is an incomplete write and rejected (the atomic
+// rename protocol should make that impossible, but the reader does not
+// rely on it).
+//
+// Table records decode and load concurrently: tables are independent
+// (distinct names, one record each, same birth epoch under the open
+// batch), so while the reader streams frames off disk, a worker pool
+// turns them into loaded tables. The checkpoint load is the restart
+// path's largest term — unlike the fixpoint a cold start pays, it
+// parallelizes trivially.
+func (s *Store) loadCheckpoint(path string) (uint64, error) {
+	var (
+		epoch      uint64
+		ndict      uint64
+		ntables    uint64
+		dict       []model.Tuple
+		dictFilled uint64
+		seen       uint64
+		state      int // 0 = header, 1 = dict frames, 2 = tables, 3 = done
+	)
+	s.db.BeginBatch()
+	defer s.db.EndBatch()
+
+	nw := runtime.GOMAXPROCS(0)
+	if nw > 8 {
+		nw = 8
+	}
+	var wg sync.WaitGroup
+	var loadMu sync.Mutex
+	var loadErr error
+	fail := func(err error) {
+		loadMu.Lock()
+		if loadErr == nil {
+			loadErr = err
+		}
+		loadMu.Unlock()
+	}
+	firstErr := func() error {
+		loadMu.Lock()
+		defer loadMu.Unlock()
+		return loadErr
+	}
+	spawn := func(work func(payload []byte)) chan<- []byte {
+		jobs := make(chan []byte, nw)
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for payload := range jobs {
+					work(payload)
+				}
+			}()
+		}
+		return jobs
+	}
+	var jobs chan<- []byte
+	drain := func() error {
+		if jobs != nil {
+			close(jobs)
+			wg.Wait()
+			jobs = nil
+		}
+		return firstErr()
+	}
+	defer drain()
+
+	// Dictionary frames decode into disjoint ranges of the shared dict
+	// slice (coverage is validated sequentially by the reader below);
+	// table records resolve their references only after every
+	// dictionary worker has finished.
+	decodeDict := func(payload []byte) {
+		if err := decodeCkptDictFrame(payload, dict); err != nil {
+			fail(err)
+		}
+	}
+	loadTable := func(payload []byte) {
+		ct, err := decodeCkptTable(payload, dict)
+		if err != nil {
+			fail(err)
+			return
+		}
+		t, err := s.db.CreateTable(ct.schema)
+		if err != nil {
+			fail(err)
+			return
+		}
+		if _, err := t.BulkLoad(ct.rows); err != nil {
+			fail(err)
+		}
+	}
+
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+
+	err = replayFile(path, func(payload []byte) error {
+		switch state {
+		case 0:
+			_, e, nd, nt, err := decodeCkptHeader(payload)
+			if err != nil {
+				return err
+			}
+			// Every dictionary row costs at least one encoded byte, so a
+			// header demanding more rows than the file holds bytes is
+			// corrupt — checked before allocating the dictionary.
+			if nd > uint64(fi.Size()) {
+				return fmt.Errorf("wal: dictionary size %d exceeds checkpoint file", nd)
+			}
+			epoch, ndict, ntables = e, nd, nt
+			dict = make([]model.Tuple, ndict)
+			state = 1
+			if ndict > 0 {
+				jobs = spawn(decodeDict)
+			}
+			return nil
+		case 1:
+			if dictFilled < ndict {
+				start, nrows, err := peekCkptDictFrame(payload)
+				if err != nil {
+					return err
+				}
+				if start != dictFilled || nrows == 0 || nrows > ndict-start {
+					return fmt.Errorf("wal: dictionary frame covers %d+%d, want next row %d of %d", start, nrows, dictFilled, ndict)
+				}
+				dictFilled += nrows
+				// The frame buffer is reused by the reader; hand the
+				// workers their own copy.
+				jobs <- append([]byte(nil), payload...)
+				return nil
+			}
+			// Dictionary complete: barrier before any reference resolves.
+			if err := drain(); err != nil {
+				return err
+			}
+			state = 2
+			if ntables > 0 {
+				jobs = spawn(loadTable)
+			}
+			fallthrough
+		case 2:
+			if seen == ntables {
+				if string(payload) != ckptTrailer {
+					return fmt.Errorf("wal: bad checkpoint trailer in %s", path)
+				}
+				state = 3
+				return nil
+			}
+			jobs <- append([]byte(nil), payload...)
+			seen++
+			return nil
+		default:
+			return fmt.Errorf("wal: record after checkpoint trailer in %s", path)
+		}
+	})
+	if derr := drain(); err == nil {
+		err = derr
+	}
+	if err != nil {
+		return 0, err
+	}
+	if state != 3 {
+		return 0, fmt.Errorf("wal: incomplete checkpoint %s (%d/%d dictionary rows, %d/%d tables, no trailer)", path, dictFilled, ndict, seen, ntables)
+	}
+	return epoch, nil
+}
+
+// replayLog applies the log's batches to the database in commit order,
+// skipping batches already covered by the checkpoint (a batch that
+// published while the checkpoint was being cut appears in both). The
+// file's torn tail, if any, is truncated in place.
+func (s *Store) replayLog(path string, ckptEpoch uint64) error {
+	return replayFile(path, func(payload []byte) error {
+		b, err := DecodeBatch(payload)
+		if err != nil {
+			return fmt.Errorf("wal: corrupt batch in %s: %w", path, err)
+		}
+		if b.Epoch > s.lastEpoch {
+			s.lastEpoch = b.Epoch
+		}
+		if b.Epoch <= ckptEpoch {
+			return nil
+		}
+		s.replayed++
+		return s.applyBatch(b)
+	})
+}
+
+// applyBatch replays one logged batch against the database.
+func (s *Store) applyBatch(b Batch) error {
+	s.db.BeginBatch()
+	defer s.db.EndBatch()
+	for _, op := range b.Ops {
+		switch op.Kind {
+		case relstore.OpInsert:
+			t, ok := s.db.Table(op.Table)
+			if !ok {
+				return fmt.Errorf("wal: insert into unknown table %q", op.Table)
+			}
+			if _, err := t.Insert(op.Row); err != nil {
+				return err
+			}
+		case relstore.OpDeleteKey:
+			t, ok := s.db.Table(op.Table)
+			if !ok {
+				return fmt.Errorf("wal: delete from unknown table %q", op.Table)
+			}
+			if _, err := t.DeleteEncoded(op.Key); err != nil {
+				return err
+			}
+		case relstore.OpDeleteRow:
+			t, ok := s.db.Table(op.Table)
+			if !ok {
+				return fmt.Errorf("wal: delete from unknown table %q", op.Table)
+			}
+			// One logged delete removes one matching row (multiset
+			// semantics on keyless tables).
+			done := false
+			t.DeleteWhere(func(row model.Tuple) bool {
+				if done || model.EncodeDatums(row) != op.Key {
+					return false
+				}
+				done = true
+				return true
+			})
+		case relstore.OpCreateTable:
+			// Re-creating an existing name replays a drop+create pair
+			// whose drop predates the checkpoint.
+			s.db.DropTable(op.Table)
+			if _, err := s.db.CreateTable(op.Schema); err != nil {
+				return err
+			}
+		case relstore.OpDropTable:
+			s.db.DropTable(op.Table)
+		default:
+			return fmt.Errorf("wal: unknown op kind %d", op.Kind)
+		}
+	}
+	return nil
+}
+
+// onCommit is the database's commit hook: it appends the batch to the
+// live segment. Append failures latch into s.err (the hook cannot
+// return one) and surface on Err, Checkpoint, and Close.
+func (s *Store) onCommit(epoch uint64, ops []relstore.LoggedOp) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.encBuf = AppendBatch(s.encBuf[:0], epoch, ops)
+	if err := s.seg.Append(s.encBuf); err != nil && s.err == nil {
+		s.err = err
+	}
+	s.pending++
+	s.lastEpoch = epoch
+}
+
+// DB returns the recovered database. The store owns its commit hook.
+func (s *Store) DB() *relstore.Database { return s.db }
+
+// Dir returns the data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Pending returns the number of batches logged since the last
+// checkpoint (or open).
+func (s *Store) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending
+}
+
+// Replayed returns how many batches Open replayed from the log suffix.
+func (s *Store) Replayed() int { return s.replayed }
+
+// Err returns the first background append failure, if any.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Checkpoint writes a full snapshot of the database and rotates to a
+// fresh generation: ckpt-(g+1).tmp → fsync → rename → new empty
+// wal-(g+1).log → old generation removed. The rename is the commit
+// point; a crash at any step leaves a recoverable directory. Commits
+// racing the checkpoint block on the store mutex and land in the new
+// generation's log (or, if they published before the snapshot was
+// pinned, inside the checkpoint itself — replay skips batches the
+// checkpoint epoch covers).
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	snap := s.db.Snapshot()
+	defer snap.Close()
+	newGen := s.gen + 1
+
+	names := snap.TableNames()
+	sort.Strings(names)
+
+	// Pass 1: build the row dictionary and each table's reference
+	// stream. Distinct rows append to the current dictionary frame;
+	// duplicates (the same tuple stored in many tables — public and
+	// provenance copies at every propagation hop) cost one reference.
+	// Transient memory is bounded by the distinct row content plus one
+	// word per row, a fraction of the instance it snapshots.
+	dictIdx := make(map[string]uint64)
+	var dictFrames [][]byte
+	var cur []byte
+	var curStart, curRows uint64
+	finishFrame := func() {
+		if curRows == 0 {
+			return
+		}
+		frame := make([]byte, 0, len(cur)+binary.MaxVarintLen64*2+1)
+		frame = append(frame, ckptRecDict)
+		frame = appendUvarint(frame, curStart)
+		frame = appendUvarint(frame, curRows)
+		dictFrames = append(dictFrames, append(frame, cur...))
+		curStart += curRows
+		curRows = 0
+		cur = cur[:0]
+	}
+	refs := make([][]uint64, len(names))
+	var scratch []byte
+	for i, name := range names {
+		rows := snap.MustTable(name).Rows()
+		r := make([]uint64, len(rows))
+		for j, row := range rows {
+			scratch = appendBinDatums(scratch[:0], row)
+			id, ok := dictIdx[string(scratch)]
+			if !ok {
+				id = uint64(len(dictIdx))
+				dictIdx[string(scratch)] = id
+				cur = append(cur, scratch...)
+				curRows++
+				if len(cur) >= ckptDictFrameTarget {
+					finishFrame()
+				}
+			}
+			r[j] = id
+		}
+		refs[i] = r
+	}
+	finishFrame()
+
+	tmp := ckptPath(s.dir, newGen) + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	var buf []byte
+	write := func(payload []byte) {
+		if err != nil {
+			return
+		}
+		buf = appendFrame(buf[:0], payload)
+		_, err = f.Write(buf)
+	}
+	var rec []byte
+	rec = appendCkptHeader(rec[:0], newGen, snap.Epoch(), len(dictIdx), len(names))
+	write(rec)
+	for _, frame := range dictFrames {
+		write(frame)
+	}
+	for i, name := range names {
+		rec = appendCkptTable(rec[:0], name, snap.MustTable(name).Schema, refs[i])
+		write(rec)
+	}
+	write([]byte(ckptTrailer))
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, ckptPath(s.dir, newGen)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+
+	// The new generation is durable; swing the log and drop the old
+	// generation. Failures past this point leave stale files that the
+	// next Open ignores (newest generation wins).
+	newSeg, err := openSegment(logPath(s.dir, newGen), s.opts.SyncEvery)
+	if err != nil {
+		return err
+	}
+	if err := s.seg.Close(); err != nil {
+		newSeg.Close()
+		return err
+	}
+	oldGen := s.gen
+	s.seg = newSeg
+	s.gen = newGen
+	s.pending = 0
+	os.Remove(logPath(s.dir, oldGen))
+	os.Remove(ckptPath(s.dir, oldGen))
+	return syncDir(s.dir)
+}
+
+// MaybeCheckpoint rotates generations when the pending batch count has
+// reached Options.CheckpointEvery; it reports whether it did.
+func (s *Store) MaybeCheckpoint() (bool, error) {
+	if s.opts.CheckpointEvery <= 0 {
+		return false, nil
+	}
+	s.mu.Lock()
+	due := s.pending >= s.opts.CheckpointEvery
+	s.mu.Unlock()
+	if !due {
+		return false, nil
+	}
+	return true, s.Checkpoint()
+}
+
+// Close flushes and closes the live segment. The database stays usable
+// in memory, but further commits are not logged.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.db.SetCommitHook(nil)
+	err := s.seg.Close()
+	if s.err != nil {
+		err = s.err
+	}
+	return err
+}

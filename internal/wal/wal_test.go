@@ -1,0 +1,330 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/relstore"
+)
+
+func keyedSchema(name string) *relstore.TableSchema {
+	return &relstore.TableSchema{
+		Name: name,
+		Columns: []model.Column{
+			{Name: "k", Type: model.TypeInt},
+			{Name: "v", Type: model.TypeString},
+		},
+		Key: []int{0},
+	}
+}
+
+func keylessSchema(name string) *relstore.TableSchema {
+	return &relstore.TableSchema{
+		Name: name,
+		Columns: []model.Column{
+			{Name: "a", Type: model.TypeInt},
+			{Name: "b", Type: model.TypeInt},
+		},
+	}
+}
+
+// signature renders every table's sorted live rows.
+func signature(db *relstore.Database) string {
+	sig := ""
+	for _, name := range db.TableNames() {
+		sig += name + ":"
+		for _, row := range db.MustTable(name).SortedRows() {
+			sig += model.EncodeDatums(row) + ";"
+		}
+		sig += "\n"
+	}
+	return sig
+}
+
+// TestStoreRoundTrip commits inserts, deletes, and DDL through the
+// hook, reopens from disk, and expects the identical database.
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := s.DB()
+	r, err := db.CreateTable(keyedSchema("R"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := db.CreateTable(keylessSchema("M"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.BeginBatch()
+	for i := 0; i < 20; i++ {
+		r.Insert(model.Tuple{int64(i), fmt.Sprintf("v%d", i)})
+	}
+	m.Insert(model.Tuple{int64(1), int64(2)})
+	m.Insert(model.Tuple{int64(1), int64(2)})
+	m.Insert(model.Tuple{int64(1), int64(2)}) // duplicates survive (multiset)
+	m.Insert(model.Tuple{int64(3), int64(4)})
+	db.EndBatch()
+	db.BeginBatch()
+	r.Delete([]model.Datum{int64(3)})
+	r.Insert(model.Tuple{int64(3), "replaced"})
+	// DeleteWhere kills two of the three copies (one OpDeleteRow each);
+	// replay must remove exactly two, not all matches.
+	killed := 0
+	m.DeleteWhere(func(row model.Tuple) bool {
+		if killed == 2 || row[0] != int64(1) {
+			return false
+		}
+		killed++
+		return true
+	})
+	db.EndBatch()
+	// DDL and per-op (non-batch) commits are logged too.
+	db.CreateTable(keyedSchema("S"))
+	db.MustTable("S").Insert(model.Tuple{int64(9), "s"})
+	db.DropTable("S")
+	want := signature(db)
+	epoch := db.Epoch()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := signature(s2.DB()); got != want {
+		t.Fatalf("recovered database differs\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if got := s2.DB().Epoch(); got < epoch {
+		t.Fatalf("recovered epoch %d behind on-disk %d", got, epoch)
+	}
+	// Keyless duplicate count survived: one (1,2) was deleted, one kept.
+	n := 0
+	s2.DB().MustTable("M").Iterate(func(row model.Tuple) bool {
+		if row[0] == int64(1) {
+			n++
+		}
+		return true
+	})
+	if n != 1 {
+		t.Fatalf("keyless multiset replayed to %d copies of (1,2), want 1", n)
+	}
+}
+
+// TestCheckpointRotation checkpoints mid-history and checks the old
+// generation is gone, recovery replays only the suffix, and the result
+// matches.
+func TestCheckpointRotation(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := s.DB()
+	r, _ := db.CreateTable(keyedSchema("R"))
+	for i := 0; i < 50; i++ {
+		db.BeginBatch()
+		r.Insert(model.Tuple{int64(i), "x"})
+		db.EndBatch()
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending %d after checkpoint", s.Pending())
+	}
+	for i := 50; i < 60; i++ {
+		db.BeginBatch()
+		r.Insert(model.Tuple{int64(i), "x"})
+		db.EndBatch()
+	}
+	want := signature(db)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := os.Stat(filepath.Join(dir, "wal-0.log")); !os.IsNotExist(err) {
+		t.Fatal("old generation log survived the checkpoint")
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := signature(s2.DB()); got != want {
+		t.Fatalf("post-checkpoint recovery differs\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if s2.Replayed() != 10 {
+		t.Fatalf("replayed %d batches, want the 10-batch suffix", s2.Replayed())
+	}
+}
+
+// TestTornTailTruncated corrupts the log's tail and expects recovery
+// to keep every complete batch and drop the torn one.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := s.DB()
+	r, _ := db.CreateTable(keyedSchema("R"))
+	for i := 0; i < 10; i++ {
+		db.BeginBatch()
+		r.Insert(model.Tuple{int64(i), "x"})
+		db.EndBatch()
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "wal-0.log")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, len(blob) / 2, len(blob) - 3} {
+		sub := filepath.Join(t.TempDir(), "d")
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(sub, "wal-0.log"), blob[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Open(sub, Options{})
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		got := 0
+		if tb, ok := s2.DB().Table("R"); ok {
+			got = tb.Len()
+		}
+		if got > 10 || (cut == len(blob)-3 && got != 9) {
+			t.Fatalf("cut=%d: recovered %d rows", cut, got)
+		}
+		// The torn tail was truncated: reopening is clean and appends work.
+		st, err := os.Stat(filepath.Join(sub, "wal-0.log"))
+		if err != nil || st.Size() > int64(cut) {
+			t.Fatalf("cut=%d: tail not truncated (%v, size %d)", cut, err, st.Size())
+		}
+		s2.Close()
+	}
+	// Flipping a payload byte mid-file cuts replay at the corrupt frame.
+	flip := append([]byte(nil), blob...)
+	flip[len(flip)/2] ^= 0xff
+	sub := t.TempDir()
+	if err := os.WriteFile(filepath.Join(sub, "wal-0.log"), flip, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(sub, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if tb, ok := s3.DB().Table("R"); ok && tb.Len() >= 10 {
+		t.Fatalf("corrupt frame not dropped: %d rows", tb.Len())
+	}
+}
+
+// TestBatchCodecRoundTrip round-trips every op kind through the batch
+// codec.
+func TestBatchCodecRoundTrip(t *testing.T) {
+	ops := []relstore.LoggedOp{
+		{Kind: relstore.OpCreateTable, Table: "R", Schema: keyedSchema("R")},
+		{Kind: relstore.OpInsert, Table: "R", Row: model.Tuple{int64(-5), "héllo|world"}},
+		{Kind: relstore.OpInsert, Table: "R", Row: model.Tuple{int64(1), nil}},
+		{Kind: relstore.OpDeleteKey, Table: "R", Key: model.EncodeDatums([]model.Datum{int64(-5)})},
+		{Kind: relstore.OpDeleteRow, Table: "M", Row: model.Tuple{3.25, true}},
+		{Kind: relstore.OpDropTable, Table: "R"},
+	}
+	payload := AppendBatch(nil, 42, ops)
+	b, err := DecodeBatch(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Epoch != 42 || len(b.Ops) != len(ops) {
+		t.Fatalf("decoded epoch=%d nops=%d", b.Epoch, len(b.Ops))
+	}
+	if got := model.EncodeDatums(b.Ops[1].Row); got != model.EncodeDatums(ops[1].Row) {
+		t.Fatalf("insert row round-trip: %q", got)
+	}
+	if b.Ops[3].Key != ops[3].Key {
+		t.Fatalf("delete key round-trip: %q", b.Ops[3].Key)
+	}
+	if b.Ops[4].Key != model.EncodeDatums(ops[4].Row) {
+		t.Fatalf("keyless delete row kept encoded: %q", b.Ops[4].Key)
+	}
+	sc := b.Ops[0].Schema
+	if sc.Name != "R" || len(sc.Columns) != 2 || sc.Columns[1].Type != model.TypeString || len(sc.Key) != 1 {
+		t.Fatalf("schema round-trip: %+v", sc)
+	}
+}
+
+// TestSyncEveryBatching checks the group-commit counter: with
+// SyncEvery=8 the store stays correct (durability of the tail is
+// traded, correctness of replay is not).
+func TestSyncEveryBatching(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SyncEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := s.DB()
+	r, _ := db.CreateTable(keyedSchema("R"))
+	for i := 0; i < 30; i++ {
+		db.BeginBatch()
+		r.Insert(model.Tuple{int64(i), "x"})
+		db.EndBatch()
+	}
+	want := signature(db)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := signature(s2.DB()); got != want {
+		t.Fatalf("SyncEvery recovery differs\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestMaybeCheckpoint rotates exactly at the configured cadence.
+func TestMaybeCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{CheckpointEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	db := s.DB()
+	r, _ := db.CreateTable(keyedSchema("R"))
+	rotated := 0
+	for i := 0; i < 12; i++ {
+		db.BeginBatch()
+		r.Insert(model.Tuple{int64(i), "x"})
+		db.EndBatch()
+		did, err := s.MaybeCheckpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if did {
+			rotated++
+		}
+	}
+	// 13 logged batches (CreateTable publishes one): rotations at >=5
+	// pending. Exact count depends on where DDL lands; at least two.
+	if rotated < 2 {
+		t.Fatalf("MaybeCheckpoint rotated %d times over 12 batches with cadence 5", rotated)
+	}
+	if _, err := os.Stat(ckptPath(dir, s.gen)); err != nil {
+		t.Fatalf("latest checkpoint missing: %v", err)
+	}
+}

@@ -39,6 +39,39 @@ func timed(runs int, fn func() error) (time.Duration, error) {
 	return total / time.Duration(len(samples)), nil
 }
 
+// timedWith measures fn under the same protocol as timed, but runs
+// the closure fn returns off the clock after each sample: experiments
+// that open a system time the operation itself, with verification and
+// teardown between samples excluded from the measurement (on both
+// sides of a comparison, so neither arm is penalized).
+func timedWith(runs int, fn func() (func() error, error)) (time.Duration, error) {
+	if runs < 3 {
+		runs = 3
+	}
+	samples := make([]time.Duration, 0, runs)
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		after, err := fn()
+		d := time.Since(start)
+		if err != nil {
+			return 0, err
+		}
+		if after != nil {
+			if err := after(); err != nil {
+				return 0, err
+			}
+		}
+		samples = append(samples, d)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	samples = samples[1 : len(samples)-1]
+	var total time.Duration
+	for _, s := range samples {
+		total += s
+	}
+	return total / time.Duration(len(samples)), nil
+}
+
 // UnfoldStatsRow is one point of Figures 7 and 8: the unfolded-rule
 // count and the unfolding/evaluation time split.
 type UnfoldStatsRow struct {

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/wal"
+)
+
+// RecoveryRow is one point of the durable-restart experiment (E16):
+// the same exchanged instance brought back either by reopening its
+// data directory (load the newest checkpoint, replay the write-ahead
+// log's suffix, re-attach the engine warm) or by a cold full exchange
+// from the base data — the restart a non-durable system pays.
+type RecoveryRow struct {
+	Peers int
+	// RecoverTime is checkpoint load + WAL-suffix replay + warm engine
+	// attach: O(rows) to reload plus O(changed rows since the
+	// checkpoint) to replay, no rule ever fired.
+	RecoverTime time.Duration
+	// ColdTime is the full re-exchange: rebuild the setting, re-insert
+	// the base data, and run the complete fixpoint from scratch.
+	ColdTime time.Duration
+	// ReplayBatches is the number of committed batches the recovery
+	// replayed from the log suffix (the churn after the checkpoint).
+	ReplayBatches int
+	InstanceSize  int
+}
+
+// RunRecovery measures restart time at Fig.-10-style scales: each
+// setting is seeded durably, checkpointed, churned with churnOps
+// insert-and-propagate operations (so the log holds a realistic
+// suffix of changed rows), then reopened repeatedly with the recovery
+// path timed against a cold full exchange of the same setting. The
+// recovered instance must carry every committed row, including the
+// post-checkpoint churn the cold arm cannot restore at all.
+// applyChurn runs churnOps insert-and-propagate operations of batch
+// rows each at the last peer (the same key scheme as RunInsertion),
+// each followed by a delta exchange.
+func applyChurn(set *Setting, n, baseSize, batch, churnOps, categories int) error {
+	src := n - 1
+	var next int64
+	for op := 0; op < churnOps; op++ {
+		rows := make([]model.Tuple, batch)
+		for j := range rows {
+			k := int64(src)*10_000_000 + int64(baseSize) + next
+			next++
+			r := model.Tuple{k, k % int64(categories)}
+			for a := 0; a < 10; a++ {
+				r = append(r, k+int64(a))
+			}
+			rows[j] = r
+		}
+		if err := set.Sys.InsertLocal(ARel(src), rows...); err != nil {
+			return err
+		}
+		if rep, err := set.Sys.RunDelta(); err != nil {
+			return err
+		} else if rep.Full {
+			return fmt.Errorf("workload: recovery churn fell back to a full run")
+		}
+	}
+	return nil
+}
+
+func RunRecovery(peerCounts []int, dataPeers, baseSize, batch, churnOps, runs int, seed int64) ([]RecoveryRow, error) {
+	var out []RecoveryRow
+	for _, n := range peerCounts {
+		cfg := Config{
+			Topology:   Chain,
+			Profile:    ProfileFan,
+			NumPeers:   n,
+			DataPeers:  UpstreamDataPeers(n, dataPeers),
+			BaseSize:   baseSize,
+			Categories: 16,
+			Seed:       seed,
+		}
+		row := RecoveryRow{Peers: n}
+
+		dir, err := os.MkdirTemp("", "proql-recover-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+
+		set, st, err := OpenDurable(cfg, dir, wal.Options{SyncEvery: 1})
+		if err != nil {
+			return nil, err
+		}
+		// Checkpoint after the seed exchange: recovery loads the
+		// exchanged instance in O(rows) and replays only the churn.
+		if err := st.Checkpoint(); err != nil {
+			return nil, err
+		}
+		if err := applyChurn(set, n, baseSize, batch, churnOps, cfg.Categories); err != nil {
+			return nil, err
+		}
+		row.InstanceSize = set.InstanceSize()
+		if err := st.Close(); err != nil {
+			return nil, err
+		}
+		// Drop the crashed process's in-memory instance before timing:
+		// a real restart begins with an empty heap, and a retained copy
+		// of the whole instance would inflate GC mark cost inside both
+		// timed arms.
+		set, st = nil, nil
+		runtime.GC()
+
+		// The clock covers the restart itself — open, load, replay,
+		// attach; verifying the recovered instance and closing the
+		// store happen between samples, off the clock on both arms.
+		row.RecoverTime, err = timedWith(runs, func() (func() error, error) {
+			rset, rst, err := OpenDurable(cfg, dir, wal.Options{})
+			if err != nil {
+				return nil, err
+			}
+			return func() error {
+				if row.ReplayBatches == 0 {
+					row.ReplayBatches = rst.Replayed()
+				}
+				got := rset.InstanceSize()
+				cerr := rst.Close()
+				if got != row.InstanceSize {
+					return fmt.Errorf("workload: recovered %d rows, want %d", got, row.InstanceSize)
+				}
+				return cerr
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// The cold arm rebuilds the same final state without the log:
+		// re-insert the base data, run the full fixpoint, then re-apply
+		// the churn ops (a non-durable restart must replay them from
+		// upstream to catch back up — assuming upstream can even
+		// re-serve them).
+		row.ColdTime, err = timedWith(runs, func() (func() error, error) {
+			cset, err := Build(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if err := applyChurn(cset, n, baseSize, batch, churnOps, cfg.Categories); err != nil {
+				return nil, err
+			}
+			return func() error {
+				if got := cset.InstanceSize(); got != row.InstanceSize {
+					return fmt.Errorf("workload: cold rebuild reached %d rows, want %d", got, row.InstanceSize)
+				}
+				return nil
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

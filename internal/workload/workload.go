@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/exchange"
 	"repro/internal/model"
+	"repro/internal/wal"
 )
 
 // Profile selects the mapping structure.
@@ -212,6 +213,70 @@ func parentOf(topo Topology, p int) int {
 // Build generates the schema, creates the system, inserts seeded local
 // data, and runs update exchange.
 func Build(cfg Config) (*Setting, error) {
+	set, err := BuildSchema(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := exchange.NewSystem(set.Schema, set.exchangeOptions())
+	if err != nil {
+		return nil, err
+	}
+	set.Sys = sys
+	if err := set.Seed(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// OpenDurable is Build over persistent storage: the setting's system
+// is opened from dir through the write-ahead-log store. A fresh
+// directory is seeded and exchanged exactly as Build does; an existing
+// one recovers its instance from the newest checkpoint plus the log
+// suffix and re-attaches the engine warm — the deterministic seed is
+// NOT re-inserted, so mutations applied in earlier processes survive.
+func OpenDurable(cfg Config, dir string, wopts wal.Options) (*Setting, *wal.Store, error) {
+	set, err := BuildSchema(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	sys, st, err := exchange.OpenDurable(set.Schema, dir, wopts, set.exchangeOptions())
+	if err != nil {
+		return nil, nil, err
+	}
+	set.Sys = sys
+	if sys.DB.TotalRows() == 0 {
+		if err := set.Seed(); err != nil {
+			st.Close()
+			return nil, nil, err
+		}
+	}
+	return set, st, nil
+}
+
+// exchangeOptions maps the workload knobs onto exchange options.
+func (set *Setting) exchangeOptions() exchange.Options {
+	return exchange.Options{
+		UseLegacyEngine: set.Config.LegacyEngine,
+		Parallelism:     set.Config.Parallelism,
+		Shards:          set.Config.Shards,
+		NoSupportIndex:  set.Config.NoSupportIndex,
+	}
+}
+
+// Seed inserts the deterministic local data and runs the initial
+// update exchange — the data half of Build, separated so durable
+// settings can skip it when recovering an existing instance.
+func (set *Setting) Seed() error {
+	if err := set.insertData(); err != nil {
+		return err
+	}
+	return set.Sys.Run()
+}
+
+// BuildSchema generates the schema and topology of a setting without
+// creating a system — the schema half of Build, shared by the durable
+// open path (which must declare the schema before recovery).
+func BuildSchema(cfg Config) (*Setting, error) {
 	cfg.defaults()
 	schema := model.NewSchema()
 	set := &Setting{Config: cfg, Schema: schema}
@@ -307,22 +372,6 @@ func Build(cfg Config) (*Setting, error) {
 		}
 	}
 
-	sys, err := exchange.NewSystem(schema, exchange.Options{
-		UseLegacyEngine: cfg.LegacyEngine,
-		Parallelism:     cfg.Parallelism,
-		Shards:          cfg.Shards,
-		NoSupportIndex:  cfg.NoSupportIndex,
-	})
-	if err != nil {
-		return nil, err
-	}
-	set.Sys = sys
-	if err := set.insertData(); err != nil {
-		return nil, err
-	}
-	if err := sys.Run(); err != nil {
-		return nil, err
-	}
 	return set, nil
 }
 
