@@ -6,6 +6,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -67,7 +68,7 @@ func benchTargetQuery(b *testing.B, cfg workload.Config) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.Exec(q); err != nil {
+		if _, err := eng.Exec(context.Background(), q, proql.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -159,7 +160,7 @@ func benchASR(b *testing.B, cfg workload.Config, lens []int) {
 	}
 	b.Run("noASR", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.Exec(q); err != nil {
+			if _, err := eng.Exec(context.Background(), q, proql.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -180,7 +181,7 @@ func benchASR(b *testing.B, cfg workload.Config, lens []int) {
 			eng.RewriteRules = ix.RewriteRules
 			b.Run(fmt.Sprintf("%s/len=%d", kind, maxLen), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, err := eng.Exec(q); err != nil {
+					if _, err := eng.Exec(context.Background(), q, proql.Options{}); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -256,14 +257,14 @@ func BenchmarkAnnotationOverhead(b *testing.B) {
 	}
 	b.Run("projection", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.Exec(proj); err != nil {
+			if _, err := eng.Exec(context.Background(), proj, proql.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("annotated", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.Exec(annot); err != nil {
+			if _, err := eng.Exec(context.Background(), annot, proql.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -300,14 +301,14 @@ func BenchmarkMultiPathMatch(b *testing.B) {
 	}
 	b.Run("interpreter", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.ExecGraphLegacy(q); err != nil {
+			if _, err := eng.Exec(context.Background(), q, proql.Options{Backend: "graph-legacy"}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("planned", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.ExecGraph(q); err != nil {
+			if _, err := eng.Exec(context.Background(), q, proql.Options{Backend: "graph"}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -319,19 +320,19 @@ func BenchmarkMultiPathMatch(b *testing.B) {
 			b.Fatal(err)
 		}
 		for i := 0; i < b.N; i++ {
-			if _, err := par.ExecGraph(q); err != nil {
+			if _, err := par.Exec(context.Background(), q, proql.Options{Backend: "graph"}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("asr", func(b *testing.B) {
 		goal := proql.NewEngine(set.Sys)
-		if _, err := goal.ExecASR(q); err != nil { // warm the adapter and plan cache
+		if _, err := goal.Exec(context.Background(), q, proql.Options{Backend: "asr"}); err != nil { // warm the adapter and plan cache
 			b.Fatal(err)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := goal.ExecASR(q); err != nil {
+			if _, err := goal.Exec(context.Background(), q, proql.Options{Backend: "asr"}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -364,14 +365,14 @@ func BenchmarkSinglePathProjection(b *testing.B) {
 	}
 	b.Run("interpreter", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.ExecGraphLegacy(q); err != nil {
+			if _, err := eng.Exec(context.Background(), q, proql.Options{Backend: "graph-legacy"}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("planned", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.ExecGraph(q); err != nil {
+			if _, err := eng.Exec(context.Background(), q, proql.Options{Backend: "graph"}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -687,7 +688,7 @@ func BenchmarkSuperfluousProvenance(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			b.ReportMetric(float64(sys.ProvRowCount()), "provrows")
 			for i := 0; i < b.N; i++ {
-				if _, err := eng.Exec(pq); err != nil {
+				if _, err := eng.Exec(context.Background(), pq, proql.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}

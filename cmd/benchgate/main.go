@@ -47,6 +47,7 @@ type benchFile struct {
 	// full precision as json.Number.
 	Serve   []map[string]any         `json:"serve"`
 	Recover []map[string]json.Number `json:"recover"`
+	Asof    []map[string]json.Number `json:"asof"`
 }
 
 func load(path string) (*benchFile, error) {
@@ -68,10 +69,14 @@ func load(path string) (*benchFile, error) {
 // backend/readers (row identity), commits and elapsed_ns (both scale
 // with runner speed — a faster writer commits more, which is not a
 // regression), and max_ns (a single-sample tail too noisy to gate;
-// p99_ns carries the tail signal).
+// p99_ns carries the tail signal). The asof sweep adds depth (row
+// identity) and floor_epoch (an absolute epoch number fixed by the
+// deterministic churn; window_epochs carries the same signal as a
+// gated counter).
 var ungated = map[string]bool{
 	"peers": true, "shards": true, "scale": true, "instance_rows": true,
 	"backend": true, "readers": true, "commits": true, "elapsed_ns": true, "max_ns": true,
+	"depth": true, "floor_epoch": true,
 }
 
 func main() {
@@ -120,6 +125,7 @@ func main() {
 	failures += gateProQL(base.Proql, cur.Proql, *factor, *floorNS)
 	failures += gateServe(base.Serve, cur.Serve, *serveFactor, *serveP99Cap, *floorNS)
 	failures += gateRecover(base.Recover, cur.Recover, *factor, *recoverCap)
+	failures += gateAsOf(base.Asof, cur.Asof, *factor, *floorNS)
 	if failures > 0 {
 		fmt.Printf("benchgate: FAIL — %d regression(s) beyond %.1fx\n", failures, *factor)
 		os.Exit(1)
@@ -564,6 +570,95 @@ func gateRecover(base, cur []map[string]json.Number, factor, shareCap float64) i
 			}
 			fmt.Printf("recover[peers=%s].%-22s %14.0f -> %14.0f  (%.2fx) %s\n",
 				peers, metric, bv, cv, ratio, status)
+		}
+	}
+	return failures
+}
+
+// gateAsOf gates the E17 time-travel sweep. Rows are keyed by depth;
+// asof_ns is normalized within each row against the same file's
+// live_ns (the identical query answered at the newest epoch), so the
+// gated quantity is the time-travel overhead — the price of pinning a
+// historical snapshot instead of the live heads — and runner speed
+// cancels. live_ns is the normalizer, reported ungated. The history
+// counters are deterministic given the seeded churn and gated on
+// exact equality: retained_versions is the memory the horizon costs
+// and window_epochs the epochs it answers for — either drifting means
+// the retention sweep changed behavior, not that the runner was slow.
+// The share keeps the noise-floor exemption: both arms are
+// single-query latencies small enough for a scheduler pause to move
+// one of them severalfold, unlike recover's within-run ratio of two
+// long arms.
+func gateAsOf(base, cur []map[string]json.Number, factor, floorNS float64) int {
+	if len(base) == 0 {
+		return 0
+	}
+	curByDepth := make(map[string]map[string]json.Number, len(cur))
+	for _, row := range cur {
+		curByDepth[string(row["depth"])] = row
+	}
+	failures := 0
+	for _, brow := range base {
+		depth := string(brow["depth"])
+		crow, ok := curByDepth[depth]
+		if !ok {
+			fmt.Printf("asof[depth=%s]: row missing from current run\n", depth)
+			failures++
+			continue
+		}
+		for _, metric := range sortedKeys(brow) {
+			if ungated[metric] {
+				continue
+			}
+			bv, err1 := brow[metric].Float64()
+			cnum, present := crow[metric]
+			if !present {
+				fmt.Printf("asof[depth=%s].%s: metric missing from current run\n", depth, metric)
+				failures++
+				continue
+			}
+			cv, err2 := cnum.Float64()
+			if err1 != nil || err2 != nil {
+				fmt.Printf("asof[depth=%s].%s: non-numeric metric\n", depth, metric)
+				failures++
+				continue
+			}
+			if metric == "live_ns" {
+				fmt.Printf("asof[depth=%s].%-22s %14.0f -> %14.0f  (%.2fx) normalizer (not gated)\n",
+					depth, metric, bv, cv, ratioOf(bv, cv, factor))
+				continue
+			}
+			if metric == "asof_ns" {
+				bl, berr := brow["live_ns"].Float64()
+				cl, cerr := crow["live_ns"].Float64()
+				if berr != nil || cerr != nil || bl <= 0 || cl <= 0 {
+					fmt.Printf("asof[depth=%s].%s: missing live_ns normalizer\n", depth, metric)
+					failures++
+					continue
+				}
+				gb, gc := bv/bl, cv/cl
+				ratio := ratioOf(gb, gc, factor)
+				status := "ok"
+				switch {
+				case ratio <= factor:
+				case cv < floorNS:
+					status = "ok (below noise floor)"
+				default:
+					status = "REGRESSED"
+					failures++
+				}
+				fmt.Printf("asof[depth=%s].%-22s %14.0f -> %14.0f  (%.2fx of live, share %.2f) %s\n",
+					depth, metric, bv, cv, ratio, gc, status)
+				continue
+			}
+			// retained_versions, window_epochs: deterministic history
+			// counters, held exactly.
+			status := "ok"
+			if cv != bv {
+				status = "REGRESSED (history counter drifted)"
+				failures++
+			}
+			fmt.Printf("asof[depth=%s].%-22s %14.0f -> %14.0f  %s\n", depth, metric, bv, cv, status)
 		}
 	}
 	return failures

@@ -21,6 +21,7 @@ import (
 	"repro/internal/fixture"
 	"repro/internal/model"
 	"repro/internal/provgraph"
+	"repro/internal/relstore"
 	"repro/internal/semiring"
 	"repro/internal/workload"
 )
@@ -103,6 +104,16 @@ type benchRecoverRow struct {
 	InstanceRows  int   `json:"instance_rows"`
 }
 
+type benchAsOfRow struct {
+	Depth            uint64 `json:"depth"`
+	LiveNS           int64  `json:"live_ns"`
+	AsOfNS           int64  `json:"asof_ns"`
+	FloorEpoch       uint64 `json:"floor_epoch"`
+	WindowEpochs     uint64 `json:"window_epochs"`
+	RetainedVersions int64  `json:"retained_versions"`
+	InstanceRows     int    `json:"instance_rows"`
+}
+
 type benchJSON struct {
 	Schema  string            `json:"schema"`
 	Scale   string            `json:"scale"`
@@ -114,6 +125,7 @@ type benchJSON struct {
 	Proql   []benchProQLRow   `json:"proql,omitempty"`
 	Serve   []benchServeRow   `json:"serve,omitempty"`
 	Recover []benchRecoverRow `json:"recover,omitempty"`
+	Asof    []benchAsOfRow    `json:"asof,omitempty"`
 }
 
 // collected gathers sweep results when -json is set.
@@ -160,6 +172,12 @@ type scaleParams struct {
 	serveBase   int
 	serveBatch  int
 	serveQPR    int
+	asofDepths  []uint64
+	asofPeers   int
+	asofData    int
+	asofBase    int
+	asofBatch   int
+	asofChurn   int
 	runs        int
 	seed        int64
 }
@@ -187,6 +205,8 @@ func defaultScale() scaleParams {
 		proqlScales: []int{1, 10, 100}, proqlPeers: 8, proqlData: 2, proqlBase: 20,
 		serveReader: []int{1, 4}, servePeers: 8, serveData: 2, serveBase: 100,
 		serveBatch: 5, serveQPR: 20,
+		asofDepths: []uint64{8, relstore.RetainAll},
+		asofPeers:  8, asofData: 2, asofBase: 100, asofBatch: 5, asofChurn: 6,
 		runs: 5,
 		seed: 42,
 	}
@@ -203,6 +223,7 @@ func ciScale() scaleParams {
 	p.shardBase = 500
 	p.serveBase = 50
 	p.serveQPR = 25
+	p.asofBase = 50
 	p.runs = 5
 	return p
 }
@@ -223,13 +244,14 @@ func paperScale() scaleParams {
 	p.shardPeers = 80
 	p.shardBase = 2000
 	p.proqlBase = 100
+	p.asofBase = 500
 	p.runs = 7
 	return p
 }
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiments: table1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, annot, del, ins, mix, shard, proql, serve, or all")
+		exp      = flag.String("exp", "all", "comma-separated experiments: table1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, annot, del, ins, mix, shard, proql, serve, recover, asof, or all")
 		scale    = flag.String("scale", "default", "default, ci, or paper")
 		engine   = flag.String("engine", "compiled", "datalog engine for update exchange: legacy or compiled")
 		par      = flag.Int("par", 0, "compiled-engine worker count per evaluation round (0 = serial); how much hardware a round may use, independent of -shards")
@@ -261,7 +283,7 @@ func main() {
 	if *jsonPath != "" {
 		collected = &benchJSON{Schema: "proqlbench-v1", Scale: *scale, Engine: *engine}
 	}
-	known := []string{"all", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "annot", "del", "ins", "mix", "shard", "proql", "serve", "recover"}
+	known := []string{"all", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "annot", "del", "ins", "mix", "shard", "proql", "serve", "recover", "asof"}
 	isKnown := map[string]bool{}
 	for _, name := range known {
 		isKnown[name] = true
@@ -322,6 +344,7 @@ func main() {
 	run("proql", runProQL)
 	run("serve", runServe)
 	run("recover", runRecover)
+	run("asof", runAsOf)
 	if collected != nil {
 		data, err := json.MarshalIndent(collected, "", "  ")
 		if err != nil {
@@ -510,6 +533,45 @@ func runRecover(p scaleParams) error {
 				ColdNS:        r.ColdTime.Nanoseconds(),
 				ReplayBatches: r.ReplayBatches,
 				InstanceRows:  r.InstanceSize,
+			})
+		}
+	}
+	return nil
+}
+
+// runAsOf is the time-travel experiment (E17): the target query
+// answered live versus AS OF the retention floor — the oldest epoch
+// the configured horizon keeps answerable — after an
+// insert-propagate-delete churn populated the horizon with superseded
+// versions. The gate bounds the AS OF arm as a share of the live arm
+// and holds the retained-version count (the history memory overhead)
+// exactly.
+func runAsOf(p scaleParams) error {
+	depths := make([]string, len(p.asofDepths))
+	for i, d := range p.asofDepths {
+		depths[i] = workload.DepthLabel(d)
+	}
+	fmt.Printf("Time travel (E17): chain of %d peers, base %d at %d upstream peers, %d churn ops of %d, horizons %s\n",
+		p.asofPeers, p.asofBase, p.asofData, p.asofChurn, p.asofBatch, strings.Join(depths, ","))
+	fmt.Println("depth      live     as-of  floor  window  retained  instance")
+	rows, err := workload.RunTimeTravel(p.asofDepths, p.asofPeers, p.asofData, p.asofBase, p.asofBatch, p.asofChurn, p.runs, p.seed)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		share := float64(r.AsOfTime) / float64(r.LiveTime)
+		fmt.Printf("%5s  %8v  %8v  %5d  %6d  %8d  %8d  (%.2fx of live)\n",
+			workload.DepthLabel(r.Depth), r.LiveTime, r.AsOfTime, r.FloorEpoch, r.WindowEpochs,
+			r.RetainedVersions, r.InstanceSize, share)
+		if collected != nil {
+			collected.Asof = append(collected.Asof, benchAsOfRow{
+				Depth:            r.Depth,
+				LiveNS:           r.LiveTime.Nanoseconds(),
+				AsOfNS:           r.AsOfTime.Nanoseconds(),
+				FloorEpoch:       r.FloorEpoch,
+				WindowEpochs:     r.WindowEpochs,
+				RetainedVersions: r.RetainedVersions,
+				InstanceRows:     r.InstanceSize,
 			})
 		}
 	}

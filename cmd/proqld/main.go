@@ -10,15 +10,27 @@
 //	proqld                        # running example on :8080
 //	proqld -addr :9090            # custom listen address
 //	proqld -peers 8 -data 2 -base 100   # synthetic chain setting
+//	proqld -retain 64             # keep 64 epochs of history for AS OF queries
 //	proqld -smoke                 # self-test on an ephemeral port and exit
+//
+// The API is versioned under /v1. Errors are a JSON envelope
+// {"error": "...", "code": "..."}: 400 bad_request for malformed
+// requests (including epoch_out_of_range for an AS OF epoch outside
+// the retention window), 404 not_found for unknown routes, 503
+// over_capacity past -max-conns.
 //
 // Endpoints:
 //
-//	GET  /healthz   liveness probe
-//	GET  /stats     epoch, instance size, plan-cache and serving counters
-//	POST /query     {"query": "FOR [O $x] ... RETURN $x", "backend": "auto|graph|asr"}
-//	POST /insert    {"relation": "A", "rows": [[3, "sn3", 9]]}  (commits a Run)
-//	POST /delete    {"relation": "A", "keys": [[3]]}            (commits a DeleteLocal)
+//	GET  /v1/healthz   liveness probe
+//	GET  /v1/stats     epoch, retention floor, instance size, counters
+//	POST /v1/query     {"query": "FOR [O $x] ... RETURN $x", "backend": "auto|relational|graph|asr", "as_of": 7}
+//	POST /v1/diff      {"query": "...", "from": 5, "to": 9}  (what appeared/disappeared)
+//	POST /v1/insert    {"relation": "A", "rows": [[3, "sn3", 9]]}  (commits a Run)
+//	POST /v1/delete    {"relation": "A", "keys": [[3]]}            (commits a DeleteLocal)
+//
+// The unversioned paths from earlier releases (/healthz, /stats,
+// /query, /insert, /delete) remain as aliases for their /v1
+// counterparts.
 package main
 
 import (
@@ -40,6 +52,7 @@ import (
 	"repro/internal/fixture"
 	"repro/internal/model"
 	"repro/internal/proql"
+	"repro/internal/relstore"
 	"repro/internal/wal"
 	"repro/internal/workload"
 )
@@ -55,13 +68,14 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "persist storage in this directory (checkpoint + write-ahead log); restart recovers the instance instead of rebuilding it")
 		syncEvery = flag.Int("sync-every", 1, "fsync the log every N commits (durable mode; 1 = every commit)")
 		ckptEvery = flag.Int("checkpoint-every", 256, "checkpoint after this many commits (durable mode; 0 = never)")
+		retain    = flag.Int64("retain", 0, "keep this many epochs of row history for AS OF queries (-1 = retain everything, 0 = live-only)")
 		timeout   = flag.Duration("query-timeout", 30*time.Second, "abort queries running longer than this (0 = no limit)")
 		maxConns  = flag.Int("max-conns", 64, "concurrent request limit; excess requests get 503 instead of queuing (0 = unlimited)")
 		smoke     = flag.Bool("smoke", false, "start on an ephemeral port, run a concurrent read/write self-test, and exit")
 	)
 	flag.Parse()
 
-	sys, err := buildSystem(*peers, *dataN, *base, *topology, *seed, *dataDir, *syncEvery, *ckptEvery)
+	sys, err := buildSystem(*peers, *dataN, *base, *topology, *seed, *dataDir, *syncEvery, *ckptEvery, retainEpochs(*retain))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "proqld:", err)
 		os.Exit(1)
@@ -88,8 +102,17 @@ func main() {
 	}
 }
 
-func buildSystem(peers, dataN, base int, topology string, seed int64, dataDir string, syncEvery, ckptEvery int) (*core.System, error) {
-	wopts := wal.Options{SyncEvery: syncEvery, CheckpointEvery: ckptEvery}
+// retainEpochs maps the -retain flag onto the storage retention depth:
+// -1 keeps every epoch, 0 disables history, N keeps the newest N.
+func retainEpochs(flagVal int64) uint64 {
+	if flagVal < 0 {
+		return relstore.RetainAll
+	}
+	return uint64(flagVal)
+}
+
+func buildSystem(peers, dataN, base int, topology string, seed int64, dataDir string, syncEvery, ckptEvery int, retain uint64) (*core.System, error) {
+	wopts := wal.Options{SyncEvery: syncEvery, CheckpointEvery: ckptEvery, Retain: retain}
 	if peers <= 0 {
 		if dataDir != "" {
 			ex, st, err := fixture.DurableSystem(fixture.Options{}, dataDir, wopts)
@@ -101,6 +124,9 @@ func buildSystem(peers, dataN, base int, topology string, seed int64, dataDir st
 		ex, err := fixture.System(fixture.Options{})
 		if err != nil {
 			return nil, err
+		}
+		if retain != 0 {
+			ex.DB.SetRetention(retain)
 		}
 		return core.Wrap(ex), nil
 	}
@@ -126,6 +152,9 @@ func buildSystem(peers, dataN, base int, topology string, seed int64, dataDir st
 	set, err := workload.Build(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if retain != 0 {
+		set.Sys.DB.SetRetention(retain)
 	}
 	return core.Wrap(set.Sys), nil
 }
@@ -153,11 +182,25 @@ func newServer(sys *core.System, timeout time.Duration, maxConns int) *server {
 
 func (s *server) mux() *http.ServeMux {
 	m := http.NewServeMux()
-	m.HandleFunc("/healthz", s.handleHealth)
-	m.HandleFunc("/stats", s.handleStats)
-	m.HandleFunc("/query", s.handleQuery)
-	m.HandleFunc("/insert", s.handleInsert)
-	m.HandleFunc("/delete", s.handleDelete)
+	// Versioned API plus the pre-/v1 paths as aliases; anything else
+	// falls through to the catch-all 404 so clients get the JSON error
+	// envelope instead of the default text page.
+	routes := map[string]http.HandlerFunc{
+		"/healthz": s.handleHealth,
+		"/stats":   s.handleStats,
+		"/query":   s.handleQuery,
+		"/insert":  s.handleInsert,
+		"/delete":  s.handleDelete,
+	}
+	for path, h := range routes {
+		m.HandleFunc("/v1"+path, h)
+		m.HandleFunc(path, h)
+	}
+	m.HandleFunc("/v1/diff", s.handleDiff)
+	m.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, "not_found",
+			fmt.Sprintf("unknown route %s (see /v1/query, /v1/insert, /v1/delete, /v1/diff, /v1/stats, /v1/healthz)", r.URL.Path))
+	})
 	return m
 }
 
@@ -170,7 +213,7 @@ func (s *server) handler() http.Handler {
 		return m
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/healthz" {
+		if r.URL.Path == "/healthz" || r.URL.Path == "/v1/healthz" {
 			m.ServeHTTP(w, r)
 			return
 		}
@@ -180,9 +223,19 @@ func (s *server) handler() http.Handler {
 			m.ServeHTTP(w, r)
 		default:
 			s.rejected.Add(1)
-			http.Error(w, "server at connection limit", http.StatusServiceUnavailable)
+			writeError(w, http.StatusServiceUnavailable, "over_capacity", "server at connection limit")
 		}
 	})
+}
+
+// apiError is the error envelope every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, apiError{Error: msg, Code: code})
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -190,40 +243,53 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 type statsResponse struct {
-	Epoch        uint64 `json:"epoch"`
-	InstanceSize int    `json:"instance_size"`
-	Queries      int64  `json:"queries"`
-	Commits      int64  `json:"commits"`
-	Rejected     int64  `json:"rejected"`
-	Timeouts     int64  `json:"timeouts"`
-	Durable      bool   `json:"durable"`
-	CacheEntries int    `json:"cache_entries"`
-	CacheHits    int    `json:"cache_hits"`
-	CacheMisses  int    `json:"cache_misses"`
+	Epoch uint64 `json:"epoch"`
+	// RetentionFloor is the oldest epoch AS OF queries can answer
+	// (0 = history retention off); RetainedVersions counts the
+	// superseded row versions currently held for time travel.
+	RetentionFloor   uint64 `json:"retention_floor"`
+	RetainedVersions int64  `json:"retained_versions"`
+	InstanceSize     int    `json:"instance_size"`
+	Queries          int64  `json:"queries"`
+	Commits          int64  `json:"commits"`
+	Rejected         int64  `json:"rejected"`
+	Timeouts         int64  `json:"timeouts"`
+	Durable          bool   `json:"durable"`
+	CacheEntries     int    `json:"cache_entries"`
+	CacheHits        int    `json:"cache_hits"`
+	CacheMisses      int    `json:"cache_misses"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.sys.Engine().PlanCacheStats()
 	writeJSON(w, http.StatusOK, statsResponse{
-		Epoch:        s.sys.Exchange().DB.Epoch(),
-		InstanceSize: s.sys.Exchange().DB.TotalRows(),
-		Queries:      s.queries.Load(),
-		Commits:      s.commits.Load(),
-		Rejected:     s.rejected.Load(),
-		Timeouts:     s.timeouts.Load(),
-		Durable:      s.sys.Store() != nil,
-		CacheEntries: st.Entries,
-		CacheHits:    st.Hits,
-		CacheMisses:  st.Misses,
+		Epoch:            s.sys.Exchange().DB.Epoch(),
+		RetentionFloor:   s.sys.Exchange().DB.RetentionFloor(),
+		RetainedVersions: s.sys.Exchange().DB.DeadVersions(),
+		InstanceSize:     s.sys.Exchange().DB.TotalRows(),
+		Queries:          s.queries.Load(),
+		Commits:          s.commits.Load(),
+		Rejected:         s.rejected.Load(),
+		Timeouts:         s.timeouts.Load(),
+		Durable:          s.sys.Store() != nil,
+		CacheEntries:     st.Entries,
+		CacheHits:        st.Hits,
+		CacheMisses:      st.Misses,
 	})
 }
 
 type queryRequest struct {
 	Query string `json:"query"`
 	// Backend selects the execution strategy: "" or "auto" (relational
-	// when the query allows, else graph), "graph", or "asr". The choice
-	// is per request; all of them read a pinned snapshot.
+	// when the query allows, else graph), "relational", "graph", or
+	// "asr". The choice is per request; all of them read a pinned
+	// snapshot.
 	Backend string `json:"backend"`
+	// AsOf, when non-zero, evaluates the query against the retained
+	// state at that epoch (time travel). Requires the server to run
+	// with -retain; epochs outside the retention window are rejected
+	// with code epoch_out_of_range.
+	AsOf uint64 `json:"as_of"`
 }
 
 type queryResponse struct {
@@ -231,22 +297,48 @@ type queryResponse struct {
 	Count     int                 `json:"count"`
 	Backend   string              `json:"backend"`
 	Epoch     uint64              `json:"epoch"`
+	AsOf      uint64              `json:"as_of,omitempty"`
 	ElapsedNS int64               `json:"elapsed_ns"`
+}
+
+var validBackends = map[string]bool{
+	"": true, "auto": true, "relational": true, "graph": true, "asr": true,
+}
+
+// execError maps a failed execution onto the error envelope: timeouts
+// and client disconnects are 503, an AS OF epoch outside the retention
+// window is a client error, anything else is exec_failed.
+func (s *server) execError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		s.timeouts.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "timeout", "query aborted: "+err.Error())
+		return
+	}
+	var oor *relstore.ErrEpochOutOfRange
+	if errors.As(err, &oor) {
+		writeError(w, http.StatusBadRequest, "epoch_out_of_range", err.Error())
+		return
+	}
+	writeError(w, http.StatusUnprocessableEntity, "exec_failed", err.Error())
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
 		return
 	}
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
 	q, err := proql.Parse(req.Query)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	if !validBackends[req.Backend] {
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("unknown backend %q", req.Backend))
 		return
 	}
 	// The query runs under the request context — a dropped client
@@ -257,27 +349,10 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.timeout)
 		defer cancel()
 	}
-	eng := s.sys.Engine()
 	start := time.Now()
-	var res *proql.Result
-	switch req.Backend {
-	case "", "auto", "relational":
-		res, err = eng.ExecContext(ctx, q)
-	case "graph":
-		res, err = eng.ExecGraphContext(ctx, q)
-	case "asr":
-		res, err = eng.ExecASRContext(ctx, q)
-	default:
-		http.Error(w, fmt.Sprintf("unknown backend %q", req.Backend), http.StatusBadRequest)
-		return
-	}
+	res, err := s.sys.Engine().Exec(ctx, q, proql.Options{Backend: req.Backend, AsOfEpoch: req.AsOf})
 	if err != nil {
-		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			s.timeouts.Add(1)
-			http.Error(w, "query aborted: "+err.Error(), http.StatusServiceUnavailable)
-			return
-		}
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		s.execError(w, err)
 		return
 	}
 	s.queries.Add(1)
@@ -285,6 +360,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Bindings:  map[string][]string{},
 		Backend:   res.Stats.Backend,
 		Epoch:     s.sys.Exchange().DB.Epoch(),
+		AsOf:      res.Stats.AsOf,
 		ElapsedNS: time.Since(start).Nanoseconds(),
 	}
 	vars := map[string]bool{}
@@ -307,6 +383,80 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+type diffRequest struct {
+	Query   string `json:"query"`
+	Backend string `json:"backend"`
+	From    uint64 `json:"from"`
+	To      uint64 `json:"to"`
+}
+
+type diffResponse struct {
+	From uint64 `json:"from"`
+	To   uint64 `json:"to"`
+	// Appeared/Disappeared render each changed binding canonically
+	// (var=Rel(key);...); the derivation lists carry the provenance
+	// nodes projected by the query that exist at only one epoch.
+	Appeared               []string `json:"appeared"`
+	Disappeared            []string `json:"disappeared"`
+	AppearedDerivations    []string `json:"appeared_derivations"`
+	DisappearedDerivations []string `json:"disappeared_derivations"`
+	ElapsedNS              int64    `json:"elapsed_ns"`
+}
+
+func (s *server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
+		return
+	}
+	var req diffRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	q, err := proql.Parse(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	if !validBackends[req.Backend] {
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("unknown backend %q", req.Backend))
+		return
+	}
+	if req.From == 0 || req.To == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "diff requires non-zero from and to epochs")
+		return
+	}
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	d, err := s.sys.Engine().Diff(ctx, q, req.From, req.To, proql.Options{Backend: req.Backend})
+	if err != nil {
+		s.execError(w, err)
+		return
+	}
+	s.queries.Add(1)
+	resp := diffResponse{
+		From:                   d.From,
+		To:                     d.To,
+		Appeared:               []string{},
+		Disappeared:            []string{},
+		AppearedDerivations:    d.AppearedDerivations,
+		DisappearedDerivations: d.DisappearedDerivations,
+		ElapsedNS:              time.Since(start).Nanoseconds(),
+	}
+	for _, b := range d.Appeared {
+		resp.Appeared = append(resp.Appeared, proql.BindingKey(b))
+	}
+	for _, b := range d.Disappeared {
+		resp.Disappeared = append(resp.Disappeared, proql.BindingKey(b))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 type insertRequest struct {
 	Relation string  `json:"relation"`
 	Rows     [][]any `json:"rows"`
@@ -319,34 +469,34 @@ type mutateResponse struct {
 
 func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
 		return
 	}
 	var req insertRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
 	rel, ok := s.sys.Exchange().Schema.Relation(req.Relation)
 	if !ok {
-		http.Error(w, fmt.Sprintf("unknown relation %q", req.Relation), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("unknown relation %q", req.Relation))
 		return
 	}
 	rows := make([]model.Tuple, len(req.Rows))
 	for i, raw := range req.Rows {
 		row, err := decodeRow(rel, raw)
 		if err != nil {
-			http.Error(w, fmt.Sprintf("row %d: %v", i, err), http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("row %d: %v", i, err))
 			return
 		}
 		rows[i] = row
 	}
 	if err := s.sys.InsertLocal(req.Relation, rows...); err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		writeError(w, http.StatusUnprocessableEntity, "exec_failed", err.Error())
 		return
 	}
 	if err := s.sys.Run(); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, "exec_failed", err.Error())
 		return
 	}
 	s.commits.Add(1)
@@ -363,30 +513,30 @@ type deleteRequest struct {
 
 func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
 		return
 	}
 	var req deleteRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
 	rel, ok := s.sys.Exchange().Schema.Relation(req.Relation)
 	if !ok {
-		http.Error(w, fmt.Sprintf("unknown relation %q", req.Relation), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("unknown relation %q", req.Relation))
 		return
 	}
 	keys := make([][]model.Datum, len(req.Keys))
 	for i, raw := range req.Keys {
 		key, err := decodeKey(rel, raw)
 		if err != nil {
-			http.Error(w, fmt.Sprintf("key %d: %v", i, err), http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("key %d: %v", i, err))
 			return
 		}
 		keys[i] = key
 	}
 	if _, err := s.sys.DeleteLocal(req.Relation, keys...); err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		writeError(w, http.StatusUnprocessableEntity, "exec_failed", err.Error())
 		return
 	}
 	s.commits.Add(1)
@@ -564,6 +714,9 @@ func runSmoke(srv *server) error {
 	if err := smokeHardening(srv); err != nil {
 		return err
 	}
+	if err := smokeV1(); err != nil {
+		return err
+	}
 	if err := smokeDurable(); err != nil {
 		return err
 	}
@@ -584,9 +737,15 @@ func smokeHardening(srv *server) error {
 		backend string
 		exec    func(*proql.Query) (*proql.Result, error)
 	}{
-		{"relational", func(q *proql.Query) (*proql.Result, error) { return eng.ExecContext(ctx, q) }},
-		{"graph", func(q *proql.Query) (*proql.Result, error) { return eng.ExecGraphContext(ctx, q) }},
-		{"asr", func(q *proql.Query) (*proql.Result, error) { return eng.ExecASRContext(ctx, q) }},
+		{"relational", func(q *proql.Query) (*proql.Result, error) {
+			return eng.Exec(ctx, q, proql.Options{})
+		}},
+		{"graph", func(q *proql.Query) (*proql.Result, error) {
+			return eng.Exec(ctx, q, proql.Options{Backend: "graph"})
+		}},
+		{"asr", func(q *proql.Query) (*proql.Result, error) {
+			return eng.Exec(ctx, q, proql.Options{Backend: "asr"})
+		}},
 	} {
 		q, err := proql.Parse(text)
 		if err != nil {
@@ -618,6 +777,130 @@ func smokeHardening(srv *server) error {
 	return nil
 }
 
+// smokeV1 drives the versioned API against a retained running example:
+// the /v1 routes, time-travel queries (as_of), the diff endpoint, and
+// the JSON error envelope for unknown routes, bad backends, and
+// out-of-range epochs.
+func smokeV1() error {
+	sys, err := buildSystem(0, 0, 0, "", 0, "", 1, 0, relstore.RetainAll)
+	if err != nil {
+		return err
+	}
+	srv := newServer(sys, 30*time.Second, 16)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	if _, err := httpGet(base + "/v1/healthz"); err != nil {
+		return err
+	}
+	body, err := httpGet(base + "/v1/stats")
+	if err != nil {
+		return err
+	}
+	var st statsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		return err
+	}
+	if st.RetentionFloor == 0 {
+		return fmt.Errorf("v1 stats: retention floor 0 with retention enabled")
+	}
+	before := st.Epoch
+
+	body, err = httpPost(base+"/v1/insert", insertRequest{
+		Relation: "A", Rows: [][]any{{3, "sn3", 9}},
+	})
+	if err != nil {
+		return err
+	}
+	var ins mutateResponse
+	if err := json.Unmarshal(body, &ins); err != nil {
+		return err
+	}
+
+	const q = `FOR [O $x] RETURN $x`
+	counts := map[string]int{}
+	for _, backend := range []string{"auto", "graph", "asr"} {
+		// Live: the inserted row derived a fifth O tuple.
+		body, err := httpPost(base+"/v1/query", queryRequest{Query: q, Backend: backend})
+		if err != nil {
+			return err
+		}
+		var live queryResponse
+		if err := json.Unmarshal(body, &live); err != nil {
+			return err
+		}
+		// AS OF the pre-insert epoch: the old answer, on every backend.
+		body, err = httpPost(base+"/v1/query", queryRequest{Query: q, Backend: backend, AsOf: before})
+		if err != nil {
+			return fmt.Errorf("%s as_of: %v", backend, err)
+		}
+		var old queryResponse
+		if err := json.Unmarshal(body, &old); err != nil {
+			return err
+		}
+		if old.AsOf != before {
+			return fmt.Errorf("%s as_of echo = %d, want %d", backend, old.AsOf, before)
+		}
+		if len(live.Bindings["x"]) != len(old.Bindings["x"])+1 {
+			return fmt.Errorf("%s: live %d vs as_of %d O bindings, want live = as_of + 1",
+				backend, len(live.Bindings["x"]), len(old.Bindings["x"]))
+		}
+		counts[backend] = len(old.Bindings["x"])
+	}
+	if counts["auto"] != counts["graph"] || counts["graph"] != counts["asr"] {
+		return fmt.Errorf("as_of answers disagree across backends: %v", counts)
+	}
+
+	// Diff across the insert: exactly one O binding appeared.
+	body, err = httpPost(base+"/v1/diff", diffRequest{Query: q, From: before, To: ins.Epoch})
+	if err != nil {
+		return err
+	}
+	var d diffResponse
+	if err := json.Unmarshal(body, &d); err != nil {
+		return err
+	}
+	if len(d.Appeared) != 1 || len(d.Disappeared) != 0 {
+		return fmt.Errorf("diff: %d appeared / %d disappeared, want 1/0 (%v)", len(d.Appeared), len(d.Disappeared), d.Appeared)
+	}
+
+	// Error envelope: unknown route, unknown backend, epoch out of range.
+	for _, check := range []struct {
+		status int
+		code   string
+		do     func() (int, []byte, error)
+	}{
+		{http.StatusNotFound, "not_found", func() (int, []byte, error) {
+			return httpGetStatus(base + "/v2/query")
+		}},
+		{http.StatusBadRequest, "bad_request", func() (int, []byte, error) {
+			return httpPostStatus(base+"/v1/query", queryRequest{Query: q, Backend: "quantum"})
+		}},
+		{http.StatusBadRequest, "epoch_out_of_range", func() (int, []byte, error) {
+			return httpPostStatus(base+"/v1/query", queryRequest{Query: q, AsOf: before + 1000})
+		}},
+	} {
+		status, body, err := check.do()
+		if err != nil {
+			return err
+		}
+		var envelope apiError
+		if err := json.Unmarshal(body, &envelope); err != nil {
+			return fmt.Errorf("error response is not the JSON envelope: %s", body)
+		}
+		if status != check.status || envelope.Code != check.code {
+			return fmt.Errorf("got %d %q, want %d %q", status, envelope.Code, check.status, check.code)
+		}
+	}
+	return nil
+}
+
 // smokeDurable commits through a durable running example, kills the
 // process state, reopens the directory, and checks the instance
 // survived — the -data-dir path end to end.
@@ -627,7 +910,7 @@ func smokeDurable() error {
 		return err
 	}
 	defer os.RemoveAll(dir)
-	sys, err := buildSystem(0, 0, 0, "", 0, dir, 1, 0)
+	sys, err := buildSystem(0, 0, 0, "", 0, dir, 1, 0, 0)
 	if err != nil {
 		return err
 	}
@@ -642,7 +925,7 @@ func smokeDurable() error {
 	if err := sys.Close(); err != nil {
 		return err
 	}
-	re, err := buildSystem(0, 0, 0, "", 0, dir, 1, 0)
+	re, err := buildSystem(0, 0, 0, "", 0, dir, 1, 0, 0)
 	if err != nil {
 		return fmt.Errorf("reopen durable dir: %v", err)
 	}
@@ -696,6 +979,32 @@ func httpGet(url string) ([]byte, error) {
 		return nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, bytes.TrimSpace(body))
 	}
 	return body, nil
+}
+
+// httpGetStatus / httpPostStatus return the status code and body
+// without treating non-200 as an error — for checking the envelope.
+func httpGetStatus(url string) (int, []byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, body, nil
+}
+
+func httpPostStatus(url string, payload any) (int, []byte, error) {
+	buf, err := json.Marshal(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, body, nil
 }
 
 func httpPost(url string, payload any) ([]byte, error) {

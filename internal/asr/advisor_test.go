@@ -1,6 +1,7 @@
 package asr_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/asr"
@@ -48,12 +49,12 @@ func TestAdviseOnChainWorkload(t *testing.T) {
 	// Advised indexes must preserve query results.
 	eng := proql.NewEngine(set.Sys)
 	q := proql.MustParse(set.TargetQuery())
-	base, err := eng.Exec(q)
+	base, err := eng.Exec(context.Background(), q, proql.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	eng.RewriteRules = ix.RewriteRules
-	opt, err := eng.Exec(q)
+	opt, err := eng.Exec(context.Background(), q, proql.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package asr_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/asr"
@@ -119,7 +120,7 @@ func execWith(t *testing.T, kind asr.Kind, query string) {
 	sys := fixture.MustSystem(fixture.Options{})
 	eng := proql.NewEngine(sys)
 	q := proql.MustParse(query)
-	base, err := eng.Exec(q)
+	base, err := eng.Exec(context.Background(), q, proql.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func execWith(t *testing.T, kind asr.Kind, query string) {
 		t.Fatal(err)
 	}
 	eng.RewriteRules = ix.RewriteRules
-	opt, err := eng.Exec(q)
+	opt, err := eng.Exec(context.Background(), q, proql.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

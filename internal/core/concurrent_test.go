@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -87,11 +88,11 @@ func TestConcurrentServeSmoke(t *testing.T) {
 				var err error
 				switch mode % 3 {
 				case 0:
-					res, err = eng.Exec(q)
+					res, err = eng.Exec(context.Background(), q, proql.Options{})
 				case 1:
-					res, err = eng.ExecGraph(q)
+					res, err = eng.Exec(context.Background(), q, proql.Options{Backend: "graph"})
 				default:
-					res, err = eng.ExecASR(q)
+					res, err = eng.Exec(context.Background(), q, proql.Options{Backend: "asr"})
 				}
 				if err != nil {
 					t.Errorf("reader %d: %v", mode, err)

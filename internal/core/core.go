@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -62,6 +63,12 @@ type Options struct {
 	// this many committed batches (checked after each Run/DeleteLocal).
 	// Only used by OpenDurable.
 	CheckpointEvery int
+	// RetainEpochs, when non-zero, keeps superseded row versions for
+	// time-travel queries: the newest RetainEpochs committed epochs stay
+	// answerable via QueryAsOf/Diff (relstore.RetainAll retains
+	// everything). Zero disables history retention (live-only sweeping,
+	// the pre-time-travel behaviour).
+	RetainEpochs uint64
 }
 
 // Open creates a system over a declared schema.
@@ -71,6 +78,9 @@ func Open(schema *model.Schema, opts Options) (*System, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if opts.RetainEpochs != 0 {
+		ex.DB.SetRetention(opts.RetainEpochs)
 	}
 	s := &System{ex: ex, engine: proql.NewEngine(ex)}
 	s.index = asr.NewIndex(ex)
@@ -85,7 +95,8 @@ func Open(schema *model.Schema, opts Options) (*System, error) {
 // the replay suffix, and Close before process exit.
 func OpenDurable(schema *model.Schema, dir string, opts Options) (*System, error) {
 	ex, st, err := exchange.OpenDurable(schema, dir,
-		wal.Options{SyncEvery: opts.SyncEvery, CheckpointEvery: opts.CheckpointEvery},
+		wal.Options{SyncEvery: opts.SyncEvery, CheckpointEvery: opts.CheckpointEvery,
+			Retain: opts.RetainEpochs},
 		exchange.Options{MaterializeAll: opts.MaterializeAllProvenance})
 	if err != nil {
 		return nil, err
@@ -236,6 +247,38 @@ func (s *System) DeleteLocal(rel string, keys ...[]model.Datum) (*exchange.Maint
 func (s *System) Query(text string) (*proql.Result, error) {
 	return s.engine.ExecString(text)
 }
+
+// QueryAsOf parses and executes a ProQL query against the retained
+// state at epoch (time travel). It fails with
+// relstore.ErrEpochOutOfRange when the epoch predates the retention
+// horizon or exceeds the current Epoch(). Requires Options.RetainEpochs
+// (epoch == Epoch() works regardless: the newest state is always
+// retained).
+func (s *System) QueryAsOf(text string, epoch uint64) (*proql.Result, error) {
+	q, err := proql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return s.engine.Exec(context.Background(), q, proql.Options{AsOfEpoch: epoch})
+}
+
+// Diff evaluates a ProQL query at two retained epochs and reports the
+// bindings and derivations that appeared or disappeared between them.
+func (s *System) Diff(text string, from, to uint64) (*proql.DiffResult, error) {
+	q, err := proql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return s.engine.Diff(context.Background(), q, from, to, proql.Options{})
+}
+
+// Epoch returns the newest committed storage epoch — the upper bound
+// for QueryAsOf/Diff (and the epoch a live query observes).
+func (s *System) Epoch() uint64 { return s.ex.DB.Epoch() }
+
+// RetentionFloor returns the oldest epoch QueryAsOf can currently
+// answer, or 0 when history retention is off.
+func (s *System) RetentionFloor() uint64 { return s.ex.DB.RetentionFloor() }
 
 // DefineASR registers an access support relation over a mapping chain
 // (ordered from the derived end toward the sources) and materializes

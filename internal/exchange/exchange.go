@@ -294,7 +294,23 @@ func (s *System) Probes() map[string][]IncomingProbe { return s.inProbes }
 // writes). Callers must invoke the release function when done;
 // holding it only delays reclamation of deleted rows.
 func (s *System) Snapshot() (*System, func()) {
-	snap := s.DB.Snapshot()
+	view, release, _ := s.snapView(s.DB.Snapshot(), nil)
+	return view, release
+}
+
+// SnapshotAt is Snapshot pinned at a retained historical epoch (see
+// relstore.Database.SnapshotAt): reads through the view observe the
+// state as committed by that epoch. Epochs outside the retention
+// window return *relstore.ErrEpochOutOfRange.
+func (s *System) SnapshotAt(epoch uint64) (*System, func(), error) {
+	snap, err := s.DB.SnapshotAt(epoch)
+	return s.snapView(snap, err)
+}
+
+func (s *System) snapView(snap *relstore.Database, err error) (*System, func(), error) {
+	if err != nil {
+		return nil, nil, err
+	}
 	view := &System{
 		Schema:   s.Schema,
 		DB:       snap,
@@ -302,7 +318,7 @@ func (s *System) Snapshot() (*System, func()) {
 		opts:     s.opts,
 		inProbes: s.inProbes,
 	}
-	return view, snap.Close
+	return view, snap.Close, nil
 }
 
 func (s *System) provRelFor(m *model.Mapping) (*ProvRel, error) {

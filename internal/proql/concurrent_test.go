@@ -1,6 +1,7 @@
 package proql
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -27,7 +28,7 @@ func TestPlanCacheConcurrentSameShape(t *testing.T) {
 				for i := 0; i < iters; i++ {
 					n := (seed + i) % 9
 					q := MustParse(fmt.Sprintf(`FOR [A $x] WHERE $x.length >= %d RETURN $x`, n))
-					res, err := e.Exec(q)
+					res, err := e.Exec(context.Background(), q, Options{})
 					if err != nil {
 						t.Errorf("%s: goroutine %d: %v", backend, seed, err)
 						return

@@ -1,0 +1,140 @@
+package proql
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DiffResult reports how a query's answer changed between two retained
+// epochs: the bindings (and, for queries projecting provenance, the
+// derivations) present at To but not at From, and vice versa. The
+// audit primitive: "which derivations appeared/disappeared between e1
+// and e2".
+type DiffResult struct {
+	From, To uint64
+
+	// Appeared / Disappeared are the binding rows present only at To /
+	// only at From, each sorted by their canonical rendering.
+	Appeared    []Binding
+	Disappeared []Binding
+
+	// AppearedDerivations / DisappearedDerivations are the IDs of the
+	// projected derivation nodes present only at To / only at From
+	// (empty unless the query INCLUDEs paths), sorted.
+	AppearedDerivations    []string
+	DisappearedDerivations []string
+
+	FromStats, ToStats Stats
+}
+
+// Diff evaluates q AS OF both epochs on the same backend and returns
+// the symmetric difference of the answers. Both epochs must be
+// explicit (non-zero) retained epochs; use the current Epoch() for
+// "versus now". opts.AsOfEpoch is ignored.
+func (e *Engine) Diff(ctx context.Context, q *Query, from, to uint64, opts Options) (*DiffResult, error) {
+	if from == 0 || to == 0 {
+		return nil, fmt.Errorf("proql: Diff requires two explicit epochs (got %d, %d)", from, to)
+	}
+	o := opts
+	o.AsOfEpoch = from
+	rFrom, err := e.Exec(ctx, q, o)
+	if err != nil {
+		return nil, err
+	}
+	o.AsOfEpoch = to
+	rTo, err := e.Exec(ctx, q, o)
+	if err != nil {
+		return nil, err
+	}
+	d := &DiffResult{From: from, To: to, FromStats: rFrom.Stats, ToStats: rTo.Stats}
+	d.Appeared, d.Disappeared = diffBindings(rFrom.Bindings, rTo.Bindings)
+	gFrom, err := rFrom.Graph()
+	if err != nil {
+		return nil, err
+	}
+	gTo, err := rTo.Graph()
+	if err != nil {
+		return nil, err
+	}
+	fromIDs := map[string]bool{}
+	for _, dn := range gFrom.Derivations() {
+		fromIDs[dn.ID] = true
+	}
+	toIDs := map[string]bool{}
+	for _, dn := range gTo.Derivations() {
+		toIDs[dn.ID] = true
+		if !fromIDs[dn.ID] {
+			d.AppearedDerivations = append(d.AppearedDerivations, dn.ID)
+		}
+	}
+	for id := range fromIDs {
+		if !toIDs[id] {
+			d.DisappearedDerivations = append(d.DisappearedDerivations, id)
+		}
+	}
+	sort.Strings(d.AppearedDerivations)
+	sort.Strings(d.DisappearedDerivations)
+	return d, nil
+}
+
+// BindingKey renders a binding canonically — variables sorted, each as
+// var=Rel(key) — the identity Diff compares binding rows under and the
+// order diff output is sorted in.
+func BindingKey(b Binding) string {
+	vars := make([]string, 0, len(b))
+	for v := range b {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	var sb strings.Builder
+	for i, v := range vars {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		ref := b[v]
+		sb.WriteString(v)
+		sb.WriteByte('=')
+		sb.WriteString(ref.Rel)
+		sb.WriteByte('(')
+		sb.WriteString(ref.Key)
+		sb.WriteByte(')')
+	}
+	return sb.String()
+}
+
+func diffBindings(from, to []Binding) (appeared, disappeared []Binding) {
+	type keyed struct {
+		key string
+		b   Binding
+	}
+	index := func(bs []Binding) map[string]Binding {
+		m := make(map[string]Binding, len(bs))
+		for _, b := range bs {
+			m[BindingKey(b)] = b
+		}
+		return m
+	}
+	fromSet, toSet := index(from), index(to)
+	var app, dis []keyed
+	for k, b := range toSet {
+		if _, ok := fromSet[k]; !ok {
+			app = append(app, keyed{k, b})
+		}
+	}
+	for k, b := range fromSet {
+		if _, ok := toSet[k]; !ok {
+			dis = append(dis, keyed{k, b})
+		}
+	}
+	sort.Slice(app, func(i, j int) bool { return app[i].key < app[j].key })
+	sort.Slice(dis, func(i, j int) bool { return dis[i].key < dis[j].key })
+	for _, kb := range app {
+		appeared = append(appeared, kb.b)
+	}
+	for _, kb := range dis {
+		disappeared = append(disappeared, kb.b)
+	}
+	return appeared, disappeared
+}

@@ -64,10 +64,10 @@ type Engine struct {
 }
 
 // NewEngine builds an engine over a system. The engine is safe for
-// concurrent queries (Exec/ExecGraph/ExecASR/ExecString); maintenance
-// entry points (Graph invalidation and patching) may run concurrently
-// with queries but must themselves be serialized by the caller, as
-// core.System does under its writer lock.
+// concurrent queries (Exec/ExecString); maintenance entry points
+// (Graph invalidation and patching) may run concurrently with queries
+// but must themselves be serialized by the caller, as core.System
+// does under its writer lock.
 func NewEngine(sys *exchange.System) *Engine {
 	return &Engine{Sys: sys, plans: newPlanCache()}
 }
@@ -77,9 +77,11 @@ type Binding map[string]model.TupleRef
 
 // Stats reports how a query was executed. UnfoldTime and EvalTime are
 // the two components the paper plots separately in Figures 7–8;
-// PlanTime is the graph backend's physical-planning component.
+// PlanTime is the graph backend's physical-planning component. AsOf
+// is the historical epoch the query evaluated at (0 = the live epoch).
 type Stats struct {
 	Backend       string // "relational", "graph", or "asr"
+	AsOf          uint64
 	UnfoldedRules int
 	UnfoldTime    time.Duration
 	PlanTime      time.Duration
@@ -154,98 +156,132 @@ func (r *Result) SortedRefs(v string) []model.TupleRef {
 	return out
 }
 
-// Exec parses nothing: it runs an already parsed query on the engine's
-// selected backend (Backend), defaulting to relational-with-graph-
-// fallback.
-func (e *Engine) Exec(q *Query) (*Result, error) {
-	switch e.Backend {
+// Options selects how one Exec call runs. The zero value is the
+// default policy: the engine's configured backend (or auto) against
+// the live epoch.
+type Options struct {
+	// Backend forces an execution backend for this call: "relational",
+	// "graph", "asr", or "graph-legacy" (the tree-walking interpreter
+	// kept for differential testing). Empty falls back to the engine's
+	// Backend field, then to auto (relational when the translation
+	// covers the query, graph otherwise).
+	Backend string
+	// AsOfEpoch, when non-zero, evaluates the query AS OF that storage
+	// epoch: every backend pins a SnapshotAt view instead of the live
+	// snapshot, so the answer is the one the same query produced when
+	// that epoch was current. The epoch must be within the retention
+	// window (relstore.Database.SetRetention) or Exec returns
+	// *relstore.ErrEpochOutOfRange. 0 = live.
+	AsOfEpoch uint64
+}
+
+// Exec is the query entry point: it runs an already parsed query under
+// ctx with the given per-call options. A cancellable ctx (one with a
+// Done channel) is polled during evaluation — per result row / start
+// tuple — and aborts the query with ctx.Err() once cancelled or past
+// its deadline; context.Background() and nil impose no bound.
+//
+// The context binding is per-call state on q: a *Query shared by
+// concurrent Exec calls must use non-cancellable contexts (the
+// concurrency the plan cache is built for), since binding a
+// cancellable one mutates q.
+func (e *Engine) Exec(ctx context.Context, q *Query, opts Options) (*Result, error) {
+	if ctx != nil && ctx.Done() != nil {
+		q.Cancel = ctx.Err
+	}
+	backend := opts.Backend
+	if backend == "" {
+		backend = e.Backend
+	}
+	asOf := opts.AsOfEpoch
+	switch backend {
 	case "", "auto":
+		comp, err := e.compileUnfoldCached(q)
+		if err != nil {
+			var nr *ErrNotRelational
+			if errors.As(err, &nr) {
+				return e.execPlanned(q, asOf)
+			}
+			return nil, err
+		}
+		return e.execUnfold(comp, asOf)
 	case "relational":
 		comp, err := e.compileUnfoldCached(q)
 		if err != nil {
 			return nil, err
 		}
-		return e.execUnfold(comp)
+		return e.execUnfold(comp, asOf)
 	case "graph":
-		return e.execPlanned(q)
+		return e.execPlanned(q, asOf)
 	case "asr":
-		return e.ExecASR(q)
+		return e.execASR(q, asOf)
+	case "graph-legacy":
+		return e.execGraph(q, asOf)
 	default:
-		return nil, fmt.Errorf("proql: unknown backend %q (want relational, graph, or asr)", e.Backend)
+		return nil, fmt.Errorf("proql: unknown backend %q (want relational, graph, asr, or graph-legacy)", backend)
 	}
-	comp, err := e.compileUnfoldCached(q)
-	if err != nil {
-		var nr *ErrNotRelational
-		if errors.As(err, &nr) {
-			return e.execPlanned(q)
-		}
-		return nil, err
-	}
-	return e.execUnfold(comp)
 }
 
-// ExecGraph forces evaluation on the graph backend, bypassing the
-// relational translation. Useful for cross-checking backends and for
-// interactive exploration over a prebuilt graph. Queries run through
-// the physical-plan pipeline (internal/proql/physplan).
-func (e *Engine) ExecGraph(q *Query) (*Result, error) {
-	return e.execPlanned(q)
-}
-
-// ExecASR forces evaluation on the goal-directed ASR backend: the same
-// physical-plan pipeline as the graph backend, but running directly
-// over the provenance relations (and their secondary indexes) through
-// an adapter that interns tuple and derivation handles on demand — no
-// provenance graph is ever materialized, so memory stays proportional
-// to the portion of the graph the query actually touches.
-func (e *Engine) ExecASR(q *Query) (*Result, error) {
-	g, release, err := e.asrAdapter()
-	if err != nil {
-		return nil, err
-	}
-	defer release()
-	// The adapter interns handles in shared maps under its own lock,
-	// so plans run single-worker regardless of e.Parallelism.
-	return e.execPhys(q, g, "asr", 1)
-}
-
-// ExecGraphLegacy forces evaluation on the graph backend's original
-// tree-walking interpreter. It exists to cross-check the planned
-// pipeline (differential tests, benchmarks) and will be removed once
-// the pipeline has fully replaced it.
-func (e *Engine) ExecGraphLegacy(q *Query) (*Result, error) {
-	return e.execGraph(q)
-}
-
-// ExecContext is Exec under a context: the query polls ctx during
-// evaluation (per result row / start tuple) and aborts with ctx.Err()
-// once the context is cancelled or its deadline passes — the entry
-// point servers use to bound query time. The context binding is
-// per-call state on q; the plan cache is unaffected.
-func (e *Engine) ExecContext(ctx context.Context, q *Query) (*Result, error) {
-	q.Cancel = ctx.Err
-	return e.Exec(q)
-}
-
-// ExecGraphContext is ExecGraph under a context (see ExecContext).
-func (e *Engine) ExecGraphContext(ctx context.Context, q *Query) (*Result, error) {
-	q.Cancel = ctx.Err
-	return e.ExecGraph(q)
-}
-
-// ExecASRContext is ExecASR under a context (see ExecContext).
-func (e *Engine) ExecASRContext(ctx context.Context, q *Query) (*Result, error) {
-	q.Cancel = ctx.Err
-	return e.ExecASR(q)
-}
-
-// ExecString parses and runs a query.
+// ExecString parses and runs a query with default options.
 func (e *Engine) ExecString(query string) (*Result, error) {
 	q, err := Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return e.Exec(q)
+	return e.Exec(context.Background(), q, Options{})
+}
+
+// snapshotAt pins the system for one query: the live epoch when asOf
+// is 0, the retained historical epoch otherwise.
+func (e *Engine) snapshotAt(asOf uint64) (*exchange.System, func(), error) {
+	if asOf == 0 {
+		sys, release := e.Sys.Snapshot()
+		return sys, release, nil
+	}
+	return e.Sys.SnapshotAt(asOf)
+}
+
+// ExecGraph forces evaluation on the graph backend.
+//
+// Deprecated: use Exec with Options{Backend: "graph"}.
+func (e *Engine) ExecGraph(q *Query) (*Result, error) {
+	return e.Exec(context.Background(), q, Options{Backend: "graph"})
+}
+
+// ExecASR forces evaluation on the goal-directed ASR backend.
+//
+// Deprecated: use Exec with Options{Backend: "asr"}.
+func (e *Engine) ExecASR(q *Query) (*Result, error) {
+	return e.Exec(context.Background(), q, Options{Backend: "asr"})
+}
+
+// ExecGraphLegacy forces the graph backend's original tree-walking
+// interpreter (kept to cross-check the planned pipeline).
+//
+// Deprecated: use Exec with Options{Backend: "graph-legacy"}.
+func (e *Engine) ExecGraphLegacy(q *Query) (*Result, error) {
+	return e.Exec(context.Background(), q, Options{Backend: "graph-legacy"})
+}
+
+// ExecContext is Exec on the default backend.
+//
+// Deprecated: use Exec.
+func (e *Engine) ExecContext(ctx context.Context, q *Query) (*Result, error) {
+	return e.Exec(ctx, q, Options{})
+}
+
+// ExecGraphContext is Exec on the graph backend.
+//
+// Deprecated: use Exec with Options{Backend: "graph"}.
+func (e *Engine) ExecGraphContext(ctx context.Context, q *Query) (*Result, error) {
+	return e.Exec(ctx, q, Options{Backend: "graph"})
+}
+
+// ExecASRContext is Exec on the ASR backend.
+//
+// Deprecated: use Exec with Options{Backend: "asr"}.
+func (e *Engine) ExecASRContext(ctx context.Context, q *Query) (*Result, error) {
+	return e.Exec(ctx, q, Options{Backend: "asr"})
 }
 
 // Graph returns the engine's materialized provenance graph, building

@@ -21,6 +21,58 @@ import (
 	"repro/internal/provgraph"
 )
 
+// execASR evaluates a query on the goal-directed ASR backend: the
+// same physical-plan pipeline as the graph backend, but running
+// directly over the provenance relations (and their secondary
+// indexes) through an adapter that interns tuple and derivation
+// handles on demand — no provenance graph is ever materialized. With
+// asOf != 0 a private adapter is bound to a SnapshotAt view for just
+// this query; the live path shares the engine's refcounted adapter.
+func (e *Engine) execASR(q *Query, asOf uint64) (*Result, error) {
+	g, release, err := e.asrAdapterAt(asOf)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	// The adapter interns handles in shared maps under its own lock,
+	// so plans run single-worker regardless of e.Parallelism.
+	res, err := e.execPhys(q, g, "asr", 1)
+	if err == nil {
+		res.Stats.AsOf = asOf
+	}
+	return res, err
+}
+
+// asrAdapterAt returns the adapter for one query: the shared live
+// adapter when asOf is 0, otherwise a fresh single-query adapter
+// pinned at the historical epoch (uncached — history queries must not
+// displace the warmed live adapter).
+func (e *Engine) asrAdapterAt(asOf uint64) (*asrGraph, func(), error) {
+	if asOf == 0 {
+		return e.asrAdapter()
+	}
+	probes := e.Sys.Probes()
+	if probes == nil {
+		var err error
+		if probes, err = e.Sys.IncomingProbes(); err != nil {
+			return nil, nil, err
+		}
+	}
+	snap, release, err := e.Sys.SnapshotAt(asOf)
+	if err != nil {
+		return nil, nil, err
+	}
+	g := &asrGraph{
+		sys:     snap,
+		epoch:   asOf,
+		probes:  probes,
+		tuples:  map[model.TupleRef]*asrTuple{},
+		derivs:  map[string]*asrDeriv{},
+		virtIdx: map[string]map[string][]model.Tuple{},
+	}
+	return g, release, nil
+}
+
 // asrAdapter returns the engine's ASR adapter with a reference held;
 // the caller must invoke the release function when its query is done.
 // The adapter is bound to a pinned storage snapshot, so every query

@@ -1,6 +1,7 @@
 package proql
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/provgraph"
@@ -14,11 +15,11 @@ func TestASRBackendMatchesGraphOnPaperQueries(t *testing.T) {
 	for name, text := range paperQueries {
 		e := exampleEngine(t)
 		q := MustParse(text)
-		gr, err := e.ExecGraph(q)
+		gr, err := e.Exec(context.Background(), q, Options{Backend: "graph"})
 		if err != nil {
 			t.Fatalf("%s: graph: %v", name, err)
 		}
-		goal, err := e.ExecASR(q)
+		goal, err := e.Exec(context.Background(), q, Options{Backend: "asr"})
 		if err != nil {
 			t.Fatalf("%s: asr: %v", name, err)
 		}
@@ -64,7 +65,7 @@ func TestASRBackendZeroGraphBuilds(t *testing.T) {
 	e.Backend = "asr"
 	before := provgraph.Builds()
 	for _, name := range []string{"Q4", "Q5", "Q4", "Q5"} {
-		res, err := e.Exec(MustParse(paperQueries[name]))
+		res, err := e.Exec(context.Background(), MustParse(paperQueries[name]), Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -98,7 +99,7 @@ func TestASRBackendViaEngineBackendField(t *testing.T) {
 		}
 	}
 	e.Backend = "bogus"
-	if _, err := e.Exec(MustParse(paperQueries["Q1"])); err == nil {
+	if _, err := e.Exec(context.Background(), MustParse(paperQueries["Q1"]), Options{}); err == nil {
 		t.Error("unknown backend must error")
 	}
 	if _, err := e.Explain(MustParse(paperQueries["Q1"])); err == nil {

@@ -17,8 +17,8 @@ import (
 // path expressions joined on shared variables, derivation variables,
 // existential path conditions — at the cost of touching the whole
 // graph, where the relational backend is goal-directed.
-func (e *Engine) execGraph(q *Query) (*Result, error) {
-	g, release, err := e.acquireGraph()
+func (e *Engine) execGraph(q *Query, asOf uint64) (*Result, error) {
+	g, release, err := e.graphAt(asOf)
 	if err != nil {
 		return nil, err
 	}
@@ -26,7 +26,7 @@ func (e *Engine) execGraph(q *Query) (*Result, error) {
 	start := time.Now()
 	outG := provgraph.New()
 	res := &Result{
-		Stats: Stats{Backend: "graph"},
+		Stats: Stats{Backend: "graph", AsOf: asOf},
 		graph: outG,
 	}
 

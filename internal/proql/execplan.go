@@ -17,17 +17,45 @@ import (
 // down filters, dedup, subgraph projection), replacing the tree-walking
 // interpreter's cartesian binding threading. ExecGraphLegacy retains
 // the interpreter for cross-checking.
-func (e *Engine) execPlanned(q *Query) (*Result, error) {
+func (e *Engine) execPlanned(q *Query, asOf uint64) (*Result, error) {
 	// Hold the graph latch for the whole evaluation: a concurrent
 	// maintenance commit patches the cached graph only after every
 	// in-flight query released it, so this query reads the pre-patch
-	// snapshot throughout.
-	g, release, err := e.acquireGraph()
+	// snapshot throughout. An AS OF query bypasses the cache — the
+	// cached graph reflects the live epoch only — and materializes a
+	// transient graph from a snapshot pinned at the requested epoch.
+	g, release, err := e.graphAt(asOf)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
-	return e.execPhys(q, physplan.NewMem(g), "graph", e.Parallelism)
+	res, err := e.execPhys(q, physplan.NewMem(g), "graph", e.Parallelism)
+	if err == nil {
+		res.Stats.AsOf = asOf
+	}
+	return res, err
+}
+
+// graphAt returns the provenance graph a query should evaluate over:
+// the engine's cached graph (read-latched) for the live epoch, or a
+// transient uncached build from a SnapshotAt view for a historical
+// one. The returned release function must be called when done.
+func (e *Engine) graphAt(asOf uint64) (*provgraph.Graph, func(), error) {
+	if asOf == 0 {
+		return e.acquireGraph()
+	}
+	sys, release, err := e.Sys.SnapshotAt(asOf)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer release()
+	g, err := provgraph.Build(sys)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The graph owns its nodes and aliases immutable tuples; it needs
+	// no snapshot once built.
+	return g, func() {}, nil
 }
 
 // execPhys evaluates a query through the physical-plan pipeline over

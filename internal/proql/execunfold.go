@@ -19,13 +19,15 @@ import (
 // which the linked graph is assembled lazily.
 type unfoldOutput struct {
 	eng     *Engine
+	asOf    uint64 // the query's AS OF epoch; metadata resolves at it
 	anchors map[model.TupleRef][]model.Datum
 	prov    map[string]map[string]model.Tuple // mapping → encoded row → row
 }
 
-func newUnfoldOutput(e *Engine) *unfoldOutput {
+func newUnfoldOutput(e *Engine, asOf uint64) *unfoldOutput {
 	return &unfoldOutput{
 		eng:     e,
+		asOf:    asOf,
 		anchors: make(map[model.TupleRef][]model.Datum),
 		prov:    make(map[string]map[string]model.Tuple),
 	}
@@ -50,10 +52,15 @@ func (o *unfoldOutput) addProvRow(mapping string, row model.Tuple) {
 // was frozen at query time; node metadata — stored rows and leaf marks
 // — resolves against a snapshot taken when the graph is first
 // assembled, so a tuple deleted between the query and the first
-// Graph() call simply carries no stored row.
+// Graph() call simply carries no stored row. An AS OF query resolves
+// metadata at its own epoch instead, keeping the assembled graph
+// consistent with the historical answer.
 func (o *unfoldOutput) build() (*provgraph.Graph, error) {
 	g := provgraph.New()
-	sys, release := o.eng.Sys.Snapshot()
+	sys, release, err := o.eng.snapshotAt(o.asOf)
+	if err != nil {
+		return nil, err
+	}
 	defer release()
 	meta := func(ref model.TupleRef, key []model.Datum) {
 		tn := g.Tuple(ref)
@@ -105,14 +112,18 @@ func (o *unfoldOutput) build() (*provgraph.Graph, error) {
 // aggregation grouped by the distinguished tuple (Section 4.2.4).
 // Evaluation reads through a pinned storage snapshot, so a concurrent
 // exchange commit (RunDelta, DeleteLocal) cannot leak half of its
-// writes into one query's result.
-func (e *Engine) execUnfold(comp *Compiled) (*Result, error) {
-	sys, release := e.Sys.Snapshot()
+// writes into one query's result. With asOf != 0 the snapshot pins
+// that retained historical epoch instead of the live one.
+func (e *Engine) execUnfold(comp *Compiled, asOf uint64) (*Result, error) {
+	sys, release, err := e.snapshotAt(asOf)
+	if err != nil {
+		return nil, err
+	}
 	defer release()
 	q := comp.Query
-	out := newUnfoldOutput(e)
+	out := newUnfoldOutput(e, asOf)
 	res := &Result{
-		Stats:      Stats{Backend: "relational", UnfoldedRules: len(comp.Rules)},
+		Stats:      Stats{Backend: "relational", AsOf: asOf, UnfoldedRules: len(comp.Rules)},
 		buildGraph: out.build,
 	}
 

@@ -23,6 +23,16 @@ import (
 // guards the entry map and the hit/miss counters. Entries themselves
 // are immutable once stored (readers copy before re-pointing the
 // query), so the lock covers only map access, never planning work.
+//
+// Entries are epoch-correct by construction, so AS OF queries share
+// them with live ones: an entry holds only shape-level artifacts — an
+// unfolded rule set or replayable join-order decisions — never table
+// handles or row data. Every execution rebuilds its physical operators
+// against the snapshot it pinned (live or SnapshotAt), so a plan
+// cached by a live query produces epoch-accurate answers for a
+// time-travel query and vice versa. The dbVersion check above is about
+// the plan *space* (tables appearing or disappearing), not row
+// visibility.
 type planCache struct {
 	mu      sync.Mutex
 	entries map[string]*planCacheEntry

@@ -1,6 +1,7 @@
 package proql
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -17,7 +18,7 @@ func TestPlanCacheHitsOnRepeatedShape(t *testing.T) {
 		e.Backend = backend
 		for i, n := range []int{5, 6, 7} {
 			q := MustParse(fmt.Sprintf(`FOR [A $x] WHERE $x.length >= %d RETURN $x`, n))
-			if _, err := e.Exec(q); err != nil {
+			if _, err := e.Exec(context.Background(), q, Options{}); err != nil {
 				t.Fatalf("%s: run %d: %v", backend, i, err)
 			}
 		}
@@ -37,7 +38,7 @@ func TestPlanCacheConstantsStillApply(t *testing.T) {
 		counts := map[int]int{}
 		// A_l rows have length 7 and 5 (Figure 1).
 		for _, n := range []int{0, 6, 100} {
-			res, err := e.Exec(MustParse(fmt.Sprintf(`FOR [A $x] WHERE $x.length >= %d RETURN $x`, n)))
+			res, err := e.Exec(context.Background(), MustParse(fmt.Sprintf(`FOR [A $x] WHERE $x.length >= %d RETURN $x`, n)), Options{})
 			if err != nil {
 				t.Fatalf("%s: length >= %d: %v", backend, n, err)
 			}
@@ -55,10 +56,10 @@ func TestPlanCacheConstantsStillApply(t *testing.T) {
 func TestPlanCacheMissOnDifferentBindingPattern(t *testing.T) {
 	e := exampleEngine(t)
 	e.Backend = "relational"
-	if _, err := e.Exec(MustParse(`FOR [A $x] WHERE $x.length >= 6 RETURN $x`)); err != nil {
+	if _, err := e.Exec(context.Background(), MustParse(`FOR [A $x] WHERE $x.length >= 6 RETURN $x`), Options{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Exec(MustParse(`FOR [A $x] WHERE $x.length >= $x.id RETURN $x`)); err != nil {
+	if _, err := e.Exec(context.Background(), MustParse(`FOR [A $x] WHERE $x.length >= $x.id RETURN $x`), Options{}); err != nil {
 		t.Fatal(err)
 	}
 	st := e.PlanCacheStats()
@@ -76,7 +77,7 @@ func TestPlanCacheInvalidationOnDefinitionChange(t *testing.T) {
 	e.Backend = "graph"
 	q := `FOR [O $x] <-+ [$z], [C $y] <-+ [$z] RETURN $x, $y`
 	for i := 0; i < 2; i++ {
-		if _, err := e.Exec(MustParse(q)); err != nil {
+		if _, err := e.Exec(context.Background(), MustParse(q), Options{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -87,7 +88,7 @@ func TestPlanCacheInvalidationOnDefinitionChange(t *testing.T) {
 	if _, err := e.Sys.DB.MustTable("A_l").Insert(model.Tuple{int64(99), "x", int64(1)}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Exec(MustParse(q)); err != nil {
+	if _, err := e.Exec(context.Background(), MustParse(q), Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if st := e.PlanCacheStats(); st.Hits != 2 {
@@ -100,7 +101,7 @@ func TestPlanCacheInvalidationOnDefinitionChange(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Exec(MustParse(q)); err != nil {
+	if _, err := e.Exec(context.Background(), MustParse(q), Options{}); err != nil {
 		t.Fatal(err)
 	}
 	st := e.PlanCacheStats()

@@ -1,6 +1,7 @@
 package proql
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -15,11 +16,11 @@ import (
 func assertSameGraphResults(t *testing.T, e *Engine, text string, vars []string) {
 	t.Helper()
 	q := MustParse(text)
-	planned, err := e.ExecGraph(q)
+	planned, err := e.Exec(context.Background(), q, Options{Backend: "graph"})
 	if err != nil {
 		t.Fatalf("%s: planned: %v", text, err)
 	}
-	legacy, err := e.ExecGraphLegacy(q)
+	legacy, err := e.Exec(context.Background(), q, Options{Backend: "graph-legacy"})
 	if err != nil {
 		t.Fatalf("%s: legacy: %v", text, err)
 	}
@@ -104,11 +105,11 @@ func TestPlannedParallelMatchesSerial(t *testing.T) {
 		`FOR [O $x] <-+ [$z], [C $y] <-+ [$z] RETURN $x, $y`,
 	} {
 		q := MustParse(text)
-		a, err := serial.ExecGraph(q)
+		a, err := serial.Exec(context.Background(), q, Options{Backend: "graph"})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := parallel.ExecGraph(q)
+		b, err := parallel.Exec(context.Background(), q, Options{Backend: "graph"})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -136,10 +137,10 @@ func TestPlannedErrorParity(t *testing.T) {
 		// WHERE over an unbound variable.
 		`FOR [O $x] WHERE $q.height = 1 RETURN $x`,
 	} {
-		if _, err := e.ExecGraph(MustParse(text)); err == nil {
+		if _, err := e.Exec(context.Background(), MustParse(text), Options{Backend: "graph"}); err == nil {
 			t.Errorf("%s: planned should error", text)
 		}
-		if _, err := e.ExecGraphLegacy(MustParse(text)); err == nil {
+		if _, err := e.Exec(context.Background(), MustParse(text), Options{Backend: "graph-legacy"}); err == nil {
 			t.Errorf("%s: legacy should error", text)
 		}
 	}

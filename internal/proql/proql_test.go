@@ -1,6 +1,7 @@
 package proql
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/fixture"
@@ -352,11 +353,11 @@ func TestBackendParity(t *testing.T) {
 		"projection":   paperQueries["Q1"],
 	} {
 		q := MustParse(text)
-		rel, err := e.Exec(q)
+		rel, err := e.Exec(context.Background(), q, Options{})
 		if err != nil {
 			t.Fatalf("%s relational: %v", name, err)
 		}
-		gr, err := e.execGraph(q)
+		gr, err := e.execGraph(q, 0)
 		if err != nil {
 			t.Fatalf("%s graph: %v", name, err)
 		}

@@ -1,6 +1,7 @@
 package proql_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -63,18 +64,18 @@ func TestRandomSettingsBackendParity(t *testing.T) {
 			set.TargetAnnotationQuery(),
 		} {
 			q := proql.MustParse(text)
-			rel, err := eng.Exec(q)
+			rel, err := eng.Exec(context.Background(), q, proql.Options{})
 			if err != nil {
 				t.Fatalf("%s: relational: %v", label, err)
 			}
 			if rel.Stats.Backend != "relational" {
 				t.Fatalf("%s: expected relational backend", label)
 			}
-			gr, err := eng.ExecGraph(q)
+			gr, err := eng.Exec(context.Background(), q, proql.Options{Backend: "graph"})
 			if err != nil {
 				t.Fatalf("%s: graph: %v", label, err)
 			}
-			leg, err := eng.ExecGraphLegacy(q)
+			leg, err := eng.Exec(context.Background(), q, proql.Options{Backend: "graph-legacy"})
 			if err != nil {
 				t.Fatalf("%s: legacy graph: %v", label, err)
 			}
@@ -161,19 +162,19 @@ func TestRandomQueriesDifferential(t *testing.T) {
 			text, vars := randomQuery(rng, cfg.NumPeers)
 			label := fmt.Sprintf("trial %d query %q", trial, text)
 			q := proql.MustParse(text)
-			auto, err := eng.Exec(q)
+			auto, err := eng.Exec(context.Background(), q, proql.Options{})
 			if err != nil {
 				t.Fatalf("%s: exec: %v", label, err)
 			}
-			planned, err := eng.ExecGraph(q)
+			planned, err := eng.Exec(context.Background(), q, proql.Options{Backend: "graph"})
 			if err != nil {
 				t.Fatalf("%s: planned: %v", label, err)
 			}
-			legacy, err := eng.ExecGraphLegacy(q)
+			legacy, err := eng.Exec(context.Background(), q, proql.Options{Backend: "graph-legacy"})
 			if err != nil {
 				t.Fatalf("%s: legacy: %v", label, err)
 			}
-			goal, err := eng.ExecASR(q)
+			goal, err := eng.Exec(context.Background(), q, proql.Options{Backend: "asr"})
 			if err != nil {
 				t.Fatalf("%s: asr: %v", label, err)
 			}
@@ -216,7 +217,7 @@ func TestRandomASRPreservation(t *testing.T) {
 		}
 		eng := proql.NewEngine(set.Sys)
 		q := proql.MustParse(set.TargetQuery())
-		base, err := eng.Exec(q)
+		base, err := eng.Exec(context.Background(), q, proql.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -234,7 +235,7 @@ func TestRandomASRPreservation(t *testing.T) {
 			t.Fatal(err)
 		}
 		eng.RewriteRules = ix.RewriteRules
-		opt, err := eng.Exec(q)
+		opt, err := eng.Exec(context.Background(), q, proql.Options{})
 		if err != nil {
 			t.Fatalf("trial %d (%v len=%d): %v", trial, kind, maxLen, err)
 		}
@@ -309,10 +310,10 @@ func TestRandomASRBackendAfterChurn(t *testing.T) {
 		}
 		eng := proql.NewEngine(set.Sys)
 		// Warm both backends pre-churn so stale caches would be caught.
-		if _, err := eng.ExecASR(proql.MustParse(set.TargetQuery())); err != nil {
+		if _, err := eng.Exec(context.Background(), proql.MustParse(set.TargetQuery()), proql.Options{Backend: "asr"}); err != nil {
 			t.Fatalf("trial %d: warm asr: %v", trial, err)
 		}
-		if _, err := eng.ExecGraph(proql.MustParse(set.TargetQuery())); err != nil {
+		if _, err := eng.Exec(context.Background(), proql.MustParse(set.TargetQuery()), proql.Options{Backend: "graph"}); err != nil {
 			t.Fatalf("trial %d: warm graph: %v", trial, err)
 		}
 		for round := 0; round < 3; round++ {
@@ -343,11 +344,11 @@ func TestRandomASRBackendAfterChurn(t *testing.T) {
 			// Query immediately after the churn.
 			text, vars := randomQuery(rng, cfg.NumPeers)
 			q := proql.MustParse(text)
-			gr, err := eng.ExecGraph(q)
+			gr, err := eng.Exec(context.Background(), q, proql.Options{Backend: "graph"})
 			if err != nil {
 				t.Fatalf("trial %d round %d %q: graph: %v", trial, round, text, err)
 			}
-			goal, err := eng.ExecASR(q)
+			goal, err := eng.Exec(context.Background(), q, proql.Options{Backend: "asr"})
 			if err != nil {
 				t.Fatalf("trial %d round %d %q: asr: %v", trial, round, text, err)
 			}

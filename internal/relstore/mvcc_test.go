@@ -1,6 +1,7 @@
 package relstore
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -340,13 +341,23 @@ func TestConcurrentSnapshotReadsUnderChurn(t *testing.T) {
 }
 
 // FuzzSnapshotOps interprets op bytes as inserts, deletes, batch
-// boundaries, snapshot pins, and snapshot reads, checking every
-// snapshot against a map-based oracle of the state it pinned.
+// boundaries, snapshot pins, snapshot reads, and retention changes,
+// checking every snapshot against a map-based oracle of the state it
+// pinned. When an op enables history retention, the harness also
+// records the oracle state at every published epoch and replays the
+// whole history through SnapshotAt at the end: retained epochs must
+// match their recorded state exactly, swept ones must be rejected with
+// ErrEpochOutOfRange — the retention sweep boundary under arbitrary
+// op interleavings.
 func FuzzSnapshotOps(f *testing.F) {
 	// Seed exercising reads across an epoch boundary: insert, pin,
 	// batched delete+reinsert, read old pin, pin new, compare.
 	f.Add([]byte{0x10, 0x11, 0x12, 0x80, 0x40, 0x20, 0x11, 0x41, 0x90, 0x91, 0xC0, 0xC1, 0x21, 0x80, 0xC0})
 	f.Add([]byte{0x10, 0x80, 0x20, 0x10, 0x80, 0xC0})
+	// Retention seeds: enable a 3-epoch horizon (0xB2) / retain-all
+	// (0xBF) early, then churn one key past the horizon.
+	f.Add([]byte{0xB2, 0x10, 0x40, 0x40, 0x40, 0x40, 0x40, 0x40, 0x20, 0x10})
+	f.Add([]byte{0x10, 0xBF, 0x90, 0x40, 0x41, 0xA0, 0x40, 0x20, 0x80, 0xC0})
 	f.Fuzz(func(t *testing.T, ops []byte) {
 		db := NewDatabase()
 		tbl, err := db.CreateTable(&TableSchema{
@@ -366,6 +377,20 @@ func FuzzSnapshotOps(f *testing.F) {
 		var batchBase map[int64]int64 // pre-batch oracle during a batch
 		inBatch := false
 		gen := int64(0)
+		// Per-epoch oracle for the time-travel end-check, recorded only
+		// once retention is on (epochs before that are not answerable).
+		retention := false
+		history := map[uint64]map[int64]int64{}
+		record := func() {
+			if !retention || inBatch {
+				return
+			}
+			state := make(map[int64]int64, len(oracle))
+			for k, g := range oracle {
+				state[k] = g
+			}
+			history[db.Epoch()] = state
+		}
 		defer func() {
 			for _, p := range pins {
 				p.snap.Close()
@@ -449,6 +474,18 @@ func FuzzSnapshotOps(f *testing.F) {
 					inBatch = false
 					db.EndBatch()
 				}
+			case op&0xF0 == 0xB0: // set retention horizon
+				switch {
+				case key == 0:
+					db.SetRetention(0)
+					retention = false
+				case key == 0x0F:
+					db.SetRetention(RetainAll)
+					retention = true
+				default:
+					db.SetRetention(uint64(key) + 1)
+					retention = true
+				}
 			case op&0xF0 == 0xC0: // check + release oldest pin
 				if len(pins) > 0 {
 					check(pins[0])
@@ -456,12 +493,47 @@ func FuzzSnapshotOps(f *testing.F) {
 					pins = pins[1:]
 				}
 			}
+			record()
 		}
 		if inBatch {
+			inBatch = false
 			db.EndBatch()
+			record()
 		}
 		for _, p := range pins {
 			check(p)
+		}
+		// Time-travel end-check: every recorded epoch either answers
+		// with exactly its recorded state or is rejected as out of
+		// range, according to the final retention floor.
+		pub := db.Epoch()
+		floor := db.RetentionFloor()
+		for e, state := range history {
+			snap, err := db.SnapshotAt(e)
+			if e != pub && (floor == 0 || e < floor) {
+				var oor *ErrEpochOutOfRange
+				if !errors.As(err, &oor) {
+					t.Fatalf("SnapshotAt(%d) = %v, want ErrEpochOutOfRange (floor %d, pub %d)", e, err, floor, pub)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("SnapshotAt(%d) in window [%d, %d]: %v", e, floor, pub, err)
+			}
+			got := map[int64]int64{}
+			snap.MustTable("F").Iterate(func(row model.Tuple) bool {
+				got[row[0].(int64)] = row[1].(int64)
+				return true
+			})
+			if len(got) != len(state) {
+				t.Fatalf("as-of %d rows = %v, want %v", e, got, state)
+			}
+			for k, g := range state {
+				if got[k] != g {
+					t.Fatalf("as-of %d key %d gen %d, want %d", e, k, got[k], g)
+				}
+			}
+			snap.Close()
 		}
 		// Writer's final state matches the oracle.
 		got := map[int64]int64{}

@@ -45,6 +45,12 @@ type Database struct {
 	dirtyMu   sync.Mutex
 	dirtyTabs map[*tableState]struct{}
 
+	// retain and histFloor configure the time-travel retention horizon
+	// (history.go): retain is the depth in epochs (0 = off, RetainAll =
+	// unbounded) and histFloor the epoch history begins at.
+	retain    atomic.Uint64
+	histFloor atomic.Uint64
+
 	// Commit capture: while hook is set, every mutation appends a
 	// LoggedOp to logOps (under logMu — sharded syncs write different
 	// tables concurrently) and publish hands the batch to the hook with
@@ -225,8 +231,19 @@ func (db *Database) tryReclaim() {
 	db.mu.Lock()
 	// pub must be read under the same lock Snapshot pins under: a pin
 	// racing in after the copy lands at an epoch >= pub, and sweep
-	// keeps everything that died after pub.
+	// keeps everything that died after pub. The retention floor is
+	// derived under the same lock for the same reason: SnapshotAt
+	// validates against a floor computed from a pub at least as new as
+	// any sweep already past this section (see retentionFloorAt).
 	pub := db.published.Load()
+	floor := db.retentionFloorAt(pub)
+	// Ratchet the history floor to what this sweep reclaims under:
+	// versions below it are gone for good, so a later retention
+	// widening must not rewind the floor into destroyed history —
+	// SnapshotAt would answer those epochs with silently partial state.
+	if floor > db.histFloor.Load() {
+		db.histFloor.Store(floor)
+	}
 	pins := make([]uint64, 0, len(db.pins))
 	for e := range db.pins {
 		pins = append(pins, e)
@@ -235,7 +252,7 @@ func (db *Database) tryReclaim() {
 	sort.Slice(pins, func(i, j int) bool { return pins[i] < pins[j] })
 	total := 0
 	for _, s := range tabs {
-		n, remaining := s.sweep(pins, pub)
+		n, remaining := s.sweep(pins, pub, floor)
 		total += n
 		if remaining {
 			db.dirtyMu.Lock()

@@ -476,8 +476,10 @@ func (s *tableState) reclaim(idx int) {
 // — is what squashes hot-key version chains under a long-pinned
 // snapshot: intermediate versions born and dead between two pins go
 // away immediately, keeping only the newest version visible per
-// pinned epoch.
-func (s *tableState) sweep(pins []uint64, pub uint64) (int, bool) {
+// pinned epoch. floor is the retention floor (history.go): a version
+// that died after it is still answerable through SnapshotAt and is
+// kept regardless of pins; 0 means retention is off.
+func (s *tableState) sweep(pins []uint64, pub uint64, floor uint64) (int, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.dead) == 0 {
@@ -494,6 +496,12 @@ func (s *tableState) sweep(pins []uint64, pub uint64) (int, bool) {
 		if died > pub {
 			// Could still become visible to a snapshot pinned at or
 			// after pub.
+			kept = append(kept, idx)
+			continue
+		}
+		if floor != 0 && died > floor {
+			// Retained history: some epoch in [floor, pub] still sees
+			// this version (born <= pub always holds for died <= pub).
 			kept = append(kept, idx)
 			continue
 		}

@@ -206,10 +206,16 @@ func DecodeBatch(payload []byte) (Batch, error) {
 // dictionary in one or more frames, then one record per table, then a
 // trailer; a checkpoint missing its trailer is rejected as incomplete.
 //
-//	header  := magic gen epoch ndict ntables
+//	header  := magic gen epoch floor ndict ntables
 //	dict    := 'D' start nrows row*      (rows start..start+nrows-1)
-//	table   := 'T' name schema nrows ref*  (ref = uvarint dictionary index)
+//	table   := 'T' name schema nrows (ref born died)*
 //	trailer := trailerMagic
+//
+// floor is the retention floor at the cut (0 = retention off); born
+// and died are each version's epoch stamps (died 0 = live at the cut),
+// so restored tables answer SnapshotAt for every epoch in
+// [floor, epoch] exactly as the original did — history survives the
+// restart. ref is a uvarint dictionary index.
 //
 // The dictionary holds every distinct row once; tables are streams of
 // references into it. An exchanged instance stores the same tuple in
@@ -230,7 +236,7 @@ func DecodeBatch(payload []byte) (Batch, error) {
 // before any table record is resolved.
 
 const (
-	ckptMagic   = "proql-ckpt-3"
+	ckptMagic   = "proql-ckpt-4"
 	ckptTrailer = "proql-ckpt-end"
 
 	// ckptRecDict / ckptRecTable discriminate checkpoint body records.
@@ -338,36 +344,40 @@ func decodeBinDatums(dst []model.Datum, b []byte) ([]model.Datum, []byte, error)
 }
 
 // appendCkptHeader encodes the checkpoint header record.
-func appendCkptHeader(buf []byte, gen, epoch uint64, ndict, ntables int) []byte {
+func appendCkptHeader(buf []byte, gen, epoch, floor uint64, ndict, ntables int) []byte {
 	buf = appendString(buf, ckptMagic)
 	buf = appendUvarint(buf, gen)
 	buf = appendUvarint(buf, epoch)
+	buf = appendUvarint(buf, floor)
 	buf = appendUvarint(buf, uint64(ndict))
 	return appendUvarint(buf, uint64(ntables))
 }
 
-func decodeCkptHeader(payload []byte) (gen, epoch, ndict, ntables uint64, err error) {
+func decodeCkptHeader(payload []byte) (gen, epoch, floor, ndict, ntables uint64, err error) {
 	d := decoder{b: payload}
 	magic, err := d.str()
 	if err != nil {
-		return 0, 0, 0, 0, err
+		return 0, 0, 0, 0, 0, err
 	}
 	if magic != ckptMagic {
-		return 0, 0, 0, 0, fmt.Errorf("wal: bad checkpoint magic %q", magic)
+		return 0, 0, 0, 0, 0, fmt.Errorf("wal: bad checkpoint magic %q", magic)
 	}
 	if gen, err = d.uvarint(); err != nil {
-		return 0, 0, 0, 0, err
+		return 0, 0, 0, 0, 0, err
 	}
 	if epoch, err = d.uvarint(); err != nil {
-		return 0, 0, 0, 0, err
+		return 0, 0, 0, 0, 0, err
+	}
+	if floor, err = d.uvarint(); err != nil {
+		return 0, 0, 0, 0, 0, err
 	}
 	if ndict, err = d.uvarint(); err != nil {
-		return 0, 0, 0, 0, err
+		return 0, 0, 0, 0, 0, err
 	}
 	if ntables, err = d.uvarint(); err != nil {
-		return 0, 0, 0, 0, err
+		return 0, 0, 0, 0, 0, err
 	}
-	return gen, epoch, ndict, ntables, nil
+	return gen, epoch, floor, ndict, ntables, nil
 }
 
 // peekCkptDictFrame parses a dictionary frame's header without
@@ -427,24 +437,29 @@ func decodeCkptDictFrame(payload []byte, dict []model.Tuple) error {
 }
 
 // appendCkptTable encodes one table record: named schema, then the
-// row count, then one dictionary reference per row.
-func appendCkptTable(buf []byte, name string, sc *relstore.TableSchema, refs []uint64) []byte {
+// version count, then per version its dictionary reference and epoch
+// stamps. refs and vers are parallel (vers supplies the stamps, refs
+// the dictionary index of the row content).
+func appendCkptTable(buf []byte, name string, sc *relstore.TableSchema, refs []uint64, vers []relstore.Version) []byte {
 	buf = append(buf, ckptRecTable)
 	buf = appendString(buf, name)
 	buf = appendSchema(buf, sc)
 	buf = appendUvarint(buf, uint64(len(refs)))
-	for _, r := range refs {
+	for i, r := range refs {
 		buf = appendUvarint(buf, r)
+		buf = appendUvarint(buf, vers[i].Born)
+		buf = appendUvarint(buf, vers[i].Died)
 	}
 	return buf
 }
 
-// ckptTable is one decoded checkpoint table record. Its rows alias the
-// shared dictionary: tables restored from the same checkpoint share
-// tuple storage exactly as the live instance they snapshot did.
+// ckptTable is one decoded checkpoint table record. Its row versions
+// alias the shared dictionary: tables restored from the same
+// checkpoint share tuple storage exactly as the live instance they
+// snapshot did.
 type ckptTable struct {
 	schema *relstore.TableSchema
-	rows   []model.Tuple
+	vers   []relstore.Version
 }
 
 func decodeCkptTable(payload []byte, dict []model.Tuple) (ckptTable, error) {
@@ -466,10 +481,10 @@ func decodeCkptTable(payload []byte, dict []model.Tuple) (ckptTable, error) {
 	if err != nil {
 		return ct, err
 	}
-	if nrows > uint64(len(d.b)) { // each reference costs >= 1 byte
+	if nrows > uint64(len(d.b))/3 { // each version costs >= 3 bytes (ref, born, died)
 		return ct, fmt.Errorf("wal: row count %d exceeds payload", nrows)
 	}
-	ct.rows = make([]model.Tuple, 0, nrows)
+	ct.vers = make([]relstore.Version, 0, nrows)
 	for i := uint64(0); i < nrows; i++ {
 		ref, err := d.uvarint()
 		if err != nil {
@@ -478,7 +493,15 @@ func decodeCkptTable(payload []byte, dict []model.Tuple) (ckptTable, error) {
 		if ref >= uint64(len(dict)) {
 			return ct, fmt.Errorf("wal: dictionary reference %d out of range %d", ref, len(dict))
 		}
-		ct.rows = append(ct.rows, dict[ref])
+		born, err := d.uvarint()
+		if err != nil {
+			return ct, err
+		}
+		died, err := d.uvarint()
+		if err != nil {
+			return ct, err
+		}
+		ct.vers = append(ct.vers, relstore.Version{Row: dict[ref], Born: born, Died: died})
 	}
 	if len(d.b) != 0 {
 		return ct, fmt.Errorf("wal: %d trailing bytes after table record", len(d.b))

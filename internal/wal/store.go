@@ -23,6 +23,12 @@ type Options struct {
 	// CheckpointEvery, when > 0, is the batch count at which
 	// MaybeCheckpoint rotates generations.
 	CheckpointEvery int
+	// Retain is the time-travel retention depth in epochs applied to
+	// the recovered database (relstore.RetainAll = unbounded, 0 = off).
+	// With retention on, checkpoints carry the retained version history
+	// and recovery replays batches at their original epochs, so
+	// SnapshotAt answers the same epochs after a restart as before it.
+	Retain uint64
 }
 
 // Store binds a relstore.Database to an on-disk generation: every
@@ -78,13 +84,24 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{dir: dir, opts: opts, gen: gen, db: relstore.NewDatabase()}
-	var ckptEpoch uint64
+	var ckptEpoch, ckptFloor uint64
 	if hasCkpt {
-		if ckptEpoch, err = s.loadCheckpoint(ckptPath(dir, gen)); err != nil {
+		if ckptEpoch, ckptFloor, err = s.loadCheckpoint(ckptPath(dir, gen)); err != nil {
 			return nil, err
 		}
 	}
 	s.lastEpoch = ckptEpoch
+	// Retention is configured before the log replays so the replayed
+	// history is retained as it lands; the floor recorded at the cut
+	// rewinds past the checkpoint epoch when the file carries older
+	// retained versions.
+	s.db.FastForward(ckptEpoch)
+	if opts.Retain != 0 {
+		s.db.SetRetention(opts.Retain)
+		if ckptFloor > 0 {
+			s.db.RestoreHistoryFloor(ckptFloor)
+		}
+	}
 	if err := s.replayLog(logPath(dir, gen), ckptEpoch); err != nil {
 		return nil, err
 	}
@@ -159,9 +176,10 @@ func newestGeneration(dir string) (gen uint64, hasCkpt bool, err error) {
 // turns them into loaded tables. The checkpoint load is the restart
 // path's largest term — unlike the fixpoint a cold start pays, it
 // parallelizes trivially.
-func (s *Store) loadCheckpoint(path string) (uint64, error) {
+func (s *Store) loadCheckpoint(path string) (uint64, uint64, error) {
 	var (
 		epoch      uint64
+		floor      uint64
 		ndict      uint64
 		ntables    uint64
 		dict       []model.Tuple
@@ -169,9 +187,6 @@ func (s *Store) loadCheckpoint(path string) (uint64, error) {
 		seen       uint64
 		state      int // 0 = header, 1 = dict frames, 2 = tables, 3 = done
 	)
-	s.db.BeginBatch()
-	defer s.db.EndBatch()
-
 	nw := runtime.GOMAXPROCS(0)
 	if nw > 8 {
 		nw = 8
@@ -235,20 +250,20 @@ func (s *Store) loadCheckpoint(path string) (uint64, error) {
 			fail(err)
 			return
 		}
-		if _, err := t.BulkLoad(ct.rows); err != nil {
+		if _, err := t.LoadVersions(ct.vers); err != nil {
 			fail(err)
 		}
 	}
 
 	fi, err := os.Stat(path)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 
 	err = replayFile(path, func(payload []byte) error {
 		switch state {
 		case 0:
-			_, e, nd, nt, err := decodeCkptHeader(payload)
+			_, e, fl, nd, nt, err := decodeCkptHeader(payload)
 			if err != nil {
 				return err
 			}
@@ -258,7 +273,7 @@ func (s *Store) loadCheckpoint(path string) (uint64, error) {
 			if nd > uint64(fi.Size()) {
 				return fmt.Errorf("wal: dictionary size %d exceeds checkpoint file", nd)
 			}
-			epoch, ndict, ntables = e, nd, nt
+			epoch, floor, ndict, ntables = e, fl, nd, nt
 			dict = make([]model.Tuple, ndict)
 			state = 1
 			if ndict > 0 {
@@ -308,12 +323,12 @@ func (s *Store) loadCheckpoint(path string) (uint64, error) {
 		err = derr
 	}
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if state != 3 {
-		return 0, fmt.Errorf("wal: incomplete checkpoint %s (%d/%d dictionary rows, %d/%d tables, no trailer)", path, dictFilled, ndict, seen, ntables)
+		return 0, 0, fmt.Errorf("wal: incomplete checkpoint %s (%d/%d dictionary rows, %d/%d tables, no trailer)", path, dictFilled, ndict, seen, ntables)
 	}
-	return epoch, nil
+	return epoch, floor, nil
 }
 
 // replayLog applies the log's batches to the database in commit order,
@@ -337,8 +352,16 @@ func (s *Store) replayLog(path string, ckptEpoch uint64) error {
 	})
 }
 
-// applyBatch replays one logged batch against the database.
+// applyBatch replays one logged batch against the database. The epoch
+// counter is fast-forwarded to just below the batch's original epoch
+// first, so writes stamp (and the batch publishes at) exactly the
+// epoch they committed under before the restart — epoch gaps and all.
+// Retained history therefore lines up: SnapshotAt(e) after recovery
+// reads the same cut as before it.
 func (s *Store) applyBatch(b Batch) error {
+	if b.Epoch > 0 {
+		s.db.FastForward(b.Epoch - 1)
+	}
 	s.db.BeginBatch()
 	defer s.db.EndBatch()
 	for _, op := range b.Ops {
@@ -444,6 +467,10 @@ func (s *Store) Checkpoint() error {
 	}
 	snap := s.db.Snapshot()
 	defer snap.Close()
+	// The retention floor at the cut: dead versions still answerable
+	// are dumped with their stamps and the floor is recorded in the
+	// header so the recovered store answers the same epoch range.
+	floor := s.db.RetentionFloor()
 	newGen := s.gen + 1
 
 	names := snap.TableNames()
@@ -473,12 +500,14 @@ func (s *Store) Checkpoint() error {
 		cur = cur[:0]
 	}
 	refs := make([][]uint64, len(names))
+	vers := make([][]relstore.Version, len(names))
 	var scratch []byte
 	for i, name := range names {
-		rows := snap.MustTable(name).Rows()
-		r := make([]uint64, len(rows))
-		for j, row := range rows {
-			scratch = appendBinDatums(scratch[:0], row)
+		vs := snap.MustTable(name).Versions(floor)
+		vers[i] = vs
+		r := make([]uint64, len(vs))
+		for j := range vs {
+			scratch = appendBinDatums(scratch[:0], vs[j].Row)
 			id, ok := dictIdx[string(scratch)]
 			if !ok {
 				id = uint64(len(dictIdx))
@@ -509,13 +538,13 @@ func (s *Store) Checkpoint() error {
 		_, err = f.Write(buf)
 	}
 	var rec []byte
-	rec = appendCkptHeader(rec[:0], newGen, snap.Epoch(), len(dictIdx), len(names))
+	rec = appendCkptHeader(rec[:0], newGen, snap.Epoch(), floor, len(dictIdx), len(names))
 	write(rec)
 	for _, frame := range dictFrames {
 		write(frame)
 	}
 	for i, name := range names {
-		rec = appendCkptTable(rec[:0], name, snap.MustTable(name).Schema, refs[i])
+		rec = appendCkptTable(rec[:0], name, snap.MustTable(name).Schema, refs[i], vers[i])
 		write(rec)
 	}
 	write([]byte(ckptTrailer))

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -140,7 +141,7 @@ func measureTarget(set *Setting, x, runs int) (UnfoldStatsRow, error) {
 	}
 	var last *proql.Result
 	_, err = timed(runs, func() error {
-		res, err := eng.Exec(q)
+		res, err := eng.Exec(context.Background(), q, proql.Options{})
 		last = res
 		return err
 	})
@@ -212,7 +213,7 @@ func fillScaleRow(row *ScaleRow, numPeers, dataPeers, base, runs int, seed int64
 			return err
 		}
 		dur, err := timed(runs, func() error {
-			_, err := eng.Exec(q)
+			_, err := eng.Exec(context.Background(), q, proql.Options{})
 			return err
 		})
 		if err != nil {
@@ -261,7 +262,7 @@ func RunASRSweep(cfg Config, maxLens []int, kinds []asr.Kind, runs int) (*ASRExp
 		return nil, err
 	}
 	exp.Baseline, err = timed(runs, func() error {
-		_, err := eng.Exec(q)
+		_, err := eng.Exec(context.Background(), q, proql.Options{})
 		return err
 	})
 	if err != nil {
@@ -283,7 +284,7 @@ func RunASRSweep(cfg Config, maxLens []int, kinds []asr.Kind, runs int) (*ASRExp
 			}
 			eng.RewriteRules = ix.RewriteRules
 			dur, err := timed(runs, func() error {
-				_, err := eng.Exec(q)
+				_, err := eng.Exec(context.Background(), q, proql.Options{})
 				return err
 			})
 			if err != nil {
@@ -787,14 +788,14 @@ func RunAnnotationOverhead(cfg Config, runs int) (*AnnotationOverheadRow, error)
 	}
 	row := &AnnotationOverheadRow{}
 	row.ProjectionTime, err = timed(runs, func() error {
-		_, err := eng.Exec(proj)
+		_, err := eng.Exec(context.Background(), proj, proql.Options{})
 		return err
 	})
 	if err != nil {
 		return nil, err
 	}
 	row.AnnotatedTime, err = timed(runs, func() error {
-		_, err := eng.Exec(annot)
+		_, err := eng.Exec(context.Background(), annot, proql.Options{})
 		return err
 	})
 	if err != nil {
@@ -866,7 +867,7 @@ func RunProQL(scales []int, numPeers, dataPeers, baseSize, runs int, seed int64)
 			return nil, err
 		}
 		row.GraphEvalTime, err = timed(runs, func() error {
-			_, err := graphEng.Exec(q)
+			_, err := graphEng.Exec(context.Background(), q, proql.Options{})
 			return err
 		})
 		if err != nil {
@@ -881,14 +882,14 @@ func RunProQL(scales []int, numPeers, dataPeers, baseSize, runs int, seed int64)
 		row.ASRFirstTime, err = timed(runs, func() error {
 			asrEng = proql.NewEngine(set.Sys)
 			asrEng.Backend = "asr"
-			_, err := asrEng.Exec(q)
+			_, err := asrEng.Exec(context.Background(), q, proql.Options{})
 			return err
 		})
 		if err != nil {
 			return nil, err
 		}
 		row.ASREvalTime, err = timed(runs, func() error {
-			_, err := asrEng.Exec(q)
+			_, err := asrEng.Exec(context.Background(), q, proql.Options{})
 			return err
 		})
 		if err != nil {

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -103,11 +104,11 @@ func serveOne(backend string, readers, numPeers, dataPeers, baseSize, batch, que
 		var execErr error
 		switch backend {
 		case "graph":
-			_, execErr = eng.ExecGraph(q)
+			_, execErr = eng.Exec(context.Background(), q, proql.Options{Backend: "graph"})
 		case "asr":
-			_, execErr = eng.ExecASR(q)
+			_, execErr = eng.Exec(context.Background(), q, proql.Options{Backend: "asr"})
 		default:
-			_, execErr = eng.Exec(q)
+			_, execErr = eng.Exec(context.Background(), q, proql.Options{})
 		}
 		return time.Since(start), execErr
 	}

@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/proql"
+	"repro/internal/relstore"
+)
+
+// TimeTravelRow is one point of the time-travel experiment (E17): the
+// Section 6.1.2 target query answered live (newest epoch) versus AS OF
+// the oldest retained epoch, on a setting whose retention horizon held
+// the superseded versions a churn loop produced. AsOfTime at the floor
+// is the worst retained case — the snapshot furthest from the live
+// heads — and RetainedVersions is the memory the horizon costs: the
+// superseded row versions the epoch sweep would otherwise reclaim.
+type TimeTravelRow struct {
+	// Depth is the configured retention horizon in epochs
+	// (relstore.RetainAll = unbounded since enablement).
+	Depth uint64
+	// LiveTime answers the target query at the newest epoch (the
+	// ordinary query path, warm caches).
+	LiveTime time.Duration
+	// AsOfTime answers the same query AS OF the retention floor.
+	AsOfTime time.Duration
+	// FloorEpoch and WindowEpochs describe the answerable window after
+	// the churn: [FloorEpoch, FloorEpoch+WindowEpochs-1].
+	FloorEpoch   uint64
+	WindowEpochs uint64
+	// RetainedVersions is relstore's dead-version count after the
+	// churn: the history overhead the horizon buys.
+	RetainedVersions int64
+	InstanceSize     int
+}
+
+// applyVersionChurn drives churnOps insert-propagate-delete cycles at
+// the source peer: each op commits a fresh batch of base tuples,
+// exchanges them down the chain, then deletes the batch again, so
+// every op turns its own derived rows into superseded versions all the
+// way to the target. This is the history-producing counterpart of
+// applyChurn, whose insert-only ops never kill a version.
+func applyVersionChurn(sys *core.System, set *Setting, batch, churnOps, categories int) error {
+	src := set.Config.NumPeers - 1
+	var next int64
+	for op := 0; op < churnOps; op++ {
+		rows := make([]model.Tuple, batch)
+		keys := make([][]model.Datum, batch)
+		for j := range rows {
+			k := int64(src)*10_000_000 + int64(set.Config.BaseSize) + next
+			next++
+			r := model.Tuple{k, k % int64(categories)}
+			for a := 0; a < 10; a++ {
+				r = append(r, k+int64(a))
+			}
+			rows[j] = r
+			keys[j] = []model.Datum{k}
+		}
+		if err := sys.InsertLocal(ARel(src), rows...); err != nil {
+			return err
+		}
+		if err := sys.Run(); err != nil {
+			return err
+		}
+		if _, err := sys.DeleteLocal(ARel(src), keys...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunTimeTravel measures AS OF query latency against the live path
+// (E17): for each retention depth, a chain setting is built, retention
+// enabled, and churned with churnOps insert-propagate-delete cycles so
+// the horizon is populated with superseded versions; then the target
+// query is timed live and AS OF the retention floor. Before timing,
+// the AS OF path is differentially verified: the query AS OF the
+// newest epoch must bind exactly what the live query binds.
+func RunTimeTravel(depths []uint64, numPeers, dataPeers, baseSize, batch, churnOps, runs int, seed int64) ([]TimeTravelRow, error) {
+	var out []TimeTravelRow
+	for _, depth := range depths {
+		if depth == 0 {
+			return nil, fmt.Errorf("workload: time-travel depth 0 (retention off) has no AS OF arm")
+		}
+		cfg := Config{
+			Topology:   Chain,
+			Profile:    ProfileLinear,
+			NumPeers:   numPeers,
+			DataPeers:  UpstreamDataPeers(numPeers, dataPeers),
+			BaseSize:   baseSize,
+			Categories: 16,
+			Seed:       seed,
+		}
+		set, err := Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// History starts after the seed exchange: the churn below is
+		// what the horizon retains.
+		set.Sys.DB.SetRetention(depth)
+		sys := core.Wrap(set.Sys)
+		if err := applyVersionChurn(sys, set, batch, churnOps, cfg.Categories); err != nil {
+			return nil, err
+		}
+
+		eng := sys.Engine()
+		q, err := proql.Parse(set.TargetQuery())
+		if err != nil {
+			return nil, err
+		}
+		exec := func(asOf uint64) (*proql.Result, error) {
+			return eng.Exec(context.Background(), q, proql.Options{AsOfEpoch: asOf})
+		}
+
+		// Warm both arms and verify the time-travel path off the clock:
+		// AS OF the newest epoch is the live state, so the two answers
+		// must bind the identical refs.
+		live, err := exec(0)
+		if err != nil {
+			return nil, err
+		}
+		atNow, err := exec(sys.Epoch())
+		if err != nil {
+			return nil, err
+		}
+		lr, nr := live.SortedRefs("x"), atNow.SortedRefs("x")
+		if len(lr) != len(nr) {
+			return nil, fmt.Errorf("workload: as-of at the newest epoch bound %d refs, live bound %d", len(nr), len(lr))
+		}
+		for i := range lr {
+			if lr[i] != nr[i] {
+				return nil, fmt.Errorf("workload: as-of at the newest epoch diverged from live at ref %d: %v != %v", i, nr[i], lr[i])
+			}
+		}
+
+		floor := sys.RetentionFloor()
+		if floor == 0 {
+			return nil, fmt.Errorf("workload: retention floor 0 after SetRetention(%d)", depth)
+		}
+		row := TimeTravelRow{
+			Depth:        depth,
+			FloorEpoch:   floor,
+			WindowEpochs: sys.Epoch() - floor + 1,
+			InstanceSize: set.InstanceSize(),
+		}
+		if _, err := exec(floor); err != nil {
+			return nil, fmt.Errorf("workload: as-of at the floor %d: %w", floor, err)
+		}
+		row.LiveTime, err = timed(runs, func() error {
+			_, err := exec(0)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.AsOfTime, err = timed(runs, func() error {
+			_, err := exec(floor)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.RetainedVersions = sys.Exchange().DB.DeadVersions()
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// DepthLabel renders a retention depth for tables: RetainAll prints as
+// "all".
+func DepthLabel(d uint64) string {
+	if d == relstore.RetainAll {
+		return "all"
+	}
+	return fmt.Sprintf("%d", d)
+}

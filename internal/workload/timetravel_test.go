@@ -1,0 +1,46 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/relstore"
+)
+
+// TestRunTimeTravelSmall exercises the E17 harness end to end at a
+// tiny scale: a finite horizon plus RetainAll, real
+// insert-propagate-delete churn. The harness itself verifies the
+// AS OF arm against the live arm off the clock, so a pass here also
+// checks the time-travel path on the workload's target query.
+func TestRunTimeTravelSmall(t *testing.T) {
+	rows, err := RunTimeTravel([]uint64{6, relstore.RetainAll}, 4, 1, 20, 3, 3, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.LiveTime <= 0 || r.AsOfTime <= 0 {
+			t.Errorf("depth %s: implausible latencies %+v", DepthLabel(r.Depth), r)
+		}
+		if r.FloorEpoch == 0 || r.WindowEpochs == 0 {
+			t.Errorf("depth %s: empty answerable window %+v", DepthLabel(r.Depth), r)
+		}
+		if r.RetainedVersions <= 0 {
+			t.Errorf("depth %s: churn retained no versions", DepthLabel(r.Depth))
+		}
+		if r.Depth != relstore.RetainAll && r.WindowEpochs > r.Depth {
+			t.Errorf("depth %d: window %d epochs exceeds the horizon", r.Depth, r.WindowEpochs)
+		}
+	}
+	// The finite horizon must retain no more history than RetainAll on
+	// the identical churn.
+	if rows[0].RetainedVersions > rows[1].RetainedVersions {
+		t.Errorf("finite horizon retained %d versions, RetainAll %d",
+			rows[0].RetainedVersions, rows[1].RetainedVersions)
+	}
+	// Depth 0 is a configuration error, not a silent no-op arm.
+	if _, err := RunTimeTravel([]uint64{0}, 4, 1, 20, 3, 3, 3, 42); err == nil {
+		t.Error("depth 0 accepted")
+	}
+}

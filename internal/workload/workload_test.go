@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/asr"
@@ -152,7 +153,7 @@ func TestASRSweepMatchesBaselineResults(t *testing.T) {
 	}
 	eng := proql.NewEngine(set.Sys)
 	q := proql.MustParse(set.TargetQuery())
-	base, err := eng.Exec(q)
+	base, err := eng.Exec(context.Background(), q, proql.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestASRSweepMatchesBaselineResults(t *testing.T) {
 				t.Fatal(err)
 			}
 			eng.RewriteRules = ix.RewriteRules
-			opt, err := eng.Exec(q)
+			opt, err := eng.Exec(context.Background(), q, proql.Options{})
 			if err != nil {
 				t.Fatalf("%v len=%d: %v", kind, maxLen, err)
 			}
